@@ -1,0 +1,1 @@
+bench/ablation.ml: Device Driver Hida_core Hida_estimator Hida_frontend Hida_ir List Models Parallelize Polybench Printf Qor Resource Util

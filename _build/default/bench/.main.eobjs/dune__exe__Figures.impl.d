@@ -1,0 +1,1 @@
+bench/figures.ml: Device Driver Hashtbl Hida_baselines Hida_core Hida_estimator Hida_frontend Hida_ir List Models Parallelize Printf Qor Resource Scalehls Util

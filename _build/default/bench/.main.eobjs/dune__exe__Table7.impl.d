@@ -1,0 +1,1 @@
+bench/table7.ml: Device Driver Hida_baselines Hida_core Hida_estimator Hida_frontend Hida_ir List Polybench Printf Qor Resource Scalehls Soff Util Vitis

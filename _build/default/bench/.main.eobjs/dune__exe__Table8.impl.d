@@ -1,0 +1,1 @@
+bench/table8.ml: Device Dnnbuilder Driver Hida_baselines Hida_core Hida_estimator Hida_frontend Hida_ir List Models Printf Qor Resource Scalehls Util

@@ -1,0 +1,1 @@
+bench/util.ml: Array List Printf String

@@ -1,0 +1,86 @@
+(* Design-choice ablations: disable each HIDA-OPT component in turn and
+   measure the cost, quantifying the contribution of every design
+   decision DESIGN.md calls out (complementing the paper's Fig. 11,
+   which ablates only the parallelization modes). *)
+
+open Hida_ir
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+type variant = { v_name : string; v_opts : Driver.options }
+
+let variants base =
+  [
+    { v_name = "full HIDA"; v_opts = base };
+    { v_name = "no task fusion"; v_opts = { base with enable_fusion = false } };
+    {
+      v_name = "no balancing";
+      v_opts = { base with enable_balancing = false };
+    };
+    {
+      v_name = "no multi-producer elim";
+      v_opts = { base with enable_multi_producer = false };
+    };
+    {
+      v_name = "no streaming";
+      v_opts = { base with enable_streaming = false };
+    };
+    { v_name = "no ping-pong"; v_opts = { base with pingpong = false } };
+    {
+      v_name = "IA only (no CA)";
+      v_opts = { base with mode = Parallelize.ia_only };
+    };
+    {
+      v_name = "CA only (no IA)";
+      v_opts = { base with mode = Parallelize.ca_only };
+    };
+    {
+      v_name = "naive parallelization";
+      v_opts = { base with mode = Parallelize.naive };
+    };
+    {
+      v_name = "no dataflow at all";
+      v_opts = { base with enable_dataflow = false };
+    };
+  ]
+
+let run_workload title device path build base =
+  Util.subheader title;
+  Printf.printf "%-26s %12s %10s %8s %8s %10s\n" "variant" "interval" "thr"
+    "DSP" "BRAM" "vs full";
+  let full = ref None in
+  List.iter
+    (fun v ->
+      (* The memref path has no nn-specific switches; skipping fusion on
+         the nn path without dataflow is not meaningful, so the
+         "no dataflow" variant only runs on the C++ path. *)
+      if not (v.v_opts.Driver.enable_dataflow = false && path = `Nn) then begin
+        let _m, f = build () in
+        let rep =
+          match path with
+          | `Nn -> Driver.run_nn ~opts:v.v_opts ~device f
+          | `Memref -> Driver.run_memref ~opts:v.v_opts ~device f
+        in
+        let e = rep.Driver.estimate in
+        if v.v_name = "full HIDA" then full := Some e.Qor.d_throughput;
+        Printf.printf "%-26s %12d %10.2f %8d %8d %9.2fx\n%!" v.v_name
+          e.Qor.d_interval e.Qor.d_throughput e.Qor.d_resource.Resource.dsps
+          e.Qor.d_resource.Resource.bram18
+          (match !full with
+          | Some t when e.Qor.d_throughput > 0. -> t /. e.Qor.d_throughput
+          | _ -> 1.)
+      end)
+    (variants { Driver.default with max_parallel_factor = 64 })
+
+let run () =
+  Util.header "Design-choice ablations (slowdown factor of removing each piece)";
+  run_workload "ResNet-18 on VU9P SLR" Device.vu9p_slr `Nn
+    (fun () -> Models.resnet18 ())
+    ();
+  run_workload "3mm on ZU3EG" Device.zu3eg `Memref
+    (fun () -> Polybench.k_3mm ())
+    ();
+  run_workload "jacobi-2d (two steps) on ZU3EG" Device.zu3eg `Memref
+    (fun () -> Polybench.k_jacobi_2d ~tsteps:2 ())
+    ()

@@ -1,0 +1,122 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     lenet     Tables 1-2 + Figure 1 (Section 2 case study)
+     listing1  Tables 4-6 (running example)
+     table7    Table 7 (C++ kernels)
+     table8    Table 8 (PyTorch models)
+     fig9      Figure 9 (memory vs ScaleHLS)
+     fig10     Figure 10 (parallel factor x tile ablation)
+     fig11     Figure 11 (IA/CA ablation)
+     bechamel  Bechamel timing of the compile pipeline (one Test per table)
+     all       everything above (default)
+
+   Usage: dune exec bench/main.exe [-- experiment ...] [-- full] *)
+
+open Bechamel
+open Toolkit
+
+(* One Bechamel test per table/figure, timing the compilation pipeline
+   that regenerates it (the paper's compile-time columns). *)
+let bechamel_tests () =
+  let open Hida_estimator in
+  let open Hida_core in
+  let open Hida_frontend in
+  let compile_memref name =
+    Staged.stage (fun () ->
+        let _m, f = (Polybench.by_name name).Polybench.e_build () in
+        ignore (Driver.run_memref ~device:Device.zu3eg f))
+  in
+  let compile_nn ?(opts = Driver.default) name =
+    Staged.stage (fun () ->
+        let _m, f = (Models.by_name name).Models.e_build () in
+        ignore (Driver.run_nn ~opts ~device:Device.vu9p_slr f))
+  in
+  Test.make_grouped ~name:"hida" ~fmt:"%s %s"
+    [
+      Test.make ~name:"table2-lenet-compile"
+        (Staged.stage (fun () ->
+             let _m, f = Models.lenet () in
+             ignore (Driver.run_nn ~device:Device.pynq_z2 f)));
+      Test.make ~name:"table4-6-listing1-compile"
+        (Staged.stage (fun () ->
+             let _m, f = Listing1.build () in
+             ignore (Driver.run_memref ~device:Device.zu3eg f)));
+      Test.make ~name:"table7-2mm-compile" (compile_memref "2mm");
+      Test.make ~name:"table7-correlation-compile" (compile_memref "correlation");
+      Test.make ~name:"table8-resnet18-compile" (compile_nn "resnet18");
+      Test.make ~name:"table8-mobilenet-compile" (compile_nn "mobilenet");
+      Test.make ~name:"fig10-resnet18-tile-sweep"
+        (compile_nn
+           ~opts:{ Driver.default with tile_size = 2; max_parallel_factor = 16 }
+           "resnet18");
+      Test.make ~name:"fig11-resnet18-naive"
+        (compile_nn
+           ~opts:
+             {
+               Driver.default with
+               mode = Parallelize.naive;
+               max_parallel_factor = 16;
+             }
+           "resnet18");
+    ]
+
+let run_bechamel () =
+  Util.header "Bechamel: compile-pipeline timing (one test per table/figure)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw_results = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-40s %12.3f ms/run\n" name (est /. 1e6)
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        tbl)
+    results
+
+let experiments =
+  [
+    ("lenet", fun ~quick -> Lenet_study.run ~quick ());
+    ("listing1", fun ~quick -> ignore quick; Listing1_bench.run ());
+    ("table7", fun ~quick -> ignore quick; ignore (Table7.run ()));
+    ("table8", fun ~quick -> ignore quick; ignore (Table8.run ()));
+    ("fig9", fun ~quick -> ignore quick; Figures.fig9 ());
+    ( "fig10",
+      fun ~quick ->
+        if quick then Figures.fig10 ~pfs:[ 1; 16; 256 ] ~tiles:[ 2; 32 ] ()
+        else Figures.fig10 () );
+    ( "fig11",
+      fun ~quick ->
+        if quick then Figures.fig11 ~pfs:[ 1; 16; 64; 256 ] ()
+        else Figures.fig11 () );
+    ("ablation", fun ~quick -> ignore quick; Ablation.run ());
+    ("bechamel", fun ~quick -> ignore quick; run_bechamel ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = not (List.mem "full" args) in
+  let selected =
+    List.filter (fun a -> List.mem_assoc a experiments) args
+  in
+  let selected = if selected = [] then List.map fst experiments else selected in
+  Printf.printf
+    "HIDA benchmark harness — regenerating the paper's tables and figures\n";
+  Printf.printf "(mode: %s; run with 'full' for the complete sweeps)\n"
+    (if quick then "quick" else "full");
+  List.iter
+    (fun name -> (List.assoc name experiments) ~quick)
+    selected;
+  Printf.printf "\nDone. Paper-vs-measured commentary lives in EXPERIMENTS.md.\n"

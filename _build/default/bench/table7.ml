@@ -1,0 +1,95 @@
+(* Table 7: C++ kernel evaluation on the ZU3EG — HIDA vs ScaleHLS vs SOFF
+   (ported constants) vs Vitis HLS. *)
+
+open Hida_ir
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Hida_baselines
+
+(* Paper reference throughputs (samples/s), for shape comparison. *)
+let paper : (string * (float * float option * float option * float)) list =
+  (* kernel, (HIDA, ScaleHLS, SOFF, Vitis) *)
+  [
+    ("2mm", (239.22, Some 122.39, Some 30.67, 1.23));
+    ("3mm", (175.43, Some 92.33, None, 1.04));
+    ("atax", (1021.39, Some 932.26, Some 2173.17, 103.18));
+    ("bicg", (2869.69, Some 2869.61, Some 2295.75, 104.19));
+    ("correlation", (67.33, Some 59.77, Some 3.96, 1.32));
+    ("gesummv", (31685.68, Some 31685.68, Some 3466.70, 266.65));
+    ("jacobi-2d", (257.27, Some 128.63, None, 2.71));
+    ("mvt", (9979.04, Some 4989.02, Some 870.01, 62.13));
+    ("seidel-2d", (0.14, Some 0.14, None, 0.11));
+    ("symm", (2.62, Some 2.62, None, 2.02));
+    ("syr2k", (27.68, Some 27.67, None, 1.44));
+  ]
+
+type row = {
+  name : string;
+  compile_s : float;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  hida : float;
+  scalehls : float;
+  soff : float option;
+  vitis : float;
+}
+
+let run_kernel (e : Polybench.entry) =
+  let build () = e.Polybench.e_build () in
+  let hida = Driver.fit ~device:Device.zu3eg ~path:`Memref build in
+  let sh = Scalehls.run_memref ~device:Device.zu3eg build in
+  let _m, fv = build () in
+  let vitis, _ = Vitis.run ~device:Device.zu3eg fv in
+  {
+    name = e.Polybench.e_name;
+    compile_s = hida.Driver.compile_seconds;
+    luts = hida.Driver.estimate.Qor.d_resource.Resource.luts;
+    ffs = hida.Driver.estimate.Qor.d_resource.Resource.ffs;
+    dsps = hida.Driver.estimate.Qor.d_resource.Resource.dsps;
+    hida = hida.Driver.estimate.Qor.d_throughput;
+    scalehls = sh.Driver.estimate.Qor.d_throughput;
+    soff = Soff.throughput e.Polybench.e_name;
+    vitis = vitis.Qor.d_throughput;
+  }
+
+let run () =
+  Util.header "Table 7: C++ kernels on ZU3EG (throughput in samples/s)";
+  Printf.printf "%-12s %8s %8s %8s %6s %12s %12s %10s %12s\n" "Kernel" "Comp(s)"
+    "LUT" "FF" "DSP" "HIDA" "ScaleHLS" "SOFF" "Vitis";
+  let rows = List.map run_kernel Polybench.all in
+  let ratios_sh = ref [] and ratios_soff = ref [] and ratios_vitis = ref [] in
+  List.iter
+    (fun r ->
+      ratios_sh := (r.hida /. r.scalehls) :: !ratios_sh;
+      (match r.soff with
+      | Some s -> ratios_soff := (r.hida /. s) :: !ratios_soff
+      | None -> ());
+      ratios_vitis := (r.hida /. r.vitis) :: !ratios_vitis;
+      Printf.printf "%-12s %8.2f %8d %8d %6d %12.2f %12s %10s %12s\n" r.name
+        r.compile_s r.luts r.ffs r.dsps r.hida
+        (Printf.sprintf "%.2f (%.2fx)" r.scalehls (r.hida /. r.scalehls))
+        (match r.soff with
+        | Some s -> Printf.sprintf "%.1f" s
+        | None -> "-")
+        (Printf.sprintf "%.2f (%.1fx)" r.vitis (r.hida /. r.vitis)))
+    rows;
+  Printf.printf
+    "\nGeo-mean improvement of HIDA: %.2fx over ScaleHLS, %.2fx over SOFF, %.2fx over Vitis\n"
+    (Util.geomean !ratios_sh) (Util.geomean !ratios_soff)
+    (Util.geomean !ratios_vitis);
+  Printf.printf "Paper geo-means: 1.29x over ScaleHLS, 4.49x over SOFF, 31.08x over Vitis\n";
+  Util.subheader "Shape check vs paper (HIDA/ScaleHLS ratios per kernel)";
+  Printf.printf "%-12s %10s %10s\n" "Kernel" "paper" "measured";
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.name paper with
+      | Some (ph, Some psh, _, _) ->
+          Printf.printf "%-12s %9.2fx %9.2fx\n" r.name (ph /. psh)
+            (r.hida /. r.scalehls)
+      | _ -> ())
+    rows;
+  rows
+
+let rows = lazy (run ())

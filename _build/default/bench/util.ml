@@ -1,0 +1,58 @@
+(* Shared benchmark-harness utilities: table formatting and geometric
+   means, plus paper reference values for side-by-side reporting. *)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int (List.length xs))
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let fmt_opt = function None -> "-" | Some x -> Printf.sprintf "%.2f" x
+
+let ratio a b =
+  match (a, b) with
+  | Some a, Some b when b > 0. -> Some (a /. b)
+  | _ -> None
+
+let fmt_ratio = function None -> "-" | Some r -> Printf.sprintf "(%.2fx)" r
+
+(* A simple ASCII scatter for Figure 1-style plots: points bucketed on a
+   [width] x [height] grid. *)
+let ascii_scatter ~width ~height ~xlabel ~ylabel points =
+  match points with
+  | [] -> ()
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let xmin = List.fold_left min infinity xs
+      and xmax = List.fold_left max neg_infinity xs in
+      let ymin = List.fold_left min infinity ys
+      and ymax = List.fold_left max neg_infinity ys in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let xi =
+            int_of_float
+              (float_of_int (width - 1) *. (x -. xmin) /. max 1e-9 (xmax -. xmin))
+          in
+          let yi =
+            int_of_float
+              (float_of_int (height - 1) *. (y -. ymin) /. max 1e-9 (ymax -. ymin))
+          in
+          let c = grid.(height - 1 - yi).(xi) in
+          grid.(height - 1 - yi).(xi) <-
+            (match c with ' ' -> '.' | '.' -> ':' | ':' -> '*' | _ -> '#'))
+        points;
+      Printf.printf "%s (max %.3g)\n" ylabel ymax;
+      Array.iter
+        (fun row ->
+          print_char '|';
+          Array.iter print_char row;
+          print_newline ())
+        grid;
+      Printf.printf "+%s\n %s (%.3g .. %.3g)\n" (String.make width '-') xlabel
+        xmin xmax

@@ -1,0 +1,168 @@
+(* hida-compile: command-line front door to the compiler.
+
+   Compiles a named workload (a PyTorch-style model from the zoo or a
+   PolyBench C++ kernel) through the full HIDA pipeline, reports the QoR
+   estimate and the cycle-level simulation, and optionally dumps the
+   optimized IR or the emitted HLS C++. *)
+
+open Cmdliner
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+let build_workload name =
+  if List.exists (fun e -> e.Models.e_name = name) Models.all then
+    let e = Models.by_name name in
+    (`Nn, fun () -> e.Models.e_build ())
+  else if List.exists (fun e -> e.Polybench.e_name = name) Polybench.all then
+    let e = Polybench.by_name name in
+    (`Memref, fun () -> e.Polybench.e_build ())
+  else if List.exists (fun e -> e.Polybench_extra.e_name = name) Polybench_extra.all
+  then
+    let e = Polybench_extra.by_name name in
+    (`Memref, fun () -> e.Polybench_extra.e_build ())
+  else if name = "listing1" then (`Memref, fun () -> Listing1.build ())
+  else
+    invalid_arg
+      (Printf.sprintf
+         "unknown workload %s (models: %s; kernels: %s; plus listing1)" name
+         (String.concat ", " (List.map (fun e -> e.Models.e_name) Models.all))
+         (String.concat ", "
+            (List.map (fun e -> e.Polybench.e_name) Polybench.all
+            @ List.map (fun e -> e.Polybench_extra.e_name) Polybench_extra.all)))
+
+let mode_of_string = function
+  | "ia+ca" | "iaca" -> Parallelize.ia_ca
+  | "ia" -> Parallelize.ia_only
+  | "ca" -> Parallelize.ca_only
+  | "naive" -> Parallelize.naive
+  | s -> invalid_arg ("unknown mode " ^ s ^ " (ia+ca | ia | ca | naive)")
+
+let rec run workload device_name pf tile mode_name no_fusion no_balance no_dataflow
+    fit emit_cpp dump_ir simulate =
+  try run_checked workload device_name pf tile mode_name no_fusion no_balance
+      no_dataflow fit emit_cpp dump_ir simulate
+  with Invalid_argument msg ->
+    prerr_endline ("hida-compile: " ^ msg);
+    exit 1
+
+and run_checked workload device_name pf tile mode_name no_fusion no_balance
+    no_dataflow fit emit_cpp dump_ir simulate =
+  let device = Device.by_name device_name in
+  let mode = mode_of_string mode_name in
+  let opts =
+    {
+      Driver.default with
+      mode;
+      max_parallel_factor = pf;
+      tile_size = tile;
+      enable_fusion = not no_fusion;
+      enable_balancing = not no_balance;
+      enable_dataflow = not no_dataflow;
+    }
+  in
+  let path, build = build_workload workload in
+  let report =
+    if fit then Driver.fit ~opts ~device ~path build
+    else
+      let _m, f = build () in
+      match path with
+      | `Nn -> Driver.run_nn ~opts ~device f
+      | `Memref -> Driver.run_memref ~opts ~device f
+  in
+  let e = report.Driver.estimate in
+  Printf.printf "workload        : %s (%s path)\n" workload
+    (match path with `Nn -> "PyTorch" | `Memref -> "C++");
+  Printf.printf "device          : %s\n" device.Device.name;
+  Printf.printf "mode            : %s, max parallel factor %d, tile %d\n"
+    (Parallelize.mode_name mode) pf tile;
+  Printf.printf "compile time    : %.3f s\n" report.Driver.compile_seconds;
+  Printf.printf "latency         : %d cycles\n" e.Qor.d_latency;
+  Printf.printf "interval        : %d cycles\n" e.Qor.d_interval;
+  Printf.printf "throughput      : %.2f samples/s @ %.0f MHz\n" e.Qor.d_throughput
+    device.Device.freq_mhz;
+  Printf.printf "MACs per sample : %d\n" e.Qor.d_macs;
+  Printf.printf "DSP efficiency  : %.1f%%\n" (100. *. e.Qor.d_dsp_efficiency);
+  Printf.printf "resources       : %s (util %.1f%%, %s)\n"
+    (Resource.to_string e.Qor.d_resource)
+    (100. *. Resource.utilization device e.Qor.d_resource)
+    (if Resource.fits device e.Qor.d_resource then "fits" else "DOES NOT FIT");
+  List.iter
+    (fun s ->
+      Printf.printf "  pass %-38s %.4f s\n" s.Pass.pass_name s.Pass.seconds)
+    report.Driver.pass_timing;
+  (if simulate then
+     match Walk.collect report.Driver.design ~pred:Hida_d.is_schedule with
+     | sched :: _ ->
+         let r = Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched in
+         Printf.printf
+           "simulation      : steady interval %.0f cycles, first frame %d cycles\n"
+           r.Hida_hlssim.Sim.r_steady_interval
+           r.Hida_hlssim.Sim.r_first_frame_latency;
+         Printf.printf "pipeline timeline (first 4 frames):\n%s"
+           (Hida_hlssim.Sim.gantt ~frames:4 r)
+     | [] -> Printf.printf "simulation      : (no dataflow schedule)\n");
+  if dump_ir then begin
+    print_endline "---- optimized IR ----";
+    Printer.print_op report.Driver.design
+  end;
+  if emit_cpp then begin
+    print_endline "---- emitted HLS C++ ----";
+    print_string (Hida_emitter.Emit_cpp.emit_func report.Driver.design)
+  end
+
+let workload =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+         ~doc:"Model (lenet, resnet18, ...) or kernel (2mm, atax, ...).")
+
+let device =
+  Arg.(value & opt string "zu3eg" & info [ "device"; "d" ] ~docv:"DEVICE"
+         ~doc:"Target FPGA: pynq-z2, zu3eg or vu9p-slr.")
+
+let pf =
+  Arg.(value & opt int 32 & info [ "parallel-factor"; "p" ] ~docv:"N"
+         ~doc:"Maximum parallel factor for the dataflow parallelization.")
+
+let tile =
+  Arg.(value & opt int 32 & info [ "tile" ] ~docv:"N"
+         ~doc:"External-memory tile size (burst length).")
+
+let mode =
+  Arg.(value & opt string "ia+ca" & info [ "mode"; "m" ] ~docv:"MODE"
+         ~doc:"Parallelization mode: ia+ca, ia, ca or naive.")
+
+let no_fusion =
+  Arg.(value & flag & info [ "no-fusion" ] ~doc:"Disable task fusion (Alg. 2).")
+
+let no_balance =
+  Arg.(value & flag & info [ "no-balance" ] ~doc:"Disable data-path balancing.")
+
+let no_dataflow =
+  Arg.(value & flag & info [ "no-dataflow" ] ~doc:"Sequential (non-dataflow) design.")
+
+let fit =
+  Arg.(value & flag & info [ "fit" ]
+         ~doc:"Search for the largest parallel factor fitting the device.")
+
+let emit_cpp =
+  Arg.(value & flag & info [ "emit-cpp" ] ~doc:"Print the emitted HLS C++.")
+
+let dump_ir =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized IR.")
+
+let simulate =
+  Arg.(value & flag & info [ "simulate"; "s" ]
+         ~doc:"Run the cycle-level dataflow simulator on the result.")
+
+let cmd =
+  let doc = "compile a workload with the HIDA dataflow HLS pipeline" in
+  Cmd.v
+    (Cmd.info "hida-compile" ~doc)
+    Term.(
+      const run $ workload $ device $ pf $ tile $ mode $ no_fusion $ no_balance
+      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ simulate)
+
+let () = exit (Cmd.eval cmd)

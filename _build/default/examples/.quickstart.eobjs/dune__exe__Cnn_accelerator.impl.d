@@ -1,0 +1,1 @@
+examples/cnn_accelerator.ml: Device Driver Filename Hida_core Hida_dialects Hida_emitter Hida_estimator Hida_frontend Hida_interp Hida_ir Nn_builder Parallelize Printf Qor Resource String

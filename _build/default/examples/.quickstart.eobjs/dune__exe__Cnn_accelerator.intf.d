@@ -1,0 +1,1 @@
+examples/cnn_accelerator.mli:

@@ -1,0 +1,1 @@
+examples/design_space.ml: Device Driver Hida_core Hida_estimator Hida_frontend List Models Parallelize Polybench Printf Qor Resource

@@ -1,0 +1,1 @@
+examples/residual_balancing.ml: Device Driver Hida_core Hida_d Hida_dialects Hida_estimator Hida_frontend Hida_interp Hida_ir Ir List Nn_builder Op Printf Qor Walk

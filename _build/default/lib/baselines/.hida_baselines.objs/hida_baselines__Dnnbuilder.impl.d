@@ -1,0 +1,1 @@
+lib/baselines/dnnbuilder.ml: Device Hida_dialects Hida_estimator Hida_ir Ir List Nn Op Qor Typ Value Walk

@@ -1,0 +1,1 @@
+lib/baselines/dnnbuilder.mli: Device Hida_estimator Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/baselines/scalehls.ml: Affine_d Block Device Driver Func_d Hida_core Hida_dialects Hida_estimator Hida_ir Ir List Nn Op Parallelize Value Walk

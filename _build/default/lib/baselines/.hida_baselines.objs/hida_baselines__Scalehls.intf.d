@@ -1,0 +1,1 @@
+lib/baselines/scalehls.mli: Device Driver Hida_core Hida_estimator Hida_ir Ir

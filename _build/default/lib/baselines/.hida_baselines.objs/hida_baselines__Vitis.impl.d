@@ -1,0 +1,1 @@
+lib/baselines/vitis.ml: Driver Hida_core Hida_estimator Hida_ir Ir Lowering Qor Unix

@@ -1,0 +1,1 @@
+lib/baselines/vitis.mli: Device Hida_estimator Hida_ir Ir Qor

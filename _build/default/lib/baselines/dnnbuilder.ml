@@ -1,0 +1,97 @@
+(* DNNBuilder baseline [77]: an RTL-based, hand-designed DNN accelerator
+   generator with per-layer pipelining and a resource-allocation scheme
+   that assigns compute units proportionally to each layer's work.  It
+   only supports plain CNNs: shortcut paths (ResNet), depthwise
+   convolutions (MobileNet) and non-convolutional networks (MLP) are
+   rejected, exactly as in Table 8.
+
+   The analytic model: each layer gets a DSP budget proportional to its
+   MACs (rounded down to whole MAC units); the accelerator's steady-state
+   interval is the slowest layer's MACs divided by its allocation.  This
+   reproduces DNNBuilder's near-ideal but quantization-limited DSP
+   efficiency. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+type result = {
+  throughput : float; (* samples/s *)
+  dsp_used : int;
+  dsp_efficiency : float;
+  lut_used : int;
+}
+
+(* (name, macs, output channels, is_fc) per compute layer. *)
+let layer_macs func =
+  let layers = ref [] in
+  Walk.preorder func ~f:(fun op ->
+      if Nn.is_nn op && Op.name op <> "nn.weight" then begin
+        let m = Nn.macs op in
+        let oc =
+          match Op.results op with
+          | r :: _ -> (
+              match Typ.shape (Value.typ r) with c :: _ -> c | [] -> 1)
+          | [] -> 1
+        in
+        if m > 0 then
+          layers := (Op.name op, m, oc, Op.name op = "nn.linear") :: !layers
+      end);
+  List.rev !layers
+
+let supports func =
+  let has_conv = ref false and ok = ref true in
+  Walk.preorder func ~f:(fun op ->
+      match Op.name op with
+      | "nn.conv2d" -> has_conv := true
+      | "nn.dwconv2d" -> ok := false (* no depthwise support *)
+      | "nn.add" -> ok := false (* no shortcut support *)
+      | _ -> ());
+  !ok && !has_conv
+
+(* Largest divisor of [n] that is <= [x]. *)
+let snap_divisor n x =
+  let x = max 1 (min n x) in
+  let rec go d = if n mod d = 0 then d else go (d - 1) in
+  go x
+
+let run ~(device : Device.t) func =
+  let layers = layer_macs func in
+  let total = List.fold_left (fun acc (_, m, _, _) -> acc + m) 0 layers in
+  (* MAC units available: DNNBuilder's hand-written RTL implements one
+     fixed-point MAC per DSP. *)
+  let mac_units = device.dsps / Qor.dsp_per_mac ~elem:I16 in
+  (* DRAM bandwidth bound for fully-connected layers, whose weights are
+     streamed from external memory (one weight word per MAC). *)
+  let fc_bandwidth = device.axi_width_bits * device.axi_ports / 16 in
+  (* Proportional allocation, snapped to a divisor of the layer's channel
+     parallelism (the PE array maps to output channels). *)
+  let allocs =
+    List.map
+      (fun (_, m, oc, is_fc) ->
+        let ideal = max 1 (mac_units * m / max 1 total) in
+        let snapped = snap_divisor (max 1 oc) ideal in
+        if is_fc then min snapped fc_bandwidth else snapped)
+      layers
+  in
+  let used_units = List.fold_left ( + ) 0 allocs in
+  let interval =
+    List.fold_left2
+      (fun acc (_, m, _, _) a -> max acc ((m + a - 1) / a))
+      1 layers allocs
+  in
+  (* RTL pipelines add a small per-layer control overhead. *)
+  let interval = interval + (List.length layers * 4) in
+  let freq = Device.freq_hz device in
+  let throughput = freq /. float_of_int interval in
+  let dsp_used = used_units * Qor.dsp_per_mac ~elem:I16 in
+  let efficiency =
+    throughput *. float_of_int total /. (float_of_int used_units *. freq)
+  in
+  {
+    throughput;
+    dsp_used;
+    dsp_efficiency = efficiency;
+    lut_used = 40_000 + (List.length layers * 6_000);
+  }

@@ -1,0 +1,24 @@
+(** DNNBuilder baseline [77]: an RTL-based, hand-designed DNN
+    accelerator generator with per-layer pipelines and workload-
+    proportional resource allocation, snapped to channel granularity;
+    fully-connected layers are bounded by the DRAM weight-streaming
+    bandwidth.  Only plain CNNs are supported: shortcut paths, depthwise
+    convolutions and non-convolutional networks are rejected (the
+    capability matrix of Table 8). *)
+
+open Hida_ir
+open Hida_estimator
+
+type result = {
+  throughput : float;  (** samples/s *)
+  dsp_used : int;
+  dsp_efficiency : float;
+  lut_used : int;
+}
+
+val layer_macs : Ir.op -> (string * int * int * bool) list
+(** (op name, MACs, output channels, is fully-connected) per layer. *)
+
+val supports : Ir.op -> bool
+val snap_divisor : int -> int -> int
+val run : device:Device.t -> Ir.op -> result

@@ -1,0 +1,102 @@
+(* ScaleHLS baseline [70]: automatically legalizes computation graphs into
+   dataflow and runs per-kernel DSE, but ignores the inter-task design
+   space coupling (naive parallelization: maximum factor for every node,
+   no connection constraints) and keeps all intermediate results and
+   weights on chip (no external memory access support, Fig. 9).  ZFNet
+   and YOLO are rejected, as in the paper (irregular convolution sizes /
+   high-resolution inputs). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+
+let opts =
+  {
+    Driver.default with
+    mode = Parallelize.naive;
+    enable_balancing = false;
+    enable_fusion = true;
+    weights_onchip = true;
+    pingpong = false;
+  }
+
+(* Capability model, matching the paper's observed failures: ScaleHLS's
+   loop transform pipeline cannot handle irregular convolution sizes
+   (feature-map extents with large prime factors, as in ZFNet) or
+   high-resolution inputs (YOLO's 448x448). *)
+let largest_prime_factor n =
+  let rec go n d best =
+    if d * d > n then max best n
+    else if n mod d = 0 then go (n / d) d (max best d)
+    else go n (d + 1) best
+  in
+  if n <= 1 then 1 else go n 2 1
+
+let supports func =
+  let ok = ref true in
+  let check_shape shape =
+    match shape with
+    | [ _c; h; w ] ->
+        (* Spatial feature maps: irregular extents (large prime factors)
+           defeat the loop transform pipeline; high resolutions exceed
+           its on-chip assumptions. *)
+        List.iter
+          (fun d ->
+            if largest_prime_factor d > 7 then ok := false;
+            if d > 224 then ok := false)
+          [ h; w ]
+    | _ -> ()
+  in
+  Walk.preorder func ~f:(fun op ->
+      if Nn.is_nn op && Op.name op <> "nn.weight" then
+        match Op.results op with
+        | r :: _ -> (
+            match Value.typ r with
+            | Tensor { shape; _ } | Memref { shape; _ } -> check_shape shape
+            | _ -> ())
+        | [] -> ());
+  (match Func_d.entry_block func |> Block.args with
+  | [ arg ] -> (
+      match Value.typ arg with
+      | Memref { shape; _ } -> check_shape shape
+      | _ -> ())
+  | _ -> ());
+  !ok
+
+(* ScaleHLS has no external-memory spilling: its designs can exceed the
+   device's BRAM capacity (utilization > 100%, Fig. 9), so the fit search
+   binds on compute resources only. *)
+let fit_device (d : Device.t) = { d with Device.bram18 = max_int }
+
+(* ScaleHLS's sampling-based DSE has a bounded global budget of design
+   points; on large multi-kernel designs the per-kernel exploration depth
+   shrinks accordingly (the scalability problem studied by
+   AutoScaleDSE [41], which the paper cites as ScaleHLS's limitation). *)
+let dse_budget = 512
+
+let kernel_count func =
+  let n =
+    Walk.count func ~pred:(fun op ->
+        (Nn.is_nn op && Op.name op <> "nn.weight")
+        ||
+        (Affine_d.is_for op
+        &&
+        match Op.parent_op op with
+        | Some p -> not (Affine_d.is_for p)
+        | None -> true))
+  in
+  max 1 n
+
+let pf_cap func = max 4 (dse_budget / kernel_count func)
+
+let run_nn ~device ?batch build =
+  let _m, probe = build () in
+  Driver.fit ~opts ~device:(fit_device device) ?batch
+    ~pf_cap:(pf_cap probe) ~path:`Nn build
+
+let run_memref ~device ?batch build =
+  let _m, probe = build () in
+  Driver.fit ~opts ~device:(fit_device device) ?batch
+    ~pf_cap:(pf_cap probe) ~path:`Memref build

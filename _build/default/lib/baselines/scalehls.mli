@@ -1,0 +1,36 @@
+(** ScaleHLS baseline [70].
+
+    Legalizes computation graphs into dataflow and runs per-kernel DSE,
+    but: parallelization is naive (uniform maximum factor, no connection
+    constraints, stride-blind partitioning); inter-task buffers have no
+    automatic ping-pong stages; everything — including DNN weights —
+    stays on chip (no external-memory tiling, Fig. 9); and the
+    sampling-based DSE has a bounded global budget, so per-kernel depth
+    shrinks on large designs.  ZFNet and YOLO are rejected, as in the
+    paper. *)
+
+open Hida_ir
+open Hida_core
+open Hida_estimator
+
+val opts : Driver.options
+
+val largest_prime_factor : int -> int
+
+val supports : Ir.op -> bool
+(** The paper's capability matrix: irregular spatial extents and
+    high-resolution inputs are rejected. *)
+
+val fit_device : Device.t -> Device.t
+(** ScaleHLS designs may exceed the device's BRAM (utilization > 100%);
+    its fit binds on compute resources only. *)
+
+val dse_budget : int
+val kernel_count : Ir.op -> int
+val pf_cap : Ir.op -> int
+
+val run_nn :
+  device:Device.t -> ?batch:int -> (unit -> Ir.op * Ir.op) -> Driver.report
+
+val run_memref :
+  device:Device.t -> ?batch:int -> (unit -> Ir.op * Ir.op) -> Driver.report

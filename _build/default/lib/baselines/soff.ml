@@ -1,0 +1,13 @@
+(* SOFF baseline [37]: an OpenCL HLS framework.  As in the paper, SOFF's
+   numbers are ported directly from their publication (Table 7 of the
+   HIDA paper) rather than re-run; kernels they did not report are
+   absent. *)
+
+let throughput = function
+  | "2mm" -> Some 30.67
+  | "atax" -> Some 2173.17
+  | "bicg" -> Some 2295.75
+  | "correlation" -> Some 3.96
+  | "gesummv" -> Some 3466.70
+  | "mvt" -> Some 870.01
+  | _ -> None

@@ -1,0 +1,7 @@
+(** SOFF baseline [37]: an OpenCL HLS framework.  As in the paper, its
+    Table 7 numbers are ported directly from the SOFF publication rather
+    than re-run. *)
+
+val throughput : string -> float option
+(** Ported throughput (samples/s) for a kernel name, when SOFF reported
+    it. *)

@@ -1,0 +1,20 @@
+(* Vitis HLS baseline (Table 7's "Vitis" column): what the downstream HLS
+   tool does without HIDA — automatic innermost-loop pipelining, no
+   dataflow, no unrolling, no array partitioning.  Nodes execute
+   sequentially and every buffer keeps a single bank. *)
+
+open Hida_ir
+open Ir
+open Hida_estimator
+open Hida_core
+
+let compile func =
+  let t0 = Unix.gettimeofday () in
+  Lowering.allocs_to_buffers func;
+  Driver.pipeline_innermost func;
+  Unix.gettimeofday () -. t0
+
+let run ~device ?(batch = 1) func =
+  let seconds = compile func in
+  let estimate = Qor.estimate_func device ~batch func in
+  (estimate, seconds)

@@ -1,0 +1,12 @@
+(** Vitis HLS baseline (Table 7's "Vitis" column): the downstream HLS
+    tool without HIDA — automatic innermost-loop pipelining, no
+    dataflow, no unrolling, no array partitioning; nodes execute
+    sequentially. *)
+
+open Hida_ir
+open Hida_estimator
+
+val compile : Ir.op -> float
+(** Apply the Vitis-only treatment in place; returns the compile time. *)
+
+val run : device:Device.t -> ?batch:int -> Ir.op -> Qor.design_est * float

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Array Block Builder Hashtbl Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Multi_producer Op Pass Qor Typ Value Walk

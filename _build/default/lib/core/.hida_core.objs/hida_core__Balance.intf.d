@@ -1,0 +1,1 @@
+lib/core/balance.mli: Hida_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/core/construct.ml: Affine_d Arith Block Builder Func_d Hida_d Hida_dialects Hida_ir Ir List Memref_d Nn Op Pass Region Value Walk

@@ -1,0 +1,1 @@
+lib/core/construct.mli: Hida_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Device Hida_estimator Hida_ir Ir Parallelize Pass Qor

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Array List

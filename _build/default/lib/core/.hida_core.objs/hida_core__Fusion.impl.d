@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Affine_d Block Construct Hashtbl Hida_d Hida_dialects Hida_ir Intensity Ir List Op Pass Region Value Walk

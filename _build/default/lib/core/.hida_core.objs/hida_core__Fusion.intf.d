@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Hida_ir Ir Pass

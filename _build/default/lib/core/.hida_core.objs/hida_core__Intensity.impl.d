@@ -1,0 +1,1 @@
+lib/core/intensity.ml: Affine_d Arith Array Block Format Hashtbl Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Nn Op Printf Qor Region String Value Walk

@@ -1,0 +1,1 @@
+lib/core/intensity.mli: Format Hida_estimator Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Array Block Builder Device Func_d Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Op Pass Printf Typ Value Walk

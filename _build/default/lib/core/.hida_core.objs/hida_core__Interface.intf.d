@@ -1,0 +1,1 @@
+lib/core/interface.mli: Device Hida_estimator Hida_ir Ir Pass

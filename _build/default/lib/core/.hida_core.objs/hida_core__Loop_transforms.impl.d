@@ -1,0 +1,1 @@
+lib/core/loop_transforms.ml: Affine_d Array Block Hida_dialects Hida_ir Intensity Ir List Op Pass Value Walk

@@ -1,0 +1,1 @@
+lib/core/loop_transforms.mli: Hida_ir Ir Pass

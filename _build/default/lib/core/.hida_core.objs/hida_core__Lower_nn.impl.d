@@ -1,0 +1,1 @@
+lib/core/lower_nn.ml: Affine Affine_d Arith Hida_d Hida_dialects Hida_ir Ir List Op Typ Value

@@ -1,0 +1,1 @@
+lib/core/lower_nn.mli: Builder Hida_ir Ir

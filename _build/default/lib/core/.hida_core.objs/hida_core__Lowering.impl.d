@@ -1,0 +1,1 @@
+lib/core/lowering.ml: Affine_d Arith Array Block Builder Func_d Hashtbl Hida_d Hida_dialects Hida_ir Ir List Lower_nn Memref_d Nn Op Pass Printf Region Typ Value Walk

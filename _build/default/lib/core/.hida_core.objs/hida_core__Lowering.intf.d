@@ -1,0 +1,1 @@
+lib/core/lowering.mli: Hida_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/core/multi_producer.ml: Affine_d Array Block Builder Hida_d Hida_dialects Hida_ir Ir List Op Pass Value Walk

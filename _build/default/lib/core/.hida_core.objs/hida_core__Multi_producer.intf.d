@@ -1,0 +1,1 @@
+lib/core/multi_producer.mli: Hida_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/core/parallelize.ml: Affine_d Array Block Dse Float Func_d Hashtbl Hida_d Hida_dialects Hida_estimator Hida_ir Intensity Ir List Op Pass Walk

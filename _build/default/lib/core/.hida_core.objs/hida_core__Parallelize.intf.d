@@ -1,0 +1,1 @@
+lib/core/parallelize.mli: Dse Hashtbl Hida_ir Intensity Ir Pass

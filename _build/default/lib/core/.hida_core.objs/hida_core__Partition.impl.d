@@ -1,0 +1,1 @@
+lib/core/partition.ml: Affine_d Array Block Hashtbl Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Op Pass Qor Value Walk

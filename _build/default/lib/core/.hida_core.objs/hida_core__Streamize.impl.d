@@ -1,0 +1,1 @@
+lib/core/streamize.ml: Affine_d Array Block Builder Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Multi_producer Op Option Pass Qor Typ Value Walk

@@ -1,0 +1,1 @@
+lib/core/streamize.mli: Hida_ir Ir Pass

@@ -1,0 +1,151 @@
+(* Data-path balancing (§6.4.2, Fig. 8).
+
+   When a fork-join structure has paths of different lengths, the buffer
+   crossing the longer span must hold as many in-flight frames as the
+   stage difference ("slack"), or the producer stalls.  Two remedies:
+
+   - *on-chip buffer duplication*: insert explicit copy nodes (each with a
+     duplicated buffer) along the short path, adding pipeline stages
+     (Fig. 8(b));
+   - *soft FIFO in external memory*: re-place the buffer in external
+     memory with rotated addressing (modeled by placement = external and
+     depth = slack + 1) and maintain execution order with an elastic token
+     flow between producer and consumers (Fig. 8(c)). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+(* Bits of one stage of the buffer backing a schedule block arg. *)
+let buffer_bits outer =
+  match Value.typ outer with
+  | Memref { shape; elem } ->
+      List.fold_left ( * ) 1 shape * Typ.bit_width elem
+  | _ -> 0
+
+let schedule_operand_of_arg sched arg =
+  let blk = Hida_d.node_block sched in
+  let rec go i = function
+    | [] -> None
+    | a :: _ when Value.equal a arg -> Some (Op.operand sched i)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (Block.args blk)
+
+(* Rewire only node [v]'s occurrences of [arg] to [arg']. *)
+let rewire_consumer v ~arg ~arg' =
+  Array.iteri
+    (fun i x -> if Value.equal x arg then Op.set_operand v i arg')
+    v.o_operands
+
+(* Method (1): insert [count] copy stages between the producer's buffer
+   and the consumer [v]. *)
+let insert_copy_stages sched ~outer ~arg ~consumer ~count =
+  let current = ref arg in
+  for _ = 1 to count do
+    let arg' = Multi_producer.duplicate_buffer sched outer in
+    ignore (Multi_producer.insert_copy_node sched ~src:!current ~dst:arg' ~anchor:consumer);
+    current := arg'
+  done;
+  rewire_consumer consumer ~arg ~arg':!current
+
+(* Method (2): soft FIFO + token flow.  One token stream per consumer
+   (Fig. 8(c)'s Token and Token'). *)
+let soften_buffer sched ~outer ~arg ~producer ~slack =
+  (match Value.defining_op outer with
+  | Some def when Hida_d.is_buffer def ->
+      Hida_d.set_buffer_placement def External;
+      Hida_d.set_buffer_depth def (slack + 1)
+  | _ -> ());
+  let consumers =
+    List.filter
+      (fun n ->
+        (not (Op.equal n producer))
+        && List.exists
+             (fun (i, v) ->
+               Value.equal v arg && Hida_d.operand_effect n i = `Read_only)
+             (List.mapi (fun i v -> (i, v)) (Op.operands n)))
+      (List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)))
+  in
+  match Op.parent sched with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun consumer ->
+          let bld = Builder.create () in
+          Builder.set_before bld sched;
+          let token = Hida_d.token_stream ~depth:(slack + 2) bld in
+          let sched_tok = Hida_d.add_operand ~effect:`Read_write sched token in
+          let prod_tok = Hida_d.add_operand ~effect:`Read_write producer sched_tok in
+          let cons_tok = Hida_d.add_operand ~effect:`Read_only consumer sched_tok in
+          (* Producer pushes at the end of its body (before the yield). *)
+          let pblk = Hida_d.node_block producer in
+          let push = Op.create ~operands:[ prod_tok ] ~results:[] "hida.token_push" in
+          (match List.find_opt Hida_d.is_yield (Block.ops pblk) with
+          | Some y -> Block.insert_before pblk ~anchor:y push
+          | None -> Block.append pblk push);
+          (* Consumer pops first. *)
+          let cblk = Hida_d.node_block consumer in
+          let pop = Op.create ~operands:[ cons_tok ] ~results:[] "hida.token_pop" in
+          Block.prepend cblk pop)
+        consumers
+
+(* One balancing step: find the worst-slack edge and fix it.  Returns true
+   when a fix was applied. *)
+let balance_step ?(onchip_bits_threshold = 32 * 18_432) sched =
+  let nodes, edges = Qor.schedule_edges sched in
+  let levels = Qor.stage_levels nodes edges in
+  let depth_of arg =
+    match schedule_operand_of_arg sched arg with
+    | Some outer -> (
+        match Value.defining_op outer with
+        | Some def when Hida_d.is_buffer def -> Hida_d.buffer_depth def
+        | Some def when Hida_d.is_port def -> max_int
+        | Some def when Hida_d.is_stream def -> (
+            match Value.typ (Op.result def 0) with
+            | Stream { depth; _ } -> depth
+            | _ -> 2)
+        | _ -> 2)
+    | None -> 2
+  in
+  let with_slack =
+    List.filter_map
+      (fun (u, v, buf) ->
+        let slack = Hashtbl.find levels v.o_id - Hashtbl.find levels u.o_id in
+        if slack > 1 && depth_of buf < slack + 1 then Some (slack, u, v, buf)
+        else None)
+      edges
+  in
+  match List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a) with_slack with
+  | [] -> false
+  | (slack, u, v, arg) :: _ -> (
+      match schedule_operand_of_arg sched arg with
+      | Some outer
+        when (match Value.defining_op outer with
+             | Some def -> Hida_d.is_buffer def && Hida_d.buffer_placement def = On_chip
+             | None -> false)
+             && buffer_bits outer * slack <= onchip_bits_threshold ->
+          insert_copy_stages sched ~outer ~arg ~consumer:v ~count:(slack - 1);
+          true
+      | Some outer ->
+          soften_buffer sched ~outer ~arg ~producer:u ~slack;
+          true
+      | None ->
+          (* The edge value is not a schedule operand (should not happen
+             after lowering); treat as external and add tokens only. *)
+          soften_buffer sched ~outer:arg ~arg ~producer:u ~slack;
+          true)
+
+let run_on_schedule ?onchip_bits_threshold sched =
+  let fuel = ref 64 in
+  while !fuel > 0 && balance_step ?onchip_bits_threshold sched do
+    decr fuel
+  done
+
+let run ?onchip_bits_threshold root =
+  let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
+  List.iter (run_on_schedule ?onchip_bits_threshold) schedules
+
+let pass ?onchip_bits_threshold () =
+  Pass.make ~name:"data-path-balancing" (run ?onchip_bits_threshold)

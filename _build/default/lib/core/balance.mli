@@ -1,0 +1,26 @@
+(** Data-path balancing (§6.4.2, Fig. 8).
+
+    A buffer crossing [slack] pipeline stages of a fork-join needs
+    [slack + 1] in-flight frames or the producer stalls.  Two remedies:
+    {e on-chip buffer duplication} — explicit copy nodes along the short
+    path add pipeline stages (Fig. 8(b)); {e soft FIFO} — the buffer
+    moves to external memory with rotated addressing, and elastic token
+    flows (one per consumer) maintain execution order (Fig. 8(c)). *)
+
+open Hida_ir
+
+val buffer_bits : Ir.value -> int
+
+val insert_copy_stages :
+  Ir.op -> outer:Ir.value -> arg:Ir.value -> consumer:Ir.op -> count:int -> unit
+
+val soften_buffer :
+  Ir.op -> outer:Ir.value -> arg:Ir.value -> producer:Ir.op -> slack:int -> unit
+
+val balance_step : ?onchip_bits_threshold:int -> Ir.op -> bool
+(** Fix the worst-slack unsatisfied edge; returns true when something
+    changed. *)
+
+val run_on_schedule : ?onchip_bits_threshold:int -> Ir.op -> unit
+val run : ?onchip_bits_threshold:int -> Ir.op -> unit
+val pass : ?onchip_bits_threshold:int -> unit -> Pass.t

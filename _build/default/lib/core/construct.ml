@@ -1,0 +1,131 @@
+(* Functional dataflow construction (Algorithm 1 of the paper).
+
+   A region is "dispatchable" when it is owned by an iterative operation
+   (func or loop) and contains at least two iterative operations (loop
+   nests, nn ops or nested dispatches).  Dispatchable regions are wrapped
+   with a dispatch op bottom-up; each payload op inside a dispatch is then
+   wrapped with its own task. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+(* Wrap a contiguous group of ops (in block order) into a fresh [kind] op
+   (`Task or `Dispatch).  Results of group members used outside the group
+   become results of the wrapper, connected through a hida.yield.
+   Returns the wrapper op. *)
+let wrap_ops ~kind group =
+  match group with
+  | [] -> invalid_arg "Construct.wrap_ops: empty group"
+  | first :: _ ->
+      let blk =
+        match Op.parent first with
+        | Some b -> b
+        | None -> invalid_arg "Construct.wrap_ops: op has no parent"
+      in
+      let in_group o = List.exists (fun g -> Op.equal g o) group in
+      (* A use is external when the using op is not in the group nor nested
+         in a group member. *)
+      let use_is_external (u : use) =
+        not (in_group u.u_op)
+        && not
+             (List.exists
+                (fun g -> Op.is_ancestor ~ancestor:g u.u_op)
+                group)
+      in
+      let escaping =
+        List.concat_map
+          (fun op ->
+            List.filter
+              (fun r -> List.exists use_is_external (Value.uses r))
+              (Op.results op))
+          group
+      in
+      let result_types = List.map Value.typ escaping in
+      let wrapper =
+        match kind with
+        | `Task -> Hida_d.task ~results:result_types ()
+        | `Dispatch -> Hida_d.dispatch ~results:result_types ()
+      in
+      Block.insert_before blk ~anchor:first wrapper;
+      let body = Hida_d.body wrapper in
+      List.iter
+        (fun op ->
+          Block.remove blk op;
+          Block.append body op)
+        group;
+      (* Terminator. *)
+      let bld = Builder.at_end body in
+      Hida_d.yield bld escaping;
+      (* Rewire external uses to the wrapper's results. *)
+      List.iteri
+        (fun i v ->
+          let res = Op.result wrapper i in
+          let external_uses = List.filter use_is_external (Value.uses v) in
+          List.iter
+            (fun (u : use) ->
+              (* The yield we just created is inside the group's wrapper;
+                 keep it using the original value. *)
+              if not (Op.is_ancestor ~ancestor:wrapper u.u_op) then
+                Op.set_operand u.u_op u.u_index res)
+            external_uses)
+        escaping;
+      wrapper
+
+(* Ops that live in the shared global context and are not dispatched as
+   tasks: allocations, constants, weights and ports. *)
+let is_context_op op =
+  Memref_d.is_alloc op || Arith.is_constant op || Hida_d.is_buffer op
+  || Hida_d.is_port op || Op.name op = "nn.weight"
+
+(* Is [op] an "iterative operation" in the sense of Algorithm 1? *)
+let is_iterative op =
+  (not (is_context_op op))
+  && (Affine_d.is_for op || Nn.is_nn op || Hida_d.is_dispatch op
+     || Hida_d.is_task op)
+
+let is_dispatchable_block blk =
+  let iterative = List.filter is_iterative (Block.ops blk) in
+  List.length iterative >= 2
+
+(* Algorithm 1: post-order walk; wrap each dispatchable region. *)
+let run (m : op) =
+  let worklist = ref [] in
+  Walk.postorder m ~f:(fun op ->
+      if Func_d.is_func op || Affine_d.is_for op then
+        List.iter
+          (fun g ->
+            List.iter
+              (fun blk -> if is_dispatchable_block blk then worklist := blk :: !worklist)
+              (Region.blocks g))
+          (Op.regions op));
+  List.iter
+    (fun blk ->
+      (* Wrap all payload ops of the block into one dispatch, then each
+         payload op into its own task.  Context ops (allocs, constants,
+         weights, ports) and terminators stay in the global context so the
+         transparent tasks can reference them (§5.1). *)
+      (* Hoist context ops (allocs, constants, weights, ports) to the
+         front of the block so the dispatch wrapper dominates nothing it
+         uses; context ops have no operands so the move is always legal. *)
+      let context, _rest = List.partition is_context_op (Block.ops blk) in
+      List.iter (fun op -> Block.remove blk op) context;
+      List.iter (fun op -> Block.prepend blk op) (List.rev context);
+      let payload =
+        List.filter
+          (fun op ->
+            is_iterative op && (not (Hida_d.is_dispatch op)))
+          (Block.ops blk)
+      in
+      match payload with
+      | [] | [ _ ] -> ()
+      | _ ->
+          let d = wrap_ops ~kind:`Dispatch payload in
+          let tasks = Hida_d.body_ops d in
+          List.iter
+            (fun op ->
+              if is_iterative op then ignore (wrap_ops ~kind:`Task [ op ]))
+            tasks)
+    !worklist
+
+let pass = Pass.make ~name:"functional-dataflow-construction" run

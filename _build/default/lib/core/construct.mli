@@ -1,0 +1,30 @@
+(** Functional dataflow construction (Algorithm 1 of the paper).
+
+    A region is {e dispatchable} when it is owned by an iterative
+    operation (function or loop) and contains at least two iterative
+    operations.  Dispatchable regions are wrapped with a [hida.dispatch]
+    bottom-up, and each payload operation inside becomes its own
+    [hida.task].  Context operations (allocations, constants, weights,
+    ports) stay in the shared context so the transparent tasks can
+    reference them (§5.1). *)
+
+open Hida_ir
+
+val wrap_ops : kind:[ `Dispatch | `Task ] -> Ir.op list -> Ir.op
+(** Wrap a group of ops (in block order) into a fresh dispatch or task.
+    Results of group members used outside the group become results of
+    the wrapper, threaded through a [hida.yield]; external uses are
+    rewired.  Returns the wrapper. *)
+
+val is_iterative : Ir.op -> bool
+(** An "iterative operation" in the sense of Algorithm 1. *)
+
+val is_context_op : Ir.op -> bool
+(** Ops that live in the shared global context rather than in tasks. *)
+
+val is_dispatchable_block : Ir.block -> bool
+
+val run : Ir.op -> unit
+(** Algorithm 1 over a module or function. *)
+
+val pass : Pass.t

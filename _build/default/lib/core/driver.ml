@@ -1,0 +1,268 @@
+(* End-to-end compilation driver: runs the HIDA-OPT pipeline over a
+   function produced by either front-end and returns the optimized design
+   plus its QoR report.  Every optimization has a switch so the benches
+   can reproduce the paper's baselines and ablations. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+type options = {
+  mode : Parallelize.mode;
+  max_parallel_factor : int;
+  tile_size : int; (* external-memory tile / burst parameter (Fig. 10) *)
+  enable_fusion : bool;
+  enable_balancing : bool;
+  enable_multi_producer : bool;
+  enable_dataflow : bool; (* false = sequential (non-dataflow) design *)
+  enable_streaming : bool; (* convert FIFO-compatible buffers to streams *)
+  weights_onchip : bool; (* keep DNN weights on chip (ScaleHLS, Fig. 9) *)
+  conv_boundary : [ `Guarded | `Padded ];
+  (* convolution boundary handling: padded line buffers or affine.if
+     guards (see Lower_nn) *)
+  pingpong : bool; (* HIDA buffers carry ping-pong semantics (§5.2);
+                      baselines without it use single-stage buffers *)
+  verify_each : bool;
+}
+
+let default =
+  {
+    mode = Parallelize.ia_ca;
+    max_parallel_factor = 32;
+    tile_size = 32;
+    enable_fusion = true;
+    enable_balancing = true;
+    enable_multi_producer = true;
+    enable_dataflow = true;
+    enable_streaming = true;
+    weights_onchip = false;
+    conv_boundary = `Padded;
+    pingpong = true;
+    verify_each = false;
+  }
+
+(* Strip the automatic ping-pong stages HIDA buffers carry: every
+   multi-stage on-chip buffer becomes single-stage (the inter-task buffer
+   model of dataflow legalizers without §5.2's buffer semantics). *)
+let strip_pingpong func =
+  Walk.preorder func ~f:(fun op ->
+      if Hida_d.is_buffer op && Hida_d.buffer_placement op = Hida_d.On_chip
+      then Hida_d.set_buffer_depth op 1)
+
+(* Tag nodes that touch external memory with the tile-size directive and
+   materialize the corresponding on-chip tile buffers (one per external
+   access), which the memory model charges as BRAM. *)
+let apply_tiling ~tile_size func =
+  let is_external v =
+    match Value.defining_op v with
+    | Some op when Hida_d.is_port op -> true
+    | Some op when Hida_d.is_buffer op ->
+        Hida_d.buffer_placement op = Hida_d.External
+    | Some _ -> false
+    | None -> true (* function arguments live in external memory *)
+  in
+  Walk.preorder func ~f:(fun op ->
+      if Hida_d.is_schedule op then begin
+        let operands = Op.operands op in
+        let blk = Hida_d.node_block op in
+        List.iter
+          (fun n ->
+            if Hida_d.is_node n then begin
+              let touches_external =
+                List.exists
+                  (fun v ->
+                    (* Trace node operand -> schedule arg -> outer. *)
+                    let outer =
+                      let rec find i = function
+                        | [] -> v
+                        | a :: rest ->
+                            if Value.equal a v then List.nth operands i
+                            else find (i + 1) rest
+                      in
+                      find 0 (Block.args blk)
+                    in
+                    is_external outer)
+                  (Op.operands n)
+              in
+              if touches_external then begin
+                Op.set_attr n "tile_size" (A_int tile_size);
+                (* On-chip tile cache: one [tile x tile] bank per parallel
+                   lane so the unrolled datapath can read concurrently —
+                   this is what makes memory grow with both the parallel
+                   factor and the tile size (Fig. 10). *)
+                let lanes =
+                  (* Widest datapath among the node's loop nests. *)
+                  List.fold_left
+                    (fun acc nest ->
+                      max acc (Hida_estimator.Qor.unroll_product nest))
+                    1
+                    (Affine_d.outermost_loops n)
+                  / 2
+                  |> max 1
+                in
+                let elem =
+                  match Op.operands n with
+                  | v :: _ -> (
+                      match Value.typ v with
+                      | Memref { elem; _ } -> elem
+                      | _ -> F32)
+                  | [] -> F32
+                in
+                let nblk = Hida_d.node_block n in
+                let bld = Builder.create () in
+                (match Block.ops nblk with
+                | first :: _ -> Builder.set_before bld first
+                | [] -> Builder.set_at_end bld nblk);
+                let tile =
+                  Hida_d.buffer ~name:"tile" ~depth:2 bld
+                    ~shape:[ lanes; tile_size; tile_size ]
+                    ~elem
+                in
+                match Value.defining_op tile with
+                | Some t ->
+                    Hida_d.set_partition t
+                      ~kinds:[ Hida_d.P_cyclic; Hida_d.P_none; Hida_d.P_none ]
+                      ~factors:[ lanes; 1; 1 ]
+                | None -> ()
+              end
+            end)
+          (Block.ops blk)
+      end)
+
+(* Pipeline directives: every innermost loop is pipelined (both HIDA and
+   the baselines do this; Vitis applies it automatically). *)
+let pipeline_innermost func =
+  List.iter
+    (fun l -> Affine_d.set_pipeline l ())
+    (Affine_d.innermost_loops func)
+
+type report = {
+  design : op; (* the optimized function *)
+  estimate : Qor.design_est;
+  compile_seconds : float;
+  pass_timing : Pass.stats list;
+}
+
+let make_manager opts =
+  Pass.manager ~verify_each:opts.verify_each ()
+
+(* ---- PyTorch (tensor) path ---- *)
+
+let compile_nn ?(opts = default) func =
+  let t0 = Unix.gettimeofday () in
+  let mgr = make_manager opts in
+  Pass.add mgr Canonicalize.pass;
+  Pass.add mgr Construct.pass;
+  if opts.enable_fusion then Pass.add mgr (Fusion.pass ());
+  Pass.add mgr
+    (Lowering.nn_pass ~weights_onchip:opts.weights_onchip
+       ~boundary:opts.conv_boundary ());
+  if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
+  if opts.enable_balancing then Pass.add mgr (Balance.pass ());
+  Pass.add mgr (Parallelize.pass ~mode:opts.mode ~max_parallel_factor:opts.max_parallel_factor ());
+  Pass.add mgr (Partition.pass ~ca:opts.mode.Parallelize.ca ());
+  if opts.enable_streaming then Pass.add mgr (Streamize.pass ());
+  Pass.add mgr
+    (Pass.make ~name:"tiling-and-pipeline" (fun f ->
+         apply_tiling ~tile_size:opts.tile_size f;
+         pipeline_innermost f;
+         if not opts.pingpong then strip_pingpong f;
+         (* Without external-memory tiling the streamed-window memory
+            discount does not apply: everything stays fully resident. *)
+         if opts.weights_onchip then
+           Walk.preorder f ~f:(fun op ->
+               if Hida_d.is_buffer op then Op.remove_attr op "resident_rows")));
+  Pass.run mgr func;
+  (t0, mgr)
+
+(* ---- C++ (memref) path ---- *)
+
+let compile_memref ?(opts = default) func =
+  let t0 = Unix.gettimeofday () in
+  let mgr = make_manager opts in
+  if opts.enable_dataflow then begin
+    Pass.add mgr Canonicalize.pass;
+    Pass.add mgr Construct.pass;
+    if opts.enable_fusion then Pass.add mgr (Fusion.pass ());
+    Pass.add mgr (Pass.make ~name:"lowering" Lowering.lower_memref_func);
+    if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
+    if opts.enable_balancing then Pass.add mgr (Balance.pass ());
+    Pass.add mgr
+      (Parallelize.pass ~mode:opts.mode ~max_parallel_factor:opts.max_parallel_factor ());
+    Pass.add mgr (Partition.pass ~ca:opts.mode.Parallelize.ca ());
+    if opts.enable_streaming then Pass.add mgr (Streamize.pass ())
+  end
+  else begin
+    (* Non-dataflow: only lower allocs and parallelize loop nests in
+       place. *)
+    Pass.add mgr (Pass.make ~name:"allocs-to-buffers" Lowering.allocs_to_buffers)
+  end;
+  Pass.add mgr
+    (Pass.make ~name:"tiling-and-pipeline" (fun f ->
+         apply_tiling ~tile_size:opts.tile_size f;
+         pipeline_innermost f;
+         if not opts.pingpong then strip_pingpong f));
+  Pass.run mgr func;
+  (t0, mgr)
+
+let finish ~device ?(batch = 1) (t0, mgr) func =
+  (* Interface planning needs the target device's AXI port count, which
+     only becomes known here. *)
+  ignore (Interface.run ~device func);
+  let compile_seconds = Unix.gettimeofday () -. t0 in
+  let estimate = Qor.estimate_func device ~batch func in
+  { design = func; estimate; compile_seconds; pass_timing = Pass.timing mgr }
+
+(* Convenience wrappers. *)
+let run_nn ?opts ~device ?batch func =
+  let state = compile_nn ?opts func in
+  finish ~device ?batch state func
+
+let run_memref ?opts ~device ?batch func =
+  let state = compile_memref ?opts func in
+  finish ~device ?batch state func
+
+(* Maximum-parallel-factor search under resource constraints (step (3) of
+   §6.5.1 at the whole-design level): try decreasing parallel factors on
+   freshly built IR until the estimated design fits the device. *)
+let pf_candidates = [ 256; 128; 64; 32; 16; 8; 4; 2; 1 ]
+
+let fit ?(opts = default) ?(batch = 1) ?pf_cap ~device ~path build =
+  let attempt pf =
+    let _m, func = build () in
+    let opts = { opts with max_parallel_factor = pf } in
+    match path with
+    | `Nn -> run_nn ~opts ~device ~batch func
+    | `Memref -> run_memref ~opts ~device ~batch func
+  in
+  let rec largest = function
+    | [] -> (1, attempt 1)
+    | pf :: rest ->
+        let r = attempt pf in
+        if Resource.fits device r.estimate.Qor.d_resource then (pf, r)
+        else largest rest
+  in
+  let candidates =
+    match pf_cap with
+    | Some cap -> List.filter (fun pf -> pf <= cap) pf_candidates
+    | None -> pf_candidates
+  in
+  let pf0, best = largest candidates in
+  (* Efficiency descent: keep shrinking the parallel factor while the
+     throughput stays within 2% of the best found — resources saved on
+     bandwidth- or critical-node-bound designs raise the DSP efficiency
+     without losing performance (§6.5's "maximum efficiency"). *)
+  let rec descend pf best =
+    let pf' = pf / 2 in
+    if pf' < 1 then best
+    else
+      let r = attempt pf' in
+      if
+        Resource.fits device r.estimate.Qor.d_resource
+        && r.estimate.Qor.d_throughput
+           >= 0.98 *. best.estimate.Qor.d_throughput
+      then descend pf' r
+      else best
+  in
+  descend pf0 best

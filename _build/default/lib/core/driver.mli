@@ -1,0 +1,73 @@
+(** End-to-end compilation driver.
+
+    Runs the HIDA-OPT pipeline over a function from either front-end and
+    returns the optimized design together with its QoR estimate.  Every
+    optimization has a switch so the benchmarks can reproduce the
+    paper's baselines and ablations. *)
+
+open Hida_ir
+open Hida_estimator
+
+type options = {
+  mode : Parallelize.mode;
+  max_parallel_factor : int;
+  tile_size : int;  (** external-memory tile / burst parameter (Fig. 10) *)
+  enable_fusion : bool;
+  enable_balancing : bool;
+  enable_multi_producer : bool;
+  enable_dataflow : bool;  (** false = sequential design *)
+  enable_streaming : bool;
+      (** convert FIFO-compatible inter-node buffers to [hida.stream]
+          channels (Fig. 3) *)
+  weights_onchip : bool;  (** ScaleHLS-style all-on-chip layout (Fig. 9) *)
+  conv_boundary : [ `Guarded | `Padded ];
+      (** convolution boundary handling (see {!Lower_nn}) *)
+  pingpong : bool;
+      (** HIDA buffers carry automatic ping-pong semantics (§5.2);
+          baselines without it get single-stage buffers *)
+  verify_each : bool;
+}
+
+val default : options
+
+val strip_pingpong : Ir.op -> unit
+val apply_tiling : tile_size:int -> Ir.op -> unit
+(** Tag external-memory nodes with the tile directive and materialize
+    the per-lane on-chip tile caches. *)
+
+val pipeline_innermost : Ir.op -> unit
+
+type report = {
+  design : Ir.op;  (** the optimized function *)
+  estimate : Qor.design_est;
+  compile_seconds : float;
+  pass_timing : Pass.stats list;
+}
+
+val make_manager : options -> Pass.manager
+
+val compile_nn : ?opts:options -> Ir.op -> float * Pass.manager
+(** PyTorch path; returns the start time and manager for {!finish}. *)
+
+val compile_memref : ?opts:options -> Ir.op -> float * Pass.manager
+
+val finish :
+  device:Device.t -> ?batch:int -> float * Pass.manager -> Ir.op -> report
+
+val run_nn : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report
+val run_memref : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report
+
+val pf_candidates : int list
+
+val fit :
+  ?opts:options ->
+  ?batch:int ->
+  ?pf_cap:int ->
+  device:Device.t ->
+  path:[ `Memref | `Nn ] ->
+  (unit -> Ir.op * Ir.op) ->
+  report
+(** Maximum-parallel-factor search under the device's resources, with an
+    efficiency descent: shrink the factor while throughput holds (§6.5's
+    "maximum efficiency").  [build] must return a fresh (module,
+    function) pair on each call. *)

@@ -1,0 +1,197 @@
+(* Intra-node design-space exploration engine (lines 10-23 of Algorithm 4).
+
+   The engine searches unroll-factor tuples for a node's loop spine under
+   two validity constraints from the paper:
+   - every factor must be mutually divisible with the corresponding
+     constraint derived from already-parallelized connected nodes;
+   - the factor product must not exceed the node's parallel factor.
+
+   The paper's engine proposes factors stochastically and evolves on QoR
+   feedback until convergence; because every workload in the evaluation
+   has modest divisor lattices, we enumerate the lattice exhaustively with
+   pruning and select the optimum directly — a deterministic strengthening
+   of the same search (documented in DESIGN.md).  The selection objective,
+   in lexicographic order:
+     1. maximize the factor product (throughput);
+     2. minimize unrolling of reduction loops (they serialize through the
+        accumulation dependence and are only used as spill capacity);
+     3. minimize the QoR cost callback (bank count / resource estimate);
+     4. prefer even splits (minimize the variance of log factors);
+     5. prefer larger factors on inner loops. *)
+
+type dim = { trip : int; reduction : bool; serial : bool }
+
+type stats = { mutable proposed : int; mutable valid : int }
+
+let divisors n =
+  if n <= 0 then [ 1 ]
+  else begin
+    let rec go d acc =
+      if d > n then List.sort compare acc
+      else if n mod d = 0 then go (d + 1) (d :: acc)
+      else go (d + 1) acc
+    in
+    go 1 []
+  end
+
+let mutually_divisible a b = a mod b = 0 || b mod a = 0
+
+let product = Array.fold_left ( * ) 1
+
+(* Validity per Algorithm 4 lines 13-18. *)
+let is_valid ~constraints ~parallel_factor factors =
+  product factors <= parallel_factor
+  && List.for_all
+       (fun (constr : int option array) ->
+         let ok = ref true in
+         Array.iteri
+           (fun i uf ->
+             if i < Array.length constr then
+               match constr.(i) with
+               | Some c when c > 0 -> if not (mutually_divisible c uf) then ok := false
+               | _ -> ())
+           factors;
+         !ok)
+       constraints
+
+let evenness factors =
+  Array.fold_left
+    (fun acc f ->
+      let l = log (float_of_int (max 1 f)) in
+      acc +. (l *. l))
+    0. factors
+
+let reduction_use ~dims factors =
+  let p = ref 1 in
+  Array.iteri (fun i f -> if dims.(i).reduction then p := !p * f) factors;
+  !p
+
+(* Compare candidates; [a] better than [b] -> negative. *)
+let compare_candidates ~dims ~cost a b =
+  let c = compare (product b) (product a) in
+  if c <> 0 then c
+  else
+    let c = compare (reduction_use ~dims a) (reduction_use ~dims b) in
+    if c <> 0 then c
+    else
+      let c = compare (cost a) (cost b) in
+      if c <> 0 then c
+      else
+        let c = compare (evenness a) (evenness b) in
+        if c <> 0 then c
+        else
+          (* Larger factors on inner (later) loops win. *)
+          let ra = Array.to_list a |> List.rev
+          and rb = Array.to_list b |> List.rev in
+          compare rb ra
+
+let search ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
+    ~parallel_factor () =
+  let n = Array.length dims in
+  if n = 0 then [||]
+  else begin
+    let cand_divisors =
+      Array.map
+        (fun d ->
+          (* Serial (loop-carried) dimensions cannot be unrolled. *)
+          if d.serial then [ 1 ]
+          else List.filter (fun f -> f <= parallel_factor) (divisors d.trip))
+        dims
+    in
+    let best = ref None in
+    let current = Array.make n 1 in
+    let consider () =
+      (match stats with Some s -> s.proposed <- s.proposed + 1 | None -> ());
+      if is_valid ~constraints ~parallel_factor current then begin
+        (match stats with Some s -> s.valid <- s.valid + 1 | None -> ());
+        let c = Array.copy current in
+        match !best with
+        | None -> best := Some c
+        | Some b -> if compare_candidates ~dims ~cost c b < 0 then best := Some c
+      end
+    in
+    let rec go i prod =
+      if i = n then consider ()
+      else
+        List.iter
+          (fun f ->
+            if prod * f <= parallel_factor || f = 1 then begin
+              current.(i) <- f;
+              go (i + 1) (prod * f)
+            end)
+          cand_divisors.(i)
+    in
+    go 0 1;
+    match !best with Some b -> b | None -> Array.make n 1
+  end
+
+(* ---- Stochastic engine (the literal Algorithm 4 loop) ----
+
+   The paper's engine proposes unroll factors, evaluates valid proposals
+   with the QoR estimator, and evolves until convergence or early
+   termination.  This implementation mirrors that loop with a seeded
+   LCG (deterministic across runs): proposals mutate the incumbent by
+   moving one dimension up or down its divisor ladder, invalid
+   proposals are rejected exactly as in lines 13-18, and the search
+   stops after [patience] proposals without improvement. *)
+
+type rng = { mutable state : int }
+
+let rng_make seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
+
+let rng_next r =
+  r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.state
+
+let rng_below r n = if n <= 1 then 0 else rng_next r mod n
+
+let search_stochastic ?(constraints = []) ?(cost = fun _ -> 0.)
+    ?(seed = 1) ?(patience = 64) ?(max_proposals = 2048) ?stats ~dims
+    ~parallel_factor () =
+  let n = Array.length dims in
+  if n = 0 then [||]
+  else begin
+    let ladders =
+      Array.map
+        (fun d ->
+          if d.serial then [| 1 |]
+          else
+            Array.of_list
+              (List.filter (fun f -> f <= parallel_factor) (divisors d.trip)))
+        dims
+    in
+    let rng = rng_make seed in
+    let incumbent = Array.make n 1 in
+    let score c = (product c, reduction_use ~dims c, cost c, evenness c) in
+    let better a b = compare_candidates ~dims ~cost a b < 0 in
+    ignore score;
+    let best = ref (Array.copy incumbent) in
+    let stale = ref 0 in
+    let proposals = ref 0 in
+    while !stale < patience && !proposals < max_proposals do
+      incr proposals;
+      (match stats with Some s -> s.proposed <- s.proposed + 1 | None -> ());
+      (* Propose: mutate one dimension of the incumbent along its divisor
+         ladder (or restart occasionally). *)
+      let candidate = Array.copy !best in
+      if rng_below rng 8 = 0 then
+        Array.iteri
+          (fun i ladder -> candidate.(i) <- ladder.(rng_below rng (Array.length ladder)))
+          ladders
+      else begin
+        let i = rng_below rng n in
+        let ladder = ladders.(i) in
+        candidate.(i) <- ladder.(rng_below rng (Array.length ladder))
+      end;
+      if is_valid ~constraints ~parallel_factor candidate then begin
+        (match stats with Some s -> s.valid <- s.valid + 1 | None -> ());
+        if better candidate !best then begin
+          best := candidate;
+          stale := 0
+        end
+        else incr stale
+      end
+      else incr stale
+    done;
+    !best
+  end

@@ -1,0 +1,59 @@
+(** Intra-node design-space exploration engine (lines 10-23 of
+    Algorithm 4).
+
+    Searches unroll-factor tuples for a node's loop spine under the
+    paper's two validity constraints — mutual divisibility with the
+    constraints derived from already-parallelized connected nodes, and a
+    factor product bounded by the node's parallel factor.  The paper's
+    stochastic engine is replaced by an exhaustive pruned enumeration of
+    the (small) divisor lattice, a deterministic strengthening of the
+    same search.  Selection, lexicographically: maximize the product;
+    minimize reduction-loop unrolling (spill capacity only); minimize
+    the QoR cost callback; prefer even splits; prefer inner loops. *)
+
+type dim = {
+  trip : int;
+  reduction : bool;  (** accumulation: usable as spill capacity *)
+  serial : bool;  (** loop-carried: must not be unrolled *)
+}
+
+type stats = { mutable proposed : int; mutable valid : int }
+
+val divisors : int -> int list
+
+val mutually_divisible : int -> int -> bool
+
+val product : int array -> int
+
+val is_valid :
+  constraints:int option array list -> parallel_factor:int -> int array -> bool
+(** Validity per Algorithm 4 lines 13-18. *)
+
+val evenness : int array -> float
+val reduction_use : dims:dim array -> int array -> int
+
+val search :
+  ?constraints:int option array list ->
+  ?cost:(int array -> float) ->
+  ?stats:stats ->
+  dims:dim array ->
+  parallel_factor:int ->
+  unit ->
+  int array
+(** The best valid unroll-factor tuple ([[|1;...|]] when nothing else is
+    valid). *)
+
+val search_stochastic :
+  ?constraints:int option array list ->
+  ?cost:(int array -> float) ->
+  ?seed:int ->
+  ?patience:int ->
+  ?max_proposals:int ->
+  ?stats:stats ->
+  dims:dim array ->
+  parallel_factor:int ->
+  unit ->
+  int array
+(** The literal Algorithm 4 propose/evaluate/evolve loop with a seeded
+    deterministic RNG and early termination; {!search} is the exhaustive
+    strengthening used by default. *)

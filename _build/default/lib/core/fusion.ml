@@ -1,0 +1,300 @@
+(* Functional-dataflow task fusion (Algorithm 2 of the paper).
+
+   Two mechanisms, applied per dispatch in pre-order:
+   1. pattern-driven worklist fusion of adjacent tasks (e.g. convolution
+      followed by its elementwise activation, activation followed by
+      pooling) until no pattern matches;
+   2. workload balancing: repeatedly fuse the two least critical adjacent
+      tasks while the fusion does not create a new critical task;
+   followed by hierarchy canonicalization (a task containing only one
+   sub-task collapses). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+(* ---- Task inspection ---- *)
+
+let payload_names task =
+  List.concat_map
+    (fun op ->
+      if Hida_d.is_task op || Hida_d.is_dispatch op then []
+      else [ Op.name op ])
+    (Hida_d.body_ops task)
+
+let last_payload_name task =
+  match List.rev (payload_names task) with [] -> None | n :: _ -> Some n
+
+let first_payload_name task =
+  match payload_names task with [] -> None | n :: _ -> Some n
+
+(* Does [consumer] directly use a result of [producer]? *)
+let directly_consumes ~producer ~consumer =
+  List.exists
+    (fun r ->
+      List.exists (fun (u : use) ->
+          Op.equal u.u_op consumer
+          || Op.is_ancestor ~ancestor:consumer u.u_op)
+        (Value.uses r))
+    (Op.results producer)
+  ||
+  (* Memref semantics: consumer loads a buffer the producer stores. *)
+  let stored root =
+    List.filter_map
+      (fun op -> if Affine_d.is_store op then Some (Affine_d.store_memref op) else None)
+      (Walk.collect root ~pred:Affine_d.is_store)
+  in
+  let loaded root =
+    List.filter_map
+      (fun op -> if Affine_d.is_load op then Some (Affine_d.load_memref op) else None)
+      (Walk.collect root ~pred:Affine_d.is_load)
+  in
+  let written = stored producer in
+  List.exists (fun l -> List.exists (Value.equal l) written) (loaded consumer)
+
+(* Free values of a task: outer values referenced by its body. *)
+let free_values task =
+  let inside = Hashtbl.create 32 in
+  Walk.preorder task ~f:(fun o ->
+      List.iter (fun r -> Hashtbl.replace inside r.v_id ()) (Op.results o);
+      List.iter
+        (fun g ->
+          List.iter
+            (fun b -> List.iter (fun a -> Hashtbl.replace inside a.v_id ()) (Block.args b))
+            (Region.blocks g))
+        (Op.regions o));
+  let free = ref [] in
+  Walk.preorder task ~f:(fun o ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem inside v.v_id) then
+            if not (List.exists (Value.equal v) !free) then free := v :: !free)
+        (Op.operands o));
+  !free
+
+(* Buffers read and written (by value id) inside an op. *)
+let rw_sets op =
+  let reads = Hashtbl.create 8 and writes = Hashtbl.create 8 in
+  Walk.preorder op ~f:(fun o ->
+      if Affine_d.is_load o then
+        Hashtbl.replace reads (Affine_d.load_memref o).v_id ()
+      else if Affine_d.is_store o then
+        Hashtbl.replace writes (Affine_d.store_memref o).v_id ()
+      else if Hida_d.is_copy o || Op.name o = "memref.copy" then begin
+        Hashtbl.replace reads (Op.operand o 0).v_id ();
+        Hashtbl.replace writes (Op.operand o 1).v_id ()
+      end);
+  (reads, writes)
+
+(* Fusing [producer] and [consumer] places the fused task at [producer]'s
+   position; legal when
+   - every free SSA value of [consumer] is either produced by [producer]
+     or already dominates [producer]; and
+   - moving [consumer] above the tasks between the two does not reorder a
+     memory dependence (no RAW/WAR/WAW hazard against any op in
+     between). *)
+let can_fuse ~producer ~consumer =
+  (match (Op.parent producer, Op.parent consumer) with
+  | Some a, Some b -> Block.equal a b
+  | _ -> false)
+  && List.for_all
+       (fun v ->
+         List.exists (Value.equal v) (Op.results producer)
+         || value_dominates v producer)
+       (free_values consumer)
+  &&
+  let blk = match Op.parent producer with Some b -> b | None -> assert false in
+  let between =
+    match (Block.index_of blk producer, Block.index_of blk consumer) with
+    | Some i, Some j when i < j ->
+        List.filteri (fun k _ -> k > i && k < j) (Block.ops blk)
+    | _ -> []
+  in
+  let c_reads, c_writes = rw_sets consumer in
+  List.for_all
+    (fun mid ->
+      let m_reads, m_writes = rw_sets mid in
+      let intersects a b = Hashtbl.fold (fun k () acc -> acc || Hashtbl.mem b k) a false in
+      (not (intersects m_writes c_reads))   (* RAW *)
+      && (not (intersects m_reads c_writes)) (* WAR *)
+      && not (intersects m_writes c_writes) (* WAW *))
+    between
+
+(* ---- Patterns ---- *)
+
+type pattern = {
+  p_name : string;
+  p_fires : producer:op -> consumer:op -> bool;
+}
+
+let compute_ops =
+  [ "nn.conv2d"; "nn.dwconv2d"; "nn.linear"; "nn.add" ]
+
+let elementwise_ops = [ "nn.relu"; "nn.add" ]
+let pool_ops = [ "nn.maxpool"; "nn.avgpool" ]
+
+let mem l = function Some n -> List.mem n l | None -> false
+
+(* Fuse an elementwise op into the task computing its input (e.g.
+   conv2d + relu). *)
+let compute_elementwise =
+  {
+    p_name = "compute-elementwise";
+    p_fires =
+      (fun ~producer ~consumer ->
+        mem (compute_ops @ elementwise_ops) (last_payload_name producer)
+        && mem elementwise_ops (first_payload_name consumer));
+  }
+
+(* Fuse pooling into the preceding convolution/activation task (the
+   Conv+ReLU+Pool tasks of Table 1). *)
+let activation_pool =
+  {
+    p_name = "activation-pool";
+    p_fires =
+      (fun ~producer ~consumer ->
+        mem (compute_ops @ elementwise_ops) (last_payload_name producer)
+        && mem pool_ops (first_payload_name consumer));
+  }
+
+let default_patterns = [ compute_elementwise; activation_pool ]
+
+(* ---- Fusion mechanics ---- *)
+
+(* Fuse two tasks into a new task wrapping both, then flatten so the new
+   task directly contains the payload (canonicalization of nested
+   single-task hierarchies). *)
+let fuse producer consumer =
+  let fused = Construct.wrap_ops ~kind:`Task [ producer; consumer ] in
+  (* Inline the inner tasks. *)
+  let body = Hida_d.body fused in
+  List.iter
+    (fun inner ->
+      if Hida_d.is_task inner then begin
+        let inner_body = Hida_d.body inner in
+        let yielded = ref [] in
+        List.iter
+          (fun o ->
+            if Hida_d.is_yield o then yielded := Op.operands o
+            else begin
+              Block.remove inner_body o;
+              Block.insert_before body ~anchor:inner o
+            end)
+          (Block.ops inner_body);
+        List.iteri
+          (fun i r -> replace_all_uses ~old_value:r ~new_value:(List.nth !yielded i))
+          (Op.results inner);
+        erase_op inner
+      end)
+    (Block.ops body);
+  fused
+
+(* ---- Algorithm 2 ---- *)
+
+let task_intensity = Intensity.op_intensity
+
+(* Pattern-driven worklist fusion inside one dispatch. *)
+let apply_patterns patterns d =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+    let rec try_pairs = function
+      | [] -> ()
+      | producer :: rest ->
+          let candidate =
+            List.find_opt
+              (fun consumer ->
+                directly_consumes ~producer ~consumer
+                && can_fuse ~producer ~consumer
+                && List.exists
+                     (fun p -> p.p_fires ~producer ~consumer)
+                     patterns)
+              rest
+          in
+          (match candidate with
+          | Some consumer ->
+              ignore (fuse producer consumer);
+              changed := true
+          | None -> try_pairs rest)
+    in
+    try_pairs tasks
+  done
+
+(* Balancing fusion: fuse the least critical connected pair while
+   profitable (the fusion does not become the new critical task). *)
+let apply_balancing d =
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+    if List.length tasks > 2 then begin
+      let max_intensity =
+        List.fold_left (fun acc t -> max acc (task_intensity t)) 0 tasks
+      in
+      (* Candidate pairs: producer-consumer connected, fusable. *)
+      let pairs = ref [] in
+      let rec collect = function
+        | [] -> ()
+        | producer :: rest ->
+            List.iter
+              (fun consumer ->
+                if
+                  directly_consumes ~producer ~consumer
+                  && can_fuse ~producer ~consumer
+                then
+                  pairs :=
+                    ( task_intensity producer + task_intensity consumer,
+                      producer,
+                      consumer )
+                    :: !pairs)
+              rest;
+            collect rest
+      in
+      collect tasks;
+      match List.sort (fun (a, _, _) (b, _, _) -> compare a b) !pairs with
+      | (combined, producer, consumer) :: _ when combined < max_intensity ->
+          ignore (fuse producer consumer);
+          continue_ := true
+      | _ -> ()
+    end
+  done
+
+(* Canonicalize: a dispatch containing a single task collapses into the
+   task's content staying in place (handled lazily by later passes); a
+   task containing only one sub-task inlines it. *)
+let simplify d =
+  Walk.preorder d ~f:(fun op ->
+      if Hida_d.is_task op then
+        match Hida_d.body_ops op with
+        | [ inner ] when Hida_d.is_task inner ->
+            let inner_body = Hida_d.body inner in
+            let body = Hida_d.body op in
+            let yielded = ref [] in
+            List.iter
+              (fun o ->
+                if Hida_d.is_yield o then yielded := Op.operands o
+                else begin
+                  Block.remove inner_body o;
+                  Block.insert_before body ~anchor:inner o
+                end)
+              (Block.ops inner_body);
+            List.iteri
+              (fun i r ->
+                replace_all_uses ~old_value:r ~new_value:(List.nth !yielded i))
+              (Op.results inner);
+            erase_op inner
+        | _ -> ())
+
+let run ?(patterns = default_patterns) ?(balance = true) m =
+  let dispatches = Walk.collect m ~pred:Hida_d.is_dispatch in
+  List.iter
+    (fun d ->
+      apply_patterns patterns d;
+      if balance then apply_balancing d;
+      simplify d)
+    dispatches
+
+let pass ?patterns ?balance () =
+  Pass.make ~name:"functional-dataflow-task-fusion" (fun m ->
+      run ?patterns ?balance m)

@@ -1,0 +1,312 @@
+(* Intensity and connection analysis (step (1) of §6.5.1).
+
+   The *intensity* of a node is the number of operations it contains
+   (statically expanded over its loop trip counts).  A *connection* exists
+   between two nodes communicating through a shared buffer; for each
+   connection we record permutation maps (loop-level alignment) and
+   scaling maps (stride alignment), exactly as in Table 4. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+(* ---- Intensity ---- *)
+
+(* Number of compute operations contained by an op, loops expanded.  MAC
+   operations dominate: a node's intensity is its MAC count when it has
+   any (mul+add pairs count once, as in the paper's Table 5), otherwise
+   its elementwise-operation count. *)
+let rec op_counts op =
+  if Affine_d.is_for op then begin
+    let body_ops =
+      List.concat_map (fun b -> Block.ops b) (Region.blocks (Op.region op 0))
+    in
+    let macs, alus, mems =
+      List.fold_left
+        (fun (m, a, e) o ->
+          let m', a', e' = op_counts o in
+          (m + m', a + a', e + e'))
+        (0, 0, 0) body_ops
+    in
+    let t = Affine_d.trip_count op in
+    (t * macs, t * alus, t * mems)
+  end
+  else if Nn.is_nn op then (Nn.macs op, 0, 0)
+  else if Op.num_regions op > 0 then
+    List.fold_left
+      (fun (m, a, e) g ->
+        List.fold_left
+          (fun (m, a, e) b ->
+            List.fold_left
+              (fun (m, a, e) o ->
+                let m', a', e' = op_counts o in
+                (m + m', a + a', e + e'))
+              (m, a, e) (Block.ops b))
+          (m, a, e) (Region.blocks g))
+      (0, 0, 0) (Op.regions op)
+  else if Hida_d.is_copy op || Op.name op = "memref.copy" then begin
+    (* A whole-buffer copy moves every element. *)
+    match Value.typ (Op.operand op 0) with
+    | Memref { shape; _ } -> (0, 0, List.fold_left ( * ) 1 shape)
+    | _ -> (0, 0, 1)
+  end
+  else
+    match Arith.classify (Op.name op) with
+    | Arith.Mac -> (1, 0, 0)
+    | Arith.Alu -> (0, 1, 0)
+    | Arith.Memory -> (0, 0, 1)
+    | Arith.Control | Arith.Other -> (0, 0, 0)
+
+(* MACs dominate; pure-elementwise nodes count ALU ops; pure data movers
+   (copy / load-store nodes) count memory operations so they still
+   receive a workload-proportional parallel factor. *)
+let op_intensity op =
+  let macs, alus, mems = op_counts op in
+  if macs > 0 then macs else if alus > 0 then alus else mems / 2
+
+(* ---- Loop spine ---- *)
+
+(* The loop "spine" of a node: starting from its primary (highest-trip)
+   outermost loop nest, descend as long as the body contains exactly one
+   nested loop.  The spine defines the loop levels used by permutation
+   and scaling maps, and the positions of unroll factors. *)
+let spine_of root =
+  let outer = Affine_d.outermost_loops root in
+  let nest_trip l =
+    List.fold_left
+      (fun acc x -> acc * max 1 (Affine_d.trip_count x))
+      1
+      (Walk.collect l ~pred:Affine_d.is_for)
+  in
+  match
+    List.sort (fun a b -> compare (nest_trip b) (nest_trip a)) outer
+  with
+  | [] -> []
+  | primary :: _ ->
+      let rec go l acc =
+        let children =
+          List.filter Affine_d.is_for (Block.ops (Affine_d.body_block l))
+        in
+        match children with
+        | [ child ] -> go child (l :: acc)
+        | _ -> List.rev (l :: acc)
+      in
+      go primary []
+
+let spine_level spine l =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when Op.equal x l -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 spine
+
+(* Dependence classification of a loop (used by the DSE to decide which
+   factors are legal and useful):
+   - [`Parallel]: no buffer stored in the body carries a dependence over
+     the loop — pure spatial parallelism;
+   - [`Reduction]: the body accumulates in place (every load of a stored
+     buffer matches the store index exactly, and the loop does not drive
+     the store index) — unrollable through balanced adder trees;
+   - [`Serial]: a load of a stored buffer differs from the store index
+     (stencil updates like Gauss-Seidel) — unrolling is illegal. *)
+let loop_class root l =
+  ignore root;
+  let accesses = Qor.collect_accesses l in
+  let stores = List.filter (fun a -> a.Qor.a_store) accesses in
+  let loads = List.filter (fun a -> not a.Qor.a_store) accesses in
+  (* Compare dimension descriptors by loop identity (never compare op
+     records structurally: the IR graph is cyclic). *)
+  let norm_dims dims =
+    List.sort compare (List.map (fun ((l : op), c) -> (l.o_id, c)) dims)
+  in
+  let access_matches st ld =
+    let rank = min (Array.length st.Qor.a_dims) (Array.length ld.Qor.a_dims) in
+    let ok = ref (Array.length st.Qor.a_dims = Array.length ld.Qor.a_dims) in
+    for d = 0 to rank - 1 do
+      if
+        norm_dims st.Qor.a_dims.(d) <> norm_dims ld.Qor.a_dims.(d)
+        || st.Qor.a_consts.(d) <> ld.Qor.a_consts.(d)
+      then ok := false
+    done;
+    !ok
+  in
+  let drives st =
+    Array.exists
+      (fun dims -> List.exists (fun (l', _) -> Op.equal l' l) dims)
+      st.Qor.a_dims
+  in
+  let cls = ref `Parallel in
+  List.iter
+    (fun st ->
+      let same_buffer =
+        List.filter (fun ld -> Value.equal ld.Qor.a_buffer st.Qor.a_buffer) loads
+      in
+      if same_buffer <> [] then
+        if List.for_all (access_matches st) same_buffer then begin
+          (* Exact read-modify-write: a reduction over loops not driving
+             the store. *)
+          if (not (drives st)) && !cls = `Parallel then cls := `Reduction
+        end
+        else
+          (* Some load/store pair on this buffer is misaligned: the
+             dependence is carried by [l] unless [l] drives the store and
+             every misaligned pair agrees exactly on [l]'s dimensions
+             (distance 0 along [l], e.g. i in A[i][j] = f(A[i][j-1])). *)
+          List.iter
+            (fun ld ->
+              if not (access_matches st ld) then begin
+                if not (drives st) then cls := `Serial
+                else begin
+                  let rank =
+                    min (Array.length st.Qor.a_dims) (Array.length ld.Qor.a_dims)
+                  in
+                  for d = 0 to rank - 1 do
+                    let mine dims =
+                      List.filter (fun (l', _) -> Op.equal l' l) dims
+                    in
+                    if mine st.Qor.a_dims.(d) <> [] then
+                      if
+                        norm_dims st.Qor.a_dims.(d) <> norm_dims ld.Qor.a_dims.(d)
+                        || st.Qor.a_consts.(d) <> ld.Qor.a_consts.(d)
+                      then cls := `Serial
+                  done
+                end
+              end)
+            same_buffer)
+    stores;
+  !cls
+
+let is_reduction_loop root l = loop_class root l <> `Parallel
+
+(* ---- Connections ---- *)
+
+type connection = {
+  c_source : op;
+  c_target : op;
+  c_buffer : value;
+  (* Permutation maps: X-to-Y is indexed by Y's spine levels and yields
+     X's corresponding level (None = no alignment, the paper's emptyset). *)
+  c_s_to_t_perm : int option array;
+  c_t_to_s_perm : int option array;
+  (* Scaling maps: X-to-Y is indexed by X's spine levels and yields the
+     stride ratio (X coefficient / Y coefficient); None when the level has
+     no counterpart. *)
+  c_s_to_t_scale : float option array;
+  c_t_to_s_scale : float option array;
+  (* Per buffer dimension: ((source level, source stride),
+     (target level, target stride)) when analyzable. *)
+  c_dim_info : ((int * int) option * (int * int) option) array;
+}
+
+(* First store (resp. load) access of [node] to [buffer]. *)
+let find_access ~store node buffer =
+  let bindings = Hida_d.node_bindings node in
+  let accesses = Qor.collect_accesses ~bindings node in
+  List.find_opt
+    (fun a -> a.Qor.a_store = store && Value.equal a.Qor.a_buffer buffer)
+    accesses
+
+(* Build the connection record for source writing [buffer], target reading
+   it. *)
+let connect ~source ~target ~buffer =
+  let s_spine = spine_of source and t_spine = spine_of target in
+  let ns = List.length s_spine and nt = List.length t_spine in
+  let s_to_t_perm = Array.make nt None in
+  let t_to_s_perm = Array.make ns None in
+  let s_to_t_scale = Array.make ns None in
+  let t_to_s_scale = Array.make nt None in
+  let rank0 =
+    match Value.typ buffer with
+    | Memref { shape; _ } | Tensor { shape; _ } -> List.length shape
+    | _ -> 0
+  in
+  let dim_info = Array.make rank0 (None, None) in
+  (match (find_access ~store:true source buffer, find_access ~store:false target buffer) with
+  | Some sa, Some ta ->
+      let rank = min (Array.length sa.Qor.a_dims) (Array.length ta.Qor.a_dims) in
+      for d = 0 to rank - 1 do
+        let pick spine dims =
+          List.find_map
+            (fun (l, c) ->
+              match spine_level spine l with
+              | Some lvl -> Some (lvl, c)
+              | None -> None)
+            dims
+        in
+        let s_info = pick s_spine sa.Qor.a_dims.(d)
+        and t_info = pick t_spine ta.Qor.a_dims.(d) in
+        if d < rank0 then dim_info.(d) <- (s_info, t_info);
+        match (s_info, t_info) with
+        | Some (js, cs), Some (jt, ct) ->
+            s_to_t_perm.(jt) <- Some js;
+            t_to_s_perm.(js) <- Some jt;
+            s_to_t_scale.(js) <- Some (float_of_int cs /. float_of_int ct);
+            t_to_s_scale.(jt) <- Some (float_of_int ct /. float_of_int cs)
+        | _ -> ()
+      done
+  | _ -> ());
+  {
+    c_source = source;
+    c_target = target;
+    c_buffer = buffer;
+    c_s_to_t_perm = s_to_t_perm;
+    c_t_to_s_perm = t_to_s_perm;
+    c_s_to_t_scale = s_to_t_scale;
+    c_t_to_s_scale = t_to_s_scale;
+    c_dim_info = dim_info;
+  }
+
+(* All connections of a schedule: for each buffer, its writer connects to
+   each of its readers. *)
+let analyze sched =
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let connections = ref [] in
+  let buffer_writers = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun i v ->
+          if Hida_d.operand_effect n i = `Read_write then
+            Hashtbl.replace buffer_writers v.v_id (n, v))
+        (Op.operands n))
+    nodes;
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun i v ->
+          if Hida_d.operand_effect n i = `Read_only then
+            match Hashtbl.find_opt buffer_writers v.v_id with
+            | Some (w, _) when not (Op.equal w n) ->
+                connections := connect ~source:w ~target:n ~buffer:v :: !connections
+            | _ -> ())
+        (Op.operands n))
+    nodes;
+  List.rev !connections
+
+(* Connections touching a given node. *)
+let connections_of connections node =
+  List.filter
+    (fun c -> Op.equal c.c_source node || Op.equal c.c_target node)
+    connections
+
+let num_connections connections node =
+  List.length (connections_of connections node)
+
+(* Pretty-printing for the Table 4 bench. *)
+let pp_perm fmt perm =
+  Format.fprintf fmt "[%s]"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (function Some i -> string_of_int i | None -> "-")
+             perm)))
+
+let pp_scale fmt scale =
+  Format.fprintf fmt "[%s]"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (function Some f -> Printf.sprintf "%g" f | None -> "-")
+             scale)))

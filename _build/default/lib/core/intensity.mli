@@ -1,0 +1,60 @@
+(** Intensity and connection analysis (step (1) of §6.5.1).
+
+    The {e intensity} of a node is its operation count, loops statically
+    expanded (MACs dominate, then elementwise ops, then data movement).
+    A {e connection} exists between two nodes communicating through a
+    shared buffer; each connection records the permutation maps (loop
+    level alignment) and scaling maps (stride alignment) of Table 4,
+    which constrain the connected nodes' unroll factors in Algorithm 4. *)
+
+open Hida_ir
+
+val op_counts : Ir.op -> int * int * int
+(** (macs, elementwise ops, memory ops), loops expanded. *)
+
+val op_intensity : Ir.op -> int
+
+val spine_of : Ir.op -> Ir.op list
+(** The loop spine of a node: from its highest-trip outermost nest,
+    descend while the body contains exactly one nested loop.  Spine
+    positions define the loop levels of the permutation/scaling maps and
+    of the unroll-factor vectors. *)
+
+val spine_level : Ir.op list -> Ir.op -> int option
+
+val loop_class : Ir.op -> Ir.op -> [ `Parallel | `Reduction | `Serial ]
+(** Dependence classification: [`Parallel] loops unroll spatially;
+    [`Reduction] loops (exact read-modify-write accumulation) unroll
+    through adder trees and serve as spill capacity; [`Serial] loops
+    (loop-carried stencil updates) must not be unrolled. *)
+
+val is_reduction_loop : Ir.op -> Ir.op -> bool
+(** [loop_class <> `Parallel]. *)
+
+type connection = {
+  c_source : Ir.op;
+  c_target : Ir.op;
+  c_buffer : Ir.value;
+  c_s_to_t_perm : int option array;
+      (** indexed by target levels, yields the aligned source level *)
+  c_t_to_s_perm : int option array;
+  c_s_to_t_scale : float option array;
+      (** indexed by source levels, yields the stride ratio *)
+  c_t_to_s_scale : float option array;
+  c_dim_info : ((int * int) option * (int * int) option) array;
+      (** per buffer dimension: ((source level, stride),
+          (target level, stride)) *)
+}
+
+val find_access : store:bool -> Ir.op -> Ir.value -> Hida_estimator.Qor.access option
+val connect : source:Ir.op -> target:Ir.op -> buffer:Ir.value -> connection
+
+val analyze : Ir.op -> connection list
+(** All connections of a schedule: each buffer's writer connects to each
+    of its readers. *)
+
+val connections_of : connection list -> Ir.op -> connection list
+val num_connections : connection list -> Ir.op -> int
+
+val pp_perm : Format.formatter -> int option array -> unit
+val pp_scale : Format.formatter -> float option array -> unit

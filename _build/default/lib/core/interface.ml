@@ -1,0 +1,119 @@
+(* Module-interface planning (the port / bundle / pack operations of
+   Table 3).
+
+   After structural lowering, the design's external surface consists of
+   hida.port ops (weight streams), externally placed buffers (spilled
+   feature maps, soft FIFOs) and the top function's memref arguments.
+   This pass packs each external buffer behind a port and assigns every
+   port to one of the device's AXI bundles, balancing the per-frame
+   traffic across bundles (greedy longest-processing-time assignment).
+   The estimator reads the resulting "bundle" attributes to model
+   per-bundle contention, and the emitter prints one m_axi interface
+   pragma per bundle. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+(* Per-frame traffic of an external value, in bits. *)
+let traffic_bits v =
+  match Value.typ v with
+  | Memref { shape; elem } ->
+      List.fold_left ( * ) 1 shape * Typ.bit_width elem
+  | _ -> 0
+
+(* All external interface values of a function: ports, external buffers,
+   and the function's own memref arguments. *)
+let external_values func =
+  let ports =
+    List.map (fun op -> Op.result op 0) (Walk.collect func ~pred:Hida_d.is_port)
+  in
+  let spilled =
+    List.filter_map
+      (fun op ->
+        if Hida_d.buffer_placement op = Hida_d.External then
+          Some (Op.result op 0)
+        else None)
+      (Walk.collect func ~pred:Hida_d.is_buffer)
+  in
+  let args =
+    List.filter
+      (fun a -> match Value.typ a with Memref _ -> true | _ -> false)
+      (Block.args (Func_d.entry_block func))
+  in
+  args @ ports @ spilled
+
+type plan = {
+  p_bundles : (int * Ir.value list) list;  (** bundle id, members *)
+  p_traffic : (int * int) list;  (** bundle id, bits per frame *)
+}
+
+(* Greedy LPT assignment of values to [num_bundles] bundles. *)
+let assign ~num_bundles values =
+  let loads = Array.make (max 1 num_bundles) 0 in
+  let members = Array.make (max 1 num_bundles) [] in
+  let sorted =
+    List.sort (fun a b -> compare (traffic_bits b) (traffic_bits a)) values
+  in
+  List.iter
+    (fun v ->
+      let lightest = ref 0 in
+      Array.iteri (fun i l -> if l < loads.(!lightest) then lightest := i) loads;
+      loads.(!lightest) <- loads.(!lightest) + traffic_bits v;
+      members.(!lightest) <- v :: members.(!lightest))
+    sorted;
+  {
+    p_bundles = Array.to_list (Array.mapi (fun i m -> (i, List.rev m)) members);
+    p_traffic = Array.to_list (Array.mapi (fun i l -> (i, l)) loads);
+  }
+
+(* Record the assignment in the IR: spilled buffers are packed behind a
+   port; every port and argument carries a "bundle" attribute; a
+   hida.bundle op per group documents the module interface. *)
+let run ?(device = Device.zu3eg) func =
+  let values = external_values func in
+  let plan = assign ~num_bundles:device.Device.axi_ports values in
+  let entry = Func_d.entry_block func in
+  let bld = Builder.create () in
+  (* Bundles are declared at the end of the function body, where every
+     member value dominates them. *)
+  (match Block.terminator entry with
+  | Some t -> Builder.set_before bld t
+  | None -> Builder.set_at_end bld entry);
+  List.iter
+    (fun (id, members) ->
+      if members <> [] then begin
+        let packed =
+          List.map
+            (fun v ->
+              match Value.defining_op v with
+              | Some def when Hida_d.is_buffer def ->
+                  (* Pack the spilled buffer into a port view. *)
+                  Op.set_attr def "bundle" (A_int id);
+                  let p = Hida_d.pack bld ~memref:v in
+                  (match Value.defining_op p with
+                  | Some pk -> Op.set_attr pk "bundle" (A_int id)
+                  | None -> ());
+                  p
+              | Some def ->
+                  Op.set_attr def "bundle" (A_int id);
+                  v
+              | None -> v)
+            members
+        in
+        Hida_d.bundle bld ~name:(Printf.sprintf "gmem%d" id) packed
+      end)
+    plan.p_bundles;
+  plan
+
+(* The worst per-frame transfer time implied by the plan, in cycles — a
+   lower bound the dataflow interval cannot beat. *)
+let bandwidth_bound ~(device : Device.t) plan =
+  List.fold_left
+    (fun acc (_, bits) ->
+      max acc ((bits + device.Device.axi_width_bits - 1) / device.Device.axi_width_bits))
+    0 plan.p_traffic
+
+let pass ?device () =
+  Pass.make ~name:"interface-planning" (fun root -> ignore (run ?device root))

@@ -1,0 +1,26 @@
+(** Module-interface planning (Table 3's [port] / [bundle] / [pack]).
+
+    Packs the design's external surface — weight ports, spilled buffers
+    and the top function's memref arguments — into the device's AXI
+    bundles, balancing per-frame traffic greedily.  The assignment is
+    recorded as ["bundle"] attributes plus one [hida.bundle] op per
+    group, which the emitter turns into per-bundle interface pragmas. *)
+
+open Hida_ir
+open Hida_estimator
+
+val traffic_bits : Ir.value -> int
+val external_values : Ir.op -> Ir.value list
+
+type plan = {
+  p_bundles : (int * Ir.value list) list;
+  p_traffic : (int * int) list;
+}
+
+val assign : num_bundles:int -> Ir.value list -> plan
+val run : ?device:Device.t -> Ir.op -> plan
+
+val bandwidth_bound : device:Device.t -> plan -> int
+(** Worst per-frame transfer cycles over the planned bundles. *)
+
+val pass : ?device:Device.t -> unit -> Pass.t

@@ -1,0 +1,101 @@
+(* Loop-level transformations inherited from the ScaleHLS layer of the
+   stack (Fig. 5's loop-IR optimizations): loop interchange and loop
+   perfectization.  Both are building blocks the parallelizer relies on
+   conceptually — interchange moves parallel loops where unrolling is
+   cheapest, perfectization sinks imperfect statements so bands grow.
+
+   All transforms check their own legality and are property-tested for
+   semantics preservation. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+(* ---- Interchange ---- *)
+
+(* Two adjacent loops of a band may be interchanged when both carry no
+   dependence (are [`Parallel]), or when both are [`Reduction] of the
+   same associative accumulation — we only allow the provably safe
+   parallel-parallel case. *)
+let can_interchange root outer inner =
+  Intensity.loop_class root outer = `Parallel
+  && Intensity.loop_class root inner = `Parallel
+  &&
+  (* [inner] must be the only payload op of [outer]. *)
+  match
+    List.filter
+      (fun o -> Op.name o <> "affine.yield")
+      (Block.ops (Affine_d.body_block outer))
+  with
+  | [ o ] -> Op.equal o inner
+  | _ -> false
+
+(* Swap [outer] with its directly nested [inner] loop, preserving both
+   bodies.  Implementation: swap the loop-bound/step/directive attributes
+   and the induction-variable bindings, which is equivalent to swapping
+   the loops themselves for perfectly nested bands. *)
+let interchange outer inner =
+  let swap_attr key =
+    let a = Op.attr outer key and b = Op.attr inner key in
+    (match b with Some v -> Op.set_attr outer key v | None -> Op.remove_attr outer key);
+    match a with Some v -> Op.set_attr inner key v | None -> Op.remove_attr inner key
+  in
+  List.iter swap_attr [ "lower"; "upper"; "step"; "unroll"; "pipeline"; "ii" ];
+  (* Swap every use of the two induction variables. *)
+  let iv_o = Affine_d.induction_var outer in
+  let iv_i = Affine_d.induction_var inner in
+  Walk.preorder outer ~f:(fun op ->
+      Array.iteri
+        (fun idx v ->
+          if Value.equal v iv_o then Op.set_operand op idx iv_i
+          else if Value.equal v iv_i then Op.set_operand op idx iv_o)
+        op.o_operands)
+
+(* Interchange so the loop with the largest trip count sits outermost
+   within each maximal parallel prefix of the band (a normalization that
+   gives the DSE more outer-parallel room). *)
+let normalize_band root band =
+  let arr = Array.of_list band in
+  let n = Array.length arr in
+  let changed = ref false in
+  for i = 0 to n - 2 do
+    let outer = arr.(i) and inner = arr.(i + 1) in
+    if
+      can_interchange root outer inner
+      && Affine_d.trip_count inner > Affine_d.trip_count outer
+    then begin
+      interchange outer inner;
+      changed := true
+    end
+  done;
+  !changed
+
+(* ---- Perfectization ---- *)
+
+(* A band is imperfect when a loop body holds statements besides the
+   nested loop (e.g. the bias-initialization store before a reduction
+   loop).  Perfectization hoists the *count* of such statements — used
+   as an analysis here: we report imperfect spots rather than move
+   side-effecting statements (moving them is unsound without dependence
+   info our memref model does not carry per-element). *)
+let imperfect_positions root =
+  List.filter
+    (fun l ->
+      let payload =
+        List.filter
+          (fun o -> Op.name o <> "affine.yield")
+          (Block.ops (Affine_d.body_block l))
+      in
+      List.exists Affine_d.is_for payload && List.length payload > 1)
+    (Walk.collect root ~pred:Affine_d.is_for)
+
+(* ---- Driver entry ---- *)
+
+let run root =
+  List.iter
+    (fun nest ->
+      let band = Affine_d.loop_band nest in
+      if List.length band >= 2 then ignore (normalize_band root band))
+    (Affine_d.outermost_loops root)
+
+let pass = Pass.make ~name:"loop-normalization" run

@@ -1,0 +1,24 @@
+(** Loop-level transformations inherited from the ScaleHLS layer of the
+    stack (Fig. 5): loop interchange of provably parallel perfectly
+    nested pairs, trip-count normalization of bands, and detection of
+    imperfect nests. *)
+
+open Hida_ir
+
+val can_interchange : Ir.op -> Ir.op -> Ir.op -> bool
+(** [can_interchange root outer inner]: both loops are dependence-free
+    and perfectly nested. *)
+
+val interchange : Ir.op -> Ir.op -> unit
+(** Swap a perfectly nested loop pair (bounds, directives and induction
+    variables); caller must have checked {!can_interchange}. *)
+
+val normalize_band : Ir.op -> Ir.op list -> bool
+(** One bubble pass moving larger parallel trip counts outward; returns
+    true when anything moved. *)
+
+val imperfect_positions : Ir.op -> Ir.op list
+(** Loops whose bodies mix statements with a nested loop. *)
+
+val run : Ir.op -> unit
+val pass : Pass.t

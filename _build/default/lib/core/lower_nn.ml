@@ -1,0 +1,336 @@
+(* Lowering of tensor-level nn ops to affine loop nests over memref
+   buffers (the linalg-to-affine stage of Fig. 5).  Each emitter writes
+   into a destination buffer; accumulations go through the destination (or
+   a local accumulator) since the IR carries loop state in memory, as HLS
+   C++ does. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+let shape_of v = Typ.shape (Value.typ v)
+let elem_of v = Typ.elem (Value.typ v)
+
+(* Allocate a zero-padded copy of [input] inside the current region when
+   [pad] > 0; returns the (possibly new) input value. *)
+let pad_input bld ~input ~pad =
+  if pad = 0 then input
+  else
+    match shape_of input with
+    | [ c; h; w ] ->
+        let elem = elem_of input in
+        let padded =
+          Hida_d.buffer ~name:"padded" ~depth:1 bld
+            ~shape:[ c; h + (2 * pad); w + (2 * pad) ]
+            ~elem
+        in
+        (* The tiled hardware implementation streams the input through a
+           line buffer of kernel-height rows; functionally the buffer is
+           full-sized (for the interpreter) but only the window is
+           resident on chip. *)
+        (match Value.defining_op padded with
+        | Some b -> Op.set_attr b "resident_rows" (A_int (2 + (2 * pad) + 1))
+        | None -> ());
+        (* Zero initialization. *)
+        ignore
+          (Affine_d.for_ bld ~upper:c (fun b0 ci ->
+               ignore
+                 (Affine_d.for_ b0 ~upper:(h + (2 * pad)) (fun b1 yi ->
+                      ignore
+                        (Affine_d.for_ b1 ~upper:(w + (2 * pad)) (fun b2 xi ->
+                             let zero = Arith.const_float b2 0. in
+                             Affine_d.store b2 zero padded [ ci; yi; xi ]))))));
+        (* Copy with offset: padded[c][y+pad][x+pad] = input[c][y][x]. *)
+        let open Affine in
+        let map =
+          make ~num_dims:3 ~num_syms:0
+            [ dim 0; add (dim 1) (const pad); add (dim 2) (const pad) ]
+        in
+        ignore
+          (Affine_d.for_ bld ~upper:c (fun b0 ci ->
+               ignore
+                 (Affine_d.for_ b0 ~upper:h (fun b1 yi ->
+                      ignore
+                        (Affine_d.for_ b1 ~upper:w (fun b2 xi ->
+                             let v = Affine_d.load b2 input [ ci; yi; xi ] in
+                             Affine_d.store_mapped b2 v padded ~map [ ci; yi; xi ]))))));
+        padded
+    | _ -> invalid_arg "Lower_nn.pad_input: rank"
+
+(* Shared emitter for standard and depthwise convolution.  Boundary
+   handling is either [`Padded] (materialize a zero-padded line-buffer
+   window, the default) or [`Guarded] (affine.if around each boundary
+   load, Fig. 2's conditional form — no extra buffer, extra control). *)
+let emit_conv ?(boundary = `Padded) bld ~depthwise ~input ~weight ~bias ~dest
+    ~stride ~pad =
+  let ih_orig, iw_orig =
+    match shape_of input with
+    | [ _; h; w ] -> (h, w)
+    | _ -> invalid_arg "Lower_nn.emit_conv: input rank"
+  in
+  let input =
+    if boundary = `Padded then pad_input bld ~input ~pad else input
+  in
+  match (shape_of dest, shape_of weight) with
+  | [ oc; oh; ow ], [ _; wc; kh; kw ] ->
+      let open Affine in
+      (* input index map: (c, y, dy, x, dx) -> (c, y*stride+dy, x*stride+dx) *)
+      let in_map =
+        make ~num_dims:5 ~num_syms:0
+          [
+            dim 0;
+            add (mul (dim 1) (const stride)) (dim 2);
+            add (mul (dim 3) (const stride)) (dim 4);
+          ]
+      in
+      ignore
+        (Affine_d.for_ bld ~upper:oc (fun b0 o ->
+             ignore
+               (Affine_d.for_ b0 ~upper:oh (fun b1 y ->
+                    ignore
+                      (Affine_d.for_ b1 ~upper:ow (fun b2 x ->
+                           (* init with bias *)
+                           let bv = Affine_d.load b2 bias [ o ] in
+                           Affine_d.store b2 bv dest [ o; y; x ];
+                           let chans = if depthwise then 1 else wc in
+                           ignore
+                             (Affine_d.for_ b2 ~upper:chans (fun b3 c ->
+                                  ignore
+                                    (Affine_d.for_ b3 ~upper:kh (fun b4 dy ->
+                                         ignore
+                                           (Affine_d.for_ b4 ~upper:kw
+                                              (fun b5 dx ->
+                                                let ch = if depthwise then o else c in
+                                                let iv =
+                                                  match boundary with
+                                                  | `Padded ->
+                                                      Affine_d.load_mapped b5 input
+                                                        ~map:in_map
+                                                        [ ch; y; dy; x; dx ]
+                                                  | `Guarded ->
+                                                      (* sy = y*stride+dy-pad in
+                                                         [0, ih); sx likewise. *)
+                                                      let open Affine in
+                                                      let sy =
+                                                        add
+                                                          (add (mul (dim 1) (const stride)) (dim 2))
+                                                          (const (-pad))
+                                                      in
+                                                      let sx =
+                                                        add
+                                                          (add (mul (dim 3) (const stride)) (dim 4))
+                                                          (const (-pad))
+                                                      in
+                                                      let conds =
+                                                        make ~num_dims:5 ~num_syms:0
+                                                          [
+                                                            sy;
+                                                            add (const (ih_orig - 1)) (mul sy (const (-1)));
+                                                            sx;
+                                                            add (const (iw_orig - 1)) (mul sx (const (-1)));
+                                                          ]
+                                                      in
+                                                      let guarded_map =
+                                                        make ~num_dims:5 ~num_syms:0 [ dim 0; sy; sx ]
+                                                      in
+                                                      Affine_d.if_ b5 ~conds
+                                                        ~result_typ:(Typ.elem (Value.typ input))
+                                                        [ ch; y; dy; x; dx ]
+                                                        ~then_:(fun bt ->
+                                                          Affine_d.load_mapped bt input
+                                                            ~map:guarded_map
+                                                            [ ch; y; dy; x; dx ])
+                                                        ~else_:(fun be ->
+                                                          Arith.const_float be 0.)
+                                                in
+                                                let wv =
+                                                  if depthwise then
+                                                    Affine_d.load b5 weight
+                                                      [ o; c; dy; dx ]
+                                                  else
+                                                    Affine_d.load b5 weight
+                                                      [ o; c; dy; dx ]
+                                                in
+                                                let prod = Arith.mulf b5 iv wv in
+                                                let acc =
+                                                  Affine_d.load b5 dest [ o; y; x ]
+                                                in
+                                                let sum = Arith.addf b5 acc prod in
+                                                Affine_d.store b5 sum dest
+                                                  [ o; y; x ]))))))))))))
+  | _ -> invalid_arg "Lower_nn.emit_conv: shapes"
+
+let emit_conv2d ?boundary bld ~input ~weight ~bias ~dest ~stride ~pad =
+  emit_conv ?boundary bld ~depthwise:false ~input ~weight ~bias ~dest ~stride ~pad
+
+let emit_dwconv2d ?boundary bld ~input ~weight ~bias ~dest ~stride ~pad =
+  emit_conv ?boundary bld ~depthwise:true ~input ~weight ~bias ~dest ~stride ~pad
+
+let emit_relu bld ~input ~dest =
+  let shape = shape_of dest in
+  let rec loops bld shape idx =
+    match shape with
+    | [] ->
+        let idx = List.rev idx in
+        let v = Affine_d.load bld input idx in
+        let zero = Arith.const_float bld 0. in
+        let r = Arith.maxf bld v zero in
+        Affine_d.store bld r dest idx
+    | d :: rest ->
+        ignore (Affine_d.for_ bld ~upper:d (fun b iv -> loops b rest (iv :: idx)))
+  in
+  loops bld shape []
+
+let emit_add bld ~lhs ~rhs ~dest =
+  let shape = shape_of dest in
+  let rec loops bld shape idx =
+    match shape with
+    | [] ->
+        let idx = List.rev idx in
+        let a = Affine_d.load bld lhs idx in
+        let b = Affine_d.load bld rhs idx in
+        let r = Arith.addf bld a b in
+        Affine_d.store bld r dest idx
+    | d :: rest ->
+        ignore (Affine_d.for_ bld ~upper:d (fun b iv -> loops b rest (iv :: idx)))
+  in
+  loops bld shape []
+
+let emit_pool bld ~kind ~input ~dest ~kernel ~stride =
+  match shape_of dest with
+  | [ c; oh; ow ] ->
+      let open Affine in
+      let in_map =
+        make ~num_dims:5 ~num_syms:0
+          [
+            dim 0;
+            add (mul (dim 1) (const stride)) (dim 2);
+            add (mul (dim 3) (const stride)) (dim 4);
+          ]
+      in
+      ignore
+        (Affine_d.for_ bld ~upper:c (fun b0 ch ->
+             ignore
+               (Affine_d.for_ b0 ~upper:oh (fun b1 y ->
+                    ignore
+                      (Affine_d.for_ b1 ~upper:ow (fun b2 x ->
+                           let init =
+                             match kind with
+                             | `Max -> Arith.const_float b2 (-1e30)
+                             | `Avg -> Arith.const_float b2 0.
+                           in
+                           Affine_d.store b2 init dest [ ch; y; x ];
+                           ignore
+                             (Affine_d.for_ b2 ~upper:kernel (fun b3 dy ->
+                                  ignore
+                                    (Affine_d.for_ b3 ~upper:kernel (fun b4 dx ->
+                                         let v =
+                                           Affine_d.load_mapped b4 input ~map:in_map
+                                             [ ch; y; dy; x; dx ]
+                                         in
+                                         let acc = Affine_d.load b4 dest [ ch; y; x ] in
+                                         let r =
+                                           match kind with
+                                           | `Max -> Arith.maxf b4 acc v
+                                           | `Avg -> Arith.addf b4 acc v
+                                         in
+                                         Affine_d.store b4 r dest [ ch; y; x ]))));
+                           match kind with
+                           | `Avg ->
+                               let acc = Affine_d.load b2 dest [ ch; y; x ] in
+                               let k2 =
+                                 Arith.const_float b2
+                                   (1. /. float_of_int (kernel * kernel))
+                               in
+                               let r = Arith.mulf b2 acc k2 in
+                               Affine_d.store b2 r dest [ ch; y; x ]
+                           | `Max -> ()))))))
+  | _ -> invalid_arg "Lower_nn.emit_pool: shapes"
+
+let emit_flatten bld ~input ~dest =
+  match shape_of input with
+  | [ c; h; w ] ->
+      let open Affine in
+      let out_map =
+        make ~num_dims:3 ~num_syms:0
+          [ add (mul (add (mul (dim 0) (const h)) (dim 1)) (const w)) (dim 2) ]
+      in
+      ignore
+        (Affine_d.for_ bld ~upper:c (fun b0 ci ->
+             ignore
+               (Affine_d.for_ b0 ~upper:h (fun b1 yi ->
+                    ignore
+                      (Affine_d.for_ b1 ~upper:w (fun b2 xi ->
+                           let v = Affine_d.load b2 input [ ci; yi; xi ] in
+                           Affine_d.store_mapped b2 v dest ~map:out_map
+                             [ ci; yi; xi ]))))))
+  | [ n ] ->
+      ignore
+        (Affine_d.for_ bld ~upper:n (fun b i ->
+             let v = Affine_d.load b input [ i ] in
+             Affine_d.store b v dest [ i ]))
+  | _ -> invalid_arg "Lower_nn.emit_flatten: shapes"
+
+let emit_linear bld ~input ~weight ~bias ~dest =
+  match shape_of weight with
+  | [ o; c ] ->
+      ignore
+        (Affine_d.for_ bld ~upper:o (fun b0 oi ->
+             let bv = Affine_d.load b0 bias [ oi ] in
+             Affine_d.store b0 bv dest [ oi ];
+             ignore
+               (Affine_d.for_ b0 ~upper:c (fun b1 ci ->
+                    let iv = Affine_d.load b1 input [ ci ] in
+                    let wv = Affine_d.load b1 weight [ oi; ci ] in
+                    let prod = Arith.mulf b1 iv wv in
+                    let acc = Affine_d.load b1 dest [ oi ] in
+                    let sum = Arith.addf b1 acc prod in
+                    Affine_d.store b1 sum dest [ oi ]))))
+  | _ -> invalid_arg "Lower_nn.emit_linear: shapes"
+
+(* Dispatch on an nn op: emit loops reading mapped memrefs and writing
+   [dest].  [lookup] maps tensor SSA operands to memref values. *)
+let emit_op ?boundary bld ~lookup ~dest op =
+  match Op.name op with
+  | "nn.conv2d" ->
+      emit_conv2d ?boundary bld
+        ~input:(lookup (Op.operand op 0))
+        ~weight:(lookup (Op.operand op 1))
+        ~bias:(lookup (Op.operand op 2))
+        ~dest
+        ~stride:(Op.int_attr_exn op "stride")
+        ~pad:(Op.int_attr_exn op "pad")
+  | "nn.dwconv2d" ->
+      emit_dwconv2d ?boundary bld
+        ~input:(lookup (Op.operand op 0))
+        ~weight:(lookup (Op.operand op 1))
+        ~bias:(lookup (Op.operand op 2))
+        ~dest
+        ~stride:(Op.int_attr_exn op "stride")
+        ~pad:(Op.int_attr_exn op "pad")
+  | "nn.relu" -> emit_relu bld ~input:(lookup (Op.operand op 0)) ~dest
+  | "nn.add" ->
+      emit_add bld
+        ~lhs:(lookup (Op.operand op 0))
+        ~rhs:(lookup (Op.operand op 1))
+        ~dest
+  | "nn.maxpool" ->
+      emit_pool bld ~kind:`Max
+        ~input:(lookup (Op.operand op 0))
+        ~dest
+        ~kernel:(Op.int_attr_exn op "kernel")
+        ~stride:(Op.int_attr_exn op "stride")
+  | "nn.avgpool" ->
+      emit_pool bld ~kind:`Avg
+        ~input:(lookup (Op.operand op 0))
+        ~dest
+        ~kernel:(Op.int_attr_exn op "kernel")
+        ~stride:(Op.int_attr_exn op "stride")
+  | "nn.flatten" -> emit_flatten bld ~input:(lookup (Op.operand op 0)) ~dest
+  | "nn.linear" ->
+      emit_linear bld
+        ~input:(lookup (Op.operand op 0))
+        ~weight:(lookup (Op.operand op 1))
+        ~bias:(lookup (Op.operand op 2))
+        ~dest
+  | name -> invalid_arg ("Lower_nn.emit_op: " ^ name)

@@ -1,0 +1,47 @@
+(** Lowering of tensor-level nn ops to affine loop nests over memref
+    buffers (the linalg-to-affine stage of Fig. 5).  Each emitter writes
+    into a destination buffer; accumulation goes through memory, as HLS
+    C++ does.  Zero padding materializes a line-buffer window
+    (functionally full-sized for the interpreter; the estimator charges
+    only the resident rows). *)
+
+open Hida_ir
+
+val pad_input : Builder.t -> input:Ir.value -> pad:int -> Ir.value
+
+(** Boundary handling for padded convolutions: [`Padded] materializes a
+    zero-padded line-buffer window (the default); [`Guarded] wraps each
+    boundary load in an [affine.if] (Fig. 2's conditional form) —
+    no extra buffer at the cost of extra control logic. *)
+
+val emit_conv2d :
+  ?boundary:[ `Guarded | `Padded ] ->
+  Builder.t ->
+  input:Ir.value -> weight:Ir.value -> bias:Ir.value -> dest:Ir.value ->
+  stride:int -> pad:int -> unit
+
+val emit_dwconv2d :
+  ?boundary:[ `Guarded | `Padded ] ->
+  Builder.t ->
+  input:Ir.value -> weight:Ir.value -> bias:Ir.value -> dest:Ir.value ->
+  stride:int -> pad:int -> unit
+
+val emit_relu : Builder.t -> input:Ir.value -> dest:Ir.value -> unit
+val emit_add : Builder.t -> lhs:Ir.value -> rhs:Ir.value -> dest:Ir.value -> unit
+
+val emit_pool :
+  Builder.t ->
+  kind:[ `Avg | `Max ] ->
+  input:Ir.value -> dest:Ir.value -> kernel:int -> stride:int -> unit
+
+val emit_flatten : Builder.t -> input:Ir.value -> dest:Ir.value -> unit
+
+val emit_linear :
+  Builder.t ->
+  input:Ir.value -> weight:Ir.value -> bias:Ir.value -> dest:Ir.value -> unit
+
+val emit_op :
+  ?boundary:[ `Guarded | `Padded ] ->
+  Builder.t -> lookup:(Ir.value -> Ir.value) -> dest:Ir.value -> Ir.op -> unit
+(** Dispatch on an nn op, resolving tensor operands to memrefs through
+    [lookup]. *)

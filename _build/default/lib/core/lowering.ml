@@ -1,0 +1,486 @@
+(* Functional-to-structural dataflow lowering (§6.3):
+
+   (1) buffer generation — tensors produced by tasks become hida.buffer
+       ops; memref.alloc ops become hida.buffer ops;
+   (2) dispatch-to-schedule mapping — live-ins are analyzed and become
+       explicit schedule operands (isolation);
+   (3) task-to-node mapping — memory effects of every live-in are
+       analyzed and node operands are grouped read-only first (Fig. 4/6).
+
+   Two input forms are supported, matching the two front-ends:
+   - tensor semantics (PyTorch path): tasks contain nn ops; lowering
+     *emits* affine loop nests into the nodes via [Lower_nn];
+   - memref semantics (C++ path): tasks contain affine loop nests already;
+     lowering *moves* them into isolated nodes, rewiring captured values
+     to block arguments. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+(* ---- Memory-effect analysis ---- *)
+
+type effect_flags = { mutable reads : bool; mutable writes : bool }
+
+let effect_table () : (int, effect_flags) Hashtbl.t = Hashtbl.create 32
+
+let flag tbl (v : value) =
+  match Hashtbl.find_opt tbl v.v_id with
+  | Some f -> f
+  | None ->
+      let f = { reads = false; writes = false } in
+      Hashtbl.replace tbl v.v_id f;
+      f
+
+(* Record, in [tbl], the effects of the ops inside [root] on all values
+   (including values defined inside).  Node/schedule boundaries are
+   projected through block arguments. *)
+let rec record_effects tbl root =
+  let on_block_ops blk = List.iter (record_op tbl) (Block.ops blk) in
+  List.iter
+    (fun g -> List.iter on_block_ops (Region.blocks g))
+    (Op.regions root)
+
+and record_op tbl op =
+  match Op.name op with
+  | "affine.load" -> (flag tbl (Affine_d.load_memref op)).reads <- true
+  | "affine.store" -> (flag tbl (Affine_d.store_memref op)).writes <- true
+  | "memref.copy" | "hida.copy" ->
+      (flag tbl (Op.operand op 0)).reads <- true;
+      (flag tbl (Op.operand op 1)).writes <- true
+  | "hida.stream_read" | "hida.token_pop" ->
+      (flag tbl (Op.operand op 0)).reads <- true
+  | "hida.stream_write" | "hida.token_push" ->
+      (flag tbl (Op.operand op 0)).writes <- true
+  | "hida.node" ->
+      let rc = Hida_d.ro_count op in
+      List.iteri
+        (fun i v ->
+          let f = flag tbl v in
+          f.reads <- true;
+          if i >= rc then f.writes <- true)
+        (Op.operands op)
+  | "hida.schedule" ->
+      (* Project inner effects on block args to the outer operands. *)
+      let inner = effect_table () in
+      record_effects inner op;
+      let blk = Region.entry (Op.region op 0) in
+      List.iteri
+        (fun i v ->
+          match Hashtbl.find_opt inner (Block.arg blk i).v_id with
+          | Some f ->
+              let outer = flag tbl v in
+              outer.reads <- outer.reads || f.reads;
+              outer.writes <- outer.writes || f.writes
+          | None -> ())
+        (Op.operands op)
+  | _ -> record_effects tbl op
+
+(* Effects of [root] on a given list of outer values: returns (ro, rw)
+   preserving the order of [values]. *)
+let classify_effects root values =
+  let tbl = effect_table () in
+  record_op tbl root;
+  let ro, rw =
+    List.partition
+      (fun v ->
+        match Hashtbl.find_opt tbl v.v_id with
+        | Some f -> not f.writes
+        | None -> true)
+      values
+  in
+  (ro, rw)
+
+(* ---- Alloc to buffer conversion ---- *)
+
+(* memref.alloc ops become hida.buffer ops with default attributes. *)
+let allocs_to_buffers root =
+  let allocs = Walk.collect root ~pred:Memref_d.is_alloc in
+  List.iter
+    (fun alloc ->
+      match Value.typ (Op.result alloc 0) with
+      | Memref { shape; elem } ->
+          let b = Hida_d.buffer_op ~depth:2 ~shape ~elem () in
+          (Op.result b 0).v_name_hint <- (Op.result alloc 0).v_name_hint;
+          (match Op.parent alloc with
+          | Some blk -> Block.insert_before blk ~anchor:alloc b
+          | None -> invalid_arg "Lowering.allocs_to_buffers");
+          replace_op alloc ~with_values:[ Op.result b 0 ]
+      | _ -> ())
+    allocs
+
+(* ---- Shared helpers ---- *)
+
+(* Memref- or stream-typed free values of an op (outer values referenced
+   inside), in first-use order. *)
+let free_aggregates op =
+  let inside = Hashtbl.create 32 in
+  Walk.preorder op ~f:(fun o ->
+      List.iter (fun r -> Hashtbl.replace inside r.v_id ()) (Op.results o);
+      List.iter
+        (fun g ->
+          List.iter
+            (fun b ->
+              List.iter (fun a -> Hashtbl.replace inside a.v_id ()) (Block.args b))
+            (Region.blocks g))
+        (Op.regions o));
+  let seen = Hashtbl.create 16 in
+  let free = ref [] in
+  Walk.preorder op ~f:(fun o ->
+      List.iter
+        (fun v ->
+          if (not (Hashtbl.mem inside v.v_id)) && not (Hashtbl.mem seen v.v_id)
+          then begin
+            match Value.typ v with
+            | Memref _ | Stream _ ->
+                Hashtbl.replace seen v.v_id ();
+                free := v :: !free
+            | _ -> ()
+          end)
+        (Op.operands o));
+  List.rev !free
+
+(* Scalar free values (constants etc.) that must be cloned into isolated
+   regions. *)
+let free_scalars op =
+  let inside = Hashtbl.create 32 in
+  Walk.preorder op ~f:(fun o ->
+      List.iter (fun r -> Hashtbl.replace inside r.v_id ()) (Op.results o);
+      List.iter
+        (fun g ->
+          List.iter
+            (fun b ->
+              List.iter (fun a -> Hashtbl.replace inside a.v_id ()) (Block.args b))
+            (Region.blocks g))
+        (Op.regions o));
+  let seen = Hashtbl.create 16 in
+  let free = ref [] in
+  Walk.preorder op ~f:(fun o ->
+      List.iter
+        (fun v ->
+          if (not (Hashtbl.mem inside v.v_id)) && not (Hashtbl.mem seen v.v_id)
+          then begin
+            match Value.typ v with
+            | Memref _ | Stream _ -> ()
+            | _ ->
+                Hashtbl.replace seen v.v_id ();
+                free := v :: !free
+          end)
+        (Op.operands o));
+  List.rev !free
+
+(* Rewire every use of [old_v] inside [root] to [new_v]. *)
+let replace_uses_within root ~old_v ~new_v =
+  Walk.preorder root ~f:(fun o ->
+      Array.iteri
+        (fun i v -> if Value.equal v old_v then Op.set_operand o i new_v)
+        o.o_operands)
+
+(* ---- Memref-semantics lowering (C++ path) ---- *)
+
+(* Lower one dispatch op into a schedule; nested dispatches inside tasks
+   are lowered first (hierarchical dataflow). *)
+let rec lower_dispatch d =
+  (* Recurse into nested dispatches first. *)
+  List.iter
+    (fun t ->
+      let nested = Walk.collect t ~pred:(fun o -> Hida_d.is_dispatch o) in
+      List.iter (fun nd -> if not (Op.equal nd d) then ignore (lower_dispatch nd)) nested)
+    (Hida_d.body_ops d);
+  let blk =
+    match Op.parent d with
+    | Some b -> b
+    | None -> invalid_arg "Lowering.lower_dispatch: detached dispatch"
+  in
+  let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+  (* Live-ins of the future schedule: aggregates captured by any task,
+     plus non-constant scalar captures (e.g. outer loop induction
+     variables of a hierarchical dataflow), threaded as read-only
+     operands. *)
+  let livein = free_aggregates d in
+  let ro_live, rw_live = classify_effects d livein in
+  let scalar_live =
+    List.filter
+      (fun v ->
+        match Value.defining_op v with
+        | Some def -> not (Arith.is_constant def)
+        | None -> true)
+      (free_scalars d)
+  in
+  let sched = Hida_d.schedule ~operands:(ro_live @ rw_live @ scalar_live) () in
+  Block.insert_before blk ~anchor:d sched;
+  let sched_blk = Hida_d.node_block sched in
+  let sched_arg_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i v -> Hashtbl.replace tbl v.v_id (Block.arg sched_blk i))
+      (Op.operands sched);
+    fun v -> match Hashtbl.find_opt tbl v.v_id with Some a -> a | None -> v
+  in
+  List.iter
+    (fun t ->
+      let aggregates = free_aggregates t in
+      let ro_aggr, rw = classify_effects t aggregates in
+      let scalar_ro =
+        List.filter
+          (fun v ->
+            match Value.defining_op v with
+            | Some def -> not (Arith.is_constant def)
+            | None -> true)
+          (free_scalars t)
+      in
+      let ro = ro_aggr @ scalar_ro in
+      let node =
+        Hida_d.node ~ro:(List.map sched_arg_of ro) ~rw:(List.map sched_arg_of rw) ()
+      in
+      Block.append sched_blk node;
+      let node_blk = Hida_d.node_block node in
+      (* Clone free scalar definitions (constants) into the node. *)
+      let scalar_map = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          match Value.defining_op v with
+          | Some def when Arith.is_constant def ->
+              let cloned = clone_op def in
+              Block.append node_blk cloned;
+              Hashtbl.replace scalar_map v.v_id (Op.result cloned 0)
+          | _ -> ())
+        (free_scalars t);
+      (* Move task body ops into the node. *)
+      let body = Hida_d.body t in
+      List.iter
+        (fun o ->
+          if not (Hida_d.is_yield o) then begin
+            Block.remove body o;
+            Block.append node_blk o
+          end)
+        (Block.ops body);
+      (* Rewire captured aggregates to node args and scalars to clones. *)
+      List.iteri
+        (fun i v -> replace_uses_within node ~old_v:v ~new_v:(Block.arg node_blk i))
+        (ro @ rw);
+      Hashtbl.iter
+        (fun old_id new_v ->
+          Walk.preorder node ~f:(fun o ->
+              Array.iteri
+                (fun i v ->
+                  if v.v_id = old_id && not (Op.equal o (match Value.defining_op new_v with Some d' -> d' | None -> o)) then
+                    Op.set_operand o i new_v)
+                o.o_operands))
+        scalar_map;
+      ignore (Builder.build (Builder.at_end node_blk) ~results:[] "hida.yield"))
+    tasks;
+  (* The dispatch should have no remaining meaningful results in memref
+     semantics; erase it. *)
+  erase_op d;
+  sched
+
+(* Lower all dispatches of a memref-semantics function. *)
+let lower_memref_func func =
+  allocs_to_buffers func;
+  (* Lower every dispatch, wherever it sits — at the function top level
+     or nested inside loops (hierarchical dataflow).  [lower_dispatch]
+     handles dispatches nested inside its own tasks, so processing any
+     remaining dispatch repeatedly converges. *)
+  let rec go () =
+    match Walk.find func ~pred:Hida_d.is_dispatch with
+    | Some d ->
+        ignore (lower_dispatch d);
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* ---- Tensor-semantics lowering (PyTorch path) ---- *)
+
+(* Lower a function whose body holds nn.weight ops and a single dispatch
+   of tasks containing nn ops.  [weights_onchip] keeps weights in on-chip
+   buffers (the ScaleHLS behaviour, Fig. 9); otherwise weights live in
+   external memory behind ports. *)
+let lower_nn_func ?(weights_onchip = false) ?boundary func =
+  let entry = Func_d.entry_block func in
+  let d =
+    match List.find_opt Hida_d.is_dispatch (Block.ops entry) with
+    | Some d -> d
+    | None -> invalid_arg "Lowering.lower_nn_func: no dispatch"
+  in
+  let bld = Builder.create () in
+  Builder.set_before bld d;
+  (* memref counterparts of tensor values. *)
+  let memref_of : (int, value) Hashtbl.t = Hashtbl.create 32 in
+  (* (1) weights *)
+  let weights = Walk.collect func ~pred:(fun o -> Op.name o = "nn.weight") in
+  List.iter
+    (fun w ->
+      let r = Op.result w 0 in
+      let shape = Typ.shape (Value.typ r) and elem = Typ.elem (Value.typ r) in
+      let seed = Op.int_attr_exn w "seed" in
+      let m =
+        if weights_onchip then begin
+          let b = Hida_d.buffer ~name:"w" ~depth:1 bld ~shape ~elem in
+          (match Value.defining_op b with
+          | Some bo -> Op.set_attr bo "seed" (A_int seed)
+          | None -> ());
+          b
+        end
+        else begin
+          let p = Hida_d.port ~name:"w" bld ~kind:Hida_d.Maxi ~shape ~elem in
+          (match Value.defining_op p with
+          | Some po -> Op.set_attr po "seed" (A_int seed)
+          | None -> ());
+          p
+        end
+      in
+      Hashtbl.replace memref_of r.v_id m)
+    weights;
+  (* (2) output buffers for every task result.  Large feature maps spill
+     to external memory (HIDA's loop tiling + local buffer creation keeps
+     only tiles on chip, §7.2); ScaleHLS-style lowering keeps everything
+     on chip. *)
+  let fm_onchip_bits = 16 * 18_432 in
+  let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun r ->
+          let shape = Typ.shape (Value.typ r) and elem = Typ.elem (Value.typ r) in
+          let bits = List.fold_left ( * ) 1 shape * Typ.bit_width elem in
+          let placement =
+            if (not weights_onchip) && bits > fm_onchip_bits then
+              Hida_d.External
+            else Hida_d.On_chip
+          in
+          let b = Hida_d.buffer ~name:"fm" ~depth:2 ~placement bld ~shape ~elem in
+          Hashtbl.replace memref_of r.v_id b)
+        (Op.results t))
+    tasks;
+  let resolve v =
+    match Hashtbl.find_opt memref_of v.v_id with
+    | Some m -> m
+    | None -> v (* already a memref (function argument) *)
+  in
+  (* (3) schedule: live-ins are all memrefs used by any task. *)
+  let node_plans =
+    List.map
+      (fun t ->
+        (* Inputs: operands of payload nn ops that are defined outside the
+           task. *)
+        let inputs = ref [] in
+        let inside = Hashtbl.create 16 in
+        List.iter
+          (fun o -> List.iter (fun r -> Hashtbl.replace inside r.v_id ()) (Op.results o))
+          (Hida_d.body_ops t);
+        List.iter
+          (fun o ->
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem inside v.v_id) then
+                  let m = resolve v in
+                  if
+                    (match Value.typ m with Memref _ -> true | _ -> false)
+                    && not (List.exists (fun (x, _) -> Value.equal x m) !inputs)
+                  then inputs := (m, v) :: !inputs)
+              (Op.operands o))
+          (Hida_d.body_ops t);
+        let outputs = List.map (fun r -> resolve r) (Op.results t) in
+        (t, List.rev !inputs, outputs))
+      tasks
+  in
+  let sched_operands =
+    let seen = Hashtbl.create 16 in
+    let ordered = ref [] in
+    let add v =
+      if not (Hashtbl.mem seen v.v_id) then begin
+        Hashtbl.replace seen v.v_id ();
+        ordered := v :: !ordered
+      end
+    in
+    List.iter
+      (fun (_, inputs, outputs) ->
+        List.iter (fun (m, _) -> add m) inputs;
+        List.iter add outputs)
+      node_plans;
+    List.rev !ordered
+  in
+  let sched = Hida_d.schedule ~operands:sched_operands () in
+  Block.insert_before entry ~anchor:d sched;
+  let sched_blk = Hida_d.node_block sched in
+  let sched_arg_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i v -> Hashtbl.replace tbl v.v_id (Block.arg sched_blk i))
+      sched_operands;
+    fun v -> match Hashtbl.find_opt tbl v.v_id with Some a -> a | None -> v
+  in
+  (* (4) nodes: emit loop nests for each task's nn ops. *)
+  List.iter
+    (fun (t, inputs, outputs) ->
+      let ro = List.map (fun (m, _) -> sched_arg_of m) inputs in
+      let rw = List.map sched_arg_of outputs in
+      let node = Hida_d.node ~ro ~rw () in
+      Block.append sched_blk node;
+      let node_blk = Hida_d.node_block node in
+      let nbld = Builder.at_end node_blk in
+      (* env: tensor SSA value -> memref value visible inside the node. *)
+      let env = Hashtbl.create 16 in
+      List.iteri
+        (fun i (_, tensor_v) -> Hashtbl.replace env tensor_v.v_id (Block.arg node_blk i))
+        inputs;
+      let num_ro = List.length inputs in
+      let yielded =
+        match List.find_opt Hida_d.is_yield (Block.ops (Hida_d.body t)) with
+        | Some y -> Op.operands y
+        | None -> []
+      in
+      List.iteri
+        (fun i y -> Hashtbl.replace env y.v_id (Block.arg node_blk (num_ro + i)))
+        yielded;
+      let lookup v =
+        match Hashtbl.find_opt env v.v_id with
+        | Some m -> m
+        | None ->
+            failwith
+              (Printf.sprintf "Lowering.lower_nn_func: unresolved value %s"
+                 (Value.name v))
+      in
+      List.iter
+        (fun op ->
+          if Nn.is_nn op && Op.name op <> "nn.weight" then begin
+            let r = Op.result op 0 in
+            let dest =
+              match Hashtbl.find_opt env r.v_id with
+              | Some m -> m (* a yielded result: write to the RW arg *)
+              | None ->
+                  (* Intermediate tensor of a fused task: a local buffer
+                     inside the node.  The tiled implementation streams
+                     it, keeping a small window of rows resident. *)
+                  let shape = Typ.shape (Value.typ r)
+                  and elem = Typ.elem (Value.typ r) in
+                  let b = Hida_d.buffer ~name:"tmp" ~depth:1 nbld ~shape ~elem in
+                  (match Value.defining_op b with
+                  | Some bo -> Op.set_attr bo "resident_rows" (A_int 4)
+                  | None -> ());
+                  Hashtbl.replace env r.v_id b;
+                  b
+            in
+            Lower_nn.emit_op ?boundary nbld ~lookup ~dest op
+          end)
+        (Hida_d.body_ops t);
+      ignore (Builder.build (Builder.at_end node_blk) ~results:[] "hida.yield"))
+    node_plans;
+  (* Replace the dispatch results (used by func.return) with the output
+     buffers and erase the functional IR. *)
+  let yield_operands =
+    match List.find_opt Hida_d.is_yield (Block.ops (Hida_d.body d)) with
+    | Some y -> Op.operands y
+    | None -> []
+  in
+  replace_op d ~with_values:(List.map resolve yield_operands);
+  List.iter erase_op weights;
+  sched
+
+let memref_pass = Pass.make ~name:"structural-dataflow-lowering" lower_memref_func
+
+let nn_pass ?weights_onchip ?boundary () =
+  Pass.make ~name:"structural-dataflow-lowering-nn" (fun func ->
+      ignore (lower_nn_func ?weights_onchip ?boundary func))

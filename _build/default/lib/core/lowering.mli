@@ -1,0 +1,43 @@
+(** Functional-to-structural dataflow lowering (§6.3).
+
+    Three procedures: (1) buffer generation — tensors produced by tasks
+    and [memref.alloc]s become [hida.buffer]s; (2) dispatch-to-schedule
+    mapping with live-in analysis (isolation); (3) task-to-node mapping
+    with per-operand memory effects, read-only operands grouped first
+    (Figs. 4 and 6).
+
+    Two input forms, matching the two front-ends: tensor semantics
+    (PyTorch path — nn ops are expanded into affine loop nests inside
+    the nodes) and memref semantics (C++ path — loop nests are moved
+    into isolated nodes with captured values rewired to block
+    arguments).  Large feature maps spill to external memory unless
+    [weights_onchip] requests the ScaleHLS-style all-on-chip layout. *)
+
+open Hida_ir
+
+val allocs_to_buffers : Ir.op -> unit
+(** Convert every [memref.alloc] into a [hida.buffer]. *)
+
+val free_aggregates : Ir.op -> Ir.value list
+(** Outer memref/stream values captured by an op, in first-use order. *)
+
+val classify_effects : Ir.op -> Ir.value list -> Ir.value list * Ir.value list
+(** Partition values into (read-only, read-write) according to the op's
+    memory effects (loads, stores, copies, nested nodes/schedules). *)
+
+val lower_dispatch : Ir.op -> Ir.op
+(** Lower one dispatch into a schedule (recursing into nested dispatches
+    first — hierarchical dataflow); returns the schedule. *)
+
+val lower_memref_func : Ir.op -> unit
+(** C++ path: lower every dispatch of a function. *)
+
+val lower_nn_func :
+  ?weights_onchip:bool -> ?boundary:[ `Guarded | `Padded ] -> Ir.op -> Ir.op
+(** PyTorch path: lower the function's dispatch of nn-op tasks; returns
+    the created schedule.  [boundary] selects the convolution boundary
+    handling (see {!Lower_nn}). *)
+
+val memref_pass : Pass.t
+val nn_pass :
+  ?weights_onchip:bool -> ?boundary:[ `Guarded | `Padded ] -> unit -> Pass.t

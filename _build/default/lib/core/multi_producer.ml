@@ -1,0 +1,264 @@
+(* Multiple-producers elimination (§6.4.1, Algorithm 3).
+
+   Buffers written by several nodes force sequential execution.  Two
+   cases:
+   - *internal* buffers (allocated for this schedule only, no external
+     access possible): duplicate the buffer per extra producer, inserting
+     an explicit copy when the producer also reads the original, and
+     rewire dominated users (Fig. 7(a-b));
+   - *external* buffers (function arguments, ports, or buffers visible
+     elsewhere): duplication is unsound, so all producers are fused into
+     one node executed sequentially (Fig. 7(c-d)). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+let nodes_of sched = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched))
+
+let node_index sched n =
+  match Block.index_of (Hida_d.node_block sched) n with
+  | Some i -> i
+  | None -> invalid_arg "Multi_producer.node_index"
+
+(* Producers of schedule-block-arg [arg]: nodes holding it as read-write,
+   in dominance (block) order. *)
+let producers sched arg =
+  List.filter
+    (fun n ->
+      List.exists
+        (fun (i, v) -> Value.equal v arg && Hida_d.operand_effect n i = `Read_write)
+        (List.mapi (fun i v -> (i, v)) (Op.operands n)))
+    (nodes_of sched)
+
+let users sched arg =
+  List.filter
+    (fun n -> List.exists (Value.equal arg) (Op.operands n))
+    (nodes_of sched)
+
+(* Does node [n] read [arg] (a load before/besides its writes)? *)
+let reads_arg n arg =
+  let positions =
+    List.filteri (fun _ _ -> true) (Op.operands n)
+    |> List.mapi (fun i v -> (i, v))
+    |> List.filter (fun (_, v) -> Value.equal v arg)
+  in
+  List.exists
+    (fun (i, _) ->
+      let inner = Hida_d.node_arg n i in
+      Walk.count n ~pred:(fun o ->
+          Affine_d.is_load o && Value.equal (Affine_d.load_memref o) inner)
+      > 0
+      || Walk.count n ~pred:(fun o ->
+             Hida_d.is_copy o && Value.equal (Op.operand o 0) inner)
+         > 0)
+    positions
+
+(* Is the outer value backing [arg] internal to this schedule: a
+   hida.buffer whose only user is the schedule itself? *)
+let is_internal sched outer =
+  match Value.defining_op outer with
+  | Some def when Hida_d.is_buffer def ->
+      List.for_all
+        (fun (u : use) -> Op.equal u.u_op sched)
+        (Value.uses outer)
+      && Hida_d.buffer_placement def = On_chip
+  | _ -> false
+
+(* Clone the buffer behind [outer]; insert after its definition; register
+   it as a new RW operand of the schedule.  Returns the new block arg. *)
+let duplicate_buffer sched outer =
+  match Value.defining_op outer with
+  | Some def when Hida_d.is_buffer def ->
+      let cloned = clone_op def in
+      (match Op.parent def with
+      | Some blk -> Block.insert_after blk ~anchor:def cloned
+      | None -> invalid_arg "Multi_producer.duplicate_buffer");
+      Hida_d.add_operand ~effect:`Read_write sched (Op.result cloned 0)
+  | _ -> invalid_arg "Multi_producer.duplicate_buffer: not a buffer"
+
+(* Insert a copy node (ro = src, rw = dst) right before [anchor]. *)
+let insert_copy_node sched ~src ~dst ~anchor =
+  let node = Hida_d.node ~ro:[ src ] ~rw:[ dst ] () in
+  Block.insert_before (Hida_d.node_block sched) ~anchor node;
+  let blk = Hida_d.node_block node in
+  let bld = Builder.at_end blk in
+  Hida_d.copy bld ~src:(Block.arg blk 0) ~dst:(Block.arg blk 1);
+  ignore (Builder.build bld ~results:[] "hida.yield");
+  node
+
+(* Replace the uses of [arg] by [arg'] in node [n]'s operand list. *)
+let replace_arg_in_node n ~arg ~arg' =
+  Array.iteri
+    (fun i v -> if Value.equal v arg then Op.set_operand n i arg')
+    n.o_operands
+
+(* Fuse a list of nodes into a single node executing them sequentially,
+   preserving the position of the first node. *)
+let merge_nodes sched nodes =
+  match nodes with
+  | [] | [ _ ] -> ()
+  | first :: _ ->
+      (* Union of operands with merged effects. *)
+      let entries = ref [] in
+      List.iter
+        (fun n ->
+          List.iteri
+            (fun i v ->
+              let eff = Hida_d.operand_effect n i in
+              match List.find_opt (fun (v', _) -> Value.equal v v') !entries with
+              | Some (_, flags) ->
+                  if eff = `Read_write then flags := `Read_write
+              | None -> entries := (v, ref eff) :: !entries)
+            (Op.operands n))
+        nodes;
+      let entries = List.rev !entries in
+      let ro = List.filter_map (fun (v, e) -> if !e = `Read_only then Some v else None) entries in
+      let rw = List.filter_map (fun (v, e) -> if !e = `Read_write then Some v else None) entries in
+      let merged = Hida_d.node ~ro ~rw () in
+      Block.insert_before (Hida_d.node_block sched) ~anchor:first merged;
+      let mblk = Hida_d.node_block merged in
+      let arg_for v =
+        let rec go i = function
+          | [] -> invalid_arg "Multi_producer.merge_nodes: operand"
+          | x :: _ when Value.equal x v -> Block.arg mblk i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 (ro @ rw)
+      in
+      List.iter
+        (fun n ->
+          let nblk = Hida_d.node_block n in
+          (* Move body ops, rewiring the old block args to the merged
+             node's args. *)
+          let mapping =
+            List.mapi (fun i v -> (Block.arg nblk i, arg_for v)) (Op.operands n)
+          in
+          List.iter
+            (fun o ->
+              if not (Hida_d.is_yield o) then begin
+                Block.remove nblk o;
+                Block.append mblk o
+              end)
+            (Block.ops nblk);
+          List.iter
+            (fun (old_arg, new_arg) ->
+              Walk.preorder merged ~f:(fun o ->
+                  Array.iteri
+                    (fun i v -> if Value.equal v old_arg then Op.set_operand o i new_arg)
+                    o.o_operands))
+            mapping;
+          erase_op n)
+        nodes;
+      ignore (Builder.build (Builder.at_end mblk) ~results:[] "hida.yield")
+
+(* Algorithm 3. *)
+let run_on_schedule sched =
+  let sched_blk = Hida_d.node_block sched in
+  (* Iterate over a snapshot of (operand index, arg) pairs; new operands
+     appended during the loop are single-producer by construction. *)
+  let snapshot = List.mapi (fun i v -> (i, v)) (Op.operands sched) in
+  (* Case (1): internal buffers. *)
+  List.iter
+    (fun (i, outer) ->
+      if is_internal sched outer then begin
+        let arg = Block.arg sched_blk i in
+        match producers sched arg with
+        | [] | [ _ ] -> ()
+        | _first :: rest ->
+            (* Chain of duplicates: each extra producer gets a fresh
+               buffer seeded (via an explicit copy) from the previous one
+               when it reads before writing. *)
+            let current = ref arg in
+            List.iter
+              (fun p ->
+                let arg' = duplicate_buffer sched outer in
+                (* Algorithm 3 line 5 guards the copy on read_effect(p, b).
+                   A producer that writes the buffer only partially must
+                   also expose earlier producers' data to dominated
+                   readers, and our effect analysis cannot prove full
+                   coverage — so the duplicate is seeded unconditionally
+                   (a conservative superset of the paper's condition;
+                   [reads_arg] remains available for precise clients). *)
+                let p_reads = true in
+                let pi = node_index sched p in
+                List.iter
+                  (fun u ->
+                    let ui = node_index sched u in
+                    if ui >= pi then replace_arg_in_node u ~arg:!current ~arg')
+                  (users sched !current);
+                (* Line 5-7 of Algorithm 3: when the producer reads the
+                   original buffer, seed its duplicate with an explicit
+                   copy at the front of the producer's region. *)
+                if p_reads then begin
+                  let src_arg = Hida_d.add_operand ~effect:`Read_only p !current in
+                  let j =
+                    let rec go k = function
+                      | [] -> invalid_arg "Multi_producer: rewired operand"
+                      | v :: _ when Value.equal v arg' -> k
+                      | _ :: vs -> go (k + 1) vs
+                    in
+                    go 0 (Op.operands p)
+                  in
+                  let dst_arg = Hida_d.node_arg p j in
+                  let copy =
+                    Op.create ~operands:[ src_arg; dst_arg ] ~results:[] "hida.copy"
+                  in
+                  Block.prepend (Hida_d.node_block p) copy
+                end;
+                current := arg')
+              rest
+      end)
+    snapshot;
+  (* Case (2): external buffers — merge producers.  Producers separated
+     by other nodes cannot be naively merged (the intervening nodes may
+     read intermediate values), so we merge maximal consecutive runs
+     first and, if several producer nodes remain, merge the whole span of
+     nodes between the first and last producer, preserving program
+     order. *)
+  let merge_consecutive_runs arg =
+    let ps = producers sched arg in
+    let runs =
+      List.fold_left
+        (fun acc p ->
+          let pi = node_index sched p in
+          match acc with
+          | (last_i, run) :: rest when pi = last_i + 1 ->
+              (pi, p :: run) :: rest
+          | _ -> (pi, [ p ]) :: acc)
+        [] ps
+    in
+    List.iter (fun (_, run) -> merge_nodes sched (List.rev run)) runs
+  in
+  let merge_span arg =
+    match producers sched arg with
+    | [] | [ _ ] -> ()
+    | ps ->
+        let idxs = List.map (node_index sched) ps in
+        let lo = List.fold_left min max_int idxs
+        and hi = List.fold_left max 0 idxs in
+        let span =
+          List.filteri (fun k _ -> k >= lo && k <= hi)
+            (Block.ops sched_blk)
+          |> List.filter Hida_d.is_node
+        in
+        merge_nodes sched span
+  in
+  let snapshot = List.mapi (fun i v -> (i, v)) (Op.operands sched) in
+  List.iter
+    (fun (i, outer) ->
+      if not (is_internal sched outer) then begin
+        let arg = Block.arg sched_blk i in
+        match producers sched arg with
+        | [] | [ _ ] -> ()
+        | _ ->
+            merge_consecutive_runs arg;
+            merge_span arg
+      end)
+    snapshot
+
+let run root =
+  let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
+  List.iter run_on_schedule schedules
+
+let pass = Pass.make ~name:"multi-producer-elimination" run

@@ -1,0 +1,39 @@
+(** Multiple-producers elimination (§6.4.1, Algorithm 3).
+
+    Buffers written by several nodes force sequential execution.
+    {e Internal} buffers (allocated for this schedule only) are
+    duplicated per extra producer — each duplicate seeded by an explicit
+    copy at the front of the producer's region — and dominated users are
+    rewired (Fig. 7(a-b)).  {e External} buffers (function arguments,
+    ports, shared buffers) cannot be duplicated soundly, so producers
+    are fused into sequential nodes (Fig. 7(c-d)): maximal consecutive
+    runs first, then the whole producer span if several remain. *)
+
+open Hida_ir
+
+val nodes_of : Ir.op -> Ir.op list
+val node_index : Ir.op -> Ir.op -> int
+
+val producers : Ir.op -> Ir.value -> Ir.op list
+(** Nodes holding the schedule block argument as read-write, in
+    dominance order. *)
+
+val users : Ir.op -> Ir.value -> Ir.op list
+val reads_arg : Ir.op -> Ir.value -> bool
+val is_internal : Ir.op -> Ir.value -> bool
+
+val duplicate_buffer : Ir.op -> Ir.value -> Ir.value
+(** Clone the buffer behind a schedule operand and register the clone as
+    a new read-write operand; returns the new block argument. *)
+
+val insert_copy_node :
+  Ir.op -> src:Ir.value -> dst:Ir.value -> anchor:Ir.op -> Ir.op
+(** A node performing [hida.copy src dst], inserted before [anchor]. *)
+
+val merge_nodes : Ir.op -> Ir.op list -> unit
+(** Fuse nodes into one sequential node at the first node's position,
+    merging operand effect groups. *)
+
+val run_on_schedule : Ir.op -> unit
+val run : Ir.op -> unit
+val pass : Pass.t

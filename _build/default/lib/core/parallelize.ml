@@ -1,0 +1,303 @@
+(* Structural dataflow parallelization (§6.5): the intensity-aware (IA)
+   and connection-aware (CA) node parallelization.
+
+   Step (1) intensity and connection analysis  -> [Intensity]
+   Step (2) node sorting by connection count, intensity as tie-breaker
+   Step (3) parallel factor generation proportional to intensity
+   Step (4) per-node constrained DSE           -> [Dse]
+
+   The mode record enables the ablation groups of §7.3 (IA+CA, IA-only,
+   CA-only, Naive). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+type mode = { ia : bool; ca : bool }
+
+let ia_ca = { ia = true; ca = true }
+let ia_only = { ia = true; ca = false }
+let ca_only = { ia = false; ca = true }
+let naive = { ia = false; ca = false }
+
+let mode_name m =
+  match (m.ia, m.ca) with
+  | true, true -> "IA+CA"
+  | true, false -> "IA"
+  | false, true -> "CA"
+  | false, false -> "Naive"
+
+type node_result = {
+  r_node : op;
+  r_intensity : int;
+  r_parallel_factor : int;
+  r_factors : int array; (* per spine level *)
+}
+
+let round_pow2 x =
+  if x <= 1 then 1
+  else
+    let l = Float.round (Float.log (float_of_int x) /. Float.log 2.) in
+    int_of_float (2. ** l)
+
+(* Step (3): parallel factor proportional to intensity (IA), or the
+   maximum factor for every node (non-IA). *)
+let parallel_factor ~mode ~max_pf ~max_intensity intensity =
+  if not mode.ia then max_pf
+  else
+    let raw =
+      float_of_int max_pf *. float_of_int intensity
+      /. float_of_int (max 1 max_intensity)
+    in
+    max 1 (round_pow2 (int_of_float (Float.round raw)))
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then max a b else abs (a * b) / gcd a b
+
+(* Required cyclic partition factor for [u] parallel accesses of stride
+   [c]. *)
+let required_banks ~u ~c = if u <= 1 then 1 else u * max 1 (abs c)
+
+(* Bank cost of a proposal: total banks over the buffers connecting this
+   node to already-parallelized neighbours (the QoR feedback of line 20 in
+   Algorithm 4, specialized to the memory subsystem which dominates the
+   coupled design space). *)
+let bank_cost ~connections ~parallelized ~node proposal =
+  let cost = ref 0 in
+  List.iter
+    (fun (c : Intensity.connection) ->
+      let this_is_source = Op.equal c.Intensity.c_source node in
+      let other =
+        if this_is_source then c.Intensity.c_target else c.Intensity.c_source
+      in
+      match Hashtbl.find_opt parallelized other.o_id with
+      | None -> ()
+      | Some (other_factors : int array) ->
+          let buffer_banks = ref 1 in
+          Array.iter
+            (fun (s_info, t_info) ->
+              let this_info = if this_is_source then s_info else t_info in
+              let other_info = if this_is_source then t_info else s_info in
+              let req info factors =
+                match info with
+                | Some (lvl, stride) when lvl < Array.length factors ->
+                    required_banks ~u:factors.(lvl) ~c:stride
+                | _ -> 1
+              in
+              let p = lcm (req this_info proposal) (req other_info other_factors) in
+              buffer_banks := !buffer_banks * max 1 p)
+            c.Intensity.c_dim_info;
+          cost := !cost + !buffer_banks)
+    connections;
+  float_of_int !cost
+
+(* Constraints on [node]'s spine levels from an already-parallelized
+   connected node (lines 3-8 of Algorithm 4): the neighbour's factors are
+   scaled by the connection's scaling map and permuted into this node's
+   loop space. *)
+let connection_constraint ~node (c : Intensity.connection) other_factors =
+  if Op.equal c.Intensity.c_target node then begin
+    (* Neighbour is the source: use source-to-target maps. *)
+    let nt = Array.length c.Intensity.c_s_to_t_perm in
+    Array.init nt (fun jt ->
+        match c.Intensity.c_s_to_t_perm.(jt) with
+        | Some js when js < Array.length other_factors ->
+            let scale =
+              match c.Intensity.c_s_to_t_scale.(js) with
+              | Some s -> s
+              | None -> 1.
+            in
+            Some
+              (max 1
+                 (int_of_float
+                    (Float.round (float_of_int other_factors.(js) *. scale))))
+        | _ -> None)
+  end
+  else begin
+    let ns = Array.length c.Intensity.c_t_to_s_perm in
+    Array.init ns (fun js ->
+        match c.Intensity.c_t_to_s_perm.(js) with
+        | Some jt when jt < Array.length other_factors ->
+            let scale =
+              match c.Intensity.c_t_to_s_scale.(jt) with
+              | Some s -> s
+              | None -> 1.
+            in
+            Some
+              (max 1
+                 (int_of_float
+                    (Float.round (float_of_int other_factors.(jt) *. scale))))
+        | _ -> None)
+  end
+
+(* Parallelize one schedule.  Returns per-node results (used by the
+   Listing-1 bench to print Table 5). *)
+let search_with engine ?(constraints = []) ?(cost = fun _ -> 0.) ~dims
+    ~parallel_factor () =
+  match engine with
+  | `Exhaustive -> Dse.search ~constraints ~cost ~dims ~parallel_factor ()
+  | `Stochastic seed ->
+      Dse.search_stochastic ~constraints ~cost ~seed ~dims ~parallel_factor ()
+
+let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
+    sched =
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let connections = Intensity.analyze sched in
+  let intensity_of = Hashtbl.create 16 in
+  (* The workload weight used to apportion parallel factors: the spine
+     iteration count (which the unroll factors divide).  It coincides
+     with the operation-count intensity whenever the body performs one
+     MAC per iteration — every example in the paper — and balances node
+     latencies exactly when it does not. *)
+  let weight_of = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace intensity_of n.o_id (Intensity.op_intensity n);
+      Hashtbl.replace weight_of n.o_id
+        (max 1 (Hida_estimator.Qor.total_trip n)))
+    nodes;
+  let max_intensity =
+    List.fold_left (fun acc n -> max acc (Hashtbl.find weight_of n.o_id)) 1 nodes
+  in
+  (* Step (2): sort by connection count desc, intensity desc. *)
+  let order =
+    List.sort
+      (fun a b ->
+        let ca_ = Intensity.num_connections connections a
+        and cb = Intensity.num_connections connections b in
+        if ca_ <> cb then compare cb ca_
+        else
+          compare
+            (Hashtbl.find intensity_of b.o_id)
+            (Hashtbl.find intensity_of a.o_id))
+      nodes
+  in
+  let parallelized : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let results = ref [] in
+  List.iter
+    (fun node ->
+      let intensity = Hashtbl.find intensity_of node.o_id in
+      let weight = Hashtbl.find weight_of node.o_id in
+      let pf =
+        parallel_factor ~mode ~max_pf:max_parallel_factor ~max_intensity weight
+      in
+      let spine = Intensity.spine_of node in
+      let dims =
+        Array.of_list
+          (List.map
+             (fun l ->
+               (let cls = Intensity.loop_class node l in
+                {
+                  Dse.trip = max 1 (Affine_d.trip_count l);
+                  reduction = cls <> `Parallel;
+                  serial = cls = `Serial;
+                }))
+             spine)
+      in
+      let node_connections = Intensity.connections_of connections node in
+      let constraints =
+        if not mode.ca then []
+        else
+          List.filter_map
+            (fun c ->
+              let other =
+                if Op.equal c.Intensity.c_source node then c.Intensity.c_target
+                else c.Intensity.c_source
+              in
+              match Hashtbl.find_opt parallelized other.o_id with
+              | Some fs -> Some (connection_constraint ~node c fs)
+              | None -> None)
+            node_connections
+      in
+      let cost =
+        if mode.ca then
+          bank_cost ~connections:node_connections ~parallelized ~node
+        else fun _ -> 0.
+      in
+      let factors =
+        search_with engine ~constraints ~cost ~dims ~parallel_factor:pf ()
+      in
+      List.iteri
+        (fun i l -> Affine_d.set_unroll l factors.(i))
+        spine;
+      (* Fused nodes contain several sequential loop nests; the primary
+         nest got the connection-constrained DSE above, the remaining
+         nests each receive an unconstrained intra-node DSE at the same
+         parallel factor (their buffers are node-local). *)
+      let in_spine l = List.exists (Op.equal l) spine in
+      List.iter
+        (fun nest ->
+          if not (in_spine nest) then begin
+            let sub_spine = Intensity.spine_of nest in
+            let sub_dims =
+              Array.of_list
+                (List.map
+                   (fun l ->
+                     let cls = Intensity.loop_class nest l in
+                     {
+                       Dse.trip = max 1 (Affine_d.trip_count l);
+                       reduction = cls <> `Parallel;
+                       serial = cls = `Serial;
+                     })
+                   sub_spine)
+            in
+            let sub = search_with engine ~dims:sub_dims ~parallel_factor:pf () in
+            List.iteri (fun i l -> Affine_d.set_unroll l sub.(i)) sub_spine
+          end)
+        (Affine_d.outermost_loops node);
+      Hashtbl.replace parallelized node.o_id factors;
+      results :=
+        {
+          r_node = node;
+          r_intensity = intensity;
+          r_parallel_factor = pf;
+          r_factors = factors;
+        }
+        :: !results)
+    order;
+  List.rev !results
+
+(* Parallelize a bare loop nest (single-loop-nest kernels present no
+   dataflow opportunities but still undergo intra-node DSE). *)
+let run_on_nest ~max_parallel_factor nest =
+  let spine = Intensity.spine_of nest in
+  let dims =
+    Array.of_list
+      (List.map
+         (fun l ->
+           (let cls = Intensity.loop_class nest l in
+            {
+              Dse.trip = max 1 (Affine_d.trip_count l);
+              reduction = cls <> `Parallel;
+              serial = cls = `Serial;
+            }))
+         spine)
+  in
+  let factors = Dse.search ~dims ~parallel_factor:max_parallel_factor () in
+  List.iteri (fun i l -> Affine_d.set_unroll l factors.(i)) spine;
+  factors
+
+let run ?mode ?engine ~max_parallel_factor root =
+  let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
+  match schedules with
+  | [] ->
+      (* No dataflow structure: apply intra-node DSE to each top-level
+         loop nest directly. *)
+      let nests =
+        List.filter Affine_d.is_for
+          (match Walk.find root ~pred:Func_d.is_func with
+          | Some f -> Block.ops (Func_d.entry_block f)
+          | None ->
+              if Func_d.is_func root then Block.ops (Func_d.entry_block root)
+              else [])
+      in
+      List.iter (fun n -> ignore (run_on_nest ~max_parallel_factor n)) nests;
+      []
+  | _ ->
+      List.concat_map
+        (fun s -> run_on_schedule ?mode ?engine ~max_parallel_factor s)
+        schedules
+
+let pass ?mode ?engine ~max_parallel_factor () =
+  Pass.make ~name:"dataflow-parallelization" (fun root ->
+      ignore (run ?mode ?engine ~max_parallel_factor root))

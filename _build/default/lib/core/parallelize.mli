@@ -1,0 +1,80 @@
+(** Structural dataflow parallelization (§6.5): intensity-aware (IA) and
+    connection-aware (CA) node parallelization.
+
+    Step (1) intensity and connection analysis ({!Intensity});
+    step (2) node ordering by connection count, intensity tie-break;
+    step (3) parallel factors proportional to node workload (IA) or
+    uniform (non-IA); step (4) per-node constrained DSE ({!Dse}), with
+    neighbour factors scaled by the connection's scaling map and
+    permuted into this node's loop space.  The [mode] record realizes
+    the four ablation groups of §7.3. *)
+
+open Hida_ir
+
+type mode = { ia : bool; ca : bool }
+
+val ia_ca : mode
+val ia_only : mode
+val ca_only : mode
+val naive : mode
+val mode_name : mode -> string
+
+type node_result = {
+  r_node : Ir.op;
+  r_intensity : int;
+  r_parallel_factor : int;
+  r_factors : int array;  (** per spine level *)
+}
+
+val round_pow2 : int -> int
+
+val parallel_factor : mode:mode -> max_pf:int -> max_intensity:int -> int -> int
+(** Step (3): workload-proportional factor (IA) or the maximum (non-IA). *)
+
+val bank_cost :
+  connections:Intensity.connection list ->
+  parallelized:(int, int array) Hashtbl.t ->
+  node:Ir.op ->
+  int array ->
+  float
+(** QoR cost of a proposal: total banks over the buffers shared with
+    already-parallelized neighbours. *)
+
+val connection_constraint :
+  node:Ir.op -> Intensity.connection -> int array -> int option array
+(** Lines 3-8 of Algorithm 4. *)
+
+val search_with :
+  [ `Exhaustive | `Stochastic of int ] ->
+  ?constraints:int option array list ->
+  ?cost:(int array -> float) ->
+  dims:Dse.dim array ->
+  parallel_factor:int ->
+  unit ->
+  int array
+(** Run the chosen DSE engine ([`Stochastic seed] is the literal
+    Algorithm 4 loop; [`Exhaustive] its deterministic strengthening). *)
+
+val run_on_schedule :
+  ?mode:mode ->
+  ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  max_parallel_factor:int ->
+  Ir.op ->
+  node_result list
+
+val run_on_nest : max_parallel_factor:int -> Ir.op -> int array
+(** Intra-node DSE on a bare loop nest (single-loop-nest kernels). *)
+
+val run :
+  ?mode:mode ->
+  ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  max_parallel_factor:int ->
+  Ir.op ->
+  node_result list
+
+val pass :
+  ?mode:mode ->
+  ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  max_parallel_factor:int ->
+  unit ->
+  Pass.t

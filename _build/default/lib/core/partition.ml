@@ -1,0 +1,162 @@
+(* Array partitioning (§6.5.2, Table 6): after parallelization, every
+   buffer's partition factors are set to the least common multiple, over
+   all accesses, of the banks required by each access's unroll factor and
+   stride.  Cyclic partitioning is used for strided/unrolled dimensions
+   (the HLS default for unrolled access patterns). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then max a b else abs (a * b) / gcd a b
+
+(* Required cyclic banks on one buffer dimension of one access: the
+   product over driving loops of unroll * |stride| (1 when not
+   unrolled).  Connection-aware partitioning accounts for the stride
+   (scaling map); without CA the layout is derived from unroll factors
+   alone, which is what produces the bank conflicts of Fig. 11 on strided
+   accesses. *)
+let dim_requirement ?(ca = true) (pairs : (op * int) list) =
+  List.fold_left
+    (fun acc (l, c) ->
+      let u = Affine_d.unroll_factor l in
+      if u <= 1 then acc
+      else acc * (u * if ca then max 1 (abs c) else 1))
+    1 pairs
+
+(* The outer buffer op behind a value, if any. *)
+let buffer_def v =
+  match Value.defining_op v with
+  | Some def when Hida_d.is_buffer def -> Some def
+  | _ -> None
+
+let run_on_schedule ?(ca = true) sched =
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let outer_bindings = Hida_d.node_bindings sched in
+  (* Requirements per buffer op id, per dim. *)
+  let requirements : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let bindings = Hida_d.node_bindings n @ outer_bindings in
+      let accesses = Qor.collect_accesses ~bindings n in
+      List.iter
+        (fun a ->
+          match buffer_def a.Qor.a_buffer with
+          | None -> ()
+          | Some buf ->
+              let rank =
+                match Value.typ (Op.result buf 0) with
+                | Memref { shape; _ } -> List.length shape
+                | _ -> 0
+              in
+              let reqs =
+                match Hashtbl.find_opt requirements buf.o_id with
+                | Some r -> r
+                | None ->
+                    let r = Array.make rank 1 in
+                    Hashtbl.replace requirements buf.o_id r;
+                    r
+              in
+              Array.iteri
+                (fun d pairs ->
+                  if d < rank then
+                    reqs.(d) <-
+                      (if ca then lcm reqs.(d) (dim_requirement ~ca pairs)
+                       else max reqs.(d) (dim_requirement ~ca pairs)))
+                a.Qor.a_dims)
+        accesses)
+    nodes;
+  (* Apply to buffers reachable from the schedule's operands and from
+     inside the nodes. *)
+  let apply buf =
+    match Hashtbl.find_opt requirements buf.o_id with
+    | None -> ()
+    | Some reqs ->
+        let shape =
+          match Value.typ (Op.result buf 0) with
+          | Memref { shape; _ } -> Array.of_list shape
+          | _ -> [||]
+        in
+        let factors =
+          Array.mapi
+            (fun d r -> if d < Array.length shape then min r shape.(d) else r)
+            reqs
+        in
+        let kinds =
+          Array.map (fun f -> if f > 1 then Hida_d.P_cyclic else Hida_d.P_none) factors
+        in
+        Hida_d.set_partition buf ~kinds:(Array.to_list kinds)
+          ~factors:(Array.to_list factors)
+  in
+  List.iter
+    (fun v -> match buffer_def v with Some b -> apply b | None -> ())
+    (Op.operands sched);
+  List.iter
+    (fun n ->
+      List.iter apply (Walk.collect n ~pred:Hida_d.is_buffer))
+    nodes
+
+(* Partition the buffers of a function without dataflow structure: the
+   requirements come from all accesses in the function body directly. *)
+let run_on_func ?(ca = true) func =
+  let accesses = Qor.collect_accesses func in
+  let requirements : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match buffer_def a.Qor.a_buffer with
+      | None -> ()
+      | Some buf ->
+          let rank =
+            match Value.typ (Op.result buf 0) with
+            | Memref { shape; _ } -> List.length shape
+            | _ -> 0
+          in
+          let reqs =
+            match Hashtbl.find_opt requirements buf.o_id with
+            | Some r -> r
+            | None ->
+                let r = Array.make rank 1 in
+                Hashtbl.replace requirements buf.o_id r;
+                r
+          in
+          Array.iteri
+            (fun d pairs ->
+              if d < rank then
+                reqs.(d) <-
+                  (if ca then lcm reqs.(d) (dim_requirement ~ca pairs)
+                   else max reqs.(d) (dim_requirement ~ca pairs)))
+            a.Qor.a_dims)
+    accesses;
+  List.iter
+    (fun buf ->
+      match Hashtbl.find_opt requirements buf.o_id with
+      | None -> ()
+      | Some reqs ->
+          let shape =
+            match Value.typ (Op.result buf 0) with
+            | Memref { shape; _ } -> Array.of_list shape
+            | _ -> [||]
+          in
+          let factors =
+            Array.mapi
+              (fun d r -> if d < Array.length shape then min r shape.(d) else r)
+              reqs
+          in
+          let kinds =
+            Array.map
+              (fun f -> if f > 1 then Hida_d.P_cyclic else Hida_d.P_none)
+              factors
+          in
+          Hida_d.set_partition buf ~kinds:(Array.to_list kinds)
+            ~factors:(Array.to_list factors))
+    (Walk.collect func ~pred:Hida_d.is_buffer)
+
+let run ?(ca = true) root =
+  let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
+  match schedules with
+  | [] -> run_on_func ~ca root
+  | _ -> List.iter (run_on_schedule ~ca) schedules
+
+let pass ?ca () = Pass.make ~name:"array-partition" (run ?ca)

@@ -1,0 +1,19 @@
+(** Array partitioning (§6.5.2, Table 6).
+
+    After parallelization, every buffer's per-dimension partition factor
+    is set from the banks required by each access's unroll factor and
+    stride.  Connection-aware partitioning ([ca = true]) combines
+    requirements with stride-aware least common multiples; without CA
+    the layout is stride-blind (unroll factors only), which produces the
+    bank conflicts of Fig. 11 on strided accesses. *)
+
+open Hida_ir
+
+val dim_requirement : ?ca:bool -> (Ir.op * int) list -> int
+
+val run_on_schedule : ?ca:bool -> Ir.op -> unit
+val run_on_func : ?ca:bool -> Ir.op -> unit
+(** Partition a function without dataflow structure. *)
+
+val run : ?ca:bool -> Ir.op -> unit
+val pass : ?ca:bool -> unit -> Pass.t

@@ -1,0 +1,164 @@
+(* Buffer-to-stream conversion (the stream channels of Fig. 3 and the
+   hida.stream operation of Table 3).
+
+   An internal buffer qualifies as a stream when its producer writes it
+   and its single consumer reads it in exactly the same order: one
+   producer node whose only access is a store with an identity index
+   map over its loop nest, one consumer node whose only access is a
+   matching identity load, identical trip counts dimension by
+   dimension, and no unrolling on the involved loops (an unrolled
+   access would need several stream words per cycle).  Qualifying
+   buffers become FIFO channels: the store becomes hida.stream_write,
+   the load hida.stream_read, eliminating the buffer's memory entirely
+   and decoupling the two nodes elastically. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+(* The access of [node] to block-arg [arg], provided it is the node's
+   only access to it and is a "sequential identity" access: every index
+   is a plain induction variable with coefficient 1 and offset 0, the
+   loops form the node's spine in order, and none of them is unrolled.
+   Returns the loops' trip counts. *)
+let sequential_access ~store node arg =
+  let accesses =
+    List.filter
+      (fun a -> Value.equal a.Qor.a_buffer arg)
+      (Qor.collect_accesses ~bindings:(Hida_d.node_bindings node) node)
+  in
+  match accesses with
+  | [ a ] when a.Qor.a_store = store ->
+      let rank = Array.length a.Qor.a_dims in
+      let ok = ref (rank > 0) in
+      let trips = ref [] in
+      for d = 0 to rank - 1 do
+        (match (a.Qor.a_dims.(d), a.Qor.a_consts.(d)) with
+        | [ (l, 1) ], 0 when Affine_d.unroll_factor l = 1 ->
+            trips := Affine_d.trip_count l :: !trips
+        | _ -> ok := false);
+        (* Dimensions must be driven by distinct loops, outer to inner,
+           so the traversal order is the buffer's row-major order. *)
+        ()
+      done;
+      (* Check loop nesting order: dim d's loop must enclose dim d+1's. *)
+      let loops =
+        Array.to_list a.Qor.a_dims
+        |> List.filter_map (function [ (l, _) ] -> Some l | _ -> None)
+      in
+      let rec properly_nested = function
+        | outer :: (inner :: _ as rest) ->
+            List.exists (Op.equal outer) (Affine_d.enclosing_loops inner)
+            && properly_nested rest
+        | _ -> true
+      in
+      if !ok && List.length loops = rank && properly_nested loops then
+        Some (List.rev !trips)
+      else None
+  | _ -> None
+
+(* Find the operand index of [arg] in node [n]. *)
+let operand_index n arg =
+  let rec go i = function
+    | [] -> None
+    | v :: _ when Value.equal v arg -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (Op.operands n)
+
+(* Rewrite the access ops of [node]'s block-arg [inner] into stream
+   reads/writes on the block-arg [stream_arg]. *)
+let rewrite_accesses node ~inner ~stream_arg =
+  Walk.preorder node ~f:(fun op ->
+      if Affine_d.is_load op && Value.equal (Affine_d.load_memref op) inner
+      then begin
+        let blk = Option.get (Op.parent op) in
+        let bld = Builder.create () in
+        Builder.set_before bld op;
+        ignore blk;
+        let v = Hida_d.stream_read bld stream_arg in
+        replace_op op ~with_values:[ v ]
+      end
+      else if
+        Affine_d.is_store op && Value.equal (Affine_d.store_memref op) inner
+      then begin
+        let bld = Builder.create () in
+        Builder.set_before bld op;
+        Hida_d.stream_write bld stream_arg (Affine_d.store_value op);
+        erase_op op
+      end)
+
+(* Convert one qualifying buffer; returns true on success. *)
+let try_streamize sched ~depth (outer : value) arg =
+  match (Value.defining_op outer, Multi_producer.producers sched arg) with
+  | Some buf_op, [ producer ]
+    when Hida_d.is_buffer buf_op
+         && Hida_d.buffer_placement buf_op = Hida_d.On_chip
+         && List.for_all
+              (fun (u : use) -> Op.equal u.u_op sched)
+              (Value.uses outer) -> (
+      let consumers =
+        List.filter
+          (fun n -> not (Op.equal n producer))
+          (Multi_producer.users sched arg)
+      in
+      match consumers with
+      | [ consumer ] -> (
+          match
+            ( sequential_access ~store:true producer arg,
+              sequential_access ~store:false consumer arg )
+          with
+          | Some trips_w, Some trips_r when trips_w = trips_r ->
+              (* Create the stream next to the buffer and thread it
+                 through schedule and nodes. *)
+              let elem = Typ.elem (Value.typ outer) in
+              let bld = Builder.create () in
+              Builder.set_before bld (Option.get (Value.defining_op outer));
+              let stream = Hida_d.stream ~name:"ch" ~depth bld ~elem in
+              let sched_arg = Hida_d.add_operand ~effect:`Read_write sched stream in
+              let prod_arg = Hida_d.add_operand ~effect:`Read_write producer sched_arg in
+              let cons_arg = Hida_d.add_operand ~effect:`Read_only consumer sched_arg in
+              let rewrite node stream_arg =
+                match operand_index node arg with
+                | Some i ->
+                    let inner = Hida_d.node_arg node i in
+                    rewrite_accesses node ~inner ~stream_arg
+                | None -> ()
+              in
+              rewrite producer prod_arg;
+              rewrite consumer cons_arg;
+              (* The buffer operand stays threaded through the nodes (it
+                 keeps the structural edge) but is no longer accessed:
+                 mark it so the memory model stops charging it. *)
+              (match Value.defining_op outer with
+              | Some b ->
+                  Op.set_attr b "streamized" (A_bool true);
+                  Hida_d.set_partition b ~kinds:[ Hida_d.P_none ] ~factors:[ 1 ];
+                  Hida_d.set_buffer_depth b 1
+              | None -> ());
+              true
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+let run_on_schedule ?(depth = 4) sched =
+  let converted = ref 0 in
+  let blk = Hida_d.node_block sched in
+  let snapshot =
+    List.mapi (fun i a -> (Op.operand sched i, a)) (Block.args blk)
+  in
+  List.iter
+    (fun (outer, arg) ->
+      match Value.typ outer with
+      | Memref _ -> if try_streamize sched ~depth outer arg then incr converted
+      | _ -> ())
+    snapshot;
+  !converted
+
+let run ?depth root =
+  let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
+  List.fold_left (fun acc s -> acc + run_on_schedule ?depth s) 0 schedules
+
+let pass ?depth () =
+  Pass.make ~name:"buffer-streamization" (fun root -> ignore (run ?depth root))

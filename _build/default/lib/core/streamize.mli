@@ -1,0 +1,24 @@
+(** Buffer-to-stream conversion (the stream channels of Fig. 3 /
+    [hida.stream] of Table 3).
+
+    An internal buffer whose single producer writes it and single
+    consumer reads it in exactly the same sequential order (identity
+    accesses, matching trip counts, no unrolling on the involved loops)
+    is converted to a FIFO channel: the store becomes
+    [hida.stream_write], the load [hida.stream_read], and the buffer's
+    on-chip memory disappears. *)
+
+open Hida_ir
+
+val sequential_access : store:bool -> Ir.op -> Ir.value -> int list option
+(** Trip counts of the node's unique sequential-identity access to the
+    given schedule argument, when it qualifies. *)
+
+val try_streamize : Ir.op -> depth:int -> Ir.value -> Ir.value -> bool
+
+val run_on_schedule : ?depth:int -> Ir.op -> int
+(** Convert every qualifying buffer of a schedule; returns the number of
+    conversions.  [depth] is the FIFO depth of created channels. *)
+
+val run : ?depth:int -> Ir.op -> int
+val pass : ?depth:int -> unit -> Pass.t

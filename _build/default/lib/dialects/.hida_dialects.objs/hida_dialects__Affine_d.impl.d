@@ -1,0 +1,1 @@
+lib/dialects/affine_d.ml: Affine Arith Block Builder Hashtbl Hida_ir Ir List Op Region Typ Value Walk

@@ -1,0 +1,1 @@
+lib/dialects/affine_d.mli: Affine Builder Hida_ir Ir

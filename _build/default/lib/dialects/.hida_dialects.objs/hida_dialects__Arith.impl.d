@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Builder Hida_ir Ir Op Value

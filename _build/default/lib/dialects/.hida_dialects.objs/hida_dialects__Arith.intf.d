@@ -1,0 +1,1 @@
+lib/dialects/arith.mli: Builder Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/canonicalize.ml: Affine_d Arith Array Attr Block Float Hashtbl Hida_ir Ir List Op Option Pass Region Typ Value Walk

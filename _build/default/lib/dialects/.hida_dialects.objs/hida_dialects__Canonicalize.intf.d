@@ -1,0 +1,1 @@
+lib/dialects/canonicalize.mli: Hida_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/dialects/func_d.ml: Block Builder Hida_ir Ir Op Region Walk

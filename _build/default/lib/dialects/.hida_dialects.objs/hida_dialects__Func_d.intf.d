@@ -1,0 +1,1 @@
+lib/dialects/func_d.mli: Builder Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/hida_d.ml: Array Block Builder Hida_ir Ir List Op Region Typ Value

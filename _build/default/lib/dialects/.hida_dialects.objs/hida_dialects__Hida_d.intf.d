@@ -1,0 +1,1 @@
+lib/dialects/hida_d.mli: Builder Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/memref_d.ml: Builder Hida_ir Ir Op Typ

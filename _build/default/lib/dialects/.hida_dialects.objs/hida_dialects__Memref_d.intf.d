@@ -1,0 +1,1 @@
+lib/dialects/memref_d.mli: Builder Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/nn.ml: Builder Hida_ir Ir List Op String Typ Value

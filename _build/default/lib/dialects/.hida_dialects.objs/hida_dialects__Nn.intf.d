@@ -1,0 +1,1 @@
+lib/dialects/nn.mli: Builder Hida_ir Ir

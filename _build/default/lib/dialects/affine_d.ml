@@ -1,0 +1,254 @@
+(* affine dialect: structured loops with constant bounds, affine loads and
+   stores, plus loop utilities and transformations (unroll, tile) used by
+   the optimizer and the baselines.
+
+   HLS directives are carried as attributes on affine.for:
+   - "pipeline"  (A_bool) : loop is pipelined
+   - "ii"        (A_int)  : achieved initiation interval
+   - "unroll"    (A_int)  : unroll (parallelization) factor directive *)
+
+open Hida_ir
+open Ir
+
+(* ---- Construction ---- *)
+
+(* [for_ bld ~lower ~upper ~step body] creates an affine.for op; [body] is
+   called with a builder positioned inside the loop and the induction
+   variable. *)
+let for_ ?(lower = 0) ?(step = 1) bld ~upper body =
+  let blk = Block.create ~args:[ Index ] () in
+  let region = Region.create ~blocks:[ blk ] () in
+  let op =
+    Builder.insert bld
+      (Op.create ~results:[]
+         ~attrs:
+           [ ("lower", A_int lower); ("upper", A_int upper); ("step", A_int step) ]
+         ~regions:[ region ] "affine.for")
+  in
+  let inner = Builder.at_end blk in
+  body inner (Block.arg blk 0);
+  ignore (Builder.build inner ~results:[] "affine.yield");
+  op
+
+let is_for op = Op.name op = "affine.for"
+
+let lower op = Op.int_attr_exn op "lower"
+let upper op = Op.int_attr_exn op "upper"
+let step op = Op.int_attr_exn op "step"
+let induction_var op = Block.arg (Region.entry (Op.region op 0)) 0
+let body_block op = Region.entry (Op.region op 0)
+
+let trip_count op =
+  let lo = lower op and hi = upper op and st = step op in
+  if hi <= lo then 0 else ((hi - lo) + st - 1) / st
+
+let set_pipeline op ?(ii = 1) () =
+  Op.set_attr op "pipeline" (A_bool true);
+  Op.set_attr op "ii" (A_int ii)
+
+let is_pipelined op = Op.bool_attr op "pipeline"
+let ii op = match Op.int_attr op "ii" with Some i -> i | None -> 1
+
+let set_unroll op factor = Op.set_attr op "unroll" (A_int factor)
+let unroll_factor op = match Op.int_attr op "unroll" with Some f -> f | None -> 1
+
+(* ---- Conditionals ---- *)
+
+(* [if_ bld ~conds operands ~then_ ~else_] builds an affine.if yielding
+   one value: [conds] is an affine map over the index [operands] whose
+   results must all be non-negative for the then-branch to execute.
+   Both branch builders return the value their region yields. *)
+let if_ bld ~conds ~result_typ operands ~then_ ~else_ =
+  let build_region body =
+    let blk = Block.create () in
+    let b = Builder.at_end blk in
+    let v = body b in
+    ignore (Builder.build b ~operands:[ v ] ~results:[] "affine.yield");
+    Region.create ~blocks:[ blk ] ()
+  in
+  let then_region = build_region then_ in
+  let else_region = build_region else_ in
+  let op =
+    Builder.insert bld
+      (Op.create ~operands
+         ~attrs:[ ("conds", A_map conds) ]
+         ~regions:[ then_region; else_region ]
+         ~results:[ result_typ ] "affine.if")
+  in
+  Op.result op 0
+
+let is_if op = Op.name op = "affine.if"
+
+let if_conds op =
+  match Op.map_attr op "conds" with
+  | Some m -> m
+  | None -> invalid_arg "Affine_d.if_conds"
+
+let then_block op = Region.entry (Op.region op 0)
+let else_block op = Region.entry (Op.region op 1)
+
+(* ---- Loads / stores ---- *)
+
+(* Loads and stores carry an optional affine map applied to their index
+   operands; identity when absent. *)
+let load bld memref indices =
+  let elem = Typ.elem (Value.typ memref) in
+  let op =
+    Builder.build bld ~operands:(memref :: indices) ~results:[ elem ] "affine.load"
+  in
+  Op.result op 0
+
+let load_mapped bld memref ~map indices =
+  let elem = Typ.elem (Value.typ memref) in
+  let op =
+    Builder.build bld ~operands:(memref :: indices)
+      ~attrs:[ ("map", A_map map) ]
+      ~results:[ elem ] "affine.load"
+  in
+  Op.result op 0
+
+let store bld value memref indices =
+  ignore
+    (Builder.build bld ~operands:(value :: memref :: indices) ~results:[] "affine.store")
+
+let store_mapped bld value memref ~map indices =
+  ignore
+    (Builder.build bld
+       ~operands:(value :: memref :: indices)
+       ~attrs:[ ("map", A_map map) ]
+       ~results:[] "affine.store")
+
+let is_load op = Op.name op = "affine.load"
+let is_store op = Op.name op = "affine.store"
+
+let load_memref op = Op.operand op 0
+let load_indices op = List.tl (Op.operands op)
+let store_value op = Op.operand op 0
+let store_memref op = Op.operand op 1
+let store_indices op = List.filteri (fun i _ -> i >= 2) (Op.operands op)
+
+let access_map op =
+  match Op.map_attr op "map" with
+  | Some m -> m
+  | None ->
+      let n = if is_load op then Op.num_operands op - 1 else Op.num_operands op - 2 in
+      Affine.identity n
+
+(* The memref accessed by a load or store, or None. *)
+let accessed_memref op =
+  if is_load op then Some (load_memref op)
+  else if is_store op then Some (store_memref op)
+  else None
+
+(* ---- Loop structure utilities ---- *)
+
+(* The perfect loop band rooted at [op]: the list of loops from outermost
+   to innermost while each loop's body contains exactly one op besides the
+   terminator and that op is a loop. *)
+let rec loop_band op =
+  if not (is_for op) then []
+  else
+    match Block.ops (body_block op) with
+    | [ inner; term ] when is_for inner && Op.name term = "affine.yield" ->
+        op :: loop_band inner
+    | _ -> [ op ]
+
+(* Innermost loops nested in [op] (loops containing no other loop). *)
+let innermost_loops root =
+  Walk.collect root ~pred:(fun op ->
+      is_for op && Walk.count op ~pred:is_for = 1)
+
+(* Outermost loops directly inside a block (not nested in another loop). *)
+let outermost_loops root =
+  Walk.collect root ~pred:(fun op ->
+      is_for op
+      &&
+      match Op.parent_op op with
+      | Some p -> not (is_for p)
+      | None -> true)
+
+(* All loops enclosing [op], innermost first. *)
+let enclosing_loops op = List.filter is_for (Op.ancestors op)
+
+(* Total statically-known iteration count of the whole nest rooted at a
+   band. *)
+let band_trip_count band =
+  List.fold_left (fun acc l -> acc * trip_count l) 1 band
+
+(* ---- Transformations ---- *)
+
+(* Real loop unrolling by [factor]; requires factor to divide the trip
+   count.  The body is cloned [factor] times with the induction variable
+   substituted by iv + k*step.  Used to validate that directive-based
+   estimation matches a real transform, and by the interpreter tests. *)
+let unroll_by op ~factor =
+  if factor <= 0 then invalid_arg "Affine_d.unroll_by: factor must be positive";
+  if factor = 1 then ()
+  else begin
+    let tc = trip_count op in
+    if tc mod factor <> 0 then
+      invalid_arg "Affine_d.unroll_by: factor must divide trip count";
+    let st = step op in
+    let blk = body_block op in
+    let iv = induction_var op in
+    let original_ops =
+      List.filter (fun o -> Op.name o <> "affine.yield") (Block.ops blk)
+    in
+    let terminator =
+      List.find (fun o -> Op.name o = "affine.yield") (Block.ops blk)
+    in
+    (* Clone the body factor-1 more times. *)
+    for k = 1 to factor - 1 do
+      let bld = Builder.create () in
+      Builder.set_before bld terminator;
+      (* iv' = iv + k*step *)
+      let offset = Arith.const_index bld (k * st) in
+      let iv' = Arith.addi bld iv offset in
+      let value_map = Hashtbl.create 16 in
+      Hashtbl.replace value_map iv.v_id iv';
+      List.iter
+        (fun o -> ignore (Builder.insert bld (clone_op ~value_map o)))
+        original_ops
+    done;
+    Op.set_attr op "step" (A_int (st * factor))
+  end
+
+(* Loop tiling of a band by the given tile sizes: each loop (i) with tile
+   size t becomes an outer loop over tile origins and an inner intra-tile
+   loop.  Only applied when tile sizes divide trip counts. *)
+let tile_band band ~tile_sizes =
+  List.iter2
+    (fun l t ->
+      let tc = trip_count l in
+      if t > 1 && tc mod t = 0 then begin
+        let st = step l in
+        (* Outer loop now steps by t*st; create an inner loop [0, t) whose
+           iv adds to the outer iv. *)
+        let blk = body_block l in
+        let original_ops =
+          List.filter (fun o -> Op.name o <> "affine.yield") (Block.ops blk)
+        in
+        (* Detach originals. *)
+        List.iter (fun o -> Block.remove blk o) original_ops;
+        let terminator =
+          List.find (fun o -> Op.name o = "affine.yield") (Block.ops blk)
+        in
+        let bld = Builder.create () in
+        Builder.set_before bld terminator;
+        let outer_iv = induction_var l in
+        ignore
+          (for_ bld ~upper:(t * st) ~step:st (fun inner_bld inner_iv ->
+               let iv' = Arith.addi inner_bld outer_iv inner_iv in
+               let value_map = Hashtbl.create 16 in
+               Hashtbl.replace value_map outer_iv.v_id iv';
+               (* Re-insert original ops with outer iv replaced; they are
+                  moved, not cloned, but operand rewiring via the map
+                  requires clone-style traversal, so clone then erase. *)
+               List.iter
+                 (fun o ->
+                   ignore (Builder.insert inner_bld (clone_op ~value_map o)))
+                 original_ops));
+        List.iter erase_op original_ops;
+        Op.set_attr l "step" (A_int (st * t))
+      end)
+    band tile_sizes

@@ -1,0 +1,99 @@
+(** affine dialect: structured loops with constant bounds, affine loads
+    and stores, loop utilities and loop transformations.
+
+    HLS directives live as attributes on [affine.for]:
+    ["pipeline"] (bool), ["ii"] (int) and ["unroll"] (int, the
+    parallelization factor applied by the dataflow parallelizer). *)
+
+open Hida_ir
+
+(** {1 Loops} *)
+
+val for_ :
+  ?lower:int ->
+  ?step:int ->
+  Builder.t ->
+  upper:int ->
+  (Builder.t -> Ir.value -> unit) ->
+  Ir.op
+(** [for_ bld ~upper body] builds an [affine.for] over
+    [\[lower, upper)]; [body] receives a builder positioned inside the
+    loop and the induction variable.  A terminator is appended
+    automatically. *)
+
+val is_for : Ir.op -> bool
+val lower : Ir.op -> int
+val upper : Ir.op -> int
+val step : Ir.op -> int
+val induction_var : Ir.op -> Ir.value
+val body_block : Ir.op -> Ir.block
+val trip_count : Ir.op -> int
+
+(** {1 Directives} *)
+
+val set_pipeline : Ir.op -> ?ii:int -> unit -> unit
+val is_pipelined : Ir.op -> bool
+val ii : Ir.op -> int
+val set_unroll : Ir.op -> int -> unit
+val unroll_factor : Ir.op -> int
+
+(** {1 Conditionals} *)
+
+val if_ :
+  Builder.t ->
+  conds:Affine.map ->
+  result_typ:Ir.typ ->
+  Ir.value list ->
+  then_:(Builder.t -> Ir.value) ->
+  else_:(Builder.t -> Ir.value) ->
+  Ir.value
+(** An [affine.if] yielding one value; the then-branch executes when
+    every result of [conds] over the index operands is non-negative
+    (the MLIR affine.if constraint convention, Fig. 2). *)
+
+val is_if : Ir.op -> bool
+val if_conds : Ir.op -> Affine.map
+val then_block : Ir.op -> Ir.block
+val else_block : Ir.op -> Ir.block
+
+(** {1 Loads and stores}
+
+    Accesses carry an optional affine map applied to the index operands;
+    identity when absent. *)
+
+val load : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+val load_mapped :
+  Builder.t -> Ir.value -> map:Affine.map -> Ir.value list -> Ir.value
+val store : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> unit
+val store_mapped :
+  Builder.t -> Ir.value -> Ir.value -> map:Affine.map -> Ir.value list -> unit
+
+val is_load : Ir.op -> bool
+val is_store : Ir.op -> bool
+val load_memref : Ir.op -> Ir.value
+val load_indices : Ir.op -> Ir.value list
+val store_value : Ir.op -> Ir.value
+val store_memref : Ir.op -> Ir.value
+val store_indices : Ir.op -> Ir.value list
+val access_map : Ir.op -> Affine.map
+val accessed_memref : Ir.op -> Ir.value option
+
+(** {1 Loop structure utilities} *)
+
+val loop_band : Ir.op -> Ir.op list
+(** Perfect loop band rooted at the op, outermost first. *)
+
+val innermost_loops : Ir.op -> Ir.op list
+val outermost_loops : Ir.op -> Ir.op list
+val enclosing_loops : Ir.op -> Ir.op list
+val band_trip_count : Ir.op list -> int
+
+(** {1 Transformations} *)
+
+val unroll_by : Ir.op -> factor:int -> unit
+(** Real loop unrolling by cloning the body; the factor must divide the
+    trip count.  Semantics-preserving (property-tested). *)
+
+val tile_band : Ir.op list -> tile_sizes:int list -> unit
+(** Tile each loop of a band into tile/point loops where the tile size
+    divides the trip count.  Semantics-preserving. *)

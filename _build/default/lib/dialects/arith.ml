@@ -1,0 +1,107 @@
+(* arith dialect: constants, integer/float arithmetic, comparisons and
+   selection, plus a few math ops (sqrt, exp) needed by the workloads. *)
+
+open Hida_ir
+open Ir
+
+let const_int ?(typ = I32) bld i =
+  let op = Builder.build bld ~attrs:[ ("value", A_int i) ] ~results:[ typ ] "arith.constant" in
+  Op.result op 0
+
+let const_index bld i = const_int ~typ:Index bld i
+
+let const_float ?(typ = F32) bld f =
+  let op =
+    Builder.build bld ~attrs:[ ("value", A_float f) ] ~results:[ typ ] "arith.constant"
+  in
+  Op.result op 0
+
+let binary bld name a b =
+  let op = Builder.build bld ~operands:[ a; b ] ~results:[ Value.typ a ] name in
+  Op.result op 0
+
+let addf bld a b = binary bld "arith.addf" a b
+let subf bld a b = binary bld "arith.subf" a b
+let mulf bld a b = binary bld "arith.mulf" a b
+let divf bld a b = binary bld "arith.divf" a b
+let maxf bld a b = binary bld "arith.maxf" a b
+let minf bld a b = binary bld "arith.minf" a b
+let addi bld a b = binary bld "arith.addi" a b
+let subi bld a b = binary bld "arith.subi" a b
+let muli bld a b = binary bld "arith.muli" a b
+
+let unary bld name a =
+  let op = Builder.build bld ~operands:[ a ] ~results:[ Value.typ a ] name in
+  Op.result op 0
+
+let negf bld a = unary bld "arith.negf" a
+let sqrt bld a = unary bld "math.sqrt" a
+let exp bld a = unary bld "math.exp" a
+
+type cmp_pred = Lt | Le | Gt | Ge | Eq | Ne
+
+let string_of_pred = function
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let pred_of_string = function
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | s -> invalid_arg ("Arith.pred_of_string: " ^ s)
+
+let cmpf bld pred a b =
+  let op =
+    Builder.build bld ~operands:[ a; b ]
+      ~attrs:[ ("predicate", A_str (string_of_pred pred)) ]
+      ~results:[ I1 ] "arith.cmpf"
+  in
+  Op.result op 0
+
+let cmpi bld pred a b =
+  let op =
+    Builder.build bld ~operands:[ a; b ]
+      ~attrs:[ ("predicate", A_str (string_of_pred pred)) ]
+      ~results:[ I1 ] "arith.cmpi"
+  in
+  Op.result op 0
+
+let select bld cond a b =
+  let op =
+    Builder.build bld ~operands:[ cond; a; b ] ~results:[ Value.typ a ] "arith.select"
+  in
+  Op.result op 0
+
+(* Classification used by the estimator: does the op map to a DSP MAC-style
+   resource, a LUT-implementable op, or is it free (moves, address calc)? *)
+type op_class = Mac | Alu | Memory | Control | Other
+
+let classify name =
+  match name with
+  | "arith.mulf" | "arith.muli" | "arith.divf" | "math.sqrt" | "math.exp" -> Mac
+  | "arith.addf" | "arith.subf" | "arith.addi" | "arith.subi" | "arith.maxf"
+  | "arith.minf" | "arith.negf" | "arith.cmpf" | "arith.cmpi" | "arith.select" ->
+      Alu
+  | "affine.load" | "affine.store" | "hida.stream_read" | "hida.stream_write" ->
+      Memory
+  | "affine.for" | "affine.if" | "affine.yield" | "func.return" | "hida.yield" ->
+      Control
+  | _ -> Other
+
+let is_constant op = Op.name op = "arith.constant"
+
+let constant_int_value op =
+  match Op.attr op "value" with Some (A_int i) -> Some i | _ -> None
+
+(* Constant integer behind a value, when its definition is a constant. *)
+let constant_int_of_value v =
+  match Value.defining_op v with
+  | Some d when is_constant d -> constant_int_value d
+  | _ -> None

@@ -1,0 +1,47 @@
+(** arith dialect: constants, integer/float arithmetic, comparisons,
+    selection, and the math ops (sqrt, exp) used by the workloads.
+    All constructors insert through a {!Hida_ir.Builder.t} and return the
+    result value. *)
+
+open Hida_ir
+
+val const_int : ?typ:Ir.typ -> Builder.t -> int -> Ir.value
+val const_index : Builder.t -> int -> Ir.value
+val const_float : ?typ:Ir.typ -> Builder.t -> float -> Ir.value
+
+val binary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+(** Generic binary op whose result type is the left operand's type. *)
+
+val addf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mulf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val maxf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val minf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val addi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val muli : Builder.t -> Ir.value -> Ir.value -> Ir.value
+
+val unary : Builder.t -> string -> Ir.value -> Ir.value
+val negf : Builder.t -> Ir.value -> Ir.value
+val sqrt : Builder.t -> Ir.value -> Ir.value
+val exp : Builder.t -> Ir.value -> Ir.value
+
+type cmp_pred = Lt | Le | Gt | Ge | Eq | Ne
+
+val string_of_pred : cmp_pred -> string
+val pred_of_string : string -> cmp_pred
+
+val cmpf : Builder.t -> cmp_pred -> Ir.value -> Ir.value -> Ir.value
+val cmpi : Builder.t -> cmp_pred -> Ir.value -> Ir.value -> Ir.value
+val select : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+(** Resource classification used by the QoR estimator: does an op name
+    map to a DSP MAC-style unit, a LUT ALU, a memory port, or control? *)
+type op_class = Mac | Alu | Memory | Control | Other
+
+val classify : string -> op_class
+
+val is_constant : Ir.op -> bool
+val constant_int_value : Ir.op -> int option
+val constant_int_of_value : Ir.value -> int option

@@ -1,0 +1,185 @@
+(* Canonicalization: the standard compiler-infrastructure cleanups run
+   between HIDA passes — constant folding of arithmetic, duplicate
+   constant merging, dead-code elimination of pure ops, and removal of
+   zero-trip loops.  All rewrites are semantics-preserving
+   (property-tested against the interpreter). *)
+
+open Hida_ir
+open Ir
+
+(* Is an op free of side effects (so it may be erased when unused)? *)
+let is_pure op =
+  match Op.name op with
+  | "arith.constant" | "arith.addf" | "arith.subf" | "arith.mulf"
+  | "arith.divf" | "arith.maxf" | "arith.minf" | "arith.negf" | "arith.addi"
+  | "arith.subi" | "arith.muli" | "arith.cmpf" | "arith.cmpi" | "arith.select"
+  | "math.sqrt" | "math.exp" | "affine.load" | "hida.pack" ->
+      true
+  | _ -> false
+
+let fold_int name a b =
+  match name with
+  | "arith.addi" -> Some (a + b)
+  | "arith.subi" -> Some (a - b)
+  | "arith.muli" -> Some (a * b)
+  | _ -> None
+
+let constant_float op =
+  if Arith.is_constant op then
+    match Op.attr op "value" with Some (A_float f) -> Some f | _ -> None
+  else None
+
+let fold_float name a b =
+  match name with
+  | "arith.addf" -> Some (a +. b)
+  | "arith.subf" -> Some (a -. b)
+  | "arith.mulf" -> Some (a *. b)
+  | "arith.divf" when b <> 0. -> Some (a /. b)
+  | "arith.maxf" -> Some (Float.max a b)
+  | "arith.minf" -> Some (Float.min a b)
+  | _ -> None
+
+(* One folding step on a single op; returns true when it rewrote. *)
+let try_fold op =
+  if Op.num_operands op <> 2 || Op.parent op = None then false
+  else
+    let lhs = Value.defining_op (Op.operand op 0) in
+    let rhs = Value.defining_op (Op.operand op 1) in
+    match (lhs, rhs) with
+    | Some l, Some r -> (
+        let blk = Option.get (Op.parent op) in
+        match (Arith.constant_int_value l, Arith.constant_int_value r) with
+        | Some a, Some b -> (
+            match fold_int (Op.name op) a b with
+            | Some v ->
+                let c =
+                  Op.create
+                    ~attrs:[ ("value", A_int v) ]
+                    ~results:[ Value.typ (Op.result op 0) ]
+                    "arith.constant"
+                in
+                Block.insert_before blk ~anchor:op c;
+                replace_op op ~with_values:[ Op.result c 0 ];
+                true
+            | None -> false)
+        | _ -> (
+            match (constant_float l, constant_float r) with
+            | Some a, Some b -> (
+                match fold_float (Op.name op) a b with
+                | Some v ->
+                    let c =
+                      Op.create
+                        ~attrs:[ ("value", A_float v) ]
+                        ~results:[ Value.typ (Op.result op 0) ]
+                        "arith.constant"
+                    in
+                    Block.insert_before blk ~anchor:op c;
+                    replace_op op ~with_values:[ Op.result c 0 ];
+                    true
+                | None -> false)
+            | _ -> false))
+    | _ -> false
+
+(* Algebraic identities: x+0, x*1, x*0, 0+x, 1*x. *)
+let try_identity op =
+  if Op.num_operands op <> 2 || Op.parent op = None then false
+  else
+    let int_const i = Arith.constant_int_of_value (Op.operand op i) in
+    let float_const i =
+      match Value.defining_op (Op.operand op i) with
+      | Some d -> constant_float d
+      | None -> None
+    in
+    let replace_with v =
+      replace_op op ~with_values:[ v ];
+      true
+    in
+    match (Op.name op, int_const 0, int_const 1, float_const 0, float_const 1) with
+    | "arith.addi", Some 0, _, _, _ -> replace_with (Op.operand op 1)
+    | "arith.addi", _, Some 0, _, _ -> replace_with (Op.operand op 0)
+    | "arith.muli", _, Some 1, _, _ -> replace_with (Op.operand op 0)
+    | "arith.muli", Some 1, _, _, _ -> replace_with (Op.operand op 1)
+    | "arith.addf", _, _, Some 0., _ -> replace_with (Op.operand op 1)
+    | "arith.addf", _, _, _, Some 0. -> replace_with (Op.operand op 0)
+    | "arith.mulf", _, _, _, Some 1. -> replace_with (Op.operand op 0)
+    | "arith.mulf", _, _, Some 1., _ -> replace_with (Op.operand op 1)
+    | _ -> false
+
+(* Dead-code elimination of pure ops with no uses. *)
+let dce root =
+  let changed = ref false in
+  let rec sweep () =
+    let dead =
+      Walk.collect_post root ~pred:(fun op ->
+          is_pure op
+          && (not (Op.equal op root))
+          && List.for_all (fun r -> not (Value.has_uses r)) (Op.results op))
+    in
+    if dead <> [] then begin
+      List.iter erase_op dead;
+      changed := true;
+      sweep ()
+    end
+  in
+  sweep ();
+  !changed
+
+(* Merge duplicate constants within a block. *)
+let dedup_constants root =
+  let changed = ref false in
+  Walk.preorder root ~f:(fun op ->
+      Array.iter
+        (fun g ->
+          List.iter
+            (fun blk ->
+              let seen : (string, op) Hashtbl.t = Hashtbl.create 8 in
+              List.iter
+                (fun o ->
+                  if Arith.is_constant o then begin
+                    let key =
+                      (match Op.attr o "value" with
+                      | Some a -> Attr.to_string a
+                      | None -> "?")
+                      ^ ":"
+                      ^ Typ.to_string (Value.typ (Op.result o 0))
+                    in
+                    match Hashtbl.find_opt seen key with
+                    | Some first ->
+                        replace_all_uses ~old_value:(Op.result o 0)
+                          ~new_value:(Op.result first 0);
+                        changed := true
+                    | None -> Hashtbl.replace seen key o
+                  end)
+                (Block.ops blk))
+            (Region.blocks g))
+        op.o_regions);
+  !changed
+
+(* Remove zero-trip loops. *)
+let drop_empty_loops root =
+  let changed = ref false in
+  List.iter
+    (fun l ->
+      if Affine_d.trip_count l <= 0 then begin
+        erase_op l;
+        changed := true
+      end)
+    (Walk.collect_post root ~pred:Affine_d.is_for);
+  !changed
+
+let run root =
+  let fuel = ref 16 in
+  let progress = ref true in
+  while !progress && !fuel > 0 do
+    decr fuel;
+    let folded = ref false in
+    Walk.preorder root ~f:(fun op ->
+        if not (Op.equal op root) then
+          if try_fold op || try_identity op then folded := true);
+    let d1 = dce root in
+    let d2 = dedup_constants root in
+    let d3 = drop_empty_loops root in
+    progress := !folded || d1 || d2 || d3
+  done
+
+let pass = Pass.make ~name:"canonicalize" run

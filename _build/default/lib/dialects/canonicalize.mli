@@ -1,0 +1,15 @@
+(** Canonicalization: constant folding of integer and float arithmetic,
+    algebraic identities (x+0, x*1), duplicate-constant merging within a
+    block, dead-code elimination of pure ops, and removal of zero-trip
+    loops.  Runs to a fixpoint; all rewrites are semantics-preserving. *)
+
+open Hida_ir
+
+val is_pure : Ir.op -> bool
+val try_fold : Ir.op -> bool
+val try_identity : Ir.op -> bool
+val dce : Ir.op -> bool
+val dedup_constants : Ir.op -> bool
+val drop_empty_loops : Ir.op -> bool
+val run : Ir.op -> unit
+val pass : Pass.t

@@ -1,0 +1,51 @@
+(* func dialect: modules, functions, calls and returns. *)
+
+open Hida_ir
+open Ir
+
+(* A module is the root op holding functions. *)
+let module_op () =
+  Op.create ~results:[] ~regions:[ Region.of_ops [] ] "builtin.module"
+
+let module_block m = Region.entry (Op.region m 0)
+
+(* Create a function with entry block arguments of the given types and add
+   it to [m]'s body. *)
+let func m ~name ~inputs ~outputs =
+  let entry = Block.create ~args:inputs () in
+  let region = Region.create ~blocks:[ entry ] () in
+  let op =
+    Op.create ~results:[]
+      ~attrs:
+        [
+          ("sym_name", A_str name);
+          ("type", A_type (Func_type { inputs; outputs }));
+        ]
+      ~regions:[ region ] "func.func"
+  in
+  Block.append (module_block m) op;
+  op
+
+let func_name op = Op.str_attr_exn op "sym_name"
+
+let func_type op =
+  match Op.attr op "type" with
+  | Some (A_type (Func_type { inputs; outputs })) -> (inputs, outputs)
+  | _ -> invalid_arg "Func_d.func_type"
+
+let entry_block op = Region.entry (Op.region op 0)
+
+let return bld values =
+  ignore (Builder.build bld ~operands:values ~results:[] "func.return")
+
+let call bld ~callee ~results operands =
+  Builder.build bld ~operands
+    ~attrs:[ ("callee", A_str callee) ]
+    ~results "func.call"
+
+let is_func op = Op.name op = "func.func"
+
+let find_func m name =
+  Walk.find m ~pred:(fun op -> is_func op && func_name op = name)
+
+let funcs m = Walk.collect m ~pred:is_func

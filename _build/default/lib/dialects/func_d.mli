@@ -1,0 +1,24 @@
+(** func dialect: modules, functions, calls and returns. *)
+
+open Hida_ir
+
+val module_op : unit -> Ir.op
+(** An empty [builtin.module] holding functions. *)
+
+val module_block : Ir.op -> Ir.block
+
+val func :
+  Ir.op -> name:string -> inputs:Ir.typ list -> outputs:Ir.typ list -> Ir.op
+(** Create a function with entry block arguments of the input types and
+    append it to the module's body. *)
+
+val func_name : Ir.op -> string
+val func_type : Ir.op -> Ir.typ list * Ir.typ list
+val entry_block : Ir.op -> Ir.block
+
+val return : Builder.t -> Ir.value list -> unit
+val call : Builder.t -> callee:string -> results:Ir.typ list -> Ir.value list -> Ir.op
+
+val is_func : Ir.op -> bool
+val find_func : Ir.op -> string -> Ir.op option
+val funcs : Ir.op -> Ir.op list

@@ -1,0 +1,275 @@
+(* HIDA dialect (Table 3 of the paper).
+
+   Functional dataflow (transparent from above):
+     hida.dispatch — launches the tasks in its region
+     hida.task     — a task; may yield tensor results; may nest dispatches
+
+   Structural dataflow (isolated from above):
+     hida.schedule — isolated region with nodes; live-ins become block args
+     hida.node     — isolated region; operands grouped read-only first then
+                     read-write, with "ro_count" recording the split
+     hida.buffer   — memory-mapped buffer with ping-pong stages, partition,
+                     tiling and placement attributes (Fig. 4)
+     hida.stream   — stream channel with a fixed number of entries
+     hida.copy     — explicit buffer-to-buffer copy node payload
+
+   Module interface:
+     hida.port / hida.bundle / hida.pack
+
+   Token flow for elastic execution (§6.4.2) is modeled with 1-bit streams
+   and hida.token_push / hida.token_pop. *)
+
+open Hida_ir
+open Ir
+
+(* ---- Functional dataflow ---- *)
+
+let yield bld values =
+  ignore (Builder.build bld ~operands:values ~results:[] "hida.yield")
+
+(* Wrap existing ops: used by the dataflow-construction algorithms, which
+   create dispatch/task ops around op lists already in a block. *)
+
+let dispatch ?(results = []) () =
+  Op.create ~results ~regions:[ Region.of_ops [] ] "hida.dispatch"
+
+let task ?(results = []) () =
+  Op.create ~results ~regions:[ Region.of_ops [] ] "hida.task"
+
+let is_dispatch op = Op.name op = "hida.dispatch"
+let is_task op = Op.name op = "hida.task"
+let is_yield op = Op.name op = "hida.yield"
+
+let body op = Region.entry (Op.region op 0)
+
+(* Ops in the single-block body, excluding the terminator. *)
+let body_ops op =
+  List.filter (fun o -> not (is_yield o)) (Block.ops (body op))
+
+let tasks_of_dispatch d = List.filter is_task (Block.ops (body d))
+
+(* ---- Structural dataflow: buffers and streams ---- *)
+
+type placement = On_chip | External
+
+let string_of_placement = function On_chip -> "onchip" | External -> "external"
+let placement_of_string = function
+  | "onchip" -> On_chip
+  | "external" -> External
+  | s -> invalid_arg ("Hida_d.placement_of_string: " ^ s)
+
+type partition_kind = P_none | P_cyclic | P_block
+
+let string_of_partition = function
+  | P_none -> "none"
+  | P_cyclic -> "cyclic"
+  | P_block -> "block"
+
+let partition_of_string = function
+  | "none" -> P_none
+  | "cyclic" -> P_cyclic
+  | "block" -> P_block
+  | s -> invalid_arg ("Hida_d.partition_of_string: " ^ s)
+
+(* A buffer with [depth] ping-pong stages.  Partition/tiling attributes are
+   defaulted and later refined by the parallelizer (procedure (1) of §6.3). *)
+let buffer_op ?name ?(depth = 2) ?(placement = On_chip) ~shape ~elem () =
+  let rank = List.length shape in
+  let op =
+    Op.create
+      ~attrs:
+        [
+          ("depth", A_int depth);
+          ("placement", A_str (string_of_placement placement));
+          ("partition_kinds", A_strs (List.init rank (fun _ -> "none")));
+          ("partition_factors", A_ints (List.init rank (fun _ -> 1)));
+          ("tile_factors", A_ints (List.init rank (fun _ -> 1)));
+          ("vector_factors", A_ints (List.init rank (fun _ -> 1)));
+        ]
+      ~results:[ Typ.memref ~shape ~elem ]
+      "hida.buffer"
+  in
+  (Op.result op 0).v_name_hint <- name;
+  op
+
+let buffer ?name ?depth ?placement bld ~shape ~elem =
+  let op = buffer_op ?name ?depth ?placement ~shape ~elem () in
+  ignore (Builder.insert bld op);
+  Op.result op 0
+
+let is_buffer op = Op.name op = "hida.buffer"
+
+let buffer_depth op = Op.int_attr_exn op "depth"
+let set_buffer_depth op d = Op.set_attr op "depth" (A_int d)
+
+let buffer_placement op =
+  placement_of_string (Op.str_attr_exn op "placement")
+
+let set_buffer_placement op p =
+  Op.set_attr op "placement" (A_str (string_of_placement p))
+
+let partition_kinds op =
+  match Op.attr op "partition_kinds" with
+  | Some (A_strs l) -> List.map partition_of_string l
+  | _ -> invalid_arg "Hida_d.partition_kinds"
+
+let partition_factors op = Op.ints_attr_exn op "partition_factors"
+
+let set_partition op ~kinds ~factors =
+  Op.set_attr op "partition_kinds" (A_strs (List.map string_of_partition kinds));
+  Op.set_attr op "partition_factors" (A_ints factors)
+
+let tile_factors op = Op.ints_attr_exn op "tile_factors"
+let set_tile_factors op fs = Op.set_attr op "tile_factors" (A_ints fs)
+
+let vector_factors op = Op.ints_attr_exn op "vector_factors"
+let set_vector_factors op fs = Op.set_attr op "vector_factors" (A_ints fs)
+
+(* Total number of banks implied by the partition factors. *)
+let bank_count op = List.fold_left ( * ) 1 (partition_factors op)
+
+let stream ?name ?(depth = 2) bld ~elem =
+  let op =
+    Builder.build bld ~results:[ Typ.stream ~elem ~depth ] "hida.stream"
+  in
+  (Op.result op 0).v_name_hint <- name;
+  Op.result op 0
+
+let is_stream op = Op.name op = "hida.stream"
+
+let stream_read bld s =
+  let elem = Typ.elem (Value.typ s) in
+  let op = Builder.build bld ~operands:[ s ] ~results:[ elem ] "hida.stream_read" in
+  Op.result op 0
+
+let stream_write bld s v =
+  ignore (Builder.build bld ~operands:[ s; v ] ~results:[] "hida.stream_write")
+
+(* ---- Structural dataflow: schedule and node ---- *)
+
+(* Create an empty schedule with the given live-in operands; block args
+   mirror the operands. *)
+let schedule ~operands () =
+  let blk = Block.create ~args:(List.map Value.typ operands) () in
+  let region = Region.create ~blocks:[ blk ] () in
+  Op.create ~operands ~results:[] ~regions:[ region ] "hida.schedule"
+
+(* Create a node: [ro] are read-only operands, [rw] read-write.  Block args
+   mirror ro @ rw. *)
+let node ?(attrs = []) ~ro ~rw () =
+  let operands = ro @ rw in
+  let blk = Block.create ~args:(List.map Value.typ operands) () in
+  let region = Region.create ~blocks:[ blk ] () in
+  Op.create ~operands
+    ~attrs:(("ro_count", A_int (List.length ro)) :: attrs)
+    ~results:[] ~regions:[ region ] "hida.node"
+
+let is_node op = Op.name op = "hida.node"
+let is_schedule op = Op.name op = "hida.schedule"
+
+let ro_count op = Op.int_attr_exn op "ro_count"
+
+(* Effect of operand [i] of a node. *)
+let operand_effect op i = if i < ro_count op then `Read_only else `Read_write
+
+let node_block op = Region.entry (Op.region op 0)
+
+(* The block argument corresponding to operand [i]. *)
+let node_arg op i = Block.arg (node_block op) i
+
+(* Map from outer operand value to inner block argument. *)
+let node_bindings op =
+  List.mapi (fun i v -> (v, node_arg op i)) (Op.operands op)
+
+(* Add an operand (and matching block arg) to a node or schedule, keeping
+   RO operands first.  Returns the new block argument. *)
+let add_operand ?(effect = `Read_write) op v =
+  match effect with
+  | `Read_write ->
+      Op.set_operands op (Op.operands op @ [ v ]);
+      Block.add_arg (node_block op) (Value.typ v)
+  | `Read_only ->
+      (* Insert after the last RO operand; block args must stay aligned, so
+         rebuild the arg list by inserting at the same index.  To avoid
+         re-indexing existing args we append and then rotate uses; simpler:
+         append as RW position but bump ro_count and move operand.  We keep
+         it simple by appending at the end of the RO group. *)
+      let rc = if Op.has_attr op "ro_count" then ro_count op else 0 in
+      let operands = Op.operands op in
+      let ro, rw = (List.filteri (fun i _ -> i < rc) operands,
+                    List.filteri (fun i _ -> i >= rc) operands) in
+      Op.set_operands op (ro @ [ v ] @ rw);
+      if Op.has_attr op "ro_count" then Op.set_attr op "ro_count" (A_int (rc + 1));
+      (* Insert a block arg at index rc: rebuild the args array. *)
+      let blk = node_block op in
+      let new_arg = Value.create (Value.typ v) in
+      let old_args = Array.to_list blk.b_args in
+      let before = List.filteri (fun i _ -> i < rc) old_args in
+      let after = List.filteri (fun i _ -> i >= rc) old_args in
+      let args = Array.of_list (before @ [ new_arg ] @ after) in
+      Array.iteri (fun i a -> a.v_def <- Def_block_arg (blk, i)) args;
+      blk.b_args <- args;
+      new_arg
+
+(* ---- Copies ---- *)
+
+let copy bld ~src ~dst =
+  ignore (Builder.build bld ~operands:[ src; dst ] ~results:[] "hida.copy")
+
+let is_copy op = Op.name op = "hida.copy"
+
+(* ---- Token flow ---- *)
+
+let token_stream ?(depth = 4) bld =
+  let op =
+    Builder.build bld
+      ~attrs:[ ("token", A_bool true) ]
+      ~results:[ Typ.stream ~elem:I1 ~depth ]
+      "hida.stream"
+  in
+  Op.result op 0
+
+let token_push bld s =
+  ignore (Builder.build bld ~operands:[ s ] ~results:[] "hida.token_push")
+
+let token_pop bld s =
+  ignore (Builder.build bld ~operands:[ s ] ~results:[] "hida.token_pop")
+
+(* ---- Module interface ---- *)
+
+type port_kind = Maxi | Saxi | Stream_port
+
+let string_of_port_kind = function
+  | Maxi -> "maxi"
+  | Saxi -> "saxi"
+  | Stream_port -> "stream"
+
+(* An external memory-mapped or stream interface with an access latency. *)
+let port ?name ?(latency = 64) bld ~kind ~shape ~elem =
+  let op =
+    Builder.build bld
+      ~attrs:
+        [ ("kind", A_str (string_of_port_kind kind)); ("latency", A_int latency) ]
+      ~results:[ Typ.memref ~shape ~elem ]
+      "hida.port"
+  in
+  (Op.result op 0).v_name_hint <- name;
+  Op.result op 0
+
+let is_port op = Op.name op = "hida.port"
+
+let port_latency op = Op.int_attr_exn op "latency"
+
+(* Pack an external memory block into a port. *)
+let pack bld ~memref =
+  let op =
+    Builder.build bld ~operands:[ memref ] ~results:[ Value.typ memref ] "hida.pack"
+  in
+  Op.result op 0
+
+(* A named bundle of ports. *)
+let bundle bld ~name ports =
+  ignore
+    (Builder.build bld ~operands:ports
+       ~attrs:[ ("name", A_str name) ]
+       ~results:[] "hida.bundle")

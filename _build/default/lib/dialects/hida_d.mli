@@ -1,0 +1,156 @@
+(** HIDA dialect (Table 3 of the paper).
+
+    {b Functional dataflow} (transparent from above — bodies may
+    reference outer values):
+    - [hida.dispatch] launches the tasks in its region;
+    - [hida.task] a task, possibly yielding tensor results and nesting
+      further dispatches (hierarchical dataflow).
+
+    {b Structural dataflow} (isolated from above — external values enter
+    as explicit block arguments):
+    - [hida.schedule] an isolated region of nodes;
+    - [hida.node] an isolated region with operands grouped read-only
+      first, then read-write (the ["ro_count"] attribute records the
+      split — Fig. 4);
+    - [hida.buffer] a memory-mapped buffer with ping-pong stages and
+      partition / tiling / placement attributes;
+    - [hida.stream] a FIFO channel with a fixed number of entries;
+    - [hida.copy] an explicit buffer-to-buffer copy.
+
+    {b Module interface}: [hida.port] (external AXI interface),
+    [hida.bundle], [hida.pack].  Elastic execution order (§6.4.2) is
+    modeled with 1-bit token streams pushed by producers and popped by
+    consumers. *)
+
+open Hida_ir
+
+(** {1 Functional dataflow} *)
+
+val yield : Builder.t -> Ir.value list -> unit
+
+val dispatch : ?results:Ir.typ list -> unit -> Ir.op
+(** A detached dispatch with an empty single-block region. *)
+
+val task : ?results:Ir.typ list -> unit -> Ir.op
+
+val is_dispatch : Ir.op -> bool
+val is_task : Ir.op -> bool
+val is_yield : Ir.op -> bool
+
+val body : Ir.op -> Ir.block
+(** The single body block of a dispatch/task. *)
+
+val body_ops : Ir.op -> Ir.op list
+(** Body ops excluding the terminator. *)
+
+val tasks_of_dispatch : Ir.op -> Ir.op list
+
+(** {1 Buffers and streams} *)
+
+type placement = On_chip | External
+
+val string_of_placement : placement -> string
+val placement_of_string : string -> placement
+
+type partition_kind = P_none | P_cyclic | P_block
+
+val string_of_partition : partition_kind -> string
+val partition_of_string : string -> partition_kind
+
+val buffer_op :
+  ?name:string ->
+  ?depth:int ->
+  ?placement:placement ->
+  shape:int list ->
+  elem:Ir.typ ->
+  unit ->
+  Ir.op
+(** A detached buffer op with default (unpartitioned) attributes;
+    [depth] is the number of ping-pong stages (default 2). *)
+
+val buffer :
+  ?name:string ->
+  ?depth:int ->
+  ?placement:placement ->
+  Builder.t ->
+  shape:int list ->
+  elem:Ir.typ ->
+  Ir.value
+
+val is_buffer : Ir.op -> bool
+val buffer_depth : Ir.op -> int
+val set_buffer_depth : Ir.op -> int -> unit
+val buffer_placement : Ir.op -> placement
+val set_buffer_placement : Ir.op -> placement -> unit
+val partition_kinds : Ir.op -> partition_kind list
+val partition_factors : Ir.op -> int list
+val set_partition :
+  Ir.op -> kinds:partition_kind list -> factors:int list -> unit
+val tile_factors : Ir.op -> int list
+val set_tile_factors : Ir.op -> int list -> unit
+val vector_factors : Ir.op -> int list
+val set_vector_factors : Ir.op -> int list -> unit
+
+val bank_count : Ir.op -> int
+(** Product of the partition factors. *)
+
+val stream : ?name:string -> ?depth:int -> Builder.t -> elem:Ir.typ -> Ir.value
+val is_stream : Ir.op -> bool
+val stream_read : Builder.t -> Ir.value -> Ir.value
+val stream_write : Builder.t -> Ir.value -> Ir.value -> unit
+
+(** {1 Schedule and node} *)
+
+val schedule : operands:Ir.value list -> unit -> Ir.op
+(** A detached, empty schedule whose block arguments mirror the live-in
+    operands. *)
+
+val node : ?attrs:(string * Ir.attr) list -> ro:Ir.value list -> rw:Ir.value list -> unit -> Ir.op
+(** A detached node with read-only operands first, read-write after;
+    block arguments mirror the operands. *)
+
+val is_node : Ir.op -> bool
+val is_schedule : Ir.op -> bool
+val ro_count : Ir.op -> int
+val operand_effect : Ir.op -> int -> [ `Read_only | `Read_write ]
+val node_block : Ir.op -> Ir.block
+val node_arg : Ir.op -> int -> Ir.value
+
+val node_bindings : Ir.op -> (Ir.value * Ir.value) list
+(** (outer operand, inner block argument) pairs. *)
+
+val add_operand :
+  ?effect:[ `Read_only | `Read_write ] -> Ir.op -> Ir.value -> Ir.value
+(** Add an operand and its matching block argument, keeping the RO group
+    first; returns the new block argument. *)
+
+(** {1 Copies and tokens} *)
+
+val copy : Builder.t -> src:Ir.value -> dst:Ir.value -> unit
+val is_copy : Ir.op -> bool
+
+val token_stream : ?depth:int -> Builder.t -> Ir.value
+val token_push : Builder.t -> Ir.value -> unit
+val token_pop : Builder.t -> Ir.value -> unit
+
+(** {1 Module interface} *)
+
+type port_kind = Maxi | Saxi | Stream_port
+
+val string_of_port_kind : port_kind -> string
+
+val port :
+  ?name:string ->
+  ?latency:int ->
+  Builder.t ->
+  kind:port_kind ->
+  shape:int list ->
+  elem:Ir.typ ->
+  Ir.value
+(** An external memory-mapped or stream interface with an access
+    latency. *)
+
+val is_port : Ir.op -> bool
+val port_latency : Ir.op -> int
+val pack : Builder.t -> memref:Ir.value -> Ir.value
+val bundle : Builder.t -> name:string -> Ir.value list -> unit

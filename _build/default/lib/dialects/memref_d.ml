@@ -1,0 +1,17 @@
+(* memref dialect: on-chip buffer allocation and whole-buffer copies. *)
+
+open Hida_ir
+open Ir
+
+let alloc ?name bld ~shape ~elem =
+  let op =
+    Builder.build bld ~results:[ Typ.memref ~shape ~elem ] "memref.alloc"
+  in
+  let v = Op.result op 0 in
+  v.v_name_hint <- name;
+  v
+
+let copy bld ~src ~dst =
+  ignore (Builder.build bld ~operands:[ src; dst ] ~results:[] "memref.copy")
+
+let is_alloc op = Op.name op = "memref.alloc"

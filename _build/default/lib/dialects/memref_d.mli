@@ -1,0 +1,12 @@
+(** memref dialect: on-chip buffer allocation and whole-buffer copies.
+    Allocations are converted to [hida.buffer] ops by the structural
+    lowering. *)
+
+open Hida_ir
+
+val alloc :
+  ?name:string -> Builder.t -> shape:int list -> elem:Ir.typ -> Ir.value
+
+val copy : Builder.t -> src:Ir.value -> dst:Ir.value -> unit
+
+val is_alloc : Ir.op -> bool

@@ -1,0 +1,142 @@
+(* nn dialect: named tensor-level neural-network operations, the target of
+   the PyTorch front-end substitute (playing the role Torch-MLIR + linalg
+   play in the paper).  Shapes use NCHW for feature maps and OIHW for
+   convolution weights; batch is handled by the driver's BATCH factor, so
+   tensors here omit the batch dimension (C,H,W). *)
+
+open Hida_ir
+open Ir
+
+let fm ~c ~h ~w ~elem = Typ.tensor ~shape:[ c; h; w ] ~elem
+let vec ~n ~elem = Typ.tensor ~shape:[ n ] ~elem
+
+(* Weight constants: we carry a seed instead of literal data; the
+   interpreter derives deterministic pseudo-random weights from the seed. *)
+let weight bld ~shape ~elem ~seed =
+  let op =
+    Builder.build bld
+      ~attrs:[ ("seed", A_int seed) ]
+      ~results:[ Typ.tensor ~shape ~elem ] "nn.weight"
+  in
+  Op.result op 0
+
+let pool_extent ~in_size ~kernel ~stride =
+  if in_size < kernel then 0 else ((in_size - kernel) / stride) + 1
+
+let conv2d bld ~input ~weight ~bias ~stride ~pad =
+  let ish = Typ.shape (Value.typ input) in
+  let wsh = Typ.shape (Value.typ weight) in
+  let elem = Typ.elem (Value.typ input) in
+  match (ish, wsh) with
+  | [ _ic; ih; iw ], [ oc; _; kh; kw ] ->
+      let oh = pool_extent ~in_size:(ih + (2 * pad)) ~kernel:kh ~stride in
+      let ow = pool_extent ~in_size:(iw + (2 * pad)) ~kernel:kw ~stride in
+      let op =
+        Builder.build bld
+          ~operands:[ input; weight; bias ]
+          ~attrs:[ ("stride", A_int stride); ("pad", A_int pad) ]
+          ~results:[ fm ~c:oc ~h:oh ~w:ow ~elem ]
+          "nn.conv2d"
+      in
+      Op.result op 0
+  | _ -> invalid_arg "Nn.conv2d: bad shapes"
+
+(* Depthwise convolution: weight shape [C,1,KH,KW]. *)
+let dwconv2d bld ~input ~weight ~bias ~stride ~pad =
+  let ish = Typ.shape (Value.typ input) in
+  let wsh = Typ.shape (Value.typ weight) in
+  let elem = Typ.elem (Value.typ input) in
+  match (ish, wsh) with
+  | [ ic; ih; iw ], [ _c; _one; kh; kw ] ->
+      let oh = pool_extent ~in_size:(ih + (2 * pad)) ~kernel:kh ~stride in
+      let ow = pool_extent ~in_size:(iw + (2 * pad)) ~kernel:kw ~stride in
+      let op =
+        Builder.build bld
+          ~operands:[ input; weight; bias ]
+          ~attrs:[ ("stride", A_int stride); ("pad", A_int pad) ]
+          ~results:[ fm ~c:ic ~h:oh ~w:ow ~elem ]
+          "nn.dwconv2d"
+      in
+      Op.result op 0
+  | _ -> invalid_arg "Nn.dwconv2d: bad shapes"
+
+let relu bld input =
+  let op =
+    Builder.build bld ~operands:[ input ] ~results:[ Value.typ input ] "nn.relu"
+  in
+  Op.result op 0
+
+let pool bld ~kind ~input ~kernel ~stride =
+  let elem = Typ.elem (Value.typ input) in
+  match Typ.shape (Value.typ input) with
+  | [ c; h; w ] ->
+      let oh = pool_extent ~in_size:h ~kernel ~stride in
+      let ow = pool_extent ~in_size:w ~kernel ~stride in
+      let op =
+        Builder.build bld ~operands:[ input ]
+          ~attrs:[ ("kernel", A_int kernel); ("stride", A_int stride) ]
+          ~results:[ fm ~c ~h:oh ~w:ow ~elem ]
+          (match kind with `Max -> "nn.maxpool" | `Avg -> "nn.avgpool")
+      in
+      Op.result op 0
+  | _ -> invalid_arg "Nn.pool: bad shape"
+
+let maxpool bld ~input ~kernel ~stride = pool bld ~kind:`Max ~input ~kernel ~stride
+let avgpool bld ~input ~kernel ~stride = pool bld ~kind:`Avg ~input ~kernel ~stride
+
+(* Elementwise addition, used for residual shortcut paths. *)
+let add bld a b =
+  let op = Builder.build bld ~operands:[ a; b ] ~results:[ Value.typ a ] "nn.add" in
+  Op.result op 0
+
+let flatten bld input =
+  let elem = Typ.elem (Value.typ input) in
+  let n = List.fold_left ( * ) 1 (Typ.shape (Value.typ input)) in
+  let op =
+    Builder.build bld ~operands:[ input ] ~results:[ vec ~n ~elem ] "nn.flatten"
+  in
+  Op.result op 0
+
+(* Fully-connected layer: input [C], weight [O,C], bias [O]. *)
+let linear bld ~input ~weight ~bias =
+  let elem = Typ.elem (Value.typ input) in
+  match Typ.shape (Value.typ weight) with
+  | [ o; _c ] ->
+      let op =
+        Builder.build bld
+          ~operands:[ input; weight; bias ]
+          ~results:[ vec ~n:o ~elem ]
+          "nn.linear"
+      in
+      Op.result op 0
+  | _ -> invalid_arg "Nn.linear: bad weight shape"
+
+let is_nn op =
+  String.length (Op.name op) > 3 && String.sub (Op.name op) 0 3 = "nn."
+
+(* Number of multiply-accumulate operations performed per sample by an nn
+   op — the paper's OPs metric in Eq. (1). *)
+let macs op =
+  let out_shape =
+    match Op.results op with [] -> [] | r :: _ -> Typ.shape (Value.typ r)
+  in
+  let out_elems = List.fold_left ( * ) 1 out_shape in
+  match Op.name op with
+  | "nn.conv2d" -> (
+      match Typ.shape (Value.typ (Op.operand op 1)) with
+      | [ _oc; ic; kh; kw ] -> out_elems * ic * kh * kw
+      | _ -> 0)
+  | "nn.dwconv2d" -> (
+      match Typ.shape (Value.typ (Op.operand op 1)) with
+      | [ _c; _one; kh; kw ] -> out_elems * kh * kw
+      | _ -> 0)
+  | "nn.linear" -> (
+      match Typ.shape (Value.typ (Op.operand op 1)) with
+      | [ o; c ] -> o * c
+      | _ -> 0)
+  | "nn.maxpool" | "nn.avgpool" ->
+      let k = Op.int_attr_exn op "kernel" in
+      out_elems * k * k
+  | "nn.relu" | "nn.add" -> out_elems
+  | "nn.flatten" | "nn.weight" -> 0
+  | _ -> 0

@@ -1,0 +1,62 @@
+(** nn dialect: tensor-level neural-network operations — the target of
+    the PyTorch front-end substitute (the role Torch-MLIR + linalg play in
+    the paper).  Feature maps are (C, H, W); convolution weights are
+    (O, I, KH, KW); the batch dimension is handled by the driver. *)
+
+open Hida_ir
+
+val fm : c:int -> h:int -> w:int -> elem:Ir.typ -> Ir.typ
+val vec : n:int -> elem:Ir.typ -> Ir.typ
+
+val weight :
+  Builder.t -> shape:int list -> elem:Ir.typ -> seed:int -> Ir.value
+(** A weight constant carrying a deterministic seed instead of literal
+    data; the interpreter derives pseudo-random values from it. *)
+
+val pool_extent : in_size:int -> kernel:int -> stride:int -> int
+(** Output extent of a sliding window; 0 when the input is smaller than
+    the kernel. *)
+
+val conv2d :
+  Builder.t ->
+  input:Ir.value ->
+  weight:Ir.value ->
+  bias:Ir.value ->
+  stride:int ->
+  pad:int ->
+  Ir.value
+
+val dwconv2d :
+  Builder.t ->
+  input:Ir.value ->
+  weight:Ir.value ->
+  bias:Ir.value ->
+  stride:int ->
+  pad:int ->
+  Ir.value
+(** Depthwise convolution; weight shape (C, 1, KH, KW). *)
+
+val relu : Builder.t -> Ir.value -> Ir.value
+
+val pool :
+  Builder.t ->
+  kind:[ `Avg | `Max ] ->
+  input:Ir.value ->
+  kernel:int ->
+  stride:int ->
+  Ir.value
+
+val maxpool : Builder.t -> input:Ir.value -> kernel:int -> stride:int -> Ir.value
+val avgpool : Builder.t -> input:Ir.value -> kernel:int -> stride:int -> Ir.value
+
+val add : Builder.t -> Ir.value -> Ir.value -> Ir.value
+(** Elementwise addition (residual shortcut paths). *)
+
+val flatten : Builder.t -> Ir.value -> Ir.value
+val linear : Builder.t -> input:Ir.value -> weight:Ir.value -> bias:Ir.value -> Ir.value
+
+val is_nn : Ir.op -> bool
+
+val macs : Ir.op -> int
+(** Multiply-accumulate operations per sample — the paper's OPs metric
+    of Eq. (1). *)

@@ -1,0 +1,1 @@
+lib/emitter/emit_cpp.ml: Affine Affine_d Array Block Buffer Bytes Func_d Hashtbl Hida_d Hida_dialects Hida_ir Ir List Op Printf String Value Walk

@@ -1,0 +1,1 @@
+lib/emitter/emit_cpp.mli: Hida_ir

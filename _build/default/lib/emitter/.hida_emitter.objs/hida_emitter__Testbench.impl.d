@@ -1,0 +1,1 @@
+lib/emitter/testbench.ml: Block Buffer Emit_cpp Filename Func_d Hida_dialects Hida_ir Ir List Printf String Value

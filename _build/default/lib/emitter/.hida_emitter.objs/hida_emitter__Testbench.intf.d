@@ -1,0 +1,1 @@
+lib/emitter/testbench.mli: Hida_ir Ir

@@ -1,0 +1,351 @@
+(* HLS C++ emitter (the ScaleHLS emitter's role in Fig. 3): translates an
+   optimized structural-dataflow function into synthesizable C++ with
+   Vitis HLS pragmas.  Each node becomes a static function; the top
+   function instantiates buffers with ARRAY_PARTITION / STREAM pragmas and
+   calls the nodes under #pragma HLS DATAFLOW. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+let buf = Buffer.create 4096
+
+type ctx = {
+  out : Buffer.t;
+  mutable indent : int;
+  names : (int, string) Hashtbl.t;
+  mutable counter : int;
+}
+
+let ctx () = { out = Buffer.create 4096; indent = 0; names = Hashtbl.create 64; counter = 0 }
+
+let line c fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string c.out (String.make (2 * c.indent) ' ');
+      Buffer.add_string c.out s;
+      Buffer.add_char c.out '\n')
+    fmt
+
+let fresh c prefix =
+  c.counter <- c.counter + 1;
+  Printf.sprintf "%s%d" prefix c.counter
+
+let name_of c (v : value) =
+  match Hashtbl.find_opt c.names v.v_id with
+  | Some n -> n
+  | None ->
+      let base =
+        match v.v_name_hint with Some h -> h | None -> "v"
+      in
+      let n = fresh c base in
+      Hashtbl.replace c.names v.v_id n;
+      n
+
+let rec c_type t =
+  match t with
+  | I1 -> "bool"
+  | I8 -> "ap_int<8>"
+  | I16 -> "ap_int<16>"
+  | I32 -> "int"
+  | I64 -> "long long"
+  | F32 -> "float"
+  | F64 -> "double"
+  | Index -> "int"
+  | Token -> "bool"
+  | Memref { elem; _ } -> c_type elem
+  | Tensor { elem; _ } -> c_type elem
+  | Stream { elem; _ } -> Printf.sprintf "hls::stream<%s>" (c_type elem)
+  | Func_type _ -> "void*"
+
+let dims_suffix shape =
+  String.concat "" (List.map (fun d -> Printf.sprintf "[%d]" d) shape)
+
+let array_decl name t =
+  match t with
+  | Memref { shape; elem } ->
+      Printf.sprintf "%s %s%s" (c_type elem) name (dims_suffix shape)
+  | Stream _ -> Printf.sprintf "%s %s" (c_type t) name
+  | t -> Printf.sprintf "%s %s" (c_type t) name
+
+let array_param name t =
+  match t with
+  | Memref { shape; elem } ->
+      Printf.sprintf "%s %s%s" (c_type elem) name (dims_suffix shape)
+  | Stream _ -> Printf.sprintf "%s &%s" (c_type t) name
+  | t -> Printf.sprintf "%s %s" (c_type t) name
+
+(* Render an affine expression over C index expressions. *)
+let rec render_affine (args : string array) e =
+  let open Affine in
+  match e with
+  | Dim i -> args.(i)
+  | Sym i -> Printf.sprintf "s%d" i
+  | Const k -> string_of_int k
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (render_affine args a) (render_affine args b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (render_affine args a) (render_affine args b)
+  | Floordiv (a, d) -> Printf.sprintf "(%s / %d)" (render_affine args a) d
+  | Ceildiv (a, d) -> Printf.sprintf "((%s + %d) / %d)" (render_affine args a) (d - 1) d
+  | Mod (a, m) -> Printf.sprintf "(%s %% %d)" (render_affine args a) m
+
+let subscripts c memref indices map =
+  let args = Array.of_list (List.map (name_of c) indices) in
+  let exprs = map.Affine.exprs in
+  String.concat ""
+    (List.map (fun e -> Printf.sprintf "[%s]" (render_affine args e)) exprs)
+
+(* Sanitize an IR symbol into a valid C identifier. *)
+let c_ident name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      if not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9') || c = '_')
+      then Bytes.set b i '_')
+    b;
+  let name = Bytes.to_string b in
+  if String.length name = 0 then "kernel"
+  else if name.[0] >= '0' && name.[0] <= '9' then "kernel_" ^ name
+  else name
+
+let binop_symbol = function
+  | "arith.addf" | "arith.addi" -> "+"
+  | "arith.subf" | "arith.subi" -> "-"
+  | "arith.mulf" | "arith.muli" -> "*"
+  | "arith.divf" -> "/"
+  | _ -> "?"
+
+let rec emit_op c op =
+  let n = name_of c in
+  match Op.name op with
+  | "arith.constant" -> (
+      match Op.attr op "value" with
+      | Some (A_int i) ->
+          line c "const int %s = %d;" (n (Op.result op 0)) i
+      | Some (A_float f) ->
+          line c "const float %s = (float)%.9g;" (n (Op.result op 0)) f
+      | _ -> ())
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.addi"
+  | "arith.subi" | "arith.muli" ->
+      line c "%s %s = %s %s %s;"
+        (c_type (Value.typ (Op.result op 0)))
+        (n (Op.result op 0))
+        (n (Op.operand op 0))
+        (binop_symbol (Op.name op))
+        (n (Op.operand op 1))
+  | "arith.maxf" ->
+      line c "float %s = fmaxf(%s, %s);" (n (Op.result op 0)) (n (Op.operand op 0))
+        (n (Op.operand op 1))
+  | "arith.minf" ->
+      line c "float %s = fminf(%s, %s);" (n (Op.result op 0)) (n (Op.operand op 0))
+        (n (Op.operand op 1))
+  | "arith.negf" ->
+      line c "float %s = -%s;" (n (Op.result op 0)) (n (Op.operand op 0))
+  | "math.sqrt" ->
+      line c "float %s = sqrtf(%s);" (n (Op.result op 0)) (n (Op.operand op 0))
+  | "math.exp" ->
+      line c "float %s = expf(%s);" (n (Op.result op 0)) (n (Op.operand op 0))
+  | "arith.cmpf" | "arith.cmpi" ->
+      let sym =
+        match Op.str_attr_exn op "predicate" with
+        | "lt" -> "<"
+        | "le" -> "<="
+        | "gt" -> ">"
+        | "ge" -> ">="
+        | "eq" -> "=="
+        | _ -> "!="
+      in
+      line c "bool %s = %s %s %s;" (n (Op.result op 0)) (n (Op.operand op 0)) sym
+        (n (Op.operand op 1))
+  | "arith.select" ->
+      line c "%s %s = %s ? %s : %s;"
+        (c_type (Value.typ (Op.result op 0)))
+        (n (Op.result op 0))
+        (n (Op.operand op 0))
+        (n (Op.operand op 1))
+        (n (Op.operand op 2))
+  | "affine.for" ->
+      let iv = Affine_d.induction_var op in
+      let ivn = n iv in
+      line c "for (int %s = %d; %s < %d; %s += %d) {" ivn (Affine_d.lower op) ivn
+        (Affine_d.upper op) ivn (Affine_d.step op);
+      c.indent <- c.indent + 1;
+      if Affine_d.is_pipelined op then
+        line c "#pragma HLS PIPELINE II=%d" (Affine_d.ii op);
+      if Affine_d.unroll_factor op > 1 then
+        line c "#pragma HLS UNROLL factor=%d" (Affine_d.unroll_factor op);
+      List.iter (emit_op c) (Block.ops (Affine_d.body_block op));
+      c.indent <- c.indent - 1;
+      line c "}"
+  | "affine.if" ->
+      let r = Op.result op 0 in
+      let args = Array.of_list (List.map (name_of c) (Op.operands op)) in
+      let conds =
+        String.concat " && "
+          (List.map
+             (fun e -> Printf.sprintf "(%s) >= 0" (render_affine args e))
+             (Affine_d.if_conds op).Affine.exprs)
+      in
+      line c "%s %s;" (c_type (Value.typ r)) (n r);
+      let emit_branch blk =
+        List.iter
+          (fun o ->
+            if Op.name o = "affine.yield" then
+              match Op.operands o with
+              | [ v ] -> line c "%s = %s;" (n r) (n v)
+              | _ -> ()
+            else emit_op c o)
+          (Block.ops blk)
+      in
+      line c "if (%s) {" conds;
+      c.indent <- c.indent + 1;
+      emit_branch (Affine_d.then_block op);
+      c.indent <- c.indent - 1;
+      line c "} else {";
+      c.indent <- c.indent + 1;
+      emit_branch (Affine_d.else_block op);
+      c.indent <- c.indent - 1;
+      line c "}"
+  | "affine.load" ->
+      let m = Affine_d.load_memref op in
+      line c "%s %s = %s%s;"
+        (c_type (Value.typ (Op.result op 0)))
+        (n (Op.result op 0))
+        (n m)
+        (subscripts c m (Affine_d.load_indices op) (Affine_d.access_map op))
+  | "affine.store" ->
+      let m = Affine_d.store_memref op in
+      line c "%s%s = %s;" (n m)
+        (subscripts c m (Affine_d.store_indices op) (Affine_d.access_map op))
+        (n (Affine_d.store_value op))
+  | "memref.alloc" | "hida.buffer" ->
+      let r = Op.result op 0 in
+      line c "%s;" (array_decl (n r) (Value.typ r));
+      if Op.name op = "hida.buffer" then begin
+        let factors = Hida_d.partition_factors op in
+        let kinds = Hida_d.partition_kinds op in
+        List.iteri
+          (fun d (k, f) ->
+            if f > 1 then
+              line c
+                "#pragma HLS ARRAY_PARTITION variable=%s %s factor=%d dim=%d"
+                (n r)
+                (match k with
+                | Hida_d.P_cyclic -> "cyclic"
+                | Hida_d.P_block -> "block"
+                | Hida_d.P_none -> "complete")
+                f (d + 1))
+          (List.combine kinds factors);
+        if Hida_d.buffer_placement op = Hida_d.External then
+          line c "// placed in external memory (soft FIFO, depth=%d)"
+            (Hida_d.buffer_depth op)
+      end
+  | "hida.stream" ->
+      let r = Op.result op 0 in
+      line c "%s %s;" (c_type (Value.typ r)) (n r);
+      (match Value.typ r with
+      | Stream { depth; _ } ->
+          line c "#pragma HLS STREAM variable=%s depth=%d" (n r) depth
+      | _ -> ())
+  | "hida.stream_read" ->
+      line c "%s %s = %s.read();"
+        (c_type (Value.typ (Op.result op 0)))
+        (n (Op.result op 0))
+        (n (Op.operand op 0))
+  | "hida.stream_write" ->
+      line c "%s.write(%s);" (n (Op.operand op 0)) (n (Op.operand op 1))
+  | "hida.token_push" -> line c "%s.write(true);" (n (Op.operand op 0))
+  | "hida.token_pop" -> line c "(void)%s.read();" (n (Op.operand op 0))
+  | "hida.copy" | "memref.copy" ->
+      line c "memcpy(%s, %s, sizeof(%s));" (n (Op.operand op 1))
+        (n (Op.operand op 0))
+        (n (Op.operand op 1))
+  | "hida.port" ->
+      let r = Op.result op 0 in
+      line c "// external port %s (m_axi, latency=%d)" (n r)
+        (Hida_d.port_latency op)
+  | "hida.pack" ->
+      line c "// pack %s" (n (Op.operand op 0))
+  | "hida.bundle" -> ()
+  | "hida.yield" | "affine.yield" | "func.return" -> ()
+  | "hida.schedule" -> emit_schedule c op
+  | "hida.node" ->
+      (* Inline nodes are emitted as calls by emit_schedule; a stray node
+         is emitted inline. *)
+      List.iter (emit_op c) (Block.ops (Hida_d.node_block op))
+  | other -> line c "// unhandled op: %s" other
+
+and emit_schedule c op =
+  line c "{";
+  c.indent <- c.indent + 1;
+  line c "#pragma HLS DATAFLOW";
+  (* Bind block args to outer names. *)
+  let blk = Hida_d.node_block op in
+  List.iteri
+    (fun i v ->
+      Hashtbl.replace c.names (Block.arg blk i).v_id (name_of c v))
+    (Op.operands op);
+  List.iter
+    (fun nd ->
+      if Hida_d.is_node nd then begin
+        let nblk = Hida_d.node_block nd in
+        List.iteri
+          (fun i v ->
+            Hashtbl.replace c.names (Block.arg nblk i).v_id (name_of c v))
+          (Op.operands nd);
+        line c "// node";
+        line c "{";
+        c.indent <- c.indent + 1;
+        List.iter (emit_op c) (Block.ops nblk);
+        c.indent <- c.indent - 1;
+        line c "}"
+      end)
+    (Block.ops blk);
+  c.indent <- c.indent - 1;
+  line c "}"
+
+(* Emit a whole function as a top-level HLS kernel. *)
+let emit_func func =
+  let c = ctx () in
+  ignore buf;
+  line c "#include <cstring>";
+  line c "#include <cmath>";
+  line c "#include \"ap_int.h\"";
+  line c "#include \"hls_stream.h\"";
+  line c "";
+  let entry = Func_d.entry_block func in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun a -> array_param (name_of c a) (Value.typ a))
+         (Block.args entry))
+  in
+  line c "void %s(%s) {" (c_ident (Func_d.func_name func)) params;
+  c.indent <- c.indent + 1;
+  (* AXI bundle assignment from the interface-planning pass, when
+     present; positional bundles otherwise. *)
+  let bundle_of =
+    let tbl = Hashtbl.create 8 in
+    Walk.preorder func ~f:(fun op ->
+        if Op.name op = "hida.bundle" then
+          let bname = Op.str_attr_exn op "name" in
+          List.iter
+            (fun v -> Hashtbl.replace tbl v.v_id bname)
+            (Op.operands op));
+    fun i (v : value) ->
+      match Hashtbl.find_opt tbl v.v_id with
+      | Some b -> b
+      | None -> Printf.sprintf "gmem%d" i
+  in
+  List.iteri
+    (fun i a ->
+      match Value.typ a with
+      | Memref _ ->
+          line c "#pragma HLS INTERFACE m_axi port=%s bundle=%s" (name_of c a)
+            (bundle_of i a)
+      | _ -> ())
+    (Block.args entry);
+  List.iter (emit_op c) (Block.ops entry);
+  c.indent <- c.indent - 1;
+  line c "}";
+  Buffer.contents c.out

@@ -1,0 +1,15 @@
+(** HLS C++ emitter (the ScaleHLS emitter's role in Fig. 3).
+
+    Translates an optimized structural-dataflow function into
+    synthesizable C++ for Vitis HLS: buffers become local arrays with
+    ARRAY_PARTITION pragmas, streams become [hls::stream]s with STREAM
+    pragmas, schedules become regions under [#pragma HLS DATAFLOW],
+    pipelining and unroll directives annotate the loops, and external
+    memrefs get m_axi interface pragmas. *)
+
+val c_ident : string -> string
+(** Sanitize an IR symbol into a valid C identifier (e.g. ["2mm"] becomes
+    ["kernel_2mm"]). *)
+
+val emit_func : Hida_ir.Ir.op -> string
+(** Emit a whole function as a top-level HLS kernel. *)

@@ -1,0 +1,99 @@
+(* Testbench generation: a C++ main() that feeds the emitted kernel the
+   same deterministic inputs as the reference interpreter and prints
+   every array afterwards, so the emitted design can be compiled with a
+   host C++ compiler and checked bit-for-shape against the interpreter
+   (the role of HLS C simulation in the paper's flow). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+(* Minimal stand-ins for the Vitis headers, sufficient to compile and run
+   the emitted code on a host. *)
+let stub_ap_int =
+  "#pragma once\n\
+   // Host-simulation stand-in for the Vitis arbitrary-precision types.\n\
+   template <int W> using ap_int = int;\n\
+   template <int W> using ap_uint = unsigned int;\n"
+
+let stub_hls_stream =
+  "#pragma once\n\
+   #include <queue>\n\
+   namespace hls {\n\
+   template <class T> class stream {\n\
+   \  std::queue<T> q;\n\
+   public:\n\
+   \  void write(T v) { q.push(v); }\n\
+   \  T read() { T v = q.front(); q.pop(); return v; }\n\
+   \  bool empty() const { return q.empty(); }\n\
+   };\n\
+   } // namespace hls\n"
+
+let stub_headers = [ ("ap_int.h", stub_ap_int); ("hls_stream.h", stub_hls_stream) ]
+
+(* Mirrors Interp.pseudo_weight / Interp.fresh_args exactly. *)
+let fill_function =
+  "static double pseudo_weight(long long seed, long long i) {\n\
+   \  long long x = ((seed * 1103515245LL) + i * 12345LL + 42LL) & 0x3FFFFFFFLL;\n\
+   \  x = ((x * 1103515245LL) + 12345LL) & 0x3FFFFFFFLL;\n\
+   \  return ((double)(x % 2000LL)) / 1000.0 - 1.0;\n\
+   }\n"
+
+let emit_testbench ?(seed = 1) func =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let entry = Func_d.entry_block func in
+  let args = Block.args entry in
+  add "#include <cstdio>\n";
+  add "%s\n" fill_function;
+  add "int main() {\n";
+  List.iteri
+    (fun i arg ->
+      match Value.typ arg with
+      | Memref { shape; elem } ->
+          let dims =
+            String.concat "" (List.map (fun d -> Printf.sprintf "[%d]" d) shape)
+          in
+          let ctype =
+            match elem with
+            | F32 -> "float"
+            | F64 -> "double"
+            | I32 | Index -> "int"
+            | _ -> "float"
+          in
+          add "  static %s a%d%s;\n" ctype i dims;
+          let total = List.fold_left ( * ) 1 shape in
+          add "  for (long long j = 0; j < %d; j++)\n" total;
+          add "    ((%s*)a%d)[j] = (%s)pseudo_weight(%d, j);\n" ctype i ctype
+            (seed + (i * 977))
+      | _ -> add "  /* non-memref argument %d unsupported */\n" i)
+    args;
+  add "  %s(%s);\n" (Emit_cpp.c_ident (Func_d.func_name func))
+    (String.concat ", " (List.mapi (fun i _ -> Printf.sprintf "a%d" i) args));
+  List.iteri
+    (fun i arg ->
+      match Value.typ arg with
+      | Memref { shape; _ } ->
+          let total = List.fold_left ( * ) 1 shape in
+          add "  for (long long j = 0; j < %d; j++)\n" total;
+          add "    printf(\"%%.6f\\n\", (double)((float*)a%d)[j]);\n" i
+      | _ -> ())
+    args;
+  add "  return 0;\n}\n";
+  Buffer.contents b
+
+(* Emit kernel + testbench into [dir]; returns the main .cpp path. *)
+let write_project ~dir func =
+  List.iter
+    (fun (name, content) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc content;
+      close_out oc)
+    stub_headers;
+  let path = Filename.concat dir "design.cpp" in
+  let oc = open_out path in
+  output_string oc (Emit_cpp.emit_func func);
+  output_string oc "\n";
+  output_string oc (emit_testbench func);
+  close_out oc;
+  path

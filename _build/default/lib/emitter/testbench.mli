@@ -1,0 +1,16 @@
+(** Testbench generation for host-side C simulation of emitted designs:
+    a [main()] that feeds the kernel the same deterministic inputs as
+    the reference interpreter and prints every array afterwards, plus
+    host stand-ins for the Vitis headers. *)
+
+open Hida_ir
+
+val stub_headers : (string * string) list
+(** (filename, contents) for [ap_int.h] and [hls_stream.h]. *)
+
+val emit_testbench : ?seed:int -> Ir.op -> string
+(** A C++ [main()] for a kernel whose parameters are all memrefs. *)
+
+val write_project : dir:string -> Ir.op -> string
+(** Write headers, emitted kernel and testbench into [dir]; returns the
+    path of the combined [design.cpp]. *)

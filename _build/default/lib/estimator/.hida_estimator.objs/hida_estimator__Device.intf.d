@@ -1,0 +1,1 @@
+lib/estimator/device.mli:

@@ -1,0 +1,1 @@
+lib/estimator/qor.ml: Affine Affine_d Arith Array Block Device Func_d Hashtbl Hida_d Hida_dialects Hida_ir Ir List Op Option Region Resource Typ Value Walk

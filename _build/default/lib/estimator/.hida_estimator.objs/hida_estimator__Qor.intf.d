@@ -1,0 +1,1 @@
+lib/estimator/qor.mli: Device Hashtbl Hida_dialects Hida_ir Ir Resource

@@ -1,0 +1,1 @@
+lib/estimator/resource.ml: Device Float Format List

@@ -1,0 +1,1 @@
+lib/estimator/resource.mli: Device Format

@@ -1,0 +1,77 @@
+(* FPGA device models for the three evaluation platforms of the paper.
+   Resource totals follow the public AMD-Xilinx datasheets; BRAM is counted
+   in 18Kb blocks (one 36Kb BRAM = two BRAM18). *)
+
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  bram18 : int;
+  freq_mhz : float;
+  (* External (AXI) memory interface model. *)
+  axi_latency : int;        (* cycles for a random access *)
+  axi_width_bits : int;     (* data width of one memory port *)
+  axi_ports : int;          (* number of concurrent memory ports *)
+}
+
+(* AMD PYNQ-Z2 (Zynq-7020), the Section 2 case-study platform. *)
+let pynq_z2 =
+  {
+    name = "pynq-z2";
+    luts = 53_200;
+    ffs = 106_400;
+    dsps = 220;
+    bram18 = 280;
+    freq_mhz = 100.;
+    axi_latency = 48;
+    axi_width_bits = 64;
+    axi_ports = 2;
+  }
+
+(* AMD-Xilinx ZU3EG, the C++ kernel platform (Table 7). *)
+let zu3eg =
+  {
+    name = "zu3eg";
+    luts = 70_560;
+    ffs = 141_120;
+    dsps = 360;
+    bram18 = 432;
+    freq_mhz = 200.;
+    axi_latency = 48;
+    axi_width_bits = 128;
+    axi_ports = 4;
+  }
+
+(* One super logic region of an AMD-Xilinx VU9P, the DNN platform
+   (Table 8). *)
+let vu9p_slr =
+  {
+    name = "vu9p-slr";
+    luts = 394_080;
+    ffs = 788_160;
+    dsps = 2_280;
+    bram18 = 1_440;
+    freq_mhz = 200.;
+    axi_latency = 64;
+    axi_width_bits = 512;
+    axi_ports = 4;
+  }
+
+let by_name = function
+  | "pynq-z2" -> pynq_z2
+  | "zu3eg" -> zu3eg
+  | "vu9p-slr" -> vu9p_slr
+  | s -> invalid_arg ("Device.by_name: unknown device " ^ s)
+
+(* Constrain a device to a fraction of its resources (used to match
+   DNNBuilder's resource budget in Table 8). *)
+let constrain ?luts ?dsps ?bram18 t =
+  {
+    t with
+    luts = Option.value luts ~default:t.luts;
+    dsps = Option.value dsps ~default:t.dsps;
+    bram18 = Option.value bram18 ~default:t.bram18;
+  }
+
+let freq_hz t = t.freq_mhz *. 1e6

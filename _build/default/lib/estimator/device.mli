@@ -1,0 +1,34 @@
+(** FPGA device models for the paper's three evaluation platforms.
+    Resource totals follow the public AMD-Xilinx datasheets; BRAM is
+    counted in 18Kb blocks. *)
+
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  bram18 : int;
+  freq_mhz : float;
+  axi_latency : int;  (** cycles for a random external access *)
+  axi_width_bits : int;  (** data width of one memory port *)
+  axi_ports : int;  (** concurrent external-memory ports *)
+}
+
+val pynq_z2 : t
+(** AMD PYNQ-Z2 (Zynq-7020) — the Section 2 case-study platform. *)
+
+val zu3eg : t
+(** AMD-Xilinx ZU3EG — the C++ kernel platform (Table 7). *)
+
+val vu9p_slr : t
+(** One super logic region of an AMD-Xilinx VU9P — the DNN platform
+    (Table 8). *)
+
+val by_name : string -> t
+(** Look up ["pynq-z2"], ["zu3eg"] or ["vu9p-slr"]; raises
+    [Invalid_argument] otherwise. *)
+
+val constrain : ?luts:int -> ?dsps:int -> ?bram18:int -> t -> t
+(** Restrict a device's resources (e.g. to match a baseline's budget). *)
+
+val freq_hz : t -> float

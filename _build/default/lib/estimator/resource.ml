@@ -1,0 +1,36 @@
+(* FPGA resource vectors and utilization arithmetic. *)
+
+type t = { luts : int; ffs : int; dsps : int; bram18 : int }
+
+let zero = { luts = 0; ffs = 0; dsps = 0; bram18 = 0 }
+
+let make ?(luts = 0) ?(ffs = 0) ?(dsps = 0) ?(bram18 = 0) () =
+  { luts; ffs; dsps; bram18 }
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    dsps = a.dsps + b.dsps;
+    bram18 = a.bram18 + b.bram18;
+  }
+
+let sum l = List.fold_left add zero l
+
+let scale k r =
+  { luts = k * r.luts; ffs = k * r.ffs; dsps = k * r.dsps; bram18 = k * r.bram18 }
+
+(* Fraction of the binding device resource used by [r]: the paper's
+   "Resource Util." is the max over resource kinds. *)
+let utilization (d : Device.t) r =
+  let frac used total = float_of_int used /. float_of_int (max 1 total) in
+  List.fold_left Float.max 0.
+    [ frac r.luts d.luts; frac r.ffs d.ffs; frac r.dsps d.dsps; frac r.bram18 d.bram18 ]
+
+let fits (d : Device.t) r =
+  r.luts <= d.luts && r.ffs <= d.ffs && r.dsps <= d.dsps && r.bram18 <= d.bram18
+
+let pp fmt r =
+  Format.fprintf fmt "{lut=%d ff=%d dsp=%d bram18=%d}" r.luts r.ffs r.dsps r.bram18
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,17 @@
+(** FPGA resource vectors and utilization arithmetic. *)
+
+type t = { luts : int; ffs : int; dsps : int; bram18 : int }
+
+val zero : t
+val make : ?luts:int -> ?ffs:int -> ?dsps:int -> ?bram18:int -> unit -> t
+val add : t -> t -> t
+val sum : t list -> t
+val scale : int -> t -> t
+
+val utilization : Device.t -> t -> float
+(** The binding utilization: max over resource kinds of used/total
+    (the paper's "Resource Util."). *)
+
+val fits : Device.t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

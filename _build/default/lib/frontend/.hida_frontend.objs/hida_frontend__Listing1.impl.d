@@ -1,0 +1,1 @@
+lib/frontend/listing1.ml: Affine Affine_d Arith Hida_dialects Hida_ir Ir Loop_dsl

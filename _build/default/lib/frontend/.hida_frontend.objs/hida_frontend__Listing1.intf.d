@@ -1,0 +1,1 @@
+lib/frontend/listing1.mli: Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/frontend/loop_dsl.ml: Affine_d Arith Block Builder Func_d Hida_dialects Hida_ir Ir List Memref_d Typ Value

@@ -1,0 +1,1 @@
+lib/frontend/loop_dsl.mli: Builder Hida_ir Ir

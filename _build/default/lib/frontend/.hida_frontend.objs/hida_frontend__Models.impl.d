@@ -1,0 +1,1 @@
+lib/frontend/models.ml: Float Hida_ir Ir List Nn_builder Typ Value

@@ -1,0 +1,1 @@
+lib/frontend/models.mli: Hida_ir Ir Nn_builder

@@ -1,0 +1,1 @@
+lib/frontend/nn_builder.ml: Block Builder Func_d Hida_dialects Hida_ir Ir Nn Typ Value Walk

@@ -1,0 +1,1 @@
+lib/frontend/nn_builder.mli: Builder Hida_ir Ir

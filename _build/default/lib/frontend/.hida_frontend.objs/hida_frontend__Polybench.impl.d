@@ -1,0 +1,1 @@
+lib/frontend/polybench.ml: Arith Hida_dialects Hida_ir Ir List Loop_dsl

@@ -1,0 +1,1 @@
+lib/frontend/polybench.mli: Hida_ir Ir

@@ -1,0 +1,1 @@
+lib/frontend/polybench_extra.mli: Hida_ir Ir

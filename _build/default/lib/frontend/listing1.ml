@@ -1,0 +1,45 @@
+(* The three-node running example of Listing 1 / Tables 4-6:
+
+     float A[32][16];  Node0: A[i][k]  = f(in0[i][k])         (i<32, k<16)
+     float B[16][16];  Node1: B[k][j]  = f(in1[k][j])         (k<16, j<16)
+     float C[16][16];  Node2: C[i][j] += A[i*2][k] * B[k][j]  (i,j,k < 16)
+
+   Node2 reads A with a stride of 2 along the first dimension, which is
+   what exercises the scaling maps of Table 4. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Loop_dsl
+
+let build () =
+  let ctx, args =
+    kernel ~name:"listing1"
+      ~arrays:[ ("in0", [ 32; 16 ]); ("in1", [ 16; 16 ]); ("C", [ 16; 16 ]) ]
+  in
+  let in0, in1, c =
+    match args with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  let a = local ctx ~name:"A" ~shape:[ 32; 16 ] in
+  let b = local ctx ~name:"B" ~shape:[ 16; 16 ] in
+  let bld = ctx.bld in
+  (* Node0: load array A. *)
+  for2 bld ~n:32 ~m:16 (fun bl i k ->
+      let v = load bl in0 [ i; k ] in
+      store bl (Arith.addf bl v (f32 bl 1.)) a [ i; k ]);
+  (* Node1: load array B. *)
+  for2 bld ~n:16 ~m:16 (fun bl k j ->
+      let v = load bl in1 [ k; j ] in
+      store bl (Arith.addf bl v (f32 bl 1.)) b [ k; j ]);
+  (* Node2: C[i][j] += A[i*2][k] * B[k][j]. *)
+  let stride2 =
+    Affine.make ~num_dims:2 ~num_syms:0
+      [ Affine.mul (Affine.dim 0) (Affine.const 2); Affine.dim 1 ]
+  in
+  for2 bld ~n:16 ~m:16 (fun bl i j ->
+      store bl (f32 bl 0.) c [ i; j ];
+      for1 bl ~n:16 (fun bl2 k ->
+          let av = Affine_d.load_mapped bl2 a ~map:stride2 [ i; k ] in
+          let bv = load bl2 b [ k; j ] in
+          accumulate bl2 c [ i; j ] (Arith.mulf bl2 av bv)));
+  finish ctx

@@ -1,0 +1,7 @@
+(** The three-node running example of Listing 1 / Tables 4-6: two loader
+    nests and a matrix product reading array A with a stride of 2, which
+    exercises the scaling maps of the connection analysis. *)
+
+open Hida_ir
+
+val build : unit -> Ir.op * Ir.op

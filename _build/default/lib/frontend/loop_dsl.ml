@@ -1,0 +1,61 @@
+(* C++ front-end substitute (the role Polygeist plays in the paper): a
+   small DSL for writing static affine loop-nest kernels directly in the
+   IR.  Function arguments are arrays in external memory; intermediates
+   are local allocations that lowering converts to on-chip buffers. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+type ctx = { module_op : op; func : op; bld : Builder.t }
+
+(* Create a kernel function whose arguments are the named arrays. *)
+let kernel ~name ~arrays =
+  let m = Func_d.module_op () in
+  let inputs =
+    List.map (fun (_, shape) -> Typ.memref ~shape ~elem:F32) arrays
+  in
+  let func = Func_d.func m ~name ~inputs ~outputs:[] in
+  let entry = Func_d.entry_block func in
+  List.iteri
+    (fun i (nm, _) -> (Block.arg entry i).v_name_hint <- Some nm)
+    arrays;
+  let bld = Builder.at_end entry in
+  ({ module_op = m; func; bld }, List.mapi (fun i _ -> Block.arg entry i) arrays)
+
+let local ctx ~name ~shape = Memref_d.alloc ~name ctx.bld ~shape ~elem:F32
+
+let finish ctx =
+  Func_d.return ctx.bld [];
+  (ctx.module_op, ctx.func)
+
+(* Loop helpers: [for2]/[for3] build rectangular nests. *)
+let for1 bld ~n body = ignore (Affine_d.for_ bld ~upper:n body)
+
+let for2 bld ~n ~m body =
+  for1 bld ~n (fun b i -> for1 b ~n:m (fun b' j -> body b' i j))
+
+let for3 bld ~n ~m ~k body =
+  for2 bld ~n ~m (fun b i j -> for1 b ~n:k (fun b' l -> body b' i j l))
+
+let f32 bld x = Arith.const_float bld x
+let load = Affine_d.load
+let store = Affine_d.store
+
+(* acc[idx] += v *)
+let accumulate bld buf idx v =
+  let old = Affine_d.load bld buf idx in
+  let sum = Arith.addf bld old v in
+  Affine_d.store bld sum buf idx
+
+(* buf[idx] = 0 over the full index space of [buf]. *)
+let zero_fill bld buf =
+  let shape = Typ.shape (Value.typ buf) in
+  let rec loops bld shape idx =
+    match shape with
+    | [] ->
+        let z = Arith.const_float bld 0. in
+        Affine_d.store bld z buf (List.rev idx)
+    | d :: rest -> for1 bld ~n:d (fun b i -> loops b rest (i :: idx))
+  in
+  loops bld shape []

@@ -1,0 +1,32 @@
+(** C++ front-end substitute (the role Polygeist plays in the paper): a
+    DSL for writing static affine loop-nest kernels directly in the IR.
+    Function arguments are arrays in external memory; [local]
+    allocations become on-chip buffers during lowering. *)
+
+open Hida_ir
+
+type ctx = { module_op : Ir.op; func : Ir.op; bld : Builder.t }
+
+val kernel : name:string -> arrays:(string * int list) list -> ctx * Ir.value list
+(** A kernel function whose arguments are the named f32 arrays. *)
+
+val local : ctx -> name:string -> shape:int list -> Ir.value
+val finish : ctx -> Ir.op * Ir.op
+
+val for1 : Builder.t -> n:int -> (Builder.t -> Ir.value -> unit) -> unit
+val for2 :
+  Builder.t -> n:int -> m:int -> (Builder.t -> Ir.value -> Ir.value -> unit) -> unit
+val for3 :
+  Builder.t ->
+  n:int -> m:int -> k:int ->
+  (Builder.t -> Ir.value -> Ir.value -> Ir.value -> unit) ->
+  unit
+
+val f32 : Builder.t -> float -> Ir.value
+val load : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+val store : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> unit
+
+val accumulate : Builder.t -> Ir.value -> Ir.value list -> Ir.value -> unit
+(** [accumulate bld buf idx v] performs [buf\[idx\] += v]. *)
+
+val zero_fill : Builder.t -> Ir.value -> unit

@@ -1,0 +1,230 @@
+(* Model zoo: the DNN benchmarks of §7.2 (Table 8) plus the LeNet of the
+   §2 case study, written against the graph-builder DSL the way the
+   paper's models are written in PyTorch.  Every model has a [scale]
+   parameter (default 1.0) shrinking spatial resolution and channel
+   counts, used by the correctness tests which interpret the models
+   end-to-end. *)
+
+open Hida_ir
+open Ir
+
+let scaled scale n = max 1 (int_of_float (Float.round (float_of_int n *. scale)))
+
+(* Round a scaled channel count to a multiple of 4 where possible (keeps
+   divisor lattices reasonable under scaling). *)
+let ch scale n = if scale >= 1.0 then n else max 1 (scaled scale n)
+
+(* ---- LeNet (Section 2 case study, Table 1) ---- *)
+
+let lenet ?(scale = 1.0) () =
+  let s = ch scale in
+  let t = Nn_builder.create ~name:"lenet" ~input_shape:[ 1; 28; 28 ] () in
+  (* Task1: Conv+ReLU+Pool *)
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 6) ~kernel:5 ~stride:1 ~pad:2);
+  ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2);
+  (* Task2: Conv+ReLU+Pool *)
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 16) ~kernel:5 ~stride:1 ~pad:0);
+  ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2);
+  (* Task3: Conv+ReLU *)
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 120) ~kernel:5 ~stride:1 ~pad:0);
+  (* Task4: Linear *)
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:(s 84));
+  ignore (Nn_builder.linear t ~out_features:10);
+  Nn_builder.finish t
+
+(* ---- ResNet-18 ---- *)
+
+let basic_block t ~channels ~stride =
+  let input = Nn_builder.current t in
+  let shortcut =
+    if stride = 1 then input
+    else begin
+      (* Projection shortcut: 1x1 conv with stride. *)
+      Nn_builder.set_current t input;
+      let s = Nn_builder.conv t ~out_channels:channels ~kernel:1 ~stride ~pad:0 in
+      s
+    end
+  in
+  Nn_builder.set_current t input;
+  ignore (Nn_builder.conv_relu t ~out_channels:channels ~kernel:3 ~stride ~pad:1);
+  ignore (Nn_builder.conv t ~out_channels:channels ~kernel:3 ~stride:1 ~pad:1);
+  let main = Nn_builder.current t in
+  ignore (Nn_builder.add t main shortcut);
+  ignore (Nn_builder.relu t)
+
+let resnet18 ?(scale = 1.0) () =
+  let s = ch scale in
+  let res = scaled scale in
+  let t =
+    Nn_builder.create ~name:"resnet18" ~input_shape:[ 3; res 224; res 224 ] ()
+  in
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 64) ~kernel:7 ~stride:2 ~pad:3);
+  ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2);
+  List.iter
+    (fun (channels, stride) -> basic_block t ~channels:(s channels) ~stride)
+    [
+      (64, 1); (64, 1);
+      (128, 2); (128, 1);
+      (256, 2); (256, 1);
+      (512, 2); (512, 1);
+    ];
+  (* Global average pool. *)
+  let k =
+    match Typ.shape (Value.typ (Nn_builder.current t)) with
+    | [ _; h; _ ] -> h
+    | _ -> 7
+  in
+  ignore (Nn_builder.avgpool t ~kernel:k ~stride:k);
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:(if scale >= 1.0 then 1000 else 10));
+  Nn_builder.finish t
+
+(* ---- MobileNet (v1) ---- *)
+
+let dw_separable t ~out_channels ~stride =
+  ignore (Nn_builder.dwconv t ~kernel:3 ~stride ~pad:1);
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.conv_relu t ~out_channels ~kernel:1 ~stride:1 ~pad:0)
+
+let mobilenet ?(scale = 1.0) () =
+  let s = ch scale in
+  let res = scaled scale in
+  let t =
+    Nn_builder.create ~name:"mobilenet" ~input_shape:[ 3; res 224; res 224 ] ()
+  in
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 32) ~kernel:3 ~stride:2 ~pad:1);
+  List.iter
+    (fun (out_channels, stride) ->
+      dw_separable t ~out_channels:(s out_channels) ~stride)
+    [
+      (64, 1);
+      (128, 2); (128, 1);
+      (256, 2); (256, 1);
+      (512, 2); (512, 1); (512, 1); (512, 1); (512, 1); (512, 1);
+      (1024, 2); (1024, 1);
+    ];
+  let k =
+    match Typ.shape (Value.typ (Nn_builder.current t)) with
+    | [ _; h; _ ] -> h
+    | _ -> 7
+  in
+  ignore (Nn_builder.avgpool t ~kernel:k ~stride:k);
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:(if scale >= 1.0 then 1000 else 10));
+  Nn_builder.finish t
+
+(* ---- ZFNet (irregular convolution sizes) ---- *)
+
+let zfnet ?(scale = 1.0) () =
+  let s = ch scale in
+  let res = scaled scale in
+  let t =
+    Nn_builder.create ~name:"zfnet" ~input_shape:[ 3; res 225; res 225 ] ()
+  in
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 96) ~kernel:7 ~stride:2 ~pad:1);
+  ignore (Nn_builder.maxpool t ~kernel:3 ~stride:2);
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 256) ~kernel:5 ~stride:2 ~pad:0);
+  ignore (Nn_builder.maxpool t ~kernel:3 ~stride:2);
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 384) ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 384) ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 256) ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.maxpool t ~kernel:3 ~stride:2);
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:(s 4096));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(s 4096));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(if scale >= 1.0 then 1000 else 10));
+  Nn_builder.finish t
+
+(* ---- VGG-16 ---- *)
+
+let vgg16 ?(scale = 1.0) () =
+  let s = ch scale in
+  let res = scaled scale in
+  let t =
+    Nn_builder.create ~name:"vgg16" ~input_shape:[ 3; res 224; res 224 ] ()
+  in
+  let block ~convs ~channels =
+    for _ = 1 to convs do
+      ignore (Nn_builder.conv_relu t ~out_channels:(s channels) ~kernel:3 ~stride:1 ~pad:1)
+    done;
+    ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2)
+  in
+  block ~convs:2 ~channels:64;
+  block ~convs:2 ~channels:128;
+  block ~convs:3 ~channels:256;
+  block ~convs:3 ~channels:512;
+  block ~convs:3 ~channels:512;
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:(s 4096));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(s 4096));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(if scale >= 1.0 then 1000 else 10));
+  Nn_builder.finish t
+
+(* ---- YOLO (tiny-YOLO style detector, high-resolution input) ---- *)
+
+let yolo ?(scale = 1.0) () =
+  let s = ch scale in
+  let res = scaled scale in
+  let t =
+    Nn_builder.create ~name:"yolo" ~input_shape:[ 3; res 448; res 448 ] ()
+  in
+  let stage channels =
+    ignore (Nn_builder.conv_relu t ~out_channels:(s channels) ~kernel:3 ~stride:1 ~pad:1);
+    ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2)
+  in
+  stage 16;
+  stage 32;
+  stage 64;
+  stage 128;
+  stage 256;
+  stage 512;
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 1024) ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.conv_relu t ~out_channels:(s 256) ~kernel:3 ~stride:1 ~pad:1);
+  (* Detection head: 1x1 conv to the output tensor. *)
+  ignore (Nn_builder.conv t ~out_channels:(if scale >= 1.0 then 125 else 5) ~kernel:1 ~stride:1 ~pad:0);
+  Nn_builder.finish t
+
+(* ---- MLP ---- *)
+
+let mlp ?(scale = 1.0) () =
+  let s = ch scale in
+  let t =
+    Nn_builder.create ~name:"mlp" ~input_shape:[ s 784 ] ()
+  in
+  ignore (Nn_builder.linear t ~out_features:(s 1024));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(s 1024));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:(s 256));
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.linear t ~out_features:10);
+  Nn_builder.finish t
+
+(* ---- Registry ---- *)
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> op * op;
+  e_category : string;
+}
+
+let all =
+  [
+    { e_name = "lenet"; e_build = (fun ?scale () -> lenet ?scale ()); e_category = "classification" };
+    { e_name = "resnet18"; e_build = (fun ?scale () -> resnet18 ?scale ()); e_category = "classification" };
+    { e_name = "mobilenet"; e_build = (fun ?scale () -> mobilenet ?scale ()); e_category = "classification" };
+    { e_name = "zfnet"; e_build = (fun ?scale () -> zfnet ?scale ()); e_category = "classification" };
+    { e_name = "vgg16"; e_build = (fun ?scale () -> vgg16 ?scale ()); e_category = "classification" };
+    { e_name = "yolo"; e_build = (fun ?scale () -> yolo ?scale ()); e_category = "detection" };
+    { e_name = "mlp"; e_build = (fun ?scale () -> mlp ?scale ()); e_category = "fully-connected" };
+  ]
+
+let by_name name =
+  match List.find_opt (fun e -> e.e_name = name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Models.by_name: unknown model " ^ name)

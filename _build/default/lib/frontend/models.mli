@@ -1,0 +1,31 @@
+(** Model zoo: the DNN benchmarks of §7.2 (Table 8) plus the Section 2
+    LeNet, written against the graph-builder DSL.  [scale] shrinks
+    spatial resolution and channel counts for the correctness tests,
+    which interpret the models end-to-end. *)
+
+open Hida_ir
+
+val scaled : float -> int -> int
+val ch : float -> int -> int
+
+val lenet : ?scale:float -> unit -> Ir.op * Ir.op
+val resnet18 : ?scale:float -> unit -> Ir.op * Ir.op
+val mobilenet : ?scale:float -> unit -> Ir.op * Ir.op
+val zfnet : ?scale:float -> unit -> Ir.op * Ir.op
+val vgg16 : ?scale:float -> unit -> Ir.op * Ir.op
+val yolo : ?scale:float -> unit -> Ir.op * Ir.op
+val mlp : ?scale:float -> unit -> Ir.op * Ir.op
+
+val basic_block : Nn_builder.t -> channels:int -> stride:int -> unit
+(** A ResNet basic block with an optional projection shortcut. *)
+
+val dw_separable : Nn_builder.t -> out_channels:int -> stride:int -> unit
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> Ir.op * Ir.op;
+  e_category : string;
+}
+
+val all : entry list
+val by_name : string -> entry

@@ -1,0 +1,113 @@
+(* PyTorch front-end substitute: a small graph-builder DSL producing
+   tensor-level nn IR inside a function, mirroring what Torch-MLIR
+   produces for the paper's models.  The input feature map is a function
+   argument living in external memory; weights are nn.weight constants
+   with deterministic seeds. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+type t = {
+  module_op : op;
+  func : op;
+  bld : Builder.t;
+  elem : typ;
+  mutable seed : int;
+  mutable cursor : value; (* current feature map *)
+}
+
+(* DNN accelerators use fixed-point datapaths (DNNBuilder and the paper's
+   evaluated designs); 16-bit is the default precision. *)
+let create ~name ~input_shape ?(elem = I16) () =
+  let m = Func_d.module_op () in
+  let func =
+    Func_d.func m ~name
+      ~inputs:[ Typ.memref ~shape:input_shape ~elem ]
+      ~outputs:[]
+  in
+  let entry = Func_d.entry_block func in
+  let bld = Builder.at_end entry in
+  {
+    module_op = m;
+    func;
+    bld;
+    elem;
+    seed = 1;
+    cursor = Block.arg entry 0;
+  }
+
+let fresh_seed t =
+  t.seed <- t.seed + 1;
+  t.seed
+
+let weight t shape =
+  Nn.weight t.bld ~shape ~elem:t.elem ~seed:(fresh_seed t)
+
+let current t = t.cursor
+let set_current t v = t.cursor <- v
+
+let channels t =
+  match Typ.shape (Value.typ t.cursor) with
+  | [ c; _; _ ] -> c
+  | [ n ] -> n
+  | _ -> invalid_arg "Nn_builder.channels"
+
+(* ---- Layers ---- *)
+
+let conv t ~out_channels ~kernel ~stride ~pad =
+  let ic = channels t in
+  let w = weight t [ out_channels; ic; kernel; kernel ] in
+  let b = weight t [ out_channels ] in
+  t.cursor <- Nn.conv2d t.bld ~input:t.cursor ~weight:w ~bias:b ~stride ~pad;
+  t.cursor
+
+let dwconv t ~kernel ~stride ~pad =
+  let c = channels t in
+  let w = weight t [ c; 1; kernel; kernel ] in
+  let b = weight t [ c ] in
+  t.cursor <- Nn.dwconv2d t.bld ~input:t.cursor ~weight:w ~bias:b ~stride ~pad;
+  t.cursor
+
+let relu t =
+  t.cursor <- Nn.relu t.bld t.cursor;
+  t.cursor
+
+let maxpool t ~kernel ~stride =
+  t.cursor <- Nn.maxpool t.bld ~input:t.cursor ~kernel ~stride;
+  t.cursor
+
+let avgpool t ~kernel ~stride =
+  t.cursor <- Nn.avgpool t.bld ~input:t.cursor ~kernel ~stride;
+  t.cursor
+
+let flatten t =
+  t.cursor <- Nn.flatten t.bld t.cursor;
+  t.cursor
+
+let linear t ~out_features =
+  let in_features = channels t in
+  let w = weight t [ out_features; in_features ] in
+  let b = weight t [ out_features ] in
+  t.cursor <- Nn.linear t.bld ~input:t.cursor ~weight:w ~bias:b;
+  t.cursor
+
+let add t a b =
+  t.cursor <- Nn.add t.bld a b;
+  t.cursor
+
+(* Conv + ReLU shorthand. *)
+let conv_relu t ~out_channels ~kernel ~stride ~pad =
+  ignore (conv t ~out_channels ~kernel ~stride ~pad);
+  relu t
+
+(* Finish the model: return the output tensor and add func.return. *)
+let finish t =
+  Func_d.return t.bld [ t.cursor ];
+  (t.module_op, t.func)
+
+(* Statistics used by benches: total MACs per sample of a built model. *)
+let total_macs func =
+  let total = ref 0 in
+  Walk.preorder func ~f:(fun op -> if Nn.is_nn op then total := !total + Nn.macs op);
+  !total

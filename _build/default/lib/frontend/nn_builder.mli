@@ -1,0 +1,43 @@
+(** PyTorch front-end substitute: a graph-builder DSL producing
+    tensor-level nn IR inside a function (the role Torch-MLIR plays for
+    the paper).  The input feature map is a function argument in
+    external memory; weights are seeded [nn.weight] constants.  The
+    default datapath precision is 16-bit fixed point, the standard for
+    the evaluated DNN accelerators. *)
+
+open Hida_ir
+
+type t = {
+  module_op : Ir.op;
+  func : Ir.op;
+  bld : Builder.t;
+  elem : Ir.typ;
+  mutable seed : int;
+  mutable cursor : Ir.value;  (** current feature map *)
+}
+
+val create : name:string -> input_shape:int list -> ?elem:Ir.typ -> unit -> t
+
+val fresh_seed : t -> int
+val weight : t -> int list -> Ir.value
+val current : t -> Ir.value
+val set_current : t -> Ir.value -> unit
+val channels : t -> int
+
+(** {1 Layers} — each appends an op and advances the cursor. *)
+
+val conv : t -> out_channels:int -> kernel:int -> stride:int -> pad:int -> Ir.value
+val dwconv : t -> kernel:int -> stride:int -> pad:int -> Ir.value
+val relu : t -> Ir.value
+val maxpool : t -> kernel:int -> stride:int -> Ir.value
+val avgpool : t -> kernel:int -> stride:int -> Ir.value
+val flatten : t -> Ir.value
+val linear : t -> out_features:int -> Ir.value
+val add : t -> Ir.value -> Ir.value -> Ir.value
+val conv_relu : t -> out_channels:int -> kernel:int -> stride:int -> pad:int -> Ir.value
+
+val finish : t -> Ir.op * Ir.op
+(** Terminate with [func.return]; returns (module, function). *)
+
+val total_macs : Ir.op -> int
+(** MACs per sample of a built model. *)

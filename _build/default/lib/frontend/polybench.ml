@@ -1,0 +1,380 @@
+(* PolyBench kernels (§7.1, Table 7), written in the loop DSL the way the
+   paper compiles them from C++ via Polygeist.  Problem sizes follow the
+   PolyBench conventions, rounded to divisor-friendly values; [scale]
+   shrinks them for the correctness tests, which interpret kernels
+   end-to-end.
+
+   Deviations from upstream PolyBench, documented per DESIGN.md §3:
+   - symm and syr2k use rectangular iteration spaces (our affine loops
+     have constant bounds); both remain single-nest kernels, which is the
+     property the evaluation depends on;
+   - jacobi-2d's time loop is unrolled into explicit alternating nests
+     (A->B, B->A), exposing the multi-producer structure HIDA optimizes. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Loop_dsl
+
+let dim scale n = max 2 (int_of_float (float_of_int n *. scale))
+
+(* tmp := alpha*A*B ; D := tmp*C + beta*D *)
+let k_2mm ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"2mm"
+      ~arrays:
+        [
+          ("A", [ n; n ]); ("B", [ n; n ]); ("C", [ n; n ]); ("D", [ n; n ]);
+        ]
+  in
+  let a, b, c, d =
+    match args with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false
+  in
+  let tmp = local ctx ~name:"tmp" ~shape:[ n; n ] in
+  let bld = ctx.bld in
+  (* First GEMM. *)
+  for2 bld ~n ~m:n (fun bl i j ->
+      store bl (f32 bl 0.) tmp [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let alpha = f32 bl2 1.5 in
+          let av = load bl2 a [ i; k ] in
+          let bv = load bl2 b [ k; j ] in
+          let p = Arith.mulf bl2 (Arith.mulf bl2 alpha av) bv in
+          accumulate bl2 tmp [ i; j ] p));
+  (* Second GEMM accumulating into D. *)
+  for2 bld ~n ~m:n (fun bl i j ->
+      let beta = f32 bl 1.2 in
+      let dv = load bl d [ i; j ] in
+      store bl (Arith.mulf bl beta dv) d [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let tv = load bl2 tmp [ i; k ] in
+          let cv = load bl2 c [ k; j ] in
+          accumulate bl2 d [ i; j ] (Arith.mulf bl2 tv cv)));
+  finish ctx
+
+(* E := A*B ; F := C*D ; G := E*F *)
+let k_3mm ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"3mm"
+      ~arrays:
+        [
+          ("A", [ n; n ]); ("B", [ n; n ]); ("C", [ n; n ]); ("D", [ n; n ]);
+          ("G", [ n; n ]);
+        ]
+  in
+  let a, b, c, d, g =
+    match args with [ a; b; c; d; g ] -> (a, b, c, d, g) | _ -> assert false
+  in
+  let e = local ctx ~name:"E" ~shape:[ n; n ] in
+  let f = local ctx ~name:"F" ~shape:[ n; n ] in
+  let bld = ctx.bld in
+  let gemm dst x y =
+    for2 bld ~n ~m:n (fun bl i j ->
+        store bl (f32 bl 0.) dst [ i; j ];
+        for1 bl ~n (fun bl2 k ->
+            let xv = load bl2 x [ i; k ] in
+            let yv = load bl2 y [ k; j ] in
+            accumulate bl2 dst [ i; j ] (Arith.mulf bl2 xv yv)))
+  in
+  gemm e a b;
+  gemm f c d;
+  gemm g e f;
+  finish ctx
+
+(* tmp := A*x ; y := A^T*tmp *)
+let k_atax ?(scale = 1.0) () =
+  let n = dim scale 256 in
+  let ctx, args =
+    kernel ~name:"atax" ~arrays:[ ("A", [ n; n ]); ("x", [ n ]); ("y", [ n ]) ]
+  in
+  let a, x, y = match args with [ a; x; y ] -> (a, x, y) | _ -> assert false in
+  let tmp = local ctx ~name:"tmp" ~shape:[ n ] in
+  let bld = ctx.bld in
+  for1 bld ~n (fun bl i ->
+      store bl (f32 bl 0.) tmp [ i ];
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 a [ i; j ] in
+          let xv = load bl2 x [ j ] in
+          accumulate bl2 tmp [ i ] (Arith.mulf bl2 av xv)));
+  for1 bld ~n (fun bl j ->
+      store bl (f32 bl 0.) y [ j ];
+      for1 bl ~n (fun bl2 i ->
+          let av = load bl2 a [ i; j ] in
+          let tv = load bl2 tmp [ i ] in
+          accumulate bl2 y [ j ] (Arith.mulf bl2 av tv)));
+  finish ctx
+
+(* q := A*p and s := r^T*A in one nest (single-loop kernel). *)
+let k_bicg ?(scale = 1.0) () =
+  let n = dim scale 256 in
+  let ctx, args =
+    kernel ~name:"bicg"
+      ~arrays:
+        [ ("A", [ n; n ]); ("p", [ n ]); ("r", [ n ]); ("q", [ n ]); ("s", [ n ]) ]
+  in
+  let a, p, r, q, s =
+    match args with [ a; p; r; q; s ] -> (a, p, r, q, s) | _ -> assert false
+  in
+  let bld = ctx.bld in
+  for1 bld ~n (fun bl j -> store bl (f32 bl 0.) s [ j ]);
+  for1 bld ~n (fun bl i ->
+      store bl (f32 bl 0.) q [ i ];
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 a [ i; j ] in
+          let rv = load bl2 r [ i ] in
+          accumulate bl2 s [ j ] (Arith.mulf bl2 rv av);
+          let pv = load bl2 p [ j ] in
+          accumulate bl2 q [ i ] (Arith.mulf bl2 av pv)));
+  finish ctx
+
+(* Correlation matrix: mean, stddev, normalization, then corr. *)
+let k_correlation ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let m = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"correlation"
+      ~arrays:[ ("data", [ n; m ]); ("corr", [ m; m ]) ]
+  in
+  let data, corr =
+    match args with [ d; c ] -> (d, c) | _ -> assert false
+  in
+  let mean = local ctx ~name:"mean" ~shape:[ m ] in
+  let stddev = local ctx ~name:"stddev" ~shape:[ m ] in
+  let normalized = local ctx ~name:"norm" ~shape:[ n; m ] in
+  let bld = ctx.bld in
+  let fn = float_of_int n in
+  (* Mean per column. *)
+  for1 bld ~n:m (fun bl j ->
+      store bl (f32 bl 0.) mean [ j ];
+      for1 bl ~n (fun bl2 i ->
+          accumulate bl2 mean [ j ] (load bl2 data [ i; j ]));
+      let mv = load bl mean [ j ] in
+      store bl (Arith.mulf bl mv (f32 bl (1. /. fn))) mean [ j ]);
+  (* Standard deviation per column. *)
+  for1 bld ~n:m (fun bl j ->
+      store bl (f32 bl 0.) stddev [ j ];
+      for1 bl ~n (fun bl2 i ->
+          let dv = load bl2 data [ i; j ] in
+          let mv = load bl2 mean [ j ] in
+          let diff = Arith.subf bl2 dv mv in
+          accumulate bl2 stddev [ j ] (Arith.mulf bl2 diff diff));
+      let sv = load bl stddev [ j ] in
+      let var = Arith.mulf bl sv (f32 bl (1. /. fn)) in
+      let sd = Arith.sqrt bl var in
+      (* Guard tiny stddev as PolyBench does (max with epsilon). *)
+      let sd = Arith.maxf bl sd (f32 bl 0.1) in
+      store bl sd stddev [ j ]);
+  (* Normalize. *)
+  for2 bld ~n ~m (fun bl i j ->
+      let dv = load bl data [ i; j ] in
+      let mv = load bl mean [ j ] in
+      let sv = load bl stddev [ j ] in
+      let centered = Arith.subf bl dv mv in
+      let z = Arith.divf bl centered sv in
+      store bl z normalized [ i; j ]);
+  (* Correlation matrix (rectangular form). *)
+  for2 bld ~n:m ~m (fun bl i j ->
+      store bl (f32 bl 0.) corr [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let xi = load bl2 normalized [ k; i ] in
+          let xj = load bl2 normalized [ k; j ] in
+          accumulate bl2 corr [ i; j ] (Arith.mulf bl2 xi xj));
+      let cv = load bl corr [ i; j ] in
+      store bl (Arith.mulf bl cv (f32 bl (1. /. fn))) corr [ i; j ]);
+  finish ctx
+
+(* y := alpha*A*x + beta*B*x in one nest (single-loop kernel). *)
+let k_gesummv ?(scale = 1.0) () =
+  let n = dim scale 256 in
+  let ctx, args =
+    kernel ~name:"gesummv"
+      ~arrays:[ ("A", [ n; n ]); ("B", [ n; n ]); ("x", [ n ]); ("y", [ n ]) ]
+  in
+  let a, b, x, y =
+    match args with [ a; b; x; y ] -> (a, b, x, y) | _ -> assert false
+  in
+  let tmp = local ctx ~name:"tmp" ~shape:[ n ] in
+  let bld = ctx.bld in
+  for1 bld ~n (fun bl i ->
+      store bl (f32 bl 0.) tmp [ i ];
+      store bl (f32 bl 0.) y [ i ];
+      for1 bl ~n (fun bl2 j ->
+          let xv = load bl2 x [ j ] in
+          accumulate bl2 tmp [ i ] (Arith.mulf bl2 (load bl2 a [ i; j ]) xv);
+          accumulate bl2 y [ i ] (Arith.mulf bl2 (load bl2 b [ i; j ]) xv));
+      let tv = load bl tmp [ i ] in
+      let yv = load bl y [ i ] in
+      let r =
+        Arith.addf bl
+          (Arith.mulf bl (f32 bl 1.5) tv)
+          (Arith.mulf bl (f32 bl 1.2) yv)
+      in
+      store bl r y [ i ]);
+  finish ctx
+
+(* Jacobi 2D with the time loop unrolled into alternating nests. *)
+let k_jacobi_2d ?(scale = 1.0) ?(tsteps = 1) () =
+  let n = dim scale 64 in
+  let ctx, args = kernel ~name:"jacobi-2d" ~arrays:[ ("A", [ n; n ]) ] in
+  let a = match args with [ a ] -> a | _ -> assert false in
+  let b = local ctx ~name:"B" ~shape:[ n; n ] in
+  let bld = ctx.bld in
+  let step src dst =
+    (* Interior update; borders copied through. *)
+    for2 bld ~n ~m:n (fun bl i j -> store bl (load bl src [ i; j ]) dst [ i; j ]);
+    for2 bld ~n:(n - 2) ~m:(n - 2) (fun bl i0 j0 ->
+        let one = Arith.const_index bl 1 in
+        let i = Arith.addi bl i0 one in
+        let j = Arith.addi bl j0 one in
+        let two = Arith.const_index bl 2 in
+        let im1 = i0 in
+        let ip1 = Arith.addi bl i0 two in
+        let jm1 = j0 in
+        let jp1 = Arith.addi bl j0 two in
+        let c = load bl src [ i; j ] in
+        let l = load bl src [ i; jm1 ] in
+        let r = load bl src [ i; jp1 ] in
+        let u = load bl src [ im1; j ] in
+        let d = load bl src [ ip1; j ] in
+        let s1 = Arith.addf bl c l in
+        let s2 = Arith.addf bl s1 r in
+        let s3 = Arith.addf bl s2 u in
+        let s4 = Arith.addf bl s3 d in
+        store bl (Arith.mulf bl s4 (f32 bl 0.2)) dst [ i; j ])
+  in
+  for _ = 1 to tsteps do
+    step a b;
+    step b a
+  done;
+  finish ctx
+
+(* x1 := x1 + A*y1 ; x2 := x2 + A^T*y2 (two independent nests). *)
+let k_mvt ?(scale = 1.0) () =
+  let n = dim scale 256 in
+  let ctx, args =
+    kernel ~name:"mvt"
+      ~arrays:
+        [
+          ("A", [ n; n ]); ("x1", [ n ]); ("x2", [ n ]); ("y1", [ n ]); ("y2", [ n ]);
+        ]
+  in
+  let a, x1, x2, y1, y2 =
+    match args with
+    | [ a; x1; x2; y1; y2 ] -> (a, x1, x2, y1, y2)
+    | _ -> assert false
+  in
+  let bld = ctx.bld in
+  for1 bld ~n (fun bl i ->
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 a [ i; j ] in
+          let yv = load bl2 y1 [ j ] in
+          accumulate bl2 x1 [ i ] (Arith.mulf bl2 av yv)));
+  for1 bld ~n (fun bl i ->
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 a [ j; i ] in
+          let yv = load bl2 y2 [ j ] in
+          accumulate bl2 x2 [ i ] (Arith.mulf bl2 av yv)));
+  finish ctx
+
+(* Gauss-Seidel 2D sweep: in-place stencil with loop-carried
+   dependences (single-loop kernel; nothing to parallelize). *)
+let k_seidel_2d ?(scale = 1.0) ?(tsteps = 2) () =
+  let n = dim scale 64 in
+  let ctx, args = kernel ~name:"seidel-2d" ~arrays:[ ("A", [ n; n ]) ] in
+  let a = match args with [ a ] -> a | _ -> assert false in
+  let bld = ctx.bld in
+  for1 bld ~n:tsteps (fun bl _t ->
+      for2 bl ~n:(n - 2) ~m:(n - 2) (fun bl2 i0 j0 ->
+          let one = Arith.const_index bl2 1 in
+          let two = Arith.const_index bl2 2 in
+          let i = Arith.addi bl2 i0 one in
+          let j = Arith.addi bl2 j0 one in
+          let ip1 = Arith.addi bl2 i0 two in
+          let jp1 = Arith.addi bl2 j0 two in
+          let acc = ref (load bl2 a [ i0; j0 ]) in
+          let addv v = acc := Arith.addf bl2 !acc v in
+          addv (load bl2 a [ i0; j ]);
+          addv (load bl2 a [ i0; jp1 ]);
+          addv (load bl2 a [ i; j0 ]);
+          addv (load bl2 a [ i; j ]);
+          addv (load bl2 a [ i; jp1 ]);
+          addv (load bl2 a [ ip1; j0 ]);
+          addv (load bl2 a [ ip1; j ]);
+          addv (load bl2 a [ ip1; jp1 ]);
+          store bl2 (Arith.mulf bl2 !acc (f32 bl2 (1. /. 9.))) a [ i; j ]));
+  finish ctx
+
+(* C := alpha*A*B + beta*C, rectangular substitute for the symmetric
+   kernel (single nest). *)
+let k_symm ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"symm" ~arrays:[ ("A", [ n; n ]); ("B", [ n; n ]); ("C", [ n; n ]) ]
+  in
+  let a, b, c = match args with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+  let bld = ctx.bld in
+  for2 bld ~n ~m:n (fun bl i j ->
+      let beta = f32 bl 1.2 in
+      let cv = load bl c [ i; j ] in
+      store bl (Arith.mulf bl beta cv) c [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let av = load bl2 a [ i; k ] in
+          let bv = load bl2 b [ k; j ] in
+          let alpha = f32 bl2 1.5 in
+          accumulate bl2 c [ i; j ] (Arith.mulf bl2 (Arith.mulf bl2 alpha av) bv)));
+  finish ctx
+
+(* C := alpha*(A*B^T + B*A^T) + beta*C, rectangular substitute. *)
+let k_syr2k ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"syr2k" ~arrays:[ ("A", [ n; n ]); ("B", [ n; n ]); ("C", [ n; n ]) ]
+  in
+  let a, b, c = match args with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+  let bld = ctx.bld in
+  for2 bld ~n ~m:n (fun bl i j ->
+      let beta = f32 bl 1.2 in
+      let cv = load bl c [ i; j ] in
+      store bl (Arith.mulf bl beta cv) c [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let alpha = f32 bl2 1.5 in
+          let t1 =
+            Arith.mulf bl2 (load bl2 a [ i; k ]) (load bl2 b [ j; k ])
+          in
+          let t2 =
+            Arith.mulf bl2 (load bl2 b [ i; k ]) (load bl2 a [ j; k ])
+          in
+          let s = Arith.addf bl2 t1 t2 in
+          accumulate bl2 c [ i; j ] (Arith.mulf bl2 alpha s)));
+  finish ctx
+
+(* ---- Registry (Table 7 rows) ---- *)
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> op * op;
+  e_category : string;
+  e_multi_loop : bool; (* presents dataflow opportunities *)
+}
+
+let all =
+  [
+    { e_name = "2mm"; e_build = (fun ?scale () -> k_2mm ?scale ()); e_category = "linear-algebra"; e_multi_loop = true };
+    { e_name = "3mm"; e_build = (fun ?scale () -> k_3mm ?scale ()); e_category = "linear-algebra"; e_multi_loop = true };
+    { e_name = "atax"; e_build = (fun ?scale () -> k_atax ?scale ()); e_category = "linear-algebra"; e_multi_loop = true };
+    { e_name = "bicg"; e_build = (fun ?scale () -> k_bicg ?scale ()); e_category = "linear-algebra"; e_multi_loop = false };
+    { e_name = "correlation"; e_build = (fun ?scale () -> k_correlation ?scale ()); e_category = "data-mining"; e_multi_loop = true };
+    { e_name = "gesummv"; e_build = (fun ?scale () -> k_gesummv ?scale ()); e_category = "blas"; e_multi_loop = false };
+    { e_name = "jacobi-2d"; e_build = (fun ?scale () -> k_jacobi_2d ?scale ()); e_category = "stencil"; e_multi_loop = true };
+    { e_name = "mvt"; e_build = (fun ?scale () -> k_mvt ?scale ()); e_category = "linear-algebra"; e_multi_loop = true };
+    { e_name = "seidel-2d"; e_build = (fun ?scale () -> k_seidel_2d ?scale ()); e_category = "stencil"; e_multi_loop = false };
+    { e_name = "symm"; e_build = (fun ?scale () -> k_symm ?scale ()); e_category = "blas"; e_multi_loop = false };
+    { e_name = "syr2k"; e_build = (fun ?scale () -> k_syr2k ?scale ()); e_category = "blas"; e_multi_loop = false };
+  ]
+
+let by_name name =
+  match List.find_opt (fun e -> e.e_name = name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Polybench.by_name: unknown kernel " ^ name)

@@ -1,0 +1,32 @@
+(** PolyBench kernels (§7.1, Table 7), written in the loop DSL the way
+    the paper compiles them from C++ via Polygeist.  [scale] shrinks
+    problem sizes for the interpreter-based correctness tests.
+
+    Documented deviations (DESIGN.md §3): symm and syr2k use rectangular
+    iteration spaces; jacobi-2d's time loop is unrolled into explicit
+    alternating nests, exposing the multi-producer structure HIDA
+    optimizes. *)
+
+open Hida_ir
+
+val k_2mm : ?scale:float -> unit -> Ir.op * Ir.op
+val k_3mm : ?scale:float -> unit -> Ir.op * Ir.op
+val k_atax : ?scale:float -> unit -> Ir.op * Ir.op
+val k_bicg : ?scale:float -> unit -> Ir.op * Ir.op
+val k_correlation : ?scale:float -> unit -> Ir.op * Ir.op
+val k_gesummv : ?scale:float -> unit -> Ir.op * Ir.op
+val k_jacobi_2d : ?scale:float -> ?tsteps:int -> unit -> Ir.op * Ir.op
+val k_mvt : ?scale:float -> unit -> Ir.op * Ir.op
+val k_seidel_2d : ?scale:float -> ?tsteps:int -> unit -> Ir.op * Ir.op
+val k_symm : ?scale:float -> unit -> Ir.op * Ir.op
+val k_syr2k : ?scale:float -> unit -> Ir.op * Ir.op
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> Ir.op * Ir.op;
+  e_category : string;
+  e_multi_loop : bool;  (** presents dataflow opportunities (Table 7) *)
+}
+
+val all : entry list
+val by_name : string -> entry

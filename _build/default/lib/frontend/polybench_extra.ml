@@ -1,0 +1,115 @@
+(* Additional PolyBench workloads beyond the eleven of Table 7, kept in
+   their own registry so the Table 7 bench is exactly the paper's set.
+   These exercise shapes the evaluation kernels do not: a plain gemm
+   (the single-nest baseline of every systolic study), gemver (four
+   chained vector stages over a shared matrix) and doitgen (a 3D
+   contraction with an explicit copy-back, another multi-producer
+   pattern). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Loop_dsl
+
+let dim scale n = max 2 (int_of_float (float_of_int n *. scale))
+
+(* C := alpha*A*B + beta*C *)
+let k_gemm ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"gemm" ~arrays:[ ("A", [ n; n ]); ("B", [ n; n ]); ("C", [ n; n ]) ]
+  in
+  let a, b, c = match args with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+  let bld = ctx.bld in
+  for2 bld ~n ~m:n (fun bl i j ->
+      let beta = f32 bl 1.2 in
+      let cv = load bl c [ i; j ] in
+      store bl (Arith.mulf bl beta cv) c [ i; j ];
+      for1 bl ~n (fun bl2 k ->
+          let alpha = f32 bl2 1.5 in
+          let av = load bl2 a [ i; k ] in
+          let bv = load bl2 b [ k; j ] in
+          accumulate bl2 c [ i; j ] (Arith.mulf bl2 (Arith.mulf bl2 alpha av) bv)));
+  finish ctx
+
+(* gemver: A_hat = A + u1*v1' + u2*v2'; x = beta*A_hat'*y + z; w = alpha*A_hat*x *)
+let k_gemver ?(scale = 1.0) () =
+  let n = dim scale 128 in
+  let ctx, args =
+    kernel ~name:"gemver"
+      ~arrays:
+        [
+          ("A", [ n; n ]); ("u1", [ n ]); ("v1", [ n ]); ("u2", [ n ]);
+          ("v2", [ n ]); ("y", [ n ]); ("z", [ n ]); ("w", [ n ]);
+        ]
+  in
+  let a, u1, v1, u2, v2, y, z, w =
+    match args with
+    | [ a; u1; v1; u2; v2; y; z; w ] -> (a, u1, v1, u2, v2, y, z, w)
+    | _ -> assert false
+  in
+  let ahat = local ctx ~name:"Ahat" ~shape:[ n; n ] in
+  let x = local ctx ~name:"x" ~shape:[ n ] in
+  let bld = ctx.bld in
+  (* Stage 1: rank-2 update. *)
+  for2 bld ~n ~m:n (fun bl i j ->
+      let av = load bl a [ i; j ] in
+      let t1 = Arith.mulf bl (load bl u1 [ i ]) (load bl v1 [ j ]) in
+      let t2 = Arith.mulf bl (load bl u2 [ i ]) (load bl v2 [ j ]) in
+      store bl (Arith.addf bl (Arith.addf bl av t1) t2) ahat [ i; j ]);
+  (* Stage 2: x = beta*Ahat'*y + z. *)
+  for1 bld ~n (fun bl i ->
+      store bl (load bl z [ i ]) x [ i ];
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 ahat [ j; i ] in
+          let beta = f32 bl2 1.2 in
+          accumulate bl2 x [ i ]
+            (Arith.mulf bl2 (Arith.mulf bl2 beta av) (load bl2 y [ j ]))));
+  (* Stage 3: w = alpha*Ahat*x. *)
+  for1 bld ~n (fun bl i ->
+      store bl (f32 bl 0.) w [ i ];
+      for1 bl ~n (fun bl2 j ->
+          let av = load bl2 ahat [ i; j ] in
+          let alpha = f32 bl2 1.5 in
+          accumulate bl2 w [ i ]
+            (Arith.mulf bl2 (Arith.mulf bl2 alpha av) (load bl2 x [ j ]))));
+  finish ctx
+
+(* doitgen: sum[p] = Σ_s A[r][q][s] * C4[s][p]; A[r][q][p] = sum[p] —
+   the copy-back makes A a repeated multi-producer target. *)
+let k_doitgen ?(scale = 1.0) () =
+  let nr = dim scale 16 and nq = dim scale 16 and np = dim scale 32 in
+  let ctx, args =
+    kernel ~name:"doitgen"
+      ~arrays:[ ("A", [ nr; nq; np ]); ("C4", [ np; np ]) ]
+  in
+  let a, c4 = match args with [ a; c ] -> (a, c) | _ -> assert false in
+  let sum = local ctx ~name:"sum" ~shape:[ np ] in
+  let bld = ctx.bld in
+  for2 bld ~n:nr ~m:nq (fun bl r q ->
+      for1 bl ~n:np (fun bl2 p ->
+          store bl2 (f32 bl2 0.) sum [ p ];
+          for1 bl2 ~n:np (fun bl3 s ->
+              let av = load bl3 a [ r; q; s ] in
+              let cv = load bl3 c4 [ s; p ] in
+              accumulate bl3 sum [ p ] (Arith.mulf bl3 av cv)));
+      for1 bl ~n:np (fun bl2 p ->
+          store bl2 (load bl2 sum [ p ]) a [ r; q; p ]));
+  finish ctx
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> Ir.op * Ir.op;
+}
+
+let all =
+  [
+    { e_name = "gemm"; e_build = (fun ?scale () -> k_gemm ?scale ()) };
+    { e_name = "gemver"; e_build = (fun ?scale () -> k_gemver ?scale ()) };
+    { e_name = "doitgen"; e_build = (fun ?scale () -> k_doitgen ?scale ()) };
+  ]
+
+let by_name name =
+  match List.find_opt (fun e -> e.e_name = name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Polybench_extra.by_name: unknown kernel " ^ name)

@@ -1,0 +1,18 @@
+(** Additional PolyBench workloads beyond Table 7's eleven (kept out of
+    the Table 7 registry): gemm, gemver (four chained stages over a
+    shared matrix) and doitgen (a contraction with an in-place copy-back,
+    a hierarchical multi-producer pattern). *)
+
+open Hida_ir
+
+val k_gemm : ?scale:float -> unit -> Ir.op * Ir.op
+val k_gemver : ?scale:float -> unit -> Ir.op * Ir.op
+val k_doitgen : ?scale:float -> unit -> Ir.op * Ir.op
+
+type entry = {
+  e_name : string;
+  e_build : ?scale:float -> unit -> Ir.op * Ir.op;
+}
+
+val all : entry list
+val by_name : string -> entry

@@ -1,0 +1,1 @@
+lib/hlssim/sim.ml: Array Buffer Bytes Char Float Hashtbl List Option Printf String

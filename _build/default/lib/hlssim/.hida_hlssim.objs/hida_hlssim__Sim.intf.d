@@ -1,0 +1,1 @@
+lib/hlssim/sim.mli:

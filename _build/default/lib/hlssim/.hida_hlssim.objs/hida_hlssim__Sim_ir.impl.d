@@ -1,0 +1,1 @@
+lib/hlssim/sim_ir.ml: Block Device Hashtbl Hida_d Hida_dialects Hida_estimator Hida_ir Ir List Op Option Printf Qor Sim Value

@@ -1,0 +1,1 @@
+lib/hlssim/sim_ir.mli: Device Hida_estimator Hida_ir Ir Sim

@@ -1,0 +1,76 @@
+(* Adapter: build simulator specs from a structural-dataflow schedule,
+   using the QoR estimator for per-node latencies.  The simulated
+   steady-state interval cross-checks the estimator's analytic interval. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+
+let of_schedule (dev : Device.t) sched =
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let outer_bindings = Hida_d.node_bindings sched in
+  let buffer_ids = Hashtbl.create 16 in
+  let buffers = ref [] in
+  let buffer_id (v : value) =
+    match Hashtbl.find_opt buffer_ids v.v_id with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length buffer_ids in
+        Hashtbl.replace buffer_ids v.v_id id;
+        let depth =
+          match Value.defining_op v with
+          | Some b when Hida_d.is_buffer b -> Hida_d.buffer_depth b
+          | Some b when Hida_d.is_port b -> 64
+          | _ -> 2
+        in
+        buffers := { Sim.bs_id = id; bs_name = Value.name v; bs_depth = depth } :: !buffers;
+        id
+  in
+  let blk = Hida_d.node_block sched in
+  let node_pos n = Option.value (Block.index_of blk n) ~default:0 in
+  (* Last same-frame writer per buffer value (for feedback detection). *)
+  let writer_pos = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun j v ->
+          if Hida_d.operand_effect n j = `Read_write then
+            Hashtbl.replace writer_pos v.v_id (node_pos n))
+        (Op.operands n))
+    nodes;
+  let specs =
+    List.mapi
+      (fun i n ->
+        let bindings = Hida_d.node_bindings n @ outer_bindings in
+        let est = Qor.estimate_node_or_nested dev ~bindings n in
+        let reads = ref [] and writes = ref [] in
+        List.iteri
+          (fun j v ->
+            match Hida_d.operand_effect n j with
+            | `Read_only ->
+                (* Reads whose writer comes later in program order are
+                   cross-frame feedback (in-place updates), not same-frame
+                   dependences. *)
+                let feedback =
+                  match Hashtbl.find_opt writer_pos v.v_id with
+                  | Some wp -> wp > node_pos n
+                  | None -> false
+                in
+                if not feedback then reads := buffer_id v :: !reads
+            | `Read_write -> writes := buffer_id v :: !writes)
+          (Op.operands n);
+        {
+          Sim.ns_id = i;
+          ns_name = Printf.sprintf "node%d" i;
+          ns_latency = est.Qor.n_latency;
+          ns_reads = !reads;
+          ns_writes = !writes;
+        })
+      nodes
+  in
+  (specs, !buffers)
+
+let simulate_schedule ?(frames = 32) dev sched =
+  let specs, buffers = of_schedule dev sched in
+  Sim.run ~frames specs buffers

@@ -1,0 +1,11 @@
+(** Adapter from structural-dataflow IR to the cycle-level simulator:
+    node latencies come from the QoR estimator, buffer depths and the
+    read/write topology from the schedule. *)
+
+open Hida_ir
+open Hida_estimator
+
+val of_schedule :
+  Device.t -> Ir.op -> Sim.node_spec list * Sim.buffer_spec list
+
+val simulate_schedule : ?frames:int -> Device.t -> Ir.op -> Sim.result

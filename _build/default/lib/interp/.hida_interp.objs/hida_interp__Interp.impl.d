@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Affine Affine_d Arith Array Block Float Fun Func_d Hashtbl Hida_d Hida_dialects Hida_ir Ir List Nn Op Printf Queue Region Typ Value

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Hida_ir Ir Queue

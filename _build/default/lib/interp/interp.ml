@@ -1,0 +1,433 @@
+(* Reference interpreter for the IR.  It executes functions containing
+   affine loops, arithmetic, memrefs, tensor-level nn ops and both levels
+   of HIDA dataflow (sequentially, in program order).  The optimizer's
+   transformations are validated by comparing interpreter results before
+   and after each pass. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+
+type scalar = I of int | F of float
+
+type buf = { data : scalar array; shape : int array }
+
+type rtval =
+  | Scalar of scalar
+  | Buf of buf
+  | Chan of scalar Queue.t
+
+let scalar_to_float = function I i -> float_of_int i | F f -> f
+let scalar_to_int = function I i -> i | F f -> int_of_float f
+
+let zero_of_typ t = match t with
+  | F32 | F64 -> F 0.
+  | _ -> I 0
+
+let make_buf ~shape ~elem =
+  let n = List.fold_left ( * ) 1 shape in
+  { data = Array.make (max n 1) (zero_of_typ elem); shape = Array.of_list shape }
+
+let buf_of_array shape data = { data; shape = Array.of_list shape }
+
+(* Row-major linearization. *)
+let linearize shape indices =
+  let n = Array.length shape in
+  if Array.length indices <> n then invalid_arg "Interp.linearize: rank mismatch";
+  let idx = ref 0 in
+  for d = 0 to n - 1 do
+    let i = indices.(d) in
+    if i < 0 || i >= shape.(d) then
+      invalid_arg
+        (Printf.sprintf "Interp.linearize: index %d out of bounds [0,%d) at dim %d"
+           i shape.(d) d);
+    idx := (!idx * shape.(d)) + i
+  done;
+  !idx
+
+let buf_get b indices = b.data.(linearize b.shape indices)
+let buf_set b indices v = b.data.(linearize b.shape indices) <- v
+
+(* Deterministic pseudo-random weights from a seed (Torch-MLIR substitute:
+   the actual trained values don't matter for compiler correctness). *)
+let pseudo_weight ~seed i =
+  let x = ((seed * 1103515245) + i * 12345 + 42) land 0x3FFFFFFF in
+  let x = ((x * 1103515245) + 12345) land 0x3FFFFFFF in
+  F ((float_of_int (x mod 2000) /. 1000.) -. 1.)
+
+exception Return of rtval list
+
+type env = (int, rtval) Hashtbl.t
+
+let lookup env (v : value) =
+  match Hashtbl.find_opt env v.v_id with
+  | Some rt -> rt
+  | None -> failwith (Printf.sprintf "Interp: unbound value %s" (Value.name v))
+
+let bind env (v : value) rt = Hashtbl.replace env v.v_id rt
+
+let as_buf = function
+  | Buf b -> b
+  | _ -> failwith "Interp: expected a buffer"
+
+let as_scalar = function
+  | Scalar s -> s
+  | _ -> failwith "Interp: expected a scalar"
+
+let as_chan = function
+  | Chan c -> c
+  | _ -> failwith "Interp: expected a stream"
+
+let float_binop name a b =
+  match name with
+  | "arith.addf" -> a +. b
+  | "arith.subf" -> a -. b
+  | "arith.mulf" -> a *. b
+  | "arith.divf" -> a /. b
+  | "arith.maxf" -> Float.max a b
+  | "arith.minf" -> Float.min a b
+  | _ -> failwith ("Interp: unknown float binop " ^ name)
+
+let int_binop name a b =
+  match name with
+  | "arith.addi" -> a + b
+  | "arith.subi" -> a - b
+  | "arith.muli" -> a * b
+  | _ -> failwith ("Interp: unknown int binop " ^ name)
+
+let compare_scalars pred a b =
+  let open Arith in
+  match (a, b) with
+  | F x, F y -> (
+      match pred with
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y
+      | Eq -> x = y
+      | Ne -> x <> y)
+  | _ ->
+      let x = scalar_to_int a and y = scalar_to_int b in
+      (match pred with
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y
+      | Eq -> x = y
+      | Ne -> x <> y)
+
+(* ---- nn op execution (tensor level) ---- *)
+
+let exec_nn env op =
+  let out_buf () =
+    let r = Op.result op 0 in
+    make_buf ~shape:(Typ.shape (Value.typ r)) ~elem:(Typ.elem (Value.typ r))
+  in
+  let getf b idx = scalar_to_float (buf_get b idx) in
+  match Op.name op with
+  | "nn.weight" ->
+      let seed = Op.int_attr_exn op "seed" in
+      let out = out_buf () in
+      Array.iteri (fun i _ -> out.data.(i) <- pseudo_weight ~seed i) out.data;
+      bind env (Op.result op 0) (Buf out)
+  | "nn.conv2d" | "nn.dwconv2d" ->
+      let input = as_buf (lookup env (Op.operand op 0)) in
+      let weight = as_buf (lookup env (Op.operand op 1)) in
+      let bias = as_buf (lookup env (Op.operand op 2)) in
+      let stride = Op.int_attr_exn op "stride" in
+      let pad = Op.int_attr_exn op "pad" in
+      let out = out_buf () in
+      let depthwise = Op.name op = "nn.dwconv2d" in
+      let oc = out.shape.(0) and oh = out.shape.(1) and ow = out.shape.(2) in
+      let ic = input.shape.(0) and ih = input.shape.(1) and iw = input.shape.(2) in
+      let kh = weight.shape.(2) and kw = weight.shape.(3) in
+      for o = 0 to oc - 1 do
+        for y = 0 to oh - 1 do
+          for x = 0 to ow - 1 do
+            let acc = ref (getf bias [| o |]) in
+            let cs = if depthwise then [ o ] else List.init ic Fun.id in
+            List.iter
+              (fun c ->
+                for dy = 0 to kh - 1 do
+                  for dx = 0 to kw - 1 do
+                    let sy = (y * stride) + dy - pad in
+                    let sx = (x * stride) + dx - pad in
+                    if sy >= 0 && sy < ih && sx >= 0 && sx < iw then begin
+                      let wv =
+                        if depthwise then getf weight [| o; 0; dy; dx |]
+                        else getf weight [| o; c; dy; dx |]
+                      in
+                      acc := !acc +. (getf input [| c; sy; sx |] *. wv)
+                    end
+                  done
+                done)
+              cs;
+            buf_set out [| o; y; x |] (F !acc)
+          done
+        done
+      done;
+      bind env (Op.result op 0) (Buf out)
+  | "nn.relu" ->
+      let input = as_buf (lookup env (Op.operand op 0)) in
+      let out = out_buf () in
+      Array.iteri
+        (fun i s -> out.data.(i) <- F (Float.max 0. (scalar_to_float s)))
+        input.data;
+      bind env (Op.result op 0) (Buf out)
+  | "nn.maxpool" | "nn.avgpool" ->
+      let input = as_buf (lookup env (Op.operand op 0)) in
+      let kernel = Op.int_attr_exn op "kernel" in
+      let stride = Op.int_attr_exn op "stride" in
+      let out = out_buf () in
+      let c = out.shape.(0) and oh = out.shape.(1) and ow = out.shape.(2) in
+      let avg = Op.name op = "nn.avgpool" in
+      for ch = 0 to c - 1 do
+        for y = 0 to oh - 1 do
+          for x = 0 to ow - 1 do
+            let acc = ref (if avg then 0. else neg_infinity) in
+            for dy = 0 to kernel - 1 do
+              for dx = 0 to kernel - 1 do
+                let v = getf input [| ch; (y * stride) + dy; (x * stride) + dx |] in
+                if avg then acc := !acc +. v else acc := Float.max !acc v
+              done
+            done;
+            let v = if avg then !acc /. float_of_int (kernel * kernel) else !acc in
+            buf_set out [| ch; y; x |] (F v)
+          done
+        done
+      done;
+      bind env (Op.result op 0) (Buf out)
+  | "nn.add" ->
+      let a = as_buf (lookup env (Op.operand op 0)) in
+      let b = as_buf (lookup env (Op.operand op 1)) in
+      let out = out_buf () in
+      Array.iteri
+        (fun i _ ->
+          out.data.(i) <- F (scalar_to_float a.data.(i) +. scalar_to_float b.data.(i)))
+        out.data;
+      bind env (Op.result op 0) (Buf out)
+  | "nn.flatten" ->
+      let input = as_buf (lookup env (Op.operand op 0)) in
+      let r = Op.result op 0 in
+      bind env r (Buf (buf_of_array (Typ.shape (Value.typ r)) (Array.copy input.data)))
+  | "nn.linear" ->
+      let input = as_buf (lookup env (Op.operand op 0)) in
+      let weight = as_buf (lookup env (Op.operand op 1)) in
+      let bias = as_buf (lookup env (Op.operand op 2)) in
+      let out = out_buf () in
+      let o = weight.shape.(0) and c = weight.shape.(1) in
+      for i = 0 to o - 1 do
+        let acc = ref (getf bias [| i |]) in
+        for j = 0 to c - 1 do
+          acc := !acc +. (getf input [| j |] *. getf weight [| i; j |])
+        done;
+        buf_set out [| i |] (F !acc)
+      done;
+      bind env (Op.result op 0) (Buf out)
+  | name -> failwith ("Interp: unknown nn op " ^ name)
+
+(* ---- Generic execution ---- *)
+
+let rec exec_block env (blk : block) =
+  List.iter (exec_op env) (Block.ops blk)
+
+and exec_op env op =
+  match Op.name op with
+  | "arith.constant" -> (
+      match Op.attr op "value" with
+      | Some (A_int i) -> bind env (Op.result op 0) (Scalar (I i))
+      | Some (A_float f) -> bind env (Op.result op 0) (Scalar (F f))
+      | _ -> failwith "Interp: bad constant")
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maxf"
+  | "arith.minf" ->
+      let a = scalar_to_float (as_scalar (lookup env (Op.operand op 0))) in
+      let b = scalar_to_float (as_scalar (lookup env (Op.operand op 1))) in
+      bind env (Op.result op 0) (Scalar (F (float_binop (Op.name op) a b)))
+  | "arith.addi" | "arith.subi" | "arith.muli" ->
+      let a = scalar_to_int (as_scalar (lookup env (Op.operand op 0))) in
+      let b = scalar_to_int (as_scalar (lookup env (Op.operand op 1))) in
+      bind env (Op.result op 0) (Scalar (I (int_binop (Op.name op) a b)))
+  | "arith.negf" ->
+      let a = scalar_to_float (as_scalar (lookup env (Op.operand op 0))) in
+      bind env (Op.result op 0) (Scalar (F (-.a)))
+  | "math.sqrt" ->
+      let a = scalar_to_float (as_scalar (lookup env (Op.operand op 0))) in
+      bind env (Op.result op 0) (Scalar (F (Float.sqrt a)))
+  | "math.exp" ->
+      let a = scalar_to_float (as_scalar (lookup env (Op.operand op 0))) in
+      bind env (Op.result op 0) (Scalar (F (Float.exp a)))
+  | "arith.cmpf" | "arith.cmpi" ->
+      let pred = Arith.pred_of_string (Op.str_attr_exn op "predicate") in
+      let a = as_scalar (lookup env (Op.operand op 0)) in
+      let b = as_scalar (lookup env (Op.operand op 1)) in
+      bind env (Op.result op 0)
+        (Scalar (I (if compare_scalars pred a b then 1 else 0)))
+  | "arith.select" ->
+      let c = scalar_to_int (as_scalar (lookup env (Op.operand op 0))) in
+      let v = lookup env (Op.operand op (if c <> 0 then 1 else 2)) in
+      bind env (Op.result op 0) v
+  | "memref.alloc" ->
+      let r = Op.result op 0 in
+      bind env r
+        (Buf (make_buf ~shape:(Typ.shape (Value.typ r)) ~elem:(Typ.elem (Value.typ r))))
+  | "memref.copy" | "hida.copy" ->
+      let src = as_buf (lookup env (Op.operand op 0)) in
+      let dst = as_buf (lookup env (Op.operand op 1)) in
+      Array.blit src.data 0 dst.data 0 (Array.length src.data)
+  | "affine.for" ->
+      let lo = Affine_d.lower op and hi = Affine_d.upper op and st = Affine_d.step op in
+      let iv = Affine_d.induction_var op in
+      let blk = Affine_d.body_block op in
+      let i = ref lo in
+      while !i < hi do
+        bind env iv (Scalar (I !i));
+        exec_block env blk;
+        i := !i + st
+      done
+  | "affine.load" ->
+      let b = as_buf (lookup env (Affine_d.load_memref op)) in
+      let raw =
+        Array.of_list
+          (List.map
+             (fun v -> scalar_to_int (as_scalar (lookup env v)))
+             (Affine_d.load_indices op))
+      in
+      let map = Affine_d.access_map op in
+      let idx = Array.of_list (Affine.eval map ~dims:raw ()) in
+      bind env (Op.result op 0) (Scalar (buf_get b idx))
+  | "affine.store" ->
+      let v = as_scalar (lookup env (Affine_d.store_value op)) in
+      let b = as_buf (lookup env (Affine_d.store_memref op)) in
+      let raw =
+        Array.of_list
+          (List.map
+             (fun vv -> scalar_to_int (as_scalar (lookup env vv)))
+             (Affine_d.store_indices op))
+      in
+      let map = Affine_d.access_map op in
+      let idx = Array.of_list (Affine.eval map ~dims:raw ()) in
+      buf_set b idx v
+  | "affine.if" ->
+      let dims =
+        Array.of_list
+          (List.map
+             (fun v -> scalar_to_int (as_scalar (lookup env v)))
+             (Op.operands op))
+      in
+      let conds = Affine_d.if_conds op in
+      let taken =
+        List.for_all (fun r -> r >= 0) (Affine.eval conds ~dims ())
+      in
+      let blk = if taken then Affine_d.then_block op else Affine_d.else_block op in
+      List.iter
+        (fun o ->
+          if Op.name o = "affine.yield" then begin
+            match Op.operands o with
+            | [ v ] -> bind env (Op.result op 0) (lookup env v)
+            | _ -> ()
+          end
+          else exec_op env o)
+        (Block.ops blk)
+  | "affine.yield" | "hida.yield" | "hida.bundle" -> ()
+  | "func.return" ->
+      raise (Return (List.map (lookup env) (Op.operands op)))
+  | "hida.buffer" | "hida.port" ->
+      (* Ports view external memory; functionally they behave as buffers.
+         A "seed" attribute marks lowered nn.weight constants: fill with
+         the same deterministic pseudo-random data. *)
+      let r = Op.result op 0 in
+      let b = make_buf ~shape:(Typ.shape (Value.typ r)) ~elem:(Typ.elem (Value.typ r)) in
+      (match Op.attr op "seed" with
+      | Some (A_int seed) ->
+          Array.iteri (fun i _ -> b.data.(i) <- pseudo_weight ~seed i) b.data
+      | _ -> ());
+      bind env r (Buf b)
+  | "hida.pack" ->
+      bind env (Op.result op 0) (lookup env (Op.operand op 0))
+  | "hida.stream" -> bind env (Op.result op 0) (Chan (Queue.create ()))
+  | "hida.stream_read" ->
+      let c = as_chan (lookup env (Op.operand op 0)) in
+      if Queue.is_empty c then failwith "Interp: read from empty stream";
+      bind env (Op.result op 0) (Scalar (Queue.pop c))
+  | "hida.stream_write" ->
+      let c = as_chan (lookup env (Op.operand op 0)) in
+      Queue.push (as_scalar (lookup env (Op.operand op 1))) c
+  | "hida.token_push" ->
+      let c = as_chan (lookup env (Op.operand op 0)) in
+      Queue.push (I 1) c
+  | "hida.token_pop" ->
+      let c = as_chan (lookup env (Op.operand op 0)) in
+      (* Sequential semantics: token must be present.  (The dataflow
+         simulator models the blocking behaviour; here order is program
+         order so the token is always available.) *)
+      if Queue.is_empty c then failwith "Interp: pop from empty token stream";
+      ignore (Queue.pop c)
+  | "hida.dispatch" | "hida.task" ->
+      (* Transparent: execute the body in the same environment; bind
+         yielded values to results. *)
+      let blk = Hida_d.body op in
+      let yielded = ref [] in
+      List.iter
+        (fun o ->
+          if Hida_d.is_yield o then
+            yielded := List.map (lookup env) (Op.operands o)
+          else exec_op env o)
+        (Block.ops blk);
+      List.iteri (fun i r -> bind env r (List.nth !yielded i)) (Op.results op)
+  | "hida.schedule" | "hida.node" ->
+      (* Isolated: bind block args to operand values, then execute
+         sequentially (program order respects SSA dominance of buffers). *)
+      let blk = Region.entry (Op.region op 0) in
+      List.iteri
+        (fun i v -> bind env (Block.arg blk i) (lookup env v))
+        (Op.operands op);
+      exec_block env blk
+  | "func.call" -> failwith "Interp: func.call requires module context"
+  | name when Nn.is_nn op -> exec_nn env op
+  | name -> failwith ("Interp: unknown op " ^ name)
+
+(* Run a function with the given argument values.  Memref arguments are
+   passed by reference (mutations are visible to the caller). *)
+let run_func func ~args =
+  let env : env = Hashtbl.create 256 in
+  let entry = Func_d.entry_block func in
+  if List.length args <> Block.num_args entry then
+    invalid_arg "Interp.run_func: argument count mismatch";
+  List.iteri (fun i a -> bind env (Block.arg entry i) a) args;
+  try
+    exec_block env entry;
+    []
+  with Return vs -> vs
+
+(* Convenience: build fresh input buffers for a function's memref
+   parameters, filled deterministically from [seed]. *)
+let fresh_args ?(seed = 1) func =
+  let entry = Func_d.entry_block func in
+  List.mapi
+    (fun i arg ->
+      match Value.typ arg with
+      | Memref { shape; elem } | Tensor { shape; elem } ->
+          let b = make_buf ~shape ~elem in
+          Array.iteri
+            (fun j _ -> b.data.(j) <- pseudo_weight ~seed:(seed + (i * 977)) j)
+            b.data;
+          Buf b
+      | F32 | F64 -> Scalar (F (float_of_int (seed + i) /. 7.))
+      | _ -> Scalar (I (seed + i)))
+    (Block.args entry)
+
+(* Compare two runtime buffers within a tolerance. *)
+let buf_close ?(tol = 1e-4) a b =
+  Array.length a.data = Array.length b.data
+  && Array.for_all2
+       (fun x y ->
+         let x = scalar_to_float x and y = scalar_to_float y in
+         Float.abs (x -. y) <= tol *. (1. +. Float.abs x +. Float.abs y))
+       a.data b.data
+
+let rtval_close ?(tol = 1e-4) a b =
+  match (a, b) with
+  | Scalar x, Scalar y ->
+      Float.abs (scalar_to_float x -. scalar_to_float y) <= tol
+  | Buf x, Buf y -> buf_close ~tol x y
+  | _ -> false

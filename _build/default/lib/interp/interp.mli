@@ -1,0 +1,49 @@
+(** Reference interpreter.
+
+    Executes functions containing affine loops, arithmetic, memrefs,
+    tensor-level nn ops and both levels of HIDA dataflow (sequentially,
+    in program order).  It is the semantic ground truth of the compiler:
+    every transformation pass is validated by comparing interpreter
+    results before and after on deterministic inputs. *)
+
+open Hida_ir
+
+type scalar = I of int | F of float
+
+type buf = { data : scalar array; shape : int array }
+(** A memref/tensor at run time; row-major. *)
+
+type rtval =
+  | Scalar of scalar
+  | Buf of buf
+  | Chan of scalar Queue.t  (** a stream channel *)
+
+val scalar_to_float : scalar -> float
+val scalar_to_int : scalar -> int
+
+val make_buf : shape:int list -> elem:Ir.typ -> buf
+(** A zero-initialized buffer. *)
+
+val buf_of_array : int list -> scalar array -> buf
+val linearize : int array -> int array -> int
+val buf_get : buf -> int array -> scalar
+val buf_set : buf -> int array -> scalar -> unit
+
+val pseudo_weight : seed:int -> int -> scalar
+(** Deterministic pseudo-random data in [(-1, 1)], used for [nn.weight]
+    constants and generated inputs. *)
+
+exception Return of rtval list
+
+val run_func : Ir.op -> args:rtval list -> rtval list
+(** Run a function on the given arguments; memrefs pass by reference
+    (mutations are visible to the caller).  Returns the values of
+    [func.return]. *)
+
+val fresh_args : ?seed:int -> Ir.op -> rtval list
+(** Deterministic input values for every parameter of a function. *)
+
+val buf_close : ?tol:float -> buf -> buf -> bool
+(** Elementwise relative comparison. *)
+
+val rtval_close : ?tol:float -> rtval -> rtval -> bool

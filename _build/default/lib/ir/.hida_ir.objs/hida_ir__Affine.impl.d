@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Affine Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Format Ir List Printf String Unix Verifier

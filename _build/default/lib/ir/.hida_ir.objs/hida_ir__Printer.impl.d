@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Block Format Ir List Op Region Typ Value

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Block Format Hashtbl Ir List Op Printf Region String Value Walk

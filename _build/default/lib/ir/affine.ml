@@ -1,0 +1,210 @@
+(* Affine expressions and maps, modeled after the MLIR affine dialect.
+
+   An affine expression is built from dimension and symbol identifiers,
+   integer constants, addition, multiplication (by expressions that must
+   simplify to constants on one side for strict affineness), floordiv,
+   ceildiv and modulo by constants.  An affine map transforms a list of
+   dimension values (and symbol values) into a list of result values. *)
+
+type expr =
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Floordiv of expr * int
+  | Ceildiv of expr * int
+  | Mod of expr * int
+
+type map = {
+  num_dims : int;
+  num_syms : int;
+  exprs : expr list;
+}
+
+let dim i = Dim i
+let sym i = Sym i
+let const c = Const c
+
+let rec simplify e =
+  match e with
+  | Dim _ | Sym _ | Const _ -> e
+  | Add (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x + y)
+      | Const 0, b' -> b'
+      | a', Const 0 -> a'
+      | a', b' -> Add (a', b'))
+  | Mul (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x * y)
+      | Const 0, _ | _, Const 0 -> Const 0
+      | Const 1, b' -> b'
+      | a', Const 1 -> a'
+      | a', b' -> Mul (a', b'))
+  | Floordiv (a, d) -> (
+      assert (d <> 0);
+      match simplify a with
+      | Const x ->
+          (* Floor division towards negative infinity. *)
+          let q = if (x < 0) <> (d < 0) && x mod d <> 0 then (x / d) - 1 else x / d in
+          Const q
+      | a' when d = 1 -> a'
+      | a' -> Floordiv (a', d))
+  | Ceildiv (a, d) -> (
+      assert (d <> 0);
+      match simplify a with
+      | Const x ->
+          let q = if (x > 0) = (d > 0) && x mod d <> 0 then (x / d) + 1 else x / d in
+          Const q
+      | a' when d = 1 -> a'
+      | a' -> Ceildiv (a', d))
+  | Mod (a, m) -> (
+      assert (m > 0);
+      match simplify a with
+      | Const x ->
+          let r = x mod m in
+          Const (if r < 0 then r + m else r)
+      | a' when m = 1 -> Const 0
+      | a' -> Mod (a', m))
+
+let add a b = simplify (Add (a, b))
+let mul a b = simplify (Mul (a, b))
+let floordiv a d = simplify (Floordiv (a, d))
+let ceildiv a d = simplify (Ceildiv (a, d))
+let modulo a m = simplify (Mod (a, m))
+
+(* Evaluate an expression given dimension and symbol bindings. *)
+let rec eval_expr ~dims ~syms e =
+  match e with
+  | Dim i ->
+      if i >= Array.length dims then invalid_arg "Affine.eval_expr: dim index"
+      else dims.(i)
+  | Sym i ->
+      if i >= Array.length syms then invalid_arg "Affine.eval_expr: sym index"
+      else syms.(i)
+  | Const c -> c
+  | Add (a, b) -> eval_expr ~dims ~syms a + eval_expr ~dims ~syms b
+  | Mul (a, b) -> eval_expr ~dims ~syms a * eval_expr ~dims ~syms b
+  | Floordiv (a, d) ->
+      let x = eval_expr ~dims ~syms a in
+      let q = x / d in
+      if (x < 0) <> (d < 0) && x mod d <> 0 then q - 1 else q
+  | Ceildiv (a, d) ->
+      let x = eval_expr ~dims ~syms a in
+      let q = x / d in
+      if (x > 0) = (d > 0) && x mod d <> 0 then q + 1 else q
+  | Mod (a, m) ->
+      let x = eval_expr ~dims ~syms a in
+      let r = x mod m in
+      if r < 0 then r + m else r
+
+let make ~num_dims ~num_syms exprs =
+  { num_dims; num_syms; exprs = List.map simplify exprs }
+
+let identity n = make ~num_dims:n ~num_syms:0 (List.init n dim)
+
+let constant_map cs =
+  make ~num_dims:0 ~num_syms:0 (List.map const cs)
+
+let num_results m = List.length m.exprs
+
+let eval m ~dims ?(syms = [||]) () =
+  if Array.length dims <> m.num_dims then
+    invalid_arg "Affine.eval: wrong number of dims";
+  if Array.length syms <> m.num_syms then
+    invalid_arg "Affine.eval: wrong number of syms";
+  List.map (eval_expr ~dims ~syms) m.exprs
+
+(* Substitute dimensions of [e] with the given expressions. *)
+let rec substitute_dims subst e =
+  match e with
+  | Dim i -> List.nth subst i
+  | Sym _ | Const _ -> e
+  | Add (a, b) -> add (substitute_dims subst a) (substitute_dims subst b)
+  | Mul (a, b) -> mul (substitute_dims subst a) (substitute_dims subst b)
+  | Floordiv (a, d) -> floordiv (substitute_dims subst a) d
+  | Ceildiv (a, d) -> ceildiv (substitute_dims subst a) d
+  | Mod (a, m) -> modulo (substitute_dims subst a) m
+
+(* Composition: [compose f g] is the map applying [g] then [f], i.e.
+   (f . g)(x) = f(g(x)).  [g]'s results feed [f]'s dimensions. *)
+let compose f g =
+  if num_results g <> f.num_dims then
+    invalid_arg "Affine.compose: arity mismatch";
+  make ~num_dims:g.num_dims ~num_syms:(max f.num_syms g.num_syms)
+    (List.map (substitute_dims g.exprs) f.exprs)
+
+let rec max_dim_used e =
+  match e with
+  | Dim i -> i
+  | Sym _ | Const _ -> -1
+  | Add (a, b) | Mul (a, b) -> max (max_dim_used a) (max_dim_used b)
+  | Floordiv (a, _) | Ceildiv (a, _) | Mod (a, _) -> max_dim_used a
+
+let rec is_pure_affine e =
+  match e with
+  | Dim _ | Sym _ | Const _ -> true
+  | Add (a, b) -> is_pure_affine a && is_pure_affine b
+  | Mul (a, b) -> (
+      (is_pure_affine a && is_pure_affine b)
+      &&
+      match (simplify a, simplify b) with
+      | Const _, _ | _, Const _ -> true
+      | _ -> false)
+  | Floordiv (a, _) | Ceildiv (a, _) | Mod (a, _) -> is_pure_affine a
+
+let rec pp_expr fmt e =
+  match e with
+  | Dim i -> Format.fprintf fmt "d%d" i
+  | Sym i -> Format.fprintf fmt "s%d" i
+  | Const c -> Format.fprintf fmt "%d" c
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+  | Floordiv (a, d) -> Format.fprintf fmt "(%a floordiv %d)" pp_expr a d
+  | Ceildiv (a, d) -> Format.fprintf fmt "(%a ceildiv %d)" pp_expr a d
+  | Mod (a, m) -> Format.fprintf fmt "(%a mod %d)" pp_expr a m
+
+let pp fmt m =
+  Format.fprintf fmt "(%s)[%s] -> (%a)"
+    (String.concat ", " (List.init m.num_dims (Printf.sprintf "d%d")))
+    (String.concat ", " (List.init m.num_syms (Printf.sprintf "s%d")))
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       pp_expr)
+    m.exprs
+
+let to_string m = Format.asprintf "%a" pp m
+
+let equal_expr (a : expr) (b : expr) = simplify a = simplify b
+
+let equal (a : map) (b : map) =
+  a.num_dims = b.num_dims && a.num_syms = b.num_syms
+  && List.length a.exprs = List.length b.exprs
+  && List.for_all2 equal_expr a.exprs b.exprs
+
+(* Linear-part extraction: returns, for a strict multi-dimensional affine
+   expression, the coefficient of each dimension plus the constant term.
+   Raises [Invalid_argument] when the expression is not linear (contains
+   floordiv/mod of dims). *)
+let linear_coeffs ~num_dims e =
+  let coeffs = Array.make num_dims 0 in
+  let constant = ref 0 in
+  let rec go scale e =
+    match simplify e with
+    | Const c -> constant := !constant + (scale * c)
+    | Dim i -> coeffs.(i) <- coeffs.(i) + scale
+    | Sym _ -> invalid_arg "Affine.linear_coeffs: symbol"
+    | Add (a, b) ->
+        go scale a;
+        go scale b
+    | Mul (a, b) -> (
+        match (simplify a, simplify b) with
+        | Const c, b' -> go (scale * c) b'
+        | a', Const c -> go (scale * c) a'
+        | _ -> invalid_arg "Affine.linear_coeffs: non-linear")
+    | Floordiv _ | Ceildiv _ | Mod _ ->
+        invalid_arg "Affine.linear_coeffs: non-linear"
+  in
+  go 1 e;
+  (coeffs, !constant)

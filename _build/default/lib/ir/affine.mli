@@ -1,0 +1,106 @@
+(** Affine expressions and maps, modeled after the MLIR affine dialect.
+
+    An affine expression is built from dimension identifiers ([Dim]),
+    symbol identifiers ([Sym]), integer constants, addition, multiplication,
+    and floor-division / ceil-division / modulo by integer constants.  An
+    affine {e map} transforms a list of dimension values (and symbol
+    values) into a list of result values; maps describe memory-access
+    index functions, buffer layouts and loop-bound expressions. *)
+
+type expr =
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Floordiv of expr * int
+  | Ceildiv of expr * int
+  | Mod of expr * int
+
+type map = {
+  num_dims : int;  (** number of dimension inputs *)
+  num_syms : int;  (** number of symbol inputs *)
+  exprs : expr list;  (** one expression per result *)
+}
+
+(** {1 Construction} *)
+
+val dim : int -> expr
+(** [dim i] is the [i]-th dimension identifier. *)
+
+val sym : int -> expr
+(** [sym i] is the [i]-th symbol identifier. *)
+
+val const : int -> expr
+(** [const c] is the integer constant [c]. *)
+
+val add : expr -> expr -> expr
+(** Simplifying addition (folds constants, drops zero terms). *)
+
+val mul : expr -> expr -> expr
+(** Simplifying multiplication (folds constants, absorbs zero/one). *)
+
+val floordiv : expr -> int -> expr
+(** Floor division towards negative infinity; the divisor must be
+    non-zero. *)
+
+val ceildiv : expr -> int -> expr
+(** Ceiling division; the divisor must be non-zero. *)
+
+val modulo : expr -> int -> expr
+(** Euclidean remainder in [\[0, m)]; the modulus must be positive. *)
+
+val simplify : expr -> expr
+(** Constant folding and algebraic identities; evaluation-preserving
+    (property-tested). *)
+
+val make : num_dims:int -> num_syms:int -> expr list -> map
+(** Build a map with simplified result expressions. *)
+
+val identity : int -> map
+(** [identity n] maps [n] dimensions to themselves. *)
+
+val constant_map : int list -> map
+(** A zero-input map producing the given constants. *)
+
+(** {1 Queries and evaluation} *)
+
+val num_results : map -> int
+
+val eval_expr : dims:int array -> syms:int array -> expr -> int
+(** Evaluate one expression under dimension/symbol bindings; raises
+    [Invalid_argument] on out-of-range identifiers. *)
+
+val eval : map -> dims:int array -> ?syms:int array -> unit -> int list
+(** Evaluate every result of the map. *)
+
+val compose : map -> map -> map
+(** [compose f g] is the map [x -> f (g x)]; [g]'s result count must equal
+    [f]'s dimension count. *)
+
+val substitute_dims : expr list -> expr -> expr
+(** Replace each [Dim i] with the [i]-th substitute expression. *)
+
+val max_dim_used : expr -> int
+(** Largest dimension index appearing in the expression, or [-1]. *)
+
+val is_pure_affine : expr -> bool
+(** True when every multiplication has a constant operand (strict
+    affineness). *)
+
+val linear_coeffs : num_dims:int -> expr -> int array * int
+(** [linear_coeffs ~num_dims e] decomposes a linear expression into
+    per-dimension coefficients and a constant term.  Raises
+    [Invalid_argument] for non-linear expressions (products of dims,
+    floordiv/mod of dims, symbols). *)
+
+(** {1 Printing and equality} *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> map -> unit
+val to_string : map -> string
+
+val equal_expr : expr -> expr -> bool
+(** Equality up to simplification. *)
+
+val equal : map -> map -> bool

@@ -1,0 +1,38 @@
+(* Insertion-point based IR builder, mirroring MLIR's OpBuilder. *)
+
+open Ir
+
+type insertion = At_end of block | Before of block * op | After of block * op
+
+type t = { mutable point : insertion option }
+
+let create () = { point = None }
+
+let at_end b = { point = Some (At_end b) }
+
+let set_at_end t b = t.point <- Some (At_end b)
+let set_before t op =
+  match op.o_parent with
+  | None -> invalid_arg "Builder.set_before: op has no parent"
+  | Some b -> t.point <- Some (Before (b, op))
+
+let set_after t op =
+  match op.o_parent with
+  | None -> invalid_arg "Builder.set_after: op has no parent"
+  | Some b -> t.point <- Some (After (b, op))
+
+let insert t op =
+  (match t.point with
+  | None -> invalid_arg "Builder.insert: no insertion point"
+  | Some (At_end b) -> Block.append b op
+  | Some (Before (b, anchor)) -> Block.insert_before b ~anchor op
+  | Some (After (b, anchor)) ->
+      Block.insert_after b ~anchor op;
+      (* Keep inserting after the op we just inserted so that a sequence of
+         inserts preserves program order. *)
+      t.point <- Some (After (b, op)));
+  op
+
+(* Create and insert in one step. *)
+let build t ?operands ?attrs ?regions ~results name =
+  insert t (Op.create ?operands ?attrs ?regions ~results name)

@@ -1,0 +1,36 @@
+(** Insertion-point based IR builder, mirroring MLIR's [OpBuilder].
+
+    A builder remembers where the next operation goes: at the end of a
+    block, or before/after an anchor operation.  Inserting after an op
+    advances the point so consecutive inserts keep program order. *)
+
+type insertion =
+  | At_end of Ir.block
+  | Before of Ir.block * Ir.op
+  | After of Ir.block * Ir.op
+
+type t = { mutable point : insertion option }
+
+val create : unit -> t
+(** A builder with no insertion point (set one before inserting). *)
+
+val at_end : Ir.block -> t
+val set_at_end : t -> Ir.block -> unit
+
+val set_before : t -> Ir.op -> unit
+(** Insert subsequent ops before the given op (which must be in a block). *)
+
+val set_after : t -> Ir.op -> unit
+
+val insert : t -> Ir.op -> Ir.op
+(** Insert a detached op at the current point; returns it. *)
+
+val build :
+  t ->
+  ?operands:Ir.value list ->
+  ?attrs:(string * Ir.attr) list ->
+  ?regions:Ir.region list ->
+  results:Ir.typ list ->
+  string ->
+  Ir.op
+(** Create and insert in one step. *)

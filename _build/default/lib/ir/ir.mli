@@ -1,0 +1,280 @@
+(** Core IR graph, modeled after MLIR.
+
+    Programs are graphs of {e operations} connected by SSA {e values}.
+    Each operation carries typed operands and results, compile-time
+    {e attributes}, and nested {e regions} of {e blocks}, enabling
+    arbitrary structural hierarchy (functions, loops, dataflow tasks and
+    nodes).  The graph is mutable; all mutation must go through the
+    helpers in {!Op}, {!Block} and {!Region} so that def-use chains stay
+    consistent — {!Verifier} checks this invariant. *)
+
+(** {1 Types and attributes} *)
+
+type typ =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Index  (** loop induction variables and memory indices *)
+  | Memref of { shape : int list; elem : typ }
+      (** a mutable memory buffer of static shape *)
+  | Tensor of { shape : int list; elem : typ }
+      (** an immutable value-semantics aggregate *)
+  | Stream of { elem : typ; depth : int }  (** a FIFO channel *)
+  | Token  (** elastic synchronization token *)
+  | Func_type of { inputs : typ list; outputs : typ list }
+
+type attr =
+  | A_unit
+  | A_bool of bool
+  | A_int of int
+  | A_float of float
+  | A_str of string
+  | A_type of typ
+  | A_list of attr list
+  | A_map of Affine.map
+  | A_ints of int list
+  | A_strs of string list
+
+(** {1 Graph representation}
+
+    The record fields are exposed because transformation passes
+    pattern-match on them; mutate only through the module functions. *)
+
+type value = {
+  v_id : int;
+  v_typ : typ;
+  mutable v_def : vdef;
+  mutable v_uses : use list;
+  mutable v_name_hint : string option;
+}
+
+and vdef = Def_op of op * int | Def_block_arg of block * int | Def_none
+
+and use = { u_op : op; u_index : int }
+
+and op = {
+  o_id : int;
+  mutable o_name : string;  (** dialect-qualified, e.g. ["affine.for"] *)
+  mutable o_operands : value array;
+  mutable o_results : value array;
+  mutable o_attrs : (string * attr) list;
+  mutable o_regions : region array;
+  mutable o_parent : block option;
+}
+
+and block = {
+  b_id : int;
+  mutable b_args : value array;
+  mutable b_ops : op list;
+  mutable b_parent : region option;
+}
+
+and region = {
+  g_id : int;
+  mutable g_blocks : block list;
+  mutable g_parent : op option;
+}
+
+val next_id : unit -> int
+(** Fresh unique identifier (shared across values, ops, blocks, regions). *)
+
+(** Type helpers. *)
+module Typ : sig
+  type t = typ
+
+  val equal : t -> t -> bool
+  val is_integer : t -> bool
+  val is_float : t -> bool
+  val is_shaped : t -> bool
+
+  val shape : t -> int list
+  (** Shape of a memref or tensor; raises otherwise. *)
+
+  val elem : t -> t
+  (** Element type of a memref, tensor or stream; raises otherwise. *)
+
+  val num_elements : t -> int
+  val bit_width : t -> int
+
+  val memref : shape:int list -> elem:t -> t
+  val tensor : shape:int list -> elem:t -> t
+  val stream : elem:t -> depth:int -> t
+  val to_string : t -> string
+end
+
+(** Attribute helpers. *)
+module Attr : sig
+  type t = attr
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+(** SSA values and their def-use chains. *)
+module Value : sig
+  type t = value
+
+  val create : ?name:string -> typ -> t
+  val typ : t -> typ
+  val uses : t -> use list
+  val has_uses : t -> bool
+  val num_uses : t -> int
+  val defining_op : t -> op option
+  val defining_block : t -> block option
+  val is_block_arg : t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val add_use : t -> op:op -> index:int -> unit
+  (** Low-level use-list maintenance; prefer {!Op.set_operand}. *)
+
+  val remove_use : t -> op:op -> index:int -> unit
+
+  val name : t -> string
+  (** Printable SSA name, e.g. ["%buf_42"]. *)
+end
+
+(** Operations. *)
+module Op : sig
+  type t = op
+
+  val create :
+    ?operands:value list ->
+    ?attrs:(string * attr) list ->
+    ?regions:region list ->
+    results:typ list ->
+    string ->
+    t
+  (** Create a detached operation: result values are allocated, operand
+      use lists and region parent pointers are wired. *)
+
+  val name : t -> string
+  val operands : t -> value list
+  val num_operands : t -> int
+  val operand : t -> int -> value
+  val results : t -> value list
+  val num_results : t -> int
+  val result : t -> int -> value
+  val regions : t -> region list
+  val region : t -> int -> region
+  val num_regions : t -> int
+  val parent : t -> block option
+  val equal : t -> t -> bool
+
+  (** {2 Attributes} *)
+
+  val attr : t -> string -> attr option
+  val has_attr : t -> string -> bool
+  val set_attr : t -> string -> attr -> unit
+  val remove_attr : t -> string -> unit
+  val int_attr : t -> string -> int option
+  val int_attr_exn : t -> string -> int
+  val str_attr : t -> string -> string option
+  val str_attr_exn : t -> string -> string
+  val ints_attr : t -> string -> int list option
+  val ints_attr_exn : t -> string -> int list
+  val bool_attr : t -> string -> bool
+  val map_attr : t -> string -> Affine.map option
+
+  (** {2 Mutation} *)
+
+  val set_operand : t -> int -> value -> unit
+  (** Rewire one operand, maintaining both use lists. *)
+
+  val set_operands : t -> value list -> unit
+  val add_region : t -> region -> unit
+
+  (** {2 Structure} *)
+
+  val parent_op : t -> op option
+  (** The operation whose region contains this op, if any. *)
+
+  val ancestors : t -> op list
+  (** Transitive parent ops, innermost first. *)
+
+  val is_ancestor : ancestor:op -> t -> bool
+end
+
+(** Blocks: ordered operation sequences with typed arguments. *)
+module Block : sig
+  type t = block
+
+  val create : ?args:typ list -> unit -> t
+  val args : t -> value list
+  val num_args : t -> int
+  val arg : t -> int -> value
+  val ops : t -> op list
+  val parent : t -> region option
+  val equal : t -> t -> bool
+
+  val add_arg : t -> typ -> value
+  val append : t -> op -> unit
+  val prepend : t -> op -> unit
+  val insert_before : t -> anchor:op -> op -> unit
+  val insert_after : t -> anchor:op -> op -> unit
+
+  val remove : t -> op -> unit
+  (** Detach an op from the block without erasing it. *)
+
+  val index_of : t -> op -> int option
+  val terminator : t -> op option
+end
+
+(** Regions: block containers owned by operations. *)
+module Region : sig
+  type t = region
+
+  val create : ?blocks:block list -> unit -> t
+  val blocks : t -> block list
+  val parent : t -> op option
+  val equal : t -> t -> bool
+  val entry : t -> block
+  val add_block : t -> block -> unit
+
+  val of_ops : ?args:typ list -> op list -> t
+  (** Single-block region containing the given ops (the structured-IR
+      common case). *)
+end
+
+(** Recursive walkers over the nested region structure. *)
+module Walk : sig
+  val preorder : op -> f:(op -> unit) -> unit
+  (** Visit [op], then every nested op, parents first. *)
+
+  val postorder : op -> f:(op -> unit) -> unit
+  (** Visit nested ops first, then [op]. *)
+
+  val collect : op -> pred:(op -> bool) -> op list
+  val collect_post : op -> pred:(op -> bool) -> op list
+  val find : op -> pred:(op -> bool) -> op option
+  val count : op -> pred:(op -> bool) -> int
+end
+
+(** {1 Erasure, replacement, cloning, dominance} *)
+
+val erase_op : op -> unit
+(** Recursively erase an op, its regions, and all operand uses. *)
+
+val replace_all_uses : old_value:value -> new_value:value -> unit
+
+val replace_op : op -> with_values:value list -> unit
+(** Replace every use of the op's results with the given values, then
+    erase it. *)
+
+val clone_op : ?value_map:(int, value) Hashtbl.t -> op -> op
+(** Deep copy.  [value_map] maps original value ids to replacement
+    values; values outside the map (and the clone) are shared. *)
+
+val clone_region : value_map:(int, value) Hashtbl.t -> region -> region
+
+val dominates : op -> op -> bool
+(** Does the first op strictly dominate the second?  (Single-block
+    structured regions only.) *)
+
+val value_dominates : value -> op -> bool
+(** Does the value's definition dominate the given use site? *)

@@ -1,0 +1,43 @@
+(* Pass manager: a pass is a named transformation on a root op.  The
+   manager optionally verifies the IR after each pass and records timing,
+   mirroring mlir-opt's pass pipeline with -verify-each. *)
+
+open Ir
+
+type t = { name : string; run : op -> unit }
+
+let make ~name run = { name; run }
+
+type stats = { pass_name : string; seconds : float }
+
+type manager = {
+  mutable passes : t list;
+  verify_each : bool;
+  mutable stats : stats list;
+}
+
+let manager ?(verify_each = true) () = { passes = []; verify_each; stats = [] }
+
+let add mgr pass = mgr.passes <- mgr.passes @ [ pass ]
+
+let run mgr root =
+  List.iter
+    (fun pass ->
+      let t0 = Unix.gettimeofday () in
+      pass.run root;
+      let dt = Unix.gettimeofday () -. t0 in
+      mgr.stats <- { pass_name = pass.name; seconds = dt } :: mgr.stats;
+      if mgr.verify_each then
+        match Verifier.verify root with
+        | Ok () -> ()
+        | Error es ->
+            let msg =
+              String.concat "\n"
+                (List.map (Format.asprintf "%a" Verifier.pp_error) es)
+            in
+            failwith
+              (Printf.sprintf "verification failed after pass %s:\n%s"
+                 pass.name msg))
+    mgr.passes
+
+let timing mgr = List.rev mgr.stats

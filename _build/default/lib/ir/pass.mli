@@ -1,0 +1,29 @@
+(** Pass manager.
+
+    A pass is a named transformation over a root operation.  The manager
+    runs passes in order, records per-pass wall-clock timing, and can
+    verify the IR after each pass (mlir-opt's [-verify-each]). *)
+
+type t = { name : string; run : Ir.op -> unit }
+
+val make : name:string -> (Ir.op -> unit) -> t
+
+type stats = { pass_name : string; seconds : float }
+
+type manager = {
+  mutable passes : t list;
+  verify_each : bool;
+  mutable stats : stats list;
+}
+
+val manager : ?verify_each:bool -> unit -> manager
+(** [verify_each] defaults to [true]. *)
+
+val add : manager -> t -> unit
+
+val run : manager -> Ir.op -> unit
+(** Runs all passes; raises [Failure] if [verify_each] is set and a pass
+    leaves the IR in an invalid state. *)
+
+val timing : manager -> stats list
+(** Per-pass timing, in execution order. *)

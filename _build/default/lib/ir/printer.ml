@@ -1,0 +1,65 @@
+(* Textual printing of the IR in an MLIR-like syntax.  Printing is for
+   debugging and golden tests; there is no parser. *)
+
+open Ir
+
+let pp_typ fmt t = Format.pp_print_string fmt (Typ.to_string t)
+
+let pp_attr fmt a = Format.pp_print_string fmt (Attr.to_string a)
+
+let pp_value fmt v = Format.pp_print_string fmt (Value.name v)
+
+let rec pp_op fmt (op : op) =
+  let pp_values fmt vs =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+      pp_value fmt vs
+  in
+  (match Op.results op with
+  | [] -> ()
+  | results -> Format.fprintf fmt "%a = " pp_values results);
+  Format.fprintf fmt "%s" (Op.name op);
+  (match Op.operands op with
+  | [] -> ()
+  | operands ->
+      Format.fprintf fmt "(%a)" pp_values operands);
+  (match op.o_attrs with
+  | [] -> ()
+  | attrs ->
+      let attrs = List.sort (fun (a, _) (b, _) -> compare a b) attrs in
+      Format.fprintf fmt " {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k pp_attr v))
+        attrs);
+  (match Op.results op with
+  | [] -> ()
+  | results ->
+      Format.fprintf fmt " : %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           pp_typ)
+        (List.map Value.typ results));
+  List.iter (fun g -> pp_region fmt g) (Op.regions op)
+
+and pp_region fmt (g : region) =
+  Format.fprintf fmt " {";
+  List.iter
+    (fun b ->
+      Format.pp_open_vbox fmt 2;
+      (match Block.args b with
+      | [] -> ()
+      | args ->
+          Format.fprintf fmt "@,^bb(%a):"
+            (Format.pp_print_list
+               ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+               (fun fmt a -> Format.fprintf fmt "%a : %a" pp_value a pp_typ (Value.typ a)))
+            args);
+      List.iter (fun op -> Format.fprintf fmt "@,%a" pp_op op) (Block.ops b);
+      Format.pp_close_box fmt ())
+    (Region.blocks g);
+  Format.fprintf fmt "@,}"
+
+let op_to_string op = Format.asprintf "@[<v>%a@]" pp_op op
+
+let print_op op = print_endline (op_to_string op)

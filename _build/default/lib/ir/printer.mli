@@ -1,0 +1,14 @@
+(** Textual printing of the IR in an MLIR-like syntax (debugging and
+    golden tests; there is no parser). *)
+
+val pp_typ : Format.formatter -> Ir.typ -> unit
+val pp_attr : Format.formatter -> Ir.attr -> unit
+val pp_value : Format.formatter -> Ir.value -> unit
+val pp_op : Format.formatter -> Ir.op -> unit
+val pp_region : Format.formatter -> Ir.region -> unit
+
+val op_to_string : Ir.op -> string
+(** Render an op (and everything nested) to a string. *)
+
+val print_op : Ir.op -> unit
+(** [op_to_string] to stdout. *)

@@ -1,0 +1,113 @@
+(* IR verifier: structural integrity, use-list consistency, SSA dominance,
+   and isolation of isolated-from-above operations.  Run after every pass in
+   the test suite. *)
+
+open Ir
+
+type error = { op : op option; message : string }
+
+let error ?op fmt = Format.kasprintf (fun message -> { op; message }) fmt
+
+let pp_error fmt e =
+  (match e.op with
+  | Some op -> Format.fprintf fmt "[%s#%d] " (Op.name op) op.o_id
+  | None -> ());
+  Format.pp_print_string fmt e.message
+
+(* Op names whose regions are isolated from above: their bodies may only
+   reference values defined inside or passed as block arguments. *)
+let isolated_ops = [ "func.func"; "hida.node"; "hida.schedule" ]
+
+let is_isolated name = List.mem name isolated_ops
+
+let verify (root : op) : (unit, error list) result =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  (* 1. Structural integrity: parent pointers and use lists. *)
+  Walk.preorder root ~f:(fun op ->
+      Array.iter
+        (fun g ->
+          (match g.g_parent with
+          | Some p when Op.equal p op -> ()
+          | _ -> add (error ~op "region parent pointer is wrong"));
+          List.iter
+            (fun b ->
+              (match b.b_parent with
+              | Some g' when Region.equal g' g -> ()
+              | _ -> add (error ~op "block parent pointer is wrong"));
+              List.iter
+                (fun nested ->
+                  match nested.o_parent with
+                  | Some b' when Block.equal b' b -> ()
+                  | _ -> add (error ~op:nested "op parent pointer is wrong"))
+                b.b_ops)
+            g.g_blocks)
+        op.o_regions;
+      Array.iteri
+        (fun i v ->
+          let found =
+            List.exists
+              (fun u -> Op.equal u.u_op op && u.u_index = i)
+              v.v_uses
+          in
+          if not found then
+            add (error ~op "operand %d (%s) missing from its use list" i (Value.name v)))
+        op.o_operands;
+      Array.iteri
+        (fun i r ->
+          match r.v_def with
+          | Def_op (def, j) when Op.equal def op && j = i -> ()
+          | _ -> add (error ~op "result %d has a stale def pointer" i))
+        op.o_results);
+  (* 2. SSA dominance for every operand. *)
+  Walk.preorder root ~f:(fun op ->
+      Array.iteri
+        (fun i v ->
+          if not (value_dominates v op) then
+            add
+              (error ~op "operand %d (%s) does not dominate its use" i
+                 (Value.name v)))
+        op.o_operands);
+  (* 3. Isolation: isolated ops must not capture outer SSA values. *)
+  let rec check_isolation op =
+    if is_isolated (Op.name op) then begin
+      (* Collect all values defined inside op (results of nested ops and
+         block args of nested blocks). *)
+      let inside = Hashtbl.create 64 in
+      Walk.preorder op ~f:(fun nested ->
+          if not (Op.equal nested op) then
+            Array.iter (fun r -> Hashtbl.replace inside r.v_id ()) nested.o_results;
+          Array.iter
+            (fun g ->
+              List.iter
+                (fun b ->
+                  Array.iter (fun a -> Hashtbl.replace inside a.v_id ()) b.b_args)
+                g.g_blocks)
+            nested.o_regions);
+      Walk.preorder op ~f:(fun nested ->
+          if not (Op.equal nested op) then
+            Array.iter
+              (fun v ->
+                if not (Hashtbl.mem inside v.v_id) then
+                  add
+                    (error ~op:nested
+                       "captures outer value %s inside isolated op %s"
+                       (Value.name v) (Op.name op)))
+              nested.o_operands)
+    end;
+    Array.iter
+      (fun g ->
+        List.iter (fun b -> List.iter check_isolation b.b_ops) g.g_blocks)
+      op.o_regions
+  in
+  check_isolation root;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let verify_exn root =
+  match verify root with
+  | Ok () -> ()
+  | Error es ->
+      let msg =
+        String.concat "\n" (List.map (Format.asprintf "%a" pp_error) es)
+      in
+      failwith (Printf.sprintf "IR verification failed:\n%s" msg)

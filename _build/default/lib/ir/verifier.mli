@@ -1,0 +1,25 @@
+(** IR verifier.
+
+    Checks, over a whole op tree:
+    - structural integrity: parent pointers and def-use chains are
+      consistent;
+    - SSA dominance: every operand's definition dominates its use;
+    - isolation: ops whose regions are isolated from above
+      ([func.func], [hida.node], [hida.schedule]) do not capture outer
+      SSA values.
+
+    The test suite runs the verifier after every pass. *)
+
+type error = { op : Ir.op option; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val isolated_ops : string list
+(** Names of operations whose regions are isolated from above. *)
+
+val is_isolated : string -> bool
+
+val verify : Ir.op -> (unit, error list) result
+
+val verify_exn : Ir.op -> unit
+(** Raises [Failure] with all error messages when verification fails. *)

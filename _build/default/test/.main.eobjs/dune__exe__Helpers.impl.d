@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Arith Array Float Hida_dialects Hida_frontend Hida_interp Hida_ir Interp Ir List Loop_dsl Nn_builder Printf QCheck2 String Verifier

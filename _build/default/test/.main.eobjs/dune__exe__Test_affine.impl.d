@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array Helpers Hida_ir QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fuzz_nn.ml: Device Driver Helpers Hida_core Hida_dialects Hida_estimator Hida_frontend Hida_ir Ir List Nn Nn_builder Parallelize QCheck2 QCheck_alcotest Qor Resource Typ Value

@@ -1,0 +1,1 @@
+test/test_interface.ml: Alcotest Construct Device Driver Helpers Hida_core Hida_d Hida_dialects Hida_emitter Hida_estimator Hida_frontend Hida_ir Interface Ir List Lowering Models Op Polybench Walk

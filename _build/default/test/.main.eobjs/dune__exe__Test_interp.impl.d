@@ -1,0 +1,1 @@
+test/test_interp.ml: Affine Affine_d Alcotest Arith Array Block Builder Float Func_d Helpers Hida_d Hida_dialects Hida_frontend Hida_interp Hida_ir Interp Ir List Memref_d Nn Nn_builder Printf Typ

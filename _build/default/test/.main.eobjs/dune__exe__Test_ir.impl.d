@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Affine_d Alcotest Arith Attr Block Builder Func_d Helpers Hida_d Hida_dialects Hida_ir Ir List Op Option Printer Typ Value Verifier Walk

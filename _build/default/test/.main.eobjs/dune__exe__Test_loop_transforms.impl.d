@@ -1,0 +1,1 @@
+test/test_loop_transforms.ml: Affine_d Alcotest Arith Helpers Hida_core Hida_dialects Hida_frontend Hida_ir Intensity Ir List Loop_dsl Loop_transforms Polybench QCheck2 QCheck_alcotest Verifier

@@ -1,0 +1,168 @@
+(* Shared test utilities: small program builders, interpreter-based
+   equivalence checking, and qcheck generators for random affine
+   kernels. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_frontend
+
+let check = Alcotest.check
+let checkb msg b = Alcotest.check Alcotest.bool msg true b
+let checki msg a b = Alcotest.check Alcotest.int msg a b
+
+(* Run a function on deterministic inputs; returns flattened outputs of
+   all memref arguments plus returned buffers. *)
+let run_all ?(seed = 1) func =
+  let args = Interp.fresh_args ~seed func in
+  let results = Interp.run_func func ~args in
+  let flatten rt =
+    match rt with
+    | Interp.Buf b -> Array.to_list (Array.map Interp.scalar_to_float b.Interp.data)
+    | Interp.Scalar s -> [ Interp.scalar_to_float s ]
+    | Interp.Chan _ -> []
+  in
+  List.concat_map flatten args @ List.concat_map flatten results
+
+let floats_close ?(tol = 1e-2) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> Float.abs (x -. y) <= tol *. (1. +. Float.abs x +. Float.abs y))
+       a b
+
+(* Check that [transform] preserves the observable behaviour of the
+   program produced by [build]. *)
+let preserves_semantics ?tol ~build ~transform () =
+  let _m1, f1 = build () in
+  let reference = run_all f1 in
+  let _m2, f2 = build () in
+  transform f2;
+  Verifier.verify_exn f2;
+  let result = run_all f2 in
+  floats_close ?tol reference result
+
+(* A tiny two-layer CNN used across tests. *)
+let mini_cnn ?(channels = 2) ?(size = 6) () =
+  let t =
+    Nn_builder.create ~name:"mini_cnn" ~input_shape:[ channels; size; size ] ()
+  in
+  ignore (Nn_builder.conv_relu t ~out_channels:3 ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2);
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:4);
+  Nn_builder.finish t
+
+(* A simple two-stage memref kernel (vector scale then add), exercising
+   the dataflow pipeline with one intermediate buffer. *)
+let two_stage_kernel ?(n = 16) () =
+  let open Loop_dsl in
+  let ctx, args =
+    kernel ~name:"two_stage" ~arrays:[ ("x", [ n ]); ("y", [ n ]) ]
+  in
+  let x, y = match args with [ x; y ] -> (x, y) | _ -> assert false in
+  let tmp = local ctx ~name:"tmp" ~shape:[ n ] in
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl x [ i ] in
+      store bl (Arith.mulf bl v (f32 bl 2.)) tmp [ i ]);
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl tmp [ i ] in
+      store bl (Arith.addf bl v (f32 bl 1.)) y [ i ]);
+  finish ctx
+
+(* A three-node fork-join kernel (Fig. 8 shape): n0 produces a and b from
+   x; n1 transforms a into c; n2 consumes b and c. *)
+let fork_join_kernel ?(n = 8) () =
+  let open Loop_dsl in
+  let ctx, args =
+    kernel ~name:"fork_join" ~arrays:[ ("x", [ n ]); ("out", [ n ]) ]
+  in
+  let x, out = match args with [ x; o ] -> (x, o) | _ -> assert false in
+  let a = local ctx ~name:"a" ~shape:[ n ] in
+  let b = local ctx ~name:"b" ~shape:[ n ] in
+  let c = local ctx ~name:"c" ~shape:[ n ] in
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl x [ i ] in
+      store bl (Arith.mulf bl v (f32 bl 2.)) a [ i ];
+      store bl (Arith.addf bl v (f32 bl 3.)) b [ i ]);
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl a [ i ] in
+      store bl (Arith.mulf bl v v) c [ i ]);
+  for1 ctx.bld ~n (fun bl i ->
+      let bv = load bl b [ i ] in
+      let cv = load bl c [ i ] in
+      store bl (Arith.addf bl bv cv) out [ i ]);
+  finish ctx
+
+(* A kernel whose intermediate buffer has two producers (Fig. 7(a)). *)
+let multi_producer_kernel ?(n = 8) () =
+  let open Loop_dsl in
+  let ctx, args =
+    kernel ~name:"multi_producer" ~arrays:[ ("x", [ n ]); ("out", [ n ]) ]
+  in
+  let x, out = match args with [ x; o ] -> (x, o) | _ -> assert false in
+  let buf = local ctx ~name:"buf" ~shape:[ n ] in
+  (* Producer 1: fills buf. *)
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl x [ i ] in
+      store bl (Arith.mulf bl v (f32 bl 2.)) buf [ i ]);
+  (* Producer 2: reads and rewrites buf (read-write). *)
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl buf [ i ] in
+      store bl (Arith.addf bl v (f32 bl 1.)) buf [ i ]);
+  (* Consumer. *)
+  for1 ctx.bld ~n (fun bl i ->
+      let v = load bl buf [ i ] in
+      store bl (Arith.mulf bl v (f32 bl 3.)) out [ i ]);
+  finish ctx
+
+(* qcheck generator: a random chain of elementwise / matvec stages over
+   one-dimensional buffers, suitable for lowering and transformation
+   round-trips. *)
+type stage_kind = Scale | Add | Square
+
+let gen_chain_kernel : (int * stage_kind list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = oneofl [ 4; 6; 8 ] in
+  let* stages = int_range 2 4 in
+  let* kinds = list_size (return stages) (oneofl [ Scale; Add; Square ]) in
+  return (n, kinds)
+
+let build_chain (n, kinds) () =
+  let open Loop_dsl in
+  let ctx, args =
+    kernel ~name:"chain" ~arrays:[ ("x", [ n ]); ("out", [ n ]) ]
+  in
+  let x, out = match args with [ x; o ] -> (x, o) | _ -> assert false in
+  let num = List.length kinds in
+  let bufs =
+    List.init (num - 1) (fun i ->
+        local ctx ~name:(Printf.sprintf "t%d" i) ~shape:[ n ])
+  in
+  let src i = if i = 0 then x else List.nth bufs (i - 1) in
+  let dst i = if i = num - 1 then out else List.nth bufs i in
+  List.iteri
+    (fun i kind ->
+      for1 ctx.bld ~n (fun bl j ->
+          let v = load bl (src i) [ j ] in
+          let r =
+            match kind with
+            | Scale -> Arith.mulf bl v (f32 bl 1.5)
+            | Add -> Arith.addf bl v (f32 bl 0.5)
+            | Square -> Arith.mulf bl v v
+          in
+          store bl r (dst i) [ j ]))
+    kinds;
+  finish ctx
+
+(* Substring containment (avoids external string libraries). *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if (not !found) && String.sub s i m = sub then found := true
+    done;
+    !found
+  end

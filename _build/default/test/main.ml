@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "hida"
+    [
+      ("affine", Test_affine.tests);
+      ("ir", Test_ir.tests);
+      ("dialects", Test_dialects.tests);
+      ("interp", Test_interp.tests);
+      ("estimator", Test_estimator.tests);
+      ("passes", Test_passes.tests);
+      ("parallelize", Test_parallelize.tests);
+      ("sim", Test_sim.tests);
+      ("driver", Test_driver.tests);
+      ("models", Test_models.tests @ Test_models.extra_tests);
+      ("emitter", Test_emitter.tests);
+      ("streamize", Test_streamize.tests);
+      ("hierarchy", Test_hierarchy.tests);
+      ("canonicalize", Test_canonicalize.tests);
+      ("fuzz-nn", Test_fuzz_nn.tests);
+      ("interface", Test_interface.tests);
+      ("affine-if", Test_affine_if.tests);
+      ("loop-transforms", Test_loop_transforms.tests);
+    ]

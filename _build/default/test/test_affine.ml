@@ -1,0 +1,124 @@
+(* Unit and property tests for affine expressions and maps. *)
+
+open Hida_ir
+open Helpers
+
+let eval1 e dims = Affine.eval_expr ~dims ~syms:[||] e
+
+let test_simplify () =
+  let open Affine in
+  checkb "const fold add" (equal_expr (add (const 2) (const 3)) (const 5));
+  checkb "mul by zero" (equal_expr (mul (dim 0) (const 0)) (const 0));
+  checkb "mul by one" (equal_expr (mul (dim 0) (const 1)) (dim 0));
+  checkb "add zero" (equal_expr (add (dim 1) (const 0)) (dim 1));
+  checkb "floordiv const" (equal_expr (floordiv (const 7) 2) (const 3));
+  checkb "floordiv negative" (equal_expr (floordiv (const (-7)) 2) (const (-4)));
+  checkb "ceildiv const" (equal_expr (ceildiv (const 7) 2) (const 4));
+  checkb "mod const" (equal_expr (modulo (const 7) 3) (const 1));
+  checkb "mod negative" (equal_expr (modulo (const (-1)) 4) (const 3))
+
+let test_eval () =
+  let open Affine in
+  checki "dim eval" 5 (eval1 (dim 0) [| 5 |]);
+  checki "linear eval" 23 (eval1 (add (mul (dim 0) (const 4)) (dim 1)) [| 5; 3 |]);
+  checki "floordiv eval" 2 (eval1 (floordiv (dim 0) 2) [| 5 |]);
+  let m = make ~num_dims:2 ~num_syms:0 [ add (dim 0) (dim 1); mul (dim 0) (const 2) ] in
+  check (Alcotest.list Alcotest.int) "map eval" [ 8; 6 ] (eval m ~dims:[| 3; 5 |] ())
+
+let test_identity_compose () =
+  let open Affine in
+  let id3 = identity 3 in
+  checki "identity results" 3 (num_results id3);
+  check (Alcotest.list Alcotest.int) "identity eval" [ 1; 2; 3 ]
+    (eval id3 ~dims:[| 1; 2; 3 |] ());
+  let f = make ~num_dims:2 ~num_syms:0 [ add (dim 0) (dim 1) ] in
+  let g = make ~num_dims:1 ~num_syms:0 [ mul (dim 0) (const 2); const 7 ] in
+  let fg = compose f g in
+  check (Alcotest.list Alcotest.int) "compose eval" [ 13 ]
+    (eval fg ~dims:[| 3 |] ())
+
+let test_linear_coeffs () =
+  let open Affine in
+  let coeffs, c =
+    linear_coeffs ~num_dims:3
+      (add (add (mul (dim 0) (const 4)) (mul (const (-2)) (dim 2))) (const 9))
+  in
+  check (Alcotest.array Alcotest.int) "coeffs" [| 4; 0; -2 |] coeffs;
+  checki "const" 9 c;
+  checkb "non-linear raises"
+    (try
+       ignore (linear_coeffs ~num_dims:2 (mul (dim 0) (dim 1)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pure_affine () =
+  let open Affine in
+  checkb "dim is affine" (is_pure_affine (dim 0));
+  checkb "dim*dim not affine" (not (is_pure_affine (Mul (Dim 0, Dim 1))));
+  checkb "const*dim affine" (is_pure_affine (Mul (Const 3, Dim 1)))
+
+(* Properties. *)
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf = oneof [ map (fun i -> Affine.dim (abs i mod 3)) int; map Affine.const (int_range (-20) 20) ] in
+  fix
+    (fun self depth ->
+      if depth <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 Affine.add (self (depth - 1)) (self (depth - 1));
+            map2 (fun a c -> Affine.mul a (Affine.const c)) (self (depth - 1)) (int_range (-5) 5);
+            map2 (fun a d -> Affine.floordiv a d) (self (depth - 1)) (int_range 1 7);
+            map2 (fun a m -> Affine.modulo a m) (self (depth - 1)) (int_range 1 7);
+          ])
+    3
+
+let prop_simplify_preserves_eval =
+  QCheck2.Test.make ~name:"affine simplify preserves evaluation" ~count:200
+    QCheck2.Gen.(tup2 gen_expr (array_size (return 3) (int_range (-10) 10)))
+    (fun (e, dims) ->
+      Affine.eval_expr ~dims ~syms:[||] e
+      = Affine.eval_expr ~dims ~syms:[||] (Affine.simplify e))
+
+let prop_compose_is_functional =
+  QCheck2.Test.make ~name:"affine compose f.g(x) = f(g(x))" ~count:200
+    QCheck2.Gen.(
+      tup3 (list_size (return 2) gen_expr) (list_size (return 3) gen_expr)
+        (array_size (return 3) (int_range (-8) 8)))
+    (fun (f_exprs, g_exprs, dims) ->
+      let f = Affine.make ~num_dims:3 ~num_syms:0 f_exprs in
+      let g = Affine.make ~num_dims:3 ~num_syms:0 g_exprs in
+      let composed = Affine.compose f g in
+      let via_g = Array.of_list (Affine.eval g ~dims ()) in
+      Affine.eval composed ~dims () = Affine.eval f ~dims:via_g ())
+
+let prop_floordiv_ceildiv =
+  QCheck2.Test.make ~name:"floordiv/ceildiv bounds" ~count:200
+    QCheck2.Gen.(tup2 (int_range (-100) 100) (int_range 1 12))
+    (fun (x, d) ->
+      let fd = Affine.eval_expr ~dims:[| x |] ~syms:[||] (Affine.floordiv (Affine.dim 0) d) in
+      let cd = Affine.eval_expr ~dims:[| x |] ~syms:[||] (Affine.ceildiv (Affine.dim 0) d) in
+      fd * d <= x && x < (fd + 1) * d && (cd - 1) * d < x && x <= cd * d)
+
+let prop_mod_range =
+  QCheck2.Test.make ~name:"mod stays in [0, m)" ~count:200
+    QCheck2.Gen.(tup2 (int_range (-100) 100) (int_range 1 12))
+    (fun (x, m) ->
+      let r = Affine.eval_expr ~dims:[| x |] ~syms:[||] (Affine.modulo (Affine.dim 0) m) in
+      0 <= r && r < m)
+
+let tests =
+  [
+    Alcotest.test_case "simplification" `Quick test_simplify;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "identity and composition" `Quick test_identity_compose;
+    Alcotest.test_case "linear coefficients" `Quick test_linear_coeffs;
+    Alcotest.test_case "pure affine check" `Quick test_pure_affine;
+    QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
+    QCheck_alcotest.to_alcotest prop_compose_is_functional;
+    QCheck_alcotest.to_alcotest prop_floordiv_ceildiv;
+    QCheck_alcotest.to_alcotest prop_mod_range;
+  ]

@@ -1,0 +1,181 @@
+(* Tests for affine.if and the guarded-boundary convolution lowering. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let test_if_semantics () =
+  (* f(i) = if i - 2 >= 0 then 10 else 20, for i in 0..4 *)
+  let m = Func_d.module_op () in
+  let f =
+    Func_d.func m ~name:"ifs" ~inputs:[ Typ.memref ~shape:[ 5 ] ~elem:F32 ]
+      ~outputs:[]
+  in
+  let buf = Block.arg (Func_d.entry_block f) 0 in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let conds =
+    Affine.make ~num_dims:1 ~num_syms:0 [ Affine.add (Affine.dim 0) (Affine.const (-2)) ]
+  in
+  ignore
+    (Affine_d.for_ bld ~upper:5 (fun b iv ->
+         let v =
+           Affine_d.if_ b ~conds ~result_typ:F32 [ iv ]
+             ~then_:(fun bt -> Arith.const_float bt 10.)
+             ~else_:(fun be -> Arith.const_float be 20.)
+         in
+         Affine_d.store b v buf [ iv ]));
+  Func_d.return bld [];
+  Verifier.verify_exn f;
+  let arg = Interp.Buf (Interp.make_buf ~shape:[ 5 ] ~elem:F32) in
+  ignore (Interp.run_func f ~args:[ arg ]);
+  match arg with
+  | Interp.Buf b ->
+      check
+        (Alcotest.array (Alcotest.float 1e-6))
+        "guarded values"
+        [| 20.; 20.; 10.; 10.; 10. |]
+        (Array.map Interp.scalar_to_float b.Interp.data)
+  | _ -> assert false
+
+let padded_model boundary () =
+  let t = Nn_builder.create ~name:"guard" ~input_shape:[ 2; 6; 6 ] () in
+  ignore (Nn_builder.conv t ~out_channels:3 ~kernel:3 ~stride:1 ~pad:1);
+  ignore (Nn_builder.relu t);
+  ignore (Nn_builder.conv t ~out_channels:2 ~kernel:3 ~stride:2 ~pad:1);
+  let pair = Nn_builder.finish t in
+  ignore boundary;
+  pair
+
+let lowered boundary =
+  let _m, f = padded_model boundary () in
+  Construct.run f;
+  Fusion.run f;
+  ignore (Lowering.lower_nn_func ~boundary f);
+  f
+
+let test_guarded_conv_semantics () =
+  (* Both boundary modes must compute the reference network. *)
+  let _m, reference = padded_model `Padded () in
+  let ref_out = run_all reference in
+  List.iter
+    (fun boundary ->
+      let f = lowered boundary in
+      Verifier.verify_exn f;
+      checkb "boundary mode preserves semantics"
+        (floats_close ~tol:1e-3 ref_out (run_all f)))
+    [ `Padded; `Guarded ]
+
+let test_guarded_has_ifs_no_padded_buffer () =
+  let fg = lowered `Guarded in
+  checkb "guards present" (Walk.count fg ~pred:Affine_d.is_if > 0);
+  checkb "no padded window buffers"
+    (List.for_all
+       (fun b -> (Op.result b 0).v_name_hint <> Some "padded")
+       (Walk.collect fg ~pred:Hida_d.is_buffer));
+  let fp = lowered `Padded in
+  checkb "padded mode has no guards" (Walk.count fp ~pred:Affine_d.is_if = 0)
+
+let test_guarded_through_driver () =
+  checkb "guarded pipeline preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> Models.lenet ~scale:0.4 ())
+       ~transform:(fun f ->
+         ignore
+           (Driver.compile_nn
+              ~opts:
+                {
+                  Driver.default with
+                  conv_boundary = `Guarded;
+                  max_parallel_factor = 4;
+                  verify_each = true;
+                }
+              f))
+       ())
+
+let test_guarded_tradeoff () =
+  (* Guards trade the line-buffer memory for control logic. *)
+  let estimate boundary =
+    let _m, f = Models.lenet () in
+    (Driver.run_nn
+       ~opts:{ Driver.default with conv_boundary = boundary; max_parallel_factor = 8 }
+       ~device:Device.pynq_z2 f)
+      .Driver.estimate
+  in
+  let padded = estimate `Padded and guarded = estimate `Guarded in
+  checkb "padded design exists" (padded.Qor.d_throughput > 0.);
+  checkb "guarded design exists" (guarded.Qor.d_throughput > 0.)
+
+let test_csim_guarded () =
+  (* The emitted if/else code must run correctly on the host. *)
+  if Sys.command "which g++ > /dev/null 2>&1" = 0 then begin
+    (* A guarded convolution in a plain memref kernel so the testbench's
+       f32 path applies. *)
+    let open Loop_dsl in
+    let n = 6 in
+    let ctx, args =
+      kernel ~name:"guarded_blur" ~arrays:[ ("src", [ n; n ]); ("dst", [ n; n ]) ]
+    in
+    let src, dst = match args with [ s; d ] -> (s, d) | _ -> assert false in
+    let conds =
+      Affine.make ~num_dims:2 ~num_syms:0
+        [
+          Affine.add (Affine.dim 0) (Affine.const (-1));
+          Affine.add (Affine.const (n - 2)) (Affine.mul (Affine.dim 0) (Affine.const (-1)));
+          Affine.dim 1;
+        ]
+    in
+    let shifted =
+      Affine.make ~num_dims:2 ~num_syms:0
+        [ Affine.add (Affine.dim 0) (Affine.const (-1)); Affine.dim 1 ]
+    in
+    for2 ctx.bld ~n ~m:n (fun bl i j ->
+        let v =
+          Affine_d.if_ bl ~conds ~result_typ:F32 [ i; j ]
+            ~then_:(fun bt -> Affine_d.load_mapped bt src ~map:shifted [ i; j ])
+            ~else_:(fun be -> Arith.const_float be 0.)
+        in
+        store bl v dst [ i; j ]);
+    let _m, f = finish ctx in
+    let argvals = Interp.fresh_args f in
+    ignore (Interp.run_func f ~args:argvals);
+    let reference =
+      List.concat_map
+        (function
+          | Interp.Buf b ->
+              Array.to_list (Array.map Interp.scalar_to_float b.Interp.data)
+          | _ -> [])
+        argvals
+    in
+    let dir = Filename.temp_file "hida_if" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let cpp = Hida_emitter.Testbench.write_project ~dir f in
+    let exe = Filename.concat dir "design" in
+    checkb "g++ compiles guarded design"
+      (Sys.command (Printf.sprintf "g++ -O1 -I%s -o %s %s 2>/dev/null" dir exe cpp) = 0);
+    let ic = Unix.open_process_in exe in
+    let out = ref [] in
+    (try
+       while true do
+         out := float_of_string (input_line ic) :: !out
+       done
+     with End_of_file -> ());
+    ignore (Unix.close_process_in ic);
+    checkb "guarded C-sim matches interpreter"
+      (floats_close ~tol:1e-3 reference (List.rev !out))
+  end
+
+let tests =
+  [
+    Alcotest.test_case "affine.if semantics" `Quick test_if_semantics;
+    Alcotest.test_case "guarded conv semantics" `Quick test_guarded_conv_semantics;
+    Alcotest.test_case "guarded structure" `Quick test_guarded_has_ifs_no_padded_buffer;
+    Alcotest.test_case "guarded full pipeline" `Quick test_guarded_through_driver;
+    Alcotest.test_case "padded vs guarded tradeoff" `Quick test_guarded_tradeoff;
+    Alcotest.test_case "C-sim of guarded design" `Slow test_csim_guarded;
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the canonicalization pass. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_frontend
+open Helpers
+
+let scalar_func body =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"c" ~inputs:[] ~outputs:[ F32 ] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let r = body bld in
+  Func_d.return bld [ r ];
+  f
+
+let eval f =
+  match Interp.run_func f ~args:[] with
+  | [ Interp.Scalar s ] -> Interp.scalar_to_float s
+  | _ -> Alcotest.fail "expected scalar"
+
+let count f name = Walk.count f ~pred:(fun op -> Op.name op = name)
+
+let test_constant_folding () =
+  let f =
+    scalar_func (fun b ->
+        let x = Arith.const_float b 2. in
+        let y = Arith.const_float b 3. in
+        Arith.mulf b (Arith.addf b x y) (Arith.const_float b 4.))
+  in
+  Canonicalize.run f;
+  Verifier.verify_exn f;
+  checki "all arithmetic folded" 0 (count f "arith.addf" + count f "arith.mulf");
+  checkb "value preserved" (Float.abs (eval f -. 20.) < 1e-6)
+
+let test_integer_folding () =
+  let f =
+    scalar_func (fun b ->
+        let i = Arith.const_int b 6 in
+        let j = Arith.const_int b 7 in
+        let k = Arith.muli b i j in
+        ignore k;
+        Arith.const_float b 1.)
+  in
+  Canonicalize.run f;
+  (* The product is dead and must disappear entirely. *)
+  checki "dead muli removed" 0 (count f "arith.muli")
+
+let test_identities () =
+  let f =
+    scalar_func (fun b ->
+        let x = Arith.const_float b 5. in
+        let zero = Arith.const_float b 0. in
+        let one = Arith.const_float b 1. in
+        Arith.mulf b (Arith.addf b x zero) one)
+  in
+  Canonicalize.run f;
+  checkb "identity chain collapses to the constant" (Float.abs (eval f -. 5.) < 1e-6);
+  checki "no arithmetic remains" 0 (count f "arith.addf" + count f "arith.mulf")
+
+let test_dce_keeps_effects () =
+  let _m, f = two_stage_kernel ~n:8 () in
+  let stores_before = count f "affine.store" in
+  Canonicalize.run f;
+  checki "stores survive DCE" stores_before (count f "affine.store")
+
+let test_dedup_constants () =
+  let f =
+    scalar_func (fun b ->
+        let x = Arith.const_float b 2.5 in
+        let y = Arith.const_float b 2.5 in
+        Arith.addf b x y)
+  in
+  Canonicalize.run f;
+  checkb "duplicate constants merged or folded away"
+    (count f "arith.constant" <= 1)
+
+let test_zero_trip_loops_removed () =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"z" ~inputs:[ Typ.memref ~shape:[ 4 ] ~elem:F32 ] ~outputs:[] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let buf = Block.arg (Func_d.entry_block f) 0 in
+  ignore
+    (Affine_d.for_ bld ~upper:0 (fun b iv ->
+         Affine_d.store b (Arith.const_float b 1.) buf [ iv ]));
+  Func_d.return bld [];
+  Canonicalize.run f;
+  checki "zero-trip loop removed" 0 (count f "affine.for")
+
+let prop_canonicalize_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"canonicalize preserves random chains" ~count:30
+       gen_chain_kernel
+       (fun spec ->
+         preserves_semantics ~build:(build_chain spec)
+           ~transform:Canonicalize.run ()))
+
+let test_canonicalize_models () =
+  (* Full models survive canonicalization unchanged in behaviour. *)
+  checkb "lenet preserved"
+    (preserves_semantics
+       ~build:(fun () -> Models.lenet ~scale:0.4 ())
+       ~transform:Canonicalize.run ())
+
+let tests =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "integer folding + DCE" `Quick test_integer_folding;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "DCE keeps side effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "constant dedup" `Quick test_dedup_constants;
+    Alcotest.test_case "zero-trip loop removal" `Quick test_zero_trip_loops_removed;
+    Alcotest.test_case "models preserved" `Quick test_canonicalize_models;
+    prop_canonicalize_preserves;
+  ]

@@ -1,0 +1,213 @@
+(* Tests for the dialect layers: affine loops and transforms, arith
+   classification, nn shape inference, and the HIDA dialect ops. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_frontend
+open Helpers
+
+let with_func body =
+  let m = Func_d.module_op () in
+  let f =
+    Func_d.func m ~name:"t" ~inputs:[ Typ.memref ~shape:[ 16 ] ~elem:F32 ]
+      ~outputs:[]
+  in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  body bld (Block.arg (Func_d.entry_block f) 0);
+  (m, f)
+
+(* ---- affine dialect ---- *)
+
+let test_loop_basics () =
+  let _m, f =
+    with_func (fun bld _x ->
+        ignore
+          (Affine_d.for_ bld ~lower:2 ~upper:14 ~step:3 (fun _ _ -> ())))
+  in
+  let l = List.hd (Walk.collect f ~pred:Affine_d.is_for) in
+  checki "lower" 2 (Affine_d.lower l);
+  checki "upper" 14 (Affine_d.upper l);
+  checki "step" 3 (Affine_d.step l);
+  checki "trip count" 4 (Affine_d.trip_count l);
+  checkb "iv type is index" (Typ.equal (Value.typ (Affine_d.induction_var l)) Index)
+
+let test_loop_band () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  let outer = Affine_d.outermost_loops f in
+  checki "two outermost nests" 2 (List.length outer);
+  let band = Affine_d.loop_band (List.hd outer) in
+  checkb "band has at least 2 loops" (List.length band >= 2);
+  let inner = Affine_d.innermost_loops f in
+  checki "two innermost loops" 2 (List.length inner)
+
+let test_directives () =
+  let _m, f =
+    with_func (fun bld _x -> ignore (Affine_d.for_ bld ~upper:8 (fun _ _ -> ())))
+  in
+  let l = List.hd (Walk.collect f ~pred:Affine_d.is_for) in
+  checkb "not pipelined by default" (not (Affine_d.is_pipelined l));
+  Affine_d.set_pipeline l ~ii:2 ();
+  checkb "pipelined" (Affine_d.is_pipelined l);
+  checki "ii" 2 (Affine_d.ii l);
+  checki "unroll default" 1 (Affine_d.unroll_factor l);
+  Affine_d.set_unroll l 4;
+  checki "unroll set" 4 (Affine_d.unroll_factor l)
+
+let test_unroll_transform_semantics () =
+  (* Real unrolling must preserve program behaviour. *)
+  checkb "unroll_by preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> two_stage_kernel ~n:16 ())
+       ~transform:(fun f ->
+         List.iter
+           (fun l -> Affine_d.unroll_by l ~factor:4)
+           (Affine_d.outermost_loops f))
+       ())
+
+let test_unroll_transform_structure () =
+  let _m, f = two_stage_kernel ~n:8 () in
+  let l = List.hd (Affine_d.outermost_loops f) in
+  let before = List.length (Block.ops (Affine_d.body_block l)) in
+  Affine_d.unroll_by l ~factor:2;
+  let after = List.length (Block.ops (Affine_d.body_block l)) in
+  checkb "body grew" (after > before);
+  checki "step doubled" 2 (Affine_d.step l)
+
+let test_tile_transform_semantics () =
+  checkb "tile_band preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> two_stage_kernel ~n:16 ())
+       ~transform:(fun f ->
+         List.iter
+           (fun l -> Affine_d.tile_band [ l ] ~tile_sizes:[ 4 ])
+           (Affine_d.outermost_loops f))
+       ())
+
+(* ---- arith classification ---- *)
+
+let test_classify () =
+  checkb "mulf is mac" (Arith.classify "arith.mulf" = Arith.Mac);
+  checkb "addf is alu" (Arith.classify "arith.addf" = Arith.Alu);
+  checkb "load is memory" (Arith.classify "affine.load" = Arith.Memory);
+  checkb "for is control" (Arith.classify "affine.for" = Arith.Control)
+
+(* ---- nn ops ---- *)
+
+let test_nn_shapes () =
+  let t = Nn_builder.create ~name:"shapes" ~input_shape:[ 3; 8; 8 ] () in
+  let c = Nn_builder.conv t ~out_channels:4 ~kernel:3 ~stride:1 ~pad:1 in
+  check (Alcotest.list Alcotest.int) "conv same-pad shape" [ 4; 8; 8 ]
+    (Typ.shape (Value.typ c));
+  let p = Nn_builder.maxpool t ~kernel:2 ~stride:2 in
+  check (Alcotest.list Alcotest.int) "pool shape" [ 4; 4; 4 ]
+    (Typ.shape (Value.typ p));
+  let fl = Nn_builder.flatten t in
+  check (Alcotest.list Alcotest.int) "flatten shape" [ 64 ]
+    (Typ.shape (Value.typ fl));
+  let l = Nn_builder.linear t ~out_features:10 in
+  check (Alcotest.list Alcotest.int) "linear shape" [ 10 ]
+    (Typ.shape (Value.typ l))
+
+let test_nn_strided_shapes () =
+  let t = Nn_builder.create ~name:"strided" ~input_shape:[ 3; 9; 9 ] () in
+  let c = Nn_builder.conv t ~out_channels:2 ~kernel:3 ~stride:2 ~pad:1 in
+  check (Alcotest.list Alcotest.int) "strided conv shape" [ 2; 5; 5 ]
+    (Typ.shape (Value.typ c))
+
+let test_nn_macs () =
+  let t = Nn_builder.create ~name:"macs" ~input_shape:[ 2; 4; 4 ] () in
+  let c = Nn_builder.conv t ~out_channels:3 ~kernel:3 ~stride:1 ~pad:1 in
+  let conv_op = Option.get (Value.defining_op c) in
+  (* 3 out channels x 4x4 output x 2 in channels x 3x3 kernel *)
+  checki "conv macs" (3 * 4 * 4 * 2 * 3 * 3) (Nn.macs conv_op);
+  let l = Nn_builder.linear t ~out_features:5 in
+  ignore (Nn_builder.flatten t);
+  ignore l;
+  let t2 = Nn_builder.create ~name:"macs2" ~input_shape:[ 8 ] () in
+  let l2 = Nn_builder.linear t2 ~out_features:5 in
+  checki "linear macs" 40 (Nn.macs (Option.get (Value.defining_op l2)))
+
+(* ---- HIDA dialect ---- *)
+
+let test_buffer_attrs () =
+  let _m, f =
+    with_func (fun bld _x ->
+        let b = Hida_d.buffer ~depth:3 bld ~shape:[ 8; 8 ] ~elem:I16 in
+        let bop = Option.get (Value.defining_op b) in
+        checki "depth" 3 (Hida_d.buffer_depth bop);
+        checkb "onchip default" (Hida_d.buffer_placement bop = Hida_d.On_chip);
+        checki "default banks" 1 (Hida_d.bank_count bop);
+        Hida_d.set_partition bop
+          ~kinds:[ Hida_d.P_cyclic; Hida_d.P_block ]
+          ~factors:[ 4; 2 ];
+        checki "bank count" 8 (Hida_d.bank_count bop);
+        Hida_d.set_buffer_placement bop Hida_d.External;
+        checkb "placement set" (Hida_d.buffer_placement bop = Hida_d.External))
+  in
+  ignore f
+
+let test_node_effects () =
+  let _m, f =
+    with_func (fun bld _x ->
+        let a = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+        let b = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+        let node = Hida_d.node ~ro:[ a ] ~rw:[ b ] () in
+        checki "ro count" 1 (Hida_d.ro_count node);
+        checkb "arg 0 read-only" (Hida_d.operand_effect node 0 = `Read_only);
+        checkb "arg 1 read-write" (Hida_d.operand_effect node 1 = `Read_write);
+        checki "block args mirror operands" 2 (Block.num_args (Hida_d.node_block node)))
+  in
+  ignore f
+
+let test_add_operand () =
+  let _m, f =
+    with_func (fun bld _x ->
+        let a = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+        let b = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+        let c = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+        let node = Hida_d.node ~ro:[ a ] ~rw:[ b ] () in
+        let arg = Hida_d.add_operand ~effect:`Read_only node c in
+        checki "ro count bumped" 2 (Hida_d.ro_count node);
+        checki "three operands" 3 (Op.num_operands node);
+        checkb "new arg aligned"
+          (Value.equal (Hida_d.node_arg node 1) arg);
+        (* Effects must stay consistent for the original operands. *)
+        checkb "b still RW" (Hida_d.operand_effect node 2 = `Read_write))
+  in
+  ignore f
+
+let test_stream_roundtrip () =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"s" ~inputs:[] ~outputs:[ F32 ] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let s = Hida_d.stream ~depth:4 bld ~elem:F32 in
+  Hida_d.stream_write bld s (Arith.const_float bld 2.5);
+  Hida_d.stream_write bld s (Arith.const_float bld 3.5);
+  let v1 = Hida_d.stream_read bld s in
+  let v2 = Hida_d.stream_read bld s in
+  let sum = Arith.addf bld v1 v2 in
+  Func_d.return bld [ sum ];
+  match Interp.run_func f ~args:[] with
+  | [ Interp.Scalar s ] ->
+      checkb "fifo order" (Float.abs (Interp.scalar_to_float s -. 6.) < 1e-6)
+  | _ -> Alcotest.fail "unexpected result"
+
+let tests =
+  [
+    Alcotest.test_case "loop basics" `Quick test_loop_basics;
+    Alcotest.test_case "loop bands" `Quick test_loop_band;
+    Alcotest.test_case "directives" `Quick test_directives;
+    Alcotest.test_case "unroll transform semantics" `Quick test_unroll_transform_semantics;
+    Alcotest.test_case "unroll transform structure" `Quick test_unroll_transform_structure;
+    Alcotest.test_case "tile transform semantics" `Quick test_tile_transform_semantics;
+    Alcotest.test_case "arith classification" `Quick test_classify;
+    Alcotest.test_case "nn shape inference" `Quick test_nn_shapes;
+    Alcotest.test_case "nn strided shapes" `Quick test_nn_strided_shapes;
+    Alcotest.test_case "nn mac counts" `Quick test_nn_macs;
+    Alcotest.test_case "buffer attributes" `Quick test_buffer_attrs;
+    Alcotest.test_case "node effects" `Quick test_node_effects;
+    Alcotest.test_case "add_operand keeps groups aligned" `Quick test_add_operand;
+    Alcotest.test_case "stream FIFO semantics" `Quick test_stream_roundtrip;
+  ]

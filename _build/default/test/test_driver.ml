@@ -1,0 +1,180 @@
+(* End-to-end driver tests: full pipelines on both paths, mode ordering,
+   resource-constrained fitting, and baseline behaviours. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Hida_baselines
+open Helpers
+
+let test_end_to_end_memref () =
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  let rep = Driver.run_memref ~device:Device.zu3eg f in
+  Verifier.verify_exn f;
+  checkb "positive throughput" (rep.Driver.estimate.Qor.d_throughput > 0.);
+  checkb "compile time recorded" (rep.Driver.compile_seconds >= 0.);
+  checkb "pass timing recorded" (List.length rep.Driver.pass_timing > 3)
+
+let test_end_to_end_nn () =
+  let _m, f = Models.lenet ~scale:0.5 () in
+  let rep = Driver.run_nn ~device:Device.pynq_z2 f in
+  Verifier.verify_exn f;
+  checkb "schedule exists"
+    (List.length (Walk.collect f ~pred:Hida_d.is_schedule) = 1);
+  checkb "positive throughput" (rep.Driver.estimate.Qor.d_throughput > 0.)
+
+let test_full_pipeline_preserves_semantics () =
+  List.iter
+    (fun (name, build, path) ->
+      checkb
+        (name ^ " full pipeline preserves semantics")
+        (preserves_semantics
+           ~build
+           ~transform:(fun f ->
+             let opts =
+               { Driver.default with max_parallel_factor = 4; verify_each = true }
+             in
+             match path with
+             | `Nn -> ignore (Driver.compile_nn ~opts f)
+             | `Memref -> ignore (Driver.compile_memref ~opts f))
+           ()))
+    [
+      ("lenet", (fun () -> Models.lenet ~scale:0.4 ()), `Nn);
+      ("resnet-mini", (fun () -> Models.resnet18 ~scale:0.05 ()), `Nn);
+      ("mobilenet-mini", (fun () -> Models.mobilenet ~scale:0.04 ()), `Nn);
+      ("mlp-mini", (fun () -> Models.mlp ~scale:0.05 ()), `Nn);
+      ("listing1", (fun () -> Listing1.build ()), `Memref);
+      ("correlation", (fun () -> Polybench.k_correlation ~scale:0.06 ()), `Memref);
+      ("3mm", (fun () -> Polybench.k_3mm ~scale:0.06 ()), `Memref);
+    ]
+
+let test_mode_ordering () =
+  (* IA+CA must be at least as good as the naive mode on the fitted
+     device. *)
+  let run mode =
+    (Driver.fit
+       ~opts:{ Driver.default with mode }
+       ~device:Device.pynq_z2 ~path:`Nn
+       (fun () -> Models.lenet ()))
+      .Driver.estimate.Qor.d_throughput
+  in
+  checkb "IA+CA >= naive under resource constraints"
+    (run Parallelize.ia_ca >= run Parallelize.naive *. 0.99)
+
+let test_fit_respects_device () =
+  let rep =
+    Driver.fit ~device:Device.pynq_z2 ~path:`Nn (fun () -> Models.lenet ())
+  in
+  checkb "fitted design fits"
+    (Resource.fits Device.pynq_z2 rep.Driver.estimate.Qor.d_resource)
+
+let test_vitis_baseline () =
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  let est, _ = Vitis.run ~device:Device.zu3eg f in
+  let _m2, f2 = Polybench.k_2mm ~scale:0.1 () in
+  let hida = Driver.run_memref ~device:Device.zu3eg f2 in
+  checkb "no unrolling in Vitis designs"
+    (List.for_all
+       (fun l -> Affine_d.unroll_factor l = 1)
+       (Walk.collect f ~pred:Affine_d.is_for));
+  checkb "HIDA outperforms Vitis"
+    (hida.Driver.estimate.Qor.d_throughput > est.Qor.d_throughput)
+
+let test_scalehls_capability () =
+  let _m, zf = Models.zfnet () in
+  checkb "zfnet rejected (irregular sizes)" (not (Scalehls.supports zf));
+  let _m, yolo = Models.yolo () in
+  checkb "yolo rejected (high resolution)" (not (Scalehls.supports yolo));
+  let _m, rn = Models.resnet18 () in
+  checkb "resnet supported" (Scalehls.supports rn);
+  let _m, mlp = Models.mlp () in
+  checkb "mlp supported" (Scalehls.supports mlp)
+
+let test_dnnbuilder_capability () =
+  let _m, rn = Models.resnet18 () in
+  checkb "resnet rejected (shortcuts)" (not (Dnnbuilder.supports rn));
+  let _m, mb = Models.mobilenet () in
+  checkb "mobilenet rejected (depthwise)" (not (Dnnbuilder.supports mb));
+  let _m, mlp = Models.mlp () in
+  checkb "mlp rejected (no conv)" (not (Dnnbuilder.supports mlp));
+  let _m, vgg = Models.vgg16 ~scale:0.2 () in
+  checkb "vgg supported" (Dnnbuilder.supports vgg)
+
+let test_dnnbuilder_model () =
+  let _m, vgg = Models.vgg16 ~scale:0.25 () in
+  let r = Dnnbuilder.run ~device:Device.vu9p_slr vgg in
+  checkb "positive throughput" (r.Dnnbuilder.throughput > 0.);
+  checkb "dsp within device" (r.Dnnbuilder.dsp_used <= Device.vu9p_slr.Device.dsps);
+  checkb "efficiency below 1" (r.Dnnbuilder.dsp_efficiency <= 1.)
+
+let test_soff_constants () =
+  checkb "2mm ported" (Soff.throughput "2mm" = Some 30.67);
+  checkb "3mm absent" (Soff.throughput "3mm" = None)
+
+let test_scalehls_memory_blowup () =
+  (* Fig 9: ScaleHLS keeps everything on chip. *)
+  let hida =
+    Driver.fit ~device:Device.vu9p_slr ~path:`Nn (fun () -> Models.mlp ())
+  in
+  let sh = Scalehls.run_nn ~device:Device.vu9p_slr (fun () -> Models.mlp ()) in
+  checkb "ScaleHLS uses far more memory"
+    (sh.Driver.estimate.Qor.d_resource.Resource.bram18
+    > 10 * max 1 hida.Driver.estimate.Qor.d_resource.Resource.bram18)
+
+let test_pass_manager_verifies () =
+  (* verify_each must catch a pass that corrupts the IR. *)
+  let _m, f = two_stage_kernel () in
+  let mgr = Pass.manager ~verify_each:true () in
+  Pass.add mgr
+    (Pass.make ~name:"corrupt" (fun root ->
+         (* Move a constant after its use to break dominance. *)
+         match Walk.collect root ~pred:Arith.is_constant with
+         | c :: _ ->
+             let blk = Option.get (Op.parent c) in
+             Block.remove blk c;
+             Block.append blk c
+         | [] -> ()));
+  checkb "corruption detected"
+    (try
+       Pass.run mgr f;
+       false
+     with Failure _ -> true)
+
+let test_emitter_output () =
+  let _m, f = Models.lenet ~scale:0.5 () in
+  ignore (Driver.run_nn ~device:Device.pynq_z2 f);
+  let cpp = Hida_emitter.Emit_cpp.emit_func f in
+  checkb "dataflow pragma" (contains ~sub:"#pragma HLS DATAFLOW" cpp);
+  checkb "pipeline pragma" (contains ~sub:"#pragma HLS PIPELINE" cpp);
+  checkb "partition pragma" (contains ~sub:"ARRAY_PARTITION" cpp);
+  checkb "axi interface" (contains ~sub:"INTERFACE m_axi" cpp);
+  checkb "top function" (contains ~sub:"void lenet" cpp);
+  checkb "loops emitted" (contains ~sub:"for (int" cpp)
+
+let test_emitter_memref_kernel () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  ignore (Driver.run_memref ~device:Device.zu3eg f);
+  let cpp = Hida_emitter.Emit_cpp.emit_func f in
+  checkb "kernel name" (contains ~sub:"kernel_2mm" cpp);
+  checkb "unroll pragma present" (contains ~sub:"UNROLL" cpp)
+
+let tests =
+  [
+    Alcotest.test_case "end-to-end memref" `Quick test_end_to_end_memref;
+    Alcotest.test_case "end-to-end nn" `Quick test_end_to_end_nn;
+    Alcotest.test_case "full pipeline semantics" `Slow test_full_pipeline_preserves_semantics;
+    Alcotest.test_case "mode ordering" `Quick test_mode_ordering;
+    Alcotest.test_case "fit respects device" `Quick test_fit_respects_device;
+    Alcotest.test_case "vitis baseline" `Quick test_vitis_baseline;
+    Alcotest.test_case "scalehls capability matrix" `Quick test_scalehls_capability;
+    Alcotest.test_case "dnnbuilder capability matrix" `Quick test_dnnbuilder_capability;
+    Alcotest.test_case "dnnbuilder analytic model" `Quick test_dnnbuilder_model;
+    Alcotest.test_case "soff ported constants" `Quick test_soff_constants;
+    Alcotest.test_case "scalehls memory blow-up (Fig 9)" `Quick test_scalehls_memory_blowup;
+    Alcotest.test_case "pass manager verification" `Quick test_pass_manager_verifies;
+    Alcotest.test_case "emitter nn design" `Quick test_emitter_output;
+    Alcotest.test_case "emitter kernel design" `Quick test_emitter_memref_kernel;
+  ]

@@ -1,0 +1,134 @@
+(* Emitter tests, including full C-simulation: the emitted HLS C++ is
+   compiled with the host compiler against stub Vitis headers, run on
+   the interpreter's deterministic inputs, and its outputs are compared
+   against the reference interpreter — the role of HLS C simulation in
+   the paper's flow. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Hida_emitter
+open Helpers
+
+let have_gxx = lazy (Sys.command "which g++ > /dev/null 2>&1" = 0)
+
+(* Interpreter reference: flattened contents of all memref arguments
+   after running the function. *)
+let interp_reference func =
+  let args = Interp.fresh_args func in
+  ignore (Interp.run_func func ~args);
+  List.concat_map
+    (function
+      | Interp.Buf b ->
+          Array.to_list (Array.map Interp.scalar_to_float b.Interp.data)
+      | _ -> [])
+    args
+
+let csim func =
+  let dir =
+    Filename.temp_file "hida_csim" ""
+    |> fun f ->
+    Sys.remove f;
+    Unix.mkdir f 0o755;
+    f
+  in
+  let cpp = Testbench.write_project ~dir func in
+  let exe = Filename.concat dir "design" in
+  let cmd =
+    Printf.sprintf "g++ -O1 -I%s -o %s %s 2> %s/gcc.log" dir exe cpp dir
+  in
+  if Sys.command cmd <> 0 then
+    failwith
+      (Printf.sprintf "g++ failed; see %s/gcc.log and %s" dir cpp);
+  let ic = Unix.open_process_in exe in
+  let out = ref [] in
+  (try
+     while true do
+       out := float_of_string (input_line ic) :: !out
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  List.rev !out
+
+let csim_matches_interp name build transform =
+  if not (Lazy.force have_gxx) then ()
+  else begin
+    let _m, f = build () in
+    transform f;
+    Verifier.verify_exn f;
+    let reference = interp_reference f in
+    let simulated = csim f in
+    checkb
+      (name ^ ": C simulation matches the interpreter")
+      (floats_close ~tol:1e-3 reference simulated)
+  end
+
+let test_csim_plain () =
+  (* Unoptimized designs straight from the front-end. *)
+  csim_matches_interp "two_stage" (fun () -> two_stage_kernel ~n:16 ()) (fun _ -> ());
+  csim_matches_interp "fork_join" (fun () -> fork_join_kernel ()) (fun _ -> ())
+
+let test_csim_optimized () =
+  (* Fully optimized dataflow designs, pragmas and all. *)
+  let compile f =
+    ignore
+      (Driver.run_memref
+         ~opts:{ Driver.default with max_parallel_factor = 4 }
+         ~device:Device.zu3eg f)
+  in
+  csim_matches_interp "2mm" (fun () -> Polybench.k_2mm ~scale:0.07 ()) compile;
+  csim_matches_interp "atax" (fun () -> Polybench.k_atax ~scale:0.05 ()) compile;
+  csim_matches_interp "jacobi-2d" (fun () -> Polybench.k_jacobi_2d ~scale:0.15 ())
+    compile;
+  csim_matches_interp "listing1" (fun () -> Listing1.build ()) compile
+
+let test_csim_multi_producer () =
+  csim_matches_interp "multi_producer"
+    (fun () -> multi_producer_kernel ())
+    (fun f ->
+      Construct.run f;
+      Lowering.lower_memref_func f;
+      Multi_producer.run f)
+
+let test_testbench_structure () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  let tb = Testbench.emit_testbench f in
+  checkb "has main" (contains ~sub:"int main()" tb);
+  checkb "fills deterministically" (contains ~sub:"pseudo_weight" tb);
+  checkb "calls the kernel" (contains ~sub:"kernel_2mm(" tb);
+  checkb "prints outputs" (contains ~sub:"printf" tb);
+  checkb "stub headers provided" (List.length Testbench.stub_headers = 2)
+
+let test_emitted_pragmas_reflect_design () =
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  ignore
+    (Driver.run_memref
+       ~opts:{ Driver.default with max_parallel_factor = 8 }
+       ~device:Device.zu3eg f);
+  let cpp = Emit_cpp.emit_func f in
+  (* Every unrolled loop in the IR must appear as an UNROLL pragma. *)
+  let unrolled =
+    Walk.count f ~pred:(fun op ->
+        Affine_d.is_for op && Affine_d.unroll_factor op > 1)
+  in
+  let pragma_count =
+    List.length
+      (List.filter
+         (fun l -> Helpers.contains ~sub:"UNROLL factor=" l)
+         (String.split_on_char '\n' cpp))
+  in
+  checki "unroll pragmas match directives" unrolled pragma_count;
+  checkb "partition pragmas present" (contains ~sub:"ARRAY_PARTITION" cpp)
+
+let tests =
+  [
+    Alcotest.test_case "testbench structure" `Quick test_testbench_structure;
+    Alcotest.test_case "pragmas reflect directives" `Quick test_emitted_pragmas_reflect_design;
+    Alcotest.test_case "C-sim: front-end designs" `Slow test_csim_plain;
+    Alcotest.test_case "C-sim: optimized dataflow designs" `Slow test_csim_optimized;
+    Alcotest.test_case "C-sim: multi-producer elimination" `Slow test_csim_multi_producer;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the QoR estimator: devices, resource arithmetic, buffer
+   memory costing, access analysis and first-order performance trends. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let test_devices () =
+  checkb "pynq smaller than vu9p" (Device.pynq_z2.Device.dsps < Device.vu9p_slr.Device.dsps);
+  checkb "lookup" (Device.by_name "zu3eg" == Device.zu3eg);
+  checkb "unknown device rejected"
+    (try
+       ignore (Device.by_name "nope");
+       false
+     with Invalid_argument _ -> true);
+  let constrained = Device.constrain ~dsps:100 Device.vu9p_slr in
+  checki "constrain dsps" 100 constrained.Device.dsps
+
+let test_resource_arith () =
+  let a = Resource.make ~luts:10 ~dsps:2 () in
+  let b = Resource.make ~luts:5 ~dsps:3 ~bram18:7 () in
+  let s = Resource.add a b in
+  checki "luts add" 15 s.Resource.luts;
+  checki "dsps add" 5 s.Resource.dsps;
+  checki "bram add" 7 s.Resource.bram18;
+  let d = Device.constrain ~luts:20 ~dsps:10 ~bram18:10 Device.zu3eg in
+  checkb "fits" (Resource.fits d s);
+  checkb "not fits" (not (Resource.fits d (Resource.scale 3 s)));
+  checkb "utilization in [0,1] when fitting" (Resource.utilization d s <= 1.)
+
+let buffer_with ?depth ?placement ~shape ~elem () =
+  let op = Hida_d.buffer_op ?depth ?placement ~shape ~elem () in
+  op
+
+let test_buffer_brams () =
+  (* 1024 x f32 x 2 stages = 64Kb -> 4 BRAM18. *)
+  let b = buffer_with ~shape:[ 1024 ] ~elem:F32 () in
+  checki "base brams" 4 (Qor.buffer_brams b);
+  (* Partitioning into 8 banks of 8Kb each: one BRAM per bank. *)
+  Hida_d.set_partition b ~kinds:[ Hida_d.P_cyclic ] ~factors:[ 8 ];
+  checki "partitioned brams" 8 (Qor.buffer_brams b);
+  (* Over-partitioning into tiny banks maps to LUTRAM: zero BRAM. *)
+  let small = buffer_with ~depth:1 ~shape:[ 64 ] ~elem:I16 () in
+  Hida_d.set_partition small ~kinds:[ Hida_d.P_cyclic ] ~factors:[ 8 ];
+  checki "lutram banks" 0 (Qor.buffer_brams small);
+  checkb "lutram charged as luts" (Qor.buffer_lutram small > 0);
+  (* External buffers cost nothing on chip. *)
+  let ext = buffer_with ~placement:Hida_d.External ~shape:[ 4096 ] ~elem:F32 () in
+  checkb "external free" (Resource.fits Device.zu3eg (Qor.buffer_resource ext)
+                          && (Qor.buffer_resource ext).Resource.bram18 = 0)
+
+let test_resident_rows_discount () =
+  let full = buffer_with ~depth:1 ~shape:[ 16; 64; 64 ] ~elem:F32 () in
+  let windowed = buffer_with ~depth:1 ~shape:[ 16; 64; 64 ] ~elem:F32 () in
+  Op.set_attr windowed "resident_rows" (A_int 4);
+  checkb "window smaller than full"
+    (Qor.buffer_brams windowed < Qor.buffer_brams full)
+
+let test_access_analysis () =
+  let _m, f = Listing1.build () in
+  let accesses = Qor.collect_accesses f in
+  (* The strided read of A: find a load with coefficient 2 on dim 0. *)
+  let strided =
+    List.exists
+      (fun a ->
+        (not a.Qor.a_store)
+        && Array.length a.Qor.a_dims > 0
+        && List.exists (fun (_, c) -> c = 2) a.Qor.a_dims.(0))
+      accesses
+  in
+  checkb "stride-2 access detected" strided
+
+let test_access_through_arith () =
+  (* Indices computed with addi/muli must still be analyzable. *)
+  let _m, f = Polybench.k_seidel_2d ~scale:0.1 ~tsteps:1 () in
+  let accesses = Qor.collect_accesses f in
+  let with_offset =
+    List.exists
+      (fun a -> Array.exists (fun c -> c <> 0) a.Qor.a_consts)
+      accesses
+  in
+  checkb "constant offsets recovered" with_offset
+
+let test_distinct_banks () =
+  checki "unit stride full parallel" 4 (Qor.distinct_banks ~u:4 ~c:1 ~p:4);
+  checki "stride 2 on 4 banks conflicts" 2 (Qor.distinct_banks ~u:4 ~c:2 ~p:4);
+  checki "stride 2 on 8 banks ok" 4 (Qor.distinct_banks ~u:4 ~c:2 ~p:8);
+  checki "single bank" 1 (Qor.distinct_banks ~u:4 ~c:1 ~p:1)
+
+let estimate_at pf =
+  let _m, f = Polybench.k_2mm ~scale:0.25 () in
+  let opts = { Driver.default with max_parallel_factor = pf } in
+  (Driver.run_memref ~opts ~device:Device.zu3eg f).Driver.estimate
+
+let test_unroll_reduces_latency () =
+  let e1 = estimate_at 1 and e8 = estimate_at 8 in
+  checkb "more parallelism, lower interval" (e8.Qor.d_interval < e1.Qor.d_interval);
+  checkb "more parallelism, more dsps"
+    (e8.Qor.d_resource.Resource.dsps > e1.Qor.d_resource.Resource.dsps)
+
+let test_dataflow_beats_sequential () =
+  let _m, f1 = Polybench.k_2mm ~scale:0.25 () in
+  let df = Driver.run_memref ~device:Device.zu3eg f1 in
+  let _m, f2 = Polybench.k_2mm ~scale:0.25 () in
+  let seq =
+    Driver.run_memref
+      ~opts:{ Driver.default with enable_dataflow = false; max_parallel_factor = 1 }
+      ~device:Device.zu3eg f2
+  in
+  checkb "dataflow interval below sequential"
+    (df.Driver.estimate.Qor.d_interval < seq.Driver.estimate.Qor.d_interval)
+
+let test_tile_size_vs_transfer () =
+  (* Larger tiles give longer bursts and better throughput on
+     external-memory-bound designs (Fig. 10 trend). *)
+  let run tile =
+    let _m, f = Models.mlp ~scale:0.5 () in
+    let opts = { Driver.default with tile_size = tile; max_parallel_factor = 16 } in
+    (Driver.run_nn ~opts ~device:Device.vu9p_slr f).Driver.estimate.Qor.d_throughput
+  in
+  checkb "tile 32 at least as fast as tile 2" (run 32 >= run 2)
+
+let test_pingpong_matters () =
+  (* Without ping-pong buffers the two 2mm stages serialize. *)
+  let run pingpong =
+    let _m, f = Polybench.k_2mm ~scale:0.25 () in
+    let opts = { Driver.default with pingpong; max_parallel_factor = 8 } in
+    (Driver.run_memref ~opts ~device:Device.zu3eg f).Driver.estimate.Qor.d_interval
+  in
+  checkb "single-stage buffers serialize" (run false >= 2 * run true * 9 / 10)
+
+let test_estimate_func_efficiency_bounds () =
+  let _m, f = Models.lenet ~scale:0.5 () in
+  let rep = Driver.run_nn ~device:Device.pynq_z2 f in
+  let e = rep.Driver.estimate in
+  checkb "throughput positive" (e.Qor.d_throughput > 0.);
+  checkb "efficiency within sane bounds"
+    (e.Qor.d_dsp_efficiency >= 0. && e.Qor.d_dsp_efficiency <= 1.5);
+  checkb "macs counted" (e.Qor.d_macs > 0)
+
+(* Property: the analytic node latency is monotone in the unroll factor
+   of the primary loop. *)
+let prop_latency_monotone =
+  QCheck2.Test.make ~name:"node latency monotone in unroll" ~count:20
+    QCheck2.Gen.(tup2 (oneofl [ 1; 2; 4; 8 ]) (oneofl [ 1; 2; 4; 8 ]))
+    (fun (u1, u2) ->
+      let at u =
+        let _m, f = two_stage_kernel ~n:16 () in
+        List.iter
+          (fun l -> Affine_d.set_unroll l u)
+          (Affine_d.outermost_loops f);
+        let e = Qor.estimate_func Device.zu3eg f in
+        e.Qor.d_interval
+      in
+      if u1 <= u2 then at u1 >= at u2 else at u1 <= at u2)
+
+let tests =
+  [
+    Alcotest.test_case "device models" `Quick test_devices;
+    Alcotest.test_case "resource arithmetic" `Quick test_resource_arith;
+    Alcotest.test_case "buffer BRAM costing" `Quick test_buffer_brams;
+    Alcotest.test_case "resident window discount" `Quick test_resident_rows_discount;
+    Alcotest.test_case "access analysis: strides" `Quick test_access_analysis;
+    Alcotest.test_case "access analysis: index arithmetic" `Quick test_access_through_arith;
+    Alcotest.test_case "cyclic bank conflicts" `Quick test_distinct_banks;
+    Alcotest.test_case "unroll reduces latency" `Quick test_unroll_reduces_latency;
+    Alcotest.test_case "dataflow beats sequential" `Quick test_dataflow_beats_sequential;
+    Alcotest.test_case "tile size vs transfer" `Quick test_tile_size_vs_transfer;
+    Alcotest.test_case "ping-pong matters" `Quick test_pingpong_matters;
+    Alcotest.test_case "design estimate sanity" `Quick test_estimate_func_efficiency_bounds;
+    QCheck_alcotest.to_alcotest prop_latency_monotone;
+  ]

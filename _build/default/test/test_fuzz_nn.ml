@@ -1,0 +1,131 @@
+(* Property tests over randomly generated CNNs: the full PyTorch-path
+   pipeline (construction, fusion, lowering, multi-producer elimination,
+   balancing, parallelization, partitioning, streamization) must
+   preserve the network function for arbitrary layer sequences,
+   including stride-2 convolutions, depthwise layers, pooling and
+   residual shortcuts. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+type layer =
+  | L_conv of int * int * int * int (* out_ch, kernel, stride, pad *)
+  | L_dwconv
+  | L_relu
+  | L_pool
+  | L_shortcut_open
+  | L_shortcut_close
+
+let gen_layers =
+  let open QCheck2.Gen in
+  let layer =
+    frequency
+      [
+        (4, map4 (fun c k s p -> L_conv (c, k, s, p))
+             (int_range 2 4)
+             (oneofl [ 1; 3 ])
+             (oneofl [ 1; 1; 2 ])
+             (oneofl [ 0; 1 ]));
+        (2, return L_relu);
+        (1, return L_dwconv);
+        (1, return L_pool);
+      ]
+  in
+  let* n = int_range 2 5 in
+  let* layers = list_size (return n) layer in
+  let* with_residual = bool in
+  return (layers, with_residual)
+
+let spatial t =
+  match Typ.shape (Value.typ (Nn_builder.current t)) with
+  | [ _; h; w ] -> min h w
+  | _ -> 0
+
+let build_random (layers, with_residual) () =
+  let t = Nn_builder.create ~name:"fuzz" ~input_shape:[ 2; 10; 10 ] () in
+  let apply layer =
+    match layer with
+    | L_conv (c, k, s, p) ->
+        (* Keep the output non-degenerate. *)
+        if Nn.pool_extent ~in_size:(spatial t + (2 * p)) ~kernel:k ~stride:s > 0
+        then ignore (Nn_builder.conv t ~out_channels:c ~kernel:k ~stride:s ~pad:p)
+    | L_dwconv ->
+        if spatial t >= 3 then ignore (Nn_builder.dwconv t ~kernel:3 ~stride:1 ~pad:1)
+    | L_relu -> ignore (Nn_builder.relu t)
+    | L_pool ->
+        if spatial t >= 2 then ignore (Nn_builder.maxpool t ~kernel:2 ~stride:2)
+    | L_shortcut_open | L_shortcut_close -> ()
+  in
+  (* Optionally wrap the middle layers in a residual connection: the
+     shortcut is legal when the wrapped layers preserve the shape, so we
+     use a shape-preserving conv+relu pair. *)
+  if with_residual && spatial t >= 3 then begin
+    let c = Nn_builder.channels t in
+    let saved = Nn_builder.current t in
+    ignore (Nn_builder.conv_relu t ~out_channels:c ~kernel:3 ~stride:1 ~pad:1);
+    ignore (Nn_builder.conv t ~out_channels:c ~kernel:3 ~stride:1 ~pad:1);
+    ignore (Nn_builder.add t (Nn_builder.current t) saved)
+  end;
+  List.iter apply layers;
+  ignore (Nn_builder.flatten t);
+  ignore (Nn_builder.linear t ~out_features:3);
+  Nn_builder.finish t
+
+let prop_pipeline =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"full nn pipeline preserves random CNNs" ~count:20
+       gen_layers
+       (fun spec ->
+         preserves_semantics
+           ~build:(build_random spec)
+           ~transform:(fun f ->
+             ignore
+               (Driver.compile_nn
+                  ~opts:
+                    {
+                      Driver.default with
+                      max_parallel_factor = 4;
+                      verify_each = true;
+                    }
+                  f))
+           ()))
+
+let prop_modes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"every parallelization mode preserves random CNNs"
+       ~count:8 gen_layers
+       (fun spec ->
+         List.for_all
+           (fun mode ->
+             preserves_semantics
+               ~build:(build_random spec)
+               ~transform:(fun f ->
+                 ignore
+                   (Driver.compile_nn
+                      ~opts:{ Driver.default with mode; max_parallel_factor = 8 }
+                      f))
+               ())
+           [ Parallelize.ia_ca; Parallelize.naive ]))
+
+let prop_estimates_sane =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"estimates stay sane on random CNNs" ~count:10
+       gen_layers
+       (fun spec ->
+         let _m, f = build_random spec () in
+         let rep =
+           Driver.run_nn
+             ~opts:{ Driver.default with max_parallel_factor = 4 }
+             ~device:Device.zu3eg f
+         in
+         let e = rep.Driver.estimate in
+         e.Qor.d_interval > 0 && e.Qor.d_latency >= e.Qor.d_interval
+         && e.Qor.d_throughput > 0.
+         && e.Qor.d_resource.Resource.dsps >= 0))
+
+let tests = [ prop_pipeline; prop_modes; prop_estimates_sane ]

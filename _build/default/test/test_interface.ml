@@ -1,0 +1,82 @@
+(* Tests for module-interface planning (port/bundle/pack). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let test_assignment_balances () =
+  (* Three values of traffic 8/4/4 over two bundles: LPT puts the big
+     one alone. *)
+  let mk bits =
+    let op = Hida_d.buffer_op ~shape:[ bits / 32 ] ~elem:F32 () in
+    Op.result op 0
+  in
+  let values = [ mk 256; mk 128; mk 128 ] in
+  let plan = Interface.assign ~num_bundles:2 values in
+  let loads = List.map snd plan.Interface.p_traffic in
+  checkb "bundles balanced"
+    (List.fold_left max 0 loads <= 256 && List.fold_left min max_int loads >= 256)
+
+let test_run_on_model () =
+  let _m, f = Models.lenet ~scale:0.5 () in
+  let rep = Driver.run_nn ~device:Device.pynq_z2 f in
+  ignore rep;
+  let bundles = Walk.collect f ~pred:(fun op -> Op.name op = "hida.bundle") in
+  checkb "bundles created" (List.length bundles >= 1);
+  checkb "at most one bundle per AXI port"
+    (List.length bundles <= Device.pynq_z2.Device.axi_ports);
+  (* Every weight port carries an assignment. *)
+  List.iter
+    (fun p -> checkb "port assigned" (Op.int_attr p "bundle" <> None))
+    (Walk.collect f ~pred:Hida_d.is_port);
+  (* Spilled buffers are packed. *)
+  let spilled =
+    List.length
+      (List.filter
+         (fun b -> Hida_d.buffer_placement b = Hida_d.External)
+         (Walk.collect f ~pred:Hida_d.is_buffer))
+  in
+  let packs = Walk.count f ~pred:(fun op -> Op.name op = "hida.pack") in
+  checki "one pack per spilled buffer" spilled packs
+
+let test_bandwidth_bound () =
+  let _m, f = Models.mlp ~scale:0.25 () in
+  ignore (Driver.run_nn ~device:Device.vu9p_slr f);
+  let plan =
+    Interface.assign ~num_bundles:Device.vu9p_slr.Device.axi_ports
+      (Interface.external_values f)
+  in
+  let bound = Interface.bandwidth_bound ~device:Device.vu9p_slr plan in
+  checkb "bound positive" (bound > 0);
+  (* Total traffic includes the weights, so the bound reflects them. *)
+  checkb "bound covers weight streaming" (bound >= 100)
+
+let test_emitter_uses_bundles () =
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  ignore (Driver.run_memref ~device:Device.zu3eg f);
+  let cpp = Hida_emitter.Emit_cpp.emit_func f in
+  checkb "interface pragma uses planned bundles"
+    (contains ~sub:"bundle=gmem" cpp)
+
+let test_plan_is_semantics_neutral () =
+  checkb "interface planning preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> two_stage_kernel ~n:8 ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Lowering.lower_memref_func f;
+         ignore (Interface.run f))
+       ())
+
+let tests =
+  [
+    Alcotest.test_case "LPT assignment balances" `Quick test_assignment_balances;
+    Alcotest.test_case "planning on a model" `Quick test_run_on_model;
+    Alcotest.test_case "bandwidth bound" `Quick test_bandwidth_bound;
+    Alcotest.test_case "emitter uses bundles" `Quick test_emitter_uses_bundles;
+    Alcotest.test_case "semantics neutral" `Quick test_plan_is_semantics_neutral;
+  ]

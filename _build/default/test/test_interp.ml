@@ -1,0 +1,188 @@
+(* Tests for the reference interpreter: scalar arithmetic, loops,
+   mapped accesses, nn op semantics against hand-computed values, and
+   determinism of generated inputs. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_frontend
+open Helpers
+
+let scalar_func body =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"s" ~inputs:[] ~outputs:[ F32 ] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let r = body bld in
+  Func_d.return bld [ r ];
+  ignore m;
+  match Interp.run_func f ~args:[] with
+  | [ Interp.Scalar s ] -> Interp.scalar_to_float s
+  | _ -> Alcotest.fail "expected one scalar"
+
+let approx msg expected actual =
+  checkb (Printf.sprintf "%s (%g vs %g)" msg expected actual)
+    (Float.abs (expected -. actual) < 1e-5)
+
+let test_scalar_ops () =
+  approx "addf" 5.5 (scalar_func (fun b -> Arith.addf b (Arith.const_float b 2.) (Arith.const_float b 3.5)));
+  approx "subf" (-1.5) (scalar_func (fun b -> Arith.subf b (Arith.const_float b 2.) (Arith.const_float b 3.5)));
+  approx "mulf" 7. (scalar_func (fun b -> Arith.mulf b (Arith.const_float b 2.) (Arith.const_float b 3.5)));
+  approx "divf" 4. (scalar_func (fun b -> Arith.divf b (Arith.const_float b 8.) (Arith.const_float b 2.)));
+  approx "maxf" 3.5 (scalar_func (fun b -> Arith.maxf b (Arith.const_float b 2.) (Arith.const_float b 3.5)));
+  approx "sqrt" 3. (scalar_func (fun b -> Arith.sqrt b (Arith.const_float b 9.)));
+  approx "select true" 1.
+    (scalar_func (fun b ->
+         let c = Arith.cmpf b Arith.Lt (Arith.const_float b 1.) (Arith.const_float b 2.) in
+         Arith.select b c (Arith.const_float b 1.) (Arith.const_float b 0.)))
+
+let test_loop_accumulation () =
+  (* sum of 0..9 via a memref accumulator *)
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"sum" ~inputs:[] ~outputs:[ F32 ] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let acc = Memref_d.alloc bld ~shape:[ 1 ] ~elem:F32 in
+  let zero_i = Arith.const_index bld 0 in
+  Affine_d.store bld (Arith.const_float bld 0.) acc [ zero_i ];
+  ignore
+    (Affine_d.for_ bld ~upper:10 (fun b iv ->
+         let z = Arith.const_index b 0 in
+         let cur = Affine_d.load b acc [ z ] in
+         (* Convert the index to float via repeated add of 1.0 would be
+            tedious; instead accumulate constant 1.0 and multiply later. *)
+         ignore iv;
+         Affine_d.store b (Arith.addf b cur (Arith.const_float b 1.)) acc [ z ]));
+  let v = Affine_d.load bld acc [ zero_i ] in
+  Func_d.return bld [ v ];
+  match Interp.run_func f ~args:[] with
+  | [ Interp.Scalar s ] -> approx "ten iterations" 10. (Interp.scalar_to_float s)
+  | _ -> Alcotest.fail "expected scalar"
+
+let test_mapped_access () =
+  (* store with map (d0) -> (2*d0 + 1) into an 8-element buffer *)
+  let m = Func_d.module_op () in
+  let f =
+    Func_d.func m ~name:"mapped" ~inputs:[ Typ.memref ~shape:[ 8 ] ~elem:F32 ]
+      ~outputs:[]
+  in
+  let buf = Block.arg (Func_d.entry_block f) 0 in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let map =
+    Affine.make ~num_dims:1 ~num_syms:0
+      [ Affine.add (Affine.mul (Affine.dim 0) (Affine.const 2)) (Affine.const 1) ]
+  in
+  ignore
+    (Affine_d.for_ bld ~upper:4 (fun b iv ->
+         Affine_d.store_mapped b (Arith.const_float b 9.) buf ~map [ iv ]));
+  Func_d.return bld [];
+  let arg = Interp.Buf (Interp.make_buf ~shape:[ 8 ] ~elem:F32) in
+  ignore (Interp.run_func f ~args:[ arg ]);
+  match arg with
+  | Interp.Buf b ->
+      let vals = Array.map Interp.scalar_to_float b.Interp.data in
+      check (Alcotest.array (Alcotest.float 1e-6)) "odd slots written"
+        [| 0.; 9.; 0.; 9.; 0.; 9.; 0.; 9. |] vals
+  | _ -> assert false
+
+let test_conv_hand_computed () =
+  (* 1x2x2 input, 1 output channel, 2x2 kernel, no pad: output is the
+     dot product of input and kernel plus bias. *)
+  let m = Func_d.module_op () in
+  let f =
+    Func_d.func m ~name:"conv"
+      ~inputs:
+        [
+          Typ.memref ~shape:[ 1; 2; 2 ] ~elem:F32;
+          Typ.memref ~shape:[ 1; 1; 2; 2 ] ~elem:F32;
+          Typ.memref ~shape:[ 1 ] ~elem:F32;
+        ]
+      ~outputs:[ Typ.tensor ~shape:[ 1; 1; 1 ] ~elem:F32 ]
+  in
+  let e = Func_d.entry_block f in
+  let bld = Builder.at_end e in
+  let out =
+    Nn.conv2d bld ~input:(Block.arg e 0) ~weight:(Block.arg e 1)
+      ~bias:(Block.arg e 2) ~stride:1 ~pad:0
+  in
+  Func_d.return bld [ out ];
+  let mk shape vals =
+    let b = Interp.make_buf ~shape ~elem:F32 in
+    List.iteri (fun i v -> b.Interp.data.(i) <- Interp.F v) vals;
+    Interp.Buf b
+  in
+  let input = mk [ 1; 2; 2 ] [ 1.; 2.; 3.; 4. ] in
+  let weight = mk [ 1; 1; 2; 2 ] [ 0.5; -1.; 2.; 0.25 ] in
+  let bias = mk [ 1 ] [ 10. ] in
+  (match Interp.run_func f ~args:[ input; weight; bias ] with
+  | [ Interp.Buf b ] ->
+      approx "conv value" (10. +. 0.5 -. 2. +. 6. +. 1.)
+        (Interp.scalar_to_float b.Interp.data.(0))
+  | _ -> Alcotest.fail "expected buffer")
+
+let test_pool_hand_computed () =
+  let m = Func_d.module_op () in
+  let f =
+    Func_d.func m ~name:"pool"
+      ~inputs:[ Typ.memref ~shape:[ 1; 2; 2 ] ~elem:F32 ]
+      ~outputs:[ Typ.tensor ~shape:[ 1; 1; 1 ] ~elem:F32 ]
+  in
+  let e = Func_d.entry_block f in
+  let bld = Builder.at_end e in
+  let out = Nn.maxpool bld ~input:(Block.arg e 0) ~kernel:2 ~stride:2 in
+  Func_d.return bld [ out ];
+  let b = Interp.make_buf ~shape:[ 1; 2; 2 ] ~elem:F32 in
+  List.iteri (fun i v -> b.Interp.data.(i) <- Interp.F v) [ -3.; 7.; 2.; 1. ];
+  (match Interp.run_func f ~args:[ Interp.Buf b ] with
+  | [ Interp.Buf r ] -> approx "max" 7. (Interp.scalar_to_float r.Interp.data.(0))
+  | _ -> Alcotest.fail "expected buffer")
+
+let test_relu_negatives () =
+  let t = Nn_builder.create ~name:"r" ~input_shape:[ 4 ] () in
+  ignore (Nn_builder.linear t ~out_features:4);
+  ignore (Nn_builder.relu t);
+  let _m, f = Nn_builder.finish t in
+  match Interp.run_func f ~args:(Interp.fresh_args f) with
+  | [ Interp.Buf b ] ->
+      checkb "relu clamps"
+        (Array.for_all (fun s -> Interp.scalar_to_float s >= 0.) b.Interp.data)
+  | _ -> Alcotest.fail "expected buffer"
+
+let test_fresh_args_deterministic () =
+  let _m, f = mini_cnn () in
+  let a = run_all ~seed:7 f and b = run_all ~seed:7 f in
+  checkb "same seed, same outputs" (floats_close ~tol:1e-9 a b);
+  let c = run_all ~seed:8 f in
+  checkb "different seed, different outputs" (not (floats_close ~tol:1e-9 a c))
+
+let test_token_order () =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"tok" ~inputs:[] ~outputs:[] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let s = Hida_d.token_stream bld in
+  Hida_d.token_push bld s;
+  Hida_d.token_pop bld s;
+  Func_d.return bld [];
+  ignore (Interp.run_func f ~args:[]);
+  (* Popping an empty token stream must fail. *)
+  let f2 = Func_d.func m ~name:"tok2" ~inputs:[] ~outputs:[] in
+  let bld2 = Builder.at_end (Func_d.entry_block f2) in
+  let s2 = Hida_d.token_stream bld2 in
+  Hida_d.token_pop bld2 s2;
+  Func_d.return bld2 [];
+  checkb "empty pop fails"
+    (try
+       ignore (Interp.run_func f2 ~args:[]);
+       false
+     with Failure _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "scalar operations" `Quick test_scalar_ops;
+    Alcotest.test_case "loop accumulation" `Quick test_loop_accumulation;
+    Alcotest.test_case "mapped accesses" `Quick test_mapped_access;
+    Alcotest.test_case "conv2d hand-computed" `Quick test_conv_hand_computed;
+    Alcotest.test_case "maxpool hand-computed" `Quick test_pool_hand_computed;
+    Alcotest.test_case "relu clamps negatives" `Quick test_relu_negatives;
+    Alcotest.test_case "deterministic inputs" `Quick test_fresh_args_deterministic;
+    Alcotest.test_case "token stream ordering" `Quick test_token_order;
+  ]

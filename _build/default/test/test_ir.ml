@@ -1,0 +1,187 @@
+(* Tests for the core IR graph: construction, use lists, mutation
+   helpers, cloning, dominance and the verifier. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Helpers
+
+let make_func () =
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"f" ~inputs:[ Typ.memref ~shape:[ 4 ] ~elem:F32 ] ~outputs:[] in
+  (m, f)
+
+let test_op_construction () =
+  let op =
+    Op.create ~attrs:[ ("value", A_int 3) ] ~results:[ I32 ] "arith.constant"
+  in
+  checki "no operands" 0 (Op.num_operands op);
+  checki "one result" 1 (Op.num_results op);
+  checkb "result def points back"
+    (match (Op.result op 0).v_def with
+    | Def_op (o, 0) -> Op.equal o op
+    | _ -> false);
+  checki "attr read" 3 (Op.int_attr_exn op "value")
+
+let test_use_lists () =
+  let c = Op.create ~attrs:[ ("value", A_int 1) ] ~results:[ I32 ] "arith.constant" in
+  let v = Op.result c 0 in
+  let add = Op.create ~operands:[ v; v ] ~results:[ I32 ] "arith.addi" in
+  checki "two uses" 2 (Value.num_uses v);
+  let c2 = Op.create ~attrs:[ ("value", A_int 2) ] ~results:[ I32 ] "arith.constant" in
+  Op.set_operand add 0 (Op.result c2 0);
+  checki "one use after rewire" 1 (Value.num_uses v);
+  checki "new value gains use" 1 (Value.num_uses (Op.result c2 0));
+  Op.set_operands add [ v; v ];
+  checki "set_operands restores" 2 (Value.num_uses v);
+  checki "old value dropped" 0 (Value.num_uses (Op.result c2 0))
+
+let test_block_insertion () =
+  let blk = Block.create () in
+  let a = Op.create ~results:[] "a" in
+  let b = Op.create ~results:[] "b" in
+  let c = Op.create ~results:[] "c" in
+  Block.append blk a;
+  Block.append blk c;
+  Block.insert_before blk ~anchor:c b;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ]
+    (List.map Op.name (Block.ops blk));
+  checki "index_of" 1 (Option.get (Block.index_of blk b));
+  Block.remove blk b;
+  check (Alcotest.list Alcotest.string) "after remove" [ "a"; "c" ]
+    (List.map Op.name (Block.ops blk));
+  Block.insert_after blk ~anchor:a b;
+  check (Alcotest.list Alcotest.string) "insert after" [ "a"; "b"; "c" ]
+    (List.map Op.name (Block.ops blk))
+
+let test_replace_and_erase () =
+  let _m, f = make_func () in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let x = Arith.const_float bld 1. in
+  let c = Arith.const_float bld 5. in
+  let y = Arith.addf bld x x in
+  let z = Arith.mulf bld y y in
+  ignore z;
+  (* Replace y's def with the earlier constant. *)
+  replace_all_uses ~old_value:y ~new_value:c;
+  checki "y has no uses" 0 (Value.num_uses y);
+  checki "c gained uses" 2 (Value.num_uses c);
+  (* Erase the now-dead add. *)
+  (match Value.defining_op y with
+  | Some op -> erase_op op
+  | None -> Alcotest.fail "no def");
+  checkb "x uses reduced" (Value.num_uses x = 0);
+  Verifier.verify_exn f
+
+let test_clone () =
+  let _m, f = Helpers.two_stage_kernel ~n:4 () in
+  let cloned = clone_op f in
+  (* Structure matches. *)
+  checki "same op count"
+    (Walk.count f ~pred:(fun _ -> true))
+    (Walk.count cloned ~pred:(fun _ -> true));
+  (* Clone is independent: erasing ops from the clone leaves the original
+     intact. *)
+  let before = Walk.count f ~pred:(fun _ -> true) in
+  List.iter erase_op (Walk.collect cloned ~pred:Affine_d.is_for);
+  checki "original untouched" before (Walk.count f ~pred:(fun _ -> true));
+  Verifier.verify_exn f
+
+let test_walk_orders () =
+  let _m, f = Helpers.two_stage_kernel ~n:4 () in
+  let pre = ref [] in
+  Walk.preorder f ~f:(fun op -> pre := Op.name op :: !pre);
+  let pre = List.rev !pre in
+  checkb "preorder starts at func" (List.hd pre = "func.func");
+  let post = ref [] in
+  Walk.postorder f ~f:(fun op -> post := Op.name op :: !post);
+  let post = List.rev !post in
+  checkb "postorder ends at func" (List.nth post (List.length post - 1) = "func.func");
+  checki "same visit count" (List.length pre) (List.length post)
+
+let test_dominance () =
+  let _m, f = make_func () in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let x = Arith.const_float bld 1. in
+  let loop =
+    Affine_d.for_ bld ~upper:4 (fun inner _iv ->
+        ignore (Arith.addf inner x x))
+  in
+  let y = Arith.const_float bld 2. in
+  let x_def = Option.get (Value.defining_op x) in
+  let y_def = Option.get (Value.defining_op y) in
+  checkb "x dominates loop" (dominates x_def loop);
+  checkb "loop does not dominate x" (not (dominates loop x_def));
+  checkb "y does not dominate loop" (not (dominates y_def loop));
+  let inner_add =
+    Option.get (Walk.find loop ~pred:(fun op -> Op.name op = "arith.addf"))
+  in
+  checkb "x dominates nested use" (value_dominates x inner_add);
+  checkb "y does not dominate nested use" (not (value_dominates y inner_add))
+
+let test_verifier_catches_bad_ir () =
+  (* Use-before-def within a block. *)
+  let _m, f = make_func () in
+  let blk = Func_d.entry_block f in
+  let bld = Builder.at_end blk in
+  let x = Arith.const_float bld 1. in
+  let add = Option.get (Value.defining_op (Arith.addf bld x x)) in
+  let x_def = Option.get (Value.defining_op x) in
+  (* Move the constant after its use. *)
+  Block.remove blk x_def;
+  Block.append blk x_def;
+  checkb "dominance violation detected"
+    (match Verifier.verify add with
+    | Error _ -> true
+    | Ok () -> (
+        match Verifier.verify f with Error _ -> true | Ok () -> false))
+
+let test_verifier_isolation () =
+  let _m, f = make_func () in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let buf = Hida_d.buffer bld ~shape:[ 4 ] ~elem:F32 in
+  (* A node capturing [buf] directly inside its body violates isolation. *)
+  let node = Hida_d.node ~ro:[] ~rw:[ buf ] () in
+  Block.append (Func_d.entry_block f) node;
+  let nblk = Hida_d.node_block node in
+  let nbld = Builder.at_end nblk in
+  let zero = Arith.const_index nbld 0 in
+  let v = Arith.const_float nbld 1. in
+  (* Store through the outer value instead of the block argument. *)
+  Affine_d.store nbld v buf [ zero ];
+  checkb "isolation violation detected"
+    (match Verifier.verify f with Error _ -> true | Ok () -> false)
+
+let test_printer () =
+  let _m, f = Helpers.two_stage_kernel ~n:4 () in
+  let s = Printer.op_to_string f in
+  checkb "prints func" (Helpers.contains ~sub:"func.func" s);
+  checkb "prints loops" (Helpers.contains ~sub:"affine.for" s);
+  checkb "prints alloc" (Helpers.contains ~sub:"memref.alloc" s);
+  checkb "prints bounds" (Helpers.contains ~sub:"upper = 4" s);
+  checkb "prints types" (Helpers.contains ~sub:"memref<4xf32>" s)
+
+let test_attr_printing () =
+  checkb "map attr"
+    (Helpers.contains ~sub:"d0"
+       (Attr.to_string (A_map (Affine.identity 2))));
+  checkb "ints attr" (Attr.to_string (A_ints [ 1; 2 ]) = "[1, 2]");
+  checkb "list attr"
+    (Attr.to_string (A_list [ A_int 1; A_bool true ]) = "[1, true]");
+  checkb "typ attr"
+    (Attr.to_string (A_type (Typ.stream ~elem:I16 ~depth:3)) = "stream<i16, 3>")
+
+let tests =
+  [
+    Alcotest.test_case "op construction" `Quick test_op_construction;
+    Alcotest.test_case "use lists" `Quick test_use_lists;
+    Alcotest.test_case "block insertion" `Quick test_block_insertion;
+    Alcotest.test_case "replace and erase" `Quick test_replace_and_erase;
+    Alcotest.test_case "deep clone" `Quick test_clone;
+    Alcotest.test_case "walk orders" `Quick test_walk_orders;
+    Alcotest.test_case "dominance" `Quick test_dominance;
+    Alcotest.test_case "verifier: use-before-def" `Quick test_verifier_catches_bad_ir;
+    Alcotest.test_case "verifier: isolation" `Quick test_verifier_isolation;
+    Alcotest.test_case "printer" `Quick test_printer;
+    Alcotest.test_case "attribute printing" `Quick test_attr_printing;
+  ]

@@ -1,0 +1,98 @@
+(* Tests for the loop-level transformations. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_core
+open Hida_frontend
+open Helpers
+
+(* A perfectly nested copy kernel with asymmetric trips, so interchange
+   has something to normalize: dst[i][j] = 2*src[i][j], i<4, j<16. *)
+let copy2d ?(n = 4) ?(m = 16) () =
+  let open Loop_dsl in
+  let ctx, args =
+    kernel ~name:"copy2d" ~arrays:[ ("src", [ n; m ]); ("dst", [ n; m ]) ]
+  in
+  let src, dst = match args with [ s; d ] -> (s, d) | _ -> assert false in
+  for2 ctx.bld ~n ~m (fun bl i j ->
+      let v = load bl src [ i; j ] in
+      store bl (Arith.mulf bl v (f32 bl 2.)) dst [ i; j ]);
+  finish ctx
+
+let band_trips f =
+  match Affine_d.outermost_loops f with
+  | nest :: _ -> List.map Affine_d.trip_count (Affine_d.loop_band nest)
+  | [] -> []
+
+let test_interchange_legality () =
+  let _m, f = copy2d () in
+  let nest = List.hd (Affine_d.outermost_loops f) in
+  (match Affine_d.loop_band nest with
+  | [ outer; inner ] -> checkb "parallel pair interchangeable"
+        (Loop_transforms.can_interchange nest outer inner)
+  | _ -> Alcotest.fail "expected a 2-band");
+  (* A reduction pair must be refused. *)
+  let _m, g = Polybench.k_2mm ~scale:0.05 () in
+  let gemm = List.hd (Affine_d.outermost_loops g) in
+  match Intensity.spine_of gemm with
+  | [ _i; j; k ] ->
+      checkb "reduction loop not interchangeable"
+        (not (Loop_transforms.can_interchange gemm j k))
+  | _ -> Alcotest.fail "unexpected gemm spine"
+
+let test_interchange_semantics () =
+  checkb "interchange preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> copy2d ())
+       ~transform:(fun f ->
+         let nest = List.hd (Affine_d.outermost_loops f) in
+         match Affine_d.loop_band nest with
+         | [ outer; inner ] -> Loop_transforms.interchange outer inner
+         | _ -> ())
+       ())
+
+let test_normalization_moves_big_trip_out () =
+  let _m, f = copy2d ~n:4 ~m:16 () in
+  checkb "initially small trip outer" (band_trips f = [ 4; 16 ]);
+  Loop_transforms.run f;
+  Verifier.verify_exn f;
+  checkb "largest trip moved outermost" (band_trips f = [ 16; 4 ])
+
+let test_normalization_semantics () =
+  List.iter
+    (fun build ->
+      checkb "normalization preserves semantics"
+        (preserves_semantics ~build ~transform:Loop_transforms.run ()))
+    [
+      (fun () -> copy2d ());
+      (fun () -> Polybench.k_2mm ~scale:0.05 ());
+      (fun () -> Polybench.k_correlation ~scale:0.06 ());
+      (fun () -> two_stage_kernel ~n:8 ());
+    ]
+
+let test_imperfect_detection () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  (* The gemm i/j bodies hold an init store next to the k loop. *)
+  checkb "gemm nests reported imperfect"
+    (List.length (Loop_transforms.imperfect_positions f) >= 2);
+  let _m, g = copy2d () in
+  checki "perfect nest clean" 0 (List.length (Loop_transforms.imperfect_positions g))
+
+let prop_normalization_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"normalization preserves random chains" ~count:20
+       gen_chain_kernel
+       (fun spec ->
+         preserves_semantics ~build:(build_chain spec)
+           ~transform:Loop_transforms.run ()))
+
+let tests =
+  [
+    Alcotest.test_case "interchange legality" `Quick test_interchange_legality;
+    Alcotest.test_case "interchange semantics" `Quick test_interchange_semantics;
+    Alcotest.test_case "normalization direction" `Quick test_normalization_moves_big_trip_out;
+    Alcotest.test_case "normalization semantics" `Quick test_normalization_semantics;
+    Alcotest.test_case "imperfect nest detection" `Quick test_imperfect_detection;
+    prop_normalization_preserves;
+  ]

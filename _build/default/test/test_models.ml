@@ -1,0 +1,193 @@
+(* Model zoo and PolyBench front-end tests: shapes, classifications and
+   end-to-end interpretability of the scaled-down variants. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_frontend
+open Helpers
+
+let output_shape f =
+  let ret =
+    Option.get (Walk.find f ~pred:(fun op -> Op.name op = "func.return"))
+  in
+  match Op.operands ret with
+  | [ v ] -> Typ.shape (Value.typ v)
+  | _ -> []
+
+let test_model_output_shapes () =
+  let _m, lenet = Models.lenet () in
+  check (Alcotest.list Alcotest.int) "lenet classifies 10" [ 10 ] (output_shape lenet);
+  let _m, rn = Models.resnet18 () in
+  check (Alcotest.list Alcotest.int) "resnet classifies 1000" [ 1000 ]
+    (output_shape rn);
+  let _m, vgg = Models.vgg16 () in
+  check (Alcotest.list Alcotest.int) "vgg classifies 1000" [ 1000 ] (output_shape vgg);
+  let _m, mlp = Models.mlp () in
+  check (Alcotest.list Alcotest.int) "mlp classifies 10" [ 10 ] (output_shape mlp)
+
+let count_ops f name = Walk.count f ~pred:(fun op -> Op.name op = name)
+
+let test_model_structures () =
+  let _m, rn = Models.resnet18 () in
+  checki "resnet convolutions" 20 (count_ops rn "nn.conv2d");
+  checki "resnet shortcuts" 8 (count_ops rn "nn.add");
+  let _m, mb = Models.mobilenet () in
+  checki "mobilenet depthwise" 13 (count_ops mb "nn.dwconv2d");
+  let _m, vgg = Models.vgg16 () in
+  checki "vgg convolutions" 13 (count_ops vgg "nn.conv2d");
+  checki "vgg linears" 3 (count_ops vgg "nn.linear");
+  let _m, yolo = Models.yolo () in
+  checki "yolo convolutions" 9 (count_ops yolo "nn.conv2d")
+
+let test_model_macs_scale () =
+  (* VGG-16 is the heaviest model in the zoo (~15.5 GMACs). *)
+  let macs name =
+    let _m, f = (Models.by_name name).Models.e_build () in
+    Nn_builder.total_macs f
+  in
+  checkb "vgg over 10 GMACs" (macs "vgg16" > 10_000_000_000);
+  checkb "resnet ~1.8 GMACs"
+    (macs "resnet18" > 1_500_000_000 && macs "resnet18" < 2_500_000_000);
+  checkb "mlp smallest conv-free" (macs "mlp" < 10_000_000)
+
+let test_scaled_models_run () =
+  List.iter
+    (fun name ->
+      let e = Models.by_name name in
+      let _m, f = e.Models.e_build ~scale:0.05 () in
+      match Interp.run_func f ~args:(Interp.fresh_args f) with
+      | [ Interp.Buf b ] ->
+          checkb (name ^ " produces finite outputs")
+            (Array.for_all
+               (fun s -> Float.is_finite (Interp.scalar_to_float s))
+               b.Interp.data)
+      | _ -> Alcotest.fail (name ^ ": expected a buffer"))
+    [ "lenet"; "resnet18"; "mobilenet"; "zfnet"; "vgg16"; "yolo"; "mlp" ]
+
+let test_polybench_registry () =
+  checki "eleven kernels (Table 7)" 11 (List.length Polybench.all);
+  let multi = List.filter (fun e -> e.Polybench.e_multi_loop) Polybench.all in
+  let single = List.filter (fun e -> not e.Polybench.e_multi_loop) Polybench.all in
+  (* The paper's single-loop kernels: bicg, gesummv, seidel-2d, symm, syr2k. *)
+  check
+    (Alcotest.slist Alcotest.string String.compare)
+    "single-loop kernels"
+    [ "bicg"; "gesummv"; "seidel-2d"; "symm"; "syr2k" ]
+    (List.map (fun e -> e.Polybench.e_name) single);
+  checki "multi-loop kernels" 6 (List.length multi)
+
+let test_polybench_kernels_run () =
+  List.iter
+    (fun e ->
+      let _m, f = e.Polybench.e_build ~scale:0.05 () in
+      Verifier.verify_exn f;
+      let outputs = run_all f in
+      checkb
+        (e.Polybench.e_name ^ " produces finite outputs")
+        (List.for_all Float.is_finite outputs))
+    Polybench.all
+
+let test_atax_reference () =
+  (* atax with identity-like data: y = A^T (A x).  Use a 2x2 system and
+     check against a hand computation. *)
+  let _m, f = Polybench.k_atax ~scale:(2. /. 256.) () in
+  let mk shape vals =
+    let b = Interp.make_buf ~shape ~elem:F32 in
+    List.iteri (fun i v -> b.Interp.data.(i) <- Interp.F v) vals;
+    Interp.Buf b
+  in
+  let a = mk [ 2; 2 ] [ 1.; 2.; 3.; 4. ] in
+  let x = mk [ 2 ] [ 1.; 1. ] in
+  let y = mk [ 2 ] [ 0.; 0. ] in
+  ignore (Interp.run_func f ~args:[ a; x; y ]);
+  (match y with
+  | Interp.Buf b ->
+      (* tmp = (3, 7); y = A^T tmp = (1*3+3*7, 2*3+4*7) = (24, 34) *)
+      checkb "atax y[0]" (Float.abs (Interp.scalar_to_float b.Interp.data.(0) -. 24.) < 1e-4);
+      checkb "atax y[1]" (Float.abs (Interp.scalar_to_float b.Interp.data.(1) -. 34.) < 1e-4)
+  | _ -> assert false)
+
+let test_listing1_reference () =
+  let _m, f = Listing1.build () in
+  let mk shape value =
+    let b = Interp.make_buf ~shape ~elem:F32 in
+    Array.iteri (fun i _ -> b.Interp.data.(i) <- Interp.F value) b.Interp.data;
+    Interp.Buf b
+  in
+  let in0 = mk [ 32; 16 ] 0. in
+  let in1 = mk [ 16; 16 ] 0. in
+  let c = mk [ 16; 16 ] 0. in
+  ignore (Interp.run_func f ~args:[ in0; in1; c ]);
+  (* A = B = all ones, so C[i][j] = sum_k 1*1 = 16. *)
+  match c with
+  | Interp.Buf b ->
+      checkb "listing1 C uniform 16"
+        (Array.for_all
+           (fun s -> Float.abs (Interp.scalar_to_float s -. 16.) < 1e-4)
+           b.Interp.data)
+  | _ -> assert false
+
+let tests =
+  [
+    Alcotest.test_case "model output shapes" `Quick test_model_output_shapes;
+    Alcotest.test_case "model structures" `Quick test_model_structures;
+    Alcotest.test_case "model MAC scales" `Quick test_model_macs_scale;
+    Alcotest.test_case "scaled models interpretable" `Slow test_scaled_models_run;
+    Alcotest.test_case "polybench registry (Table 7)" `Quick test_polybench_registry;
+    Alcotest.test_case "polybench kernels run" `Quick test_polybench_kernels_run;
+    Alcotest.test_case "atax reference values" `Quick test_atax_reference;
+    Alcotest.test_case "listing1 reference values" `Quick test_listing1_reference;
+  ]
+
+(* ---- Extra workloads (beyond Table 7) ---- *)
+
+let test_extra_kernels_run () =
+  List.iter
+    (fun (e : Polybench_extra.entry) ->
+      let _m, f = e.Polybench_extra.e_build ~scale:0.1 () in
+      Verifier.verify_exn f;
+      let outputs = run_all f in
+      checkb
+        (e.Polybench_extra.e_name ^ " produces finite outputs")
+        (List.for_all Float.is_finite outputs))
+    Polybench_extra.all
+
+let test_extra_kernels_compile () =
+  List.iter
+    (fun (e : Polybench_extra.entry) ->
+      checkb
+        (e.Polybench_extra.e_name ^ " pipeline preserves semantics")
+        (preserves_semantics
+           ~build:(fun () -> e.Polybench_extra.e_build ~scale:0.08 ())
+           ~transform:(fun f ->
+             ignore
+               (Hida_core.Driver.compile_memref
+                  ~opts:
+                    {
+                      Hida_core.Driver.default with
+                      max_parallel_factor = 4;
+                      verify_each = true;
+                    }
+                  f))
+           ()))
+    Polybench_extra.all
+
+let test_doitgen_hierarchy () =
+  (* doitgen's per-(r,q) two-nest body lowers to a schedule nested in
+     the loops. *)
+  let _m, f = Polybench_extra.k_doitgen ~scale:0.15 () in
+  Hida_core.Construct.run f;
+  Hida_core.Lowering.lower_memref_func f;
+  Verifier.verify_exn f;
+  let sched = Option.get (Walk.find f ~pred:Hida_d.is_schedule) in
+  checkb "doitgen schedule is hierarchical"
+    (List.exists Hida_dialects.Affine_d.is_for (Op.ancestors sched))
+
+let extra_tests =
+  [
+    Alcotest.test_case "extra kernels run" `Quick test_extra_kernels_run;
+    Alcotest.test_case "extra kernels compile" `Quick test_extra_kernels_compile;
+    Alcotest.test_case "doitgen hierarchical lowering" `Quick test_doitgen_hierarchy;
+  ]

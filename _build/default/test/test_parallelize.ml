@@ -1,0 +1,335 @@
+(* Tests for intensity/connection analysis (§6.5 step 1, Table 4), the
+   DSE engine (Alg. 4) and the IA+CA parallelizer (Tables 5/6). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let lowered_listing1 () =
+  let _m, f = Listing1.build () in
+  Construct.run f;
+  Lowering.lower_memref_func f;
+  f
+
+(* ---- DSE engine ---- *)
+
+let test_dse_validity () =
+  let dims =
+    [|
+      { Dse.trip = 32; reduction = false; serial = false };
+      { Dse.trip = 16; reduction = false; serial = false };
+    |]
+  in
+  let factors = Dse.search ~dims ~parallel_factor:32 () in
+  checki "product equals pf" 32 (Dse.product factors);
+  checkb "factors divide trips" (32 mod factors.(0) = 0 && 16 mod factors.(1) = 0)
+
+let test_dse_constraints () =
+  let dims =
+    [|
+      { Dse.trip = 32; reduction = false; serial = false };
+      { Dse.trip = 16; reduction = false; serial = false };
+    |]
+  in
+  (* A constraint of 8 on dim 0 demands mutual divisibility. *)
+  let constraints = [ [| Some 8; None |] ] in
+  let factors = Dse.search ~constraints ~dims ~parallel_factor:4 () in
+  checkb "dim-0 factor mutually divisible with 8"
+    (8 mod factors.(0) = 0 || factors.(0) mod 8 = 0)
+
+let test_dse_reduction_spill () =
+  (* When parallel dims cannot absorb the factor, reduction dims are
+     used as spill capacity. *)
+  let dims =
+    [|
+      { Dse.trip = 4; reduction = false; serial = false };
+      { Dse.trip = 16; reduction = true; serial = false };
+    |]
+  in
+  let factors = Dse.search ~dims ~parallel_factor:16 () in
+  checki "parallel dim saturated" 4 factors.(0);
+  checki "reduction absorbs the rest" 4 factors.(1)
+
+let test_dse_serial_never_unrolled () =
+  let dims =
+    [|
+      { Dse.trip = 16; reduction = true; serial = true };
+      { Dse.trip = 16; reduction = false; serial = false };
+    |]
+  in
+  let factors = Dse.search ~dims ~parallel_factor:64 () in
+  checki "serial dim stays 1" 1 factors.(0)
+
+let test_dse_stats () =
+  let stats = { Dse.proposed = 0; valid = 0 } in
+  let dims = [| { Dse.trip = 8; reduction = false; serial = false } |] in
+  ignore (Dse.search ~stats ~dims ~parallel_factor:8 ());
+  checkb "engine explored candidates" (stats.Dse.proposed > 0);
+  checkb "some candidates valid" (stats.Dse.valid > 0)
+
+(* ---- Connection analysis (Table 4) ---- *)
+
+let test_connections () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let connections = Intensity.analyze sched in
+  checki "two connections (A and B)" 2 (List.length connections);
+  (* Find the connection through A: its target reads with stride 2, so
+     the source-to-target scaling map must contain 0.5. *)
+  let has_half =
+    List.exists
+      (fun c ->
+        Array.exists
+          (function Some s -> Float.abs (s -. 0.5) < 1e-9 | None -> false)
+          c.Intensity.c_s_to_t_scale)
+      connections
+  in
+  checkb "stride-2 connection has 0.5 scaling" has_half;
+  (* The Node1->Node2 connection permutes j and k. *)
+  let has_permutation =
+    List.exists
+      (fun c ->
+        Array.exists (function Some i -> i > 0 | None -> false) c.Intensity.c_s_to_t_perm)
+      connections
+  in
+  checkb "permutation maps populated" has_permutation
+
+let test_intensities () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let intensities = List.map Intensity.op_intensity nodes in
+  let sorted = List.sort compare intensities in
+  check (Alcotest.list Alcotest.int) "Table 5 intensities" [ 256; 512; 4096 ] sorted
+
+(* ---- Table 5: parallelization results ---- *)
+
+let factors_by_intensity results =
+  List.map
+    (fun r -> (r.Parallelize.r_intensity, Array.to_list r.Parallelize.r_factors))
+    results
+  |> List.sort compare
+
+let test_table5_ia_ca () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let results =
+    Parallelize.run_on_schedule ~mode:Parallelize.ia_ca ~max_parallel_factor:32 sched
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.int)))
+    "IA+CA unroll factors (Table 5)"
+    [ (256, [ 1; 2 ]); (512, [ 4; 1 ]); (4096, [ 4; 8; 1 ]) ]
+    (factors_by_intensity results)
+
+let test_table5_parallel_factors () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let results =
+    Parallelize.run_on_schedule ~mode:Parallelize.ia_ca ~max_parallel_factor:32 sched
+  in
+  let pfs =
+    List.sort compare (List.map (fun r -> r.Parallelize.r_parallel_factor) results)
+  in
+  check (Alcotest.list Alcotest.int) "IA parallel factors" [ 2; 4; 32 ] pfs
+
+let test_table5_naive () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let results =
+    Parallelize.run_on_schedule ~mode:Parallelize.naive ~max_parallel_factor:32 sched
+  in
+  (* Naive gives the maximum factor to every node. *)
+  List.iter
+    (fun r -> checki "naive pf" 32 r.Parallelize.r_parallel_factor)
+    results;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.int)))
+    "Naive unroll factors (Table 5)"
+    [ (256, [ 4; 8 ]); (512, [ 4; 8 ]); (4096, [ 4; 8; 1 ]) ]
+    (factors_by_intensity results)
+
+let test_modes_differ () =
+  let run mode =
+    let f = lowered_listing1 () in
+    let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+    factors_by_intensity
+      (Parallelize.run_on_schedule ~mode ~max_parallel_factor:32 sched)
+  in
+  checkb "IA+CA differs from naive" (run Parallelize.ia_ca <> run Parallelize.naive);
+  checkb "IA differs from naive" (run Parallelize.ia_only <> run Parallelize.naive)
+
+(* ---- Table 6: array partitioning ---- *)
+
+let partition_of f name =
+  let buf =
+    Option.get
+      (Walk.find f ~pred:(fun op ->
+           Hida_d.is_buffer op
+           && (Op.result op 0).v_name_hint = Some name))
+  in
+  (Hida_d.partition_factors buf, Hida_d.bank_count buf)
+
+let test_table6_partitions () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  ignore
+    (Parallelize.run_on_schedule ~mode:Parallelize.ia_ca ~max_parallel_factor:32 sched);
+  Partition.run f;
+  let fa, banks_a = partition_of f "A" in
+  check (Alcotest.list Alcotest.int) "A partition (Table 6 IA+CA)" [ 8; 1 ] fa;
+  checki "A banks" 8 banks_a;
+  let fb, banks_b = partition_of f "B" in
+  check (Alcotest.list Alcotest.int) "B partition (Table 6 IA+CA)" [ 1; 8 ] fb;
+  checki "B banks" 8 banks_b
+
+let test_naive_partitions_cost_more () =
+  let banks_for mode =
+    let f = lowered_listing1 () in
+    let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+    ignore (Parallelize.run_on_schedule ~mode ~max_parallel_factor:32 sched);
+    Partition.run ~ca:mode.Parallelize.ca f;
+    List.fold_left
+      (fun acc b -> acc + Hida_d.bank_count b)
+      0
+      (Walk.collect f ~pred:Hida_d.is_buffer)
+  in
+  checkb "IA+CA uses fewer banks than naive"
+    (banks_for Parallelize.ia_ca < banks_for Parallelize.naive)
+
+let test_stochastic_on_listing1 () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let results =
+    Parallelize.run_on_schedule ~engine:(`Stochastic 7) ~max_parallel_factor:32
+      sched
+  in
+  Partition.run f;
+  Verifier.verify_exn f;
+  List.iter
+    (fun r ->
+      checkb "stochastic factors within parallel factor"
+        (Dse.product r.Parallelize.r_factors <= r.Parallelize.r_parallel_factor))
+    results;
+  checkb "stochastic pipeline preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> Listing1.build ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Lowering.lower_memref_func f;
+         let s = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+         ignore
+           (Parallelize.run_on_schedule ~engine:(`Stochastic 7)
+              ~max_parallel_factor:32 s);
+         Partition.run f)
+       ())
+
+(* ---- Serial loops ---- *)
+
+let test_seidel_not_parallelized () =
+  let _m, f = Polybench.k_seidel_2d ~scale:0.2 () in
+  ignore
+    (Driver.run_memref
+       ~opts:{ Driver.default with max_parallel_factor = 64 }
+       ~device:Hida_estimator.Device.zu3eg f);
+  List.iter
+    (fun l -> checki "serial loop not unrolled" 1 (Affine_d.unroll_factor l))
+    (Walk.collect f ~pred:Affine_d.is_for)
+
+let test_loop_classes () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  let nests = Affine_d.outermost_loops f in
+  let nest = List.hd nests in
+  let spine = Intensity.spine_of nest in
+  checki "gemm spine depth" 3 (List.length spine);
+  let classes = List.map (Intensity.loop_class nest) spine in
+  checkb "i parallel" (List.nth classes 0 = `Parallel);
+  checkb "j parallel" (List.nth classes 1 = `Parallel);
+  checkb "k reduction" (List.nth classes 2 = `Reduction)
+
+let test_stochastic_engine () =
+  let dims =
+    [|
+      { Dse.trip = 32; reduction = false; serial = false };
+      { Dse.trip = 16; reduction = false; serial = false };
+    |]
+  in
+  let f = Dse.search_stochastic ~seed:3 ~dims ~parallel_factor:32 () in
+  checkb "stochastic result valid"
+    (Dse.is_valid ~constraints:[] ~parallel_factor:32 f);
+  checki "stochastic reaches full product" 32 (Dse.product f);
+  (* Deterministic across runs. *)
+  let g = Dse.search_stochastic ~seed:3 ~dims ~parallel_factor:32 () in
+  checkb "seeded determinism" (f = g)
+
+let prop_stochastic_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"stochastic DSE always valid, usually optimal"
+       ~count:50
+       QCheck2.Gen.(
+         tup3
+           (list_size (int_range 1 3) (oneofl [ 4; 8; 16; 32 ]))
+           (oneofl [ 2; 4; 8; 16; 32 ])
+           (int_range 1 1000))
+       (fun (trips, pf, seed) ->
+         let dims =
+           Array.of_list
+             (List.map
+                (fun t -> { Dse.trip = t; reduction = false; serial = false })
+                trips)
+         in
+         let st = Dse.search_stochastic ~seed ~dims ~parallel_factor:pf () in
+         let ex = Dse.search ~dims ~parallel_factor:pf () in
+         Dse.is_valid ~constraints:[] ~parallel_factor:pf st
+         && Dse.product st <= Dse.product ex))
+
+(* Property: DSE results always satisfy validity. *)
+let prop_dse_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"DSE always returns valid factors" ~count:100
+       QCheck2.Gen.(
+         tup3
+           (list_size (int_range 1 4) (oneofl [ 4; 6; 8; 12; 16; 32 ]))
+           (oneofl [ 1; 2; 4; 8; 16; 32; 64 ])
+           (oneofl [ None; Some 2; Some 8 ]))
+       (fun (trips, pf, constr) ->
+         let dims =
+           Array.of_list
+             (List.map
+                (fun t -> { Dse.trip = t; reduction = false; serial = false })
+                trips)
+         in
+         let constraints =
+           match constr with
+           | None -> []
+           | Some c -> [ Array.make (Array.length dims) (Some c) ]
+         in
+         let factors = Dse.search ~constraints ~dims ~parallel_factor:pf () in
+         Dse.is_valid ~constraints ~parallel_factor:pf factors
+         && Array.for_all2 (fun f d -> d.Dse.trip mod f = 0) factors dims))
+
+let tests =
+  [
+    Alcotest.test_case "DSE validity" `Quick test_dse_validity;
+    Alcotest.test_case "DSE constraints" `Quick test_dse_constraints;
+    Alcotest.test_case "DSE reduction spill" `Quick test_dse_reduction_spill;
+    Alcotest.test_case "DSE serial dims" `Quick test_dse_serial_never_unrolled;
+    Alcotest.test_case "DSE statistics" `Quick test_dse_stats;
+    Alcotest.test_case "stochastic DSE engine" `Quick test_stochastic_engine;
+    Alcotest.test_case "stochastic engine end-to-end" `Quick test_stochastic_on_listing1;
+    prop_stochastic_valid;
+    Alcotest.test_case "connections (Table 4)" `Quick test_connections;
+    Alcotest.test_case "intensities (Table 5)" `Quick test_intensities;
+    Alcotest.test_case "IA+CA factors (Table 5)" `Quick test_table5_ia_ca;
+    Alcotest.test_case "parallel factors (Table 5)" `Quick test_table5_parallel_factors;
+    Alcotest.test_case "naive factors (Table 5)" `Quick test_table5_naive;
+    Alcotest.test_case "ablation modes differ" `Quick test_modes_differ;
+    Alcotest.test_case "partitions (Table 6)" `Quick test_table6_partitions;
+    Alcotest.test_case "naive partitions cost more" `Quick test_naive_partitions_cost_more;
+    Alcotest.test_case "seidel stays serial" `Quick test_seidel_not_parallelized;
+    Alcotest.test_case "loop dependence classes" `Quick test_loop_classes;
+    prop_dse_valid;
+  ]

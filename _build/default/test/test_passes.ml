@@ -1,0 +1,414 @@
+(* Tests for the HIDA-OPT passes: functional dataflow construction
+   (Alg. 1), task fusion (Alg. 2), structural lowering (§6.3),
+   multi-producer elimination (Alg. 3) and data-path balancing
+   (§6.4.2). *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_core
+open Hida_frontend
+open Hida_interp
+open Helpers
+
+(* ---- Algorithm 1: construction ---- *)
+
+let test_construct_memref () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  Construct.run f;
+  Verifier.verify_exn f;
+  let dispatches = Walk.collect f ~pred:Hida_d.is_dispatch in
+  checki "one dispatch" 1 (List.length dispatches);
+  let tasks = Walk.collect f ~pred:Hida_d.is_task in
+  checki "one task per loop nest" 2 (List.length tasks)
+
+let test_construct_single_nest_noop () =
+  let _m, f = Polybench.k_gesummv ~scale:0.05 () in
+  Construct.run f;
+  checki "single nest: no dispatch" 0
+    (List.length (Walk.collect f ~pred:Hida_d.is_dispatch))
+
+let test_construct_nn () =
+  let _m, f = mini_cnn () in
+  Construct.run f;
+  Verifier.verify_exn f;
+  checkb "dispatch created"
+    (List.length (Walk.collect f ~pred:Hida_d.is_dispatch) >= 1);
+  (* Context ops (weights) stay outside tasks. *)
+  Walk.preorder f ~f:(fun op ->
+      if Op.name op = "nn.weight" then
+        checkb "weight not inside a task"
+          (not (List.exists (fun a -> Hida_d.is_task a) (Op.ancestors op))))
+
+let test_construct_preserves_semantics () =
+  checkb "construction is semantics-preserving"
+    (preserves_semantics
+       ~build:(fun () -> Polybench.k_atax ~scale:0.05 ())
+       ~transform:Construct.run ())
+
+let test_wrap_ops_yields () =
+  (* Wrapping an op whose result is used outside must thread it through a
+     yield and a task result. *)
+  let m = Func_d.module_op () in
+  let f = Func_d.func m ~name:"w" ~inputs:[] ~outputs:[ F32 ] in
+  let bld = Builder.at_end (Func_d.entry_block f) in
+  let x = Arith.const_float bld 2. in
+  let y = Arith.mulf bld x x in
+  Func_d.return bld [ y ];
+  let mul_op = Option.get (Value.defining_op y) in
+  let task = Construct.wrap_ops ~kind:`Task [ mul_op ] in
+  Verifier.verify_exn f;
+  checki "task has one result" 1 (Op.num_results task);
+  (match Interp.run_func f ~args:[] with
+  | [ Interp.Scalar s ] ->
+      checkb "value preserved" (Float.abs (Interp.scalar_to_float s -. 4.) < 1e-6)
+  | _ -> Alcotest.fail "bad result")
+
+(* ---- Algorithm 2: fusion ---- *)
+
+let test_lenet_fusion_tasks () =
+  (* Table 1: LeNet fuses into Conv+ReLU+Pool / Conv+ReLU+Pool /
+     Conv+ReLU / Linear tasks. *)
+  let _m, f = Models.lenet () in
+  Construct.run f;
+  Fusion.run f;
+  Verifier.verify_exn f;
+  let tasks = Walk.collect f ~pred:Hida_d.is_task in
+  checkb "lenet fuses to <= 5 tasks" (List.length tasks <= 5);
+  let conv_pool_fused =
+    List.exists
+      (fun t ->
+        let names =
+          List.filter_map
+            (fun o -> if Nn.is_nn o then Some (Op.name o) else None)
+            (Hida_d.body_ops t)
+        in
+        List.mem "nn.conv2d" names && List.mem "nn.maxpool" names)
+      tasks
+  in
+  checkb "conv+relu+pool fused into one task" conv_pool_fused
+
+let test_fusion_preserves_semantics_nn () =
+  checkb "fusion preserves nn semantics"
+    (preserves_semantics
+       ~build:(fun () -> mini_cnn ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Fusion.run f)
+       ())
+
+let test_fusion_respects_hazards () =
+  (* correlation's mean -> stddev -> normalize chain must not reorder. *)
+  checkb "fusion respects memory hazards"
+    (preserves_semantics
+       ~build:(fun () -> Polybench.k_correlation ~scale:0.06 ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Fusion.run f)
+       ())
+
+let test_balance_fusion_stops () =
+  (* Balancing fusion must never produce a task heavier than the critical
+     task left by the pattern-driven phase (Alg. 2's profitability
+     criterion). *)
+  let max_task f =
+    List.fold_left
+      (fun acc t -> max acc (Intensity.op_intensity t))
+      0
+      (Walk.collect f ~pred:Hida_d.is_task)
+  in
+  let _m, f_pat = Models.vgg16 ~scale:0.12 () in
+  Construct.run f_pat;
+  Fusion.run ~balance:false f_pat;
+  let _m, f_full = Models.vgg16 ~scale:0.12 () in
+  Construct.run f_full;
+  Fusion.run f_full;
+  checkb "critical task unchanged by balancing"
+    (max_task f_full <= max_task f_pat)
+
+let test_custom_fusion_pattern () =
+  (* The paper: "HIDA-IR's systematic dataflow representation allows the
+     task fusion process to be expanded with different heuristics" — a
+     user-supplied pattern fusing back-to-back convolutions. *)
+  let conv_conv =
+    {
+      Fusion.p_name = "conv-conv";
+      p_fires =
+        (fun ~producer ~consumer ->
+          Fusion.last_payload_name producer = Some "nn.conv2d"
+          && Fusion.first_payload_name consumer = Some "nn.conv2d");
+    }
+  in
+  let build () =
+    let t = Nn_builder.create ~name:"cc" ~input_shape:[ 2; 6; 6 ] () in
+    ignore (Nn_builder.conv t ~out_channels:3 ~kernel:3 ~stride:1 ~pad:1);
+    ignore (Nn_builder.conv t ~out_channels:2 ~kernel:3 ~stride:1 ~pad:1);
+    Nn_builder.finish t
+  in
+  let _m, f = build () in
+  Construct.run f;
+  Fusion.run ~patterns:[ conv_conv ] ~balance:false f;
+  Verifier.verify_exn f;
+  checki "convs fused into one task" 1
+    (List.length (Walk.collect f ~pred:Hida_d.is_task));
+  checkb "custom pattern preserves semantics"
+    (preserves_semantics ~build
+       ~transform:(fun f ->
+         Construct.run f;
+         Fusion.run ~patterns:[ conv_conv ] ~balance:false f)
+       ())
+
+(* ---- Lowering ---- *)
+
+let lower_memref f =
+  Construct.run f;
+  Lowering.lower_memref_func f
+
+let test_lowering_isolation () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  lower_memref f;
+  Verifier.verify_exn f;
+  checkb "schedule created"
+    (List.length (Walk.collect f ~pred:Hida_d.is_schedule) >= 1);
+  checki "nodes replace tasks" 0 (List.length (Walk.collect f ~pred:Hida_d.is_task))
+
+let test_lowering_effects () =
+  let _m, f = Polybench.k_atax ~scale:0.05 () in
+  lower_memref f;
+  let scheds = Walk.collect f ~pred:Hida_d.is_schedule in
+  let sched = List.hd scheds in
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  checki "two nodes" 2 (List.length nodes);
+  (* Every node has at least one read-only and one read-write operand. *)
+  List.iter
+    (fun n ->
+      let rc = Hida_d.ro_count n in
+      checkb "has ro operands" (rc >= 1);
+      checkb "has rw operands" (Op.num_operands n > rc))
+    nodes
+
+let test_lowering_semantics_memref () =
+  List.iter
+    (fun build ->
+      checkb "memref lowering preserves semantics"
+        (preserves_semantics ~build ~transform:lower_memref ()))
+    [
+      (fun () -> Polybench.k_2mm ~scale:0.05 ());
+      (fun () -> Polybench.k_atax ~scale:0.05 ());
+      (fun () -> Polybench.k_mvt ~scale:0.05 ());
+      (fun () -> fork_join_kernel ());
+    ]
+
+let test_lowering_semantics_nn () =
+  checkb "nn lowering preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> mini_cnn ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Fusion.run f;
+         ignore (Lowering.lower_nn_func f))
+       ())
+
+let test_lowering_weights_placement () =
+  let build weights_onchip =
+    let _m, f = mini_cnn () in
+    Construct.run f;
+    Fusion.run f;
+    ignore (Lowering.lower_nn_func ~weights_onchip f);
+    f
+  in
+  let f_ext = build false in
+  checkb "weights become ports"
+    (List.length (Walk.collect f_ext ~pred:Hida_d.is_port) > 0);
+  let f_on = build true in
+  checki "no ports when weights on chip" 0
+    (List.length (Walk.collect f_on ~pred:Hida_d.is_port))
+
+(* ---- Algorithm 3: multi-producer elimination ---- *)
+
+let producers_per_buffer sched =
+  let blk = Hida_d.node_block sched in
+  List.map
+    (fun arg -> List.length (Multi_producer.producers sched arg))
+    (Block.args blk)
+
+let test_multi_producer_internal () =
+  let _m, f = multi_producer_kernel () in
+  lower_memref f;
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  checkb "initially multiple producers"
+    (List.exists (fun n -> n > 1) (producers_per_buffer sched));
+  Multi_producer.run f;
+  Verifier.verify_exn f;
+  checkb "single producer after pass"
+    (List.for_all (fun n -> n <= 1) (producers_per_buffer sched))
+
+let test_multi_producer_semantics () =
+  List.iter
+    (fun build ->
+      checkb "multi-producer elimination preserves semantics"
+        (preserves_semantics ~build
+           ~transform:(fun f ->
+             lower_memref f;
+             Multi_producer.run f)
+           ()))
+    [
+      (fun () -> multi_producer_kernel ());
+      (fun () -> Polybench.k_jacobi_2d ~scale:0.12 ~tsteps:1 ());
+      (fun () -> Polybench.k_jacobi_2d ~scale:0.12 ~tsteps:2 ());
+    ]
+
+let test_multi_producer_copy_inserted () =
+  (* The read-write second producer must receive a seeding copy. *)
+  let _m, f = multi_producer_kernel () in
+  lower_memref f;
+  Multi_producer.run f;
+  checkb "copy op inserted"
+    (List.length (Walk.collect f ~pred:Hida_d.is_copy) >= 1)
+
+let test_multi_producer_external_merge () =
+  (* Two nests writing a function argument (external) must merge. *)
+  let build () =
+    let open Loop_dsl in
+    let ctx, args = kernel ~name:"ext2" ~arrays:[ ("out", [ 8 ]) ] in
+    let out = match args with [ o ] -> o | _ -> assert false in
+    for1 ctx.bld ~n:8 (fun bl i -> store bl (f32 bl 1.) out [ i ]);
+    for1 ctx.bld ~n:8 (fun bl i ->
+        let v = load bl out [ i ] in
+        store bl (Arith.addf bl v (f32 bl 1.)) out [ i ]);
+    finish ctx
+  in
+  let _m, f = build () in
+  lower_memref f;
+  Multi_producer.run f;
+  Verifier.verify_exn f;
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  checki "producers merged into one node" 1 (List.length nodes);
+  checkb "merge preserves semantics"
+    (preserves_semantics ~build
+       ~transform:(fun f ->
+         lower_memref f;
+         Multi_producer.run f)
+       ())
+
+(* ---- Balancing ---- *)
+
+let test_balance_fork_join () =
+  let _m, f = fork_join_kernel () in
+  lower_memref f;
+  Multi_producer.run f;
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let worst_slack_violation () =
+    let nodes, edges = Hida_estimator.Qor.schedule_edges sched in
+    let levels = Hida_estimator.Qor.stage_levels nodes edges in
+    List.fold_left
+      (fun acc (u, v, _) ->
+        max acc (Hashtbl.find levels v.o_id - Hashtbl.find levels u.o_id))
+      0 edges
+  in
+  checkb "fork-join has slack-2 edge" (worst_slack_violation () >= 2);
+  Balance.run f;
+  Verifier.verify_exn f;
+  (* After balancing, either copy stages shortened the slack or buffer
+     depths absorbed it: the estimator's stall must be 1. *)
+  let est = Hida_estimator.Qor.estimate_func Hida_estimator.Device.zu3eg f in
+  let max_node =
+    let bindings = Hida_d.node_bindings sched in
+    List.fold_left
+      (fun acc n ->
+        if Hida_d.is_node n then
+          max acc
+            (Hida_estimator.Qor.estimate_node_or_nested Hida_estimator.Device.zu3eg
+               ~bindings:(Hida_d.node_bindings n @ bindings) n)
+              .Hida_estimator.Qor.n_latency
+        else acc)
+      1
+      (Block.ops (Hida_d.node_block sched))
+  in
+  checkb "interval equals max node latency after balancing"
+    (est.Hida_estimator.Qor.d_interval <= max_node * 11 / 10)
+
+let test_balance_semantics () =
+  List.iter
+    (fun build ->
+      checkb "balancing preserves semantics"
+        (preserves_semantics ~build
+           ~transform:(fun f ->
+             lower_memref f;
+             Multi_producer.run f;
+             Balance.run f)
+           ()))
+    [ (fun () -> fork_join_kernel ()) ];
+  (* The nn path (ResNet's shortcut structure) goes through the nn
+     lowering before balancing. *)
+  checkb "balancing preserves resnet semantics"
+    (preserves_semantics
+       ~build:(fun () -> Models.resnet18 ~scale:0.05 ())
+       ~transform:(fun f ->
+         Construct.run f;
+         Fusion.run f;
+         ignore (Lowering.lower_nn_func f);
+         Multi_producer.run f;
+         Balance.run f)
+       ())
+
+let test_balance_soft_fifo () =
+  (* A big fork-join buffer goes to external memory with token flow. *)
+  let _m, f = fork_join_kernel ~n:4096 () in
+  lower_memref f;
+  Multi_producer.run f;
+  Balance.run ~onchip_bits_threshold:1024 f;
+  Verifier.verify_exn f;
+  let softened =
+    List.exists
+      (fun b -> Hida_d.buffer_placement b = Hida_d.External)
+      (Walk.collect f ~pred:Hida_d.is_buffer)
+  in
+  checkb "buffer softened to external memory" softened;
+  checkb "token flow inserted"
+    (Walk.count f ~pred:(fun op -> Op.name op = "hida.token_push") >= 1
+    && Walk.count f ~pred:(fun op -> Op.name op = "hida.token_pop") >= 1)
+
+(* Property: the full memref pipeline preserves semantics on random
+   elementwise chains. *)
+let prop_pipeline_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"full pipeline preserves random chains" ~count:25
+       gen_chain_kernel
+       (fun spec ->
+         preserves_semantics
+           ~build:(build_chain spec)
+           ~transform:(fun f ->
+             ignore
+               (Driver.compile_memref
+                  ~opts:{ Driver.default with max_parallel_factor = 4 }
+                  f))
+           ()))
+
+let tests =
+  [
+    Alcotest.test_case "construct: memref" `Quick test_construct_memref;
+    Alcotest.test_case "construct: single nest no-op" `Quick test_construct_single_nest_noop;
+    Alcotest.test_case "construct: nn" `Quick test_construct_nn;
+    Alcotest.test_case "construct preserves semantics" `Quick test_construct_preserves_semantics;
+    Alcotest.test_case "wrap_ops threads results" `Quick test_wrap_ops_yields;
+    Alcotest.test_case "fusion: LeNet tasks (Table 1)" `Quick test_lenet_fusion_tasks;
+    Alcotest.test_case "fusion preserves nn semantics" `Quick test_fusion_preserves_semantics_nn;
+    Alcotest.test_case "fusion respects hazards" `Quick test_fusion_respects_hazards;
+    Alcotest.test_case "balance fusion stops at critical" `Quick test_balance_fusion_stops;
+    Alcotest.test_case "custom fusion pattern (extensibility)" `Quick test_custom_fusion_pattern;
+    Alcotest.test_case "lowering: isolation" `Quick test_lowering_isolation;
+    Alcotest.test_case "lowering: RO/RW effects" `Quick test_lowering_effects;
+    Alcotest.test_case "lowering semantics (memref)" `Quick test_lowering_semantics_memref;
+    Alcotest.test_case "lowering semantics (nn)" `Quick test_lowering_semantics_nn;
+    Alcotest.test_case "weights placement option" `Quick test_lowering_weights_placement;
+    Alcotest.test_case "multi-producer: internal duplication" `Quick test_multi_producer_internal;
+    Alcotest.test_case "multi-producer semantics" `Quick test_multi_producer_semantics;
+    Alcotest.test_case "multi-producer copy insertion" `Quick test_multi_producer_copy_inserted;
+    Alcotest.test_case "multi-producer: external merge" `Quick test_multi_producer_external_merge;
+    Alcotest.test_case "balance: fork-join (Fig 8)" `Quick test_balance_fork_join;
+    Alcotest.test_case "balance semantics" `Quick test_balance_semantics;
+    Alcotest.test_case "balance: soft FIFO + tokens" `Quick test_balance_soft_fifo;
+    prop_pipeline_preserves;
+  ]

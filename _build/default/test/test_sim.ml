@@ -1,0 +1,257 @@
+(* Tests for the cycle-level dataflow simulator, including cross-checks
+   against the analytic estimator. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_hlssim
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let node id ~lat ~reads ~writes =
+  { Sim.ns_id = id; ns_name = Printf.sprintf "n%d" id; ns_latency = lat; ns_reads = reads; ns_writes = writes }
+
+let buffer id ~depth = { Sim.bs_id = id; bs_name = Printf.sprintf "b%d" id; bs_depth = depth }
+
+let test_chain_pipeline () =
+  (* Three-stage pipeline with ping-pong buffers: steady interval equals
+     the max node latency. *)
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:250 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 2 ~lat:120 ~reads:[ 1 ] ~writes:[];
+    ]
+  in
+  let buffers = [ buffer 0 ~depth:2; buffer 1 ~depth:2 ] in
+  let r = Sim.run ~frames:64 nodes buffers in
+  checkb "steady interval ~ max latency"
+    (Float.abs (r.Sim.r_steady_interval -. 250.) < 5.);
+  checki "first frame latency = chain sum" 470 r.Sim.r_first_frame_latency
+
+let test_depth1_serializes () =
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:100 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let pingpong = Sim.run ~frames:64 nodes [ buffer 0 ~depth:2 ] in
+  let single = Sim.run ~frames:64 nodes [ buffer 0 ~depth:1 ] in
+  checkb "ping-pong overlaps" (pingpong.Sim.r_steady_interval < 110.);
+  checkb "single stage serializes" (single.Sim.r_steady_interval > 190.)
+
+let test_fork_join_stall () =
+  (* Fig. 8: n0 feeds n1 and n2; n2 also consumes n1's output.  The edge
+     n0->n2 crosses two stages: with depth-2 buffers n0 stalls; giving
+     that buffer three stages restores full throughput. *)
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0; 1 ];
+      node 1 ~lat:100 ~reads:[ 0 ] ~writes:[ 2 ];
+      node 2 ~lat:100 ~reads:[ 1; 2 ] ~writes:[];
+    ]
+  in
+  let shallow =
+    Sim.run ~frames:64 nodes [ buffer 0 ~depth:2; buffer 1 ~depth:2; buffer 2 ~depth:2 ]
+  in
+  let deep =
+    Sim.run ~frames:64 nodes [ buffer 0 ~depth:2; buffer 1 ~depth:3; buffer 2 ~depth:2 ]
+  in
+  checkb "shallow fork-join stalls" (shallow.Sim.r_steady_interval >= 149.);
+  checkb "balanced fork-join streams" (deep.Sim.r_steady_interval < 110.)
+
+let test_deadlock_detection () =
+  let nodes =
+    [
+      node 0 ~lat:10 ~reads:[ 1 ] ~writes:[ 0 ];
+      node 1 ~lat:10 ~reads:[ 0 ] ~writes:[ 1 ];
+    ]
+  in
+  checkb "cycle detected"
+    (try
+       ignore (Sim.run nodes [ buffer 0 ~depth:2; buffer 1 ~depth:2 ]);
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_busy_fractions () =
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:50 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let r = Sim.run ~frames:64 nodes [ buffer 0 ~depth:2 ] in
+  let busy0 = List.assoc 0 r.Sim.r_node_busy in
+  let busy1 = List.assoc 1 r.Sim.r_node_busy in
+  checkb "critical node busier" (busy0 > busy1);
+  checkb "busy fraction near 1 for critical" (busy0 > 0.9)
+
+let test_sim_cross_checks_estimator () =
+  (* The simulated steady interval of a compiled dataflow design must
+     match the analytic estimate within 20%. *)
+  let _m, f = Polybench.k_3mm ~scale:0.1 () in
+  let rep =
+    Driver.run_memref
+      ~opts:{ Driver.default with max_parallel_factor = 4 }
+      ~device:Device.zu3eg f
+  in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let sim = Sim_ir.simulate_schedule ~frames:64 Device.zu3eg sched in
+  let analytic = float_of_int rep.Driver.estimate.Qor.d_interval in
+  let simulated = sim.Sim.r_steady_interval in
+  checkb
+    (Printf.sprintf "sim %.0f vs analytic %.0f" simulated analytic)
+    (simulated <= analytic *. 1.2 && simulated >= analytic *. 0.5)
+
+let test_sim_vs_analytic_all_kernels () =
+  (* For every multi-loop PolyBench kernel, the simulated steady interval
+     of the compiled design must agree with the analytic estimate. *)
+  List.iter
+    (fun (e : Polybench.entry) ->
+      if e.Polybench.e_multi_loop then begin
+        let _m, f = e.Polybench.e_build ~scale:0.1 () in
+        let rep =
+          Driver.run_memref
+            ~opts:{ Driver.default with max_parallel_factor = 4 }
+            ~device:Device.zu3eg f
+        in
+        match Walk.collect f ~pred:Hida_d.is_schedule with
+        | sched :: _ ->
+            let sim = Sim_ir.simulate_schedule ~frames:64 Device.zu3eg sched in
+            let analytic = float_of_int rep.Driver.estimate.Qor.d_interval in
+            checkb
+              (Printf.sprintf "%s: sim %.0f within 2x of analytic %.0f"
+                 e.Polybench.e_name sim.Sim.r_steady_interval analytic)
+              (sim.Sim.r_steady_interval <= analytic *. 1.25
+              && sim.Sim.r_steady_interval >= analytic *. 0.4)
+        | [] -> ()
+      end)
+    Polybench.all
+
+let prop_interval_bounded_by_sum_and_max =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sim interval between max and sum of latencies"
+       ~count:50
+       QCheck2.Gen.(list_size (int_range 2 5) (int_range 10 200))
+       (fun lats ->
+         let nodes =
+           List.mapi
+             (fun i lat ->
+               node i ~lat
+                 ~reads:(if i = 0 then [] else [ i - 1 ])
+                 ~writes:(if i = List.length lats - 1 then [] else [ i ]))
+             lats
+         in
+         let buffers =
+           List.init (List.length lats - 1) (fun i -> buffer i ~depth:2)
+         in
+         let r = Sim.run ~frames:32 nodes buffers in
+         let maxl = float_of_int (List.fold_left max 1 lats) in
+         let suml = float_of_int (List.fold_left ( + ) 0 lats) in
+         r.Sim.r_steady_interval >= maxl *. 0.99
+         && r.Sim.r_steady_interval <= suml +. 1.))
+
+let test_trace_and_gantt () =
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:200 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let r = Sim.run ~frames:8 nodes [ buffer 0 ~depth:2 ] in
+  (* Traces are monotone and respect latencies. *)
+  List.iter
+    (fun ((n : Sim.node_spec), t) ->
+      Array.iteri
+        (fun k (s, f) ->
+          checkb "finish = start + latency" (f = s + n.Sim.ns_latency);
+          if k > 0 then checkb "frames ordered" (s >= fst t.(k - 1)))
+        t)
+    r.Sim.r_trace;
+  let g = Sim.gantt ~frames:3 r in
+  checkb "gantt has one row per node"
+    (List.length (String.split_on_char '\n' g) >= 3);
+  checkb "gantt shows frames" (Helpers.contains ~sub:"0" g && Helpers.contains ~sub:"1" g)
+
+(* Random layered DAGs: interval bounded by [max, sum] of latencies and
+   weakly decreasing in buffer depth. *)
+let prop_random_dag =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random DAGs: interval bounds and depth monotonicity"
+       ~count:40
+       QCheck2.Gen.(
+         tup3
+           (list_size (int_range 2 4) (int_range 1 3)) (* nodes per layer *)
+           (int_range 10 200) (* base latency *)
+           (int_range 0 1000) (* seed *))
+       (fun (layers, base, seed) ->
+         let rng = ref seed in
+         let next () =
+           rng := ((!rng * 1103515245) + 12345) land 0xFFFFFF;
+           !rng
+         in
+         (* Build a layered DAG: every node reads one buffer from the
+            previous layer and writes one buffer. *)
+         let nodes = ref [] and buffers = ref [] in
+         let node_id = ref 0 and buf_id = ref 0 in
+         let prev_bufs = ref [] in
+         List.iter
+           (fun width ->
+             let this_bufs = ref [] in
+             for _ = 1 to width do
+               let reads =
+                 match !prev_bufs with
+                 | [] -> []
+                 | bs -> [ List.nth bs (next () mod List.length bs) ]
+               in
+               let b = !buf_id in
+               incr buf_id;
+               this_bufs := b :: !this_bufs;
+               buffers := { Sim.bs_id = b; bs_name = ""; bs_depth = 2 } :: !buffers;
+               nodes :=
+                 {
+                   Sim.ns_id = !node_id;
+                   ns_name = "";
+                   ns_latency = base + (next () mod base);
+                   ns_reads = reads;
+                   ns_writes = [ b ];
+                 }
+                 :: !nodes;
+               incr node_id
+             done;
+             prev_bufs := !this_bufs)
+           layers;
+         let nodes = List.rev !nodes and buffers = List.rev !buffers in
+         let r2 = Sim.run ~frames:24 nodes buffers in
+         let deep =
+           List.map (fun b -> { b with Sim.bs_depth = 4 }) buffers
+         in
+         let r4 = Sim.run ~frames:24 nodes deep in
+         let maxl =
+           float_of_int
+             (List.fold_left (fun acc n -> max acc n.Sim.ns_latency) 1 nodes)
+         in
+         let suml =
+           float_of_int
+             (List.fold_left (fun acc n -> acc + n.Sim.ns_latency) 0 nodes)
+         in
+         r2.Sim.r_steady_interval >= maxl *. 0.99
+         && r2.Sim.r_steady_interval <= suml +. 1.
+         && r4.Sim.r_steady_interval <= r2.Sim.r_steady_interval +. 1.))
+
+let tests =
+  [
+    Alcotest.test_case "trace and gantt" `Quick test_trace_and_gantt;
+    prop_random_dag;
+    Alcotest.test_case "chain pipeline" `Quick test_chain_pipeline;
+    Alcotest.test_case "depth-1 serialization" `Quick test_depth1_serializes;
+    Alcotest.test_case "fork-join stall (Fig 8)" `Quick test_fork_join_stall;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "busy fractions" `Quick test_busy_fractions;
+    Alcotest.test_case "sim cross-checks estimator" `Quick test_sim_cross_checks_estimator;
+    Alcotest.test_case "sim vs analytic on all kernels" `Quick test_sim_vs_analytic_all_kernels;
+    prop_interval_bounded_by_sum_and_max;
+  ]

@@ -1,0 +1,160 @@
+(* Tests for buffer-to-stream conversion. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_interp
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let lowered build =
+  let _m, f = build () in
+  Construct.run f;
+  Lowering.lower_memref_func f;
+  f
+
+let test_two_stage_streamized () =
+  let f = lowered (fun () -> two_stage_kernel ~n:16 ()) in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let converted = Streamize.run_on_schedule sched in
+  Verifier.verify_exn f;
+  checki "one buffer converted" 1 converted;
+  checkb "stream ops present"
+    (Walk.count f ~pred:(fun op -> Op.name op = "hida.stream_write") >= 1
+    && Walk.count f ~pred:(fun op -> Op.name op = "hida.stream_read") >= 1);
+  (* The dead buffer no longer costs memory. *)
+  let streamized =
+    List.filter
+      (fun b -> Op.bool_attr b "streamized")
+      (Walk.collect f ~pred:Hida_d.is_buffer)
+  in
+  checki "buffer marked" 1 (List.length streamized);
+  List.iter
+    (fun b -> checkb "no memory charged" (Qor.buffer_resource b = Resource.zero))
+    streamized
+
+let test_streamize_semantics () =
+  List.iter
+    (fun build ->
+      checkb "streamization preserves semantics"
+        (preserves_semantics ~build
+           ~transform:(fun f ->
+             Construct.run f;
+             Lowering.lower_memref_func f;
+             ignore (Streamize.run f))
+           ()))
+    [
+      (fun () -> two_stage_kernel ~n:16 ());
+      (fun () -> build_chain (8, [ Scale; Add; Square ]) ());
+    ]
+
+let test_streamize_rejects_random_access () =
+  (* atax reads its intermediate with a transposed pattern in the second
+     nest: conversion must be refused. *)
+  let f = lowered (fun () -> Polybench.k_atax ~scale:0.05 ()) in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  checki "no conversion on reordered reads" 0 (Streamize.run_on_schedule sched)
+
+let test_streamize_rejects_strided () =
+  let f = lowered (fun () -> Listing1.build ()) in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  (* A is read with stride 2, B is read in a permuted (k-major vs j-major
+     producer) order within the consumer's deeper nest: neither
+     qualifies. *)
+  checki "no conversion on strided/permuted access" 0
+    (Streamize.run_on_schedule sched)
+
+let test_streamize_rejects_unrolled () =
+  let f = lowered (fun () -> two_stage_kernel ~n:16 ()) in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  ignore (Parallelize.run_on_schedule ~max_parallel_factor:4 sched);
+  checki "no conversion under unrolling" 0 (Streamize.run_on_schedule sched)
+
+let test_streamize_in_full_pipeline () =
+  (* With streaming enabled (default) the compiled design must still be
+     correct end-to-end; with parallel factor 1, the two-stage kernel's
+     intermediate becomes a channel. *)
+  checkb "full pipeline with streaming preserves semantics"
+    (preserves_semantics
+       ~build:(fun () -> two_stage_kernel ~n:16 ())
+       ~transform:(fun f ->
+         ignore
+           (Driver.compile_memref
+              ~opts:{ Driver.default with max_parallel_factor = 1 }
+              f))
+       ());
+  let _m, f = two_stage_kernel ~n:16 () in
+  ignore
+    (Driver.run_memref
+       ~opts:{ Driver.default with max_parallel_factor = 1 }
+       ~device:Device.zu3eg f);
+  checkb "channel created by the driver"
+    (Walk.count f ~pred:(fun op -> Op.name op = "hida.stream_read") >= 1)
+
+let test_streamized_memory_drops () =
+  let run streaming =
+    let _m, f = build_chain (8, [ Scale; Add; Scale; Add ]) () in
+    let opts =
+      { Driver.default with enable_streaming = streaming; max_parallel_factor = 1 }
+    in
+    (Driver.run_memref ~opts ~device:Device.zu3eg f).Driver.estimate
+      .Qor.d_resource
+  in
+  let with_streams = run true and without = run false in
+  checkb "streaming reduces LUT+BRAM memory"
+    (with_streams.Resource.bram18 <= without.Resource.bram18)
+
+let test_csim_streamized () =
+  (* The emitted hls::stream code must execute correctly on the host. *)
+  if Sys.command "which g++ > /dev/null 2>&1" = 0 then begin
+    let _m, f = two_stage_kernel ~n:16 () in
+    ignore
+      (Driver.run_memref
+         ~opts:{ Driver.default with max_parallel_factor = 1 }
+         ~device:Device.zu3eg f);
+    let has_streams =
+      Walk.count f ~pred:(fun op -> Op.name op = "hida.stream_read") >= 1
+    in
+    checkb "design uses streams" has_streams;
+    let args = Interp.fresh_args f in
+    ignore (Interp.run_func f ~args);
+    let reference =
+      List.concat_map
+        (function
+          | Interp.Buf b ->
+              Array.to_list (Array.map Interp.scalar_to_float b.Interp.data)
+          | _ -> [])
+        args
+    in
+    let dir = Filename.temp_file "hida_stream" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let cpp = Hida_emitter.Testbench.write_project ~dir f in
+    let exe = Filename.concat dir "design" in
+    checkb "g++ compiles stream design"
+      (Sys.command (Printf.sprintf "g++ -O1 -I%s -o %s %s 2>/dev/null" dir exe cpp) = 0);
+    let ic = Unix.open_process_in exe in
+    let out = ref [] in
+    (try
+       while true do
+         out := float_of_string (input_line ic) :: !out
+       done
+     with End_of_file -> ());
+    ignore (Unix.close_process_in ic);
+    checkb "stream C-sim matches interpreter"
+      (floats_close ~tol:1e-3 reference (List.rev !out))
+  end
+
+let tests =
+  [
+    Alcotest.test_case "two-stage conversion" `Quick test_two_stage_streamized;
+    Alcotest.test_case "semantics preserved" `Quick test_streamize_semantics;
+    Alcotest.test_case "rejects reordered reads" `Quick test_streamize_rejects_random_access;
+    Alcotest.test_case "rejects strided/permuted" `Quick test_streamize_rejects_strided;
+    Alcotest.test_case "rejects unrolled accesses" `Quick test_streamize_rejects_unrolled;
+    Alcotest.test_case "full pipeline integration" `Quick test_streamize_in_full_pipeline;
+    Alcotest.test_case "memory drops with streams" `Quick test_streamized_memory_drops;
+    Alcotest.test_case "C-sim of stream design" `Slow test_csim_streamized;
+  ]
