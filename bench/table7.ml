@@ -27,6 +27,7 @@ let paper : (string * (float * float option * float option * float)) list =
 type row = {
   name : string;
   compile_s : float;
+  stages : string;
   luts : int;
   ffs : int;
   dsps : int;
@@ -45,6 +46,7 @@ let run_kernel (e : Polybench.entry) =
   {
     name = e.Polybench.e_name;
     compile_s = hida.Driver.compile_seconds;
+    stages = Util.top_stages hida;
     luts = hida.Driver.estimate.Qor.d_resource.Resource.luts;
     ffs = hida.Driver.estimate.Qor.d_resource.Resource.ffs;
     dsps = hida.Driver.estimate.Qor.d_resource.Resource.dsps;
@@ -80,6 +82,8 @@ let run () =
     (Util.geomean !ratios_sh) (Util.geomean !ratios_soff)
     (Util.geomean !ratios_vitis);
   Printf.printf "Paper geo-means: 1.29x over ScaleHLS, 4.49x over SOFF, 31.08x over Vitis\n";
+  Util.subheader "Per-stage compile-time breakdown (top 3 stages)";
+  List.iter (fun r -> Printf.printf "%-12s %s\n" r.name r.stages) rows;
   Util.subheader "Shape check vs paper (HIDA/ScaleHLS ratios per kernel)";
   Printf.printf "%-12s %10s %10s\n" "Kernel" "paper" "measured";
   List.iter

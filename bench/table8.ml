@@ -22,6 +22,7 @@ let paper =
 type row = {
   name : string;
   compile_s : float;
+  stages : string;
   luts : int;
   dsps : int;
   bram : int;
@@ -58,6 +59,7 @@ let run_model name =
   {
     name;
     compile_s = hida.Driver.compile_seconds;
+    stages = Util.top_stages hida;
     luts = hida.Driver.estimate.Qor.d_resource.Resource.luts;
     dsps = hida.Driver.estimate.Qor.d_resource.Resource.dsps;
     bram = hida.Driver.estimate.Qor.d_resource.Resource.bram18;
@@ -102,6 +104,8 @@ let run () =
         | Some (_, e, _) -> Printf.sprintf "%.1f%%" (100. *. e)
         | None -> "-"))
     rows;
+  Util.subheader "Per-stage compile-time breakdown (top 3 stages)";
+  List.iter (fun r -> Printf.printf "%-10s %s\n" r.name r.stages) rows;
   Printf.printf
     "\nGeo-mean throughput: %.2fx over DNNBuilder, %.2fx over ScaleHLS\n"
     (Util.geomean !r_dnnb) (Util.geomean !r_sh);

@@ -1,6 +1,49 @@
 (* Shared benchmark-harness utilities: table formatting and geometric
    means, plus paper reference values for side-by-side reporting. *)
 
+(* ---- Per-stage compile-time breakdowns (Hida_obs tracer) ----
+
+   The driver reports carry the same span tracer the CLI uses; the
+   benchmark tables reuse it so compile-time columns can be broken down
+   by pipeline stage. *)
+
+let stage_summary report =
+  Hida_obs.Trace.stage_summary report.Hida_core.Driver.trace
+
+let print_stage_breakdown ?max_depth name report =
+  Printf.printf "%-14s %s\n" name
+    (match max_depth with
+    | Some d ->
+        "\n" ^ Hida_obs.Trace.report ~max_depth:d report.Hida_core.Driver.trace
+    | None -> stage_summary report)
+
+(* Top [n] pipeline stages by time, compactly. *)
+let top_stages ?(n = 3) report =
+  let tr = report.Hida_core.Driver.trace in
+  let stages =
+    List.concat_map Hida_obs.Trace.children (Hida_obs.Trace.roots tr)
+    @ List.filter
+        (fun sp -> Hida_obs.Trace.children sp = [])
+        (Hida_obs.Trace.roots tr)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (Hida_obs.Trace.duration tr b) (Hida_obs.Trace.duration tr a))
+      stages
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  String.concat ", "
+    (List.map
+       (fun sp ->
+         Printf.sprintf "%s %.2fms" (Hida_obs.Trace.name sp)
+           (1000. *. Hida_obs.Trace.duration tr sp))
+       (take n sorted))
+
 let geomean = function
   | [] -> nan
   | xs ->

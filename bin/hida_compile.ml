@@ -41,18 +41,33 @@ let mode_of_string = function
   | "naive" -> Parallelize.naive
   | s -> invalid_arg ("unknown mode " ^ s ^ " (ia+ca | ia | ca | naive)")
 
+(* Fail early with a clear message when --trace-json points somewhere we
+   cannot write, instead of an exception trace after a long compile. *)
+let check_trace_path = function
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+        close_out oc
+      with Sys_error msg ->
+        prerr_endline ("hida-compile: cannot write trace file: " ^ msg);
+        exit 1)
+
 let rec run workload device_name pf tile mode_name no_fusion no_balance no_dataflow
-    fit emit_cpp dump_ir simulate =
+    fit emit_cpp dump_ir simulate timing trace_json print_ir_after remarks stats =
   try run_checked workload device_name pf tile mode_name no_fusion no_balance
-      no_dataflow fit emit_cpp dump_ir simulate
+      no_dataflow fit emit_cpp dump_ir simulate timing trace_json print_ir_after
+      remarks stats
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name no_fusion no_balance
-    no_dataflow fit emit_cpp dump_ir simulate =
+    no_dataflow fit emit_cpp dump_ir simulate timing trace_json print_ir_after
+    remarks stats =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
+  check_trace_path trace_json;
   let opts =
     {
       Driver.default with
@@ -62,6 +77,7 @@ and run_checked workload device_name pf tile mode_name no_fusion no_balance
       enable_fusion = not no_fusion;
       enable_balancing = not no_balance;
       enable_dataflow = not no_dataflow;
+      print_ir_after;
     }
   in
   let path, build = build_workload workload in
@@ -90,10 +106,43 @@ and run_checked workload device_name pf tile mode_name no_fusion no_balance
     (Resource.to_string e.Qor.d_resource)
     (100. *. Resource.utilization device e.Qor.d_resource)
     (if Resource.fits device e.Qor.d_resource then "fits" else "DOES NOT FIT");
-  List.iter
-    (fun s ->
-      Printf.printf "  pass %-38s %.4f s\n" s.Pass.pass_name s.Pass.seconds)
-    report.Driver.pass_timing;
+  if timing then begin
+    print_endline "---- timing (hierarchical) ----";
+    print_string (Hida_obs.Trace.report report.Driver.trace);
+    let verify_total =
+      List.fold_left
+        (fun acc s -> acc +. s.Pass.verify_seconds)
+        0. report.Driver.pass_timing
+    in
+    Printf.printf "  %-46s %10.4f\n" "verification (separate)" verify_total
+  end;
+  if remarks then begin
+    print_endline "---- optimization remarks ----";
+    if report.Driver.remarks = [] then print_endline "  (none)"
+    else
+      List.iter
+        (fun r -> print_endline ("  " ^ Hida_obs.Remark.to_string r))
+        report.Driver.remarks
+  end;
+  if stats then begin
+    print_endline "---- metrics ----";
+    print_string (Hida_obs.Metrics.to_string report.Driver.metrics);
+    print_endline "---- per-pass IR deltas ----";
+    List.iter
+      (fun pd ->
+        Printf.printf "  %-42s %s\n" pd.Hida_obs.Ir_stats.pd_pass
+          (Hida_obs.Ir_stats.delta_to_string pd))
+      report.Driver.pass_deltas
+  end;
+  (match trace_json with
+  | None -> ()
+  | Some path -> (
+      try
+        Hida_obs.Trace.write_chrome_file report.Driver.trace path;
+        Printf.printf "trace written   : %s (open in chrome://tracing)\n" path
+      with Sys_error msg ->
+        prerr_endline ("hida-compile: cannot write trace file: " ^ msg);
+        exit 1));
   (if simulate then
      match Walk.collect report.Driver.design ~pred:Hida_d.is_schedule with
      | sched :: _ ->
@@ -157,12 +206,35 @@ let simulate =
   Arg.(value & flag & info [ "simulate"; "s" ]
          ~doc:"Run the cycle-level dataflow simulator on the result.")
 
+let timing =
+  Arg.(value & flag & info [ "timing" ]
+         ~doc:"Print a hierarchical per-pass timing table (mlir's -mlir-timing).")
+
+let trace_json =
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON of the compile to $(docv) \
+               (open in chrome://tracing or Perfetto).")
+
+let print_ir_after =
+  Arg.(value & opt (some string) None & info [ "print-ir-after" ] ~docv:"PASS"
+         ~doc:"Dump the IR after every pass whose name contains $(docv) \
+               (use \"all\" for every pass).")
+
+let remarks =
+  Arg.(value & flag & info [ "remarks" ]
+         ~doc:"Print the optimization remarks emitted by the passes.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print pass metrics (counters/gauges) and per-pass IR deltas.")
+
 let cmd =
   let doc = "compile a workload with the HIDA dataflow HLS pipeline" in
   Cmd.v
     (Cmd.info "hida-compile" ~doc)
     Term.(
       const run $ workload $ device $ pf $ tile $ mode $ no_fusion $ no_balance
-      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ simulate)
+      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ simulate $ timing $ trace_json
+      $ print_ir_after $ remarks $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,9 @@ open Hida_ir
 open Ir
 open Hida_dialects
 open Hida_estimator
+module Obs = Hida_obs.Scope
+
+let pass_name = "data-path-balancing"
 
 (* Bits of one stage of the buffer backing a schedule block arg. *)
 let buffer_bits outer =
@@ -126,14 +129,27 @@ let balance_step ?(onchip_bits_threshold = 32 * 18_432) sched =
              | Some def -> Hida_d.is_buffer def && Hida_d.buffer_placement def = On_chip
              | None -> false)
              && buffer_bits outer * slack <= onchip_bits_threshold ->
+          Obs.count "balance.copy_stages_inserted" (slack - 1);
+          Obs.remark ~op:u ~pass:pass_name Hida_obs.Remark.Remark
+            "fork-join slack %d: inserted %d on-chip copy stage(s) \
+             (duplication cost %d bits)"
+            slack (slack - 1) (buffer_bits outer * slack);
           insert_copy_stages sched ~outer ~arg ~consumer:v ~count:(slack - 1);
           true
       | Some outer ->
+          Obs.count "balance.buffers_softened" 1;
+          Obs.remark ~op:u ~pass:pass_name Hida_obs.Remark.Remark
+            "fork-join slack %d: on-chip duplication too costly, re-placed \
+             buffer as soft FIFO in external memory (depth %d) with token flow"
+            slack (slack + 1);
           soften_buffer sched ~outer ~arg ~producer:u ~slack;
           true
       | None ->
           (* The edge value is not a schedule operand (should not happen
              after lowering); treat as external and add tokens only. *)
+          Obs.count "balance.buffers_softened" 1;
+          Obs.remark ~op:u ~pass:pass_name Hida_obs.Remark.Analysis
+            "fork-join slack %d on a non-operand edge: token flow only" slack;
           soften_buffer sched ~outer:arg ~arg ~producer:u ~slack;
           true)
 

@@ -121,10 +121,14 @@ let run (m : op) =
       | [] | [ _ ] -> ()
       | _ ->
           let d = wrap_ops ~kind:`Dispatch payload in
+          Hida_obs.Scope.count "construct.dispatches" 1;
           let tasks = Hida_d.body_ops d in
           List.iter
             (fun op ->
-              if is_iterative op then ignore (wrap_ops ~kind:`Task [ op ]))
+              if is_iterative op then begin
+                ignore (wrap_ops ~kind:`Task [ op ]);
+                Hida_obs.Scope.count "construct.tasks" 1
+              end)
             tasks)
     !worklist
 

@@ -24,6 +24,9 @@ type options = {
   pingpong : bool; (* HIDA buffers carry ping-pong semantics (§5.2);
                       baselines without it use single-stage buffers *)
   verify_each : bool;
+  print_ir_after : string option; (* dump IR after passes whose name
+                                     contains this substring ("all" =
+                                     every pass) *)
 }
 
 let default =
@@ -40,6 +43,7 @@ let default =
     conv_boundary = `Padded;
     pingpong = true;
     verify_each = false;
+    print_ir_after = None;
   }
 
 (* Strip the automatic ping-pong stages HIDA buffers carry: every
@@ -142,16 +146,85 @@ type report = {
   estimate : Qor.design_est;
   compile_seconds : float;
   pass_timing : Pass.stats list;
+  trace : Hida_obs.Trace.t; (* span tree of the whole compile *)
+  metrics : Hida_obs.Metrics.t; (* counters/gauges from all passes *)
+  remarks : Hida_obs.Remark.t list; (* optimization remarks, in order *)
+  pass_deltas : Hida_obs.Ir_stats.pass_delta list;
+      (* per-pass IR statistics (op/buffer/node counts before/after) *)
 }
 
+(* In-flight compilation: start time, pass manager, observation scope and
+   the IR-stat deltas accumulated by the manager hooks. *)
+type state = {
+  st_t0 : float;
+  st_mgr : Pass.manager;
+  st_scope : Hida_obs.Scope.t;
+  mutable st_deltas_rev : Hida_obs.Ir_stats.pass_delta list;
+}
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let make_manager opts =
-  Pass.manager ~verify_each:opts.verify_each ()
+  let mgr = Pass.manager ~verify_each:opts.verify_each () in
+  (match opts.print_ir_after with
+  | Some pat ->
+      Pass.set_print_ir_after mgr (fun name -> pat = "all" || contains ~sub:pat name)
+  | None -> ());
+  mgr
+
+(* Wire the observation scope into the manager: each pass gets a trace
+   span (verification included, so nested spans opened by the pass land
+   inside it) and a before/after IR statistics snapshot. *)
+let make_state opts =
+  let st =
+    {
+      st_t0 = Unix.gettimeofday ();
+      st_mgr = make_manager opts;
+      st_scope = Hida_obs.Scope.create ();
+      st_deltas_rev = [];
+    }
+  in
+  let tr = Hida_obs.Scope.trace st.st_scope in
+  let metrics = Hida_obs.Scope.metrics st.st_scope in
+  let open_spans = ref [] in
+  let before_stats = ref Hida_obs.Ir_stats.zero in
+  Pass.on_before_pass st.st_mgr (fun pass root ->
+      before_stats := Hida_obs.Ir_stats.capture root;
+      open_spans := Hida_obs.Trace.begin_span ~cat:"pass" tr pass.Pass.name :: !open_spans);
+  Pass.on_after_pass st.st_mgr (fun pass root stats ->
+      (match !open_spans with
+      | sp :: rest ->
+          Hida_obs.Trace.end_span tr sp;
+          open_spans := rest
+      | [] -> ());
+      let after = Hida_obs.Ir_stats.capture root in
+      st.st_deltas_rev <-
+        {
+          Hida_obs.Ir_stats.pd_pass = pass.Pass.name;
+          pd_before = !before_stats;
+          pd_after = after;
+        }
+        :: st.st_deltas_rev;
+      Hida_obs.Metrics.incr metrics "pass.runs";
+      Hida_obs.Metrics.add metrics "ir.ops_visited" after.Hida_obs.Ir_stats.ops;
+      ignore stats);
+  st
+
+(* Run the manager under the state's scope, with a root span wrapping the
+   whole pipeline. *)
+let run_pipeline st func =
+  Hida_obs.Scope.with_scope st.st_scope (fun () ->
+      Hida_obs.Scope.span ~cat:"driver" "hida-opt" (fun () ->
+          Pass.run st.st_mgr func))
 
 (* ---- PyTorch (tensor) path ---- *)
 
 let compile_nn ?(opts = default) func =
-  let t0 = Unix.gettimeofday () in
-  let mgr = make_manager opts in
+  let st = make_state opts in
+  let mgr = st.st_mgr in
   Pass.add mgr Canonicalize.pass;
   Pass.add mgr Construct.pass;
   if opts.enable_fusion then Pass.add mgr (Fusion.pass ());
@@ -173,14 +246,14 @@ let compile_nn ?(opts = default) func =
          if opts.weights_onchip then
            Walk.preorder f ~f:(fun op ->
                if Hida_d.is_buffer op then Op.remove_attr op "resident_rows")));
-  Pass.run mgr func;
-  (t0, mgr)
+  run_pipeline st func;
+  st
 
 (* ---- C++ (memref) path ---- *)
 
 let compile_memref ?(opts = default) func =
-  let t0 = Unix.gettimeofday () in
-  let mgr = make_manager opts in
+  let st = make_state opts in
+  let mgr = st.st_mgr in
   if opts.enable_dataflow then begin
     Pass.add mgr Canonicalize.pass;
     Pass.add mgr Construct.pass;
@@ -203,16 +276,35 @@ let compile_memref ?(opts = default) func =
          apply_tiling ~tile_size:opts.tile_size f;
          pipeline_innermost f;
          if not opts.pingpong then strip_pingpong f));
-  Pass.run mgr func;
-  (t0, mgr)
+  run_pipeline st func;
+  st
 
-let finish ~device ?(batch = 1) (t0, mgr) func =
-  (* Interface planning needs the target device's AXI port count, which
-     only becomes known here. *)
-  ignore (Interface.run ~device func);
-  let compile_seconds = Unix.gettimeofday () -. t0 in
-  let estimate = Qor.estimate_func device ~batch func in
-  { design = func; estimate; compile_seconds; pass_timing = Pass.timing mgr }
+let finish ~device ?(batch = 1) st func =
+  let scope = st.st_scope in
+  let estimate =
+    Hida_obs.Scope.with_scope scope (fun () ->
+        (* Interface planning needs the target device's AXI port count,
+           which only becomes known here. *)
+        Hida_obs.Scope.span ~cat:"driver" "interface-planning" (fun () ->
+            ignore (Interface.run ~device func));
+        Hida_obs.Scope.span ~cat:"driver" "qor-estimation" (fun () ->
+            Qor.estimate_func device ~batch func))
+  in
+  let compile_seconds = Unix.gettimeofday () -. st.st_t0 in
+  let metrics = Hida_obs.Scope.metrics scope in
+  Hida_obs.Metrics.set_gauge metrics "compile.seconds" compile_seconds;
+  Hida_obs.Metrics.set_gauge metrics "verify.seconds"
+    (Pass.total_verify_seconds st.st_mgr);
+  {
+    design = func;
+    estimate;
+    compile_seconds;
+    pass_timing = Pass.timing st.st_mgr;
+    trace = Hida_obs.Scope.trace scope;
+    metrics;
+    remarks = Hida_obs.Scope.remarks scope;
+    pass_deltas = List.rev st.st_deltas_rev;
+  }
 
 (* Convenience wrappers. *)
 let run_nn ?opts ~device ?batch func =

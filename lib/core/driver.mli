@@ -26,6 +26,9 @@ type options = {
       (** HIDA buffers carry automatic ping-pong semantics (§5.2);
           baselines without it get single-stage buffers *)
   verify_each : bool;
+  print_ir_after : string option;
+      (** dump IR after passes whose name contains this substring
+          (["all"] = every pass) *)
 }
 
 val default : options
@@ -42,17 +45,25 @@ type report = {
   estimate : Qor.design_est;
   compile_seconds : float;
   pass_timing : Pass.stats list;
+  trace : Hida_obs.Trace.t;  (** span tree of the whole compile *)
+  metrics : Hida_obs.Metrics.t;  (** counters/gauges from all passes *)
+  remarks : Hida_obs.Remark.t list;  (** optimization remarks, in order *)
+  pass_deltas : Hida_obs.Ir_stats.pass_delta list;
+      (** per-pass IR statistics (op/buffer/node counts before/after) *)
 }
+
+type state
+(** An in-flight compilation: pass manager plus observation scope.
+    Produced by {!compile_nn}/{!compile_memref}, consumed by {!finish}. *)
 
 val make_manager : options -> Pass.manager
 
-val compile_nn : ?opts:options -> Ir.op -> float * Pass.manager
-(** PyTorch path; returns the start time and manager for {!finish}. *)
+val compile_nn : ?opts:options -> Ir.op -> state
+(** PyTorch path; returns the in-flight state for {!finish}. *)
 
-val compile_memref : ?opts:options -> Ir.op -> float * Pass.manager
+val compile_memref : ?opts:options -> Ir.op -> state
 
-val finish :
-  device:Device.t -> ?batch:int -> float * Pass.manager -> Ir.op -> report
+val finish : device:Device.t -> ?batch:int -> state -> Ir.op -> report
 
 val run_nn : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report
 val run_memref : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report

@@ -12,6 +12,9 @@
 open Hida_ir
 open Ir
 open Hida_dialects
+module Obs = Hida_obs.Scope
+
+let pass_name = "functional-dataflow-task-fusion"
 
 (* ---- Task inspection ---- *)
 
@@ -194,6 +197,11 @@ let fuse producer consumer =
 let task_intensity = Intensity.op_intensity
 
 (* Pattern-driven worklist fusion inside one dispatch. *)
+let payload_summary task =
+  match payload_names task with
+  | [] -> "<empty>"
+  | names -> String.concat "+" names
+
 let apply_patterns patterns d =
   let changed = ref true in
   while !changed do
@@ -203,23 +211,55 @@ let apply_patterns patterns d =
       | [] -> ()
       | producer :: rest ->
           let candidate =
-            List.find_opt
+            List.find_map
               (fun consumer ->
-                directly_consumes ~producer ~consumer
-                && can_fuse ~producer ~consumer
-                && List.exists
-                     (fun p -> p.p_fires ~producer ~consumer)
-                     patterns)
+                if
+                  directly_consumes ~producer ~consumer
+                  && can_fuse ~producer ~consumer
+                then
+                  match
+                    List.find_opt (fun p -> p.p_fires ~producer ~consumer) patterns
+                  with
+                  | Some p -> Some (consumer, p)
+                  | None -> None
+                else None)
               rest
           in
           (match candidate with
-          | Some consumer ->
+          | Some (consumer, pat) ->
+              Obs.count "fusion.tasks_fused" 1;
+              Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Remark
+                "fused %s with %s (pattern %s)" (payload_summary producer)
+                (payload_summary consumer) pat.p_name;
               ignore (fuse producer consumer);
               changed := true
           | None -> try_pairs rest)
     in
     try_pairs tasks
-  done
+  done;
+  (* Report pattern matches that were blocked by legality (dominance or
+     an intervening memory dependence) as missed optimizations. *)
+  let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+  let rec missed = function
+    | [] -> ()
+    | producer :: rest ->
+        List.iter
+          (fun consumer ->
+            if
+              directly_consumes ~producer ~consumer
+              && List.exists (fun p -> p.p_fires ~producer ~consumer) patterns
+              && not (can_fuse ~producer ~consumer)
+            then begin
+              Obs.count "fusion.missed" 1;
+              Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Missed
+                "cannot fuse %s with %s: dominance or memory dependence \
+                 blocks reordering"
+                (payload_summary producer) (payload_summary consumer)
+            end)
+          rest;
+        missed rest
+  in
+  missed tasks
 
 (* Balancing fusion: fuse the least critical connected pair while
    profitable (the fusion does not become the new critical task). *)
@@ -254,9 +294,20 @@ let apply_balancing d =
       collect tasks;
       match List.sort (fun (a, _, _) (b, _, _) -> compare a b) !pairs with
       | (combined, producer, consumer) :: _ when combined < max_intensity ->
+          Obs.count "fusion.balancing_fusions" 1;
+          Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Remark
+            "balancing: fused %s with %s (combined intensity %d < critical %d)"
+            (payload_summary producer) (payload_summary consumer) combined
+            max_intensity;
           ignore (fuse producer consumer);
           continue_ := true
-      | _ -> ()
+      | (combined, producer, consumer) :: _ ->
+          Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Missed
+            "balancing stops: fusing %s with %s (intensity %d) would create \
+             a new critical task (current max %d)"
+            (payload_summary producer) (payload_summary consumer) combined
+            max_intensity
+      | [] -> ()
     end
   done
 

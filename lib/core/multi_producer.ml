@@ -13,6 +13,9 @@
 open Hida_ir
 open Ir
 open Hida_dialects
+module Obs = Hida_obs.Scope
+
+let pass_name = "multi-producer-elimination"
 
 let nodes_of sched = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched))
 
@@ -165,7 +168,15 @@ let run_on_schedule sched =
         let arg = Block.arg sched_blk i in
         match producers sched arg with
         | [] | [ _ ] -> ()
-        | _first :: rest ->
+        | _first :: rest as ps ->
+            Obs.count "multi_producer.buffers_duplicated" (List.length rest);
+            (match Value.defining_op outer with
+            | Some def ->
+                Obs.remark ~op:def ~pass:pass_name Hida_obs.Remark.Remark
+                  "internal buffer has %d producers: duplicated %d time(s) \
+                   to restore dataflow"
+                  (List.length ps) (List.length rest)
+            | None -> ());
             (* Chain of duplicates: each extra producer gets a fresh
                buffer seeded (via an explicit copy) from the previous one
                when it reads before writing. *)
@@ -251,7 +262,18 @@ let run_on_schedule sched =
         let arg = Block.arg sched_blk i in
         match producers sched arg with
         | [] | [ _ ] -> ()
-        | _ ->
+        | ps ->
+            Obs.count "multi_producer.nodes_merged" (List.length ps);
+            (match Value.defining_op outer with
+            | Some def ->
+                Obs.remark ~op:def ~pass:pass_name Hida_obs.Remark.Missed
+                  "external buffer has %d producers: duplication unsound, \
+                   merged producers into one sequential node"
+                  (List.length ps)
+            | None ->
+                Obs.remark ~pass:pass_name Hida_obs.Remark.Missed
+                  "external value has %d producers: merged into one \
+                   sequential node" (List.length ps));
             merge_consecutive_runs arg;
             merge_span arg
       end)

@@ -12,6 +12,9 @@
 open Hida_ir
 open Ir
 open Hida_dialects
+module Obs = Hida_obs.Scope
+
+let pass_name = "dataflow-parallelization"
 
 type mode = { ia : bool; ca : bool }
 
@@ -132,12 +135,31 @@ let connection_constraint ~node (c : Intensity.connection) other_factors =
 
 (* Parallelize one schedule.  Returns per-node results (used by the
    Listing-1 bench to print Table 5). *)
-let search_with engine ?(constraints = []) ?(cost = fun _ -> 0.) ~dims
+let search_with engine ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
     ~parallel_factor () =
   match engine with
-  | `Exhaustive -> Dse.search ~constraints ~cost ~dims ~parallel_factor ()
+  | `Exhaustive -> Dse.search ~constraints ~cost ?stats ~dims ~parallel_factor ()
   | `Stochastic seed ->
-      Dse.search_stochastic ~constraints ~cost ~seed ~dims ~parallel_factor ()
+      Dse.search_stochastic ~constraints ~cost ~seed ?stats ~dims
+        ~parallel_factor ()
+
+(* Run one DSE invocation under a trace span, reporting the proposed /
+   valid / pruned point counts to the ambient metrics. *)
+let observed_search engine ?constraints ?cost ~label ~dims ~parallel_factor () =
+  Obs.span ~cat:"dse" label (fun () ->
+      let stats = { Dse.proposed = 0; valid = 0 } in
+      let factors =
+        search_with engine ?constraints ?cost ~stats ~dims ~parallel_factor ()
+      in
+      Obs.count "dse.points_proposed" stats.Dse.proposed;
+      Obs.count "dse.points_evaluated" stats.Dse.valid;
+      Obs.count "dse.points_pruned" (stats.Dse.proposed - stats.Dse.valid);
+      factors)
+
+let factors_string factors =
+  "["
+  ^ String.concat "," (List.map string_of_int (Array.to_list factors))
+  ^ "]"
 
 let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
     sched =
@@ -214,12 +236,26 @@ let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
           bank_cost ~connections:node_connections ~parallelized ~node
         else fun _ -> 0.
       in
+      let label = Printf.sprintf "dse:node%d" node.o_id in
       let factors =
-        search_with engine ~constraints ~cost ~dims ~parallel_factor:pf ()
+        observed_search engine ~constraints ~cost ~label ~dims
+          ~parallel_factor:pf ()
       in
       List.iteri
         (fun i l -> Affine_d.set_unroll l factors.(i))
         spine;
+      Obs.count "parallelize.nodes" 1;
+      Obs.count "parallelize.constraints" (List.length constraints);
+      Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Remark
+        "node parallelized: intensity %d, parallel factor %d (of max %d), \
+         unroll factors %s under %d connection constraint(s)"
+        intensity pf max_parallel_factor (factors_string factors)
+        (List.length constraints);
+      if Dse.product factors < pf then
+        Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Missed
+          "allotted parallel factor %d not reachable: divisor lattice and \
+           connection constraints cap the factor product at %d"
+          pf (Dse.product factors);
       (* Fused nodes contain several sequential loop nests; the primary
          nest got the connection-constrained DSE above, the remaining
          nests each receive an unconstrained intra-node DSE at the same
@@ -241,7 +277,11 @@ let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
                      })
                    sub_spine)
             in
-            let sub = search_with engine ~dims:sub_dims ~parallel_factor:pf () in
+            let sub =
+              observed_search engine
+                ~label:(Printf.sprintf "dse:node%d.nest%d" node.o_id nest.o_id)
+                ~dims:sub_dims ~parallel_factor:pf ()
+            in
             List.iteri (fun i l -> Affine_d.set_unroll l sub.(i)) sub_spine
           end)
         (Affine_d.outermost_loops node);
@@ -273,8 +313,16 @@ let run_on_nest ~max_parallel_factor nest =
             }))
          spine)
   in
-  let factors = Dse.search ~dims ~parallel_factor:max_parallel_factor () in
+  let factors =
+    observed_search `Exhaustive
+      ~label:(Printf.sprintf "dse:nest%d" nest.o_id)
+      ~dims ~parallel_factor:max_parallel_factor ()
+  in
   List.iteri (fun i l -> Affine_d.set_unroll l factors.(i)) spine;
+  Obs.count "parallelize.nests" 1;
+  Obs.remark ~op:nest ~pass:pass_name Hida_obs.Remark.Remark
+    "loop nest parallelized: unroll factors %s (parallel factor %d)"
+    (factors_string factors) max_parallel_factor;
   factors
 
 let run ?mode ?engine ~max_parallel_factor root =

@@ -48,12 +48,25 @@ val search_with :
   [ `Exhaustive | `Stochastic of int ] ->
   ?constraints:int option array list ->
   ?cost:(int array -> float) ->
+  ?stats:Dse.stats ->
   dims:Dse.dim array ->
   parallel_factor:int ->
   unit ->
   int array
 (** Run the chosen DSE engine ([`Stochastic seed] is the literal
     Algorithm 4 loop; [`Exhaustive] its deterministic strengthening). *)
+
+val observed_search :
+  [ `Exhaustive | `Stochastic of int ] ->
+  ?constraints:int option array list ->
+  ?cost:(int array -> float) ->
+  label:string ->
+  dims:Dse.dim array ->
+  parallel_factor:int ->
+  unit ->
+  int array
+(** {!search_with} wrapped in a trace span, reporting proposed /
+    evaluated / pruned point counts to the ambient {!Hida_obs.Scope}. *)
 
 val run_on_schedule :
   ?mode:mode ->

@@ -161,4 +161,11 @@ let run ?depth root =
   List.fold_left (fun acc s -> acc + run_on_schedule ?depth s) 0 schedules
 
 let pass ?depth () =
-  Pass.make ~name:"buffer-streamization" (fun root -> ignore (run ?depth root))
+  Pass.make ~name:"buffer-streamization" (fun root ->
+      let converted = run ?depth root in
+      Hida_obs.Scope.count "streamize.buffers_streamized" converted;
+      if converted > 0 then
+        Hida_obs.Scope.remark ~pass:"buffer-streamization"
+          Hida_obs.Remark.Remark
+          "converted %d FIFO-compatible buffer(s) to hida.stream channels"
+          converted)

@@ -1,6 +1,9 @@
 (* Pass manager: a pass is a named transformation on a root op.  The
-   manager optionally verifies the IR after each pass and records timing,
-   mirroring mlir-opt's pass pipeline with -verify-each. *)
+   manager optionally verifies the IR after each pass, records per-pass
+   transform and verification timing, and exposes instrumentation hooks
+   (before/after-pass callbacks, a print-ir-after filter, and an IR
+   snapshot dump on verification failure), mirroring mlir-opt's pass
+   pipeline with -verify-each / -print-ir-after / -mlir-timing. *)
 
 open Ir
 
@@ -8,36 +11,96 @@ type t = { name : string; run : op -> unit }
 
 let make ~name run = { name; run }
 
-type stats = { pass_name : string; seconds : float }
+type stats = { pass_name : string; seconds : float; verify_seconds : float }
 
 type manager = {
-  mutable passes : t list;
   verify_each : bool;
-  mutable stats : stats list;
+  mutable passes_rev : t list; (* reversed: O(1) append *)
+  mutable stats_rev : stats list; (* current run only *)
+  mutable before_hooks_rev : (t -> op -> unit) list;
+  mutable after_hooks_rev : (t -> op -> stats -> unit) list;
+  mutable print_ir_after : string -> bool;
+  mutable snapshot_on_failure : bool;
 }
 
-let manager ?(verify_each = true) () = { passes = []; verify_each; stats = [] }
+let manager ?(verify_each = true) () =
+  {
+    verify_each;
+    passes_rev = [];
+    stats_rev = [];
+    before_hooks_rev = [];
+    after_hooks_rev = [];
+    print_ir_after = (fun _ -> false);
+    snapshot_on_failure = true;
+  }
 
-let add mgr pass = mgr.passes <- mgr.passes @ [ pass ]
+let add mgr pass = mgr.passes_rev <- pass :: mgr.passes_rev
+
+let passes mgr = List.rev mgr.passes_rev
+
+let on_before_pass mgr f = mgr.before_hooks_rev <- f :: mgr.before_hooks_rev
+let on_after_pass mgr f = mgr.after_hooks_rev <- f :: mgr.after_hooks_rev
+let set_print_ir_after mgr f = mgr.print_ir_after <- f
+let set_snapshot_on_failure mgr b = mgr.snapshot_on_failure <- b
+
+(* Dump the (invalid) IR to a temp file so verification failures can be
+   inspected; best-effort. *)
+let dump_snapshot root =
+  try
+    let file = Filename.temp_file "hida-verify-fail-" ".ir" in
+    let oc = open_out file in
+    output_string oc (Printer.op_to_string root);
+    close_out oc;
+    Some file
+  with Sys_error _ -> None
 
 let run mgr root =
+  mgr.stats_rev <- [];
+  let before_hooks = List.rev mgr.before_hooks_rev in
+  let after_hooks = List.rev mgr.after_hooks_rev in
   List.iter
     (fun pass ->
+      List.iter (fun f -> f pass root) before_hooks;
       let t0 = Unix.gettimeofday () in
       pass.run root;
-      let dt = Unix.gettimeofday () -. t0 in
-      mgr.stats <- { pass_name = pass.name; seconds = dt } :: mgr.stats;
-      if mgr.verify_each then
-        match Verifier.verify root with
-        | Ok () -> ()
-        | Error es ->
-            let msg =
-              String.concat "\n"
-                (List.map (Format.asprintf "%a" Verifier.pp_error) es)
-            in
-            failwith
-              (Printf.sprintf "verification failed after pass %s:\n%s"
-                 pass.name msg))
-    mgr.passes
+      let seconds = Unix.gettimeofday () -. t0 in
+      let verify_seconds =
+        if not mgr.verify_each then 0.
+        else begin
+          let v0 = Unix.gettimeofday () in
+          match Verifier.verify root with
+          | Ok () -> Unix.gettimeofday () -. v0
+          | Error es ->
+              let msg =
+                String.concat "\n"
+                  (List.map (Format.asprintf "%a" Verifier.pp_error) es)
+              in
+              let snapshot =
+                if mgr.snapshot_on_failure then dump_snapshot root else None
+              in
+              failwith
+                (Printf.sprintf "verification failed after pass %s:\n%s%s"
+                   pass.name msg
+                   (match snapshot with
+                   | Some f -> "\nIR snapshot dumped to " ^ f
+                   | None -> ""))
+        end
+      in
+      let st = { pass_name = pass.name; seconds; verify_seconds } in
+      mgr.stats_rev <- st :: mgr.stats_rev;
+      if mgr.print_ir_after pass.name then begin
+        Printf.printf "// ---- IR after pass %s ----\n" pass.name;
+        Printer.print_op root
+      end;
+      List.iter (fun f -> f pass root st) after_hooks)
+    (List.rev mgr.passes_rev)
 
-let timing mgr = List.rev mgr.stats
+let timing mgr = List.rev mgr.stats_rev
+
+let total_seconds mgr =
+  List.fold_left
+    (fun acc s -> acc +. s.seconds +. s.verify_seconds)
+    0. mgr.stats_rev
+
+let total_verify_seconds mgr =
+  List.fold_left (fun acc s -> acc +. s.verify_seconds) 0. mgr.stats_rev

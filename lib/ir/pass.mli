@@ -1,29 +1,58 @@
 (** Pass manager.
 
     A pass is a named transformation over a root operation.  The manager
-    runs passes in order, records per-pass wall-clock timing, and can
-    verify the IR after each pass (mlir-opt's [-verify-each]). *)
+    runs passes in order, records per-pass wall-clock timing (transform
+    and verification separately), and can verify the IR after each pass
+    (mlir-opt's [-verify-each]).  Instrumentation hooks let an observer
+    wrap every pass with tracing, metrics capture or IR printing without
+    the manager depending on any observability library. *)
 
 type t = { name : string; run : Ir.op -> unit }
 
 val make : name:string -> (Ir.op -> unit) -> t
 
-type stats = { pass_name : string; seconds : float }
-
-type manager = {
-  mutable passes : t list;
-  verify_each : bool;
-  mutable stats : stats list;
+type stats = {
+  pass_name : string;
+  seconds : float;  (** transform time, excluding verification *)
+  verify_seconds : float;  (** post-pass verification time (0 when off) *)
 }
+
+type manager
 
 val manager : ?verify_each:bool -> unit -> manager
 (** [verify_each] defaults to [true]. *)
 
 val add : manager -> t -> unit
+(** Append a pass (O(1)). *)
+
+val passes : manager -> t list
+(** Registered passes, in execution order. *)
+
+val on_before_pass : manager -> (t -> Ir.op -> unit) -> unit
+(** Register a callback invoked before each pass runs.  Callbacks fire
+    in registration order. *)
+
+val on_after_pass : manager -> (t -> Ir.op -> stats -> unit) -> unit
+(** Register a callback invoked after each pass (and its verification)
+    completes, with the pass's timing stats. *)
+
+val set_print_ir_after : manager -> (string -> bool) -> unit
+(** Print the IR to stdout after every pass whose name satisfies the
+    filter (mlir-opt's [-print-ir-after]). *)
+
+val set_snapshot_on_failure : manager -> bool -> unit
+(** Dump the invalid IR to a temp file when verification fails
+    (default [true]); the failure message names the file. *)
 
 val run : manager -> Ir.op -> unit
 (** Runs all passes; raises [Failure] if [verify_each] is set and a pass
-    leaves the IR in an invalid state. *)
+    leaves the IR in an invalid state.  Timing stats are per-run:
+    calling [run] again resets them. *)
 
 val timing : manager -> stats list
-(** Per-pass timing, in execution order. *)
+(** Per-pass timing of the latest run, in execution order. *)
+
+val total_seconds : manager -> float
+(** Total transform + verification seconds of the latest run. *)
+
+val total_verify_seconds : manager -> float

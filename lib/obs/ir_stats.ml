@@ -1,0 +1,60 @@
+(* Structural IR statistics, captured before/after each pass so the
+   pipeline's effect on the design (tasks formed, buffers materialized,
+   nodes created) is visible per pass, not just end-to-end. *)
+
+open Hida_ir
+open Hida_dialects
+
+type t = {
+  ops : int;
+  loops : int;
+  buffers : int;
+  streams : int;
+  nodes : int;
+  tasks : int;
+}
+
+let zero = { ops = 0; loops = 0; buffers = 0; streams = 0; nodes = 0; tasks = 0 }
+
+let capture root =
+  let s = ref zero in
+  Ir.Walk.preorder root ~f:(fun op ->
+      let c = !s in
+      s :=
+        {
+          ops = c.ops + 1;
+          loops = (c.loops + if Affine_d.is_for op then 1 else 0);
+          buffers = (c.buffers + if Hida_d.is_buffer op then 1 else 0);
+          streams = (c.streams + if Hida_d.is_stream op then 1 else 0);
+          nodes = (c.nodes + if Hida_d.is_node op then 1 else 0);
+          tasks = (c.tasks + if Hida_d.is_task op then 1 else 0);
+        });
+  !s
+
+let diff ~before ~after =
+  {
+    ops = after.ops - before.ops;
+    loops = after.loops - before.loops;
+    buffers = after.buffers - before.buffers;
+    streams = after.streams - before.streams;
+    nodes = after.nodes - before.nodes;
+    tasks = after.tasks - before.tasks;
+  }
+
+type pass_delta = { pd_pass : string; pd_before : t; pd_after : t }
+
+let delta pd = diff ~before:pd.pd_before ~after:pd.pd_after
+
+let to_string s =
+  Printf.sprintf "ops %d, loops %d, buffers %d, streams %d, nodes %d, tasks %d"
+    s.ops s.loops s.buffers s.streams s.nodes s.tasks
+
+let fmt_delta n = if n > 0 then Printf.sprintf "+%d" n else string_of_int n
+
+let delta_to_string pd =
+  let d = delta pd in
+  Printf.sprintf "ops %d->%d (%s), buffers %d->%d (%s), nodes %d->%d (%s), tasks %d->%d (%s)"
+    pd.pd_before.ops pd.pd_after.ops (fmt_delta d.ops)
+    pd.pd_before.buffers pd.pd_after.buffers (fmt_delta d.buffers)
+    pd.pd_before.nodes pd.pd_after.nodes (fmt_delta d.nodes)
+    pd.pd_before.tasks pd.pd_after.tasks (fmt_delta d.tasks)

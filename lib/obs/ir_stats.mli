@@ -1,0 +1,24 @@
+(** Structural IR statistics and per-pass deltas. *)
+
+type t = {
+  ops : int;
+  loops : int;
+  buffers : int;
+  streams : int;
+  nodes : int;
+  tasks : int;
+}
+
+val zero : t
+
+val capture : Hida_ir.Ir.op -> t
+(** Count ops, loops, buffers, streams, dataflow nodes and tasks in the
+    nested region tree under the root. *)
+
+val diff : before:t -> after:t -> t
+
+type pass_delta = { pd_pass : string; pd_before : t; pd_after : t }
+
+val delta : pass_delta -> t
+val to_string : t -> string
+val delta_to_string : pass_delta -> string

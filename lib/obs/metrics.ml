@@ -1,0 +1,40 @@
+(* Metrics registry: named monotonic counters (int, additive) and gauges
+   (float, last-write-wins).  Mirrors mlir's pass statistics: cheap to
+   update from inside passes, read out once per compile. *)
+
+type t = {
+  m_counters : (string, int) Hashtbl.t;
+  m_gauges : (string, float) Hashtbl.t;
+}
+
+let create () = { m_counters = Hashtbl.create 32; m_gauges = Hashtbl.create 16 }
+
+let add t name n =
+  let cur = match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0 in
+  Hashtbl.replace t.m_counters name (cur + n)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0
+
+let set_gauge t name v = Hashtbl.replace t.m_gauges name v
+
+let gauge t name = Hashtbl.find_opt t.m_gauges name
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted_bindings t.m_counters
+let gauges t = sorted_bindings t.m_gauges
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" k v))
+    (counters t);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12.4f\n" k v))
+    (gauges t);
+  Buffer.contents buf

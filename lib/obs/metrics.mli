@@ -1,0 +1,25 @@
+(** Metrics registry: named counters and gauges.
+
+    Counters are additive integers (ops visited, buffers created, DSE
+    points evaluated, ...); gauges are last-write-wins floats. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int -> unit
+(** Add to a counter, creating it at 0 first. *)
+
+val incr : t -> string -> unit
+
+val counter : t -> string -> int
+(** Current value; 0 when never written. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+val to_string : t -> string

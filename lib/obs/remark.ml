@@ -1,0 +1,41 @@
+(* Optimization remarks (mlir/LLVM's -Rpass / optimization-remark
+   machinery): passes report what they did ([Remark]), what they could
+   not do and why ([Missed]), and neutral findings ([Analysis]), keyed to
+   the pass name and the closest thing the IR has to a source location —
+   the op's name, unique id and SSA name hint. *)
+
+open Hida_ir
+
+type severity = Remark | Missed | Analysis
+
+type loc = { l_op_name : string; l_op_id : int; l_hint : string option }
+
+type t = {
+  r_pass : string;
+  r_severity : severity;
+  r_loc : loc option;
+  r_msg : string;
+}
+
+let severity_name = function
+  | Remark -> "remark"
+  | Missed -> "missed"
+  | Analysis -> "analysis"
+
+let loc_of_op (op : Ir.op) =
+  let hint =
+    match Ir.Op.results op with
+    | r :: _ -> r.Ir.v_name_hint
+    | [] -> None
+  in
+  { l_op_name = Ir.Op.name op; l_op_id = op.Ir.o_id; l_hint = hint }
+
+let loc_to_string l =
+  match l.l_hint with
+  | Some h -> Printf.sprintf "%s(%%%s_%d)" l.l_op_name h l.l_op_id
+  | None -> Printf.sprintf "%s(#%d)" l.l_op_name l.l_op_id
+
+let to_string r =
+  Printf.sprintf "%s [%s]%s: %s" (severity_name r.r_severity) r.r_pass
+    (match r.r_loc with Some l -> " " ^ loc_to_string l | None -> "")
+    r.r_msg

@@ -1,0 +1,22 @@
+(** Optimization remarks.
+
+    [Remark] reports an applied optimization, [Missed] an optimization
+    that could not be applied (and why), [Analysis] a neutral finding.
+    Remarks are keyed to the emitting pass and, when available, to an op
+    "location" (op name, unique id, SSA name hint). *)
+
+type severity = Remark | Missed | Analysis
+
+type loc = { l_op_name : string; l_op_id : int; l_hint : string option }
+
+type t = {
+  r_pass : string;
+  r_severity : severity;
+  r_loc : loc option;
+  r_msg : string;
+}
+
+val severity_name : severity -> string
+val loc_of_op : Hida_ir.Ir.op -> loc
+val loc_to_string : loc -> string
+val to_string : t -> string

@@ -1,0 +1,66 @@
+(* Ambient observation scope.
+
+   The driver installs a scope (tracer + metrics + remark buffer) around
+   a pipeline run; passes report through the module-level helpers without
+   threading a context through every signature, mirroring MLIR's
+   context-bound diagnostic engine.  All helpers are no-ops when no scope
+   is installed, so passes stay usable standalone (tests, benches). *)
+
+type t = {
+  sc_trace : Trace.t;
+  sc_metrics : Metrics.t;
+  mutable sc_remarks_rev : Remark.t list;
+}
+
+let create () =
+  { sc_trace = Trace.create (); sc_metrics = Metrics.create (); sc_remarks_rev = [] }
+
+let trace t = t.sc_trace
+let metrics t = t.sc_metrics
+let remarks t = List.rev t.sc_remarks_rev
+
+let current_scope : t option ref = ref None
+
+let current () = !current_scope
+
+let with_scope t f =
+  let saved = !current_scope in
+  current_scope := Some t;
+  Fun.protect ~finally:(fun () -> current_scope := saved) f
+
+(* ---- Reporting helpers (no-ops without an installed scope) ---- *)
+
+let count name n =
+  match !current_scope with None -> () | Some s -> Metrics.add s.sc_metrics name n
+
+let gauge name v =
+  match !current_scope with
+  | None -> ()
+  | Some s -> Metrics.set_gauge s.sc_metrics name v
+
+let span ?cat name f =
+  match !current_scope with
+  | None -> f ()
+  | Some s -> Trace.with_span ?cat s.sc_trace name f
+
+let instant ?cat name =
+  match !current_scope with
+  | None -> ()
+  | Some s -> Trace.instant ?cat s.sc_trace name
+
+let add_remark t r = t.sc_remarks_rev <- r :: t.sc_remarks_rev
+
+let remark ?op ~pass severity fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match !current_scope with
+      | None -> ()
+      | Some s ->
+          add_remark s
+            {
+              Remark.r_pass = pass;
+              r_severity = severity;
+              r_loc = Option.map Remark.loc_of_op op;
+              r_msg = msg;
+            })
+    fmt

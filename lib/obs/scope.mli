@@ -1,0 +1,43 @@
+(** Ambient observation scope.
+
+    A scope bundles a tracer, a metrics registry and a remark buffer.
+    The driver installs one with {!with_scope} around a pipeline run;
+    passes report through {!count}, {!gauge}, {!span} and {!remark},
+    which are no-ops when no scope is installed (passes stay usable
+    standalone). *)
+
+type t
+
+val create : unit -> t
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val remarks : t -> Remark.t list
+(** Captured remarks, in emission order. *)
+
+val current : unit -> t option
+
+val with_scope : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient scope for the callback (exception-safe,
+    restores the previous scope; nesting works). *)
+
+val count : string -> int -> unit
+(** Add to a counter of the ambient scope's metrics. *)
+
+val gauge : string -> float -> unit
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run the callback under a trace span of the ambient scope (or plainly
+    when none is installed). *)
+
+val instant : ?cat:string -> string -> unit
+val add_remark : t -> Remark.t -> unit
+
+val remark :
+  ?op:Hida_ir.Ir.op ->
+  pass:string ->
+  Remark.severity ->
+  ('a, unit, string, unit) format4 ->
+  'a
+(** Printf-style remark emission, e.g.
+    [remark ~op ~pass:"fusion" Remark.Remark "fused %s into %s" a b]. *)

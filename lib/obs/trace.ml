@@ -1,0 +1,210 @@
+(* Span-based tracer for the HIDA-OPT pipeline.
+
+   A trace is a forest of nested spans.  Timestamps are seconds relative
+   to the tracer's epoch; the clock is wall-clock based but guarded to be
+   monotonic (it never runs backwards across a system clock adjustment),
+   so span durations and orderings stay consistent.  Traces export to the
+   Chrome trace-event JSON format, viewable in chrome://tracing or
+   Perfetto. *)
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_args : (string * string) list;
+  sp_start : float;
+  mutable sp_stop : float option;
+  mutable sp_children_rev : span list;
+}
+
+type t = {
+  tr_epoch : float; (* Unix.gettimeofday at creation (absolute wall time) *)
+  mutable tr_last : float; (* monotonic guard: latest timestamp handed out *)
+  mutable tr_next_id : int;
+  mutable tr_stack : span list;
+  mutable tr_roots_rev : span list;
+  mutable tr_instants_rev : (float * string * string) list;
+}
+
+let create () =
+  {
+    tr_epoch = Unix.gettimeofday ();
+    tr_last = 0.;
+    tr_next_id = 0;
+    tr_stack = [];
+    tr_roots_rev = [];
+    tr_instants_rev = [];
+  }
+
+let epoch t = t.tr_epoch
+
+(* Monotonic "seconds since epoch": wall clock clamped to never move
+   backwards. *)
+let now t =
+  let raw = Unix.gettimeofday () -. t.tr_epoch in
+  let m = if raw > t.tr_last then raw else t.tr_last in
+  t.tr_last <- m;
+  m
+
+let begin_span ?(cat = "") ?(args = []) t name =
+  let sp =
+    {
+      sp_id =
+        (let id = t.tr_next_id in
+         t.tr_next_id <- id + 1;
+         id);
+      sp_name = name;
+      sp_cat = cat;
+      sp_args = args;
+      sp_start = now t;
+      sp_stop = None;
+      sp_children_rev = [];
+    }
+  in
+  (match t.tr_stack with
+  | parent :: _ -> parent.sp_children_rev <- sp :: parent.sp_children_rev
+  | [] -> t.tr_roots_rev <- sp :: t.tr_roots_rev);
+  t.tr_stack <- sp :: t.tr_stack;
+  sp
+
+(* Close [sp] (and, defensively, any deeper span left open above it). *)
+let end_span t sp =
+  let stop = now t in
+  let rec pop = function
+    | [] -> [] (* [sp] was not on the stack: ignore *)
+    | top :: rest ->
+        if top.sp_stop = None then top.sp_stop <- Some stop;
+        if top.sp_id = sp.sp_id then rest else pop rest
+  in
+  if List.exists (fun s -> s.sp_id = sp.sp_id) t.tr_stack then
+    t.tr_stack <- pop t.tr_stack
+
+let with_span ?cat ?args t name f =
+  let sp = begin_span ?cat ?args t name in
+  Fun.protect ~finally:(fun () -> end_span t sp) f
+
+let instant ?(cat = "") t name =
+  t.tr_instants_rev <- (now t, name, cat) :: t.tr_instants_rev
+
+let roots t = List.rev t.tr_roots_rev
+let children sp = List.rev sp.sp_children_rev
+let name sp = sp.sp_name
+let cat sp = sp.sp_cat
+let start_seconds sp = sp.sp_start
+
+let duration t sp =
+  match sp.sp_stop with Some e -> e -. sp.sp_start | None -> t.tr_last -. sp.sp_start
+
+let total_seconds t =
+  List.fold_left (fun acc sp -> acc +. duration t sp) 0. (roots t)
+
+let find t n =
+  let rec dfs = function
+    | [] -> None
+    | sp :: rest -> if sp.sp_name = n then Some sp else (
+        match dfs (children sp) with Some s -> Some s | None -> dfs rest)
+  in
+  dfs (roots t)
+
+(* ---- Hierarchical timing report ---- *)
+
+let report ?max_depth t =
+  let buf = Buffer.create 512 in
+  let total = total_seconds t in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-46s %10s %7s\n" "stage" "seconds" "%");
+  let rec emit depth parent_total sp =
+    let keep = match max_depth with None -> true | Some d -> depth <= d in
+    if keep then begin
+      let d = duration t sp in
+      let pct = if parent_total > 0. then 100. *. d /. parent_total else 100. in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-46s %10.4f %6.1f%%\n"
+           (String.make (2 * depth) ' ' ^ sp.sp_name)
+           d pct);
+      List.iter (emit (depth + 1) d) (children sp)
+    end
+  in
+  List.iter (emit 0 (if total > 0. then total else 1.)) (roots t);
+  Buffer.add_string buf (Printf.sprintf "  %-46s %10.4f\n" "total" total);
+  Buffer.contents buf
+
+(* One-line summary of the top-level stages (benchmark tables). *)
+let stage_summary ?(depth = 1) t =
+  let rec collect d sp =
+    if d >= depth then [ sp ] else List.concat_map (collect (d + 1)) (children sp)
+  in
+  let stages = List.concat_map (collect 0) (roots t) in
+  String.concat " | "
+    (List.map (fun sp -> Printf.sprintf "%s %.3fs" sp.sp_name (duration t sp)) stages)
+
+(* ---- Chrome trace-event export ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit_event s =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf s
+  in
+  emit_event
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"hida-opt\"}}";
+  let args_json args =
+    if args = [] then ""
+    else
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              args))
+  in
+  (* Complete ("X") events, parents before children so viewers nest them
+     without needing matched B/E pairs. *)
+  let rec emit_span sp =
+    emit_event
+      (Printf.sprintf
+         "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f%s}"
+         (json_escape sp.sp_name)
+         (json_escape (if sp.sp_cat = "" then "hida" else sp.sp_cat))
+         (sp.sp_start *. 1e6)
+         (duration t sp *. 1e6)
+         (args_json sp.sp_args));
+    List.iter emit_span (children sp)
+  in
+  List.iter emit_span (roots t);
+  List.iter
+    (fun (ts, n, c) ->
+      emit_event
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f}"
+           (json_escape n)
+           (json_escape (if c = "" then "hida" else c))
+           (ts *. 1e6)))
+    (List.rev t.tr_instants_rev);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_chrome_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json t))

@@ -1,0 +1,56 @@
+(** Span-based tracer with Chrome trace-event JSON export.
+
+    A trace is a forest of nested spans with monotonic timestamps
+    relative to the tracer's creation.  [to_chrome_json] renders the
+    whole compile as complete ("X") events openable in chrome://tracing
+    or Perfetto. *)
+
+type span
+type t
+
+val create : unit -> t
+
+val epoch : t -> float
+(** Absolute wall-clock time ([Unix.gettimeofday]) of the tracer's
+    creation; all span timestamps are relative to it. *)
+
+val begin_span : ?cat:string -> ?args:(string * string) list -> t -> string -> span
+(** Open a span nested under the innermost open span (or as a new root). *)
+
+val end_span : t -> span -> unit
+(** Close the span; any deeper span accidentally left open is closed at
+    the same timestamp.  Unknown spans are ignored. *)
+
+val with_span : ?cat:string -> ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around a callback, exception-safe. *)
+
+val instant : ?cat:string -> t -> string -> unit
+(** Record a point event. *)
+
+val roots : t -> span list
+(** Top-level spans, in chronological order. *)
+
+val children : span -> span list
+val name : span -> string
+val cat : span -> string
+val start_seconds : span -> float
+
+val duration : t -> span -> float
+(** Span duration in seconds; an open span extends to the latest
+    timestamp the tracer has seen. *)
+
+val total_seconds : t -> float
+val find : t -> string -> span option
+
+val report : ?max_depth:int -> t -> string
+(** Hierarchical timing table (indentation = nesting), with each span's
+    share of its parent. *)
+
+val stage_summary : ?depth:int -> t -> string
+(** One-line "stage a 0.01s | stage b 0.20s" summary at the given
+    nesting depth (default: the children of the root spans). *)
+
+val json_escape : string -> string
+val to_chrome_json : t -> string
+val write_chrome_file : t -> string -> unit
+(** Raises [Sys_error] if the path is not writable. *)

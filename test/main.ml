@@ -19,4 +19,5 @@ let () =
       ("interface", Test_interface.tests);
       ("affine-if", Test_affine_if.tests);
       ("loop-transforms", Test_loop_transforms.tests);
+      ("obs", Test_obs.tests);
     ]

@@ -1,0 +1,464 @@
+(* Observability tests: span tracer, Chrome JSON export, metrics
+   registry, IR statistics, pass-manager instrumentation hooks, and
+   remark/metric capture from a real driver compile. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_core
+open Hida_frontend
+open Hida_obs
+open Helpers
+
+(* ---- a minimal JSON parser (no JSON library in the test deps),
+   enough to check the Chrome trace export is well-formed ---- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_lit lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); loop ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); loop ()
+          | Some ('"' | '\\' | '/') ->
+              Buffer.add_char buf s.[!pos]; advance (); loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "short \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              Buffer.add_char buf (Char.chr (code land 0xff));
+              pos := !pos + 4;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          if Char.code c < 0x20 then fail "raw control char in string";
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); J_list [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); J_list (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> parse_lit "true" (J_bool true)
+    | Some 'f' -> parse_lit "false" (J_bool false)
+    | Some 'n' -> parse_lit "null" J_null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_field name j =
+  match obj_field name j with Some (J_str s) -> Some s | _ -> None
+
+(* ---- tracer ---- *)
+
+let test_span_nesting () =
+  let t = Trace.create () in
+  let r =
+    Trace.with_span t "pipeline" (fun () ->
+        Trace.with_span t "pass-a" (fun () -> ());
+        Trace.with_span t "pass-b" (fun () ->
+            Trace.with_span t "dse" (fun () -> ()));
+        17)
+  in
+  checki "with_span returns callback result" 17 r;
+  let roots = Trace.roots t in
+  checki "one root span" 1 (List.length roots);
+  let root = List.hd roots in
+  check Alcotest.string "root name" "pipeline" (Trace.name root);
+  let kids = Trace.children root in
+  check
+    Alcotest.(list string)
+    "children in chronological order" [ "pass-a"; "pass-b" ]
+    (List.map Trace.name kids);
+  let pass_b = List.nth kids 1 in
+  check
+    Alcotest.(list string)
+    "nested child" [ "dse" ]
+    (List.map Trace.name (Trace.children pass_b));
+  checkb "find locates nested span"
+    (match Trace.find t "dse" with
+    | Some sp -> Trace.name sp = "dse"
+    | None -> false);
+  (* timing sanity: parent covers its children *)
+  List.iter
+    (fun kid -> checkb "child fits in parent"
+        (Trace.duration t kid <= Trace.duration t root +. 1e-9))
+    kids;
+  checkb "total covers root" (Trace.total_seconds t >= Trace.duration t root)
+
+let test_end_span_closes_deeper () =
+  let t = Trace.create () in
+  let outer = Trace.begin_span t "outer" in
+  let _inner = Trace.begin_span t "inner" in
+  (* Closing [outer] must defensively close the still-open [inner]. *)
+  Trace.end_span t outer;
+  let fresh = Trace.begin_span t "fresh" in
+  Trace.end_span t fresh;
+  check
+    Alcotest.(list string)
+    "fresh span is a new root, not a child of inner" [ "outer"; "fresh" ]
+    (List.map Trace.name (Trace.roots t))
+
+let test_chrome_json () =
+  let t = Trace.create () in
+  Trace.with_span t "quoted \"name\" with \\ and \n newline" (fun () ->
+      Trace.with_span t ~cat:"dse" "inner" (fun () -> ());
+      Trace.instant t "milestone");
+  let json = parse_json (Trace.to_chrome_json t) in
+  let events =
+    match obj_field "traceEvents" json with
+    | Some (J_list evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let ph ev = match str_field "ph" ev with Some p -> p | None -> "?" in
+  List.iter
+    (fun ev ->
+      checkb "known phase" (List.mem (ph ev) [ "X"; "i"; "M" ]);
+      checkb "has a name" (str_field "name" ev <> None))
+    events;
+  let xs = List.filter (fun ev -> ph ev = "X") events in
+  checki "one X event per span" 2 (List.length xs);
+  checki "one i event per instant" 1
+    (List.length (List.filter (fun ev -> ph ev = "i") events));
+  checkb "escaped name round-trips"
+    (List.exists
+       (fun ev ->
+         str_field "name" ev = Some "quoted \"name\" with \\ and \n newline")
+       xs);
+  List.iter
+    (fun ev ->
+      checkb "X event has numeric ts and dur"
+        (match (obj_field "ts" ev, obj_field "dur" ev) with
+        | Some (J_num ts), Some (J_num dur) -> ts >= 0. && dur >= 0.
+        | _ -> false))
+    xs
+
+let test_write_chrome_file () =
+  let t = Trace.create () in
+  Trace.with_span t "root" (fun () -> ());
+  let path = Filename.temp_file "hida-test-trace-" ".json" in
+  Trace.write_chrome_file t path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  checkb "file parses as JSON"
+    (match parse_json contents with J_obj _ -> true | _ -> false);
+  checkb "unwritable path raises Sys_error"
+    (try
+       Trace.write_chrome_file t "/nonexistent-dir/trace.json";
+       false
+     with Sys_error _ -> true)
+
+(* ---- metrics ---- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  checki "unknown counter reads 0" 0 (Metrics.counter m "nope");
+  Metrics.add m "b.ops" 3;
+  Metrics.incr m "b.ops";
+  Metrics.incr m "a.ops";
+  checki "add + incr accumulate" 4 (Metrics.counter m "b.ops");
+  check
+    Alcotest.(list (pair string int))
+    "counters sorted by name"
+    [ ("a.ops", 1); ("b.ops", 4) ]
+    (Metrics.counters m);
+  checkb "unknown gauge is None" (Metrics.gauge m "t" = None);
+  Metrics.set_gauge m "t" 1.5;
+  Metrics.set_gauge m "t" 2.5;
+  checkb "gauge is last-write-wins" (Metrics.gauge m "t" = Some 2.5);
+  let s = Metrics.to_string m in
+  checkb "to_string mentions counters and gauges"
+    (let contains sub =
+       let n = String.length sub and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains "a.ops" && contains "b.ops" && contains "t")
+
+(* ---- IR stats across a synthetic pass ---- *)
+
+let test_ir_stats_synthetic_pass () =
+  let _m, f = Listing1.build () in
+  let before = Ir_stats.capture f in
+  checkb "listing1 has ops and loops" (before.Ir_stats.ops > 0 && before.Ir_stats.loops > 0);
+  let deltas = ref [] in
+  let mgr = Pass.manager ~verify_each:false () in
+  Pass.add mgr
+    (Pass.make ~name:"synthetic-add-buffer" (fun root ->
+         let blk = List.hd (Region.blocks (Op.region root 0)) in
+         Block.prepend blk (Hida_d.buffer_op ~shape:[ 4 ] ~elem:F32 ())));
+  let snap = ref Ir_stats.zero in
+  Pass.on_before_pass mgr (fun _pass root -> snap := Ir_stats.capture root);
+  Pass.on_after_pass mgr (fun pass root _stats ->
+      deltas :=
+        {
+          Ir_stats.pd_pass = pass.Pass.name;
+          pd_before = !snap;
+          pd_after = Ir_stats.capture root;
+        }
+        :: !deltas);
+  Pass.run mgr f;
+  match !deltas with
+  | [ pd ] ->
+      let d = Ir_stats.delta pd in
+      checki "one buffer created" 1 d.Ir_stats.buffers;
+      checki "one op created" 1 d.Ir_stats.ops;
+      checki "no loops created" 0 d.Ir_stats.loops;
+      checkb "delta_to_string mentions buffers"
+        (let s = Ir_stats.delta_to_string pd in
+         String.length s > 0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 delta, got %d" (List.length l))
+
+(* ---- pass-manager instrumentation ---- *)
+
+let test_manager_stats_per_run () =
+  let _m, f = Listing1.build () in
+  let mgr = Pass.manager ~verify_each:true () in
+  Pass.add mgr (Pass.make ~name:"nop-1" (fun _ -> ()));
+  Pass.add mgr (Pass.make ~name:"nop-2" (fun _ -> ()));
+  Pass.run mgr f;
+  checki "first run: one stat per pass" 2 (List.length (Pass.timing mgr));
+  Pass.run mgr f;
+  (* Stats are per-run: a second run must not accumulate onto the first. *)
+  checki "second run: still one stat per pass" 2 (List.length (Pass.timing mgr));
+  check
+    Alcotest.(list string)
+    "stats in execution order" [ "nop-1"; "nop-2" ]
+    (List.map (fun s -> s.Pass.pass_name) (Pass.timing mgr));
+  List.iter
+    (fun s ->
+      checkb "verify time recorded separately"
+        (s.Pass.seconds >= 0. && s.Pass.verify_seconds >= 0.))
+    (Pass.timing mgr);
+  checkb "totals are consistent"
+    (Pass.total_seconds mgr >= Pass.total_verify_seconds mgr)
+
+let test_manager_hooks_order () =
+  let _m, f = Listing1.build () in
+  let mgr = Pass.manager ~verify_each:false () in
+  let log = ref [] in
+  Pass.add mgr (Pass.make ~name:"a" (fun _ -> log := "run:a" :: !log));
+  Pass.add mgr (Pass.make ~name:"b" (fun _ -> log := "run:b" :: !log));
+  Pass.on_before_pass mgr (fun p _ -> log := ("before:" ^ p.Pass.name) :: !log);
+  Pass.on_after_pass mgr (fun p _ _ -> log := ("after:" ^ p.Pass.name) :: !log);
+  Pass.run mgr f;
+  check
+    Alcotest.(list string)
+    "hooks wrap each pass in order"
+    [ "before:a"; "run:a"; "after:a"; "before:b"; "run:b"; "after:b" ]
+    (List.rev !log)
+
+let test_manager_verify_off_means_zero () =
+  let _m, f = Listing1.build () in
+  let mgr = Pass.manager ~verify_each:false () in
+  Pass.add mgr (Pass.make ~name:"nop" (fun _ -> ()));
+  Pass.run mgr f;
+  checkb "verify_seconds is 0 when verification is off"
+    (List.for_all (fun s -> s.Pass.verify_seconds = 0.) (Pass.timing mgr))
+
+(* ---- ambient scope ---- *)
+
+let test_scope_noop_without_install () =
+  (* All reporting helpers must be harmless with no scope installed. *)
+  Scope.count "x" 1;
+  Scope.gauge "y" 2.0;
+  Scope.instant "z";
+  Scope.remark ~pass:"test" Remark.Remark "ignored %d" 42;
+  checki "span still runs its callback" 7 (Scope.span "s" (fun () -> 7));
+  checkb "no ambient scope" (Scope.current () = None)
+
+let test_scope_captures () =
+  let sc = Scope.create () in
+  Scope.with_scope sc (fun () ->
+      Scope.count "fusion.tasks_fused" 2;
+      Scope.count "fusion.tasks_fused" 1;
+      Scope.gauge "compile.seconds" 0.5;
+      Scope.span ~cat:"pass" "some-pass" (fun () -> Scope.instant "tick");
+      Scope.remark ~pass:"fusion" Remark.Remark "fused %s" "conv+relu";
+      Scope.remark ~pass:"fusion" Remark.Missed "kept %s apart" "pool");
+  checkb "scope uninstalled afterwards" (Scope.current () = None);
+  checki "counts accumulate" 3
+    (Metrics.counter (Scope.metrics sc) "fusion.tasks_fused");
+  checkb "gauge captured"
+    (Metrics.gauge (Scope.metrics sc) "compile.seconds" = Some 0.5);
+  checkb "span captured"
+    (Trace.find (Scope.trace sc) "some-pass" <> None);
+  match Scope.remarks sc with
+  | [ r1; r2 ] ->
+      checkb "remarks in emission order"
+        (r1.Remark.r_severity = Remark.Remark
+        && r2.Remark.r_severity = Remark.Missed);
+      check Alcotest.string "formatted message" "fused conv+relu"
+        r1.Remark.r_msg
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 remarks, got %d" (List.length l))
+
+(* ---- end-to-end: a real driver compile carries obs data ---- *)
+
+let test_driver_report_observability () =
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  let rep = Driver.run_memref ~device:Hida_estimator.Device.zu3eg f in
+  (* trace: one root pipeline span whose children are the passes *)
+  let tr = rep.Driver.trace in
+  checkb "pipeline root span exists" (Trace.find tr "hida-opt" <> None);
+  let pass_spans =
+    match Trace.find tr "hida-opt" with
+    | Some root -> List.map Trace.name (Trace.children root)
+    | None -> []
+  in
+  checki "one pass span per timed pass"
+    (List.length rep.Driver.pass_timing)
+    (List.length pass_spans);
+  (* metrics: several distinct counters, incl. per-pass bookkeeping *)
+  let counters = Metrics.counters rep.Driver.metrics in
+  checkb "at least 5 distinct counters" (List.length counters >= 5);
+  checki "pass.runs matches the pipeline length"
+    (List.length rep.Driver.pass_timing)
+    (Metrics.counter rep.Driver.metrics "pass.runs");
+  checkb "ops visited counted"
+    (Metrics.counter rep.Driver.metrics "ir.ops_visited" > 0);
+  (* per-pass IR deltas: construction must create dataflow structure *)
+  checki "one delta per pass"
+    (List.length rep.Driver.pass_timing)
+    (List.length rep.Driver.pass_deltas);
+  checkb "construction creates tasks"
+    (List.exists
+       (fun pd ->
+         let d = Ir_stats.delta pd in
+         d.Ir_stats.tasks > 0 || d.Ir_stats.nodes > 0)
+       rep.Driver.pass_deltas);
+  (* remarks from the real pipeline *)
+  checkb "pipeline emitted remarks" (rep.Driver.remarks <> []);
+  checkb "parallelization reported"
+    (List.exists
+       (fun r -> r.Remark.r_pass = "dataflow-parallelization")
+       rep.Driver.remarks)
+
+let tests =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "end_span closes deeper spans" `Quick
+      test_end_span_closes_deeper;
+    Alcotest.test_case "chrome json well-formed" `Quick test_chrome_json;
+    Alcotest.test_case "chrome file write + unwritable path" `Quick
+      test_write_chrome_file;
+    Alcotest.test_case "metrics counters and gauges" `Quick test_metrics;
+    Alcotest.test_case "ir-stats delta across a synthetic pass" `Quick
+      test_ir_stats_synthetic_pass;
+    Alcotest.test_case "manager stats are per-run" `Quick
+      test_manager_stats_per_run;
+    Alcotest.test_case "manager hooks wrap passes in order" `Quick
+      test_manager_hooks_order;
+    Alcotest.test_case "verify off means zero verify time" `Quick
+      test_manager_verify_off_means_zero;
+    Alcotest.test_case "scope helpers no-op without scope" `Quick
+      test_scope_noop_without_install;
+    Alcotest.test_case "scope captures spans, counts and remarks" `Quick
+      test_scope_captures;
+    Alcotest.test_case "driver report carries trace/metrics/remarks" `Quick
+      test_driver_report_observability;
+  ]
