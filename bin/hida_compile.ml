@@ -13,8 +13,36 @@ open Hida_estimator
 open Hida_core
 open Hida_frontend
 
+(* [@file.mlir] workloads: parse the textual IR, verify it, and run the
+   pipeline from there.  The builder re-parses on every call ([fit]
+   compiles repeatedly and the pipeline mutates the IR in place). *)
+let build_file_workload path =
+  let parse () =
+    match Hida_text.Parser.parse_file path with
+    | Error d ->
+        prerr_endline ("hida-compile: " ^ Hida_text.Parser.diag_to_string d);
+        exit 1
+    | Ok top -> (
+        match Hida_text.Parser.module_and_func top with
+        | Some (m, f) -> (m, f)
+        | None ->
+            prerr_endline
+              ("hida-compile: " ^ path
+             ^ ": expected a builtin.module or func.func at top level");
+            exit 1)
+  in
+  let _, f0 = parse () in
+  let has_nn =
+    Walk.find f0 ~pred:(fun op ->
+        String.length (Op.name op) > 3 && String.sub (Op.name op) 0 3 = "nn.")
+    <> None
+  in
+  ((if has_nn then `Nn else `Memref), parse)
+
 let build_workload name =
-  if List.exists (fun e -> e.Models.e_name = name) Models.all then
+  if String.length name > 1 && name.[0] = '@' then
+    build_file_workload (String.sub name 1 (String.length name - 1))
+  else if List.exists (fun e -> e.Models.e_name = name) Models.all then
     let e = Models.by_name name in
     (`Nn, fun () -> e.Models.e_build ())
   else if List.exists (fun e -> e.Polybench.e_name = name) Polybench.all then
@@ -41,33 +69,53 @@ let mode_of_string = function
   | "naive" -> Parallelize.naive
   | s -> invalid_arg ("unknown mode " ^ s ^ " (ia+ca | ia | ca | naive)")
 
-(* Fail early with a clear message when --trace-json points somewhere we
-   cannot write, instead of an exception trace after a long compile. *)
-let check_trace_path = function
+(* Fail early with a clear message when --trace-json or -o points
+   somewhere we cannot write, instead of an exception trace after a long
+   compile. *)
+let check_write_path ~what = function
   | None -> ()
   | Some path -> (
       try
         let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
         close_out oc
       with Sys_error msg ->
-        prerr_endline ("hida-compile: cannot write trace file: " ^ msg);
+        prerr_endline ("hida-compile: cannot write " ^ what ^ ": " ^ msg);
         exit 1)
 
+let write_file ~what path content =
+  try
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  with Sys_error msg ->
+    prerr_endline ("hida-compile: cannot write " ^ what ^ ": " ^ msg);
+    exit 1
+
 let rec run workload device_name pf tile mode_name no_fusion no_balance no_dataflow
-    fit emit_cpp dump_ir simulate timing trace_json print_ir_after remarks stats =
+    fit emit_cpp dump_ir out_path simulate timing trace_json print_ir_after remarks
+    stats =
   try run_checked workload device_name pf tile mode_name no_fusion no_balance
-      no_dataflow fit emit_cpp dump_ir simulate timing trace_json print_ir_after
-      remarks stats
+      no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
+      print_ir_after remarks stats
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name no_fusion no_balance
-    no_dataflow fit emit_cpp dump_ir simulate timing trace_json print_ir_after
-    remarks stats =
+    no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
+    print_ir_after remarks stats =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
-  check_trace_path trace_json;
+  check_write_path ~what:"trace file" trace_json;
+  check_write_path ~what:"output file" out_path;
+  if out_path <> None && emit_cpp && dump_ir then begin
+    prerr_endline
+      "hida-compile: -o takes exactly one of --dump-ir or --emit-cpp (or \
+       neither, which defaults to the IR)";
+    exit 1
+  end;
+  (* -o with no explicit choice writes the optimized IR. *)
+  let dump_ir = dump_ir || (out_path <> None && not emit_cpp) in
   let opts =
     {
       Driver.default with
@@ -154,18 +202,29 @@ and run_checked workload device_name pf tile mode_name no_fusion no_balance
          Printf.printf "pipeline timeline (first 4 frames):\n%s"
            (Hida_hlssim.Sim.gantt ~frames:4 r)
      | [] -> Printf.printf "simulation      : (no dataflow schedule)\n");
-  if dump_ir then begin
-    print_endline "---- optimized IR ----";
-    Printer.print_op report.Driver.design
-  end;
-  if emit_cpp then begin
-    print_endline "---- emitted HLS C++ ----";
-    print_string (Hida_emitter.Emit_cpp.emit_func report.Driver.design)
-  end
+  (if dump_ir then
+     let text = Printer.op_to_string report.Driver.design ^ "\n" in
+     match out_path with
+     | Some path ->
+         write_file ~what:"output file" path text;
+         Printf.printf "ir written      : %s\n" path
+     | None ->
+         print_endline "---- optimized IR ----";
+         print_string text);
+  if emit_cpp then
+    let text = Hida_emitter.Emit_cpp.emit_func report.Driver.design in
+    match out_path with
+    | Some path ->
+        write_file ~what:"output file" path text;
+        Printf.printf "cpp written     : %s\n" path
+    | None ->
+        print_endline "---- emitted HLS C++ ----";
+        print_string text
 
 let workload =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
-         ~doc:"Model (lenet, resnet18, ...) or kernel (2mm, atax, ...).")
+         ~doc:"Model (lenet, resnet18, ...), kernel (2mm, atax, ...), or \
+               \\@FILE.mlir to compile a textual-IR file.")
 
 let device =
   Arg.(value & opt string "zu3eg" & info [ "device"; "d" ] ~docv:"DEVICE"
@@ -202,6 +261,11 @@ let emit_cpp =
 let dump_ir =
   Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized IR.")
 
+let out_path =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the --dump-ir IR (default) or the --emit-cpp C++ to \
+               $(docv) instead of stdout.")
+
 let simulate =
   Arg.(value & flag & info [ "simulate"; "s" ]
          ~doc:"Run the cycle-level dataflow simulator on the result.")
@@ -234,7 +298,7 @@ let cmd =
     (Cmd.info "hida-compile" ~doc)
     Term.(
       const run $ workload $ device $ pf $ tile $ mode $ no_fusion $ no_balance
-      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ simulate $ timing $ trace_json
-      $ print_ir_after $ remarks $ stats)
+      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ out_path $ simulate $ timing
+      $ trace_json $ print_ir_after $ remarks $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -132,10 +132,12 @@ module Typ = struct
     | F64 -> "f64"
     | Index -> "index"
     | Token -> "token"
+    | Memref { shape = []; elem } -> Printf.sprintf "memref<%s>" (to_string elem)
     | Memref { shape; elem } ->
         Printf.sprintf "memref<%sx%s>"
           (String.concat "x" (List.map string_of_int shape))
           (to_string elem)
+    | Tensor { shape = []; elem } -> Printf.sprintf "tensor<%s>" (to_string elem)
     | Tensor { shape; elem } ->
         Printf.sprintf "tensor<%sx%s>"
           (String.concat "x" (List.map string_of_int shape))
@@ -169,17 +171,31 @@ module Attr = struct
         _ ) ->
         false
 
+  (* Floats must survive a print -> parse round trip, so [%g] alone is
+     not enough: it renders [2.0] as ["2"], which reads back as an
+     integer.  Use the shortest decimal form that parses back exactly,
+     and guarantee a ['.'] or exponent so the lexer sees a float. *)
+  let float_to_string f =
+    if f <> f then "nan"
+    else if f = infinity then "inf"
+    else if f = neg_infinity then "-inf"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+      if String.exists (fun c -> c = '.' || c = 'e') s then s else s ^ "."
+
   let rec to_string = function
     | A_unit -> "unit"
     | A_bool b -> string_of_bool b
     | A_int i -> string_of_int i
-    | A_float f -> Printf.sprintf "%g" f
+    | A_float f -> float_to_string f
     | A_str s -> Printf.sprintf "%S" s
     | A_type t -> Typ.to_string t
     | A_list l -> "[" ^ String.concat ", " (List.map to_string l) ^ "]"
     | A_map m -> Affine.to_string m
     | A_ints l -> "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
-    | A_strs l -> "[" ^ String.concat ", " l ^ "]"
+    | A_strs l ->
+        "[" ^ String.concat ", " (List.map (Printf.sprintf "%S") l) ^ "]"
 end
 
 module Value = struct

@@ -1,5 +1,15 @@
-(* Textual printing of the IR in an MLIR-like syntax.  Printing is for
-   debugging and golden tests; there is no parser. *)
+(* Textual printing of the IR in an MLIR-like syntax.  The output is the
+   canonical textual format read back by the [hida.text] parser
+   (lib/text): printing an op, parsing the result and printing again
+   yields the identical string.
+
+   Re-parseability is achieved by:
+   - positional SSA numbering: values are renamed %0, %1, ... (or
+     %hint_0, %hint_1, ... when a name hint is present) in order of
+     textual appearance, so names do not depend on global id allocation;
+   - quoting op names and attribute keys that are not bare identifiers;
+   - quoted string attributes and floats that keep their floatness
+     (see [Attr.to_string]). *)
 
 open Ir
 
@@ -7,18 +17,78 @@ let pp_typ fmt t = Format.pp_print_string fmt (Typ.to_string t)
 
 let pp_attr fmt a = Format.pp_print_string fmt (Attr.to_string a)
 
+(* Raw (id-based) value printing, used for diagnostics and when printing
+   values outside any canonical naming environment. *)
 let pp_value fmt v = Format.pp_print_string fmt (Value.name v)
 
-let rec pp_op fmt (op : op) =
+(* ---- Canonical naming environment ---- *)
+
+(* Maps value ids to their positional printed names.  Names are assigned
+   in order of textual appearance: an op's results first, then, region by
+   region, each block's arguments followed by its ops recursively. *)
+type env = (int, string) Hashtbl.t
+
+let assign_value env counter (v : value) =
+  let n = !counter in
+  incr counter;
+  let name =
+    match v.v_name_hint with
+    | Some h -> Printf.sprintf "%%%s_%d" h n
+    | None -> Printf.sprintf "%%%d" n
+  in
+  Hashtbl.replace env v.v_id name
+
+let rec assign_op env counter (op : op) =
+  Array.iter (assign_value env counter) op.o_results;
+  Array.iter (assign_region env counter) op.o_regions
+
+and assign_region env counter (g : region) =
+  List.iter
+    (fun b ->
+      Array.iter (assign_value env counter) b.b_args;
+      List.iter (assign_op env counter) b.b_ops)
+    g.g_blocks
+
+let env_of_op op : env =
+  let env = Hashtbl.create 64 in
+  assign_op env (ref 0) op;
+  env
+
+let env_of_region g : env =
+  let env = Hashtbl.create 64 in
+  assign_region env (ref 0) g;
+  env
+
+(* Values defined outside the printed tree keep their raw id-based name;
+   such output names a free value and is not re-parseable by design. *)
+let value_name env v =
+  match Hashtbl.find_opt env v.v_id with Some n -> n | None -> Value.name v
+
+(* Bare identifiers need no quoting: op names may be dotted
+   ([affine.for]); attribute keys usually are plain.  Anything else is
+   printed as a quoted string so the parser can read it back. *)
+let is_bare_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true | _ -> false)
+       s
+
+let quote_ident s = if is_bare_ident s then s else Printf.sprintf "%S" s
+
+(* ---- Printing proper ---- *)
+
+let rec pp_op_env env fmt (op : op) =
+  let pp_v fmt v = Format.pp_print_string fmt (value_name env v) in
   let pp_values fmt vs =
     Format.pp_print_list
       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
-      pp_value fmt vs
+      pp_v fmt vs
   in
   (match Op.results op with
   | [] -> ()
   | results -> Format.fprintf fmt "%a = " pp_values results);
-  Format.fprintf fmt "%s" (Op.name op);
+  Format.fprintf fmt "%s" (quote_ident (Op.name op));
   (match Op.operands op with
   | [] -> ()
   | operands ->
@@ -30,7 +100,8 @@ let rec pp_op fmt (op : op) =
       Format.fprintf fmt " {%a}"
         (Format.pp_print_list
            ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
-           (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k pp_attr v))
+           (fun fmt (k, v) ->
+             Format.fprintf fmt "%s = %a" (quote_ident k) pp_attr v))
         attrs);
   (match Op.results op with
   | [] -> ()
@@ -40,25 +111,32 @@ let rec pp_op fmt (op : op) =
            ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
            pp_typ)
         (List.map Value.typ results));
-  List.iter (fun g -> pp_region fmt g) (Op.regions op)
+  List.iter (fun g -> pp_region_env env fmt g) (Op.regions op)
 
-and pp_region fmt (g : region) =
+and pp_region_env env fmt (g : region) =
+  let pp_v fmt v = Format.pp_print_string fmt (value_name env v) in
   Format.fprintf fmt " {";
-  List.iter
-    (fun b ->
+  List.iteri
+    (fun i b ->
       Format.pp_open_vbox fmt 2;
+      (* Headerless blocks are only unambiguous in first position; any
+         later block gets an explicit (possibly empty) argument header. *)
       (match Block.args b with
-      | [] -> ()
+      | [] when i = 0 -> ()
       | args ->
           Format.fprintf fmt "@,^bb(%a):"
             (Format.pp_print_list
                ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
-               (fun fmt a -> Format.fprintf fmt "%a : %a" pp_value a pp_typ (Value.typ a)))
+               (fun fmt a -> Format.fprintf fmt "%a : %a" pp_v a pp_typ (Value.typ a)))
             args);
-      List.iter (fun op -> Format.fprintf fmt "@,%a" pp_op op) (Block.ops b);
+      List.iter (fun op -> Format.fprintf fmt "@,%a" (pp_op_env env) op) (Block.ops b);
       Format.pp_close_box fmt ())
     (Region.blocks g);
   Format.fprintf fmt "@,}"
+
+let pp_op fmt op = pp_op_env (env_of_op op) fmt op
+
+let pp_region fmt g = pp_region_env (env_of_region g) fmt g
 
 let op_to_string op = Format.asprintf "@[<v>%a@]" pp_op op
 

@@ -1,14 +1,30 @@
-(** Textual printing of the IR in an MLIR-like syntax (debugging and
-    golden tests; there is no parser). *)
+(** Textual printing of the IR in an MLIR-like syntax.
+
+    This is the canonical textual format: the [hida.text] library
+    (lib/text) parses exactly this syntax back into IR, and the round
+    trip is a law — [print (parse (print op))] equals [print op]
+    character for character.
+
+    Values are numbered positionally at print time ([%0], [%1], ... or
+    [%hint_0], [%hint_1], ... when the value carries a name hint), in
+    order of textual appearance, so the output is independent of global
+    id allocation.  Op names and attribute keys that are not bare
+    identifiers are quoted; string attributes are always quoted and
+    escaped. *)
 
 val pp_typ : Format.formatter -> Ir.typ -> unit
 val pp_attr : Format.formatter -> Ir.attr -> unit
+
 val pp_value : Format.formatter -> Ir.value -> unit
+(** Raw (id-based) value name, e.g. ["%buf_42"] — for diagnostics.
+    Canonical positional names are only produced by {!pp_op} /
+    {!pp_region}, which know the whole printed tree. *)
+
 val pp_op : Format.formatter -> Ir.op -> unit
 val pp_region : Format.formatter -> Ir.region -> unit
 
 val op_to_string : Ir.op -> string
-(** Render an op (and everything nested) to a string. *)
+(** Render an op (and everything nested) to a re-parseable string. *)
 
 val print_op : Ir.op -> unit
 (** [op_to_string] to stdout. *)

@@ -1,0 +1,153 @@
+(* FileCheck-lite: a small golden-test matcher in the spirit of LLVM's
+   FileCheck, driving the test/golden/*.mlir corpus.
+
+   Directives are extracted from `//`-comment lines of a test file:
+
+     // CHECK: <pattern>        match on some line at/after the cursor
+     // CHECK-NEXT: <pattern>   match on the line right after the last match
+     // CHECK-LABEL: <pattern>  like CHECK; anchors a new section
+     // CHECK-NOT: <pattern>    must not appear before the next match
+                                (or anywhere after, when last)
+
+   Patterns match as plain substrings, except that `{{...}}` spans are
+   interpreted as OCaml [Str] regular expressions, so e.g.
+   `// CHECK: upper = {{[0-9]+}}` works. *)
+
+type kind = Check | Check_next | Check_label | Check_not
+
+let kind_name = function
+  | Check -> "CHECK"
+  | Check_next -> "CHECK-NEXT"
+  | Check_label -> "CHECK-LABEL"
+  | Check_not -> "CHECK-NOT"
+
+type rule = { r_kind : kind; r_pattern : string; r_line : int }
+
+type failure = { f_rule : rule; f_message : string }
+
+let failure_to_string ~file f =
+  Printf.sprintf "%s:%d: %s: %s\n  pattern: %s" file f.f_rule.r_line
+    (kind_name f.f_rule.r_kind)
+    f.f_message f.f_rule.r_pattern
+
+let split_lines s = String.split_on_char '\n' s
+
+(* Directive extraction: anything after "// CHECK...:" on a line.  The
+   prefix may appear anywhere (directives usually trail IR lines in
+   golden files only as standalone comments, but both work). *)
+let parse_directives text : rule list =
+  let try_kind line lineno (prefix, kind) =
+    match Str.search_forward (Str.regexp_string prefix) line 0 with
+    | exception Not_found -> None
+    | i ->
+        let start = i + String.length prefix in
+        let pat = String.sub line start (String.length line - start) in
+        Some { r_kind = kind; r_pattern = String.trim pat; r_line = lineno }
+  in
+  (* Longest prefixes first so "CHECK-NEXT:" is not parsed as "CHECK:". *)
+  let kinds =
+    [
+      ("// CHECK-LABEL:", Check_label);
+      ("// CHECK-NEXT:", Check_next);
+      ("// CHECK-NOT:", Check_not);
+      ("// CHECK:", Check);
+    ]
+  in
+  split_lines text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) ->
+         List.find_map (try_kind line lineno) kinds)
+
+(* Compile a pattern into a regexp: literal text quoted, `{{...}}`
+   spans spliced in verbatim. *)
+let compile_pattern pat =
+  let buf = Buffer.create (String.length pat + 16) in
+  let n = String.length pat in
+  let rec go i =
+    if i >= n then ()
+    else
+      match Str.search_forward (Str.regexp_string "{{") pat i with
+      | exception Not_found ->
+          Buffer.add_string buf (Str.quote (String.sub pat i (n - i)))
+      | j -> (
+          Buffer.add_string buf (Str.quote (String.sub pat i (j - i)));
+          match Str.search_forward (Str.regexp_string "}}") pat (j + 2) with
+          | exception Not_found ->
+              (* unterminated {{ — treat the rest as literal *)
+              Buffer.add_string buf (Str.quote (String.sub pat j (n - j)))
+          | k ->
+              Buffer.add_string buf (String.sub pat (j + 2) (k - j - 2));
+              go (k + 2))
+  in
+  go 0;
+  Str.regexp (Buffer.contents buf)
+
+let line_matches re line =
+  match Str.search_forward re line 0 with exception Not_found -> false | _ -> true
+
+(* Run the rules over [input].  Matching is sequential: each positive
+   directive must match at or after the previous match. *)
+let run ~rules ~input : (unit, failure) result =
+  let lines = Array.of_list (split_lines input) in
+  let nlines = Array.length lines in
+  let fail rule fmt = Printf.ksprintf (fun m -> Error { f_rule = rule; f_message = m }) fmt in
+  (* pending CHECK-NOTs awaiting their right boundary *)
+  let check_nots rules ~from ~until =
+    List.fold_left
+      (fun acc rule ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let re = compile_pattern rule.r_pattern in
+            let rec scan i =
+              if i >= until then Ok ()
+              else if line_matches re lines.(i) then
+                fail rule "forbidden pattern found on output line %d: %s" (i + 1)
+                  lines.(i)
+              else scan (i + 1)
+            in
+            scan from)
+      (Ok ()) rules
+  in
+  let rec go rules ~cursor ~last_match ~pending_nots =
+    match rules with
+    | [] -> check_nots (List.rev pending_nots) ~from:cursor ~until:nlines
+    | rule :: rest -> (
+        match rule.r_kind with
+        | Check_not -> go rest ~cursor ~last_match ~pending_nots:(rule :: pending_nots)
+        | Check | Check_label -> (
+            let re = compile_pattern rule.r_pattern in
+            let rec scan i =
+              if i >= nlines then None
+              else if line_matches re lines.(i) then Some i
+              else scan (i + 1)
+            in
+            match scan cursor with
+            | None ->
+                fail rule "no match found at or after output line %d" (cursor + 1)
+            | Some i -> (
+                match check_nots (List.rev pending_nots) ~from:cursor ~until:i with
+                | Error _ as e -> e
+                | Ok () -> go rest ~cursor:(i + 1) ~last_match:i ~pending_nots:[]))
+        | Check_next -> (
+            let i = last_match + 1 in
+            if last_match < 0 then
+              fail rule "CHECK-NEXT without a preceding CHECK"
+            else if i >= nlines then fail rule "no next line to match"
+            else
+              let re = compile_pattern rule.r_pattern in
+              if line_matches re lines.(i) then
+                match check_nots (List.rev pending_nots) ~from:cursor ~until:i with
+                | Error _ as e -> e
+                | Ok () -> go rest ~cursor:(i + 1) ~last_match:i ~pending_nots:[]
+              else
+                fail rule "next line (output line %d) does not match: %s" (i + 1)
+                  lines.(i)))
+  in
+  go rules ~cursor:0 ~last_match:(-1) ~pending_nots:[]
+
+(* Convenience: extract directives from a test file's text and run them
+   against [output]. *)
+let check ~test_text ~output =
+  let rules = parse_directives test_text in
+  (rules, run ~rules ~input:output)

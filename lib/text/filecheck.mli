@@ -1,0 +1,32 @@
+(** FileCheck-lite: golden-test matcher for [// CHECK:] directives.
+
+    Supported directives (extracted from [//] comment text):
+    - [// CHECK: pat] — [pat] must match on some line at/after the
+      current cursor;
+    - [// CHECK-NEXT: pat] — must match on the line immediately after
+      the previous match;
+    - [// CHECK-LABEL: pat] — like CHECK, anchoring a new section;
+    - [// CHECK-NOT: pat] — must {e not} match between the previous and
+      the next positive match (or anywhere after, when last).
+
+    Patterns are plain substrings except for [{{...}}] spans, which are
+    [Str] regular expressions. *)
+
+type kind = Check | Check_next | Check_label | Check_not
+
+val kind_name : kind -> string
+
+type rule = { r_kind : kind; r_pattern : string; r_line : int }
+
+type failure = { f_rule : rule; f_message : string }
+
+val failure_to_string : file:string -> failure -> string
+
+val parse_directives : string -> rule list
+(** Extract directives, in order, from a test file's text. *)
+
+val run : rules:rule list -> input:string -> (unit, failure) result
+
+val check : test_text:string -> output:string -> rule list * (unit, failure) result
+(** [parse_directives] + [run]; returns the rules so callers can report
+    how many directives a file exercised. *)

@@ -1,0 +1,240 @@
+(* Lexer for the textual IR format emitted by [Hida_ir.Printer].
+
+   The token stream is whitespace-insensitive; [//] line comments are
+   skipped (golden-test files keep their CHECK directives inline with
+   the IR).  Every token carries the position of its first character.
+
+   One MLIR-ism needs care: shaped types print their dimension list with
+   no spaces, as in [memref<4x28xf32>].  A maximal-munch identifier
+   lexer would glue ["x28xf32"] into one token, so an ['x'] immediately
+   following a digit is lexed as the dimension separator {!X}. *)
+
+type pos = { line : int; col : int; offset : int }
+(** [line] and [col] are 1-based; [offset] is a byte offset. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** unescaped contents of a ["..."] literal *)
+  | IDENT of string  (** bare identifier, possibly dotted: [affine.for] *)
+  | PERCENT of string  (** SSA value name without the [%]: [%buf_3] *)
+  | CARET of string  (** block header label without the [^]: [^bb] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | COLON
+  | EQUAL
+  | ARROW
+  | X  (** dimension separator inside shaped types *)
+  | PLUS
+  | STAR
+  | EOF
+
+exception Error of pos * string
+
+let token_name = function
+  | INT _ -> "integer"
+  | FLOAT _ -> "float"
+  | STRING _ -> "string"
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | PERCENT s -> Printf.sprintf "'%%%s'" s
+  | CARET s -> Printf.sprintf "'^%s'" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | EQUAL -> "'='"
+  | ARROW -> "'->'"
+  | X -> "'x'"
+  | PLUS -> "'+'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '.'
+
+(* Value names may additionally contain dots is not needed; hints are
+   [A-Za-z0-9_] in practice. *)
+let is_value_char c = is_ident_start c || is_digit c
+
+(* Tokenize the whole source up front; parsing wants arbitrary
+   lookahead (attribute-dict vs region, affine map vs function type). *)
+let tokenize src : (token * pos) array =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let pos_at off = { line = !line; col = off - !bol + 1; offset = off } in
+  let error off msg = raise (Error (pos_at off, msg)) in
+  let emit tok off = toks := (tok, pos_at off) :: !toks in
+  let prev_int_end = ref (-1) in
+  (* end offset (exclusive) of the last INT token, for the X rule *)
+  while !i < n do
+    let c = src.[!i] in
+    let start = !i in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && start + 1 < n && src.[start + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = 'x' && start = !prev_int_end then begin
+      (* dimension separator: 'x' glued to a preceding integer *)
+      emit X start;
+      incr i
+    end
+    else if is_digit c || (c = '-' && start + 1 < n && is_digit src.[start + 1])
+    then begin
+      let j = ref (if c = '-' then start + 1 else start) in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let is_float = ref false in
+      if !j < n && src.[!j] = '.' then begin
+        is_float := true;
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        (* exponent must look like e[+-]?digits to belong to the number *)
+        let k = ref (!j + 1) in
+        if !k < n && (src.[!k] = '+' || src.[!k] = '-') then incr k;
+        if !k < n && is_digit src.[!k] then begin
+          is_float := true;
+          j := !k;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done
+        end
+      end;
+      let text = String.sub src start (!j - start) in
+      if !is_float then emit (FLOAT (float_of_string text)) start
+      else begin
+        (match int_of_string_opt text with
+        | Some v -> emit (INT v) start
+        | None -> error start (Printf.sprintf "integer literal '%s' out of range" text));
+        prev_int_end := !j
+      end;
+      i := !j
+    end
+    else if c = '-' && start + 3 < n && String.sub src (start + 1) 3 = "inf" then begin
+      emit (FLOAT neg_infinity) start;
+      i := start + 4
+    end
+    else if is_ident_start c then begin
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let text = String.sub src start (!j - start) in
+      (match text with
+      | "inf" -> emit (FLOAT infinity) start
+      | "nan" -> emit (FLOAT nan) start
+      | _ -> emit (IDENT text) start);
+      i := !j
+    end
+    else if c = '%' then begin
+      let j = ref (start + 1) in
+      while !j < n && is_value_char src.[!j] do
+        incr j
+      done;
+      if !j = start + 1 then error start "expected a value name after '%'";
+      emit (PERCENT (String.sub src (start + 1) (!j - start - 1))) start;
+      i := !j
+    end
+    else if c = '^' then begin
+      let j = ref (start + 1) in
+      while !j < n && is_value_char src.[!j] do
+        incr j
+      done;
+      emit (CARET (String.sub src (start + 1) (!j - start - 1))) start;
+      i := !j
+    end
+    else if c = '"' then begin
+      (* find the closing quote, honouring backslash escapes *)
+      let j = ref (start + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        (match src.[!j] with
+        | '\\' -> incr j
+        | '"' -> closed := true
+        | '\n' -> error start "unterminated string literal"
+        | _ -> ());
+        incr j
+      done;
+      if not !closed then error start "unterminated string literal";
+      let raw = String.sub src (start + 1) (!j - start - 2) in
+      (match
+         try Some (Scanf.unescaped raw) with Scanf.Scan_failure _ | Failure _ -> None
+       with
+      | Some s -> emit (STRING s) start
+      | None -> error start "invalid escape sequence in string literal");
+      i := !j
+    end
+    else begin
+      let simple tok =
+        emit tok start;
+        incr i
+      in
+      match c with
+      | '(' -> simple LPAREN
+      | ')' -> simple RPAREN
+      | '{' -> simple LBRACE
+      | '}' -> simple RBRACE
+      | '[' -> simple LBRACKET
+      | ']' -> simple RBRACKET
+      | '<' -> simple LANGLE
+      | '>' -> simple RANGLE
+      | ',' -> simple COMMA
+      | ':' -> simple COLON
+      | '=' -> simple EQUAL
+      | '+' -> simple PLUS
+      | '*' -> simple STAR
+      | '-' when start + 1 < n && src.[start + 1] = '>' ->
+          emit ARROW start;
+          i := start + 2
+      | _ -> error start (Printf.sprintf "unexpected character '%c'" c)
+    end
+  done;
+  let toks = List.rev ((EOF, pos_at n) :: !toks) in
+  Array.of_list toks
+
+(* The source line containing [pos], with a caret marker — the snippet
+   attached to every diagnostic. *)
+let caret_snippet src (pos : pos) =
+  let n = String.length src in
+  let start =
+    let rec back i = if i <= 0 || src.[i - 1] = '\n' then i else back (i - 1) in
+    back (min pos.offset n)
+  in
+  let stop =
+    let rec fwd i = if i >= n || src.[i] = '\n' then i else fwd (i + 1) in
+    fwd (min pos.offset n)
+  in
+  let line_text = String.sub src start (stop - start) in
+  let pad = String.make (max 0 (pos.col - 1)) ' ' in
+  Printf.sprintf "%s\n%s^" line_text pad

@@ -1,0 +1,47 @@
+(** Lexer for the textual IR format emitted by [Hida_ir.Printer].
+
+    Whitespace-insensitive; [//] line comments are skipped so golden
+    files can carry CHECK directives inline.  An ['x'] immediately
+    following an integer is lexed as the shaped-type dimension
+    separator {!X} ([memref<4x28xf32>]). *)
+
+type pos = { line : int; col : int; offset : int }
+(** [line]/[col] are 1-based; [offset] is a byte offset into the
+    source. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** unescaped contents of a ["..."] literal *)
+  | IDENT of string  (** bare identifier, possibly dotted: [affine.for] *)
+  | PERCENT of string  (** SSA value name without the [%] *)
+  | CARET of string  (** block label without the [^] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | COLON
+  | EQUAL
+  | ARROW
+  | X  (** dimension separator inside shaped types *)
+  | PLUS
+  | STAR
+  | EOF
+
+exception Error of pos * string
+
+val token_name : token -> string
+(** Human-readable description used in diagnostics. *)
+
+val tokenize : string -> (token * pos) array
+(** Tokenize the whole source; the last token is always {!EOF}.
+    Raises {!Error} on malformed input. *)
+
+val caret_snippet : string -> pos -> string
+(** The source line at [pos] plus a caret-marker line, for
+    diagnostics. *)

@@ -1,0 +1,708 @@
+(* Recursive-descent parser for the textual IR format emitted by
+   [Hida_ir.Printer].
+
+   The grammar (whitespace-insensitive, [//] comments skipped):
+
+     op       ::= [value-list '='] op-name ['(' value-list ')']
+                  ['{' attr-dict '}'] [':' type-list] region*
+     op-name  ::= bare-ident | string      (quoted when not bare)
+     region   ::= '{' block* '}'
+     block    ::= ['^' label '(' (value ':' type),* ')' ':'] op*
+                  (the header is mandatory for every block but the first)
+     attr     ::= int | float | string | 'true' | 'false' | 'unit'
+                | type | affine-map | '[' attr,* ']'
+     type     ::= 'i1'|'i8'|'i16'|'i32'|'i64'|'f32'|'f64'|'index'|'token'
+                | ('memref'|'tensor') '<' (int 'x')* type '>'
+                | 'stream' '<' type ',' int '>'
+                | '(' type,* ')' '->' '(' type,* ')'
+     affine-map ::= '(' dim,* ')' '[' sym,* ']' '->' '(' expr,* ')'
+     expr     ::= 'd'N | 'sN' | int
+                | '(' expr ('+'|'*') expr ')'
+                | '(' expr ('floordiv'|'ceildiv'|'mod') int ')'
+
+   Ambiguities and how they are resolved:
+   - '{' after an op header is an attribute dict when the next tokens
+     are a dot-free identifier (or a quoted string) followed by '=';
+     otherwise it opens a region.  Op names are always dialect-qualified
+     (dotted), so region bodies never look like attribute dicts.
+   - '(' as an attribute value starts an affine map when the token after
+     the matching ')' is '[', and a function type when it is '->'.
+   - '[' lists are canonicalized: all-integer lists parse as [A_ints],
+     all-string lists as [A_strs], anything else as [A_list].  Each
+     choice prints identically to its alternatives, so the round-trip
+     law is unaffected.
+
+   SSA names are resolved against a scope stack (one scope per block);
+   use lists are reconstructed by [Op.create].  Affine expressions are
+   rebuilt with the raw constructors — not the simplifying smart
+   constructors — so an unsimplified map prints back exactly as it was
+   written. *)
+
+open Hida_ir
+
+type diag = {
+  d_file : string;
+  d_line : int;
+  d_col : int;
+  d_message : string;
+  d_snippet : string;
+}
+
+let diag_to_string d =
+  Printf.sprintf "%s:%d:%d: error: %s\n%s" d.d_file d.d_line d.d_col d.d_message
+    d.d_snippet
+
+exception Parse_error of Lexer.pos * string
+
+type t = {
+  p_toks : (Lexer.token * Lexer.pos) array;
+  mutable p_pos : int;
+  mutable p_scopes : (string, Ir.value) Hashtbl.t list;
+  p_op_pos : (int, Lexer.pos) Hashtbl.t;
+      (* op id -> source position, for verifier diagnostics *)
+}
+
+let error pos msg = raise (Parse_error (pos, msg))
+
+let peek p = fst p.p_toks.(p.p_pos)
+let peek_at p k =
+  let i = p.p_pos + k in
+  if i < Array.length p.p_toks then fst p.p_toks.(i) else Lexer.EOF
+let cur_pos p = snd p.p_toks.(p.p_pos)
+
+let advance p =
+  let tok, pos = p.p_toks.(p.p_pos) in
+  if tok <> Lexer.EOF then p.p_pos <- p.p_pos + 1;
+  (tok, pos)
+
+let expect p tok what =
+  let got, pos = advance p in
+  if got <> tok then
+    error pos (Printf.sprintf "expected %s, got %s" what (Lexer.token_name got))
+
+let expect_int p what =
+  match advance p with
+  | Lexer.INT n, _ -> n
+  | got, pos ->
+      error pos (Printf.sprintf "expected %s, got %s" what (Lexer.token_name got))
+
+(* ---- Scopes ---- *)
+
+let push_scope p = p.p_scopes <- Hashtbl.create 16 :: p.p_scopes
+let pop_scope p = p.p_scopes <- List.tl p.p_scopes
+
+let bind p pos name v =
+  match p.p_scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        error pos (Printf.sprintf "redefinition of SSA name '%%%s'" name)
+      else Hashtbl.add scope name v
+  | [] -> assert false
+
+let lookup p pos name =
+  let rec go = function
+    | [] -> error pos (Printf.sprintf "undefined SSA name '%%%s'" name)
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with Some v -> v | None -> go rest)
+  in
+  go p.p_scopes
+
+(* Invert the printer's positional naming: "%fm_3" carried hint "fm",
+   "%3" carried none.  Hand-written names without a numeric suffix keep
+   the whole name as hint. *)
+let hint_of_name s =
+  let is_digit c = c >= '0' && c <= '9' in
+  if s = "" then None
+  else if String.for_all is_digit s then None
+  else
+    match String.rindex_opt s '_' with
+    | Some i
+      when i > 0
+           && i < String.length s - 1
+           && String.for_all is_digit (String.sub s (i + 1) (String.length s - i - 1))
+      ->
+        Some (String.sub s 0 i)
+    | _ -> Some s
+
+(* ---- Types ---- *)
+
+let scalar_of_ident = function
+  | "i1" -> Some Ir.I1
+  | "i8" -> Some Ir.I8
+  | "i16" -> Some Ir.I16
+  | "i32" -> Some Ir.I32
+  | "i64" -> Some Ir.I64
+  | "f32" -> Some Ir.F32
+  | "f64" -> Some Ir.F64
+  | "index" -> Some Ir.Index
+  | "token" -> Some Ir.Token
+  | _ -> None
+
+let is_type_start_ident id =
+  scalar_of_ident id <> None
+  || id = "memref" || id = "tensor" || id = "stream"
+
+let rec parse_type p : Ir.typ =
+  match advance p with
+  | Lexer.IDENT id, pos -> (
+      match scalar_of_ident id with
+      | Some t -> t
+      | None -> (
+          match id with
+          | "memref" ->
+              let shape, elem = parse_shaped p in
+              Ir.Memref { shape; elem }
+          | "tensor" ->
+              let shape, elem = parse_shaped p in
+              Ir.Tensor { shape; elem }
+          | "stream" ->
+              expect p Lexer.LANGLE "'<' in stream type";
+              let elem = parse_type p in
+              expect p Lexer.COMMA "',' in stream type";
+              let depth = expect_int p "stream depth" in
+              expect p Lexer.RANGLE "'>' in stream type";
+              Ir.Stream { elem; depth }
+          | _ -> error pos (Printf.sprintf "expected type, got identifier '%s'" id)))
+  | Lexer.LPAREN, _ ->
+      let inputs = parse_type_list_until_rparen p in
+      expect p Lexer.ARROW "'->' in function type";
+      expect p Lexer.LPAREN "'(' in function type results";
+      let outputs = parse_type_list_until_rparen p in
+      Ir.Func_type { inputs; outputs }
+  | got, pos ->
+      error pos (Printf.sprintf "expected type, got %s" (Lexer.token_name got))
+
+and parse_shaped p =
+  expect p Lexer.LANGLE "'<' in shaped type";
+  let dims = ref [] in
+  let rec dims_loop () =
+    match peek p with
+    | Lexer.INT _ ->
+        let n = expect_int p "dimension" in
+        dims := n :: !dims;
+        expect p Lexer.X "'x' after dimension";
+        dims_loop ()
+    | _ -> ()
+  in
+  dims_loop ();
+  let elem = parse_type p in
+  expect p Lexer.RANGLE "'>' in shaped type";
+  (List.rev !dims, elem)
+
+and parse_type_list_until_rparen p =
+  if peek p = Lexer.RPAREN then (
+    ignore (advance p);
+    [])
+  else
+    let rec go acc =
+      let t = parse_type p in
+      match advance p with
+      | Lexer.COMMA, _ -> go (t :: acc)
+      | Lexer.RPAREN, _ -> List.rev (t :: acc)
+      | got, pos ->
+          error pos
+            (Printf.sprintf "expected ',' or ')' in type list, got %s"
+               (Lexer.token_name got))
+    in
+    go []
+
+(* ---- Affine maps ---- *)
+
+(* "d12" -> Some 12 for prefix 'd'. *)
+let indexed_ident prefix s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = prefix then
+    let rest = String.sub s 1 (n - 1) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') rest then
+      int_of_string_opt rest
+    else None
+  else None
+
+let rec parse_affine_expr p ~ndims ~nsyms : Affine.expr =
+  match advance p with
+  | Lexer.INT n, _ -> Affine.Const n
+  | Lexer.IDENT id, pos -> (
+      match indexed_ident 'd' id with
+      | Some i ->
+          if i >= ndims then
+            error pos (Printf.sprintf "bad affine expr: undefined dimension d%d" i)
+          else Affine.Dim i
+      | None -> (
+          match indexed_ident 's' id with
+          | Some i ->
+              if i >= nsyms then
+                error pos (Printf.sprintf "bad affine expr: undefined symbol s%d" i)
+              else Affine.Sym i
+          | None ->
+              error pos (Printf.sprintf "bad affine expr: unexpected identifier '%s'" id)))
+  | Lexer.LPAREN, _ -> (
+      let lhs = parse_affine_expr p ~ndims ~nsyms in
+      match advance p with
+      | Lexer.PLUS, _ ->
+          let rhs = parse_affine_expr p ~ndims ~nsyms in
+          expect p Lexer.RPAREN "')' in affine expr";
+          Affine.Add (lhs, rhs)
+      | Lexer.STAR, _ ->
+          let rhs = parse_affine_expr p ~ndims ~nsyms in
+          expect p Lexer.RPAREN "')' in affine expr";
+          Affine.Mul (lhs, rhs)
+      | Lexer.IDENT "floordiv", _ ->
+          let d = expect_int p "floordiv divisor" in
+          expect p Lexer.RPAREN "')' in affine expr";
+          Affine.Floordiv (lhs, d)
+      | Lexer.IDENT "ceildiv", _ ->
+          let d = expect_int p "ceildiv divisor" in
+          expect p Lexer.RPAREN "')' in affine expr";
+          Affine.Ceildiv (lhs, d)
+      | Lexer.IDENT "mod", _ ->
+          let m = expect_int p "mod modulus" in
+          expect p Lexer.RPAREN "')' in affine expr";
+          Affine.Mod (lhs, m)
+      | got, pos ->
+          error pos
+            (Printf.sprintf "bad affine expr: expected operator, got %s"
+               (Lexer.token_name got)))
+  | got, pos ->
+      error pos
+        (Printf.sprintf "bad affine expr: unexpected %s" (Lexer.token_name got))
+
+(* '(' d0, d1 ')' '[' s0 ']' '->' '(' exprs ')' ; identifiers must be
+   densely numbered in order, exactly as the printer emits them. *)
+let parse_affine_map p : Affine.map =
+  expect p Lexer.LPAREN "'(' in affine map";
+  let parse_indexed prefix closing closing_what =
+    let count = ref 0 in
+    let rec go () =
+      match peek p with
+      | tok when tok = closing -> ignore (advance p)
+      | Lexer.IDENT id -> (
+          let _, pos = advance p in
+          match indexed_ident prefix id with
+          | Some i when i = !count ->
+              incr count;
+              (match peek p with
+              | Lexer.COMMA -> ignore (advance p)
+              | _ -> ());
+              go ()
+          | _ ->
+              error pos
+                (Printf.sprintf "bad affine map: expected '%c%d', got '%s'" prefix
+                   !count id))
+      | got ->
+          error (cur_pos p)
+            (Printf.sprintf "bad affine map: expected '%c%d' or %s, got %s" prefix
+               !count closing_what (Lexer.token_name got))
+    in
+    go ();
+    !count
+  in
+  let ndims = parse_indexed 'd' Lexer.RPAREN "')'" in
+  expect p Lexer.LBRACKET "'[' in affine map";
+  let nsyms = parse_indexed 's' Lexer.RBRACKET "']'" in
+  expect p Lexer.ARROW "'->' in affine map";
+  expect p Lexer.LPAREN "'(' before affine map results";
+  let exprs =
+    if peek p = Lexer.RPAREN then (
+      ignore (advance p);
+      [])
+    else
+      let rec go acc =
+        let e = parse_affine_expr p ~ndims ~nsyms in
+        match advance p with
+        | Lexer.COMMA, _ -> go (e :: acc)
+        | Lexer.RPAREN, _ -> List.rev (e :: acc)
+        | got, pos ->
+            error pos
+              (Printf.sprintf "bad affine map: expected ',' or ')', got %s"
+                 (Lexer.token_name got))
+      in
+      go []
+  in
+  (* Raw record build: [Affine.make] would simplify the expressions and
+     break print fidelity for unsimplified maps. *)
+  { Affine.num_dims = ndims; num_syms = nsyms; exprs }
+
+(* ---- Attributes ---- *)
+
+(* Token index of the token after the ')' matching the '(' at [p.p_pos];
+   used to tell affine maps from function types. *)
+let after_matching_rparen p =
+  let n = Array.length p.p_toks in
+  let rec go i depth =
+    if i >= n then Lexer.EOF
+    else
+      match fst p.p_toks.(i) with
+      | Lexer.LPAREN -> go (i + 1) (depth + 1)
+      | Lexer.RPAREN ->
+          if depth = 1 then peek_at p (i + 1 - p.p_pos) else go (i + 1) (depth - 1)
+      | Lexer.EOF -> Lexer.EOF
+      | _ -> go (i + 1) depth
+  in
+  go p.p_pos 0
+
+let rec parse_attr_value p : Ir.attr =
+  match peek p with
+  | Lexer.INT n ->
+      ignore (advance p);
+      Ir.A_int n
+  | Lexer.FLOAT f ->
+      ignore (advance p);
+      Ir.A_float f
+  | Lexer.STRING s ->
+      ignore (advance p);
+      Ir.A_str s
+  | Lexer.IDENT "true" ->
+      ignore (advance p);
+      Ir.A_bool true
+  | Lexer.IDENT "false" ->
+      ignore (advance p);
+      Ir.A_bool false
+  | Lexer.IDENT "unit" ->
+      ignore (advance p);
+      Ir.A_unit
+  | Lexer.IDENT id when is_type_start_ident id -> Ir.A_type (parse_type p)
+  | Lexer.LPAREN ->
+      if after_matching_rparen p = Lexer.LBRACKET then
+        Ir.A_map (parse_affine_map p)
+      else Ir.A_type (parse_type p)
+  | Lexer.LBRACKET ->
+      ignore (advance p);
+      if peek p = Lexer.RBRACKET then (
+        ignore (advance p);
+        Ir.A_ints [])
+      else
+        let rec go acc =
+          let a = parse_attr_value p in
+          match advance p with
+          | Lexer.COMMA, _ -> go (a :: acc)
+          | Lexer.RBRACKET, _ -> List.rev (a :: acc)
+          | got, pos ->
+              error pos
+                (Printf.sprintf "expected ',' or ']' in attribute list, got %s"
+                   (Lexer.token_name got))
+        in
+        let elems = go [] in
+        (* Canonicalize: each choice prints identically, so the round
+           trip is preserved whichever variant produced the text. *)
+        if List.for_all (function Ir.A_int _ -> true | _ -> false) elems then
+          Ir.A_ints (List.map (function Ir.A_int i -> i | _ -> assert false) elems)
+        else if List.for_all (function Ir.A_str _ -> true | _ -> false) elems then
+          Ir.A_strs (List.map (function Ir.A_str s -> s | _ -> assert false) elems)
+        else Ir.A_list elems
+  | got -> error (cur_pos p) (Printf.sprintf "expected attribute value, got %s" (Lexer.token_name got))
+
+let parse_attr_dict p : (string * Ir.attr) list =
+  expect p Lexer.LBRACE "'{' in attribute dict";
+  let rec go acc =
+    let key =
+      match advance p with
+      | Lexer.IDENT s, _ -> s
+      | Lexer.STRING s, _ -> s
+      | got, pos ->
+          error pos
+            (Printf.sprintf "expected attribute name, got %s" (Lexer.token_name got))
+    in
+    expect p Lexer.EQUAL "'=' after attribute name";
+    let v = parse_attr_value p in
+    let acc = (key, v) :: acc in
+    match advance p with
+    | Lexer.COMMA, _ -> go acc
+    | Lexer.RBRACE, _ -> List.rev acc
+    | got, pos ->
+        error pos
+          (Printf.sprintf "expected ',' or '}' in attribute dict, got %s"
+             (Lexer.token_name got))
+  in
+  go []
+
+(* Is the '{' at the cursor an attribute dict (vs a region)?  Attribute
+   dicts open with `key =` where the key is an identifier (dots allowed)
+   or a quoted string; region bodies open with an op (whose name is
+   never followed by '='), a `%results = ...` list, a block header, or
+   the closing '}'. *)
+let brace_is_attr_dict p =
+  match peek_at p 1 with
+  | Lexer.IDENT _ | Lexer.STRING _ -> peek_at p 2 = Lexer.EQUAL
+  | _ -> false
+
+(* ---- Operations, blocks, regions ---- *)
+
+let rec parse_op p : Ir.op =
+  let start_pos = cur_pos p in
+  (* result list *)
+  let result_names =
+    if match peek p with Lexer.PERCENT _ -> true | _ -> false then begin
+      let rec go acc =
+        match advance p with
+        | Lexer.PERCENT name, pos -> (
+            let acc = (name, pos) :: acc in
+            match peek p with
+            | Lexer.COMMA ->
+                ignore (advance p);
+                go acc
+            | _ -> List.rev acc)
+        | got, pos ->
+            error pos
+              (Printf.sprintf "expected result name, got %s" (Lexer.token_name got))
+      in
+      let names = go [] in
+      expect p Lexer.EQUAL "'=' after results";
+      names
+    end
+    else []
+  in
+  (* op name *)
+  let name =
+    match advance p with
+    | Lexer.IDENT s, _ -> s
+    | Lexer.STRING s, _ -> s
+    | got, pos ->
+        error pos (Printf.sprintf "expected operation name, got %s" (Lexer.token_name got))
+  in
+  (* operands *)
+  let operands =
+    if peek p = Lexer.LPAREN then begin
+      ignore (advance p);
+      if peek p = Lexer.RPAREN then (
+        ignore (advance p);
+        [])
+      else
+        let rec go acc =
+          match advance p with
+          | Lexer.PERCENT oname, opos -> (
+              let v = lookup p opos oname in
+              match advance p with
+              | Lexer.COMMA, _ -> go (v :: acc)
+              | Lexer.RPAREN, _ -> List.rev (v :: acc)
+              | got, pos ->
+                  error pos
+                    (Printf.sprintf "expected ',' or ')' in operand list, got %s"
+                       (Lexer.token_name got)))
+          | got, pos ->
+              error pos
+                (Printf.sprintf "expected operand, got %s" (Lexer.token_name got))
+        in
+        go []
+    end
+    else []
+  in
+  (* attributes *)
+  let attrs =
+    if peek p = Lexer.LBRACE && brace_is_attr_dict p then parse_attr_dict p else []
+  in
+  (* result types *)
+  let colon_pos = if peek p = Lexer.COLON then Some (cur_pos p) else None in
+  let result_types =
+    match colon_pos with
+    | None -> []
+    | Some _ ->
+        ignore (advance p);
+        let rec go acc =
+          let t = parse_type p in
+          if peek p = Lexer.COMMA then begin
+            ignore (advance p);
+            go (t :: acc)
+          end
+          else List.rev (t :: acc)
+        in
+        go []
+  in
+  if List.length result_names <> List.length result_types then begin
+    let pos = match colon_pos with Some cp -> cp | None -> start_pos in
+    error pos
+      (Printf.sprintf "type mismatch: %d results but %d result types"
+         (List.length result_names)
+         (List.length result_types))
+  end;
+  (* regions *)
+  let regions = ref [] in
+  while peek p = Lexer.LBRACE do
+    regions := parse_region p :: !regions
+  done;
+  let op =
+    Ir.Op.create ~operands ~attrs ~regions:(List.rev !regions)
+      ~results:result_types name
+  in
+  Hashtbl.replace p.p_op_pos op.Ir.o_id start_pos;
+  List.iteri
+    (fun i (rname, rpos) ->
+      let v = Ir.Op.result op i in
+      v.Ir.v_name_hint <- hint_of_name rname;
+      bind p rpos rname v)
+    result_names;
+  op
+
+and parse_region p : Ir.region =
+  expect p Lexer.LBRACE "'{' to open a region";
+  let parse_block ~first =
+    let args =
+      match peek p with
+      | Lexer.CARET _ ->
+          ignore (advance p);
+          expect p Lexer.LPAREN "'(' in block header";
+          let rec go acc =
+            match peek p with
+            | Lexer.RPAREN ->
+                ignore (advance p);
+                List.rev acc
+            | _ -> (
+                match advance p with
+                | Lexer.PERCENT aname, apos -> (
+                    expect p Lexer.COLON "':' after block argument";
+                    let t = parse_type p in
+                    let acc = (aname, apos, t) :: acc in
+                    match peek p with
+                    | Lexer.COMMA ->
+                        ignore (advance p);
+                        go acc
+                    | _ -> go acc)
+                | got, pos ->
+                    error pos
+                      (Printf.sprintf "expected block argument, got %s"
+                         (Lexer.token_name got)))
+          in
+          let args = go [] in
+          expect p Lexer.COLON "':' after block header";
+          args
+      | _ ->
+          assert first;
+          []
+    in
+    let blk = Ir.Block.create ~args:(List.map (fun (_, _, t) -> t) args) () in
+    push_scope p;
+    List.iteri
+      (fun i (aname, apos, _) ->
+        let v = Ir.Block.arg blk i in
+        v.Ir.v_name_hint <- hint_of_name aname;
+        bind p apos aname v)
+      args;
+    let rec ops_loop () =
+      match peek p with
+      | Lexer.RBRACE | Lexer.CARET _ -> ()
+      | Lexer.EOF ->
+          error (cur_pos p) "unexpected end of input: unbalanced region, expected '}'"
+      | _ ->
+          Ir.Block.append blk (parse_op p);
+          ops_loop ()
+    in
+    ops_loop ();
+    pop_scope p;
+    blk
+  in
+  let blocks = ref [ parse_block ~first:true ] in
+  let rec blocks_loop () =
+    match peek p with
+    | Lexer.CARET _ ->
+        blocks := parse_block ~first:false :: !blocks;
+        blocks_loop ()
+    | _ -> ()
+  in
+  blocks_loop ();
+  (match advance p with
+  | Lexer.RBRACE, _ -> ()
+  | Lexer.EOF, pos ->
+      error pos "unexpected end of input: unbalanced region, expected '}'"
+  | got, pos ->
+      error pos (Printf.sprintf "expected '}', got %s" (Lexer.token_name got)));
+  Ir.Region.create ~blocks:(List.rev !blocks) ()
+
+(* ---- Entry points ---- *)
+
+let parse_string ?(filename = "<string>") ?(verify = true) src :
+    (Ir.op, diag) result =
+  let mk_diag (pos : Lexer.pos) msg =
+    {
+      d_file = filename;
+      d_line = pos.Lexer.line;
+      d_col = pos.Lexer.col;
+      d_message = msg;
+      d_snippet = Lexer.caret_snippet src pos;
+    }
+  in
+  try
+    let toks = Lexer.tokenize src in
+    let p =
+      {
+        p_toks = toks;
+        p_pos = 0;
+        p_scopes = [];
+        p_op_pos = Hashtbl.create 64;
+      }
+    in
+    push_scope p;
+    let op = parse_op p in
+    (match peek p with
+    | Lexer.EOF -> ()
+    | got ->
+        error (cur_pos p)
+          (Printf.sprintf "expected end of input after top-level op, got %s"
+             (Lexer.token_name got)));
+    if verify then
+      match Verifier.verify op with
+      | Ok () -> Ok op
+      | Error errs ->
+          let pos =
+            match errs with
+            | { Verifier.op = Some o; _ } :: _ -> (
+                match Hashtbl.find_opt p.p_op_pos o.Ir.o_id with
+                | Some pos -> pos
+                | None -> { Lexer.line = 1; col = 1; offset = 0 })
+            | _ -> { Lexer.line = 1; col = 1; offset = 0 }
+          in
+          let msg =
+            "verification failed after parse: "
+            ^ String.concat "; "
+                (List.map
+                   (fun e -> Format.asprintf "%a" Verifier.pp_error e)
+                   errs)
+          in
+          Error (mk_diag pos msg)
+    else Ok op
+  with
+  | Lexer.Error (pos, msg) -> Error (mk_diag pos msg)
+  | Parse_error (pos, msg) -> Error (mk_diag pos msg)
+
+let parse_string_exn ?filename ?verify src =
+  match parse_string ?filename ?verify src with
+  | Ok op -> op
+  | Error d -> failwith (diag_to_string d)
+
+let parse_file ?verify path : (Ir.op, diag) result =
+  match
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error msg -> Error msg
+  with
+  | Error msg ->
+      Error
+        {
+          d_file = path;
+          d_line = 1;
+          d_col = 1;
+          d_message = "cannot read file: " ^ msg;
+          d_snippet = "";
+        }
+  | Ok src -> parse_string ~filename:path ?verify src
+
+(* Normalize a parsed top-level op into a (module, func) pair: a
+   [builtin.module] yields its first [func.func]; a bare [func.func] is
+   wrapped in a fresh module.  [None] when neither shape applies. *)
+let module_and_func (top : Ir.op) : (Ir.op * Ir.op) option =
+  if Ir.Op.name top = "builtin.module" then
+    match
+      Ir.Walk.find top ~pred:(fun op -> Ir.Op.name op = "func.func")
+    with
+    | Some f -> Some (top, f)
+    | None -> None
+  else if Ir.Op.name top = "func.func" then begin
+    let m =
+      Ir.Op.create ~results:[] ~regions:[ Ir.Region.of_ops [ top ] ]
+        "builtin.module"
+    in
+    Some (m, top)
+  end
+  else None

@@ -1,0 +1,42 @@
+(** Recursive-descent parser for the textual IR format emitted by
+    [Hida_ir.Printer].
+
+    Covers the whole surface: types, attributes (including affine maps
+    and function types), SSA values with use-list reconstruction, ops,
+    and nested regions/blocks with block arguments.  Diagnostics carry
+    file:line:col positions and a caret snippet; by default the
+    {!Hida_ir.Verifier} runs over the parsed tree and its errors are
+    mapped back to source positions.
+
+    The round-trip law — [Printer.op_to_string (parse (Printer.op_to_string
+    op))] equals [Printer.op_to_string op] — holds for every printable op
+    tree and is enforced by the test suite. *)
+
+open Hida_ir
+
+type diag = {
+  d_file : string;
+  d_line : int;  (** 1-based *)
+  d_col : int;  (** 1-based *)
+  d_message : string;
+  d_snippet : string;  (** offending source line plus caret marker *)
+}
+
+val diag_to_string : diag -> string
+(** ["file:line:col: error: message\n<line>\n   ^"]. *)
+
+val parse_string :
+  ?filename:string -> ?verify:bool -> string -> (Ir.op, diag) result
+(** Parse one top-level op (usually a [builtin.module] or [func.func]).
+    [filename] (default ["<string>"]) labels diagnostics; [verify]
+    (default [true]) runs the IR verifier after parsing. *)
+
+val parse_string_exn : ?filename:string -> ?verify:bool -> string -> Ir.op
+(** Like {!parse_string}; raises [Failure] with the rendered diagnostic. *)
+
+val parse_file : ?verify:bool -> string -> (Ir.op, diag) result
+
+val module_and_func : Ir.op -> (Ir.op * Ir.op) option
+(** Normalize a parsed top-level op into a (module, function) pair: a
+    [builtin.module] yields itself and its first [func.func]; a bare
+    [func.func] is wrapped in a fresh module.  [None] otherwise. *)

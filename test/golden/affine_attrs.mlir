@@ -1,0 +1,25 @@
+// RUN: parse
+// Affine-map attributes: composed access maps, symbols, and the fully
+// parenthesized canonical expression form the printer emits.
+
+func.func {sym_name = "affine_attrs", type = (memref<4x4xf32>, memref<16xf32>) -> ()} {
+  ^bb(%a : memref<4x4xf32>, %out : memref<16xf32>):
+  affine.for {lower = 0, step = 1, upper = 4} {
+    ^bb(%i : index):
+    affine.for {lower = 0, step = 1, upper = 4} {
+      ^bb(%j : index):
+      %v = affine.load(%a, %i, %j) {map = (d0, d1)[] -> (d0, d1)} : f32
+      affine.store(%v, %out, %i, %j) {map = (d0, d1)[] -> (((d0 * 4) + d1))}
+      affine.yield
+    }
+    affine.yield
+  }
+  test.bound {guard = (d0)[s0] -> ((s0 + (-1 * d0)), ((d0 * 2) + 1), (d0 floordiv 2), (d0 mod 3))}
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "affine_attrs"
+// CHECK: affine.for {lower = 0, step = 1, upper = 4}
+// CHECK: %v_4 = affine.load(%a_0, %i_2, %j_3) {map = (d0, d1)[] -> (d0, d1)} : f32
+// CHECK-NEXT: affine.store(%v_4, %out_1, %i_2, %j_3) {map = (d0, d1)[] -> (((d0 * 4) + d1))}
+// CHECK: test.bound {guard = (d0)[s0] -> ((s0 + (-1 * d0)), ((d0 * 2) + 1), (d0 floordiv 2), (d0 mod 3))}

@@ -1,0 +1,16 @@
+// RUN: parse
+// Attribute corner cases: escaped strings, negative ints, canonical
+// floats, homogeneous lists, and type attributes.  The harness parses
+// this file, re-prints it canonically, and matches the CHECK lines.
+
+func.func {sym_name = "attrs", type = () -> ()} {
+  test.attrs {empty = [], f_exp = 1e-3, f_int = 2., f_neg = -1.5,
+              i_neg = -42, ints = [1, 2, 3],
+              s_escape = "line1\nline2\ttab \"quoted\" back\\slash",
+              strs = ["a", "b c", "d.e"], ty = memref<4x4xf32>}
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "attrs"
+// CHECK: test.attrs {empty = [], f_exp = 0.001, f_int = 2., f_neg = -1.5, i_neg = -42, ints = [1, 2, 3], s_escape = "line1\nline2\ttab \"quoted\" back\\slash", strs = ["a", "b c", "d.e"], ty = memref<4x4xf32>}
+// CHECK-NEXT: func.return

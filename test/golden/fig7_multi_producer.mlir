@@ -1,0 +1,43 @@
+// RUN: multi-producer
+// Fig. 7 shape: the internal buffer written by two nodes is duplicated,
+// the second producer's duplicate is seeded by an explicit hida.copy,
+// and downstream users are rewired to the duplicate.
+func.func {sym_name = "multi_producer", type = (memref<8xf32>, memref<8xf32>) -> ()} {
+
+  ^bb(%x_0 : memref<8xf32>, %out_1 : memref<8xf32>):
+  %buf_2 = memref.alloc : memref<8xf32>
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%3 : index):
+                                                 %4 = affine.load(%x_0, %3) : f32
+                                                 %5 = arith.constant {value = 2.} : f32
+                                                 %6 = arith.mulf(%4, %5) : f32
+                                                 affine.store(%6, %buf_2, %3)
+                                                 affine.yield
+  }
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%7 : index):
+                                                 %8 = affine.load(%buf_2, %7) : f32
+                                                 %9 = arith.constant {value = 1.} : f32
+                                                 %10 = arith.addf(%8, %9) : f32
+                                                 affine.store(%10, %buf_2, %7)
+                                                 affine.yield
+  }
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%11 : index):
+                                                 %12 = affine.load(%buf_2, %11) : f32
+                                                 %13 = arith.constant {value = 3.} : f32
+                                                 %14 = arith.mulf(%12, %13) : f32
+                                                 affine.store(%14, %out_1, %11)
+                                                 affine.yield
+  }
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "multi_producer"
+// CHECK: %buf_2 = hida.buffer
+// CHECK: %buf_3 = hida.buffer
+// CHECK: hida.schedule(%x_0, %buf_2, %out_1, %buf_3) {
+// CHECK: hida.node(%4, %5) {ro_count = 1} {
+// CHECK: hida.node(%5, %7) {ro_count = 1} {
+// CHECK: hida.copy(%14, %15)
+// CHECK: hida.node(%7, %6) {ro_count = 1} {

@@ -1,0 +1,46 @@
+// RUN: balance
+// Fig. 8 shape: the short path of the fork-join (buffer b) gains an
+// explicit copy node so both paths cross the same number of pipeline
+// stages, and the join node reads the copied buffer.
+func.func {sym_name = "fork_join", type = (memref<8xf32>, memref<8xf32>) -> ()} {
+
+  ^bb(%x_0 : memref<8xf32>, %out_1 : memref<8xf32>):
+  %a_2 = memref.alloc : memref<8xf32>
+  %b_3 = memref.alloc : memref<8xf32>
+  %c_4 = memref.alloc : memref<8xf32>
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%5 : index):
+                                                 %6 = affine.load(%x_0, %5) : f32
+                                                 %7 = arith.constant {value = 2.} : f32
+                                                 %8 = arith.mulf(%6, %7) : f32
+                                                 affine.store(%8, %a_2, %5)
+                                                 %9 = arith.constant {value = 3.} : f32
+                                                 %10 = arith.addf(%6, %9) : f32
+                                                 affine.store(%10, %b_3, %5)
+                                                 affine.yield
+  }
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%11 : index):
+                                                 %12 = affine.load(%a_2, %11) : f32
+                                                 %13 = arith.mulf(%12, %12) : f32
+                                                 affine.store(%13, %c_4, %11)
+                                                 affine.yield
+  }
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%14 : index):
+                                                 %15 = affine.load(%b_3, %14) : f32
+                                                 %16 = affine.load(%c_4, %14) : f32
+                                                 %17 = arith.addf(%15, %16) : f32
+                                                 affine.store(%17, %out_1, %14)
+                                                 affine.yield
+  }
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "fork_join"
+// CHECK: %b_3 = hida.buffer
+// CHECK: %b_4 = hida.buffer
+// CHECK: hida.schedule(%x_0, %a_2, %b_3, %c_5, %out_1, %b_4) {
+// CHECK: hida.node(%8, %11) {ro_count = 1} {
+// CHECK: hida.copy(%26, %27)
+// CHECK: hida.node(%11, %9, %10) {ro_count = 2} {

@@ -1,0 +1,25 @@
+// RUN: lower-nn
+// PyTorch path: nn ops lower to hida ports (weights), buffers (feature
+// maps) and affine loop nests; the padded conv input materializes as an
+// on-chip line buffer.
+func.func {sym_name = "mini", type = (memref<1x4x4xi16>) -> ()} {
+                                                                   ^bb(%0 : memref<1x4x4xi16>):
+                                                                   %1 = nn.weight {seed = 2} : tensor<2x1x3x3xi16>
+                                                                   %2 = nn.weight {seed = 3} : tensor<2xi16>
+                                                                   %3 = nn.conv2d(%0, %1, %2) {pad = 1, stride = 1} : tensor<2x4x4xi16>
+                                                                   %4 = nn.relu(%3) : tensor<2x4x4xi16>
+                                                                   %5 = nn.flatten(%4) : tensor<32xi16>
+                                                                   %6 = nn.weight {seed = 4} : tensor<3x32xi16>
+                                                                   %7 = nn.weight {seed = 5} : tensor<3xi16>
+                                                                   %8 = nn.linear(%5, %6, %7) : tensor<3xi16>
+                                                                   func.return(%8)
+}
+
+// CHECK-LABEL: func.func {sym_name = "mini"
+// CHECK-NOT: nn.conv2d
+// CHECK: %w_1 = hida.port {kind = "maxi", latency = 64, seed = 2} : memref<2x1x3x3xi16>
+// CHECK: %fm_5 = hida.buffer
+// CHECK: hida.schedule(%0, %w_1, %w_2, %fm_5, %w_3, %w_4, %fm_6) {
+// CHECK: %padded_19 = hida.buffer {{.*}} : memref<1x6x6xi16>
+// CHECK: hida.node(%10, %11, %12, %13) {ro_count = 3} {
+// CHECK: func.return(%fm_6)

@@ -1,0 +1,26 @@
+// RUN: parse
+// Nested regions, multi-block regions with block arguments, quoted
+// (non-identifier) op names, and result values threaded across ops.
+
+func.func {sym_name = "regions", type = (i32) -> ()} {
+  ^bb(%n : i32):
+  %r = "weird op name!"(%n) {note = "quoted because not an identifier"} : i32
+  test.two_blocks {
+    ^bb(%p : i32):
+    %q = test.inc(%p) : i32
+    test.sink(%q)
+    ^bb(%u : f32, %w : f32):
+    %z = test.addf(%u, %w) : f32
+    test.sink(%z)
+  }
+  test.use(%r)
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "regions"
+// CHECK: %r_1 = "weird op name!"(%n_0) {note = "quoted because not an identifier"} : i32
+// CHECK: ^bb(%p_2 : i32):
+// CHECK: %q_3 = test.inc(%p_2) : i32
+// CHECK: ^bb(%u_4 : f32, %w_5 : f32):
+// CHECK: %z_6 = test.addf(%u_4, %w_5) : f32
+// CHECK: test.use(%r_1)

@@ -1,0 +1,30 @@
+// RUN: parallelize
+// Full pipeline through parallelization (max parallel factor 4): both
+// node loops receive an unroll directive.
+func.func {sym_name = "two_stage", type = (memref<8xf32>, memref<8xf32>) -> ()} {
+
+  ^bb(%x_0 : memref<8xf32>, %y_1 : memref<8xf32>):
+  %tmp_2 = memref.alloc : memref<8xf32>
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%3 : index):
+                                                 %4 = affine.load(%x_0, %3) : f32
+                                                 %5 = arith.constant {value = 2.} : f32
+                                                 %6 = arith.mulf(%4, %5) : f32
+                                                 affine.store(%6, %tmp_2, %3)
+                                                 affine.yield
+  }
+  affine.for {lower = 0, step = 1, upper = 8} {
+                                                 ^bb(%7 : index):
+                                                 %8 = affine.load(%tmp_2, %7) : f32
+                                                 %9 = arith.constant {value = 1.} : f32
+                                                 %10 = arith.addf(%8, %9) : f32
+                                                 affine.store(%10, %y_1, %7)
+                                                 affine.yield
+  }
+  func.return
+}
+
+// CHECK-LABEL: func.func {sym_name = "two_stage"
+// CHECK: hida.schedule(%x_0, %tmp_2, %y_1) {
+// CHECK: affine.for {lower = 0, step = 1, unroll = 4, upper = 8}
+// CHECK: affine.for {lower = 0, step = 1, unroll = 4, upper = 8}

@@ -1,0 +1,20 @@
+// RUN: parse
+// Type grammar corners: multi-dim memrefs/tensors, rank-0 memref,
+// streams, scalar widths, and function types with results.
+
+func.func {sym_name = "types", type = (memref<2x3x4xf32>, memref<f32>) -> (i32)} {
+  ^bb(%a : memref<2x3x4xf32>, %b : memref<f32>):
+  %t = test.make_tensor : tensor<1x7xi8>
+  %s = test.make_stream : stream<f32, 4>
+  %c = test.scalars {ft = f64, it = i1, widths = [8, 16, 32]} : i32
+  test.use(%a, %b, %t, %s)
+  func.return(%c)
+}
+
+// CHECK-LABEL: func.func {sym_name = "types", type = (memref<2x3x4xf32>, memref<f32>) -> (i32)}
+// CHECK: ^bb(%a_0 : memref<2x3x4xf32>, %b_1 : memref<f32>):
+// CHECK: %t_2 = test.make_tensor : tensor<1x7xi8>
+// CHECK-NEXT: %s_3 = test.make_stream : stream<f32, 4>
+// CHECK-NEXT: %c_4 = test.scalars {ft = f64, it = i1, widths = [8, 16, 32]} : i32
+// CHECK-NEXT: test.use(%a_0, %b_1, %t_2, %s_3)
+// CHECK-NEXT: func.return(%c_4)

@@ -20,4 +20,6 @@ let () =
       ("affine-if", Test_affine_if.tests);
       ("loop-transforms", Test_loop_transforms.tests);
       ("obs", Test_obs.tests);
+      ("text", Test_text.tests);
+      ("golden", Test_golden.tests);
     ]

@@ -1,0 +1,107 @@
+(* Golden-file tests: a FileCheck-lite harness over test/golden/*.mlir.
+
+   Each file declares the pipeline stage to run on a `// RUN: <stage>`
+   line (default: parse).  The harness parses the file, runs that stage
+   pipeline, re-prints the result canonically, and matches the file's
+   CHECK directives against the print.  Every file additionally has the
+   round-trip law checked on its parsed form.
+
+   To regenerate expectations after an intentional IR-format change, run
+   the failing case, read the "---- output ----" section of the failure,
+   and update the CHECK lines to match. *)
+
+open Hida_ir
+open Hida_dialects
+open Hida_core
+open Hida_text
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_re = Str.regexp "// RUN:[ \t]*\\([a-z-]+\\)"
+
+let stage_of_text text =
+  match Str.search_forward run_re text 0 with
+  | exception Not_found -> "parse"
+  | _ -> Str.matched_group 1 text
+
+let add_stage_passes mgr stage =
+  let base () =
+    Pass.add mgr Canonicalize.pass;
+    Pass.add mgr Construct.pass;
+    Pass.add mgr (Fusion.pass ())
+  in
+  let lowered ~nn () =
+    base ();
+    if nn then Pass.add mgr (Lowering.nn_pass ())
+    else Pass.add mgr (Pass.make ~name:"lowering" Lowering.lower_memref_func)
+  in
+  match stage with
+  | "parse" -> ()
+  | "canonicalize" -> Pass.add mgr Canonicalize.pass
+  | "construct" ->
+      Pass.add mgr Canonicalize.pass;
+      Pass.add mgr Construct.pass
+  | "lower" -> lowered ~nn:false ()
+  | "lower-nn" -> lowered ~nn:true ()
+  | "multi-producer" ->
+      lowered ~nn:false ();
+      Pass.add mgr Multi_producer.pass
+  | "balance" ->
+      lowered ~nn:false ();
+      Pass.add mgr Multi_producer.pass;
+      Pass.add mgr (Balance.pass ())
+  | "parallelize" ->
+      lowered ~nn:false ();
+      Pass.add mgr Multi_producer.pass;
+      Pass.add mgr (Balance.pass ());
+      Pass.add mgr
+        (Parallelize.pass ~mode:Parallelize.ia_ca ~max_parallel_factor:4 ())
+  | s -> Alcotest.failf "unknown RUN stage %S" s
+
+let run_case path () =
+  let text = read_file path in
+  let func =
+    match Parser.parse_string ~filename:path text with
+    | Ok op -> op
+    | Error d -> Alcotest.fail (Parser.diag_to_string d)
+  in
+  (* the corpus doubles as round-trip coverage of syntax corners *)
+  let s1 = Printer.op_to_string func in
+  let s2 = Printer.op_to_string (Parser.parse_string_exn ~filename:path s1) in
+  Alcotest.(check string) "roundtrip" s1 s2;
+  let mgr = Pass.manager ~verify_each:true () in
+  add_stage_passes mgr (stage_of_text text);
+  Pass.run mgr func;
+  let output = Printer.op_to_string func in
+  let rules, result = Filecheck.check ~test_text:text ~output in
+  if rules = [] then Alcotest.failf "%s: no CHECK directives" path;
+  match result with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.fail
+        (Filecheck.failure_to_string ~file:path f
+        ^ "\n---- output ----\n" ^ output)
+
+let tests =
+  (* dune runtest executes in the test directory; dune exec does not, so
+     fall back to the corpus staged next to the test binary *)
+  let dir =
+    let exe_dir = Filename.dirname Sys.executable_name in
+    List.find Sys.file_exists
+      [
+        "golden";
+        Filename.concat exe_dir "golden";
+        (* dune exec from the project root: fall back to the source tree *)
+        Filename.concat exe_dir "../../../test/golden";
+      ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+  |> List.sort compare
+  |> List.map (fun f ->
+         Alcotest.test_case f `Quick (run_case (Filename.concat dir f)))

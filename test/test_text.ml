@@ -1,0 +1,376 @@
+(* Tests for hida.text: positioned parser diagnostics, the round-trip
+   law [print (parse (print m)) = print m] over every frontend workload
+   at three pipeline stages, and a qcheck property over randomly
+   generated modules. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_core
+open Hida_frontend
+open Hida_text
+
+let checks = Alcotest.(check string)
+
+(* ---- round-trip law ---- *)
+
+let roundtrip_exn label f =
+  let s1 = Printer.op_to_string f in
+  match Parser.parse_string ~filename:label s1 with
+  | Error d -> Alcotest.failf "%s: %s" label (Parser.diag_to_string d)
+  | Ok op ->
+      let s2 = Printer.op_to_string op in
+      checks (label ^ ": print/parse/print fixpoint") s1 s2
+
+(* The three pipeline stages every workload is checked at: as built by
+   the frontend, after dataflow lowering, and after the full HIDA-OPT
+   pipeline. *)
+let lower_stage ~nn f =
+  let mgr = Pass.manager ~verify_each:true () in
+  Pass.add mgr Canonicalize.pass;
+  Pass.add mgr Construct.pass;
+  Pass.add mgr (Fusion.pass ());
+  if nn then Pass.add mgr (Lowering.nn_pass ())
+  else Pass.add mgr (Pass.make ~name:"lowering" Lowering.lower_memref_func);
+  Pass.run mgr f
+
+let staged_roundtrips name ~nn build =
+  let _m, f = build () in
+  roundtrip_exn (name ^ "@front") f;
+  let _m, f = build () in
+  lower_stage ~nn f;
+  roundtrip_exn (name ^ "@lowered") f;
+  let _m, f = build () in
+  ignore
+    (if nn then Driver.compile_nn f else Driver.compile_memref f);
+  roundtrip_exn (name ^ "@optimized") f
+
+let model_tests =
+  List.map
+    (fun e ->
+      Alcotest.test_case ("roundtrip " ^ e.Models.e_name) `Quick (fun () ->
+          staged_roundtrips e.Models.e_name ~nn:true e.Models.e_build))
+    Models.all
+
+let kernel_tests =
+  List.map
+    (fun e ->
+      Alcotest.test_case ("roundtrip " ^ e.Polybench.e_name) `Quick (fun () ->
+          staged_roundtrips e.Polybench.e_name ~nn:false e.Polybench.e_build))
+    Polybench.all
+  @ List.map
+      (fun e ->
+        Alcotest.test_case ("roundtrip " ^ e.Polybench_extra.e_name) `Quick
+          (fun () ->
+            staged_roundtrips e.Polybench_extra.e_name ~nn:false
+              e.Polybench_extra.e_build))
+      Polybench_extra.all
+
+(* ---- parsing details ---- *)
+
+let test_parse_structure () =
+  let src =
+    {|// a comment
+func.func {sym_name = "f", type = (i32) -> (i32)} {
+  ^bb(%x : i32):
+  %y = test.inc(%x) {delta = 1} : i32
+  func.return(%y)
+}|}
+  in
+  let f = Parser.parse_string_exn src in
+  Alcotest.(check string) "op name" "func.func" (Op.name f);
+  Alcotest.(check string) "sym" "f" (Op.str_attr_exn f "sym_name");
+  let body = Region.entry (Op.region f 0) in
+  Alcotest.(check int) "args" 1 (Block.num_args body);
+  match Block.ops body with
+  | [ inc; ret ] ->
+      Alcotest.(check string) "inc" "test.inc" (Op.name inc);
+      Alcotest.(check int) "delta" 1 (Op.int_attr_exn inc "delta");
+      (* use-list reconstruction: the return really uses inc's result *)
+      Alcotest.(check bool) "use chain" true
+        (match Op.operands ret with
+        | [ v ] -> (
+            match Value.defining_op v with
+            | Some d -> Op.equal d inc
+            | None -> false)
+        | _ -> false)
+  | ops -> Alcotest.failf "expected 2 body ops, got %d" (List.length ops)
+
+let test_parse_quoted_and_escapes () =
+  let src =
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  \"odd op name!\" {s = \"tab\\there \\\"quoted\\\"\"}\n\
+    \  func.return\n\
+     }"
+  in
+  let f = Parser.parse_string_exn src in
+  let body = Region.entry (Op.region f 0) in
+  match Block.ops body with
+  | [ odd; _ ] ->
+      Alcotest.(check string) "quoted op name" "odd op name!" (Op.name odd);
+      Alcotest.(check string) "unescaped string" "tab\there \"quoted\""
+        (Op.str_attr_exn odd "s")
+  | _ -> Alcotest.fail "expected 2 body ops"
+
+let test_parse_float_attrs () =
+  let src =
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  test.f {a = 2., b = -1.5, c = 0.001, d = inf, e = -inf}\n\
+    \  func.return\n\
+     }"
+  in
+  let f = Parser.parse_string_exn src in
+  let body = Region.entry (Op.region f 0) in
+  let op = List.hd (Block.ops body) in
+  let fl key =
+    match Op.attr op key with Some (A_float x) -> x | _ -> nan
+  in
+  Alcotest.(check (float 0.)) "a" 2.0 (fl "a");
+  Alcotest.(check (float 0.)) "b" (-1.5) (fl "b");
+  Alcotest.(check (float 0.)) "c" 0.001 (fl "c");
+  Alcotest.(check bool) "inf" true (fl "d" = infinity);
+  Alcotest.(check bool) "-inf" true (fl "e" = neg_infinity)
+
+(* ---- diagnostics: exact positions and message prefixes ---- *)
+
+let expect_diag name ~line ~col ~prefix source =
+  match Parser.parse_string ~filename:"t.mlir" source with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+  | Error d ->
+      Alcotest.(check int) (name ^ ": line") line d.Parser.d_line;
+      Alcotest.(check int) (name ^ ": col") col d.Parser.d_col;
+      let pl = String.length prefix in
+      let got =
+        if String.length d.Parser.d_message < pl then d.Parser.d_message
+        else String.sub d.Parser.d_message 0 pl
+      in
+      checks (name ^ ": message prefix") prefix got;
+      (* the snippet carries a caret under the offending column *)
+      Alcotest.(check bool) (name ^ ": caret") true
+        (String.contains d.Parser.d_snippet '^')
+
+let test_diag_unbalanced_region () =
+  expect_diag "unbalanced" ~line:3 ~col:1
+    ~prefix:"unexpected end of input: unbalanced region"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n  test.op {\n"
+
+let test_diag_undefined_ssa () =
+  expect_diag "undefined ssa" ~line:2 ~col:12
+    ~prefix:"undefined SSA name '%nope'"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n  test.use(%nope)\n}\n"
+
+let test_diag_type_mismatch () =
+  expect_diag "type mismatch" ~line:2 ~col:21
+    ~prefix:"type mismatch: 2 results but 1 result types"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  %a, %b = test.two : i32\n\
+     }\n"
+
+let test_diag_bad_affine_expr () =
+  expect_diag "bad affine expr" ~line:2 ~col:32
+    ~prefix:"bad affine expr: unexpected identifier 'q'"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  test.m {m = (d0)[] -> ((d0 + q))}\n\
+     }\n"
+
+let test_diag_redefinition () =
+  expect_diag "redefinition" ~line:3 ~col:3
+    ~prefix:"redefinition of SSA name '%a'"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  %a = test.one : i32\n\
+    \  %a = test.one : i32\n\
+     }\n"
+
+let test_diag_verifier_mapped () =
+  (* verifier failures are mapped back to the offending op's position *)
+  expect_diag "isolation" ~line:4 ~col:5
+    ~prefix:"verification failed after parse:"
+    "func.func {sym_name = \"f\", type = () -> ()} {\n\
+    \  %a = test.one : i32\n\
+    \  hida.node(%a) {\n\
+    \    test.use(%a)\n\
+    \  }\n\
+     }\n"
+
+(* ---- qcheck: the law holds on random modules ---- *)
+
+let gen_type =
+  let open QCheck2.Gen in
+  let scalar = oneofl [ F32; F64; I32; I8; I1; Index ] in
+  let shaped =
+    let* elem = oneofl [ F32; I32; I8 ] in
+    let* shape = list_size (int_range 1 3) (int_range 1 9) in
+    oneofl [ Memref { shape; elem }; Tensor { shape; elem } ]
+  in
+  frequency [ (2, scalar); (2, shaped) ]
+
+let gen_string =
+  (* deliberately hostile: quotes, backslashes, newlines, unicode bytes *)
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 1 255)) (int_range 0 12))
+
+let gen_float =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, float);
+        (1, oneofl [ 0.; -0.; 1.5; -2.; 0.001; 1e30; infinity; neg_infinity ]);
+      ])
+
+let gen_affine_map =
+  let open QCheck2.Gen in
+  let* ndims = int_range 0 3 in
+  let* nsyms = int_range 0 2 in
+  let gen_leaf =
+    let dims = List.init ndims Affine.dim and syms = List.init nsyms Affine.sym in
+    let consts = [ Affine.const 0; Affine.const 2; Affine.const (-3) ] in
+    oneofl (consts @ dims @ syms)
+  in
+  let gen_expr =
+    let* a = gen_leaf in
+    let* b = gen_leaf in
+    let* k = int_range 1 4 in
+    oneofl
+      [
+        a;
+        Affine.Add (a, b);
+        Affine.Mul (a, b);
+        Affine.Floordiv (a, k);
+        Affine.Ceildiv (a, k);
+        Affine.Mod (a, k);
+      ]
+  in
+  let* exprs = list_size (int_range 1 3) gen_expr in
+  (* raw record, not Affine.make: the printer emits exactly these exprs *)
+  return { Affine.num_dims = ndims; num_syms = nsyms; exprs }
+
+let gen_attr =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (3, map (fun i -> A_int i) (int_range (-1000) 1000));
+      (2, map (fun f -> A_float f) gen_float);
+      (2, map (fun s -> A_str s) gen_string);
+      (1, map (fun b -> A_bool b) bool);
+      (1, return A_unit);
+      (1, map (fun l -> A_ints l) (list_size (int_range 0 4) small_int));
+      (1, map (fun l -> A_strs l) (list_size (int_range 0 3) gen_string));
+      (1, map (fun t -> A_type t) gen_type);
+      (1, map (fun m -> A_map m) gen_affine_map);
+    ]
+
+let gen_attrs =
+  let open QCheck2.Gen in
+  (* dotted and non-identifier keys included: the printer quotes the
+     latter, and the dict-vs-region lookahead must accept both *)
+  let keys = [ "alpha"; "beta"; "delta.dotted"; "weird key" ] in
+  let* picks = list_repeat (List.length keys) bool in
+  let chosen = List.filteri (fun i _ -> List.nth picks i) keys in
+  let* vals = list_repeat (List.length chosen) gen_attr in
+  return (List.combine chosen vals)
+
+(* A random op tree: ops pick operands from the enclosing scope, may
+   carry results (with or without name hints) and may nest plain or
+   isolated regions with block arguments. *)
+let gen_module : Ir.op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let op_names = [ "test.a"; "test.b.c"; "weird op name!"; "x.y" ] in
+  let rec gen_block ~depth ~scope ~budget =
+    if budget <= 0 then return []
+    else
+      let* nm = oneofl op_names in
+      let* attrs = gen_attrs in
+      let* operands =
+        if scope = [] then return []
+        else
+          let* k = int_range 0 (min 2 (List.length scope)) in
+          let* picks = list_repeat k (oneofl scope) in
+          return picks
+      in
+      let* rtypes = list_size (int_range 0 2) gen_type in
+      let* regions =
+        if depth >= 2 then return []
+        else
+          let* with_region = frequency [ (2, return false); (1, return true) ] in
+          if not with_region then return []
+          else
+            let* nargs = int_range 0 2 in
+            let* argtys = list_repeat nargs gen_type in
+            let blk = Block.create ~args:argtys () in
+            let* inner =
+              gen_block ~depth:(depth + 1)
+                ~scope:(Block.args blk @ scope)
+                ~budget:(budget / 2)
+            in
+            List.iter (Block.append blk) inner;
+            return [ Region.create ~blocks:[ blk ] () ]
+      in
+      let op = Op.create ~operands ~attrs ~regions ~results:rtypes nm in
+      (* sometimes give results printable name hints *)
+      let* hinted = bool in
+      if hinted then
+        List.iteri
+          (fun i v -> v.v_name_hint <- Some (Printf.sprintf "h%d" i))
+          (Op.results op);
+      let* rest =
+        gen_block ~depth ~scope:(Op.results op @ scope) ~budget:(budget - 1)
+      in
+      return (op :: rest)
+  in
+  let* budget = int_range 1 8 in
+  let* ops = gen_block ~depth:0 ~scope:[] ~budget in
+  let blk = Block.create () in
+  List.iter (Block.append blk) ops;
+  return (Op.create ~regions:[ Region.create ~blocks:[ blk ] () ] ~results:[]
+            "builtin.module")
+
+let qcheck_roundtrip =
+  QCheck2.Test.make ~count:250 ~name:"roundtrip law on random modules"
+    ~print:(fun m -> Printer.op_to_string m)
+    gen_module
+    (fun m ->
+      let s1 = Printer.op_to_string m in
+      match Parser.parse_string ~filename:"<qcheck>" s1 with
+      | Error d ->
+          QCheck2.Test.fail_reportf "parse failed:@.%s@.on:@.%s"
+            (Parser.diag_to_string d) s1
+      | Ok op ->
+          let s2 = Printer.op_to_string op in
+          if s1 <> s2 then
+            QCheck2.Test.fail_reportf "not a fixpoint:@.%s@.vs:@.%s" s1 s2
+          else true)
+
+(* ---- module_and_func normalization ---- *)
+
+let test_module_and_func () =
+  let bare = "func.func {sym_name = \"f\", type = () -> ()} {\n  func.return\n}" in
+  (match Parser.module_and_func (Parser.parse_string_exn bare) with
+  | Some (m, f) ->
+      Alcotest.(check string) "wrapped" "builtin.module" (Op.name m);
+      Alcotest.(check string) "func" "f" (Op.str_attr_exn f "sym_name")
+  | None -> Alcotest.fail "bare func not normalized");
+  match Parser.module_and_func (Parser.parse_string_exn "test.notafunc") with
+  | Some _ -> Alcotest.fail "non-func should not normalize"
+  | None -> ()
+
+let tests =
+  [
+    Alcotest.test_case "parse structure and use lists" `Quick
+      test_parse_structure;
+    Alcotest.test_case "quoted names and escapes" `Quick
+      test_parse_quoted_and_escapes;
+    Alcotest.test_case "float attributes" `Quick test_parse_float_attrs;
+    Alcotest.test_case "diag: unbalanced region" `Quick
+      test_diag_unbalanced_region;
+    Alcotest.test_case "diag: undefined SSA name" `Quick
+      test_diag_undefined_ssa;
+    Alcotest.test_case "diag: result type mismatch" `Quick
+      test_diag_type_mismatch;
+    Alcotest.test_case "diag: bad affine expr" `Quick
+      test_diag_bad_affine_expr;
+    Alcotest.test_case "diag: SSA redefinition" `Quick test_diag_redefinition;
+    Alcotest.test_case "diag: verifier error mapped to source" `Quick
+      test_diag_verifier_mapped;
+    Alcotest.test_case "module_and_func" `Quick test_module_and_func;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]
+  @ model_tests @ kernel_tests
