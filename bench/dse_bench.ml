@@ -1,0 +1,205 @@
+(* DSE benchmark: cold / warm / parallel timing of the per-node
+   design-space exploration with the memoized QoR cache.
+
+   For every workload the pipeline is run up to (but excluding) the
+   parallelization pass on freshly built IR; the timed section is then
+   exactly [Parallelize.run] (per-node DSE) followed by
+   [Qor.estimate_func]:
+
+     cold      jobs=1, process-wide cache cleared first
+     warm      jobs=1, cache still populated by the cold run, on a
+               freshly rebuilt (byte-identical) IR — hits skip whole
+               searches and node estimates
+     parallel  jobs=N (N = recommended domain count), cache cleared
+
+   Results are written to BENCH_dse.json (per-workload milliseconds,
+   speedups, warm-run cache counters, geomeans over the set). *)
+
+open Hida_ir
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+type spec = {
+  w_name : string;
+  w_path : [ `Nn | `Memref ];
+  w_build : unit -> Ir.op;
+}
+
+let memref_spec (e : Polybench.entry) =
+  {
+    w_name = e.Polybench.e_name;
+    w_path = `Memref;
+    w_build = (fun () -> snd (e.Polybench.e_build ()));
+  }
+
+let memref_extra_spec (e : Polybench_extra.entry) =
+  {
+    w_name = e.Polybench_extra.e_name;
+    w_path = `Memref;
+    w_build = (fun () -> snd (e.Polybench_extra.e_build ()));
+  }
+
+let nn_spec (e : Models.entry) =
+  {
+    w_name = e.Models.e_name;
+    w_path = `Nn;
+    w_build = (fun () -> snd (e.Models.e_build ()));
+  }
+
+(* Pipeline prefix up to the parallelization pass (mirrors [Driver]). *)
+let prep spec =
+  let f = spec.w_build () in
+  Hida_dialects.Canonicalize.run f;
+  Construct.run f;
+  Fusion.run f;
+  (match spec.w_path with
+  | `Memref -> Lowering.lower_memref_func f
+  | `Nn -> ignore (Lowering.lower_nn_func f));
+  Multi_producer.run f;
+  Balance.run f;
+  f
+
+let device_of = function `Memref -> Device.zu3eg | `Nn -> Device.vu9p_slr
+
+(* A large parallel factor makes the timed section search-dominated
+   (the divisor lattice grows with the factor), which is what this bench
+   is about; the compile benches cover the pf=32 default. *)
+let max_pf = 256
+
+let dse_once ~jobs device f =
+  ignore (Parallelize.run ~jobs ~max_parallel_factor:max_pf f);
+  ignore (Qor.estimate_func device f)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  1000. *. (Unix.gettimeofday () -. t0)
+
+let min_over n f =
+  let rec go best k = if k = 0 then best else go (min best (f ())) (k - 1) in
+  go (f ()) (n - 1)
+
+type row = {
+  b_name : string;
+  b_path : string;
+  b_cold_ms : float;
+  b_warm_ms : float;
+  b_parallel_ms : float;
+  b_hits : int;
+  b_misses : int;
+}
+
+let bench_workload ~reps ~par_jobs spec =
+  let cache = Qor_cache.global () in
+  let device = device_of spec.w_path in
+  (* Cold: cleared cache, sequential. *)
+  let cold_ms =
+    min_over reps (fun () ->
+        let f = prep spec in
+        Qor_cache.clear cache;
+        time_ms (fun () -> dse_once ~jobs:1 device f))
+  in
+  (* Populate once more so every warm rep starts fully cached. *)
+  (let f = prep spec in
+   Qor_cache.clear cache;
+   dse_once ~jobs:1 device f);
+  let h0, m0 = Qor_cache.counters cache in
+  let warm_ms =
+    min_over reps (fun () ->
+        let f = prep spec in
+        time_ms (fun () -> dse_once ~jobs:1 device f))
+  in
+  let h1, m1 = Qor_cache.counters cache in
+  (* Parallel: cleared cache, worker domains. *)
+  let parallel_ms =
+    min_over reps (fun () ->
+        let f = prep spec in
+        Qor_cache.clear cache;
+        time_ms (fun () -> dse_once ~jobs:par_jobs device f))
+  in
+  {
+    b_name = spec.w_name;
+    b_path = (match spec.w_path with `Memref -> "memref" | `Nn -> "nn");
+    b_cold_ms = cold_ms;
+    b_warm_ms = warm_ms;
+    b_parallel_ms = parallel_ms;
+    b_hits = (h1 - h0) / reps;
+    b_misses = (m1 - m0) / reps;
+  }
+
+let json_of_rows ~par_jobs ~reps rows =
+  let buf = Buffer.create 4096 in
+  let speedup cold t = if t > 0. then cold /. t else nan in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"max_parallel_factor\": %d,\n" max_pf);
+  Buffer.add_string buf (Printf.sprintf "  \"parallel_jobs\": %d,\n" par_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"path\": %S, \"cold_ms\": %.3f, \"warm_ms\": \
+            %.3f, \"parallel_ms\": %.3f, \"warm_speedup\": %.2f, \
+            \"parallel_speedup\": %.2f, \"warm_cache_hits\": %d, \
+            \"warm_cache_misses\": %d}%s\n"
+           r.b_name r.b_path r.b_cold_ms r.b_warm_ms r.b_parallel_ms
+           (speedup r.b_cold_ms r.b_warm_ms)
+           (speedup r.b_cold_ms r.b_parallel_ms)
+           r.b_hits r.b_misses
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  let warm = List.map (fun r -> speedup r.b_cold_ms r.b_warm_ms) rows in
+  let par = List.map (fun r -> speedup r.b_cold_ms r.b_parallel_ms) rows in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"geomean_warm_speedup\": %.2f,\n" (Util.geomean warm));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"geomean_parallel_speedup\": %.2f\n" (Util.geomean par));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run ?(smoke = false) ?(quick = false) () =
+  Util.header
+    (if smoke then "DSE benchmark (smoke: one workload)"
+     else "DSE benchmark: cold / warm / parallel per-node exploration");
+  let reps = if smoke then 1 else 3 in
+  let par_jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let specs =
+    if smoke then [ memref_spec (Polybench.by_name "2mm") ]
+    else if quick then
+      List.map
+        (fun n -> memref_spec (Polybench.by_name n))
+        [ "2mm"; "3mm"; "atax"; "bicg"; "gemm" ]
+      @ [ nn_spec (Models.by_name "lenet") ]
+    else
+      List.map memref_spec Polybench.all
+      @ List.map memref_extra_spec Polybench_extra.all
+      @ List.map (fun n -> nn_spec (Models.by_name n))
+          [ "lenet"; "mobilenet"; "resnet18" ]
+  in
+  Qor_cache.install (Qor_cache.global ());
+  Printf.printf "%-14s %-7s %10s %10s %10s %7s %7s\n" "workload" "path"
+    "cold ms" "warm ms" "par ms" "warm x" "par x";
+  let rows =
+    List.map
+      (fun spec ->
+        let r = bench_workload ~reps ~par_jobs spec in
+        Printf.printf "%-14s %-7s %10.2f %10.2f %10.2f %7.2f %7.2f\n" r.b_name
+          r.b_path r.b_cold_ms r.b_warm_ms r.b_parallel_ms
+          (r.b_cold_ms /. r.b_warm_ms)
+          (r.b_cold_ms /. r.b_parallel_ms);
+        r)
+      specs
+  in
+  let json = json_of_rows ~par_jobs ~reps rows in
+  let oc = open_out "BENCH_dse.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "\ngeomeans: warm %.2fx, parallel(%d jobs) %.2fx — written to \
+     BENCH_dse.json\n"
+    (Util.geomean (List.map (fun r -> r.b_cold_ms /. r.b_warm_ms) rows))
+    par_jobs
+    (Util.geomean (List.map (fun r -> r.b_cold_ms /. r.b_parallel_ms) rows))

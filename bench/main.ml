@@ -103,6 +103,8 @@ let experiments =
         else Figures.fig11 () );
     ("ablation", fun ~quick -> ignore quick; Ablation.run ());
     ("bechamel", fun ~quick -> ignore quick; run_bechamel ());
+    ("dse", fun ~quick -> Dse_bench.run ~quick ());
+    ("dse-smoke", fun ~quick -> ignore quick; Dse_bench.run ~smoke:true ());
   ]
 
 let () =
@@ -111,7 +113,11 @@ let () =
   let selected =
     List.filter (fun a -> List.mem_assoc a experiments) args
   in
-  let selected = if selected = [] then List.map fst experiments else selected in
+  let selected =
+    if selected = [] then
+      List.filter (fun n -> n <> "dse-smoke") (List.map fst experiments)
+    else selected
+  in
   Printf.printf
     "HIDA benchmark harness — regenerating the paper's tables and figures\n";
   Printf.printf "(mode: %s; run with 'full' for the complete sweeps)\n"

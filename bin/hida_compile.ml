@@ -91,17 +91,17 @@ let write_file ~what path content =
     prerr_endline ("hida-compile: cannot write " ^ what ^ ": " ^ msg);
     exit 1
 
-let rec run workload device_name pf tile mode_name no_fusion no_balance no_dataflow
-    fit emit_cpp dump_ir out_path simulate timing trace_json print_ir_after remarks
-    stats =
-  try run_checked workload device_name pf tile mode_name no_fusion no_balance
-      no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
-      print_ir_after remarks stats
+let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
+    no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
+    print_ir_after remarks stats =
+  try run_checked workload device_name pf tile mode_name jobs no_fusion
+      no_balance no_dataflow fit emit_cpp dump_ir out_path simulate timing
+      trace_json print_ir_after remarks stats
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
-and run_checked workload device_name pf tile mode_name no_fusion no_balance
+and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
     print_ir_after remarks stats =
   let device = Device.by_name device_name in
@@ -121,6 +121,7 @@ and run_checked workload device_name pf tile mode_name no_fusion no_balance
       Driver.default with
       mode;
       max_parallel_factor = pf;
+      jobs;
       tile_size = tile;
       enable_fusion = not no_fusion;
       enable_balancing = not no_balance;
@@ -242,6 +243,11 @@ let mode =
   Arg.(value & opt string "ia+ca" & info [ "mode"; "m" ] ~docv:"MODE"
          ~doc:"Parallelization mode: ia+ca, ia, ca or naive.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for the per-node design-space exploration \
+               (the produced design is identical whatever the value).")
+
 let no_fusion =
   Arg.(value & flag & info [ "no-fusion" ] ~doc:"Disable task fusion (Alg. 2).")
 
@@ -297,8 +303,8 @@ let cmd =
   Cmd.v
     (Cmd.info "hida-compile" ~doc)
     Term.(
-      const run $ workload $ device $ pf $ tile $ mode $ no_fusion $ no_balance
-      $ no_dataflow $ fit $ emit_cpp $ dump_ir $ out_path $ simulate $ timing
-      $ trace_json $ print_ir_after $ remarks $ stats)
+      const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
+      $ no_balance $ no_dataflow $ fit $ emit_cpp $ dump_ir $ out_path
+      $ simulate $ timing $ trace_json $ print_ir_after $ remarks $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,8 @@ open Hida_estimator
 type options = {
   mode : Parallelize.mode;
   max_parallel_factor : int;
+  jobs : int; (* worker domains for per-node DSE (1 = sequential; the
+                 result is identical whatever the value) *)
   tile_size : int; (* external-memory tile / burst parameter (Fig. 10) *)
   enable_fusion : bool;
   enable_balancing : bool;
@@ -33,6 +35,7 @@ let default =
   {
     mode = Parallelize.ia_ca;
     max_parallel_factor = 32;
+    jobs = 1;
     tile_size = 32;
     enable_fusion = true;
     enable_balancing = true;
@@ -187,6 +190,11 @@ let make_state opts =
       st_deltas_rev = [];
     }
   in
+  (* Route QoR estimation through the process-wide memoization cache;
+     content-addressed entries persist across compiles, and the
+     op-identity signature memos are invalidated after every pass (each
+     pass may mutate the IR). *)
+  Qor_cache.install (Qor_cache.global ());
   let tr = Hida_obs.Scope.trace st.st_scope in
   let metrics = Hida_obs.Scope.metrics st.st_scope in
   let open_spans = ref [] in
@@ -210,6 +218,7 @@ let make_state opts =
         :: st.st_deltas_rev;
       Hida_obs.Metrics.incr metrics "pass.runs";
       Hida_obs.Metrics.add metrics "ir.ops_visited" after.Hida_obs.Ir_stats.ops;
+      Qor_cache.invalidate_signatures (Qor_cache.global ());
       ignore stats);
   st
 
@@ -233,7 +242,9 @@ let compile_nn ?(opts = default) func =
        ~boundary:opts.conv_boundary ());
   if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
   if opts.enable_balancing then Pass.add mgr (Balance.pass ());
-  Pass.add mgr (Parallelize.pass ~mode:opts.mode ~max_parallel_factor:opts.max_parallel_factor ());
+  Pass.add mgr
+    (Parallelize.pass ~mode:opts.mode ~jobs:opts.jobs
+       ~max_parallel_factor:opts.max_parallel_factor ());
   Pass.add mgr (Partition.pass ~ca:opts.mode.Parallelize.ca ());
   if opts.enable_streaming then Pass.add mgr (Streamize.pass ());
   Pass.add mgr
@@ -262,7 +273,8 @@ let compile_memref ?(opts = default) func =
     if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
     if opts.enable_balancing then Pass.add mgr (Balance.pass ());
     Pass.add mgr
-      (Parallelize.pass ~mode:opts.mode ~max_parallel_factor:opts.max_parallel_factor ());
+      (Parallelize.pass ~mode:opts.mode ~jobs:opts.jobs
+         ~max_parallel_factor:opts.max_parallel_factor ());
     Pass.add mgr (Partition.pass ~ca:opts.mode.Parallelize.ca ());
     if opts.enable_streaming then Pass.add mgr (Streamize.pass ())
   end
@@ -287,8 +299,17 @@ let finish ~device ?(batch = 1) st func =
            which only becomes known here. *)
         Hida_obs.Scope.span ~cat:"driver" "interface-planning" (fun () ->
             ignore (Interface.run ~device func));
-        Hida_obs.Scope.span ~cat:"driver" "qor-estimation" (fun () ->
-            Qor.estimate_func device ~batch func))
+        (* Interface planning mutates port attributes. *)
+        Qor_cache.invalidate_signatures (Qor_cache.global ());
+        let h0, m0 = Qor_cache.counters (Qor_cache.global ()) in
+        let est =
+          Hida_obs.Scope.span ~cat:"driver" "qor-estimation" (fun () ->
+              Qor.estimate_func device ~batch func)
+        in
+        let h1, m1 = Qor_cache.counters (Qor_cache.global ()) in
+        Hida_obs.Scope.count "qor.cache.hits" (h1 - h0);
+        Hida_obs.Scope.count "qor.cache.misses" (m1 - m0);
+        est)
   in
   let compile_seconds = Unix.gettimeofday () -. st.st_t0 in
   let metrics = Hida_obs.Scope.metrics scope in

@@ -11,6 +11,9 @@ open Hida_estimator
 type options = {
   mode : Parallelize.mode;
   max_parallel_factor : int;
+  jobs : int;
+      (** worker domains for the per-node DSE (default 1 = sequential;
+          the produced design is byte-identical whatever the value) *)
   tile_size : int;  (** external-memory tile / burst parameter (Fig. 10) *)
   enable_fusion : bool;
   enable_balancing : bool;

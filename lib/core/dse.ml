@@ -23,15 +23,38 @@ type dim = { trip : int; reduction : bool; serial : bool }
 
 type stats = { mutable proposed : int; mutable valid : int }
 
+(* Divisor ladders are requested once per dimension per DSE invocation,
+   and trip counts repeat heavily across nodes and workloads: enumerate
+   in O(√n) pairs and memoize per trip count.  The memo table is shared
+   by the DSE worker domains of the level-scheduled parallelizer, hence
+   the mutex. *)
+let divisors_memo : (int, int list) Hashtbl.t = Hashtbl.create 64
+let divisors_lock = Mutex.create ()
+
+let divisors_uncached n =
+  let rec go d acc =
+    if d * d > n then acc
+    else if n mod d = 0 then
+      go (d + 1) (if d = n / d then d :: acc else d :: (n / d) :: acc)
+    else go (d + 1) acc
+  in
+  List.sort compare (go 1 [])
+
 let divisors n =
   if n <= 0 then [ 1 ]
   else begin
-    let rec go d acc =
-      if d > n then List.sort compare acc
-      else if n mod d = 0 then go (d + 1) (d :: acc)
-      else go (d + 1) acc
-    in
-    go 1 []
+    Mutex.lock divisors_lock;
+    match Hashtbl.find_opt divisors_memo n with
+    | Some ds ->
+        Mutex.unlock divisors_lock;
+        ds
+    | None ->
+        Mutex.unlock divisors_lock;
+        let ds = divisors_uncached n in
+        Mutex.lock divisors_lock;
+        Hashtbl.replace divisors_memo n ds;
+        Mutex.unlock divisors_lock;
+        ds
   end
 
 let mutually_divisible a b = a mod b = 0 || b mod a = 0
@@ -141,9 +164,31 @@ let rng_make seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
 
 let rng_next r =
   r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
-  r.state
+  (* Temper the output: in a power-of-two-modulus LCG the lowest k bits
+     cycle with period 2^k, so an untempered [mod 8] in [rng_below]
+     would visit each residue in strict rotation — e.g. the restart
+     branch of [search_stochastic] would fire on a fixed cadence and
+     its ladder draws would be correlated with the stream position.
+     Folding the high half into the low bits breaks the lockstep while
+     staying a pure function of the seed. *)
+  let x = r.state in
+  (x lxor (x lsr 15)) land 0x3FFFFFFF
 
-let rng_below r n = if n <= 1 then 0 else rng_next r mod n
+(* [rng_next] is uniform on [0, 2^30); a bare [mod n] would bias the low
+   ladder positions whenever n does not divide 2^30.  Rejection sampling
+   keeps the proposal distribution uniform and stays deterministic: the
+   draw sequence is a pure function of the seed. *)
+let rng_below r n =
+  if n <= 1 then 0
+  else begin
+    let bound = 0x40000000 in
+    let limit = bound - (bound mod n) in
+    let rec draw () =
+      let x = rng_next r in
+      if x < limit then x mod n else draw ()
+    in
+    draw ()
+  end
 
 let search_stochastic ?(constraints = []) ?(cost = fun _ -> 0.)
     ?(seed = 1) ?(patience = 64) ?(max_proposals = 2048) ?stats ~dims
@@ -161,11 +206,8 @@ let search_stochastic ?(constraints = []) ?(cost = fun _ -> 0.)
         dims
     in
     let rng = rng_make seed in
-    let incumbent = Array.make n 1 in
-    let score c = (product c, reduction_use ~dims c, cost c, evenness c) in
     let better a b = compare_candidates ~dims ~cost a b < 0 in
-    ignore score;
-    let best = ref (Array.copy incumbent) in
+    let best = ref (Array.make n 1) in
     let stale = ref 0 in
     let proposals = ref 0 in
     while !stale < patience && !proposals < max_proposals do
@@ -183,6 +225,12 @@ let search_stochastic ?(constraints = []) ?(cost = fun _ -> 0.)
         let ladder = ladders.(i) in
         candidate.(i) <- ladder.(rng_below rng (Array.length ladder))
       end;
+      (* Patience measures convergence of the evaluated search: only
+         valid proposals — the ones the QoR estimator actually scores —
+         count toward staleness.  Invalid proposals are rejected for
+         free (lines 13-18), so nodes with dense constraint sets are not
+         terminated early just because their lattice is mostly
+         infeasible; [max_proposals] still bounds the total work. *)
       if is_valid ~constraints ~parallel_factor candidate then begin
         (match stats with Some s -> s.valid <- s.valid + 1 | None -> ());
         if better candidate !best then begin
@@ -191,7 +239,6 @@ let search_stochastic ?(constraints = []) ?(cost = fun _ -> 0.)
         end
         else incr stale
       end
-      else incr stale
     done;
     !best
   end

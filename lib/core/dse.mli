@@ -20,6 +20,9 @@ type dim = {
 type stats = { mutable proposed : int; mutable valid : int }
 
 val divisors : int -> int list
+(** Sorted divisor list of [n] ([[1]] for [n <= 0]).  Enumerated in
+    O(√n) and memoized per trip count; the memo table is safe to share
+    across DSE worker domains. *)
 
 val mutually_divisible : int -> int -> bool
 
@@ -27,7 +30,15 @@ val product : int array -> int
 
 val is_valid :
   constraints:int option array list -> parallel_factor:int -> int array -> bool
-(** Validity per Algorithm 4 lines 13-18. *)
+(** Validity per Algorithm 4 lines 13-18.
+
+    Each constraint array is indexed by the {e neighbour}'s aligned
+    spine levels, so it may be shorter than the factor tuple.  Factors
+    at indices beyond the constraint's length are intentionally
+    unconstrained: the node's spine is deeper than the connected node's
+    and those loop levels have no aligned counterpart (the
+    permutation map of Table 4 is partial), hence no divisibility
+    obligation.  This behaviour is pinned by a unit test. *)
 
 val evenness : int array -> float
 val reduction_use : dims:dim array -> int array -> int
@@ -56,4 +67,8 @@ val search_stochastic :
   int array
 (** The literal Algorithm 4 propose/evaluate/evolve loop with a seeded
     deterministic RNG and early termination; {!search} is the exhaustive
-    strengthening used by default. *)
+    strengthening used by default.  Ladder positions are proposed
+    uniformly (rejection sampling, no modulo bias) and [patience] counts
+    only {e evaluated} (valid) proposals without improvement, so early
+    termination measures convergence rather than lattice density;
+    [max_proposals] bounds the total work. *)

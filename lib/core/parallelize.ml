@@ -7,12 +7,25 @@
    Step (4) per-node constrained DSE           -> [Dse]
 
    The mode record enables the ablation groups of §7.3 (IA+CA, IA-only,
-   CA-only, Naive). *)
+   CA-only, Naive).
+
+   Per-node DSE is organized as prepare / execute / merge so the execute
+   phase can run on OCaml 5 worker domains: [prepare_task] snapshots
+   everything a search reads (dims, constraints, the bank-cost context
+   derived from already-parallelized neighbours) into plain data on the
+   orchestrating domain, [execute_task] is a pure computation over that
+   snapshot (plus the mutex-guarded [Qor_cache]), and the merge applies
+   unroll directives and reports metrics/remarks in the sequential
+   order.  Nodes are grouped into levels of the connection graph; nodes
+   within one level share no connection, so their constraint sets are
+   independent and the merged result is identical to the sequential
+   IA+CA loop of Algorithm 4 whatever [jobs] is. *)
 
 open Hida_ir
 open Ir
 open Hida_dialects
 module Obs = Hida_obs.Scope
+module Qor_cache = Hida_estimator.Qor_cache
 
 let pass_name = "dataflow-parallelization"
 
@@ -61,38 +74,67 @@ let lcm a b = if a = 0 || b = 0 then max a b else abs (a * b) / gcd a b
    [c]. *)
 let required_banks ~u ~c = if u <= 1 then 1 else u * max 1 (abs c)
 
-(* Bank cost of a proposal: total banks over the buffers connecting this
-   node to already-parallelized neighbours (the QoR feedback of line 20 in
-   Algorithm 4, specialized to the memory subsystem which dominates the
-   coupled design space). *)
-let bank_cost ~connections ~parallelized ~node proposal =
-  let cost = ref 0 in
-  List.iter
+(* ---- Bank-cost snapshots ------------------------------------------- *)
+
+(* One already-parallelized connection, reduced to the plain data the
+   cost function reads: the per-buffer-dimension (level, stride) info,
+   which side of the connection this node is, and the neighbour's frozen
+   unroll factors.  Snapshotting makes the cost function pure — worker
+   domains never touch the IR or the [parallelized] table. *)
+type cost_term = {
+  ct_dim_info : ((int * int) option * (int * int) option) array;
+  ct_this_is_source : bool;
+  ct_other_factors : int array;
+}
+
+let cost_context ~connections ~parallelized ~node =
+  List.filter_map
     (fun (c : Intensity.connection) ->
       let this_is_source = Op.equal c.Intensity.c_source node in
       let other =
         if this_is_source then c.Intensity.c_target else c.Intensity.c_source
       in
       match Hashtbl.find_opt parallelized other.o_id with
-      | None -> ()
-      | Some (other_factors : int array) ->
-          let buffer_banks = ref 1 in
-          Array.iter
-            (fun (s_info, t_info) ->
-              let this_info = if this_is_source then s_info else t_info in
-              let other_info = if this_is_source then t_info else s_info in
-              let req info factors =
-                match info with
-                | Some (lvl, stride) when lvl < Array.length factors ->
-                    required_banks ~u:factors.(lvl) ~c:stride
-                | _ -> 1
-              in
-              let p = lcm (req this_info proposal) (req other_info other_factors) in
-              buffer_banks := !buffer_banks * max 1 p)
-            c.Intensity.c_dim_info;
-          cost := !cost + !buffer_banks)
-    connections;
+      | None -> None
+      | Some (fs : int array) ->
+          Some
+            {
+              ct_dim_info = c.Intensity.c_dim_info;
+              ct_this_is_source = this_is_source;
+              ct_other_factors = fs;
+            })
+    connections
+
+(* Bank cost of a proposal over a snapshot: total banks over the buffers
+   connecting this node to already-parallelized neighbours (the QoR
+   feedback of line 20 in Algorithm 4, specialized to the memory
+   subsystem which dominates the coupled design space). *)
+let snapshot_bank_cost ctx proposal =
+  let cost = ref 0 in
+  List.iter
+    (fun term ->
+      let buffer_banks = ref 1 in
+      Array.iter
+        (fun (s_info, t_info) ->
+          let this_info = if term.ct_this_is_source then s_info else t_info in
+          let other_info = if term.ct_this_is_source then t_info else s_info in
+          let req info factors =
+            match info with
+            | Some (lvl, stride) when lvl < Array.length factors ->
+                required_banks ~u:factors.(lvl) ~c:stride
+            | _ -> 1
+          in
+          let p =
+            lcm (req this_info proposal) (req other_info term.ct_other_factors)
+          in
+          buffer_banks := !buffer_banks * max 1 p)
+        term.ct_dim_info;
+      cost := !cost + !buffer_banks)
+    ctx;
   float_of_int !cost
+
+let bank_cost ~connections ~parallelized ~node proposal =
+  snapshot_bank_cost (cost_context ~connections ~parallelized ~node) proposal
 
 (* Constraints on [node]'s spine levels from an already-parallelized
    connected node (lines 3-8 of Algorithm 4): the neighbour's factors are
@@ -161,9 +203,394 @@ let factors_string factors =
   ^ String.concat "," (List.map string_of_int (Array.to_list factors))
   ^ "]"
 
-let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
-    sched =
+(* ---- Memo keys ------------------------------------------------------ *)
+
+(* Serializations of the complete input of one deterministic search, so
+   a [Qor_cache] hit can skip the whole exploration. *)
+
+let ser_dims dims =
+  String.concat ";"
+    (List.map
+       (fun (d : Dse.dim) ->
+         Printf.sprintf "%d%s%s" d.Dse.trip
+           (if d.Dse.reduction then "r" else "")
+           (if d.Dse.serial then "s" else ""))
+       (Array.to_list dims))
+
+let ser_opt_int = function None -> "-" | Some k -> string_of_int k
+
+let ser_constraints cs =
+  String.concat "|"
+    (List.map
+       (fun c -> String.concat "," (List.map ser_opt_int (Array.to_list c)))
+       cs)
+
+let ser_info = function
+  | None -> "-"
+  | Some (lvl, stride) -> Printf.sprintf "%d.%d" lvl stride
+
+let ser_context ctx =
+  String.concat "|"
+    (List.map
+       (fun term ->
+         Printf.sprintf "%s%s~%s"
+           (if term.ct_this_is_source then "S" else "T")
+           (String.concat ","
+              (List.map
+                 (fun (s, t) -> ser_info s ^ "/" ^ ser_info t)
+                 (Array.to_list term.ct_dim_info)))
+           (factors_string term.ct_other_factors))
+       ctx)
+
+let engine_tag = function
+  | `Exhaustive -> "ex"
+  | `Stochastic seed -> "st" ^ string_of_int seed
+
+(* One memoized per-node DSE.  The key serializes every input of the
+   deterministic search (engine + seed, parallel factor, dims with their
+   reduction/serial classes, connection constraints and the bank-cost
+   context), so hits are always semantically valid; per-candidate bank
+   costs are additionally memoized under context + proposal.  On a miss
+   [stats] reflects the exploration; on a hit it stays zero (no points
+   were proposed).  Pure data in, pure data out: safe on worker
+   domains. *)
+let cached_search cache engine ~constraints ~ctx ~dims ~parallel_factor ~stats
+    () =
+  let cost =
+    match ctx with
+    | [] -> fun _ -> 0.
+    | _ ->
+        let prefix = "cost#" ^ ser_context ctx ^ "#" in
+        fun proposal ->
+          Qor_cache.memo_float cache
+            (prefix ^ factors_string proposal)
+            (fun () -> snapshot_bank_cost ctx proposal)
+  in
+  let key =
+    String.concat "#"
+      [
+        "dse";
+        engine_tag engine;
+        string_of_int parallel_factor;
+        ser_dims dims;
+        ser_constraints constraints;
+        ser_context ctx;
+      ]
+  in
+  Qor_cache.memo_factors cache key (fun () ->
+      search_with engine ~constraints ~cost ~stats ~dims ~parallel_factor ())
+
+(* ---- Level scheduling ----------------------------------------------- *)
+
+(* Group the search order into levels: a node's level is one past the
+   highest level among its connected neighbours that come earlier in the
+   order.  Any connection between two nodes places them on different
+   levels, so nodes within one level are pairwise unconnected; their
+   connection constraints and bank-cost contexts are derived exclusively
+   from the [parallelized] table, which is frozen while a level
+   executes, so exploring a level's nodes concurrently and merging in
+   order is observationally identical to the sequential loop. *)
+let level_schedule ~order ~connections =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i (n : op) -> Hashtbl.replace pos n.o_id i) order;
+  let level = Hashtbl.create 16 in
+  List.iteri
+    (fun i n ->
+      let lvl =
+        List.fold_left
+          (fun acc (c : Intensity.connection) ->
+            let other =
+              if Op.equal c.Intensity.c_source n then c.Intensity.c_target
+              else c.Intensity.c_source
+            in
+            match Hashtbl.find_opt pos other.o_id with
+            | Some j when j < i -> max acc (1 + Hashtbl.find level other.o_id)
+            | _ -> acc)
+          0
+          (Intensity.connections_of connections n)
+      in
+      Hashtbl.replace level n.o_id lvl)
+    order;
+  let max_level = Hashtbl.fold (fun _ l acc -> max acc l) level 0 in
+  List.init (max_level + 1) (fun l ->
+      List.filter (fun (n : op) -> Hashtbl.find level n.o_id = l) order)
+
+(* ---- Worker pool ----------------------------------------------------- *)
+
+(* Run [thunks] on up to [jobs] domains (the calling domain included),
+   returning results in order.  Thunks must be pure data computations:
+   they may use the mutex-guarded [Qor_cache] but must not mutate IR.
+   The ambient [Obs] scope is domain-local, so reporting helpers no-op
+   on workers; the orchestrator reports on their behalf at merge. *)
+let run_parallel ~jobs thunks =
+  let tasks = Array.of_list thunks in
+  let n = Array.length tasks in
+  let slots = max 1 (min jobs n) in
+  if n = 0 then []
+  else if slots = 1 then Array.to_list (Array.map (fun f -> f ()) tasks)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (tasks.(i) ());
+        work ()
+      end
+    in
+    let workers = Array.init (slots - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join workers;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+(* ---- Per-node tasks: prepare / execute / merge ----------------------- *)
+
+type sub_task = {
+  st_spine : op list;
+  st_dims : Dse.dim array;
+  st_label : string;
+}
+
+type node_task = {
+  t_node : op;
+  t_intensity : int;
+  t_pf : int;
+  t_spine : op list;
+  t_dims : Dse.dim array;
+  t_constraints : int option array list;
+  t_ctx : cost_term list;
+  t_subs : sub_task list;
+}
+
+type node_outcome = {
+  o_factors : int array;
+  o_stats : Dse.stats;
+  o_subs : (sub_task * int array * Dse.stats) list;
+}
+
+let dims_of_spine owner spine =
+  Array.of_list
+    (List.map
+       (fun l ->
+         let cls = Intensity.loop_class owner l in
+         {
+           Dse.trip = max 1 (Affine_d.trip_count l);
+           reduction = cls <> `Parallel;
+           serial = cls = `Serial;
+         })
+       spine)
+
+(* Snapshot everything one node's DSE reads.  Runs on the orchestrating
+   domain, against the [parallelized] factors of strictly earlier
+   levels. *)
+let prepare_task ~mode ~max_pf ~max_intensity ~connections ~parallelized
+    ~intensity_of ~weight_of node =
+  let intensity = Hashtbl.find intensity_of node.o_id in
+  let weight = Hashtbl.find weight_of node.o_id in
+  let pf = parallel_factor ~mode ~max_pf ~max_intensity weight in
+  let spine = Intensity.spine_of node in
+  let dims = dims_of_spine node spine in
+  let node_connections = Intensity.connections_of connections node in
+  let constraints =
+    if not mode.ca then []
+    else
+      List.filter_map
+        (fun c ->
+          let other =
+            if Op.equal c.Intensity.c_source node then c.Intensity.c_target
+            else c.Intensity.c_source
+          in
+          match Hashtbl.find_opt parallelized other.o_id with
+          | Some fs -> Some (connection_constraint ~node c fs)
+          | None -> None)
+        node_connections
+  in
+  let ctx =
+    if mode.ca then
+      cost_context ~connections:node_connections ~parallelized ~node
+    else []
+  in
+  (* Fused nodes contain several sequential loop nests; the primary nest
+     gets the connection-constrained DSE, the remaining nests each
+     receive an unconstrained intra-node DSE at the same parallel factor
+     (their buffers are node-local). *)
+  let in_spine l = List.exists (Op.equal l) spine in
+  let subs =
+    List.filter_map
+      (fun nest ->
+        if in_spine nest then None
+        else
+          let sub_spine = Intensity.spine_of nest in
+          Some
+            {
+              st_spine = sub_spine;
+              st_dims = dims_of_spine nest sub_spine;
+              st_label = Printf.sprintf "dse:node%d.nest%d" node.o_id nest.o_id;
+            })
+      (Affine_d.outermost_loops node)
+  in
+  {
+    t_node = node;
+    t_intensity = intensity;
+    t_pf = pf;
+    t_spine = spine;
+    t_dims = dims;
+    t_constraints = constraints;
+    t_ctx = ctx;
+    t_subs = subs;
+  }
+
+(* Explore one prepared node: memoized searches over the snapshot only.
+   Spans no-op on worker domains (domain-local scope). *)
+let execute_task cache engine task =
+  let stats = { Dse.proposed = 0; valid = 0 } in
+  let factors =
+    Obs.span ~cat:"dse"
+      (Printf.sprintf "dse:node%d" task.t_node.o_id)
+      (fun () ->
+        cached_search cache engine ~constraints:task.t_constraints
+          ~ctx:task.t_ctx ~dims:task.t_dims ~parallel_factor:task.t_pf ~stats
+          ())
+  in
+  let subs =
+    List.map
+      (fun st ->
+        let sstats = { Dse.proposed = 0; valid = 0 } in
+        let sf =
+          Obs.span ~cat:"dse" st.st_label (fun () ->
+              cached_search cache engine ~constraints:[] ~ctx:[] ~dims:st.st_dims
+                ~parallel_factor:task.t_pf ~stats:sstats ())
+        in
+        (st, sf, sstats))
+      task.t_subs
+  in
+  { o_factors = factors; o_stats = stats; o_subs = subs }
+
+(* ---- Schedule-level replay --------------------------------------------
+
+   The whole per-schedule outcome is additionally memoized under the
+   schedule's structural signature (plus mode/engine/max factor): a
+   recompile of an identical schedule replays the stored factors
+   positionally, skipping the connection analysis and every search.
+   One int-array entry per node in search order — [| position-in-block;
+   intensity; pf; #constraints; #spine; factors...; #subs; (len;
+   factors...)* |] — plus a meta entry flagging presence. *)
+
+let encode_replay ~pos task (out : node_outcome) =
+  Array.of_list
+    ((pos :: task.t_intensity :: task.t_pf
+      :: List.length task.t_constraints
+      :: Array.length out.o_factors
+      :: Array.to_list out.o_factors)
+    @ (List.length out.o_subs
+       :: List.concat_map
+            (fun (_, sf, _) -> Array.length sf :: Array.to_list sf)
+            out.o_subs))
+
+let try_replay cache ~key nodes =
+  match Qor_cache.find_factors cache (key ^ "#meta") with
+  | Some meta when Array.length meta = 1 && meta.(0) = List.length nodes ->
+      let node_arr = Array.of_list nodes in
+      let decode enc =
+        let i = ref 0 in
+        let next () =
+          let v = enc.(!i) in
+          incr i;
+          v
+        in
+        let read_arr n =
+          let a = Array.make n 0 in
+          for j = 0 to n - 1 do
+            a.(j) <- next ()
+          done;
+          a
+        in
+        let pos = next () in
+        let intensity = next () in
+        let pf = next () in
+        let ncons = next () in
+        let factors = read_arr (next ()) in
+        let nsubs = next () in
+        let rec read_subs k acc =
+          if k = 0 then List.rev acc
+          else read_subs (k - 1) (read_arr (next ()) :: acc)
+        in
+        (node_arr.(pos), intensity, pf, ncons, factors, read_subs nsubs [])
+      in
+      let rec fetch rank acc =
+        if rank = Array.length node_arr then Some (List.rev acc)
+        else
+          match
+            Qor_cache.find_factors cache (Printf.sprintf "%s#%d" key rank)
+          with
+          | None -> None
+          | Some enc -> fetch (rank + 1) (decode enc :: acc)
+      in
+      fetch 0 []
+  | _ -> None
+
+(* Apply a replayed outcome: same unroll directives, metrics and remarks
+   (in the same order) as the sequential loop, with zero explored points
+   (nothing was searched). *)
+let apply_replay ~max_parallel_factor decoded =
+  List.map
+    (fun (node, intensity, pf, ncons, factors, subs) ->
+      let spine = Intensity.spine_of node in
+      List.iteri (fun i l -> Affine_d.set_unroll l factors.(i)) spine;
+      Obs.count "parallelize.nodes" 1;
+      Obs.count "parallelize.constraints" ncons;
+      Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Remark
+        "node parallelized: intensity %d, parallel factor %d (of max %d), \
+         unroll factors %s under %d connection constraint(s)"
+        intensity pf max_parallel_factor (factors_string factors) ncons;
+      if Dse.product factors < pf then
+        Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Missed
+          "allotted parallel factor %d not reachable: divisor lattice and \
+           connection constraints cap the factor product at %d"
+          pf (Dse.product factors);
+      let in_spine l = List.exists (Op.equal l) spine in
+      let sub_nests =
+        List.filter (fun n -> not (in_spine n)) (Affine_d.outermost_loops node)
+      in
+      List.iter2
+        (fun nest sf ->
+          List.iteri
+            (fun i l -> Affine_d.set_unroll l sf.(i))
+            (Intensity.spine_of nest))
+        sub_nests subs;
+      {
+        r_node = node;
+        r_intensity = intensity;
+        r_parallel_factor = pf;
+        r_factors = factors;
+      })
+    decoded
+
+let rec run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ?(jobs = 1)
+    ~max_parallel_factor sched =
+  let cache = Qor_cache.global () in
+  let h0, m0 = Qor_cache.counters cache in
   let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let replay_key =
+    Printf.sprintf "sched#%s#%s#%d#%s" (mode_name mode) (engine_tag engine)
+      max_parallel_factor
+      (Qor_cache.signature cache sched)
+  in
+  match try_replay cache ~key:replay_key nodes with
+  | Some decoded ->
+      let results = apply_replay ~max_parallel_factor decoded in
+      Qor_cache.invalidate_signatures cache;
+      let h1, m1 = Qor_cache.counters cache in
+      Obs.count "qor.cache.hits" (h1 - h0);
+      Obs.count "qor.cache.misses" (m1 - m0);
+      results
+  | None -> run_on_schedule_fresh ~mode ~engine ~jobs ~max_parallel_factor
+      ~cache ~counters0:(h0, m0) ~replay_key ~nodes sched
+
+and run_on_schedule_fresh ~mode ~engine ~jobs ~max_parallel_factor ~cache
+    ~counters0:(h0, m0) ~replay_key ~nodes sched =
   let connections = Intensity.analyze sched in
   let intensity_of = Hashtbl.create 16 in
   (* The workload weight used to apportion parallel factors: the spine
@@ -195,137 +622,126 @@ let run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ~max_parallel_factor
       nodes
   in
   let parallelized : (int, int array) Hashtbl.t = Hashtbl.create 16 in
-  let results = ref [] in
-  List.iter
-    (fun node ->
-      let intensity = Hashtbl.find intensity_of node.o_id in
-      let weight = Hashtbl.find weight_of node.o_id in
-      let pf =
-        parallel_factor ~mode ~max_pf:max_parallel_factor ~max_intensity weight
+  let outcomes : (int, node_task * node_outcome) Hashtbl.t = Hashtbl.create 16 in
+  let levels = level_schedule ~order ~connections in
+  List.iteri
+    (fun li level_nodes ->
+      let tasks =
+        List.map
+          (prepare_task ~mode ~max_pf:max_parallel_factor ~max_intensity
+             ~connections ~parallelized ~intensity_of ~weight_of)
+          level_nodes
       in
-      let spine = Intensity.spine_of node in
-      let dims =
-        Array.of_list
-          (List.map
-             (fun l ->
-               (let cls = Intensity.loop_class node l in
-                {
-                  Dse.trip = max 1 (Affine_d.trip_count l);
-                  reduction = cls <> `Parallel;
-                  serial = cls = `Serial;
-                }))
-             spine)
-      in
-      let node_connections = Intensity.connections_of connections node in
-      let constraints =
-        if not mode.ca then []
+      let results =
+        if jobs <= 1 || List.length tasks <= 1 then
+          List.map (execute_task cache engine) tasks
         else
-          List.filter_map
-            (fun c ->
-              let other =
-                if Op.equal c.Intensity.c_source node then c.Intensity.c_target
-                else c.Intensity.c_source
-              in
-              match Hashtbl.find_opt parallelized other.o_id with
-              | Some fs -> Some (connection_constraint ~node c fs)
-              | None -> None)
-            node_connections
+          Obs.span ~cat:"dse"
+            (Printf.sprintf "dse:level%d[%d nodes, %d jobs]" li
+               (List.length tasks) jobs)
+            (fun () ->
+              run_parallel ~jobs
+                (List.map (fun t () -> execute_task cache engine t) tasks))
       in
-      let cost =
-        if mode.ca then
-          bank_cost ~connections:node_connections ~parallelized ~node
-        else fun _ -> 0.
-      in
-      let label = Printf.sprintf "dse:node%d" node.o_id in
-      let factors =
-        observed_search engine ~constraints ~cost ~label ~dims
-          ~parallel_factor:pf ()
-      in
-      List.iteri
-        (fun i l -> Affine_d.set_unroll l factors.(i))
-        spine;
-      Obs.count "parallelize.nodes" 1;
-      Obs.count "parallelize.constraints" (List.length constraints);
-      Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Remark
-        "node parallelized: intensity %d, parallel factor %d (of max %d), \
-         unroll factors %s under %d connection constraint(s)"
-        intensity pf max_parallel_factor (factors_string factors)
-        (List.length constraints);
-      if Dse.product factors < pf then
-        Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Missed
-          "allotted parallel factor %d not reachable: divisor lattice and \
-           connection constraints cap the factor product at %d"
-          pf (Dse.product factors);
-      (* Fused nodes contain several sequential loop nests; the primary
-         nest got the connection-constrained DSE above, the remaining
-         nests each receive an unconstrained intra-node DSE at the same
-         parallel factor (their buffers are node-local). *)
-      let in_spine l = List.exists (Op.equal l) spine in
-      List.iter
-        (fun nest ->
-          if not (in_spine nest) then begin
-            let sub_spine = Intensity.spine_of nest in
-            let sub_dims =
-              Array.of_list
-                (List.map
-                   (fun l ->
-                     let cls = Intensity.loop_class nest l in
-                     {
-                       Dse.trip = max 1 (Affine_d.trip_count l);
-                       reduction = cls <> `Parallel;
-                       serial = cls = `Serial;
-                     })
-                   sub_spine)
-            in
-            let sub =
-              observed_search engine
-                ~label:(Printf.sprintf "dse:node%d.nest%d" node.o_id nest.o_id)
-                ~dims:sub_dims ~parallel_factor:pf ()
-            in
-            List.iteri (fun i l -> Affine_d.set_unroll l sub.(i)) sub_spine
-          end)
-        (Affine_d.outermost_loops node);
-      Hashtbl.replace parallelized node.o_id factors;
-      results :=
+      List.iter2
+        (fun t o ->
+          Hashtbl.replace parallelized t.t_node.o_id o.o_factors;
+          Hashtbl.replace outcomes t.t_node.o_id (t, o))
+        tasks results)
+    levels;
+  (* Deterministic merge, in the sequential search order: apply the
+     unroll directives and publish metrics and remarks exactly as the
+     sequential loop would. *)
+  let results =
+    List.map
+      (fun node ->
+        let task, out = Hashtbl.find outcomes node.o_id in
+        let factors = out.o_factors in
+        let proposed =
+          List.fold_left
+            (fun acc (_, _, (s : Dse.stats)) -> acc + s.Dse.proposed)
+            out.o_stats.Dse.proposed out.o_subs
+        and valid =
+          List.fold_left
+            (fun acc (_, _, (s : Dse.stats)) -> acc + s.Dse.valid)
+            out.o_stats.Dse.valid out.o_subs
+        in
+        Obs.count "dse.points_proposed" proposed;
+        Obs.count "dse.points_evaluated" valid;
+        Obs.count "dse.points_pruned" (proposed - valid);
+        List.iteri (fun i l -> Affine_d.set_unroll l factors.(i)) task.t_spine;
+        Obs.count "parallelize.nodes" 1;
+        Obs.count "parallelize.constraints" (List.length task.t_constraints);
+        Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Remark
+          "node parallelized: intensity %d, parallel factor %d (of max %d), \
+           unroll factors %s under %d connection constraint(s)"
+          task.t_intensity task.t_pf max_parallel_factor
+          (factors_string factors)
+          (List.length task.t_constraints);
+        if Dse.product factors < task.t_pf then
+          Obs.remark ~op:node ~pass:pass_name Hida_obs.Remark.Missed
+            "allotted parallel factor %d not reachable: divisor lattice and \
+             connection constraints cap the factor product at %d"
+            task.t_pf (Dse.product factors);
+        List.iter
+          (fun (st, sf, _) ->
+            List.iteri (fun i l -> Affine_d.set_unroll l sf.(i)) st.st_spine)
+          out.o_subs;
         {
           r_node = node;
-          r_intensity = intensity;
-          r_parallel_factor = pf;
+          r_intensity = task.t_intensity;
+          r_parallel_factor = task.t_pf;
           r_factors = factors;
-        }
-        :: !results)
+        })
+      order
+  in
+  (* Persist the schedule-level replay entries under the pre-mutation
+     signature, so an identical schedule skips straight to the merge. *)
+  let pos_of = Hashtbl.create 16 in
+  List.iteri (fun i (n : op) -> Hashtbl.replace pos_of n.o_id i) nodes;
+  List.iteri
+    (fun rank node ->
+      let task, out = Hashtbl.find outcomes node.o_id in
+      Qor_cache.store_factors cache
+        (Printf.sprintf "%s#%d" replay_key rank)
+        (encode_replay ~pos:(Hashtbl.find pos_of node.o_id) task out))
     order;
-  List.rev !results
+  Qor_cache.store_factors cache (replay_key ^ "#meta")
+    [| List.length nodes |];
+  (* Unroll attributes were just mutated: op-identity signature memos in
+     the estimator cache are stale now. *)
+  Qor_cache.invalidate_signatures cache;
+  let h1, m1 = Qor_cache.counters cache in
+  Obs.count "qor.cache.hits" (h1 - h0);
+  Obs.count "qor.cache.misses" (m1 - m0);
+  results
 
 (* Parallelize a bare loop nest (single-loop-nest kernels present no
    dataflow opportunities but still undergo intra-node DSE). *)
 let run_on_nest ~max_parallel_factor nest =
+  let cache = Qor_cache.global () in
   let spine = Intensity.spine_of nest in
-  let dims =
-    Array.of_list
-      (List.map
-         (fun l ->
-           (let cls = Intensity.loop_class nest l in
-            {
-              Dse.trip = max 1 (Affine_d.trip_count l);
-              reduction = cls <> `Parallel;
-              serial = cls = `Serial;
-            }))
-         spine)
-  in
+  let dims = dims_of_spine nest spine in
+  let stats = { Dse.proposed = 0; valid = 0 } in
   let factors =
-    observed_search `Exhaustive
-      ~label:(Printf.sprintf "dse:nest%d" nest.o_id)
-      ~dims ~parallel_factor:max_parallel_factor ()
+    Obs.span ~cat:"dse"
+      (Printf.sprintf "dse:nest%d" nest.o_id)
+      (fun () ->
+        cached_search cache `Exhaustive ~constraints:[] ~ctx:[] ~dims
+          ~parallel_factor:max_parallel_factor ~stats ())
   in
+  Obs.count "dse.points_proposed" stats.Dse.proposed;
+  Obs.count "dse.points_evaluated" stats.Dse.valid;
+  Obs.count "dse.points_pruned" (stats.Dse.proposed - stats.Dse.valid);
   List.iteri (fun i l -> Affine_d.set_unroll l factors.(i)) spine;
   Obs.count "parallelize.nests" 1;
   Obs.remark ~op:nest ~pass:pass_name Hida_obs.Remark.Remark
     "loop nest parallelized: unroll factors %s (parallel factor %d)"
     (factors_string factors) max_parallel_factor;
+  Qor_cache.invalidate_signatures cache;
   factors
 
-let run ?mode ?engine ~max_parallel_factor root =
+let run ?mode ?engine ?jobs ~max_parallel_factor root =
   let schedules = Walk.collect root ~pred:Hida_d.is_schedule in
   match schedules with
   | [] ->
@@ -343,9 +759,9 @@ let run ?mode ?engine ~max_parallel_factor root =
       []
   | _ ->
       List.concat_map
-        (fun s -> run_on_schedule ?mode ?engine ~max_parallel_factor s)
+        (fun s -> run_on_schedule ?mode ?engine ?jobs ~max_parallel_factor s)
         schedules
 
-let pass ?mode ?engine ~max_parallel_factor () =
+let pass ?mode ?engine ?jobs ~max_parallel_factor () =
   Pass.make ~name:"dataflow-parallelization" (fun root ->
-      ignore (run ?mode ?engine ~max_parallel_factor root))
+      ignore (run ?mode ?engine ?jobs ~max_parallel_factor root))

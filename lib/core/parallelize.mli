@@ -7,7 +7,14 @@
     uniform (non-IA); step (4) per-node constrained DSE ({!Dse}), with
     neighbour factors scaled by the connection's scaling map and
     permuted into this node's loop space.  The [mode] record realizes
-    the four ablation groups of §7.3. *)
+    the four ablation groups of §7.3.
+
+    Per-node DSE results and per-candidate bank costs are memoized in
+    the process-wide [Qor_cache]; with [jobs > 1], nodes are grouped
+    into levels of the connection graph and each level's searches run
+    concurrently on OCaml 5 domains, with a deterministic merge that
+    yields the same unroll factors (and the same printed IR) as the
+    sequential order. *)
 
 open Hida_ir
 
@@ -68,12 +75,25 @@ val observed_search :
 (** {!search_with} wrapped in a trace span, reporting proposed /
     evaluated / pruned point counts to the ambient {!Hida_obs.Scope}. *)
 
+val level_schedule :
+  order:Ir.op list ->
+  connections:Intensity.connection list ->
+  Ir.op list list
+(** Group the search order into levels: a node's level is one past the
+    highest level among its connected neighbours earlier in the order.
+    Nodes within one level are pairwise unconnected, so their constraint
+    sets are independent and may be explored concurrently; concatenating
+    the levels recovers the input order. *)
+
 val run_on_schedule :
   ?mode:mode ->
   ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  ?jobs:int ->
   max_parallel_factor:int ->
   Ir.op ->
   node_result list
+(** [jobs] (default 1) bounds the number of worker domains used per
+    level; the result and the mutated IR are independent of it. *)
 
 val run_on_nest : max_parallel_factor:int -> Ir.op -> int array
 (** Intra-node DSE on a bare loop nest (single-loop-nest kernels). *)
@@ -81,6 +101,7 @@ val run_on_nest : max_parallel_factor:int -> Ir.op -> int array
 val run :
   ?mode:mode ->
   ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  ?jobs:int ->
   max_parallel_factor:int ->
   Ir.op ->
   node_result list
@@ -88,6 +109,7 @@ val run :
 val pass :
   ?mode:mode ->
   ?engine:[ `Exhaustive | `Stochastic of int ] ->
+  ?jobs:int ->
   max_parallel_factor:int ->
   unit ->
   Pass.t

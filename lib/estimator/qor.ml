@@ -571,6 +571,22 @@ let stage_levels nodes edges =
   done;
   level
 
+(* Node-estimate memoization hook.  [Qor_cache] installs a closure here
+   (a hook rather than a direct call to avoid a dependency cycle: the
+   cache layer keys entries on structural signatures computed with this
+   module's access analysis).  The hook receives the device, the
+   binding environment, the node and a thunk computing the fresh
+   estimate, and may serve the result from a content-addressed cache.
+   The default is the identity: estimation is uncached. *)
+let node_memo_hook :
+    (Device.t ->
+    bindings:(value * value) list ->
+    op ->
+    (unit -> node_est) ->
+    node_est)
+    ref =
+  ref (fun _dev ~bindings:_ _n compute -> compute ())
+
 let rec estimate_schedule (dev : Device.t) sched =
   let nodes, edges = schedule_edges sched in
   (* A buffer written by several nodes cannot be pipelined safely: to
@@ -689,6 +705,10 @@ let rec estimate_schedule (dev : Device.t) sched =
 (* A node may contain a nested schedule (hierarchical dataflow); otherwise
    estimate its loop nest directly. *)
 and estimate_node_or_nested dev ~bindings n =
+  !node_memo_hook dev ~bindings n (fun () ->
+      estimate_node_or_nested_fresh dev ~bindings n)
+
+and estimate_node_or_nested_fresh dev ~bindings n =
   match Walk.find n ~pred:(fun o -> Hida_d.is_schedule o && not (Op.equal o n)) with
   | Some nested ->
       let lat, interval, res, macs = estimate_schedule dev nested in

@@ -112,7 +112,27 @@ val estimate_node :
 val estimate_node_or_nested :
   Device.t -> bindings:(Ir.value * Ir.value) list -> Ir.op -> node_est
 (** Like {!estimate_node}, but a node containing a nested schedule is
-    estimated as the nested dataflow design (hierarchical dataflow). *)
+    estimated as the nested dataflow design (hierarchical dataflow).
+    Routed through {!node_memo_hook} when a cache is installed. *)
+
+val estimate_node_or_nested_fresh :
+  Device.t -> bindings:(Ir.value * Ir.value) list -> Ir.op -> node_est
+(** {!estimate_node_or_nested} bypassing the memoization hook (always a
+    fresh computation; inner nodes of a nested schedule still go through
+    the hook). *)
+
+val node_memo_hook :
+  (Device.t ->
+  bindings:(Ir.value * Ir.value) list ->
+  Ir.op ->
+  (unit -> node_est) ->
+  node_est)
+  ref
+(** Memoization hook consulted by {!estimate_node_or_nested}: receives
+    the device, bindings, node and the thunk computing the fresh
+    estimate.  Installed by [Qor_cache.install]; the default is the
+    identity (no caching).  Kept as a hook to avoid a dependency cycle
+    between the estimator and its cache layer. *)
 
 (** {1 Design estimation} *)
 

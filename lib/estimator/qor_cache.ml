@@ -1,0 +1,330 @@
+(* Memoized QoR estimation layer.
+
+   Estimation results are cached under content-addressed keys: the
+   structural signature of a node (its op tree, attributes — which carry
+   every directive: unroll, pipeline/II, tile_size, partition — result
+   types, and the resolved descriptors of the outer buffers it touches)
+   plus, for DSE-time entries, the candidate unroll factors.  A hit is
+   therefore always semantically valid: two subtrees with equal
+   signatures have equal estimates by construction, no matter how the
+   IR got there.
+
+   Two kinds of tables with different invalidation rules:
+
+   - value tables (node estimate / candidate cost / DSE result) are
+     keyed purely by content and survive IR mutation — a mutated node
+     simply produces a new signature and misses;
+   - the signature memo is keyed by op identity (computing a signature
+     walks the subtree, so it is itself worth caching across the many
+     per-candidate keys derived from one node) and MUST be invalidated
+     when the IR mutates: {!invalidate_signatures} bumps a generation
+     that lazily evicts every identity-keyed entry.  The driver wires
+     this to the pass manager (each pass may mutate the IR) and the
+     parallelizer calls it after applying unroll factors.
+
+   All tables are guarded by one mutex so the cache can be shared by
+   the level-scheduled DSE worker domains. *)
+
+open Hida_ir
+open Ir
+
+type t = {
+  lock : Mutex.t;
+  mutable generation : int;
+  sig_memo : (int * int, int * string) Hashtbl.t;
+      (* (op id, bindings fingerprint) -> (generation, signature) *)
+  node_tbl : (string, Qor.node_est) Hashtbl.t;
+  float_tbl : (string, float) Hashtbl.t;
+  factors_tbl : (string, int array) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    generation = 0;
+    sig_memo = Hashtbl.create 64;
+    node_tbl = Hashtbl.create 64;
+    float_tbl = Hashtbl.create 256;
+    factors_tbl = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let global_cache = create ()
+let global () = global_cache
+
+let counters t =
+  Mutex.lock t.lock;
+  let r = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  r
+
+let size t =
+  Mutex.lock t.lock;
+  let r =
+    Hashtbl.length t.node_tbl + Hashtbl.length t.float_tbl
+    + Hashtbl.length t.factors_tbl
+  in
+  Mutex.unlock t.lock;
+  r
+
+let invalidate_signatures t =
+  Mutex.lock t.lock;
+  t.generation <- t.generation + 1;
+  (* Stale entries are ignored by lookups; drop them eagerly when the
+     memo has grown, so long sessions do not leak op-identity entries. *)
+  if Hashtbl.length t.sig_memo > 4096 then Hashtbl.reset t.sig_memo;
+  Mutex.unlock t.lock
+
+let clear t =
+  Mutex.lock t.lock;
+  t.generation <- t.generation + 1;
+  Hashtbl.reset t.sig_memo;
+  Hashtbl.reset t.node_tbl;
+  Hashtbl.reset t.float_tbl;
+  Hashtbl.reset t.factors_tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock
+
+(* ---- Structural signatures ---- *)
+
+(* Direct serialization of the common attribute shapes (ints, strings,
+   int lists carry every directive the estimator reads); rare cases fall
+   back to the canonical printer.  Signatures only need injectivity, not
+   the printed syntax, and this path is hot: one walk per node per
+   compile. *)
+let rec add_attr buf (a : attr) =
+  match a with
+  | A_int i -> Buffer.add_string buf (string_of_int i)
+  | A_bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | A_str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf s;
+      Buffer.add_char buf '"'
+  | A_ints is ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (string_of_int i);
+          Buffer.add_char buf ',')
+        is;
+      Buffer.add_char buf ']'
+  | A_strs ss ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf s;
+          Buffer.add_char buf ',')
+        ss;
+      Buffer.add_char buf ']'
+  | A_list l ->
+      Buffer.add_char buf '(';
+      List.iter
+        (fun a ->
+          add_attr buf a;
+          Buffer.add_char buf ',')
+        l;
+      Buffer.add_char buf ')'
+  | A_unit | A_float _ | A_type _ | A_map _ ->
+      Buffer.add_string buf (Attr.to_string a)
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, a) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      add_attr buf a;
+      Buffer.add_char buf ';')
+    (List.sort (fun (a, _) (b, _) -> compare a b) attrs)
+
+(* Describe a value free in the signed subtree (an outer buffer, port,
+   constant or function argument).  The descriptor must capture every
+   property the estimator reads through it: the type (element precision,
+   shape, stream depth) and the defining op's attributes (partition
+   kinds/factors, ping-pong depth, placement, streamized,
+   resident_rows, port kind/latency). *)
+let describe_outer buf (v : value) =
+  Buffer.add_string buf (Typ.to_string (Value.typ v));
+  match Value.defining_op v with
+  | Some d ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Op.name d);
+      Buffer.add_char buf ' ';
+      add_attrs buf d.o_attrs;
+      Buffer.add_char buf '>'
+  | None -> (
+      match v.v_def with
+      | Def_block_arg (blk, i) ->
+          let owner =
+            match Block.parent blk with
+            | Some g -> Region.parent g
+            | None -> None
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "<arg%d of %s>" i
+               (match owner with Some o -> Op.name o | None -> "?"))
+      | _ -> Buffer.add_string buf "<?>")
+
+let compute_signature ~bindings (root : op) =
+  let btable = List.map (fun (outer, inner) -> (inner.v_id, outer)) bindings in
+  let rec resolve v =
+    match List.assoc_opt v.v_id btable with
+    | Some outer when not (Value.equal outer v) -> resolve outer
+    | _ -> v
+  in
+  let buf = Buffer.create 512 in
+  (* The estimator reads context above the signed subtree: a node nested
+     inside loops re-executes once per enclosing iteration
+     ([Qor.total_trip] and the access footprints walk [enclosing_loops],
+     which crosses the region boundary), so two structurally identical
+     nodes under loops with different trip counts estimate differently.
+     Prefix the signature with every ancestor's op name and attributes
+     (loop bounds, steps and directives are all attributes) so such
+     nodes sign differently too. *)
+  List.iter
+    (fun (a : op) ->
+      Buffer.add_string buf (Op.name a);
+      Buffer.add_char buf '[';
+      add_attrs buf a.o_attrs;
+      Buffer.add_char buf ']')
+    (Op.ancestors root);
+  Buffer.add_char buf '|';
+  (* Values defined inside the subtree are numbered positionally, so the
+     signature is independent of global id allocation (same property as
+     the canonical printer). *)
+  let local = Hashtbl.create 64 in
+  let next = ref 0 in
+  let bind v =
+    Hashtbl.replace local v.v_id !next;
+    incr next
+  in
+  let rec sig_op (op : op) =
+    Buffer.add_string buf (Op.name op);
+    Buffer.add_char buf '(';
+    add_attrs buf op.o_attrs;
+    Buffer.add_char buf ')';
+    List.iter
+      (fun v ->
+        let v = resolve v in
+        match Hashtbl.find_opt local v.v_id with
+        | Some i ->
+            Buffer.add_char buf '%';
+            Buffer.add_string buf (string_of_int i);
+            Buffer.add_char buf ' '
+        | None ->
+            describe_outer buf v;
+            Buffer.add_char buf ' ')
+      (Op.operands op);
+    Buffer.add_char buf ':';
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Typ.to_string (Value.typ r));
+        Buffer.add_char buf ',';
+        bind r)
+      (Op.results op);
+    List.iter
+      (fun g ->
+        Buffer.add_char buf '{';
+        List.iter
+          (fun blk ->
+            Buffer.add_char buf '^';
+            List.iter
+              (fun a ->
+                Buffer.add_string buf (Typ.to_string (Value.typ a));
+                Buffer.add_char buf ',';
+                bind a)
+              (Block.args blk);
+            List.iter sig_op (Block.ops blk))
+          (Region.blocks g);
+        Buffer.add_char buf '}')
+      (Op.regions op)
+  in
+  sig_op root;
+  Buffer.contents buf
+
+let bindings_fingerprint bindings =
+  List.fold_left
+    (fun acc ((o : value), (i : value)) -> ((acc * 31) + o.v_id) * 31 + i.v_id)
+    17 bindings
+
+let signature t ?(bindings = []) op =
+  let key = (op.o_id, bindings_fingerprint bindings) in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.sig_memo key with
+  | Some (gen, s) when gen = t.generation ->
+      Mutex.unlock t.lock;
+      s
+  | _ ->
+      let gen = t.generation in
+      Mutex.unlock t.lock;
+      let s = compute_signature ~bindings op in
+      Mutex.lock t.lock;
+      (* Only publish under the generation read before computing: an
+         invalidation that raced the walk keeps the entry stale. *)
+      Hashtbl.replace t.sig_memo key (gen, s);
+      Mutex.unlock t.lock;
+      s
+
+(* ---- Memoized lookups ---- *)
+
+let find_generic t tbl key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt tbl key in
+  (match r with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.lock;
+  r
+
+let store_generic t tbl key v =
+  Mutex.lock t.lock;
+  Hashtbl.replace tbl key v;
+  Mutex.unlock t.lock
+
+let memo_float t key compute =
+  match find_generic t t.float_tbl key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      store_generic t t.float_tbl key v;
+      v
+
+let memo_factors t key compute =
+  match find_generic t t.factors_tbl key with
+  | Some v -> Array.copy v
+  | None ->
+      let v = compute () in
+      store_generic t t.factors_tbl key (Array.copy v);
+      v
+
+let find_factors t key =
+  Option.map Array.copy (find_generic t t.factors_tbl key)
+
+let store_factors t key v = store_generic t t.factors_tbl key (Array.copy v)
+
+let node_key t (dev : Device.t) ~bindings n =
+  dev.Device.name ^ "|" ^ signature t ~bindings n
+
+let memo_node t dev ~bindings n compute =
+  let key = node_key t dev ~bindings n in
+  match find_generic t t.node_tbl key with
+  | Some e -> e
+  | None ->
+      let e = compute () in
+      store_generic t t.node_tbl key e;
+      e
+
+let estimate_node t dev ?(bindings = []) n =
+  memo_node t dev ~bindings n (fun () ->
+      Qor.estimate_node_or_nested_fresh dev ~bindings n)
+
+(* ---- Hook wiring ---- *)
+
+let install t = Qor.node_memo_hook := memo_node t
+
+let uninstall () =
+  Qor.node_memo_hook := fun _dev ~bindings:_ _n compute -> compute ()

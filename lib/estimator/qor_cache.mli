@@ -1,0 +1,81 @@
+(** Memoized QoR estimation layer.
+
+    Caches estimator results under {e content-addressed} keys — the
+    structural signature of a node (op tree, attributes/directives,
+    types, and the resolved descriptors of the outer buffers it
+    touches), plus the candidate unroll factors for DSE-time entries —
+    so a hit is always semantically valid.  The op-identity-keyed
+    signature memo is the only state that can go stale and must be
+    explicitly invalidated on IR mutation ({!invalidate_signatures});
+    the driver wires this to the pass manager and the parallelizer
+    calls it after applying unroll factors.
+
+    Thread-safety: every operation is guarded by an internal mutex, so
+    one cache can be shared by the level-scheduled DSE worker domains.
+
+    Hit/miss totals are exposed via {!counters}; the driver and the
+    parallelizer publish the per-phase deltas as the
+    [qor.cache.hits]/[qor.cache.misses] metrics through [Hida_obs]. *)
+
+open Hida_ir
+
+type t
+
+val create : unit -> t
+
+val global : unit -> t
+(** The process-wide cache used by the driver pipeline and the
+    parallelizer.  Benches call {!clear} on it to measure cold runs. *)
+
+val counters : t -> int * int
+(** [(hits, misses)] accumulated across all tables. *)
+
+val size : t -> int
+(** Number of cached values (node estimates + costs + DSE results). *)
+
+val invalidate_signatures : t -> unit
+(** Explicit invalidation on IR mutation: evicts every op-identity-keyed
+    signature memo entry (generation bump).  Content-addressed value
+    tables are unaffected — a mutated node signs differently and simply
+    misses. *)
+
+val clear : t -> unit
+(** Drop everything, including value tables and counters (cold start). *)
+
+val signature : t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> string
+(** Structural signature of a subtree: op names, sorted attributes
+    (which carry every directive), result and block-argument types with
+    positional value numbering, and descriptors of free values resolved
+    through [bindings] (outer buffer type + defining-op attributes).
+    Prefixed with the op names and attributes of every ancestor, because
+    the estimator's trip counts and access footprints cross the region
+    boundary (a node nested in a loop re-runs per enclosing iteration).
+    Memoized per op identity until {!invalidate_signatures}. *)
+
+val memo_float : t -> string -> (unit -> float) -> float
+(** Generic float memo (per-candidate QoR cost: key = node signature +
+    connection context + candidate unroll factors). *)
+
+val memo_factors : t -> string -> (unit -> int array) -> int array
+(** Generic factor-tuple memo (whole per-node DSE results: key = dims +
+    constraints + parallel factor + engine + connection context).
+    Returns a copy; stored arrays are never aliased to callers. *)
+
+val find_factors : t -> string -> int array option
+(** Probe without computing (counts as a hit or a miss).  Used by the
+    parallelizer's schedule-level replay entries, which cannot be
+    expressed as a single [memo_factors] thunk. *)
+
+val store_factors : t -> string -> int array -> unit
+
+val estimate_node :
+  t -> Device.t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> Qor.node_est
+(** Memoized {!Qor.estimate_node_or_nested} (device name is part of the
+    key). *)
+
+val install : t -> unit
+(** Route {!Qor.estimate_node_or_nested} through this cache (sets
+    {!Qor.node_memo_hook}). *)
+
+val uninstall : unit -> unit
+(** Restore uncached estimation. *)

@@ -19,32 +19,38 @@ let trace t = t.sc_trace
 let metrics t = t.sc_metrics
 let remarks t = List.rev t.sc_remarks_rev
 
-let current_scope : t option ref = ref None
+(* The ambient scope is domain-local (OCaml 5 DLS): a scope installed on
+   the orchestrating domain is invisible to worker domains (e.g. the
+   level-scheduled DSE workers), so the single-threaded trace/metrics
+   structures are never mutated concurrently — workers see no scope and
+   every helper degrades to a no-op; the orchestrator reports on their
+   behalf after joining. *)
+let scope_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let current () = !current_scope
+let current () = Domain.DLS.get scope_key
 
 let with_scope t f =
-  let saved = !current_scope in
-  current_scope := Some t;
-  Fun.protect ~finally:(fun () -> current_scope := saved) f
+  let saved = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key saved) f
 
 (* ---- Reporting helpers (no-ops without an installed scope) ---- *)
 
 let count name n =
-  match !current_scope with None -> () | Some s -> Metrics.add s.sc_metrics name n
+  match current () with None -> () | Some s -> Metrics.add s.sc_metrics name n
 
 let gauge name v =
-  match !current_scope with
+  match current () with
   | None -> ()
   | Some s -> Metrics.set_gauge s.sc_metrics name v
 
 let span ?cat name f =
-  match !current_scope with
+  match current () with
   | None -> f ()
   | Some s -> Trace.with_span ?cat s.sc_trace name f
 
 let instant ?cat name =
-  match !current_scope with
+  match current () with
   | None -> ()
   | Some s -> Trace.instant ?cat s.sc_trace name
 
@@ -53,7 +59,7 @@ let add_remark t r = t.sc_remarks_rev <- r :: t.sc_remarks_rev
 let remark ?op ~pass severity fmt =
   Printf.ksprintf
     (fun msg ->
-      match !current_scope with
+      match current () with
       | None -> ()
       | Some s ->
           add_remark s

@@ -20,6 +20,7 @@ let () =
       ("affine-if", Test_affine_if.tests);
       ("loop-transforms", Test_loop_transforms.tests);
       ("obs", Test_obs.tests);
+      ("qor-cache", Test_qor_cache.tests);
       ("text", Test_text.tests);
       ("golden", Test_golden.tests);
     ]

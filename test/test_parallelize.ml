@@ -265,6 +265,115 @@ let test_stochastic_engine () =
   let g = Dse.search_stochastic ~seed:3 ~dims ~parallel_factor:32 () in
   checkb "seeded determinism" (f = g)
 
+(* Regression for the convergence-counting bug: staleness used to count
+   rejected (invalid) proposals, so constraint-dense lattices terminated
+   before the optimum was reached.  On small lattices the converged
+   stochastic engine must match the exhaustive optimum exactly (the
+   candidate order is total, so the optimum is unique). *)
+let test_stochastic_matches_exhaustive () =
+  let configs =
+    [
+      ([ 32; 16 ], 32, []);
+      ([ 16; 8 ], 8, []);
+      ([ 4; 16 ], 16, []);
+      ([ 32; 16 ], 4, [ [| Some 8; None |] ]);
+      ([ 8; 8; 8 ], 16, [ [| Some 2; Some 2; None |] ]);
+    ]
+  in
+  List.iter
+    (fun (trips, pf, constraints) ->
+      let dims =
+        Array.of_list
+          (List.map
+             (fun t -> { Dse.trip = t; reduction = false; serial = false })
+             trips)
+      in
+      let ex = Dse.search ~constraints ~dims ~parallel_factor:pf () in
+      List.iter
+        (fun seed ->
+          let st =
+            Dse.search_stochastic ~constraints ~seed ~patience:2048
+              ~max_proposals:50_000 ~dims ~parallel_factor:pf ()
+          in
+          check
+            (Alcotest.list Alcotest.int)
+            (Printf.sprintf "seed %d matches exhaustive" seed)
+            (Array.to_list ex) (Array.to_list st))
+        [ 1; 2; 3; 5; 8; 13 ])
+    configs
+
+(* Pins the documented semantics of constraint arrays shorter (or longer)
+   than the factor tuple: indices beyond the constraint's length carry no
+   divisibility obligation (the permutation map of Table 4 is partial). *)
+let test_is_valid_out_of_range () =
+  (* Short constraint: index 1 is unconstrained, so any factor goes. *)
+  checkb "short constraint leaves deeper levels unconstrained"
+    (Dse.is_valid ~constraints:[ [| Some 2 |] ] ~parallel_factor:64 [| 4; 7 |]);
+  checkb "short constraint still binds covered levels"
+    (not
+       (Dse.is_valid ~constraints:[ [| Some 3 |] ] ~parallel_factor:64 [| 4; 7 |]));
+  (* Long constraint: entries beyond the factor tuple are ignored. *)
+  checkb "long constraint ignores excess entries"
+    (Dse.is_valid ~constraints:[ [| Some 2; Some 3; Some 5 |] ] ~parallel_factor:64
+       [| 4 |]);
+  (* None entries never constrain. *)
+  checkb "None entries never constrain"
+    (Dse.is_valid ~constraints:[ [| None; None |] ] ~parallel_factor:64 [| 3; 7 |])
+
+(* The O(√n) memoized divisor ladder must agree with the naive definition. *)
+let test_divisors_match_naive () =
+  let naive n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
+  List.iter
+    (fun n ->
+      check
+        (Alcotest.list Alcotest.int)
+        (Printf.sprintf "divisors %d" n)
+        (naive n) (Dse.divisors n))
+    (List.init 128 (fun i -> i + 1) @ [ 360; 720; 997; 1024; 1800 ]);
+  check (Alcotest.list Alcotest.int) "divisors 0" [ 1 ] (Dse.divisors 0);
+  check (Alcotest.list Alcotest.int) "divisors (-3)" [ 1 ] (Dse.divisors (-3))
+
+(* Level scheduling (parallel DSE): connected nodes must land in
+   different levels (their searches are ordered by Alg. 4), and the
+   levels must partition the order without reordering. *)
+let test_level_schedule () =
+  let f = lowered_listing1 () in
+  let sched = List.hd (Walk.collect f ~pred:Hida_d.is_schedule) in
+  let connections = Intensity.analyze sched in
+  let order =
+    List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched))
+  in
+  let levels = Parallelize.level_schedule ~order ~connections in
+  checki "levels partition the order" (List.length order)
+    (List.length (List.concat levels));
+  let level_of n =
+    let rec go i = function
+      | [] -> -1
+      | l :: rest -> if List.exists (Op.equal n) l then i else go (i + 1) rest
+    in
+    go 0 levels
+  in
+  List.iter
+    (fun (c : Intensity.connection) ->
+      checkb "connected nodes in different levels"
+        (level_of c.Intensity.c_source <> level_of c.Intensity.c_target))
+    connections;
+  (* Sequential order is preserved within the concatenation of levels:
+     each level is a subsequence of [order]. *)
+  let pos n =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if Op.equal x n then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  List.iter
+    (fun level ->
+      let ps = List.map pos level in
+      checkb "each level is a subsequence of the order"
+        (List.sort compare ps = ps))
+    levels
+
 let prop_stochastic_valid =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"stochastic DSE always valid, usually optimal"
@@ -319,6 +428,12 @@ let tests =
     Alcotest.test_case "DSE serial dims" `Quick test_dse_serial_never_unrolled;
     Alcotest.test_case "DSE statistics" `Quick test_dse_stats;
     Alcotest.test_case "stochastic DSE engine" `Quick test_stochastic_engine;
+    Alcotest.test_case "stochastic matches exhaustive" `Quick
+      test_stochastic_matches_exhaustive;
+    Alcotest.test_case "is_valid out-of-range constraints" `Quick
+      test_is_valid_out_of_range;
+    Alcotest.test_case "divisors match naive" `Quick test_divisors_match_naive;
+    Alcotest.test_case "level schedule" `Quick test_level_schedule;
     Alcotest.test_case "stochastic engine end-to-end" `Quick test_stochastic_on_listing1;
     prop_stochastic_valid;
     Alcotest.test_case "connections (Table 4)" `Quick test_connections;

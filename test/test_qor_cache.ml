@@ -1,0 +1,143 @@
+(* Tests for the memoized QoR estimation layer: content-addressed hits
+   must be indistinguishable from fresh estimation, the signature memo
+   must honour explicit invalidation, and the level-parallel DSE
+   (--jobs N) must produce byte-identical designs to the sequential
+   run on every bundled workload. *)
+
+open Hida_ir
+open Ir
+open Hida_dialects
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+open Helpers
+
+let dev = Device.zu3eg
+
+(* ---- Memoized vs fresh estimates ---- *)
+
+(* Over random op trees, serving an estimate from the cache must return
+   exactly the fresh value — both on the populating (miss) call and on
+   the subsequent (hit) call. *)
+let prop_memoized_equals_fresh =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"memoized estimate equals fresh" ~count:100
+       Test_text.gen_module (fun op ->
+         let fresh = Qor.estimate_node_or_nested_fresh dev ~bindings:[] op in
+         let cache = Qor_cache.create () in
+         let miss = Qor_cache.estimate_node cache dev op in
+         let hit = Qor_cache.estimate_node cache dev op in
+         let hits, misses = Qor_cache.counters cache in
+         fresh = miss && fresh = hit && hits = 1 && misses = 1))
+
+let test_counters () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  let cache = Qor_cache.create () in
+  let nest = List.hd (Affine_d.outermost_loops f) in
+  ignore (Qor_cache.estimate_node cache dev nest);
+  let h0, m0 = Qor_cache.counters cache in
+  checki "first estimate misses" 0 h0;
+  checki "one miss recorded" 1 m0;
+  ignore (Qor_cache.estimate_node cache dev nest);
+  let h1, m1 = Qor_cache.counters cache in
+  checki "second estimate hits" 1 h1;
+  checki "no new miss" 1 m1;
+  checkb "cache holds one entry" (Qor_cache.size cache = 1);
+  Qor_cache.clear cache;
+  checki "clear empties the cache" 0 (Qor_cache.size cache)
+
+(* The signature memo is keyed by op identity and only revalidated by
+   {!Qor_cache.invalidate_signatures}: a mutation without invalidation
+   serves the stale signature (this is exactly why the driver calls it
+   after every pass), and invalidation picks up the new attributes. *)
+let test_signature_invalidation () =
+  let _m, f = Polybench.k_2mm ~scale:0.05 () in
+  let cache = Qor_cache.create () in
+  let nest = List.hd (Affine_d.outermost_loops f) in
+  let s0 = Qor_cache.signature cache nest in
+  Op.set_attr nest "upper" (A_int 123456);
+  let stale = Qor_cache.signature cache nest in
+  checkb "mutation without invalidation is stale" (String.equal s0 stale);
+  Qor_cache.invalidate_signatures cache;
+  let s1 = Qor_cache.signature cache nest in
+  checkb "invalidation observes the mutation" (not (String.equal s0 s1))
+
+(* Two structurally identical nodes under different enclosing trip
+   counts must sign differently: the estimator's trip counts cross the
+   region boundary (the hierarchy regression behind this test computed
+   steps=2 estimates from a steps=8 cache). *)
+let test_signature_captures_enclosing_trips () =
+  let build steps =
+    let open Loop_dsl in
+    let ctx, args = kernel ~name:"k" ~arrays:[ ("x", [ 16 ]) ] in
+    let x = match args with [ x ] -> x | _ -> assert false in
+    for1 ctx.bld ~n:steps (fun bl _t ->
+        for1 bl ~n:16 (fun bl2 i ->
+            let v = load bl2 x [ i ] in
+            store bl2 v x [ i ]));
+    let _m, f = finish ctx in
+    (* The inner loop is identical in both builds; only the enclosing
+       loop's trip count differs. *)
+    List.hd (Affine_d.outermost_loops (List.hd (Affine_d.outermost_loops f)))
+  in
+  let cache = Qor_cache.create () in
+  let s2 = Qor_cache.signature cache (build 2) in
+  let s8 = Qor_cache.signature cache (build 8) in
+  checkb "enclosing trip count is part of the signature"
+    (not (String.equal s2 s8))
+
+(* ---- --jobs determinism ---- *)
+
+(* The level-scheduled parallel DSE must be a pure latency optimization:
+   for every bundled workload the printed design with [jobs = 4] is
+   byte-identical to the sequential one. *)
+let test_jobs_determinism () =
+  let print_memref ~jobs build =
+    let f = build () in
+    let rep =
+      Driver.run_memref
+        ~opts:{ Driver.default with jobs }
+        ~device:Device.zu3eg f
+    in
+    Printer.op_to_string rep.Driver.design
+  in
+  let print_nn ~jobs build =
+    let f = build () in
+    let rep =
+      Driver.run_nn ~opts:{ Driver.default with jobs } ~device:Device.vu9p_slr f
+    in
+    Printer.op_to_string rep.Driver.design
+  in
+  List.iter
+    (fun (e : Polybench.entry) ->
+      let build () = snd (e.Polybench.e_build ()) in
+      checkb
+        (Printf.sprintf "%s: jobs=4 identical to jobs=1" e.Polybench.e_name)
+        (String.equal (print_memref ~jobs:1 build) (print_memref ~jobs:4 build)))
+    Polybench.all;
+  List.iter
+    (fun (e : Polybench_extra.entry) ->
+      let build () = snd (e.Polybench_extra.e_build ()) in
+      checkb
+        (Printf.sprintf "%s: jobs=4 identical to jobs=1"
+           e.Polybench_extra.e_name)
+        (String.equal (print_memref ~jobs:1 build) (print_memref ~jobs:4 build)))
+    Polybench_extra.all;
+  List.iter
+    (fun (e : Models.entry) ->
+      let build () = snd (e.Models.e_build ()) in
+      checkb
+        (Printf.sprintf "%s: jobs=4 identical to jobs=1" e.Models.e_name)
+        (String.equal (print_nn ~jobs:1 build) (print_nn ~jobs:4 build)))
+    Models.all
+
+let tests =
+  [
+    prop_memoized_equals_fresh;
+    Alcotest.test_case "hit/miss counters" `Quick test_counters;
+    Alcotest.test_case "signature invalidation" `Quick test_signature_invalidation;
+    Alcotest.test_case "signature captures enclosing trips" `Quick
+      test_signature_captures_enclosing_trips;
+    Alcotest.test_case "--jobs determinism on all workloads" `Quick
+      test_jobs_determinism;
+  ]
