@@ -1,0 +1,64 @@
+(* Static-checker gate over the whole workload zoo.
+
+   Compiles every PolyBench kernel and model through the standard
+   pipeline with [Driver.options.analyze] set and prints the final-gate
+   diagnostics.  A correct pipeline produces zero diagnostics on every
+   workload (the §6.4.2 imbalances present after lowering must all be
+   repaired by balancing); any line here is a compiler bug. *)
+
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+let opts = { Driver.default with analyze = true }
+
+let check_one name (report : Driver.report) =
+  match report.Driver.analysis with
+  | [] ->
+      Printf.printf "  %-14s clean\n" name;
+      0
+  | ds ->
+      Printf.printf "  %-14s %d diagnostic(s)\n" name (List.length ds);
+      List.iter
+        (fun d ->
+          Printf.printf "    %s\n" (Hida_analysis.Analysis.to_string d))
+        ds;
+      List.length ds
+
+let run ~quick () =
+  Util.header "Static dataflow analysis gate (hida.analysis)";
+  let total = ref 0 in
+  Printf.printf "C++ kernels (zu3eg):\n";
+  List.iter
+    (fun e ->
+      let _m, f = e.Polybench.e_build () in
+      total :=
+        !total
+        + check_one e.Polybench.e_name
+            (Driver.run_memref ~opts ~device:Device.zu3eg f))
+    Polybench.all;
+  List.iter
+    (fun e ->
+      let _m, f = e.Polybench_extra.e_build () in
+      total :=
+        !total
+        + check_one e.Polybench_extra.e_name
+            (Driver.run_memref ~opts ~device:Device.zu3eg f))
+    Polybench_extra.all;
+  Printf.printf "Models (vu9p, scaled):\n";
+  let models =
+    if quick then [ "lenet"; "mlp"; "resnet18" ]
+    else List.map (fun e -> e.Models.e_name) Models.all
+  in
+  List.iter
+    (fun name ->
+      let e = Models.by_name name in
+      let _m, f = e.Models.e_build ~scale:0.25 () in
+      total :=
+        !total + check_one name (Driver.run_nn ~opts ~device:Device.vu9p_slr f))
+    models;
+  if !total = 0 then Printf.printf "all workloads clean\n"
+  else begin
+    Printf.printf "%d diagnostic(s) total — pipeline bug\n" !total;
+    exit 1
+  end

@@ -105,6 +105,7 @@ let experiments =
     ("bechamel", fun ~quick -> ignore quick; run_bechamel ());
     ("dse", fun ~quick -> Dse_bench.run ~quick ());
     ("dse-smoke", fun ~quick -> ignore quick; Dse_bench.run ~smoke:true ());
+    ("analyze", fun ~quick -> Analyze_gate.run ~quick ());
   ]
 
 let () =

@@ -92,18 +92,18 @@ let write_file ~what path content =
     exit 1
 
 let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
-    no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
-    print_ir_after remarks stats =
+    no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
+    trace_json print_ir_after remarks stats =
   try run_checked workload device_name pf tile mode_name jobs no_fusion
-      no_balance no_dataflow fit emit_cpp dump_ir out_path simulate timing
-      trace_json print_ir_after remarks stats
+      no_balance no_dataflow fit analyze emit_cpp dump_ir out_path simulate
+      timing trace_json print_ir_after remarks stats
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
-    no_dataflow fit emit_cpp dump_ir out_path simulate timing trace_json
-    print_ir_after remarks stats =
+    no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
+    trace_json print_ir_after remarks stats =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
   check_write_path ~what:"trace file" trace_json;
@@ -126,6 +126,7 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
       enable_fusion = not no_fusion;
       enable_balancing = not no_balance;
       enable_dataflow = not no_dataflow;
+      analyze;
       print_ir_after;
     }
   in
@@ -155,6 +156,15 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     (Resource.to_string e.Qor.d_resource)
     (100. *. Resource.utilization device e.Qor.d_resource)
     (if Resource.fits device e.Qor.d_resource then "fits" else "DOES NOT FIT");
+  if analyze then begin
+    match report.Driver.analysis with
+    | [] -> Printf.printf "analysis        : clean (no diagnostics)\n"
+    | ds ->
+        Printf.printf "analysis        : %d diagnostic(s)\n" (List.length ds);
+        List.iter
+          (fun d -> print_endline ("  " ^ Hida_analysis.Analysis.to_string d))
+          ds
+  end;
   if timing then begin
     print_endline "---- timing (hierarchical) ----";
     print_string (Hida_obs.Trace.report report.Driver.trace);
@@ -212,15 +222,18 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
      | None ->
          print_endline "---- optimized IR ----";
          print_string text);
-  if emit_cpp then
-    let text = Hida_emitter.Emit_cpp.emit_func report.Driver.design in
-    match out_path with
-    | Some path ->
-        write_file ~what:"output file" path text;
-        Printf.printf "cpp written     : %s\n" path
-    | None ->
-        print_endline "---- emitted HLS C++ ----";
-        print_string text
+  (if emit_cpp then
+     let text = Hida_emitter.Emit_cpp.emit_func report.Driver.design in
+     match out_path with
+     | Some path ->
+         write_file ~what:"output file" path text;
+         Printf.printf "cpp written     : %s\n" path
+     | None ->
+         print_endline "---- emitted HLS C++ ----";
+         print_string text);
+  (* A gated compile fails (after all requested outputs are written) when
+     the static checker found problems. *)
+  if analyze && report.Driver.analysis <> [] then exit 1
 
 let workload =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
@@ -260,6 +273,12 @@ let no_dataflow =
 let fit =
   Arg.(value & flag & info [ "fit" ]
          ~doc:"Search for the largest parallel factor fitting the device.")
+
+let analyze =
+  Arg.(value & flag & info [ "analyze"; "a" ]
+         ~doc:"Run the static dataflow checker (deadlock, channel capacity, \
+               buffer hazards) as a compile gate; exit non-zero on any \
+               diagnostic.")
 
 let emit_cpp =
   Arg.(value & flag & info [ "emit-cpp" ] ~doc:"Print the emitted HLS C++.")
@@ -304,7 +323,8 @@ let cmd =
     (Cmd.info "hida-compile" ~doc)
     Term.(
       const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
-      $ no_balance $ no_dataflow $ fit $ emit_cpp $ dump_ir $ out_path
-      $ simulate $ timing $ trace_json $ print_ir_after $ remarks $ stats)
+      $ no_balance $ no_dataflow $ fit $ analyze $ emit_cpp $ dump_ir
+      $ out_path $ simulate $ timing $ trace_json $ print_ir_after $ remarks
+      $ stats)
 
 let () = exit (Cmd.eval cmd)

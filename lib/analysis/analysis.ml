@@ -1,0 +1,359 @@
+(* Static dataflow checker over structural IR (schedule / node / buffer /
+   stream) — no simulation involved.
+
+   The checks run on the same graph abstraction the cycle-level
+   simulator executes ([Sim.node_spec] / [Sim.buffer_spec], extracted
+   from a schedule by [Sim_ir.structure]), which is what makes them
+   provable against it: on any graph, the analyzer reports no deadlock
+   iff [Sim.run] completes without raising [Sim.Deadlock], and a
+   capacity-clean graph simulates at a steady interval equal to the
+   maximum node latency (the §6.4.2 balanced-pipeline condition).
+
+   Checks:
+   - same-frame dependence cycles (deadlock), with the full node-by-node
+     cycle path, honouring every producer of multi-producer buffers;
+   - channel capacity: an edge crossing [slack] pipeline stages needs
+     [slack + 1] ping-pong stages or the producer stalls — the exact
+     condition data-path balancing (§6.4.2) must repair;
+   - buffer hazards: write-after-write by unordered producers,
+     read-before-first-write of schedule-internal buffers, and a node
+     reading and writing the same buffer in one frame. *)
+
+open Hida_hlssim
+
+type check =
+  | Deadlock_cycle
+  | Capacity
+  | Multi_writer
+  | Uninitialized_read
+  | Self_read_write
+
+type diag = {
+  d_check : check;
+  d_nodes : int list; (* node ids involved (cycle path order for deadlock) *)
+  d_buffer : int option; (* buffer id at fault, when one exists *)
+  d_msg : string;
+}
+
+let check_name = function
+  | Deadlock_cycle -> "deadlock"
+  | Capacity -> "capacity"
+  | Multi_writer -> "multi-writer"
+  | Uninitialized_read -> "uninitialized-read"
+  | Self_read_write -> "self-read-write"
+
+let to_string d = Printf.sprintf "[%s] %s" (check_name d.d_check) d.d_msg
+
+let deadlock_free diags =
+  not (List.exists (fun d -> d.d_check = Deadlock_cycle) diags)
+
+let capacity_clean diags =
+  not
+    (List.exists
+       (fun d -> d.d_check = Capacity || d.d_check = Deadlock_cycle)
+       diags)
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let check_graph ?(external_ = []) (nodes : Sim.node_spec list)
+    (buffers : Sim.buffer_spec list) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let depth = Hashtbl.create 16 in
+  let buffer_name = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Sim.buffer_spec) ->
+      Hashtbl.replace depth b.bs_id (max 1 b.bs_depth);
+      Hashtbl.replace buffer_name b.bs_id
+        (if b.bs_name = "" then Printf.sprintf "buffer %d" b.bs_id
+         else b.bs_name))
+    buffers;
+  let bname b =
+    Option.value
+      (Hashtbl.find_opt buffer_name b)
+      ~default:(Printf.sprintf "buffer %d" b)
+  in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun (n : Sim.node_spec) -> Hashtbl.replace by_id n.ns_id n) nodes;
+  let nname id =
+    match Hashtbl.find_opt by_id id with
+    | Some n when n.Sim.ns_name <> "" -> n.Sim.ns_name
+    | _ -> Printf.sprintf "node %d" id
+  in
+  List.iter
+    (fun (n : Sim.node_spec) ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem depth b) then
+            invalid_arg
+              (Printf.sprintf
+                 "Analysis.check_graph: node %s references undeclared buffer \
+                  %d"
+                 (nname n.ns_id) b))
+        (n.ns_reads @ n.ns_writes))
+    nodes;
+  (* Writers and readers per buffer, in program (list) order. *)
+  let writers = Hashtbl.create 16 in
+  let readers = Hashtbl.create 16 in
+  let push tbl b n =
+    Hashtbl.replace tbl b (Option.value (Hashtbl.find_opt tbl b) ~default:[] @ [ n ])
+  in
+  List.iter
+    (fun (n : Sim.node_spec) ->
+      List.iter (fun b -> push writers b n) (dedup n.ns_writes);
+      List.iter (fun b -> push readers b n) (dedup n.ns_reads))
+    nodes;
+  let writers_of b = Option.value (Hashtbl.find_opt writers b) ~default:[] in
+  let readers_of b = Option.value (Hashtbl.find_opt readers b) ~default:[] in
+  (* --- Hazard: a node reading and writing the same buffer. --- *)
+  List.iter
+    (fun (n : Sim.node_spec) ->
+      List.iter
+        (fun b ->
+          if List.mem b n.ns_writes then
+            emit
+              {
+                d_check = Self_read_write;
+                d_nodes = [ n.ns_id ];
+                d_buffer = Some b;
+                d_msg =
+                  Printf.sprintf
+                    "%s both reads and writes %s in the same frame; the \
+                     in-place update defeats ping-pong double buffering"
+                    (nname n.ns_id) (bname b);
+              })
+        (dedup n.ns_reads))
+    nodes;
+  (* --- Deadlock: cycles over same-frame writer -> reader edges (one
+     edge per producer of multi-producer buffers; self edges excluded,
+     matching the simulator). --- *)
+  let visited = Hashtbl.create 16 in
+  let cycles = ref [] in
+  let rec visit path id =
+    match Hashtbl.find_opt visited id with
+    | Some `Done -> ()
+    | Some `Active ->
+        let rec cyc acc = function
+          | [] -> acc
+          | x :: _ when x = id -> x :: acc
+          | x :: rest -> cyc (x :: acc) rest
+        in
+        cycles := cyc [ id ] path :: !cycles
+    | None ->
+        Hashtbl.replace visited id `Active;
+        let n = Hashtbl.find by_id id in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun (w : Sim.node_spec) ->
+                if w.ns_id <> id then visit (id :: path) w.ns_id)
+              (writers_of b))
+          n.Sim.ns_reads;
+        Hashtbl.replace visited id `Done
+  in
+  List.iter (fun (n : Sim.node_spec) -> visit [] n.ns_id) nodes;
+  let cycles = dedup (List.rev !cycles) in
+  List.iter
+    (fun cyc ->
+      emit
+        {
+          d_check = Deadlock_cycle;
+          d_nodes = cyc;
+          d_buffer = None;
+          d_msg =
+            Printf.sprintf
+              "cyclic same-frame dependence: %s; the dataflow cannot be \
+               scheduled"
+              (String.concat " -> " (List.map nname cyc));
+        })
+    cycles;
+  (* Edge list (writer, reader, buffer), deduplicated. *)
+  let edges =
+    dedup
+      (List.concat_map
+         (fun (b : Sim.buffer_spec) ->
+           List.concat_map
+             (fun (w : Sim.node_spec) ->
+               List.filter_map
+                 (fun (r : Sim.node_spec) ->
+                   if r.ns_id <> w.ns_id then Some (w.ns_id, r.ns_id, b.bs_id)
+                   else None)
+                 (readers_of b.bs_id))
+             (writers_of b.bs_id))
+         buffers)
+  in
+  (* --- Capacity (meaningful only on acyclic graphs): longest-path
+     stage levels, then per edge: depth >= slack + 1 or the producer
+     stalls waiting for the slowest reader to drain its oldest stage.
+     Depth 1 (slack >= 1) is the fully serializing case. --- *)
+  if cycles = [] then begin
+    let level = Hashtbl.create 16 in
+    List.iter
+      (fun (n : Sim.node_spec) -> Hashtbl.replace level n.ns_id 0)
+      nodes;
+    for _ = 1 to List.length nodes do
+      List.iter
+        (fun (u, v, _) ->
+          let lu = Hashtbl.find level u and lv = Hashtbl.find level v in
+          if lv < lu + 1 then Hashtbl.replace level v (lu + 1))
+        edges
+    done;
+    List.iter
+      (fun (u, v, b) ->
+        let slack = Hashtbl.find level v - Hashtbl.find level u in
+        let d = Hashtbl.find depth b in
+        if d < slack + 1 then
+          emit
+            {
+              d_check = Capacity;
+              d_nodes = [ u; v ];
+              d_buffer = Some b;
+              d_msg =
+                Printf.sprintf
+                  "%s crosses %d pipeline stage(s) from %s to %s but has \
+                   only %d ping-pong stage(s); need %d or the producer \
+                   stalls%s (§6.4.2)"
+                  (bname b) slack (nname u) (nname v) d (slack + 1)
+                  (if d < 2 then " (single stage: fully serialized)" else "");
+            })
+      edges
+  end;
+  (* --- Hazard: several producers with no dependence ordering between
+     them (write-after-write races).  Producers ordered through other
+     buffers execute deterministically and are left to multi-producer
+     elimination. --- *)
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, _) ->
+      Hashtbl.replace adj u
+        (Option.value (Hashtbl.find_opt adj u) ~default:[] @ [ v ]))
+    edges;
+  let reaches src dst =
+    let seen = Hashtbl.create 16 in
+    let rec go id =
+      id = dst
+      || (not (Hashtbl.mem seen id))
+         && begin
+              Hashtbl.replace seen id ();
+              List.exists go
+                (Option.value (Hashtbl.find_opt adj id) ~default:[])
+            end
+    in
+    src <> dst && go src
+  in
+  List.iter
+    (fun (b : Sim.buffer_spec) ->
+      match writers_of b.bs_id with
+      | [] | [ _ ] -> ()
+      | ws ->
+          let ids = List.map (fun (w : Sim.node_spec) -> w.ns_id) ws in
+          let unordered = ref [] in
+          List.iteri
+            (fun i u ->
+              List.iteri
+                (fun j v ->
+                  if i < j && (not (reaches u v)) && not (reaches v u) then
+                    unordered := (u, v) :: !unordered)
+                ids)
+            ids;
+          List.iter
+            (fun (u, v) ->
+              emit
+                {
+                  d_check = Multi_writer;
+                  d_nodes = [ u; v ];
+                  d_buffer = Some b.bs_id;
+                  d_msg =
+                    Printf.sprintf
+                      "%s is written by both %s and %s with no dependence \
+                       ordering them: unordered write-after-write \
+                       (multi-producer elimination, §6.4.1, has not run or \
+                       failed)"
+                      (bname b.bs_id) (nname u) (nname v);
+                })
+            (List.rev !unordered))
+    buffers;
+  (* --- Hazard: read before first write.  A schedule-internal buffer
+     with readers and no producer is consumed uninitialized. --- *)
+  List.iter
+    (fun (b : Sim.buffer_spec) ->
+      if
+        writers_of b.bs_id = []
+        && readers_of b.bs_id <> []
+        && not (List.mem b.bs_id external_)
+      then
+        emit
+          {
+            d_check = Uninitialized_read;
+            d_nodes =
+              List.map (fun (r : Sim.node_spec) -> r.ns_id) (readers_of b.bs_id);
+            d_buffer = Some b.bs_id;
+            d_msg =
+              Printf.sprintf
+                "%s is read by %s but never written inside the schedule \
+                 (read before first write)"
+                (bname b.bs_id)
+                (String.concat ", "
+                   (List.map
+                      (fun (r : Sim.node_spec) -> nname r.ns_id)
+                      (readers_of b.bs_id)));
+          })
+    buffers;
+  List.rev !diags
+
+(* ---- Structural IR entry points ---- *)
+
+let check_schedule sched =
+  let g = Sim_ir.structure sched in
+  (g, check_graph ~external_:g.Sim_ir.g_external g.g_nodes g.g_buffers)
+
+let check_func root =
+  let schedules =
+    Hida_ir.Ir.Walk.collect root ~pred:Hida_dialects.Hida_d.is_schedule
+  in
+  List.concat_map (fun s -> snd (check_schedule s)) schedules
+
+(* Diagnostics are reported through the remark machinery, positioned on
+   the op behind the first node involved (the buffer op for pure buffer
+   findings).  Capacity findings before balancing are expected — that is
+   the imbalance §6.4.2 repairs — so the pre-balance gate downgrades
+   them to [Analysis]. *)
+let severity ?(pre_balance = false) d =
+  match d.d_check with
+  | Capacity when pre_balance -> Hida_obs.Remark.Analysis
+  | _ -> Hida_obs.Remark.Error
+
+let report ?(pre_balance = false) ~pass (g : Sim_ir.graph) diags =
+  List.iter
+    (fun d ->
+      let op =
+        match (d.d_buffer, d.d_nodes) with
+        | Some b, [] -> List.assoc_opt b g.Sim_ir.g_buffer_ops
+        | _, n :: _ -> List.assoc_opt n g.Sim_ir.g_node_ops
+        | _, [] -> None
+      in
+      match op with
+      | Some op ->
+          Hida_obs.Scope.remark ~op ~pass (severity ~pre_balance d) "%s"
+            (to_string d)
+      | None ->
+          Hida_obs.Scope.remark ~pass (severity ~pre_balance d) "%s"
+            (to_string d))
+    diags
+
+let run ?(pre_balance = false) ~pass root =
+  let schedules =
+    Hida_ir.Ir.Walk.collect root ~pred:Hida_dialects.Hida_d.is_schedule
+  in
+  List.concat_map
+    (fun s ->
+      let g, diags = check_schedule s in
+      report ~pre_balance ~pass g diags;
+      (* Expected-and-repairable capacity findings are not failures of
+         the pre-balance gate. *)
+      if pre_balance then
+        List.filter (fun d -> d.d_check <> Capacity) diags
+      else diags)
+    schedules

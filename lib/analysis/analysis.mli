@@ -1,0 +1,81 @@
+(** Static dataflow checker over structural IR — no simulation.
+
+    The checks run on the exact graph abstraction the cycle-level
+    simulator executes (extracted by {!Hida_hlssim.Sim_ir.structure}),
+    which makes them cross-validatable against it:
+
+    - a graph is reported deadlock-free iff {!Hida_hlssim.Sim.run}
+      completes without raising [Sim.Deadlock];
+    - a capacity-clean graph simulates at a steady-state interval equal
+      to the maximum node latency (the balanced-pipeline condition of
+      §6.4.2).
+
+    Diagnostics are data, not exceptions: a gated compile collects them
+    and decides; nothing here raises on a bad design (only on misuse,
+    e.g. undeclared buffer ids). *)
+
+open Hida_hlssim
+
+type check =
+  | Deadlock_cycle
+      (** same-frame dependence cycle; reported with the full node path *)
+  | Capacity
+      (** an edge crossing [slack] pipeline stages backed by fewer than
+          [slack + 1] ping-pong stages — the producer stalls; the
+          condition data-path balancing (§6.4.2) must repair *)
+  | Multi_writer
+      (** write-after-write by producers with no dependence ordering *)
+  | Uninitialized_read
+      (** schedule-internal buffer read but never written *)
+  | Self_read_write
+      (** a node reading and writing the same buffer in one frame *)
+
+type diag = {
+  d_check : check;
+  d_nodes : int list;
+      (** node ids involved (the cycle path, in dependence order, for
+          {!Deadlock_cycle}) *)
+  d_buffer : int option;  (** buffer id at fault, when one exists *)
+  d_msg : string;
+}
+
+val check_name : check -> string
+val to_string : diag -> string
+
+val deadlock_free : diag list -> bool
+(** No {!Deadlock_cycle} diagnostic present. *)
+
+val capacity_clean : diag list -> bool
+(** Neither {!Capacity} nor {!Deadlock_cycle} present: the §6.4.2
+    balanced-pipeline condition holds, so the steady interval equals the
+    maximum node latency. *)
+
+val check_graph :
+  ?external_:int list ->
+  Sim.node_spec list ->
+  Sim.buffer_spec list ->
+  diag list
+(** Run every check on a raw dataflow graph.  [external_] lists buffer
+    ids whose contents are defined outside the graph (exempt from the
+    uninitialized-read check).  Raises [Invalid_argument] on buffer ids
+    missing from the buffer list (same contract as [Sim.run]). *)
+
+val check_schedule : Hida_ir.Ir.op -> Sim_ir.graph * diag list
+(** Extract the structural graph of one [hida.schedule] and check it. *)
+
+val check_func : Hida_ir.Ir.op -> diag list
+(** Check every schedule under [root] (hierarchical designs included). *)
+
+val severity : ?pre_balance:bool -> diag -> Hida_obs.Remark.severity
+(** [Error], except capacity findings before balancing, which are the
+    expected input of §6.4.2 and reported as [Analysis]. *)
+
+val report :
+  ?pre_balance:bool -> pass:string -> Sim_ir.graph -> diag list -> unit
+(** Emit each diagnostic as a positioned remark through the ambient
+    observation scope. *)
+
+val run : ?pre_balance:bool -> pass:string -> Hida_ir.Ir.op -> diag list
+(** Check every schedule under [root], report through the ambient scope,
+    and return the gate's failures (with [~pre_balance:true], capacity
+    findings are reported but excluded from the returned failures). *)

@@ -25,6 +25,9 @@ type options = {
      guards (see Lower_nn) *)
   pingpong : bool; (* HIDA buffers carry ping-pong semantics (§5.2);
                       baselines without it use single-stage buffers *)
+  analyze : bool; (* run the static dataflow checker (hida.analysis) as a
+                     post-lowering and post-balancing gate; failures are
+                     diagnostics in the report, never exceptions *)
   verify_each : bool;
   print_ir_after : string option; (* dump IR after passes whose name
                                      contains this substring ("all" =
@@ -45,6 +48,7 @@ let default =
     weights_onchip = false;
     conv_boundary = `Padded;
     pingpong = true;
+    analyze = false;
     verify_each = false;
     print_ir_after = None;
   }
@@ -154,6 +158,9 @@ type report = {
   remarks : Hida_obs.Remark.t list; (* optimization remarks, in order *)
   pass_deltas : Hida_obs.Ir_stats.pass_delta list;
       (* per-pass IR statistics (op/buffer/node counts before/after) *)
+  analysis : Hida_analysis.Analysis.diag list;
+      (* static-checker failures from the final gate (empty unless
+         options.analyze; a non-empty list means the design is broken) *)
 }
 
 (* In-flight compilation: start time, pass manager, observation scope and
@@ -163,6 +170,7 @@ type state = {
   st_mgr : Pass.manager;
   st_scope : Hida_obs.Scope.t;
   mutable st_deltas_rev : Hida_obs.Ir_stats.pass_delta list;
+  mutable st_analysis : Hida_analysis.Analysis.diag list;
 }
 
 let contains ~sub s =
@@ -188,6 +196,7 @@ let make_state opts =
       st_mgr = make_manager opts;
       st_scope = Hida_obs.Scope.create ();
       st_deltas_rev = [];
+      st_analysis = [];
     }
   in
   (* Route QoR estimation through the process-wide memoization cache;
@@ -229,6 +238,26 @@ let run_pipeline st func =
       Hida_obs.Scope.span ~cat:"driver" "hida-opt" (fun () ->
           Pass.run st.st_mgr func))
 
+(* Static dataflow gates (hida.analysis).  The post-lowering gate runs
+   before balancing: capacity findings there are the expected input of
+   §6.4.2 and reported as neutral analysis remarks, while deadlocks and
+   hazards are errors.  The final gate runs at the end of the pipeline;
+   its failures land in the report (diagnostics, never exceptions). *)
+let add_pre_balance_gate opts st =
+  if opts.analyze then
+    Pass.add st.st_mgr
+      (Pass.make ~name:"dataflow-analysis-post-lowering" (fun f ->
+           ignore
+             (Hida_analysis.Analysis.run ~pre_balance:true
+                ~pass:"dataflow-analysis-post-lowering" f)))
+
+let add_final_gate opts st =
+  if opts.analyze then
+    Pass.add st.st_mgr
+      (Pass.make ~name:"dataflow-analysis" (fun f ->
+           st.st_analysis <-
+             Hida_analysis.Analysis.run ~pass:"dataflow-analysis" f))
+
 (* ---- PyTorch (tensor) path ---- *)
 
 let compile_nn ?(opts = default) func =
@@ -241,6 +270,7 @@ let compile_nn ?(opts = default) func =
     (Lowering.nn_pass ~weights_onchip:opts.weights_onchip
        ~boundary:opts.conv_boundary ());
   if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
+  add_pre_balance_gate opts st;
   if opts.enable_balancing then Pass.add mgr (Balance.pass ());
   Pass.add mgr
     (Parallelize.pass ~mode:opts.mode ~jobs:opts.jobs
@@ -257,6 +287,7 @@ let compile_nn ?(opts = default) func =
          if opts.weights_onchip then
            Walk.preorder f ~f:(fun op ->
                if Hida_d.is_buffer op then Op.remove_attr op "resident_rows")));
+  add_final_gate opts st;
   run_pipeline st func;
   st
 
@@ -271,6 +302,7 @@ let compile_memref ?(opts = default) func =
     if opts.enable_fusion then Pass.add mgr (Fusion.pass ());
     Pass.add mgr (Pass.make ~name:"lowering" Lowering.lower_memref_func);
     if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
+    add_pre_balance_gate opts st;
     if opts.enable_balancing then Pass.add mgr (Balance.pass ());
     Pass.add mgr
       (Parallelize.pass ~mode:opts.mode ~jobs:opts.jobs
@@ -288,6 +320,7 @@ let compile_memref ?(opts = default) func =
          apply_tiling ~tile_size:opts.tile_size f;
          pipeline_innermost f;
          if not opts.pingpong then strip_pingpong f));
+  add_final_gate opts st;
   run_pipeline st func;
   st
 
@@ -325,6 +358,7 @@ let finish ~device ?(batch = 1) st func =
     metrics;
     remarks = Hida_obs.Scope.remarks scope;
     pass_deltas = List.rev st.st_deltas_rev;
+    analysis = st.st_analysis;
   }
 
 (* Convenience wrappers. *)

@@ -28,6 +28,10 @@ type options = {
   pingpong : bool;
       (** HIDA buffers carry automatic ping-pong semantics (§5.2);
           baselines without it get single-stage buffers *)
+  analyze : bool;
+      (** run the static dataflow checker ({!Hida_analysis.Analysis}) as
+          a post-lowering and post-balancing gate; failures are
+          diagnostics in {!report.analysis}, never exceptions *)
   verify_each : bool;
   print_ir_after : string option;
       (** dump IR after passes whose name contains this substring
@@ -53,6 +57,9 @@ type report = {
   remarks : Hida_obs.Remark.t list;  (** optimization remarks, in order *)
   pass_deltas : Hida_obs.Ir_stats.pass_delta list;
       (** per-pass IR statistics (op/buffer/node counts before/after) *)
+  analysis : Hida_analysis.Analysis.diag list;
+      (** static-checker failures from the final gate (always empty
+          unless {!options.analyze} is set; non-empty = broken design) *)
 }
 
 type state

@@ -38,32 +38,63 @@ type result = {
 
 exception Deadlock of string
 
+(* All writers per buffer, in list order.  A buffer may legitimately have
+   several producers before multi-producer elimination has run, and every
+   producer's dependence edge must be honoured. *)
+let writers_table (nodes : node_spec list) =
+  let writers = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun b ->
+          let cur = Option.value (Hashtbl.find_opt writers b) ~default:[] in
+          Hashtbl.replace writers b (cur @ [ n ]))
+        n.ns_writes)
+    nodes;
+  writers
+
+let writers_of writers b =
+  Option.value (Hashtbl.find_opt writers b) ~default:[]
+
 (* Topological order of nodes by read-after-write dependences within one
    frame.  A cycle means the dataflow graph is not schedulable. *)
 let topo_order (nodes : node_spec list) =
-  let writer = Hashtbl.create 16 in
-  List.iter
-    (fun n -> List.iter (fun b -> Hashtbl.replace writer b n.ns_id) n.ns_writes)
-    nodes;
+  let writers = writers_table nodes in
   let by_id = Hashtbl.create 16 in
   List.iter (fun n -> Hashtbl.replace by_id n.ns_id n) nodes;
+  let name id =
+    match Hashtbl.find_opt by_id id with
+    | Some n when n.ns_name <> "" -> n.ns_name
+    | _ -> Printf.sprintf "node %d" id
+  in
   let visited = Hashtbl.create 16 in
   let order = ref [] in
-  let rec visit stack id =
+  let rec visit path id =
     match Hashtbl.find_opt visited id with
     | Some `Done -> ()
     | Some `Active ->
+        (* [path] holds the DFS ancestors, innermost first; the cycle is
+           the segment from [id] back to the top, closed with [id].  Each
+           arrow reads "depends on". *)
+        let rec cycle acc = function
+          | [] -> acc
+          | x :: _ when x = id -> x :: acc
+          | x :: rest -> cycle (x :: acc) rest
+        in
+        let cyc = cycle [ id ] path in
         raise
           (Deadlock
-             (Printf.sprintf "cyclic dataflow dependence through node %d" id))
+             (Printf.sprintf "cyclic dataflow dependence: %s"
+                (String.concat " -> " (List.map name cyc))))
     | None ->
         Hashtbl.replace visited id `Active;
         let n = Hashtbl.find by_id id in
         List.iter
           (fun b ->
-            match Hashtbl.find_opt writer b with
-            | Some w when w <> id -> visit (id :: stack) w
-            | _ -> ())
+            List.iter
+              (fun (w : node_spec) ->
+                if w.ns_id <> id then visit (id :: path) w.ns_id)
+              (writers_of writers b))
           n.ns_reads;
         Hashtbl.replace visited id `Done;
         order := n :: !order
@@ -76,11 +107,25 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   let order = topo_order nodes in
   let depth = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace depth b.bs_id (max 1 b.bs_depth)) buffers;
-  let writer = Hashtbl.create 16 in
+  (* Every referenced buffer must be declared: a silently defaulted depth
+     would make the stage-reuse constraint depend on whether the caller
+     remembered to list the buffer. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem depth b) then
+            invalid_arg
+              (Printf.sprintf
+                 "Sim.run: node %s references undeclared buffer %d"
+                 (if n.ns_name = "" then string_of_int n.ns_id else n.ns_name)
+                 b))
+        (n.ns_reads @ n.ns_writes))
+    nodes;
+  let writers = writers_table nodes in
   let readers = Hashtbl.create 16 in
   List.iter
     (fun n ->
-      List.iter (fun b -> Hashtbl.replace writer b n) n.ns_writes;
       List.iter
         (fun b ->
           let cur = Option.value (Hashtbl.find_opt readers b) ~default:[] in
@@ -100,21 +145,24 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
         let ready = ref 0 in
         (* Serial re-activation of the node itself. *)
         if k > 0 then ready := max !ready finish.(i).(k - 1);
-        (* Inputs: frame k of every read buffer must have been produced. *)
+        (* Inputs: frame k of every read buffer must have been produced
+           by every one of its writers. *)
         List.iter
           (fun b ->
-            match Hashtbl.find_opt writer b with
-            | Some w when w.ns_id <> n.ns_id ->
-                let wi = Hashtbl.find index w.ns_id in
-                ready := max !ready finish.(wi).(k)
-            | _ -> ())
+            List.iter
+              (fun (w : node_spec) ->
+                if w.ns_id <> n.ns_id then begin
+                  let wi = Hashtbl.find index w.ns_id in
+                  ready := max !ready finish.(wi).(k)
+                end)
+              (writers_of writers b))
           n.ns_reads;
         (* Outputs: stage reuse — a buffer with [d] stages holds frames
            k-d+1 .. k, so producing frame k overwrites the stage last
            used by frame k-d, which every reader must have drained. *)
         List.iter
           (fun b ->
-            let d = Option.value (Hashtbl.find_opt depth b) ~default:2 in
+            let d = Hashtbl.find depth b in
             let old = k - d in
             if old >= 0 then
               List.iter
@@ -136,10 +184,12 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   in
   let steady =
     (* Per-node measurement over the second half, so different pipeline
-       fills cannot cancel; the bottleneck node defines the interval. *)
-    if frames < 4 then float_of_int total /. float_of_int frames
+       fills cannot cancel; the bottleneck node defines the interval.
+       With a single frame there is no delta to measure, so the interval
+       degrades to the makespan (pipeline fill included; see the .mli). *)
+    if frames = 1 then float_of_int total
     else begin
-      let half = frames / 2 in
+      let half = max 1 (frames / 2) in
       Array.fold_left
         (fun acc row ->
           Float.max acc

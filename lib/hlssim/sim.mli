@@ -25,7 +25,14 @@ type buffer_spec = {
 
 type result = {
   r_total_cycles : int;  (** completion time of the last frame *)
-  r_steady_interval : float;  (** cycles per frame in steady state *)
+  r_steady_interval : float;
+      (** cycles per frame in steady state, measured as the worst
+          per-node finish-time delta over the second half of the run.
+          For [frames >= 2] the pipeline fill of the first half is
+          excluded (with very few frames a residual fill bias of a few
+          cycles can remain if the pipeline has not settled by
+          mid-run); for [frames = 1] no delta exists and the value
+          degrades to the makespan, fill included. *)
   r_node_busy : (int * float) list;  (** busy fraction per node id *)
   r_first_frame_latency : int;
   r_trace : (node_spec * (int * int) array) list;
@@ -33,14 +40,21 @@ type result = {
 }
 
 exception Deadlock of string
-(** Raised when the dataflow graph has a same-frame dependence cycle. *)
+(** Raised when the dataflow graph has a same-frame dependence cycle.
+    The message spells out the cycle node-by-node as a ["a -> b -> a"]
+    chain of dependences. *)
 
 val topo_order : node_spec list -> node_spec list
-(** Nodes ordered by same-frame read-after-write dependences; raises
-    {!Deadlock} on cycles. *)
+(** Nodes ordered by same-frame read-after-write dependences.  Buffers
+    with several producers contribute one dependence edge per producer.
+    Raises {!Deadlock} (with the full cycle path) on cycles. *)
 
 val run : ?frames:int -> node_spec list -> buffer_spec list -> result
-(** Simulate [frames] dataflow frames (default 32). *)
+(** Simulate [frames] dataflow frames (default 32).  A consumer's
+    frame-k activation waits for {e every} producer of each input
+    buffer.  Every buffer id referenced by a node must appear in the
+    buffer list; an undeclared buffer raises [Invalid_argument] (no
+    silent ping-pong default). *)
 
 val gantt : ?frames:int -> ?width:int -> result -> string
 (** ASCII Gantt chart of the first frames: one row per node, glyph [k]

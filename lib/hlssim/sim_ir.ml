@@ -1,57 +1,110 @@
-(* Adapter: build simulator specs from a structural-dataflow schedule,
-   using the QoR estimator for per-node latencies.  The simulated
-   steady-state interval cross-checks the estimator's analytic interval. *)
+(* Adapter: build simulator specs from a structural-dataflow schedule.
+
+   [structure] extracts the device-independent dataflow graph (nodes,
+   buffers with depths, external/pre-initialized buffers, and the IR op
+   behind every node and buffer id) — this is what the static analyzer
+   consumes.  [of_schedule] additionally prices each node's latency with
+   the QoR estimator, producing specs whose simulated steady-state
+   interval cross-checks the estimator's analytic interval. *)
 
 open Hida_ir
 open Ir
 open Hida_dialects
 open Hida_estimator
 
-let of_schedule (dev : Device.t) sched =
+type graph = {
+  g_nodes : Sim.node_spec list;
+  g_buffers : Sim.buffer_spec list;
+  g_external : int list;
+  g_node_ops : (int * op) list;
+  g_buffer_ops : (int * op) list;
+}
+
+let structure ?(latency = fun (_ : op) -> 1) sched =
   let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
-  let outer_bindings = Hida_d.node_bindings sched in
+  (* Node operands are the schedule's block arguments; depths, placements
+     and defining ops live on the *outer* schedule operands, so resolve
+     through the bindings first. *)
+  let resolve =
+    let table =
+      List.map
+        (fun (outer, inner) -> (inner.v_id, outer))
+        (Hida_d.node_bindings sched)
+    in
+    fun (v : value) ->
+      match List.assoc_opt v.v_id table with Some o -> o | None -> v
+  in
   let buffer_ids = Hashtbl.create 16 in
   let buffers = ref [] in
+  let externals = ref [] in
+  let buffer_ops = ref [] in
   let buffer_id (v : value) =
     match Hashtbl.find_opt buffer_ids v.v_id with
     | Some id -> id
     | None ->
         let id = Hashtbl.length buffer_ids in
         Hashtbl.replace buffer_ids v.v_id id;
-        let depth =
-          match Value.defining_op v with
-          | Some b when Hida_d.is_buffer b -> Hida_d.buffer_depth b
-          | Some b when Hida_d.is_port b -> 64
-          | _ -> 2
+        let outer = resolve v in
+        (* [external_] marks buffers whose contents are defined outside
+           the schedule: ports and externally-placed buffers (DRAM),
+           function arguments (no defining op), and seeded buffers
+           (weights pre-loaded at configuration time). *)
+        let depth, external_ =
+          match Value.defining_op outer with
+          | Some b when Hida_d.is_buffer b ->
+              ( Hida_d.buffer_depth b,
+                Hida_d.buffer_placement b = Hida_d.External
+                || Op.has_attr b "seed" )
+          | Some b when Hida_d.is_port b -> (64, true)
+          | Some b when Hida_d.is_stream b -> (
+              ( (match Value.typ (Op.result b 0) with
+                | Stream { depth; _ } -> depth
+                | _ -> 2),
+                false ))
+          | Some _ -> (2, false)
+          | None -> (2, true)
         in
-        buffers := { Sim.bs_id = id; bs_name = Value.name v; bs_depth = depth } :: !buffers;
+        (match Value.defining_op outer with
+        | Some b -> buffer_ops := (id, b) :: !buffer_ops
+        | None -> ());
+        if external_ then externals := id :: !externals;
+        buffers :=
+          { Sim.bs_id = id; bs_name = Value.name outer; bs_depth = depth }
+          :: !buffers;
         id
   in
   let blk = Hida_d.node_block sched in
   let node_pos n = Option.value (Block.index_of blk n) ~default:0 in
-  (* Last same-frame writer per buffer value (for feedback detection). *)
+  (* Earliest same-frame writer per buffer value (for feedback
+     detection).  The minimum matters: with several producers, a read is
+     cross-frame feedback only when *every* writer comes later in
+     program order — keeping just the last writer would drop the
+     dependence on earlier producers. *)
   let writer_pos = Hashtbl.create 16 in
   List.iter
     (fun n ->
       List.iteri
         (fun j v ->
           if Hida_d.operand_effect n j = `Read_write then
-            Hashtbl.replace writer_pos v.v_id (node_pos n))
+            let p = node_pos n in
+            match Hashtbl.find_opt writer_pos v.v_id with
+            | Some q when q <= p -> ()
+            | _ -> Hashtbl.replace writer_pos v.v_id p)
         (Op.operands n))
     nodes;
+  let node_ops = ref [] in
   let specs =
     List.mapi
       (fun i n ->
-        let bindings = Hida_d.node_bindings n @ outer_bindings in
-        let est = Qor.estimate_node_or_nested dev ~bindings n in
+        node_ops := (i, n) :: !node_ops;
         let reads = ref [] and writes = ref [] in
         List.iteri
           (fun j v ->
             match Hida_d.operand_effect n j with
             | `Read_only ->
-                (* Reads whose writer comes later in program order are
-                   cross-frame feedback (in-place updates), not same-frame
-                   dependences. *)
+                (* Reads all of whose writers come later in program order
+                   are cross-frame feedback (in-place updates), not
+                   same-frame dependences. *)
                 let feedback =
                   match Hashtbl.find_opt writer_pos v.v_id with
                   | Some wp -> wp > node_pos n
@@ -63,13 +116,30 @@ let of_schedule (dev : Device.t) sched =
         {
           Sim.ns_id = i;
           ns_name = Printf.sprintf "node%d" i;
-          ns_latency = est.Qor.n_latency;
+          ns_latency = latency n;
           ns_reads = !reads;
           ns_writes = !writes;
         })
       nodes
   in
-  (specs, !buffers)
+  {
+    g_nodes = specs;
+    g_buffers = List.rev !buffers;
+    g_external = List.rev !externals;
+    g_node_ops = List.rev !node_ops;
+    g_buffer_ops = List.rev !buffer_ops;
+  }
+
+let of_schedule (dev : Device.t) sched =
+  let outer_bindings = Hida_d.node_bindings sched in
+  let g =
+    structure
+      ~latency:(fun n ->
+        let bindings = Hida_d.node_bindings n @ outer_bindings in
+        (Qor.estimate_node_or_nested dev ~bindings n).Qor.n_latency)
+      sched
+  in
+  (g.g_nodes, g.g_buffers)
 
 let simulate_schedule ?(frames = 32) dev sched =
   let specs, buffers = of_schedule dev sched in

@@ -1,11 +1,33 @@
 (** Adapter from structural-dataflow IR to the cycle-level simulator:
     node latencies come from the QoR estimator, buffer depths and the
-    read/write topology from the schedule. *)
+    read/write topology from the schedule.  The device-independent part
+    ({!structure}) is shared with the static dataflow analyzer. *)
 
 open Hida_ir
 open Hida_estimator
 
+type graph = {
+  g_nodes : Sim.node_spec list;
+  g_buffers : Sim.buffer_spec list;
+  g_external : int list;
+      (** buffer ids whose contents are defined outside the schedule:
+          ports, externally-placed buffers, function arguments, and
+          seeded (pre-loaded) buffers *)
+  g_node_ops : (int * Ir.op) list;  (** node id -> [hida.node] op *)
+  g_buffer_ops : (int * Ir.op) list;
+      (** buffer id -> defining buffer/port/stream op (absent for
+          function arguments) *)
+}
+
+val structure : ?latency:(Ir.op -> int) -> Ir.op -> graph
+(** Structural dataflow graph of a schedule: one spec per [hida.node],
+    one buffer per distinct operand value, with same-frame read edges
+    (reads all of whose writers come later in program order are
+    cross-frame feedback and dropped).  [latency] prices each node
+    (default: 1 cycle — sufficient for purely structural analyses). *)
+
 val of_schedule :
   Device.t -> Ir.op -> Sim.node_spec list * Sim.buffer_spec list
+(** {!structure} with per-node latencies from the QoR estimator. *)
 
 val simulate_schedule : ?frames:int -> Device.t -> Ir.op -> Sim.result

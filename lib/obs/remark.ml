@@ -6,7 +6,7 @@
 
 open Hida_ir
 
-type severity = Remark | Missed | Analysis
+type severity = Remark | Missed | Analysis | Error
 
 type loc = { l_op_name : string; l_op_id : int; l_hint : string option }
 
@@ -21,6 +21,7 @@ let severity_name = function
   | Remark -> "remark"
   | Missed -> "missed"
   | Analysis -> "analysis"
+  | Error -> "error"
 
 let loc_of_op (op : Ir.op) =
   let hint =

@@ -1,11 +1,13 @@
 (** Optimization remarks.
 
     [Remark] reports an applied optimization, [Missed] an optimization
-    that could not be applied (and why), [Analysis] a neutral finding.
+    that could not be applied (and why), [Analysis] a neutral finding,
+    [Error] a correctness problem found by a checker (e.g. the static
+    dataflow analyzer) that should fail a gated compile.
     Remarks are keyed to the emitting pass and, when available, to an op
     "location" (op name, unique id, SSA name hint). *)
 
-type severity = Remark | Missed | Analysis
+type severity = Remark | Missed | Analysis | Error
 
 type loc = { l_op_name : string; l_op_id : int; l_hint : string option }
 

@@ -9,6 +9,7 @@ let () =
       ("passes", Test_passes.tests);
       ("parallelize", Test_parallelize.tests);
       ("sim", Test_sim.tests);
+      ("analysis", Test_analysis.tests);
       ("driver", Test_driver.tests);
       ("models", Test_models.tests @ Test_models.extra_tests);
       ("emitter", Test_emitter.tests);

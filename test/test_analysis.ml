@@ -1,0 +1,358 @@
+(* Tests for the static dataflow checker (hida.analysis): unit tests per
+   check, qcheck agreement with the cycle-level simulator on random
+   graphs (including multi-producer ones), and the driver's analyze
+   gates end to end. *)
+
+open Hida_estimator
+open Hida_hlssim
+open Hida_core
+open Hida_frontend
+open Helpers
+module A = Hida_analysis.Analysis
+
+let node id ~reads ~writes =
+  {
+    Sim.ns_id = id;
+    ns_name = Printf.sprintf "n%d" id;
+    ns_latency = 10;
+    ns_reads = reads;
+    ns_writes = writes;
+  }
+
+let buffer ?(depth = 2) id =
+  { Sim.bs_id = id; bs_name = Printf.sprintf "b%d" id; bs_depth = depth }
+
+let kinds ds = List.map (fun d -> d.A.d_check) ds
+
+(* ---- unit tests per check ---- *)
+
+let test_clean_chain () =
+  let nodes =
+    [
+      node 0 ~reads:[] ~writes:[ 0 ];
+      node 1 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 2 ~reads:[ 1 ] ~writes:[];
+    ]
+  in
+  checki "clean chain has no diagnostics" 0
+    (List.length (A.check_graph nodes [ buffer 0; buffer 1 ]))
+
+let test_capacity_fork_join () =
+  (* Fig. 8: b1 crosses two stages; depth 2 stalls, depth 3 is clean. *)
+  let nodes =
+    [
+      node 0 ~reads:[] ~writes:[ 0; 1 ];
+      node 1 ~reads:[ 0 ] ~writes:[ 2 ];
+      node 2 ~reads:[ 1; 2 ] ~writes:[];
+    ]
+  in
+  let shallow = A.check_graph nodes [ buffer 0; buffer 1; buffer 2 ] in
+  checkb "shallow fork-join flagged" (List.mem A.Capacity (kinds shallow));
+  (match List.find_opt (fun d -> d.A.d_check = A.Capacity) shallow with
+  | Some d ->
+      checkb "capacity names the crossing buffer" (d.A.d_buffer = Some 1);
+      checkb "capacity names both endpoints" (d.A.d_nodes = [ 0; 2 ]);
+      checkb "capacity is not deadlock-clean-blocking"
+        (A.deadlock_free shallow && not (A.capacity_clean shallow))
+  | None -> Alcotest.fail "no capacity diagnostic");
+  let deep = A.check_graph nodes [ buffer 0; buffer 1 ~depth:3; buffer 2 ] in
+  checki "3-stage buffer repairs the imbalance" 0 (List.length deep)
+
+let test_capacity_depth1_serializes () =
+  let nodes =
+    [ node 0 ~reads:[] ~writes:[ 0 ]; node 1 ~reads:[ 0 ] ~writes:[] ]
+  in
+  let diags = A.check_graph nodes [ buffer 0 ~depth:1 ] in
+  match List.find_opt (fun d -> d.A.d_check = A.Capacity) diags with
+  | Some d ->
+      checkb "single-stage buffer flagged as serializing"
+        (contains ~sub:"fully serialized" d.A.d_msg)
+  | None -> Alcotest.fail "depth-1 buffer not flagged"
+
+let test_deadlock_cycle_path () =
+  let nodes =
+    [
+      node 0 ~reads:[ 2 ] ~writes:[ 0 ];
+      node 1 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 2 ~reads:[ 1 ] ~writes:[ 2 ];
+    ]
+  in
+  let diags = A.check_graph nodes [ buffer 0; buffer 1; buffer 2 ] in
+  match List.find_opt (fun d -> d.A.d_check = A.Deadlock_cycle) diags with
+  | Some d ->
+      checkb "cycle path in message (node by node)"
+        (contains ~sub:"n0 -> n2 -> n1 -> n0" d.A.d_msg);
+      checkb "cycle node ids recorded" (d.A.d_nodes = [ 0; 2; 1; 0 ]);
+      checkb "deadlock_free is false" (not (A.deadlock_free diags))
+  | None -> Alcotest.fail "cycle not detected"
+
+let test_deadlock_through_multi_producer () =
+  (* The cycle runs through a producer that is not the last writer of the
+     shared buffer — the case a last-writer-wins map misses. *)
+  let nodes =
+    [
+      node 0 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 1 ~reads:[ 1 ] ~writes:[ 0 ];
+      node 2 ~reads:[] ~writes:[ 0 ];
+    ]
+  in
+  let diags = A.check_graph nodes [ buffer 0; buffer 1 ] in
+  checkb "cycle through non-last producer detected"
+    (List.mem A.Deadlock_cycle (kinds diags))
+
+let test_multi_writer_hazard () =
+  let unordered =
+    A.check_graph
+      [
+        node 0 ~reads:[] ~writes:[ 0 ];
+        node 1 ~reads:[] ~writes:[ 0 ];
+        node 2 ~reads:[ 0 ] ~writes:[];
+      ]
+      [ buffer 0 ]
+  in
+  checkb "unordered double write flagged"
+    (List.mem A.Multi_writer (kinds unordered));
+  (* Producers ordered through another buffer (the shape Alg. 3 leaves
+     behind) are not a hazard. *)
+  let ordered =
+    A.check_graph
+      [
+        node 0 ~reads:[] ~writes:[ 0; 1 ];
+        node 1 ~reads:[ 1 ] ~writes:[ 0 ];
+        node 2 ~reads:[ 0 ] ~writes:[];
+      ]
+      [ buffer 0; buffer 1 ]
+  in
+  checkb "ordered producers are clean"
+    (not (List.mem A.Multi_writer (kinds ordered)))
+
+let test_uninitialized_read () =
+  let nodes = [ node 0 ~reads:[ 0 ] ~writes:[ 1 ] ] in
+  let bufs = [ buffer 0; buffer 1 ] in
+  checkb "read of never-written internal buffer flagged"
+    (List.mem A.Uninitialized_read (kinds (A.check_graph nodes bufs)));
+  checkb "external buffers are exempt"
+    (not
+       (List.mem A.Uninitialized_read
+          (kinds (A.check_graph ~external_:[ 0 ] nodes bufs))))
+
+let test_self_read_write () =
+  let diags =
+    A.check_graph [ node 0 ~reads:[ 0 ] ~writes:[ 0 ] ] [ buffer 0 ]
+  in
+  checkb "node reading and writing one buffer flagged"
+    (List.mem A.Self_read_write (kinds diags))
+
+let test_undeclared_buffer () =
+  checkb "undeclared buffer raises Invalid_argument"
+    (try
+       ignore (A.check_graph [ node 0 ~reads:[ 7 ] ~writes:[] ] []);
+       false
+     with Invalid_argument msg -> contains ~sub:"undeclared buffer 7" msg)
+
+let test_severity () =
+  let cap =
+    { A.d_check = A.Capacity; d_nodes = []; d_buffer = None; d_msg = "" }
+  in
+  let dead =
+    { A.d_check = A.Deadlock_cycle; d_nodes = []; d_buffer = None; d_msg = "" }
+  in
+  checkb "capacity is an error at the final gate"
+    (A.severity cap = Hida_obs.Remark.Error);
+  checkb "capacity is neutral before balancing"
+    (A.severity ~pre_balance:true cap = Hida_obs.Remark.Analysis);
+  checkb "deadlock is an error even before balancing"
+    (A.severity ~pre_balance:true dead = Hida_obs.Remark.Error)
+
+(* ---- agreement with the simulator (qcheck) ---- *)
+
+(* Random graphs with shared buffers (multi-producer by construction) and
+   arbitrary read sets, so cycles occur with useful frequency.  On every
+   graph the analyzer's deadlock verdict must match whether [Sim.run]
+   raises [Deadlock]. *)
+let prop_deadlock_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"analyzer deadlock verdict agrees with the simulator" ~count:250
+       QCheck2.Gen.(
+         tup3 (int_range 3 8) (int_range 2 6) (int_range 0 1_000_000))
+       (fun (n_nodes, n_bufs, seed) ->
+         let rng = ref (seed + 1) in
+         let next m =
+           rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+           !rng mod m
+         in
+         let bufs = List.init n_bufs (fun i -> buffer i) in
+         let nodes =
+           List.init n_nodes (fun i ->
+               (* Nodes 0 and 1 both write buffer 0: every generated graph
+                  has a multi-producer buffer. *)
+               let writes = if i < 2 then [ 0 ] else [ next n_bufs ] in
+               let reads =
+                 List.filter
+                   (fun b -> not (List.mem b writes))
+                   (List.sort_uniq compare
+                      (List.init (next 3) (fun _ -> next n_bufs)))
+               in
+               node i ~reads ~writes)
+         in
+         let diags = A.check_graph nodes bufs in
+         let sim_deadlock =
+           try
+             ignore (Sim.run ~frames:4 nodes bufs);
+             false
+           with Sim.Deadlock _ -> true
+         in
+         A.deadlock_free diags = not sim_deadlock))
+
+(* Layered DAGs with random depths and cross-layer edges: whenever the
+   analyzer finds no capacity (or deadlock) problem, the simulated
+   steady-state interval equals the maximum node latency — the balanced
+   pipeline condition of §6.4.2. *)
+let prop_capacity_clean_streams =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"capacity-clean graphs stream at max latency"
+       ~count:150
+       QCheck2.Gen.(
+         tup2 (list_size (int_range 2 4) (int_range 1 3)) (int_range 0 1_000_000))
+       (fun (layers, seed) ->
+         let rng = ref (seed + 1) in
+         let next m =
+           rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+           !rng mod m
+         in
+         let nodes = ref [] and bufs = ref [] in
+         let node_id = ref 0 and buf_id = ref 0 in
+         let earlier = ref [] in
+         List.iter
+           (fun width ->
+             let this = ref [] in
+             for _ = 1 to width do
+               let reads =
+                 match !earlier with
+                 | [] -> []
+                 | bs ->
+                     List.sort_uniq compare
+                       (List.init
+                          (1 + next 2)
+                          (fun _ -> List.nth bs (next (List.length bs))))
+               in
+               let b = !buf_id in
+               incr buf_id;
+               this := b :: !this;
+               bufs := buffer ~depth:(1 + next 4) b :: !bufs;
+               nodes :=
+                 {
+                   Sim.ns_id = !node_id;
+                   ns_name = "";
+                   ns_latency = 10 + next 190;
+                   ns_reads = reads;
+                   ns_writes = [ b ];
+                 }
+                 :: !nodes;
+               incr node_id
+             done;
+             earlier := !earlier @ !this)
+           layers;
+         let nodes = List.rev !nodes and bufs = List.rev !bufs in
+         let diags = A.check_graph nodes bufs in
+         if not (A.capacity_clean diags) then true
+         else begin
+           let r = Sim.run ~frames:32 nodes bufs in
+           let maxl =
+             float_of_int
+               (List.fold_left (fun acc n -> max acc n.Sim.ns_latency) 1 nodes)
+           in
+           Float.abs (r.Sim.r_steady_interval -. maxl) <= (maxl *. 0.02) +. 1.
+         end))
+
+(* ---- structural IR and driver gates ---- *)
+
+let test_check_func_on_compiled_schedule () =
+  let _m, f = two_stage_kernel () in
+  ignore (Driver.run_memref ~device:Device.zu3eg f);
+  checki "compiled two-stage kernel is clean" 0 (List.length (A.check_func f))
+
+let test_driver_gate_flags_unbalanced () =
+  (* With balancing disabled, the Fig. 8 fork-join keeps its slack-2 edge
+     and the final gate reports it (diagnostics, not exceptions). *)
+  let _m, f = fork_join_kernel () in
+  let rep =
+    Driver.run_memref
+      ~opts:{ Driver.default with analyze = true; enable_balancing = false }
+      ~device:Device.zu3eg f
+  in
+  checkb "final gate reports the imbalance"
+    (List.mem A.Capacity (kinds rep.Driver.analysis));
+  checkb "gate failure lands in the remark stream as an error"
+    (List.exists
+       (fun (r : Hida_obs.Remark.t) ->
+         r.Hida_obs.Remark.r_pass = "dataflow-analysis"
+         && r.Hida_obs.Remark.r_severity = Hida_obs.Remark.Error
+         && contains ~sub:"[capacity]" r.Hida_obs.Remark.r_msg)
+       rep.Driver.remarks)
+
+let test_driver_gates_with_balancing () =
+  (* Standard pipeline: the pre-balance gate sees the imbalance as a
+     neutral analysis remark, balancing repairs it, and the final gate is
+     clean. *)
+  let _m, f = fork_join_kernel () in
+  let rep =
+    Driver.run_memref
+      ~opts:{ Driver.default with analyze = true }
+      ~device:Device.zu3eg f
+  in
+  checki "final gate clean after balancing" 0 (List.length rep.Driver.analysis);
+  checkb "pre-balance gate reported the §6.4.2 imbalance neutrally"
+    (List.exists
+       (fun (r : Hida_obs.Remark.t) ->
+         r.Hida_obs.Remark.r_pass = "dataflow-analysis-post-lowering"
+         && r.Hida_obs.Remark.r_severity = Hida_obs.Remark.Analysis
+         && contains ~sub:"[capacity]" r.Hida_obs.Remark.r_msg)
+       rep.Driver.remarks)
+
+let test_workloads_clean () =
+  (* gemver exercises the balance-softened external buffer + token
+     streams; lenet the nn path (the bench 'analyze' experiment covers
+     the whole zoo). *)
+  let _m, f = (Polybench_extra.by_name "gemver").Polybench_extra.e_build () in
+  let rep =
+    Driver.run_memref
+      ~opts:{ Driver.default with analyze = true }
+      ~device:Device.zu3eg f
+  in
+  checki "gemver clean" 0 (List.length rep.Driver.analysis);
+  let _m, f = (Models.by_name "lenet").Models.e_build ~scale:0.25 () in
+  let rep =
+    Driver.run_nn
+      ~opts:{ Driver.default with analyze = true }
+      ~device:Device.vu9p_slr f
+  in
+  checki "lenet clean" 0 (List.length rep.Driver.analysis)
+
+let tests =
+  [
+    Alcotest.test_case "clean chain" `Quick test_clean_chain;
+    Alcotest.test_case "capacity on fork-join (Fig 8)" `Quick
+      test_capacity_fork_join;
+    Alcotest.test_case "capacity on single-stage buffer" `Quick
+      test_capacity_depth1_serializes;
+    Alcotest.test_case "deadlock cycle path" `Quick test_deadlock_cycle_path;
+    Alcotest.test_case "deadlock through multi-producer buffer" `Quick
+      test_deadlock_through_multi_producer;
+    Alcotest.test_case "unordered multi-writer hazard" `Quick
+      test_multi_writer_hazard;
+    Alcotest.test_case "uninitialized read" `Quick test_uninitialized_read;
+    Alcotest.test_case "self read-write" `Quick test_self_read_write;
+    Alcotest.test_case "undeclared buffer" `Quick test_undeclared_buffer;
+    Alcotest.test_case "gate severities" `Quick test_severity;
+    prop_deadlock_agreement;
+    prop_capacity_clean_streams;
+    Alcotest.test_case "check_func on compiled schedule" `Quick
+      test_check_func_on_compiled_schedule;
+    Alcotest.test_case "final gate flags unbalanced design" `Quick
+      test_driver_gate_flags_unbalanced;
+    Alcotest.test_case "both gates across the standard pipeline" `Quick
+      test_driver_gates_with_balancing;
+    Alcotest.test_case "workload gates are clean" `Quick test_workloads_clean;
+  ]

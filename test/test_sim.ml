@@ -63,6 +63,84 @@ let test_fork_join_stall () =
   checkb "shallow fork-join stalls" (shallow.Sim.r_steady_interval >= 149.);
   checkb "balanced fork-join streams" (deep.Sim.r_steady_interval < 110.)
 
+let test_two_producer_waits_for_slowest () =
+  (* Regression: two producers of one buffer, the slow one first in the
+     node list.  A last-writer-wins writer map keeps only the fast
+     producer, starting the consumer 290 cycles too early. *)
+  let nodes =
+    [
+      node 0 ~lat:300 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:10 ~reads:[] ~writes:[ 0 ];
+      node 2 ~lat:50 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let r = Sim.run ~frames:8 nodes [ buffer 0 ~depth:2 ] in
+  let _, trace2 =
+    List.find (fun ((n : Sim.node_spec), _) -> n.Sim.ns_id = 2) r.Sim.r_trace
+  in
+  checkb "consumer waits for the slowest producer" (fst trace2.(0) >= 300);
+  checki "first frame latency includes the slow producer" 350
+    r.Sim.r_first_frame_latency
+
+let test_cycle_through_earlier_producer () =
+  (* Regression: the cycle runs through a producer that is not the last
+     writer of the shared buffer; a last-writer-wins map drops the edge
+     n0 -> n1 and misses the deadlock entirely. *)
+  let nodes =
+    [
+      node 0 ~lat:10 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 1 ~lat:10 ~reads:[ 1 ] ~writes:[ 0 ];
+      node 2 ~lat:10 ~reads:[] ~writes:[ 0 ];
+    ]
+  in
+  checkb "cycle through non-last producer detected"
+    (try
+       ignore (Sim.run nodes [ buffer 0 ~depth:2; buffer 1 ~depth:2 ]);
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_deadlock_cycle_path () =
+  (* The Deadlock message names the full cycle node by node. *)
+  let nodes =
+    [
+      node 0 ~lat:10 ~reads:[ 2 ] ~writes:[ 0 ];
+      node 1 ~lat:10 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 2 ~lat:10 ~reads:[ 1 ] ~writes:[ 2 ];
+    ]
+  in
+  let buffers = [ buffer 0 ~depth:2; buffer 1 ~depth:2; buffer 2 ~depth:2 ] in
+  match Sim.run nodes buffers with
+  | _ -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Deadlock msg ->
+      checkb
+        (Printf.sprintf "cycle path reported (%s)" msg)
+        (contains ~sub:"n0 -> n2 -> n1 -> n0" msg)
+
+let test_steady_interval_small_frames () =
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:100 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let bufs = [ buffer 0 ~depth:2 ] in
+  let one = Sim.run ~frames:1 nodes bufs in
+  checkb "frames=1 degrades to the makespan"
+    (Float.abs (one.Sim.r_steady_interval -. 200.) < 1.);
+  let two = Sim.run ~frames:2 nodes bufs in
+  (* The old total/frames measurement would report 150 here (pipeline
+     fill averaged in); the per-node delta reports the true interval. *)
+  checkb "frames=2 measures the per-node delta"
+    (Float.abs (two.Sim.r_steady_interval -. 100.) < 1.)
+
+let test_undeclared_buffer_rejected () =
+  let nodes = [ node 0 ~lat:10 ~reads:[] ~writes:[ 5 ] ] in
+  checkb "undeclared buffer raises Invalid_argument"
+    (try
+       ignore (Sim.run nodes []);
+       false
+     with Invalid_argument msg -> contains ~sub:"undeclared buffer 5" msg)
+
 let test_deadlock_detection () =
   let nodes =
     [
@@ -250,6 +328,15 @@ let tests =
     Alcotest.test_case "depth-1 serialization" `Quick test_depth1_serializes;
     Alcotest.test_case "fork-join stall (Fig 8)" `Quick test_fork_join_stall;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "two-producer waits for slowest" `Quick
+      test_two_producer_waits_for_slowest;
+    Alcotest.test_case "cycle through non-last producer" `Quick
+      test_cycle_through_earlier_producer;
+    Alcotest.test_case "deadlock cycle path" `Quick test_deadlock_cycle_path;
+    Alcotest.test_case "steady interval at small frame counts" `Quick
+      test_steady_interval_small_frames;
+    Alcotest.test_case "undeclared buffer rejected" `Quick
+      test_undeclared_buffer_rejected;
     Alcotest.test_case "busy fractions" `Quick test_busy_fractions;
     Alcotest.test_case "sim cross-checks estimator" `Quick test_sim_cross_checks_estimator;
     Alcotest.test_case "sim vs analytic on all kernels" `Quick test_sim_vs_analytic_all_kernels;
