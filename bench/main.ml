@@ -105,6 +105,11 @@ let experiments =
     ("bechamel", fun ~quick -> ignore quick; run_bechamel ());
     ("dse", fun ~quick -> Dse_bench.run ~quick ());
     ("dse-smoke", fun ~quick -> ignore quick; Dse_bench.run ~smoke:true ());
+    ("profile", fun ~quick -> Profile_bench.run ~quick ());
+    ( "profile-smoke",
+      fun ~quick ->
+        ignore quick;
+        Profile_bench.run ~smoke:true () );
     ("analyze", fun ~quick -> Analyze_gate.run ~quick ());
   ]
 
@@ -116,7 +121,9 @@ let () =
   in
   let selected =
     if selected = [] then
-      List.filter (fun n -> n <> "dse-smoke") (List.map fst experiments)
+      List.filter
+        (fun n -> n <> "dse-smoke" && n <> "profile-smoke")
+        (List.map fst experiments)
     else selected
   in
   Printf.printf

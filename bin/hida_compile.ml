@@ -93,20 +93,21 @@ let write_file ~what path content =
 
 let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats =
+    trace_json print_ir_after remarks stats profile metrics_json =
   try run_checked workload device_name pf tile mode_name jobs no_fusion
       no_balance no_dataflow fit analyze emit_cpp dump_ir out_path simulate
-      timing trace_json print_ir_after remarks stats
+      timing trace_json print_ir_after remarks stats profile metrics_json
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats =
+    trace_json print_ir_after remarks stats profile metrics_json =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
   check_write_path ~what:"trace file" trace_json;
+  check_write_path ~what:"metrics file" metrics_json;
   check_write_path ~what:"output file" out_path;
   if out_path <> None && emit_cpp && dump_ir then begin
     prerr_endline
@@ -127,6 +128,7 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
       enable_balancing = not no_balance;
       enable_dataflow = not no_dataflow;
       analyze;
+      profile;
       print_ir_after;
     }
   in
@@ -203,16 +205,105 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
         prerr_endline ("hida-compile: cannot write trace file: " ^ msg);
         exit 1));
   (if simulate then
-     match Walk.collect report.Driver.design ~pred:Hida_d.is_schedule with
-     | sched :: _ ->
-         let r = Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched in
-         Printf.printf
-           "simulation      : steady interval %.0f cycles, first frame %d cycles\n"
-           r.Hida_hlssim.Sim.r_steady_interval
-           r.Hida_hlssim.Sim.r_first_frame_latency;
-         Printf.printf "pipeline timeline (first 4 frames):\n%s"
-           (Hida_hlssim.Sim.gantt ~frames:4 r)
-     | [] -> Printf.printf "simulation      : (no dataflow schedule)\n");
+     (* Re-install the compile's scope so the simulator's per-frame step
+        histogram lands in the same metrics registry. *)
+     Hida_obs.Scope.with_scope report.Driver.obs_scope (fun () ->
+         match Walk.collect report.Driver.design ~pred:Hida_d.is_schedule with
+         | sched :: _ ->
+             let r =
+               Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched
+             in
+             Printf.printf
+               "simulation      : steady interval %.0f cycles, first frame %d \
+                cycles\n"
+               r.Hida_hlssim.Sim.r_steady_interval
+               r.Hida_hlssim.Sim.r_first_frame_latency;
+             Printf.printf "pipeline timeline (first 4 frames):\n%s"
+               (Hida_hlssim.Sim.gantt ~frames:4 r)
+         | [] -> Printf.printf "simulation      : (no dataflow schedule)\n"));
+  (let m = report.Driver.metrics in
+   let c name = Hida_obs.Metrics.counter m name in
+   let cache = Qor_cache.global () in
+   if profile then begin
+     let pp = Hida_obs.Histogram.pp_ns in
+     print_endline "---- profile ----";
+     Printf.printf "  %-22s %d\n" "jobs" jobs;
+     Printf.printf "  %-22s %d hits, %d misses\n" "qor cache"
+       (c "qor.cache.hits") (c "qor.cache.misses");
+     let acq = c "qor.cache.lock_acquires"
+     and blk = c "qor.cache.lock_blocked"
+     and wait = c "qor.cache.lock_wait_ns" in
+     Printf.printf "  %-22s %d acquires, %d blocked (%.2f%%), %s total wait\n"
+       "cache lock" acq blk
+       (if acq = 0 then 0. else 100. *. float_of_int blk /. float_of_int acq)
+       (pp wait);
+     Printf.printf "  %-22s %s\n" "lock wait"
+       (Hida_obs.Histogram.to_string (Qor_cache.wait_histogram cache));
+     let busy = c "parallelize.pool.busy_ns"
+     and slot_ns = c "parallelize.pool.slots_ns" in
+     if slot_ns > 0 then
+       Printf.printf "  %-22s %s busy of %s slot-time (%.1f%% utilization)\n"
+         "worker pool" (pp busy) (pp slot_ns)
+         (100. *. float_of_int busy /. float_of_int slot_ns);
+     Printf.printf "  %-22s %s total\n" "barrier wait"
+       (pp (c "dse.barrier_wait_total_ns"));
+     List.iter
+       (fun (label, name) ->
+         match Hida_obs.Metrics.histogram m name with
+         | Some h ->
+             Printf.printf "  %-22s %s\n" label (Hida_obs.Histogram.to_string h)
+         | None -> ())
+       [
+         ("candidate eval", "dse.candidate_eval_ns");
+         ("node search", "dse.node_search_ns");
+         ("barrier wait dist", "dse.barrier_wait_ns");
+         ("sim frame step", "sim.frame_step_ns");
+       ];
+     match Qor_cache.per_domain cache with
+     | [] -> ()
+     | domains ->
+         print_endline "  per-domain cache activity:";
+         Printf.printf "    %-8s %10s %10s %10s %10s %12s\n" "domain" "hits"
+           "misses" "acquires" "blocked" "wait";
+         List.iter
+           (fun (d : Qor_cache.domain_stats) ->
+             Printf.printf "    %-8d %10d %10d %10d %10d %12s\n"
+               d.Qor_cache.ds_domain d.Qor_cache.ds_hits d.Qor_cache.ds_misses
+               d.Qor_cache.ds_acquires d.Qor_cache.ds_blocked
+               (pp d.Qor_cache.ds_wait_ns))
+           domains
+   end;
+   match metrics_json with
+   | None -> ()
+   | Some path ->
+       let wait_h = Qor_cache.wait_histogram cache in
+       let domains =
+         String.concat ","
+           (List.map
+              (fun (d : Qor_cache.domain_stats) ->
+                Printf.sprintf
+                  "{\"domain\":%d,\"hits\":%d,\"misses\":%d,\"acquires\":%d,\"blocked\":%d,\"wait_ns\":%d}"
+                  d.Qor_cache.ds_domain d.Qor_cache.ds_hits
+                  d.Qor_cache.ds_misses d.Qor_cache.ds_acquires
+                  d.Qor_cache.ds_blocked d.Qor_cache.ds_wait_ns)
+              (Qor_cache.per_domain cache))
+       in
+       let json =
+         Printf.sprintf
+           "{\"workload\":\"%s\",\"jobs\":%d,\"metrics\":%s,\"qor_cache\":{\"hits\":%d,\"misses\":%d,\"lock_acquires\":%d,\"lock_blocked\":%d,\"lock_wait_ns\":%d,\"lock_wait_p50_ns\":%d,\"lock_wait_p99_ns\":%d,\"domains\":[%s]}}\n"
+           (Hida_obs.Trace.json_escape workload)
+           jobs
+           (Hida_obs.Metrics.to_json m)
+           (c "qor.cache.hits") (c "qor.cache.misses")
+           (c "qor.cache.lock_acquires")
+           (c "qor.cache.lock_blocked")
+           (c "qor.cache.lock_wait_ns")
+           (Hida_obs.Histogram.percentile wait_h 50.)
+           (Hida_obs.Histogram.percentile wait_h 99.)
+           domains
+       in
+       write_file ~what:"metrics file" path json;
+       Printf.printf "metrics written : %s\n" path);
   (if dump_ir then
      let text = Printer.op_to_string report.Driver.design ^ "\n" in
      match out_path with
@@ -317,6 +408,19 @@ let stats =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print pass metrics (counters/gauges) and per-pass IR deltas.")
 
+let profile =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Detailed multicore profiling: per-candidate DSE spans and \
+               barrier-wait spans in the trace, plus a contention report \
+               (cache-lock wait, worker-pool utilization, latency \
+               histograms).  Never changes the produced design.")
+
+let metrics_json =
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Write a machine-readable JSON snapshot of the metrics, \
+               latency histograms and qor-cache contention counters to \
+               $(docv).")
+
 let cmd =
   let doc = "compile a workload with the HIDA dataflow HLS pipeline" in
   Cmd.v
@@ -325,6 +429,6 @@ let cmd =
       const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
       $ no_balance $ no_dataflow $ fit $ analyze $ emit_cpp $ dump_ir
       $ out_path $ simulate $ timing $ trace_json $ print_ir_after $ remarks
-      $ stats)
+      $ stats $ profile $ metrics_json)
 
 let () = exit (Cmd.eval cmd)

@@ -28,6 +28,9 @@ type options = {
   analyze : bool; (* run the static dataflow checker (hida.analysis) as a
                      post-lowering and post-balancing gate; failures are
                      diagnostics in the report, never exceptions *)
+  profile : bool; (* detailed profiling: per-candidate DSE spans,
+                     barrier-wait spans and the contention report
+                     (--profile).  Never changes the produced design. *)
   verify_each : bool;
   print_ir_after : string option; (* dump IR after passes whose name
                                      contains this substring ("all" =
@@ -49,6 +52,7 @@ let default =
     conv_boundary = `Padded;
     pingpong = true;
     analyze = false;
+    profile = false;
     verify_each = false;
     print_ir_after = None;
   }
@@ -161,6 +165,9 @@ type report = {
   analysis : Hida_analysis.Analysis.diag list;
       (* static-checker failures from the final gate (empty unless
          options.analyze; a non-empty list means the design is broken) *)
+  obs_scope : Hida_obs.Scope.t;
+      (* the scope the compile ran under; callers re-install it (e.g.
+         around simulation) to extend the same trace and metrics *)
 }
 
 (* In-flight compilation: start time, pass manager, observation scope and
@@ -169,6 +176,8 @@ type state = {
   st_t0 : float;
   st_mgr : Pass.manager;
   st_scope : Hida_obs.Scope.t;
+  st_cont0 : Qor_cache.lock_stats;
+      (* cache-lock contention at compile start, for per-compile deltas *)
   mutable st_deltas_rev : Hida_obs.Ir_stats.pass_delta list;
   mutable st_analysis : Hida_analysis.Analysis.diag list;
 }
@@ -195,10 +204,12 @@ let make_state opts =
       st_t0 = Unix.gettimeofday ();
       st_mgr = make_manager opts;
       st_scope = Hida_obs.Scope.create ();
+      st_cont0 = Qor_cache.contention (Qor_cache.global ());
       st_deltas_rev = [];
       st_analysis = [];
     }
   in
+  Hida_obs.Scope.set_detailed st.st_scope opts.profile;
   (* Route QoR estimation through the process-wide memoization cache;
      content-addressed entries persist across compiles, and the
      op-identity signature memos are invalidated after every pass (each
@@ -349,6 +360,15 @@ let finish ~device ?(batch = 1) st func =
   Hida_obs.Metrics.set_gauge metrics "compile.seconds" compile_seconds;
   Hida_obs.Metrics.set_gauge metrics "verify.seconds"
     (Pass.total_verify_seconds st.st_mgr);
+  (* Cache-lock contention accumulated by this compile (the per-compile
+     delta against the snapshot taken at [make_state]). *)
+  let c1 = Qor_cache.contention (Qor_cache.global ()) in
+  Hida_obs.Metrics.add metrics "qor.cache.lock_acquires"
+    (c1.Qor_cache.lc_acquires - st.st_cont0.Qor_cache.lc_acquires);
+  Hida_obs.Metrics.add metrics "qor.cache.lock_blocked"
+    (c1.Qor_cache.lc_blocked - st.st_cont0.Qor_cache.lc_blocked);
+  Hida_obs.Metrics.add metrics "qor.cache.lock_wait_ns"
+    (c1.Qor_cache.lc_wait_ns - st.st_cont0.Qor_cache.lc_wait_ns);
   {
     design = func;
     estimate;
@@ -359,6 +379,7 @@ let finish ~device ?(batch = 1) st func =
     remarks = Hida_obs.Scope.remarks scope;
     pass_deltas = List.rev st.st_deltas_rev;
     analysis = st.st_analysis;
+    obs_scope = scope;
   }
 
 (* Convenience wrappers. *)

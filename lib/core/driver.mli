@@ -32,6 +32,11 @@ type options = {
       (** run the static dataflow checker ({!Hida_analysis.Analysis}) as
           a post-lowering and post-balancing gate; failures are
           diagnostics in {!report.analysis}, never exceptions *)
+  profile : bool;
+      (** detailed profiling ([--profile]): per-candidate DSE spans and
+          barrier-wait spans in the trace, plus the contention report.
+          Histograms and counters are always recorded; this flag only
+          adds the high-volume spans.  Never changes the design. *)
   verify_each : bool;
   print_ir_after : string option;
       (** dump IR after passes whose name contains this substring
@@ -60,6 +65,10 @@ type report = {
   analysis : Hida_analysis.Analysis.diag list;
       (** static-checker failures from the final gate (always empty
           unless {!options.analyze} is set; non-empty = broken design) *)
+  obs_scope : Hida_obs.Scope.t;
+      (** the scope the compile ran under; re-install it with
+          {!Hida_obs.Scope.with_scope} to extend the same trace and
+          metrics (the CLI does this around [--simulate]) *)
 }
 
 type state

@@ -25,6 +25,7 @@ open Hida_ir
 open Ir
 open Hida_dialects
 module Obs = Hida_obs.Scope
+module Clock = Hida_obs.Clock
 module Qor_cache = Hida_estimator.Qor_cache
 
 let pass_name = "dataflow-parallelization"
@@ -266,6 +267,25 @@ let cached_search cache engine ~constraints ~ctx ~dims ~parallel_factor ~stats
             (prefix ^ factors_string proposal)
             (fun () -> snapshot_bank_cost ctx proposal)
   in
+  (* Candidate-evaluation latency: each cost invocation is one candidate
+     scored (incl. the [memo_float] lock round-trip, the per-candidate
+     contention suspect).  Histogram always; a per-candidate trace span
+     only in detailed ([--profile]) mode.  Timing changes no result. *)
+  let cost =
+    if Option.is_none (Obs.current ()) then cost
+    else fun proposal ->
+      let t0 = Clock.now_ns () in
+      let c = cost proposal in
+      let t1 = Clock.now_ns () in
+      Obs.observe "dse.candidate_eval_ns" (t1 - t0);
+      Obs.count "dse.candidate_eval_total_ns" (t1 - t0);
+      if Obs.detailed () then
+        Obs.complete ~cat:"dse" "candidate"
+          ~args:
+            [ ("factors", factors_string proposal); ("cost", string_of_float c) ]
+          ~start_ns:t0 ~stop_ns:t1;
+      c
+  in
   let key =
     String.concat "#"
       [
@@ -320,8 +340,15 @@ let level_schedule ~order ~connections =
 (* Run [thunks] on up to [jobs] domains (the calling domain included),
    returning results in order.  Thunks must be pure data computations:
    they may use the mutex-guarded [Qor_cache] but must not mutate IR.
-   The ambient [Obs] scope is domain-local, so reporting helpers no-op
-   on workers; the orchestrator reports on their behalf at merge. *)
+
+   The ambient [Obs] scope is re-installed inside each worker domain:
+   the tracer records into per-domain lanes and the metrics registry is
+   internally synchronized, so workers report for themselves (remarks
+   still only come from the orchestrator's in-order merge, keeping the
+   output deterministic).  The pool additionally accounts where the
+   level's wall time went — per-slot busy time vs. the barrier wait
+   between a slot running dry and the last slot finishing — which is
+   exactly the decomposition the [--profile] report prints. *)
 let run_parallel ~jobs thunks =
   let tasks = Array.of_list thunks in
   let n = Array.length tasks in
@@ -329,18 +356,52 @@ let run_parallel ~jobs thunks =
   if n = 0 then []
   else if slots = 1 then Array.to_list (Array.map (fun f -> f ()) tasks)
   else begin
+    let scope = Obs.current () in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let rec work () =
+    let busy_ns = Array.make slots 0 in
+    let done_ns = Array.make slots 0 in
+    (* Each slot writes only its own cells; read after the joins. *)
+    let rec work slot =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        let t0 = Clock.now_ns () in
         results.(i) <- Some (tasks.(i) ());
-        work ()
+        busy_ns.(slot) <- busy_ns.(slot) + (Clock.now_ns () - t0);
+        work slot
       end
+      else done_ns.(slot) <- Clock.now_ns ()
     in
-    let workers = Array.init (slots - 1) (fun _ -> Domain.spawn work) in
-    work ();
+    let t_start = Clock.now_ns () in
+    let workers =
+      Array.init (slots - 1) (fun k ->
+          Domain.spawn (fun () ->
+              match scope with
+              | None -> work (k + 1)
+              | Some s -> Obs.with_scope s (fun () -> work (k + 1))))
+    in
+    work 0;
     Array.iter Domain.join workers;
+    let t_join = Clock.now_ns () in
+    let wall = max 1 (t_join - t_start) in
+    let total_busy = Array.fold_left ( + ) 0 busy_ns in
+    Obs.count "parallelize.pool.wall_ns" wall;
+    Obs.count "parallelize.pool.busy_ns" total_busy;
+    Obs.count "parallelize.pool.slots_ns" (wall * slots);
+    Obs.gauge "parallelize.pool.utilization"
+      (float_of_int total_busy /. float_of_int (wall * slots));
+    Array.iteri
+      (fun slot dn ->
+        let wait = t_join - dn in
+        if wait > 0 then begin
+          Obs.observe "dse.barrier_wait_ns" wait;
+          Obs.count "dse.barrier_wait_total_ns" wait;
+          if Obs.detailed () then
+            Obs.complete ~cat:"dse"
+              (Printf.sprintf "barrier-wait:w%d" slot)
+              ~start_ns:dn ~stop_ns:t_join
+        end)
+      done_ns;
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end
@@ -443,8 +504,10 @@ let prepare_task ~mode ~max_pf ~max_intensity ~connections ~parallelized
   }
 
 (* Explore one prepared node: memoized searches over the snapshot only.
-   Spans no-op on worker domains (domain-local scope). *)
+   Runs on worker domains with the orchestrator's scope re-installed, so
+   the spans land on the worker's own trace lane. *)
 let execute_task cache engine task =
+  let t_begin = Clock.now_ns () in
   let stats = { Dse.proposed = 0; valid = 0 } in
   let factors =
     Obs.span ~cat:"dse"
@@ -466,6 +529,9 @@ let execute_task cache engine task =
         (st, sf, sstats))
       task.t_subs
   in
+  let dt = Clock.now_ns () - t_begin in
+  Obs.observe "dse.node_search_ns" dt;
+  Obs.count "dse.node_search_total_ns" dt;
   { o_factors = factors; o_stats = stats; o_subs = subs }
 
 (* ---- Schedule-level replay --------------------------------------------

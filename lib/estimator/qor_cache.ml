@@ -23,12 +23,31 @@
      parallelizer calls it after applying unroll factors.
 
    All tables are guarded by one mutex so the cache can be shared by
-   the level-scheduled DSE worker domains. *)
+   the level-scheduled DSE worker domains.  That mutex is the prime
+   suspect for the parallel-DSE slowdown, so every acquisition is
+   instrumented: a try_lock fast path counts uncontended entries for
+   free, and only a blocked acquisition pays for two clock reads and a
+   histogram sample.  Counters live in per-domain records (written only
+   by their owning domain, summed at report time), so the
+   instrumentation itself adds no shared-cache-line traffic on the hot
+   path. *)
 
 open Hida_ir
 open Ir
 
+type domain_stats = {
+  ds_domain : int;
+  mutable ds_hits : int;
+  mutable ds_misses : int;
+  mutable ds_acquires : int;
+  mutable ds_blocked : int;
+  mutable ds_wait_ns : int;
+}
+
+type lock_stats = { lc_acquires : int; lc_blocked : int; lc_wait_ns : int }
+
 type t = {
+  uid : int;
   lock : Mutex.t;
   mutable generation : int;
   sig_memo : (int * int, int * string) Hashtbl.t;
@@ -38,10 +57,17 @@ type t = {
   factors_tbl : (string, int array) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  stats_lock : Mutex.t; (* guards stats_gen + stats_rev registration *)
+  mutable stats_gen : int;
+  mutable stats_rev : domain_stats list;
+  mutable wait_hist : Hida_obs.Histogram.t;
 }
+
+let next_uid = Atomic.make 0
 
 let create () =
   {
+    uid = Atomic.fetch_and_add next_uid 1;
     lock = Mutex.create ();
     generation = 0;
     sig_memo = Hashtbl.create 64;
@@ -50,33 +76,143 @@ let create () =
     factors_tbl = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    stats_lock = Mutex.create ();
+    stats_gen = 0;
+    stats_rev = [];
+    wait_hist = Hida_obs.Histogram.create ();
   }
 
 let global_cache = create ()
 let global () = global_cache
 
+(* ---- Per-domain contention records ----
+
+   Each domain touching a cache gets its own counter record, found via
+   DLS keyed by (cache uid, stats generation); the generation bumps on
+   [clear] so reset caches hand out fresh records instead of resurrecting
+   pre-clear counts.  Records are only ever written by their owning
+   domain; readers sum them after the workers have joined. *)
+
+let dls_stats : (int * int * domain_stats) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let local_stats t =
+  let r = Domain.DLS.get dls_stats in
+  let gen = t.stats_gen in
+  let rec find = function
+    | (u, g, ds) :: _ when u = t.uid && g = gen -> Some ds
+    | _ :: tl -> find tl
+    | [] -> None
+  in
+  match find !r with
+  | Some ds -> ds
+  | None ->
+      let ds =
+        {
+          ds_domain = (Domain.self () :> int);
+          ds_hits = 0;
+          ds_misses = 0;
+          ds_acquires = 0;
+          ds_blocked = 0;
+          ds_wait_ns = 0;
+        }
+      in
+      Mutex.lock t.stats_lock;
+      (* A clear may have raced us: re-check the generation under the
+         lock so the record lands in the list it is keyed against. *)
+      let gen = t.stats_gen in
+      t.stats_rev <- ds :: t.stats_rev;
+      Mutex.unlock t.stats_lock;
+      let kept =
+        List.filteri
+          (fun i (u, _, _) -> u <> t.uid && i < 15)
+          !r
+      in
+      r := (t.uid, gen, ds) :: kept;
+      ds
+
+(* Timed acquisition of the table mutex: try_lock first (uncontended
+   path costs one CAS), measure the wait only when actually blocked. *)
+let acquire t =
+  let ds = local_stats t in
+  ds.ds_acquires <- ds.ds_acquires + 1;
+  if not (Mutex.try_lock t.lock) then begin
+    let t0 = Hida_obs.Clock.now_ns () in
+    Mutex.lock t.lock;
+    let dt = Hida_obs.Clock.now_ns () - t0 in
+    ds.ds_blocked <- ds.ds_blocked + 1;
+    ds.ds_wait_ns <- ds.ds_wait_ns + dt;
+    Hida_obs.Histogram.record t.wait_hist dt
+  end;
+  ds
+
+let release t = Mutex.unlock t.lock
+
+let per_domain t =
+  Mutex.lock t.stats_lock;
+  let records = t.stats_rev in
+  Mutex.unlock t.stats_lock;
+  (* Domain ids are reused once a domain joins, so records sharing an id
+     are merged (they never ran concurrently). *)
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun ds ->
+      match Hashtbl.find_opt merged ds.ds_domain with
+      | None ->
+          Hashtbl.replace merged ds.ds_domain
+            {
+              ds_domain = ds.ds_domain;
+              ds_hits = ds.ds_hits;
+              ds_misses = ds.ds_misses;
+              ds_acquires = ds.ds_acquires;
+              ds_blocked = ds.ds_blocked;
+              ds_wait_ns = ds.ds_wait_ns;
+            }
+      | Some acc ->
+          acc.ds_hits <- acc.ds_hits + ds.ds_hits;
+          acc.ds_misses <- acc.ds_misses + ds.ds_misses;
+          acc.ds_acquires <- acc.ds_acquires + ds.ds_acquires;
+          acc.ds_blocked <- acc.ds_blocked + ds.ds_blocked;
+          acc.ds_wait_ns <- acc.ds_wait_ns + ds.ds_wait_ns)
+    records;
+  Hashtbl.fold (fun _ ds acc -> ds :: acc) merged []
+  |> List.sort (fun a b -> compare a.ds_domain b.ds_domain)
+
+let contention t =
+  List.fold_left
+    (fun acc ds ->
+      {
+        lc_acquires = acc.lc_acquires + ds.ds_acquires;
+        lc_blocked = acc.lc_blocked + ds.ds_blocked;
+        lc_wait_ns = acc.lc_wait_ns + ds.ds_wait_ns;
+      })
+    { lc_acquires = 0; lc_blocked = 0; lc_wait_ns = 0 }
+    (per_domain t)
+
+let wait_histogram t = t.wait_hist
+
 let counters t =
-  Mutex.lock t.lock;
+  ignore (acquire t);
   let r = (t.hits, t.misses) in
-  Mutex.unlock t.lock;
+  release t;
   r
 
 let size t =
-  Mutex.lock t.lock;
+  ignore (acquire t);
   let r =
     Hashtbl.length t.node_tbl + Hashtbl.length t.float_tbl
     + Hashtbl.length t.factors_tbl
   in
-  Mutex.unlock t.lock;
+  release t;
   r
 
 let invalidate_signatures t =
-  Mutex.lock t.lock;
+  ignore (acquire t);
   t.generation <- t.generation + 1;
   (* Stale entries are ignored by lookups; drop them eagerly when the
      memo has grown, so long sessions do not leak op-identity entries. *)
   if Hashtbl.length t.sig_memo > 4096 then Hashtbl.reset t.sig_memo;
-  Mutex.unlock t.lock
+  release t
 
 let clear t =
   Mutex.lock t.lock;
@@ -87,7 +223,12 @@ let clear t =
   Hashtbl.reset t.factors_tbl;
   t.hits <- 0;
   t.misses <- 0;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  Mutex.lock t.stats_lock;
+  t.stats_gen <- t.stats_gen + 1;
+  t.stats_rev <- [];
+  t.wait_hist <- Hida_obs.Histogram.create ();
+  Mutex.unlock t.stats_lock
 
 (* ---- Structural signatures ---- *)
 
@@ -253,37 +394,41 @@ let bindings_fingerprint bindings =
 
 let signature t ?(bindings = []) op =
   let key = (op.o_id, bindings_fingerprint bindings) in
-  Mutex.lock t.lock;
+  ignore (acquire t);
   match Hashtbl.find_opt t.sig_memo key with
   | Some (gen, s) when gen = t.generation ->
-      Mutex.unlock t.lock;
+      release t;
       s
   | _ ->
       let gen = t.generation in
-      Mutex.unlock t.lock;
+      release t;
       let s = compute_signature ~bindings op in
-      Mutex.lock t.lock;
+      ignore (acquire t);
       (* Only publish under the generation read before computing: an
          invalidation that raced the walk keeps the entry stale. *)
       Hashtbl.replace t.sig_memo key (gen, s);
-      Mutex.unlock t.lock;
+      release t;
       s
 
 (* ---- Memoized lookups ---- *)
 
 let find_generic t tbl key =
-  Mutex.lock t.lock;
+  let ds = acquire t in
   let r = Hashtbl.find_opt tbl key in
   (match r with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  Mutex.unlock t.lock;
+  | Some _ ->
+      t.hits <- t.hits + 1;
+      ds.ds_hits <- ds.ds_hits + 1
+  | None ->
+      t.misses <- t.misses + 1;
+      ds.ds_misses <- ds.ds_misses + 1);
+  release t;
   r
 
 let store_generic t tbl key v =
-  Mutex.lock t.lock;
+  ignore (acquire t);
   Hashtbl.replace tbl key v;
-  Mutex.unlock t.lock
+  release t
 
 let memo_float t key compute =
   match find_generic t t.float_tbl key with

@@ -30,6 +30,32 @@ val global : unit -> t
 val counters : t -> int * int
 (** [(hits, misses)] accumulated across all tables. *)
 
+type lock_stats = { lc_acquires : int; lc_blocked : int; lc_wait_ns : int }
+
+val contention : t -> lock_stats
+(** Totals for the table mutex: acquisitions, acquisitions that found it
+    held, and nanoseconds spent blocked waiting for it.  Summed from
+    per-domain records, so it is exact once worker domains have joined.
+    Reset by {!clear}. *)
+
+type domain_stats = {
+  ds_domain : int;
+  mutable ds_hits : int;
+  mutable ds_misses : int;
+  mutable ds_acquires : int;
+  mutable ds_blocked : int;
+  mutable ds_wait_ns : int;
+}
+
+val per_domain : t -> domain_stats list
+(** Per-domain breakdown of hits/misses and lock contention, sorted by
+    domain id (records of reused domain ids are merged).  Mutating the
+    returned records is a bug. *)
+
+val wait_histogram : t -> Hida_obs.Histogram.t
+(** Distribution of blocked-acquisition wait times (ns).  Reset by
+    {!clear}. *)
+
 val size : t -> int
 (** Number of cached values (node estimates + costs + DSE results). *)
 

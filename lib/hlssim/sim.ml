@@ -139,7 +139,12 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   let finish = Array.make_matrix num frames 0 in
   let start = Array.make_matrix num frames 0 in
   let node_arr = Array.of_list order in
+  (* Per-frame step latency lands in the ambient scope's histogram when
+     one is installed (the CLI's --profile path); gating on the scope
+     keeps standalone simulation free of clock reads. *)
+  let observed = Option.is_some (Hida_obs.Scope.current ()) in
   for k = 0 to frames - 1 do
+    let t0 = if observed then Hida_obs.Clock.now_ns () else 0 in
     Array.iteri
       (fun i n ->
         let ready = ref 0 in
@@ -174,7 +179,9 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
           n.ns_writes;
         start.(i).(k) <- !ready;
         finish.(i).(k) <- !ready + n.ns_latency)
-      node_arr
+      node_arr;
+    if observed then
+      Hida_obs.Scope.observe "sim.frame_step_ns" (Hida_obs.Clock.now_ns () - t0)
   done;
   let total =
     Array.fold_left (fun acc row -> max acc row.(frames - 1)) 0 finish

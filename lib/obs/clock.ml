@@ -1,0 +1,9 @@
+(* Monotonic clock (CLOCK_MONOTONIC via a C stub): the time base of the
+   profiling layer.  Wall-clock time ([Unix.gettimeofday]) is only used
+   as an export anchor; every duration and timestamp difference is
+   measured on this clock, so they can never go negative or jump under a
+   system clock adjustment. *)
+
+external now_ns : unit -> int = "hida_obs_monotonic_ns" [@@noalloc]
+
+let now_seconds () = float_of_int (now_ns ()) /. 1e9

@@ -1,0 +1,12 @@
+(** Monotonic clock (CLOCK_MONOTONIC).
+
+    The time base of the tracer, histograms and contention counters:
+    durations measured on it can never go negative or jump under a
+    system clock adjustment. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary (per-boot) epoch.  Differences are
+    elapsed real time. *)
+
+val now_seconds : unit -> float
+(** [now_ns] in seconds. *)

@@ -1,0 +1,132 @@
+(* Log-bucketed latency histogram, domain-safe and lock-free.
+
+   Values (nanosecond durations, but any non-negative int works) are
+   binned into power-of-two buckets: bucket 0 holds v <= 1, bucket i
+   (i >= 1) holds 2^(i-1) < v <= 2^i.  63 buckets cover the whole
+   non-negative native-int range, so recording never saturates.
+
+   Every cell is an [Atomic.t]: [record] from concurrently running
+   domains (DSE workers, the simulator) loses no updates and takes no
+   lock.  Reads ([count], [percentile], ...) are designed for
+   after-the-run reporting; they are safe at any time but only
+   guaranteed exact once the writers have joined. *)
+
+let num_buckets = 63
+
+type t = {
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+  h_min : int Atomic.t; (* max_int when empty *)
+}
+
+let create () =
+  {
+    h_buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0;
+    h_max = Atomic.make 0;
+    h_min = Atomic.make max_int;
+  }
+
+(* Index of the bucket holding [v]: 0 for v <= 1, else ceil(log2 v). *)
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    let x = ref (v - 1) and i = ref 0 in
+    while !x > 0 do
+      incr i;
+      x := !x lsr 1
+    done;
+    !i
+  end
+
+(* Inclusive upper bound of bucket [i]. *)
+let bucket_upper i = if i <= 0 then 1 else 1 lsl i
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  Atomic.incr t.h_buckets.(bucket_index v);
+  Atomic.incr t.h_count;
+  ignore (Atomic.fetch_and_add t.h_sum v);
+  atomic_max t.h_max v;
+  atomic_min t.h_min v
+
+let count t = Atomic.get t.h_count
+let sum t = Atomic.get t.h_sum
+let max_value t = Atomic.get t.h_max
+let min_value t = if count t = 0 then 0 else Atomic.get t.h_min
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int (sum t) /. float_of_int n
+
+let buckets t =
+  let out = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    let c = Atomic.get t.h_buckets.(i) in
+    if c > 0 then out := (i, bucket_upper i, c) :: !out
+  done;
+  !out
+
+(* The p-th percentile (p in [0,100]): the inclusive upper bound of the
+   bucket containing the ceil(p/100 * count)-th smallest sample, clamped
+   to the exact maximum seen.  Data recorded exactly on bucket bounds
+   (e.g. powers of two) therefore reports exact percentiles. *)
+let percentile t p =
+  let n = count t in
+  if n = 0 then 0
+  else begin
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let rec find i cum =
+      if i >= num_buckets then max_value t
+      else
+        let cum = cum + Atomic.get t.h_buckets.(i) in
+        if cum >= rank then min (bucket_upper i) (max_value t) else find (i + 1) cum
+    in
+    find 0 0
+  end
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun i cell ->
+      let c = Atomic.get cell in
+      if c > 0 then ignore (Atomic.fetch_and_add dst.h_buckets.(i) c))
+    src.h_buckets;
+  ignore (Atomic.fetch_and_add dst.h_count (count src));
+  ignore (Atomic.fetch_and_add dst.h_sum (sum src));
+  if count src > 0 then begin
+    atomic_max dst.h_max (max_value src);
+    atomic_min dst.h_min (min_value src)
+  end
+
+(* Pretty-print a nanosecond quantity at a readable scale. *)
+let pp_ns ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Printf.sprintf "%.2fs" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2fus" (f /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let to_string t =
+  if count t = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d p50=%s p90=%s p99=%s max=%s mean=%s" (count t)
+      (pp_ns (percentile t 50.))
+      (pp_ns (percentile t 90.))
+      (pp_ns (percentile t 99.))
+      (pp_ns (max_value t))
+      (pp_ns (int_of_float (mean t)))

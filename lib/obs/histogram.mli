@@ -1,0 +1,50 @@
+(** Log-bucketed latency histogram, domain-safe and lock-free.
+
+    Values are binned into power-of-two buckets (bucket 0 holds v <= 1,
+    bucket i holds 2^(i-1) < v <= 2^i); every cell is atomic, so
+    concurrent {!record} from worker domains loses no updates and takes
+    no lock.  Intended unit: nanosecond durations from
+    {!Clock.now_ns}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample (negative values clamp to 0).  Lock-free; safe
+    from any domain. *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val max_value : t -> int
+(** Exact maximum recorded (0 when empty). *)
+
+val min_value : t -> int
+(** Exact minimum recorded (0 when empty). *)
+
+val bucket_index : int -> int
+(** Bucket holding a value: 0 for v <= 1, else ceil(log2 v). *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of a bucket: 1 for bucket 0, else 2^i. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(index, upper_bound, count)], ascending. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] (p in [0,100]): upper bound of the bucket holding
+    the ceil(p/100*count)-th smallest sample, clamped to the exact
+    maximum.  Samples recorded exactly on bucket bounds (powers of two)
+    report exact percentiles.  0 when empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every bucket, the count, the sum and the extrema of the source
+    into [dst]. *)
+
+val pp_ns : int -> string
+(** Render a nanosecond quantity at a readable scale (ns/us/ms/s). *)
+
+val to_string : t -> string
+(** One-line "n=... p50=... p90=... p99=... max=... mean=..." summary. *)

@@ -1,33 +1,70 @@
-(* Metrics registry: named monotonic counters (int, additive) and gauges
-   (float, last-write-wins).  Mirrors mlir's pass statistics: cheap to
-   update from inside passes, read out once per compile. *)
+(* Metrics registry: named monotonic counters (int, additive), gauges
+   (float, last-write-wins) and log-bucketed latency histograms.
+   Mirrors mlir's pass statistics: cheap to update from inside passes,
+   read out once per compile.
+
+   Domain-safe: a mutex guards the registry tables, so concurrent
+   [add]/[incr]/[observe] from DSE worker domains lose no updates.
+   Histogram recording itself is lock-free ([Histogram.record]); the
+   mutex only covers the name lookup. *)
 
 type t = {
+  m_lock : Mutex.t;
   m_counters : (string, int) Hashtbl.t;
   m_gauges : (string, float) Hashtbl.t;
+  m_hists : (string, Histogram.t) Hashtbl.t;
 }
 
-let create () = { m_counters = Hashtbl.create 32; m_gauges = Hashtbl.create 16 }
+let create () =
+  {
+    m_lock = Mutex.create ();
+    m_counters = Hashtbl.create 32;
+    m_gauges = Hashtbl.create 16;
+    m_hists = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.m_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m_lock) f
 
 let add t name n =
-  let cur = match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0 in
-  Hashtbl.replace t.m_counters name (cur + n)
+  locked t (fun () ->
+      let cur =
+        match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0
+      in
+      Hashtbl.replace t.m_counters name (cur + n))
 
 let incr t name = add t name 1
 
 let counter t name =
-  match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.m_counters name with Some c -> c | None -> 0)
 
-let set_gauge t name v = Hashtbl.replace t.m_gauges name v
+let set_gauge t name v = locked t (fun () -> Hashtbl.replace t.m_gauges name v)
+let gauge t name = locked t (fun () -> Hashtbl.find_opt t.m_gauges name)
 
-let gauge t name = Hashtbl.find_opt t.m_gauges name
+(* Get-or-create under the lock, record lock-free. *)
+let observe t name v =
+  let h =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.m_hists name with
+        | Some h -> h
+        | None ->
+            let h = Histogram.create () in
+            Hashtbl.replace t.m_hists name h;
+            h)
+  in
+  Histogram.record h v
+
+let histogram t name = locked t (fun () -> Hashtbl.find_opt t.m_hists name)
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters t = sorted_bindings t.m_counters
-let gauges t = sorted_bindings t.m_gauges
+let counters t = locked t (fun () -> sorted_bindings t.m_counters)
+let gauges t = locked t (fun () -> sorted_bindings t.m_gauges)
+let histograms t = locked t (fun () -> sorted_bindings t.m_hists)
 
 let to_string t =
   let buf = Buffer.create 256 in
@@ -37,4 +74,43 @@ let to_string t =
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12.4f\n" k v))
     (gauges t);
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-42s %s\n" k (Histogram.to_string h)))
+    (histograms t);
+  Buffer.contents buf
+
+(* ---- JSON export (--metrics-json) ---- *)
+
+let json_float f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let field_list bindings render =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (Trace.json_escape k) (render v))
+         bindings)
+  in
+  Buffer.add_string buf "{\"counters\":{";
+  Buffer.add_string buf (field_list (counters t) string_of_int);
+  Buffer.add_string buf "},\"gauges\":{";
+  Buffer.add_string buf (field_list (gauges t) json_float);
+  Buffer.add_string buf "},\"histograms\":{";
+  Buffer.add_string buf
+    (field_list (histograms t) (fun h ->
+         Printf.sprintf
+           "{\"count\":%d,\"sum\":%d,\"mean\":%s,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"min\":%d,\"max\":%d}"
+           (Histogram.count h) (Histogram.sum h)
+           (json_float (Histogram.mean h))
+           (Histogram.percentile h 50.)
+           (Histogram.percentile h 90.)
+           (Histogram.percentile h 99.)
+           (Histogram.min_value h) (Histogram.max_value h)));
+  Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -1,7 +1,11 @@
-(** Metrics registry: named counters and gauges.
+(** Metrics registry: named counters, gauges and latency histograms.
 
     Counters are additive integers (ops visited, buffers created, DSE
-    points evaluated, ...); gauges are last-write-wins floats. *)
+    points evaluated, ...); gauges are last-write-wins floats;
+    histograms are log-bucketed nanosecond-latency distributions
+    ({!Histogram}).  Domain-safe: a registry mutex guards the name
+    tables, so concurrent updates from DSE worker domains lose no
+    writes (histogram recording itself is lock-free). *)
 
 type t
 
@@ -18,8 +22,24 @@ val counter : t -> string -> int
 val set_gauge : t -> string -> float -> unit
 val gauge : t -> string -> float option
 
+val observe : t -> string -> int -> unit
+(** Record one sample (a nanosecond duration by convention) into the
+    named histogram, creating it empty first.  The registry lock covers
+    only the name lookup; recording is lock-free. *)
+
+val histogram : t -> string -> Histogram.t option
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
 val gauges : t -> (string * float) list
+
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name. *)
+
 val to_string : t -> string
+
+val to_json : t -> string
+(** Machine-readable snapshot:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,mean,
+    p50,p90,p99,min,max}}}] — the payload behind [--metrics-json]. *)

@@ -1,0 +1,16 @@
+/* Monotonic clock for the profiling layer.
+
+   CLOCK_MONOTONIC never jumps under wall-clock adjustment (NTP slews,
+   manual settimeofday), so span timestamps and lock-wait measurements
+   stay ordered and non-negative.  Nanoseconds since an arbitrary epoch
+   fit comfortably in OCaml's 63-bit native int (~292 years). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value hida_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -9,22 +9,37 @@
 type t = {
   sc_trace : Trace.t;
   sc_metrics : Metrics.t;
+  sc_lock : Mutex.t; (* guards sc_remarks_rev *)
   mutable sc_remarks_rev : Remark.t list;
+  mutable sc_detailed : bool;
 }
 
 let create () =
-  { sc_trace = Trace.create (); sc_metrics = Metrics.create (); sc_remarks_rev = [] }
+  {
+    sc_trace = Trace.create ();
+    sc_metrics = Metrics.create ();
+    sc_lock = Mutex.create ();
+    sc_remarks_rev = [];
+    sc_detailed = false;
+  }
 
 let trace t = t.sc_trace
 let metrics t = t.sc_metrics
-let remarks t = List.rev t.sc_remarks_rev
 
-(* The ambient scope is domain-local (OCaml 5 DLS): a scope installed on
-   the orchestrating domain is invisible to worker domains (e.g. the
-   level-scheduled DSE workers), so the single-threaded trace/metrics
-   structures are never mutated concurrently — workers see no scope and
-   every helper degrades to a no-op; the orchestrator reports on their
-   behalf after joining. *)
+let remarks t =
+  Mutex.lock t.sc_lock;
+  let r = List.rev t.sc_remarks_rev in
+  Mutex.unlock t.sc_lock;
+  r
+
+let set_detailed t b = t.sc_detailed <- b
+
+(* The ambient scope is domain-local (OCaml 5 DLS).  The parallel DSE
+   orchestrator re-installs its scope inside each worker domain
+   ([Parallelize.run_parallel]), so workers trace into per-domain lanes
+   of the same tracer and share the (domain-safe) metrics registry.
+   Everywhere else a freshly spawned domain sees no scope and every
+   helper degrades to a no-op. *)
 let scope_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let current () = Domain.DLS.get scope_key
@@ -44,6 +59,11 @@ let gauge name v =
   | None -> ()
   | Some s -> Metrics.set_gauge s.sc_metrics name v
 
+let observe name v =
+  match current () with
+  | None -> ()
+  | Some s -> Metrics.observe s.sc_metrics name v
+
 let span ?cat name f =
   match current () with
   | None -> f ()
@@ -54,7 +74,22 @@ let instant ?cat name =
   | None -> ()
   | Some s -> Trace.instant ?cat s.sc_trace name
 
-let add_remark t r = t.sc_remarks_rev <- r :: t.sc_remarks_rev
+let complete ?cat ?args name ~start_ns ~stop_ns =
+  match current () with
+  | None -> ()
+  | Some s ->
+      let tr = s.sc_trace in
+      Trace.complete ?cat ?args tr name
+        ~start:(Trace.seconds_of_ns tr start_ns)
+        ~stop:(Trace.seconds_of_ns tr stop_ns)
+
+let detailed () =
+  match current () with None -> false | Some s -> s.sc_detailed
+
+let add_remark t r =
+  Mutex.lock t.sc_lock;
+  t.sc_remarks_rev <- r :: t.sc_remarks_rev;
+  Mutex.unlock t.sc_lock
 
 let remark ?op ~pass severity fmt =
   Printf.ksprintf

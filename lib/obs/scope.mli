@@ -4,7 +4,12 @@
     The driver installs one with {!with_scope} around a pipeline run;
     passes report through {!count}, {!gauge}, {!span} and {!remark},
     which are no-ops when no scope is installed (passes stay usable
-    standalone). *)
+    standalone).
+
+    Domain-safe: the remark buffer is mutex-guarded, the tracer records
+    into per-domain lanes and the metrics registry is internally locked,
+    so the same scope may be re-installed inside worker domains (the
+    parallel DSE does this) and reported into concurrently. *)
 
 type t
 
@@ -14,6 +19,14 @@ val metrics : t -> Metrics.t
 
 val remarks : t -> Remark.t list
 (** Captured remarks, in emission order. *)
+
+val set_detailed : t -> bool -> unit
+(** Enable high-volume instrumentation (per-candidate DSE spans,
+    barrier-wait spans).  Off by default; [--profile] turns it on. *)
+
+val detailed : unit -> bool
+(** Whether the ambient scope has detailed instrumentation enabled;
+    [false] with no scope. *)
 
 val current : unit -> t option
 
@@ -26,11 +39,26 @@ val count : string -> int -> unit
 
 val gauge : string -> float -> unit
 
+val observe : string -> int -> unit
+(** Record a (nanosecond) sample into the named histogram of the
+    ambient scope's metrics. *)
+
 val span : ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run the callback under a trace span of the ambient scope (or plainly
     when none is installed). *)
 
 val instant : ?cat:string -> string -> unit
+
+val complete :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  start_ns:int ->
+  stop_ns:int ->
+  unit
+(** Record an already-measured interval (absolute {!Clock.now_ns}
+    readings) as a closed span on the calling domain's lane. *)
+
 val add_remark : t -> Remark.t -> unit
 
 val remark :

@@ -1,11 +1,19 @@
-(* Span-based tracer for the HIDA-OPT pipeline.
+(* Span-based tracer for the HIDA-OPT pipeline, safe under OCaml 5
+   domains.
 
-   A trace is a forest of nested spans.  Timestamps are seconds relative
-   to the tracer's epoch; the clock is wall-clock based but guarded to be
-   monotonic (it never runs backwards across a system clock adjustment),
-   so span durations and orderings stay consistent.  Traces export to the
-   Chrome trace-event JSON format, viewable in chrome://tracing or
-   Perfetto. *)
+   A trace is a set of *lanes*, one per domain that ever recorded into
+   it.  Each lane is a forest of nested spans plus instant events, and is
+   only ever mutated by its own domain (lanes are handed out through
+   [Domain.DLS]), so [with_span]/[instant] need no lock on the hot path;
+   the trace-level mutex only guards lane registration and export.
+
+   Timestamps are seconds relative to the tracer's creation, read from
+   the monotonic clock ([Clock.now_ns]) — they cannot go backwards or
+   jump under a wall-clock adjustment.  [epoch] keeps the absolute
+   wall-clock anchor for humans and for tools that want real time.
+
+   Traces export to the Chrome trace-event JSON format (one [tid] per
+   lane), viewable in chrome://tracing or Perfetto. *)
 
 type span = {
   sp_id : int;
@@ -17,42 +25,96 @@ type span = {
   mutable sp_children_rev : span list;
 }
 
-type t = {
-  tr_epoch : float; (* Unix.gettimeofday at creation (absolute wall time) *)
-  mutable tr_last : float; (* monotonic guard: latest timestamp handed out *)
-  mutable tr_next_id : int;
-  mutable tr_stack : span list;
-  mutable tr_roots_rev : span list;
-  mutable tr_instants_rev : (float * string * string) list;
+type lane = {
+  ln_tid : int; (* Chrome tid; 1 = the creating domain's lane *)
+  ln_name : string;
+  mutable ln_stack : span list;
+  mutable ln_roots_rev : span list;
+  mutable ln_instants_rev : (float * string * string) list;
 }
 
-let create () =
+type t = {
+  tr_uid : int; (* key for the per-domain lane table *)
+  tr_epoch : float; (* Unix.gettimeofday at creation (wall-clock anchor) *)
+  tr_mono0 : int; (* Clock.now_ns at creation *)
+  tr_lock : Mutex.t; (* guards the lane list *)
+  tr_next_span : int Atomic.t;
+  mutable tr_lanes_rev : lane list;
+  tr_main : lane; (* lane of the creating domain *)
+}
+
+let next_uid = Atomic.make 0
+
+(* Per-domain map from trace uid to this domain's lane.  Bounded: old
+   entries fall off the end, and a dropped trace simply re-registers a
+   fresh lane on next use (tests create many short-lived traces). *)
+let dls_lanes : (int * lane) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let make_lane ~tid ~name =
   {
-    tr_epoch = Unix.gettimeofday ();
-    tr_last = 0.;
-    tr_next_id = 0;
-    tr_stack = [];
-    tr_roots_rev = [];
-    tr_instants_rev = [];
+    ln_tid = tid;
+    ln_name = name;
+    ln_stack = [];
+    ln_roots_rev = [];
+    ln_instants_rev = [];
   }
+
+let remember_lane t ln =
+  let cell = Domain.DLS.get dls_lanes in
+  let keep = List.filteri (fun i _ -> i < 15) !cell in
+  cell := (t.tr_uid, ln) :: keep
+
+let register_lane t =
+  Mutex.lock t.tr_lock;
+  let tid = List.length t.tr_lanes_rev + 1 in
+  let ln =
+    make_lane ~tid ~name:(Printf.sprintf "domain-%d" (Domain.self () :> int))
+  in
+  t.tr_lanes_rev <- ln :: t.tr_lanes_rev;
+  Mutex.unlock t.tr_lock;
+  ln
+
+let lane_for t =
+  match List.assoc_opt t.tr_uid !(Domain.DLS.get dls_lanes) with
+  | Some ln -> ln
+  | None ->
+      let ln = register_lane t in
+      remember_lane t ln;
+      ln
+
+let create () =
+  let main = make_lane ~tid:1 ~name:"main" in
+  let t =
+    {
+      tr_uid = Atomic.fetch_and_add next_uid 1;
+      tr_epoch = Unix.gettimeofday ();
+      tr_mono0 = Clock.now_ns ();
+      tr_lock = Mutex.create ();
+      tr_next_span = Atomic.make 0;
+      tr_lanes_rev = [ main ];
+      tr_main = main;
+    }
+  in
+  remember_lane t main;
+  t
 
 let epoch t = t.tr_epoch
 
-(* Monotonic "seconds since epoch": wall clock clamped to never move
-   backwards. *)
-let now t =
-  let raw = Unix.gettimeofday () -. t.tr_epoch in
-  let m = if raw > t.tr_last then raw else t.tr_last in
-  t.tr_last <- m;
-  m
+(* Monotonic seconds since the tracer's creation. *)
+let now t = float_of_int (Clock.now_ns () - t.tr_mono0) /. 1e9
+let seconds_of_ns t ns = float_of_int (ns - t.tr_mono0) /. 1e9
+
+let attach ln sp =
+  match ln.ln_stack with
+  | parent :: _ -> parent.sp_children_rev <- sp :: parent.sp_children_rev
+  | [] -> ln.ln_roots_rev <- sp :: ln.ln_roots_rev
 
 let begin_span ?(cat = "") ?(args = []) t name =
+  let ln = lane_for t in
   let sp =
     {
-      sp_id =
-        (let id = t.tr_next_id in
-         t.tr_next_id <- id + 1;
-         id);
+      sp_id = Atomic.fetch_and_add t.tr_next_span 1;
       sp_name = name;
       sp_cat = cat;
       sp_args = args;
@@ -61,52 +123,119 @@ let begin_span ?(cat = "") ?(args = []) t name =
       sp_children_rev = [];
     }
   in
-  (match t.tr_stack with
-  | parent :: _ -> parent.sp_children_rev <- sp :: parent.sp_children_rev
-  | [] -> t.tr_roots_rev <- sp :: t.tr_roots_rev);
-  t.tr_stack <- sp :: t.tr_stack;
+  attach ln sp;
+  ln.ln_stack <- sp :: ln.ln_stack;
   sp
 
-(* Close [sp] (and, defensively, any deeper span left open above it). *)
+(* Close [sp] (and, defensively, any deeper span left open above it on
+   this domain's lane).  A silently swallowed leak hides instrumentation
+   bugs, so every extra span closed this way is flagged with an instant
+   event naming it. *)
 let end_span t sp =
+  let ln = lane_for t in
   let stop = now t in
   let rec pop = function
-    | [] -> [] (* [sp] was not on the stack: ignore *)
+    | [] -> [] (* [sp] was not on this lane's stack: ignore *)
     | top :: rest ->
         if top.sp_stop = None then top.sp_stop <- Some stop;
-        if top.sp_id = sp.sp_id then rest else pop rest
+        if top.sp_id = sp.sp_id then rest
+        else begin
+          ln.ln_instants_rev <-
+            (stop, "leaked span: " ^ top.sp_name, "obs") :: ln.ln_instants_rev;
+          pop rest
+        end
   in
-  if List.exists (fun s -> s.sp_id = sp.sp_id) t.tr_stack then
-    t.tr_stack <- pop t.tr_stack
+  if List.exists (fun s -> s.sp_id = sp.sp_id) ln.ln_stack then
+    ln.ln_stack <- pop ln.ln_stack
 
 let with_span ?cat ?args t name f =
   let sp = begin_span ?cat ?args t name in
   Fun.protect ~finally:(fun () -> end_span t sp) f
 
-let instant ?(cat = "") t name =
-  t.tr_instants_rev <- (now t, name, cat) :: t.tr_instants_rev
+(* Record an already-measured interval as a closed span (nested under
+   the innermost open span of this domain's lane, without touching the
+   stack).  Used for retroactive spans — e.g. a worker's barrier wait,
+   known only once the orchestrator joins it. *)
+let complete ?(cat = "") ?(args = []) t name ~start ~stop =
+  let ln = lane_for t in
+  let sp =
+    {
+      sp_id = Atomic.fetch_and_add t.tr_next_span 1;
+      sp_name = name;
+      sp_cat = cat;
+      sp_args = args;
+      sp_start = start;
+      sp_stop = Some (if stop < start then start else stop);
+      sp_children_rev = [];
+    }
+  in
+  attach ln sp
 
-let roots t = List.rev t.tr_roots_rev
+let instant ?(cat = "") t name =
+  let ln = lane_for t in
+  ln.ln_instants_rev <- (now t, name, cat) :: ln.ln_instants_rev
+
+(* ---- Accessors ----
+
+   The single-lane accessors ([roots], [report], ...) read the *main*
+   lane — the domain that created the trace, i.e. the pipeline
+   orchestrator; worker-domain lanes are reached through [lanes] and the
+   Chrome export. *)
+
+let lanes t =
+  Mutex.lock t.tr_lock;
+  let ls = List.rev t.tr_lanes_rev in
+  Mutex.unlock t.tr_lock;
+  List.map (fun ln -> (ln.ln_name, List.rev ln.ln_roots_rev)) ls
+
+let lane_count t =
+  Mutex.lock t.tr_lock;
+  let n = List.length t.tr_lanes_rev in
+  Mutex.unlock t.tr_lock;
+  n
+
+let roots t = List.rev t.tr_main.ln_roots_rev
 let children sp = List.rev sp.sp_children_rev
 let name sp = sp.sp_name
 let cat sp = sp.sp_cat
 let start_seconds sp = sp.sp_start
 
 let duration t sp =
-  match sp.sp_stop with Some e -> e -. sp.sp_start | None -> t.tr_last -. sp.sp_start
+  match sp.sp_stop with Some e -> e -. sp.sp_start | None -> now t -. sp.sp_start
 
 let total_seconds t =
   List.fold_left (fun acc sp -> acc +. duration t sp) 0. (roots t)
 
+let instants t =
+  let all =
+    List.concat_map
+      (fun (_, ln) -> ln)
+      (let ls =
+         Mutex.lock t.tr_lock;
+         let ls = List.rev t.tr_lanes_rev in
+         Mutex.unlock t.tr_lock;
+         ls
+       in
+       List.map (fun ln -> (ln.ln_name, List.rev ln.ln_instants_rev)) ls)
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) all
+
 let find t n =
   let rec dfs = function
     | [] -> None
-    | sp :: rest -> if sp.sp_name = n then Some sp else (
-        match dfs (children sp) with Some s -> Some s | None -> dfs rest)
+    | sp :: rest -> (
+        if sp.sp_name = n then Some sp
+        else
+          match dfs (children sp) with Some s -> Some s | None -> dfs rest)
   in
-  dfs (roots t)
+  let rec over_lanes = function
+    | [] -> None
+    | (_, roots) :: rest -> (
+        match dfs roots with Some s -> Some s | None -> over_lanes rest)
+  in
+  over_lanes (lanes t)
 
-(* ---- Hierarchical timing report ---- *)
+(* ---- Hierarchical timing report (main lane) ---- *)
 
 let report ?max_depth t =
   let buf = Buffer.create 512 in
@@ -177,29 +306,47 @@ let to_chrome_json t =
                 Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
               args))
   in
+  let lns =
+    Mutex.lock t.tr_lock;
+    let ls = List.rev t.tr_lanes_rev in
+    Mutex.unlock t.tr_lock;
+    ls
+  in
+  (* One named Chrome thread per lane. *)
+  List.iter
+    (fun ln ->
+      emit_event
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+           ln.ln_tid (json_escape ln.ln_name)))
+    lns;
   (* Complete ("X") events, parents before children so viewers nest them
      without needing matched B/E pairs. *)
-  let rec emit_span sp =
+  let rec emit_span tid sp =
     emit_event
       (Printf.sprintf
-         "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f%s}"
+         "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f%s}"
+         tid
          (json_escape sp.sp_name)
          (json_escape (if sp.sp_cat = "" then "hida" else sp.sp_cat))
          (sp.sp_start *. 1e6)
          (duration t sp *. 1e6)
          (args_json sp.sp_args));
-    List.iter emit_span (children sp)
+    List.iter (emit_span tid) (children sp)
   in
-  List.iter emit_span (roots t);
   List.iter
-    (fun (ts, n, c) ->
-      emit_event
-        (Printf.sprintf
-           "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f}"
-           (json_escape n)
-           (json_escape (if c = "" then "hida" else c))
-           (ts *. 1e6)))
-    (List.rev t.tr_instants_rev);
+    (fun ln ->
+      List.iter (emit_span ln.ln_tid) (List.rev ln.ln_roots_rev);
+      List.iter
+        (fun (ts, n, c) ->
+          emit_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f}"
+               ln.ln_tid (json_escape n)
+               (json_escape (if c = "" then "hida" else c))
+               (ts *. 1e6)))
+        (List.rev ln.ln_instants_rev))
+    lns;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

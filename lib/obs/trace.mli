@@ -1,34 +1,75 @@
-(** Span-based tracer with Chrome trace-event JSON export.
+(** Span-based tracer with Chrome trace-event JSON export, safe under
+    OCaml 5 domains.
 
-    A trace is a forest of nested spans with monotonic timestamps
-    relative to the tracer's creation.  [to_chrome_json] renders the
-    whole compile as complete ("X") events openable in chrome://tracing
-    or Perfetto. *)
+    A trace holds one {e lane} per domain that records into it; each
+    lane is a forest of nested spans and is only mutated by its own
+    domain (handed out through [Domain.DLS]), so [with_span] is safe to
+    call concurrently from worker domains.  Timestamps come from the
+    monotonic clock ({!Clock}) relative to the tracer's creation.
+    [to_chrome_json] renders every lane as a Chrome thread ([tid]),
+    openable in chrome://tracing or Perfetto. *)
 
 type span
 type t
 
 val create : unit -> t
+(** Create a trace.  The creating domain owns the "main" lane, which
+    the single-lane accessors ({!roots}, {!report}, ...) read. *)
 
 val epoch : t -> float
 (** Absolute wall-clock time ([Unix.gettimeofday]) of the tracer's
-    creation; all span timestamps are relative to it. *)
+    creation — the export anchor; span timestamps themselves are
+    monotonic seconds relative to creation. *)
+
+val now : t -> float
+(** Monotonic seconds since the tracer's creation. *)
+
+val seconds_of_ns : t -> int -> float
+(** Convert an absolute {!Clock.now_ns} reading to trace-relative
+    seconds. *)
 
 val begin_span : ?cat:string -> ?args:(string * string) list -> t -> string -> span
-(** Open a span nested under the innermost open span (or as a new root). *)
+(** Open a span nested under the innermost open span of the calling
+    domain's lane (or as a new lane root). *)
 
 val end_span : t -> span -> unit
-(** Close the span; any deeper span accidentally left open is closed at
-    the same timestamp.  Unknown spans are ignored. *)
+(** Close the span; any deeper span accidentally left open on the same
+    lane is closed at the same timestamp {e and} flagged with a
+    ["leaked span: <name>"] instant event (cat ["obs"]) so the
+    instrumentation bug surfaces.  Unknown spans are ignored. *)
 
 val with_span : ?cat:string -> ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
-(** [begin_span]/[end_span] around a callback, exception-safe. *)
+(** [begin_span]/[end_span] around a callback, exception-safe.  Safe
+    from any domain. *)
+
+val complete :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  t ->
+  string ->
+  start:float ->
+  stop:float ->
+  unit
+(** Record an already-measured interval (trace-relative seconds, see
+    {!seconds_of_ns}) as a closed span nested under the calling domain's
+    innermost open span.  Used for retroactive spans such as a worker's
+    barrier wait. *)
 
 val instant : ?cat:string -> t -> string -> unit
-(** Record a point event. *)
+(** Record a point event on the calling domain's lane. *)
 
 val roots : t -> span list
-(** Top-level spans, in chronological order. *)
+(** Top-level spans of the main lane, in chronological order. *)
+
+val lanes : t -> (string * span list) list
+(** Every lane as [(name, roots)], in lane (tid) order; the main lane
+    is first. *)
+
+val lane_count : t -> int
+
+val instants : t -> (float * string * string) list
+(** All instant events of all lanes as [(seconds, name, cat)], sorted
+    by time. *)
 
 val children : span -> span list
 val name : span -> string
@@ -36,21 +77,28 @@ val cat : span -> string
 val start_seconds : span -> float
 
 val duration : t -> span -> float
-(** Span duration in seconds; an open span extends to the latest
-    timestamp the tracer has seen. *)
+(** Span duration in seconds; an open span extends to the current
+    monotonic time. *)
 
 val total_seconds : t -> float
+(** Total over the main lane's root spans. *)
+
 val find : t -> string -> span option
+(** First span with the given name, searching the main lane first and
+    then every worker lane. *)
 
 val report : ?max_depth:int -> t -> string
-(** Hierarchical timing table (indentation = nesting), with each span's
-    share of its parent. *)
+(** Hierarchical timing table of the main lane (indentation = nesting),
+    with each span's share of its parent. *)
 
 val stage_summary : ?depth:int -> t -> string
 (** One-line "stage a 0.01s | stage b 0.20s" summary at the given
-    nesting depth (default: the children of the root spans). *)
+    nesting depth (default: the children of the main-lane roots). *)
 
 val json_escape : string -> string
+
 val to_chrome_json : t -> string
+(** Merged export: every lane becomes a named Chrome thread. *)
+
 val write_chrome_file : t -> string -> unit
 (** Raises [Sys_error] if the path is not writable. *)

@@ -438,6 +438,271 @@ let test_driver_report_observability () =
        (fun r -> r.Remark.r_pass = "dataflow-parallelization")
        rep.Driver.remarks)
 
+(* ---- histograms ---- *)
+
+let test_histogram_buckets () =
+  checki "v=0 -> bucket 0" 0 (Histogram.bucket_index 0);
+  checki "v=1 -> bucket 0" 0 (Histogram.bucket_index 1);
+  checki "v=2 -> bucket 1" 1 (Histogram.bucket_index 2);
+  checki "v=3 -> bucket 2" 2 (Histogram.bucket_index 3);
+  checki "v=4 -> bucket 2" 2 (Histogram.bucket_index 4);
+  checki "v=5 -> bucket 3" 3 (Histogram.bucket_index 5);
+  checki "v=1024 -> bucket 10" 10 (Histogram.bucket_index 1024);
+  checki "v=1025 -> bucket 11" 11 (Histogram.bucket_index 1025);
+  checki "bucket 0 upper" 1 (Histogram.bucket_upper 0);
+  checki "bucket 1 upper" 2 (Histogram.bucket_upper 1);
+  checki "bucket 10 upper" 1024 (Histogram.bucket_upper 10);
+  (* each bucket's bound is in its own bucket (inclusive upper) *)
+  for i = 0 to 20 do
+    checki "upper bound lands in its bucket" i
+      (Histogram.bucket_index (Histogram.bucket_upper i))
+  done
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  checki "empty percentile" 0 (Histogram.percentile h 50.);
+  checki "empty min" 0 (Histogram.min_value h);
+  (* Powers of two sit exactly on bucket bounds, so percentiles are
+     exact: 11 samples 1,2,4,...,1024. *)
+  for i = 0 to 10 do
+    Histogram.record h (1 lsl i)
+  done;
+  checki "count" 11 (Histogram.count h);
+  checki "sum" 2047 (Histogram.sum h);
+  checki "min exact" 1 (Histogram.min_value h);
+  checki "max exact" 1024 (Histogram.max_value h);
+  checki "p50 = 6th smallest" 32 (Histogram.percentile h 50.);
+  checki "p100 = max" 1024 (Histogram.percentile h 100.);
+  checki "p1 = 1st smallest" 1 (Histogram.percentile h 1.);
+  checki "p99 = 11th smallest" 1024 (Histogram.percentile h 99.);
+  (* negative samples clamp to 0 *)
+  let h2 = Histogram.create () in
+  Histogram.record h2 (-5);
+  checki "negative clamps to 0" 0 (Histogram.max_value h2);
+  (* merge adds buckets, count, sum and extrema *)
+  Histogram.merge_into ~dst:h2 h;
+  checki "merged count" 12 (Histogram.count h2);
+  checki "merged sum" 2047 (Histogram.sum h2);
+  checki "merged max" 1024 (Histogram.max_value h2);
+  checki "merged min" 0 (Histogram.min_value h2)
+
+(* ---- domain-safe tracing ---- *)
+
+let n_domains = 4
+let spans_per_domain = 50
+
+let test_trace_multidomain () =
+  let t = Trace.create () in
+  Trace.with_span t "main-work" (fun () -> ());
+  let worker d () =
+    for s = 0 to spans_per_domain - 1 do
+      Trace.with_span t
+        (Printf.sprintf "d%d-s%d" d s)
+        (fun () -> if s mod 10 = 0 then Trace.instant t "tick")
+    done
+  in
+  let domains = Array.init n_domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  checki "one lane per domain plus main" (n_domains + 1) (Trace.lane_count t);
+  (* main-lane accessors see only the main lane *)
+  check
+    Alcotest.(list string)
+    "main roots untouched" [ "main-work" ]
+    (List.map Trace.name (Trace.roots t));
+  (* every worker lane holds its own M root spans *)
+  let lanes = Trace.lanes t in
+  checki "lanes listed" (n_domains + 1) (List.length lanes);
+  List.iteri
+    (fun i (lname, roots) ->
+      if i = 0 then check Alcotest.string "first lane is main" "main" lname
+      else checki "worker lane has M roots" spans_per_domain (List.length roots))
+    lanes;
+  (* find crosses lanes *)
+  checkb "find locates a worker span" (Trace.find t "d2-s17" <> None);
+  (* merged chrome export is well-formed and complete *)
+  let json = parse_json (Trace.to_chrome_json t) in
+  let events =
+    match obj_field "traceEvents" json with
+    | Some (J_list evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let ph ev = match str_field "ph" ev with Some p -> p | None -> "?" in
+  let xs = List.filter (fun ev -> ph ev = "X") events in
+  checki "one X event per span across all lanes"
+    (1 + (n_domains * spans_per_domain))
+    (List.length xs);
+  checki "one i event per instant" (n_domains * 5)
+    (List.length (List.filter (fun ev -> ph ev = "i") events));
+  let tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev ->
+           match obj_field "tid" ev with
+           | Some (J_num n) when ph ev = "X" -> Some (int_of_float n)
+           | _ -> None)
+         events)
+  in
+  checki "X events span one tid per lane" (n_domains + 1) (List.length tids);
+  checki "one thread_name metadata per lane" (n_domains + 1)
+    (List.length
+       (List.filter
+          (fun ev -> ph ev = "M" && str_field "name" ev = Some "thread_name")
+          events))
+
+let test_metrics_multidomain () =
+  let m = Metrics.create () in
+  let reps = 1000 in
+  let worker () =
+    for i = 1 to reps do
+      Metrics.incr m "shared.counter";
+      Metrics.add m "shared.sum" 2;
+      Metrics.observe m "shared.hist" (1 lsl (i mod 8))
+    done
+  in
+  let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  let writers = n_domains + 1 in
+  checki "concurrent incr loses nothing" (writers * reps)
+    (Metrics.counter m "shared.counter");
+  checki "concurrent add loses nothing" (writers * reps * 2)
+    (Metrics.counter m "shared.sum");
+  (match Metrics.histogram m "shared.hist" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      checki "concurrent observe loses nothing" (writers * reps)
+        (Histogram.count h);
+      checki "histogram max" 128 (Histogram.max_value h));
+  (* the JSON snapshot parses with the minimal parser *)
+  let j = parse_json (Metrics.to_json m) in
+  checkb "to_json has counters/gauges/histograms"
+    (obj_field "counters" j <> None
+    && obj_field "gauges" j <> None
+    && obj_field "histograms" j <> None);
+  match obj_field "histograms" j with
+  | Some (J_obj [ ("shared.hist", J_obj fields) ]) ->
+      checkb "histogram json carries count and p99"
+        (List.mem_assoc "count" fields && List.mem_assoc "p99" fields)
+  | _ -> Alcotest.fail "histogram entry missing from json"
+
+let test_leaked_span_flagged () =
+  let t = Trace.create () in
+  let outer = Trace.begin_span t "outer" in
+  let _inner = Trace.begin_span t "inner" in
+  Trace.end_span t outer;
+  let instants = Trace.instants t in
+  checkb "leak recorded as an instant event"
+    (List.exists
+       (fun (_, name, cat) -> name = "leaked span: inner" && cat = "obs")
+       instants);
+  (* the leak instant survives into the chrome export *)
+  let json = parse_json (Trace.to_chrome_json t) in
+  let events =
+    match obj_field "traceEvents" json with
+    | Some (J_list evs) -> evs
+    | _ -> []
+  in
+  checkb "leak instant exported"
+    (List.exists (fun ev -> str_field "name" ev = Some "leaked span: inner") events)
+
+let test_complete_span () =
+  let t = Trace.create () in
+  Trace.with_span t "parent" (fun () ->
+      let now = Trace.now t in
+      Trace.complete t "retro" ~start:(now -. 0.002) ~stop:(now -. 0.001));
+  match Trace.find t "parent" with
+  | None -> Alcotest.fail "parent missing"
+  | Some p -> (
+      match Trace.children p with
+      | [ retro ] ->
+          check Alcotest.string "retro child name" "retro" (Trace.name retro);
+          checkb "retro duration is the measured interval"
+            (abs_float (Trace.duration t retro -. 0.001) < 1e-6)
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected 1 child, got %d" (List.length l)))
+
+(* ---- qor-cache contention accounting ---- *)
+
+let test_qor_cache_contention () =
+  let open Hida_estimator in
+  let cache = Qor_cache.create () in
+  let reps = 500 in
+  let worker d () =
+    for i = 0 to reps - 1 do
+      (* half shared keys (hits after first compute), half private *)
+      let key =
+        if i mod 2 = 0 then Printf.sprintf "shared-%d" (i mod 10)
+        else Printf.sprintf "d%d-%d" d i
+      in
+      ignore (Qor_cache.memo_float cache key (fun () -> float_of_int i))
+    done
+  in
+  let domains = Array.init n_domains (fun d -> Domain.spawn (worker d)) in
+  worker (-1) ();
+  Array.iter Domain.join domains;
+  let writers = n_domains + 1 in
+  let hits, misses = Qor_cache.counters cache in
+  (* every memo_float does exactly one counted lookup *)
+  checki "lookups all accounted" (writers * reps) (hits + misses);
+  let per = Qor_cache.per_domain cache in
+  checkb "at least the spawned domains have records"
+    (List.length per >= 2);
+  checki "per-domain hits sum to the total" hits
+    (List.fold_left (fun a d -> a + d.Qor_cache.ds_hits) 0 per);
+  checki "per-domain misses sum to the total" misses
+    (List.fold_left (fun a d -> a + d.Qor_cache.ds_misses) 0 per);
+  let c = Qor_cache.contention cache in
+  checki "acquires sum over domains" c.Qor_cache.lc_acquires
+    (List.fold_left (fun a d -> a + d.Qor_cache.ds_acquires) 0 per);
+  checkb "blocked acquisitions never exceed acquisitions"
+    (c.Qor_cache.lc_blocked <= c.Qor_cache.lc_acquires);
+  checkb "wait histogram count matches blocked count"
+    (Histogram.count (Qor_cache.wait_histogram cache) = c.Qor_cache.lc_blocked);
+  (* a store and a lookup per miss, at minimum *)
+  checkb "acquires cover lookups"
+    (c.Qor_cache.lc_acquires >= writers * reps);
+  Qor_cache.clear cache;
+  let c0 = Qor_cache.contention cache in
+  checki "clear resets contention" 0 c0.Qor_cache.lc_acquires;
+  checki "clear resets the wait histogram" 0
+    (Histogram.count (Qor_cache.wait_histogram cache))
+
+(* ---- parallel profiled compile stays byte-identical ---- *)
+
+let test_profiled_parallel_compile_identical () =
+  let open Hida_estimator in
+  let compile ~jobs ~profile =
+    Qor_cache.clear (Qor_cache.global ());
+    let _m, f = Polybench.k_3mm ~scale:0.1 () in
+    let opts = { Driver.default with jobs; profile } in
+    let rep = Driver.run_memref ~opts ~device:Device.zu3eg f in
+    (Printer.op_to_string rep.Driver.design, rep)
+  in
+  let ir_serial, _ = compile ~jobs:1 ~profile:false in
+  let ir_par, rep = compile ~jobs:2 ~profile:true in
+  check Alcotest.string "profiled parallel IR is byte-identical" ir_serial ir_par;
+  let m = rep.Driver.metrics in
+  checkb "lock acquisitions recorded"
+    (Metrics.counter m "qor.cache.lock_acquires" > 0);
+  checkb "candidate-eval histogram recorded"
+    (match Metrics.histogram m "dse.candidate_eval_ns" with
+    | Some h -> Histogram.count h > 0
+    | None -> false);
+  checkb "node-search histogram recorded"
+    (Metrics.histogram m "dse.node_search_ns" <> None);
+  (* 3mm's first level has two independent nodes, so the pool engaged
+     and accounted its wall time *)
+  checkb "pool wall time recorded"
+    (Metrics.counter m "parallelize.pool.wall_ns" > 0);
+  checkb "pool utilization gauge recorded"
+    (match Metrics.gauge m "parallelize.pool.utilization" with
+    | Some u -> u > 0. && u <= 1.
+    | None -> false);
+  (* detailed mode put per-candidate spans on some lane *)
+  checkb "per-candidate spans traced"
+    (Trace.find rep.Driver.trace "candidate" <> None)
+
 let tests =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -461,4 +726,20 @@ let tests =
       test_scope_captures;
     Alcotest.test_case "driver report carries trace/metrics/remarks" `Quick
       test_driver_report_observability;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "histogram exact percentiles and merge" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "multi-domain tracing merges one lane per domain"
+      `Quick test_trace_multidomain;
+    Alcotest.test_case "multi-domain metrics lose no updates" `Quick
+      test_metrics_multidomain;
+    Alcotest.test_case "leaked span flagged with an instant" `Quick
+      test_leaked_span_flagged;
+    Alcotest.test_case "complete records a retroactive span" `Quick
+      test_complete_span;
+    Alcotest.test_case "qor-cache contention accounting is exact" `Quick
+      test_qor_cache_contention;
+    Alcotest.test_case "profiled parallel compile is byte-identical" `Quick
+      test_profiled_parallel_compile_identical;
   ]
