@@ -111,6 +111,11 @@ let experiments =
         ignore quick;
         Profile_bench.run ~smoke:true () );
     ("analyze", fun ~quick -> Analyze_gate.run ~quick ());
+    ("serve", fun ~quick -> Serve_bench.run ~quick ());
+    ( "serve-smoke",
+      fun ~quick ->
+        ignore quick;
+        Serve_bench.run ~smoke:true () );
   ]
 
 let () =
@@ -122,7 +127,7 @@ let () =
   let selected =
     if selected = [] then
       List.filter
-        (fun n -> n <> "dse-smoke" && n <> "profile-smoke")
+        (fun n -> n <> "dse-smoke" && n <> "profile-smoke" && n <> "serve-smoke")
         (List.map fst experiments)
     else selected
   in

@@ -13,31 +13,41 @@ open Hida_estimator
 open Hida_core
 open Hida_frontend
 
-(* [@file.mlir] workloads: parse the textual IR, verify it, and run the
-   pipeline from there.  The builder re-parses on every call ([fit]
-   compiles repeatedly and the pipeline mutates the IR in place). *)
+(* [@file.mlir] workloads: parse the textual IR once, verify it, and run
+   the pipeline from there.  The builder hands out a deep clone per call
+   ([fit] compiles repeatedly and the pipeline mutates the IR in place);
+   cloning is a structural copy, far cheaper than re-lexing and
+   re-verifying the file every iteration. *)
 let build_file_workload path =
-  let parse () =
+  let m0 =
     match Hida_text.Parser.parse_file path with
     | Error d ->
         prerr_endline ("hida-compile: " ^ Hida_text.Parser.diag_to_string d);
         exit 1
     | Ok top -> (
         match Hida_text.Parser.module_and_func top with
-        | Some (m, f) -> (m, f)
+        | Some (m, _f) -> m
         | None ->
             prerr_endline
               ("hida-compile: " ^ path
              ^ ": expected a builtin.module or func.func at top level");
             exit 1)
   in
-  let _, f0 = parse () in
+  let build () =
+    let m = clone_op m0 in
+    match Func_d.funcs m with
+    | f :: _ -> (m, f)
+    | [] ->
+        prerr_endline ("hida-compile: " ^ path ^ ": module has no function");
+        exit 1
+  in
+  let _, f0 = build () in
   let has_nn =
     Walk.find f0 ~pred:(fun op ->
         String.length (Op.name op) > 3 && String.sub (Op.name op) 0 3 = "nn.")
     <> None
   in
-  ((if has_nn then `Nn else `Memref), parse)
+  ((if has_nn then `Nn else `Memref), build)
 
 let build_workload name =
   if String.length name > 1 && name.[0] = '@' then
@@ -91,19 +101,145 @@ let write_file ~what path content =
     prerr_endline ("hida-compile: cannot write " ^ what ^ ": " ^ msg);
     exit 1
 
+(* Client mode: ship the compile to a running hida-serve instance and
+   render the artifact it returns.  The reply carries the canonical IR
+   text, so --dump-ir/-o write it directly and --emit-cpp/--simulate
+   re-parse it locally (the parser/printer round-trip law makes the
+   parsed design identical to the server's). *)
+let run_serve ~socket ~device workload pf tile mode_name opts emit_cpp
+    dump_ir out_path simulate metrics_json =
+  let open Hida_serve in
+  let src =
+    if String.length workload > 1 && workload.[0] = '@' then begin
+      let path = String.sub workload 1 (String.length workload - 1) in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | text -> Protocol.Ir_text text
+      | exception Sys_error msg ->
+          prerr_endline ("hida-compile: " ^ msg);
+          exit 1
+    end
+    else Protocol.Zoo workload
+  in
+  match Client.compile ~socket src opts with
+  | Error e -> Error e
+  | Ok r ->
+      let meta = r.Protocol.cr_meta in
+      Printf.printf "workload        : %s (served)\n" workload;
+      Printf.printf "device          : %s\n" device.Device.name;
+      Printf.printf "mode            : %s, max parallel factor %d, tile %d\n"
+        mode_name pf tile;
+      Printf.printf "server          : %s, %s, %.3f ms round trip\n" socket
+        (if r.Protocol.cr_cached then "artifact cache hit"
+         else if r.Protocol.cr_coalesced then "coalesced with in-flight compile"
+         else "cold compile")
+        (float_of_int r.Protocol.cr_server_ns /. 1e6);
+      Printf.printf "compile time    : %.3f s (of the run that built the \
+                     artifact)\n"
+        meta.Protocol.am_compile_seconds;
+      Printf.printf "latency         : %d cycles\n" meta.Protocol.am_latency;
+      Printf.printf "interval        : %d cycles\n" meta.Protocol.am_interval;
+      Printf.printf "throughput      : %.2f samples/s @ %.0f MHz\n"
+        meta.Protocol.am_throughput device.Device.freq_mhz;
+      Printf.printf "DSP efficiency  : %.1f%%\n"
+        (100. *. meta.Protocol.am_dsp_efficiency);
+      Printf.printf "artifact        : %s\n" meta.Protocol.am_key;
+      (match metrics_json with
+      | None -> ()
+      | Some path ->
+          let status =
+            match Client.status ~socket with Ok j -> j | Error _ -> Json.Null
+          in
+          let json =
+            Json.Obj
+              [
+                ("workload", Json.Str workload);
+                ("socket", Json.Str socket);
+                ("cached", Json.Bool r.Protocol.cr_cached);
+                ("coalesced", Json.Bool r.Protocol.cr_coalesced);
+                ("server_ns", Json.Int r.Protocol.cr_server_ns);
+                ( "artifact",
+                  Json.Obj
+                    [
+                      ("key", Json.Str meta.Protocol.am_key);
+                      ("workload", Json.Str meta.Protocol.am_workload);
+                      ("latency", Json.Int meta.Protocol.am_latency);
+                      ("interval", Json.Int meta.Protocol.am_interval);
+                      ("throughput", Json.Float meta.Protocol.am_throughput);
+                      ( "dsp_efficiency",
+                        Json.Float meta.Protocol.am_dsp_efficiency );
+                      ( "compile_seconds",
+                        Json.Float meta.Protocol.am_compile_seconds );
+                    ] );
+                ("server_status", status);
+              ]
+          in
+          write_file ~what:"metrics file" path (Json.to_string json ^ "\n");
+          Printf.printf "metrics written : %s\n" path);
+      (if dump_ir then
+         (* [cr_ir] is already newline-terminated canonical text. *)
+         let text = r.Protocol.cr_ir in
+         match out_path with
+         | Some path ->
+             write_file ~what:"output file" path text;
+             Printf.printf "ir written      : %s\n" path
+         | None ->
+             print_endline "---- optimized IR ----";
+             print_string text);
+      (if emit_cpp || simulate then
+         let design =
+           match
+             Hida_text.Parser.parse_string ~filename:"<artifact>"
+               r.Protocol.cr_ir
+           with
+           | Ok top -> (
+               match Hida_text.Parser.module_and_func top with
+               | Some (_m, f) -> f
+               | None -> top)
+           | Error d ->
+               prerr_endline
+                 ("hida-compile: served artifact does not parse: "
+                 ^ Hida_text.Parser.diag_to_string d);
+               exit 1
+         in
+         (if simulate then
+            match Walk.collect design ~pred:Hida_d.is_schedule with
+            | sched :: _ ->
+                let sr =
+                  Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched
+                in
+                Printf.printf
+                  "simulation      : steady interval %.0f cycles, first frame \
+                   %d cycles\n"
+                  sr.Hida_hlssim.Sim.r_steady_interval
+                  sr.Hida_hlssim.Sim.r_first_frame_latency;
+                Printf.printf "pipeline timeline (first 4 frames):\n%s"
+                  (Hida_hlssim.Sim.gantt ~frames:4 sr)
+            | [] -> Printf.printf "simulation      : (no dataflow schedule)\n");
+         if emit_cpp then
+           let text = Hida_emitter.Emit_cpp.emit_func design in
+           match out_path with
+           | Some path ->
+               write_file ~what:"output file" path text;
+               Printf.printf "cpp written     : %s\n" path
+           | None ->
+               print_endline "---- emitted HLS C++ ----";
+               print_string text);
+      Ok ()
+
 let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats profile metrics_json =
+    trace_json print_ir_after remarks stats profile metrics_json connect =
   try run_checked workload device_name pf tile mode_name jobs no_fusion
       no_balance no_dataflow fit analyze emit_cpp dump_ir out_path simulate
       timing trace_json print_ir_after remarks stats profile metrics_json
+      connect
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats profile metrics_json =
+    trace_json print_ir_after remarks stats profile metrics_json connect =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
   check_write_path ~what:"trace file" trace_json;
@@ -117,6 +253,40 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
   end;
   (* -o with no explicit choice writes the optimized IR. *)
   let dump_ir = dump_ir || (out_path <> None && not emit_cpp) in
+  (* The wire protocol carries the plain compile surface; flags that need
+     the in-process report (fit, analysis gate, timing, traces, profiles)
+     force a local compile even under --connect. *)
+  let representable_remotely =
+    (not (fit || analyze || timing || remarks || stats || profile))
+    && trace_json = None && print_ir_after = None
+  in
+  (match connect with
+  | Some socket when representable_remotely -> (
+      let sopts =
+        {
+          Hida_serve.Protocol.co_device = device_name;
+          co_mode = mode_name;
+          co_pf = pf;
+          co_tile = tile;
+          co_jobs = jobs;
+          co_fusion = not no_fusion;
+          co_balance = not no_balance;
+          co_dataflow = not no_dataflow;
+        }
+      in
+      match
+        run_serve ~socket ~device workload pf tile mode_name sopts emit_cpp
+          dump_ir out_path simulate metrics_json
+      with
+      | Ok () -> exit 0
+      | Error e ->
+          Printf.eprintf "hida-compile: %s; falling back to a local compile\n%!"
+            e)
+  | Some _ ->
+      prerr_endline
+        "hida-compile: the requested flags need an in-process compile; \
+         ignoring --connect and compiling locally"
+  | None -> ());
   let opts =
     {
       Driver.default with
@@ -421,6 +591,13 @@ let metrics_json =
                latency histograms and qor-cache contention counters to \
                $(docv).")
 
+let connect =
+  Arg.(value & opt (some string) None & info [ "connect"; "c" ] ~docv:"SOCK"
+         ~doc:"Compile through a running hida-serve instance listening on \
+               the Unix socket $(docv); identical requests are answered \
+               from its content-addressed artifact cache.  Falls back to a \
+               local compile when the server is unreachable.")
+
 let cmd =
   let doc = "compile a workload with the HIDA dataflow HLS pipeline" in
   Cmd.v
@@ -429,6 +606,6 @@ let cmd =
       const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
       $ no_balance $ no_dataflow $ fit $ analyze $ emit_cpp $ dump_ir
       $ out_path $ simulate $ timing $ trace_json $ print_ir_after $ remarks
-      $ stats $ profile $ metrics_json)
+      $ stats $ profile $ metrics_json $ connect)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,149 @@
+(* hida-serve: the persistent compile server's front door.
+
+     hida-serve serve   [--socket S] [--workers N] [--queue-limit N]
+                        [--cache-mb N] [--verbose]
+     hida-serve status  [--socket S] [--json]
+     hida-serve ping    [--socket S]
+     hida-serve stop    [--socket S]
+
+   `serve` runs in the foreground (CI and the bench put it in the
+   background themselves); `status` renders the server's cache /
+   coalescing / latency metrics, `stop` asks for a clean shutdown. *)
+
+open Cmdliner
+open Hida_serve
+
+let socket =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.cf_socket
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the server listens on.")
+
+(* ---- serve ---- *)
+
+let serve socket workers queue_limit cache_mb verbose =
+  let cfg =
+    {
+      Server.cf_socket = socket;
+      cf_workers = workers;
+      cf_queue_limit = queue_limit;
+      cf_cache_bytes = cache_mb * 1024 * 1024;
+      cf_verbose = verbose;
+    }
+  in
+  match Server.run cfg with
+  | () -> 0
+  | exception Failure msg ->
+      prerr_endline ("hida-serve: " ^ msg);
+      1
+  | exception Unix.Unix_error (e, fn, arg) ->
+      prerr_endline
+        (Printf.sprintf "hida-serve: %s(%s): %s" fn arg (Unix.error_message e));
+      1
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.cf_workers
+      & info [ "workers"; "w" ] ~docv:"N"
+          ~doc:"Connection-handling worker domains.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.cf_queue_limit
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Pending-connection bound; beyond it clients are answered \
+             \"busy\" immediately instead of queueing.")
+  in
+  let cache_mb =
+    Arg.(
+      value
+      & opt int (Server.default_config.Server.cf_cache_bytes / (1024 * 1024))
+      & info [ "cache-mb" ] ~docv:"MiB"
+          ~doc:
+            "Artifact-store budget; least-recently-used artifacts are \
+             evicted beyond it.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Log one line per request to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"run the compile server (foreground)")
+    Term.(const serve $ socket $ workers $ queue_limit $ cache_mb $ verbose)
+
+(* ---- status ---- *)
+
+let indent_of depth = String.make (2 * depth) ' '
+
+(* Human rendering of the stats object: objects become indented
+   sections, leaves become aligned key/value lines. *)
+let rec print_stats depth = function
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Obj _ when k = "metrics" ->
+              () (* raw registry dump: JSON-only detail *)
+          | Json.Obj _ ->
+              Printf.printf "%s%s:\n" (indent_of depth) k;
+              print_stats (depth + 1) v
+          | leaf ->
+              Printf.printf "%s%-18s %s\n" (indent_of depth) k
+                (match leaf with
+                | Json.Str s -> s
+                | Json.Null -> "-"
+                | other -> Json.to_string other))
+        fields
+  | other -> Printf.printf "%s%s\n" (indent_of depth) (Json.to_string other)
+
+let status socket as_json =
+  match Client.status ~socket with
+  | Error e ->
+      prerr_endline ("hida-serve: " ^ e);
+      1
+  | Ok stats ->
+      if as_json then print_endline (Json.to_string stats)
+      else print_stats 0 stats;
+      0
+
+let status_cmd =
+  let as_json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw stats object as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"query a running server's metrics")
+    Term.(const status $ socket $ as_json)
+
+(* ---- ping / stop ---- *)
+
+let simple name doc f =
+  let run socket =
+    match f ~socket with
+    | Ok () ->
+        print_endline ("hida-serve: " ^ name ^ " ok");
+        0
+    | Error e ->
+        prerr_endline ("hida-serve: " ^ e);
+        1
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket)
+
+let ping_cmd = simple "ping" "check that a server is alive" Client.ping
+let stop_cmd = simple "stop" "ask a running server to shut down" Client.stop
+
+let cmd =
+  Cmd.group
+    (Cmd.info "hida-serve"
+       ~doc:"HIDA compile server: compiler-as-a-service with a \
+             content-addressed artifact cache")
+    [ serve_cmd; status_cmd; ping_cmd; stop_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -57,6 +57,23 @@ let default =
     print_ir_after = None;
   }
 
+(* Canonical fingerprint of every option that can change the produced
+   design or its estimate.  Observation-only knobs (jobs, profile,
+   verify_each, print_ir_after, analyze) are deliberately excluded:
+   [--jobs] is byte-identical by construction and the rest never touch
+   the IR, so including them would only fragment the artifact cache.
+   The serve layer keys whole-pipeline artifacts on this string plus the
+   request source and device ([Qor_cache.artifact_signature]). *)
+let options_fingerprint o =
+  Printf.sprintf
+    "mode=%s;pf=%d;tile=%d;fusion=%b;balance=%b;multi_producer=%b;dataflow=%b;streaming=%b;weights_onchip=%b;conv=%s;pingpong=%b"
+    (Parallelize.mode_name o.mode)
+    o.max_parallel_factor o.tile_size o.enable_fusion o.enable_balancing
+    o.enable_multi_producer o.enable_dataflow o.enable_streaming
+    o.weights_onchip
+    (match o.conv_boundary with `Guarded -> "guarded" | `Padded -> "padded")
+    o.pingpong
+
 (* Strip the automatic ping-pong stages HIDA buffers carry: every
    multi-stage on-chip buffer becomes single-stage (the inter-task buffer
    model of dataflow legalizers without §5.2's buffer semantics). *)
@@ -178,6 +195,7 @@ type state = {
   st_scope : Hida_obs.Scope.t;
   st_cont0 : Qor_cache.lock_stats;
       (* cache-lock contention at compile start, for per-compile deltas *)
+  st_evict0 : int; (* cache evictions at compile start *)
   mutable st_deltas_rev : Hida_obs.Ir_stats.pass_delta list;
   mutable st_analysis : Hida_analysis.Analysis.diag list;
 }
@@ -205,6 +223,7 @@ let make_state opts =
       st_mgr = make_manager opts;
       st_scope = Hida_obs.Scope.create ();
       st_cont0 = Qor_cache.contention (Qor_cache.global ());
+      st_evict0 = Qor_cache.evictions (Qor_cache.global ());
       st_deltas_rev = [];
       st_analysis = [];
     }
@@ -369,6 +388,8 @@ let finish ~device ?(batch = 1) st func =
     (c1.Qor_cache.lc_blocked - st.st_cont0.Qor_cache.lc_blocked);
   Hida_obs.Metrics.add metrics "qor.cache.lock_wait_ns"
     (c1.Qor_cache.lc_wait_ns - st.st_cont0.Qor_cache.lc_wait_ns);
+  Hida_obs.Metrics.add metrics "qor.cache.evictions"
+    (Qor_cache.evictions (Qor_cache.global ()) - st.st_evict0);
   {
     design = func;
     estimate;
@@ -390,6 +411,14 @@ let run_nn ?opts ~device ?batch func =
 let run_memref ?opts ~device ?batch func =
   let state = compile_memref ?opts func in
   finish ~device ?batch state func
+
+(* Unified entry point: one call per front-end path, so callers that
+   dispatch on a runtime path tag (the CLI, the compile server's
+   artifact builder) need not duplicate the branch. *)
+let run ?opts ~device ?batch ~path func =
+  match path with
+  | `Nn -> run_nn ?opts ~device ?batch func
+  | `Memref -> run_memref ?opts ~device ?batch func
 
 (* Maximum-parallel-factor search under resource constraints (step (3) of
    §6.5.1 at the whole-design level): try decreasing parallel factors on

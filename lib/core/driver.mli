@@ -45,6 +45,14 @@ type options = {
 
 val default : options
 
+val options_fingerprint : options -> string
+(** Canonical serialization of every option that can change the
+    produced design or its estimate.  Observation-only knobs ([jobs],
+    [profile], [verify_each], [print_ir_after], [analyze]) are excluded
+    so they never fragment content-addressed artifact caches; the serve
+    layer keys whole-pipeline artifacts on this string plus the request
+    source and device name. *)
+
 val strip_pingpong : Ir.op -> unit
 val apply_tiling : tile_size:int -> Ir.op -> unit
 (** Tag external-memory nodes with the tile directive and materialize
@@ -86,6 +94,16 @@ val finish : device:Device.t -> ?batch:int -> state -> Ir.op -> report
 
 val run_nn : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report
 val run_memref : ?opts:options -> device:Device.t -> ?batch:int -> Ir.op -> report
+
+val run :
+  ?opts:options ->
+  device:Device.t ->
+  ?batch:int ->
+  path:[ `Memref | `Nn ] ->
+  Ir.op ->
+  report
+(** {!run_nn} or {!run_memref}, dispatched on a runtime path tag (the
+    CLI and the compile server share this entry point). *)
 
 val pf_candidates : int list
 

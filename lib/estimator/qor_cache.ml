@@ -46,17 +46,27 @@ type domain_stats = {
 
 type lock_stats = { lc_acquires : int; lc_blocked : int; lc_wait_ns : int }
 
+(* Value-table entries carry a last-use stamp so a long-lived process (a
+   compile server, notably) can evict least-recently-used entries once
+   the table count crosses [entry_limit] — unbounded content-addressed
+   growth is otherwise a slow leak, since mutated IR keeps minting fresh
+   signatures forever. *)
+type 'a slot = { sv : 'a; mutable stamp : int }
+
 type t = {
   uid : int;
   lock : Mutex.t;
   mutable generation : int;
   sig_memo : (int * int, int * string) Hashtbl.t;
       (* (op id, bindings fingerprint) -> (generation, signature) *)
-  node_tbl : (string, Qor.node_est) Hashtbl.t;
-  float_tbl : (string, float) Hashtbl.t;
-  factors_tbl : (string, int array) Hashtbl.t;
+  node_tbl : (string, Qor.node_est slot) Hashtbl.t;
+  float_tbl : (string, float slot) Hashtbl.t;
+  factors_tbl : (string, int array slot) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable tick : int; (* LRU clock: bumped on every value access *)
+  mutable entry_limit : int;
+  mutable evicted : int;
   stats_lock : Mutex.t; (* guards stats_gen + stats_rev registration *)
   mutable stats_gen : int;
   mutable stats_rev : domain_stats list;
@@ -64,6 +74,7 @@ type t = {
 }
 
 let next_uid = Atomic.make 0
+let default_entry_limit = 262_144
 
 let create () =
   {
@@ -76,6 +87,9 @@ let create () =
     factors_tbl = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    tick = 0;
+    entry_limit = default_entry_limit;
+    evicted = 0;
     stats_lock = Mutex.create ();
     stats_gen = 0;
     stats_rev = [];
@@ -214,6 +228,67 @@ let invalidate_signatures t =
   if Hashtbl.length t.sig_memo > 4096 then Hashtbl.reset t.sig_memo;
   release t
 
+(* ---- LRU eviction under an entry budget ----
+
+   Called with the table lock held after every store.  When the three
+   value tables together exceed the limit, drop the least-recently-used
+   quarter (down to 3/4 of the limit), so eviction work is amortized:
+   one O(n log n) sweep per n/4 insertions.  Stamps are unique (the
+   clock only ticks under the lock), making the cutoff exact. *)
+let live_entries t =
+  Hashtbl.length t.node_tbl + Hashtbl.length t.float_tbl
+  + Hashtbl.length t.factors_tbl
+
+let evict_over_locked t limit =
+  let total = live_entries t in
+  if total > limit then begin
+    let target = limit * 3 / 4 in
+    let stamps = Array.make total 0 in
+    let i = ref 0 in
+    let note _ (s : _ slot) =
+      stamps.(!i) <- s.stamp;
+      incr i
+    in
+    Hashtbl.iter note t.node_tbl;
+    Hashtbl.iter note t.float_tbl;
+    Hashtbl.iter note t.factors_tbl;
+    Array.sort compare stamps;
+    (* Evict every entry stamped at or below the (total-target)-th
+       oldest stamp. *)
+    let cutoff = stamps.(total - target - 1) in
+    let sweep : 'a. (string, 'a slot) Hashtbl.t -> unit =
+     fun tbl ->
+      let doomed =
+        Hashtbl.fold
+          (fun k (s : _ slot) acc -> if s.stamp <= cutoff then k :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) doomed
+    in
+    sweep t.node_tbl;
+    sweep t.float_tbl;
+    sweep t.factors_tbl;
+    t.evicted <- t.evicted + (total - live_entries t)
+  end
+
+let set_entry_limit t n =
+  ignore (acquire t);
+  t.entry_limit <- max 1 n;
+  evict_over_locked t t.entry_limit;
+  release t
+
+let entry_limit t =
+  ignore (acquire t);
+  let r = t.entry_limit in
+  release t;
+  r
+
+let evictions t =
+  ignore (acquire t);
+  let r = t.evicted in
+  release t;
+  r
+
 let clear t =
   Mutex.lock t.lock;
   t.generation <- t.generation + 1;
@@ -223,6 +298,7 @@ let clear t =
   Hashtbl.reset t.factors_tbl;
   t.hits <- 0;
   t.misses <- 0;
+  t.evicted <- 0;
   Mutex.unlock t.lock;
   Mutex.lock t.stats_lock;
   t.stats_gen <- t.stats_gen + 1;
@@ -415,19 +491,28 @@ let signature t ?(bindings = []) op =
 let find_generic t tbl key =
   let ds = acquire t in
   let r = Hashtbl.find_opt tbl key in
-  (match r with
-  | Some _ ->
-      t.hits <- t.hits + 1;
-      ds.ds_hits <- ds.ds_hits + 1
-  | None ->
-      t.misses <- t.misses + 1;
-      ds.ds_misses <- ds.ds_misses + 1);
+  let r =
+    match r with
+    | Some slot ->
+        t.hits <- t.hits + 1;
+        ds.ds_hits <- ds.ds_hits + 1;
+        (* LRU touch. *)
+        t.tick <- t.tick + 1;
+        slot.stamp <- t.tick;
+        Some slot.sv
+    | None ->
+        t.misses <- t.misses + 1;
+        ds.ds_misses <- ds.ds_misses + 1;
+        None
+  in
   release t;
   r
 
 let store_generic t tbl key v =
   ignore (acquire t);
-  Hashtbl.replace tbl key v;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace tbl key { sv = v; stamp = t.tick };
+  evict_over_locked t t.entry_limit;
   release t
 
 let memo_float t key compute =
@@ -466,6 +551,19 @@ let memo_node t dev ~bindings n compute =
 let estimate_node t dev ?(bindings = []) n =
   memo_node t dev ~bindings n (fun () ->
       Qor.estimate_node_or_nested_fresh dev ~bindings n)
+
+(* ---- Artifact-level signatures ----
+
+   The node-level machinery above keys *estimates* on structural
+   signatures; a compile server keys *whole-pipeline artifacts* the same
+   way, one level up: the content of the request (canonical source
+   string — an IR text hash or a zoo workload name) plus the canonical
+   option fingerprint.  A fixed-width digest keeps store keys and wire
+   messages small; MD5 (stdlib [Digest]) is ample for content
+   addressing — collisions would need 2^64 artifacts. *)
+
+let artifact_signature ~source ~options =
+  Digest.to_hex (Digest.string (source ^ "\x00" ^ options))
 
 (* ---- Hook wiring ---- *)
 

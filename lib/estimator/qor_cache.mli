@@ -59,6 +59,24 @@ val wait_histogram : t -> Hida_obs.Histogram.t
 val size : t -> int
 (** Number of cached values (node estimates + costs + DSE results). *)
 
+val default_entry_limit : int
+(** 262144 cached values. *)
+
+val set_entry_limit : t -> int -> unit
+(** Bound the value tables to [n] entries (immediately evicting down if
+    already over).  When a store pushes the count past the limit, the
+    least-recently-used quarter is dropped — one amortized sweep per
+    limit/4 insertions.  A bounded cache is what lets a persistent
+    process (the compile server) run indefinitely: content-addressed
+    keys never go stale, but mutated IR mints fresh signatures forever,
+    so an unbounded table is a slow leak. *)
+
+val entry_limit : t -> int
+
+val evictions : t -> int
+(** Entries evicted by the LRU sweeps since creation (or {!clear});
+    surfaced as the [qor.cache.evictions] metric by the driver. *)
+
 val invalidate_signatures : t -> unit
 (** Explicit invalidation on IR mutation: evicts every op-identity-keyed
     signature memo entry (generation bump).  Content-addressed value
@@ -98,6 +116,14 @@ val estimate_node :
   t -> Device.t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> Qor.node_est
 (** Memoized {!Qor.estimate_node_or_nested} (device name is part of the
     key). *)
+
+val artifact_signature : source:string -> options:string -> string
+(** Content-addressed key for a {e whole-pipeline artifact}: a
+    fixed-width hex digest of the canonical request source (IR text
+    hash, or zoo workload name) and the canonical driver-option
+    fingerprint.  This is the node-level signature idea lifted to
+    artifact granularity — the compile server's store is keyed on it
+    ([hida.serve]). *)
 
 val install : t -> unit
 (** Route {!Qor.estimate_node_or_nested} through this cache (sets

@@ -62,11 +62,13 @@ and block = {
 
 and region = { g_id : int; mutable g_blocks : block list; mutable g_parent : op option }
 
+(* Atomic so that independent compiles may build IR concurrently from
+   several domains (the compile server's worker pool does); ids stay
+   globally unique, and everything position-dependent (printing,
+   signatures) numbers values positionally anyway. *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 module Typ = struct
   type t = typ

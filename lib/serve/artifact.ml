@@ -1,0 +1,251 @@
+(* Whole-pipeline artifact cache.
+
+   The builder half maps a protocol request onto the driver pipeline
+   and packages the result (canonical IR text + QoR metadata); the
+   store half is a mutex-guarded content-addressed table with LRU
+   eviction under a byte budget, shared by the server's worker domains.
+
+   Keying lifts the estimator's node-level signature machinery to
+   artifact granularity: node estimates are memoized on structural
+   signatures ([Qor_cache.signature]); artifacts are memoized on
+   [Qor_cache.artifact_signature] over (canonical source x canonical
+   options x device).  Both key on *content*, so a hit can never be
+   stale — a changed input or option simply produces a different key. *)
+
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+type t = { a_meta : Protocol.artifact_meta; a_ir : string }
+
+(* Heap footprint charged to the budget: the IR text dominates; the key,
+   metadata record and hashtable slot are covered by a fixed overhead. *)
+let entry_overhead = 512
+let bytes a = String.length a.a_ir + entry_overhead
+
+(* ---- Keys ---- *)
+
+let canonical_source = function
+  | Protocol.Zoo name -> "zoo:" ^ name
+  | Protocol.Ir_text text -> "ir:" ^ Digest.to_hex (Digest.string text)
+
+let mode_of_string = function
+  | "ia+ca" | "iaca" -> Ok Parallelize.ia_ca
+  | "ia" -> Ok Parallelize.ia_only
+  | "ca" -> Ok Parallelize.ca_only
+  | "naive" -> Ok Parallelize.naive
+  | s -> Error ("unknown mode " ^ s ^ " (ia+ca | ia | ca | naive)")
+
+let driver_options (o : Protocol.compile_opts) =
+  Result.map
+    (fun mode ->
+      {
+        Driver.default with
+        mode;
+        max_parallel_factor = o.Protocol.co_pf;
+        tile_size = o.Protocol.co_tile;
+        jobs = o.Protocol.co_jobs;
+        enable_fusion = o.Protocol.co_fusion;
+        enable_balancing = o.Protocol.co_balance;
+        enable_dataflow = o.Protocol.co_dataflow;
+      })
+    (mode_of_string o.Protocol.co_mode)
+
+(* The device is resolved here (not in the fingerprint helper) so a bad
+   name is a protocol error, not an exception in a worker. *)
+let device_of (o : Protocol.compile_opts) =
+  try Ok (Device.by_name o.Protocol.co_device)
+  with Invalid_argument msg -> Error msg
+
+let key src (o : Protocol.compile_opts) =
+  (* Device and semantic options fingerprint; [co_jobs] is excluded by
+     [Driver.options_fingerprint] (byte-identical by construction). *)
+  let opts_fp =
+    match driver_options o with
+    | Ok dopts -> Driver.options_fingerprint dopts
+    | Error e -> "badopts:" ^ e
+  in
+  Qor_cache.artifact_signature
+    ~source:(canonical_source src)
+    ~options:(opts_fp ^ ";device=" ^ o.Protocol.co_device)
+
+(* ---- Builder ---- *)
+
+let workload_label = function
+  | Protocol.Zoo name -> name
+  | Protocol.Ir_text _ -> "@ir"
+
+(* Resolve a request source to a front-end path and a fresh function
+   (mirrors the CLI's workload table; the IR path additionally
+   autodetects nn ops the same way [@file.mlir] inputs do). *)
+let build_source src =
+  match src with
+  | Protocol.Zoo name ->
+      if List.exists (fun e -> e.Models.e_name = name) Models.all then
+        Ok (`Nn, snd ((Models.by_name name).Models.e_build ()))
+      else if List.exists (fun e -> e.Polybench.e_name = name) Polybench.all
+      then Ok (`Memref, snd ((Polybench.by_name name).Polybench.e_build ()))
+      else if
+        List.exists
+          (fun e -> e.Polybench_extra.e_name = name)
+          Polybench_extra.all
+      then
+        Ok
+          ( `Memref,
+            snd ((Polybench_extra.by_name name).Polybench_extra.e_build ()) )
+      else if name = "listing1" then Ok (`Memref, snd (Listing1.build ()))
+      else Error ("unknown zoo workload " ^ name)
+  | Protocol.Ir_text text -> (
+      match Hida_text.Parser.parse_string ~filename:"<request>" text with
+      | Error d -> Error (Hida_text.Parser.diag_to_string d)
+      | Ok top -> (
+          match Hida_text.Parser.module_and_func top with
+          | None ->
+              Error "expected a builtin.module or func.func at top level"
+          | Some (_m, f) ->
+              let open Hida_ir.Ir in
+              let has_nn =
+                Walk.find f ~pred:(fun op ->
+                    String.length (Op.name op) > 3
+                    && String.sub (Op.name op) 0 3 = "nn.")
+                <> None
+              in
+              Ok ((if has_nn then `Nn else `Memref), f)))
+
+let compile src (o : Protocol.compile_opts) =
+  let ( let* ) = Result.bind in
+  let* opts = driver_options o in
+  let* device = device_of o in
+  let* path, func = build_source src in
+  match Driver.run ~opts ~device ~path func with
+  | exception Invalid_argument msg -> Error msg
+  | report ->
+      let e = report.Driver.estimate in
+      let ir = Hida_ir.Printer.op_to_string report.Driver.design ^ "\n" in
+      Ok
+        {
+          a_meta =
+            {
+              Protocol.am_key = key src o;
+              am_workload = workload_label src;
+              am_latency = e.Qor.d_latency;
+              am_interval = e.Qor.d_interval;
+              am_throughput = e.Qor.d_throughput;
+              am_dsp_efficiency = e.Qor.d_dsp_efficiency;
+              am_compile_seconds = report.Driver.compile_seconds;
+            };
+          a_ir = ir;
+        }
+
+(* ---- Store ---- *)
+
+type entry = { e_art : t; e_bytes : int; mutable e_stamp : int }
+
+type store = {
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable budget : int;
+  mutable live_bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  s_entries : int;
+  s_bytes : int;
+  s_budget : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+let default_budget_bytes = 256 * 1024 * 1024
+
+let create_store ?(budget_bytes = default_budget_bytes) () =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    budget = max 1 budget_bytes;
+    live_bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked st f =
+  Mutex.lock st.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
+
+let find st k =
+  locked st (fun () ->
+      match Hashtbl.find_opt st.tbl k with
+      | Some e ->
+          st.hits <- st.hits + 1;
+          st.tick <- st.tick + 1;
+          e.e_stamp <- st.tick;
+          Some e.e_art
+      | None ->
+          st.misses <- st.misses + 1;
+          None)
+
+(* Evict least-recently-used entries until the budget holds.  Artifact
+   counts are small (hundreds, not millions), so the O(n) minimum scan
+   per eviction is noise next to one pipeline run. *)
+let evict_to_budget_locked st =
+  while st.live_bytes > st.budget && Hashtbl.length st.tbl > 0 do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, v) when v.e_stamp <= e.e_stamp -> ()
+        | _ -> victim := Some (k, e))
+      st.tbl;
+    match !victim with
+    | Some (k, e) ->
+        Hashtbl.remove st.tbl k;
+        st.live_bytes <- st.live_bytes - e.e_bytes;
+        st.evictions <- st.evictions + 1
+    | None -> ()
+  done
+
+let add st ~key:k art =
+  let n = bytes art in
+  locked st (fun () ->
+      if n <= st.budget then begin
+        (match Hashtbl.find_opt st.tbl k with
+        | Some old ->
+            st.live_bytes <- st.live_bytes - old.e_bytes;
+            Hashtbl.remove st.tbl k
+        | None -> ());
+        st.tick <- st.tick + 1;
+        Hashtbl.replace st.tbl k { e_art = art; e_bytes = n; e_stamp = st.tick };
+        st.live_bytes <- st.live_bytes + n;
+        evict_to_budget_locked st
+      end)
+
+let set_budget st n =
+  locked st (fun () ->
+      st.budget <- max 1 n;
+      evict_to_budget_locked st)
+
+let stats st =
+  locked st (fun () ->
+      {
+        s_entries = Hashtbl.length st.tbl;
+        s_bytes = st.live_bytes;
+        s_budget = st.budget;
+        s_hits = st.hits;
+        s_misses = st.misses;
+        s_evictions = st.evictions;
+      })
+
+let clear st =
+  locked st (fun () ->
+      Hashtbl.reset st.tbl;
+      st.live_bytes <- 0;
+      st.hits <- 0;
+      st.misses <- 0;
+      st.evictions <- 0)

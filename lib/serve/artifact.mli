@@ -1,0 +1,68 @@
+(** Whole-pipeline artifact cache: content-addressed store + builder.
+
+    An artifact is the complete result of one pipeline run — the
+    optimized design as canonical textual IR plus its QoR metadata —
+    keyed by {!key}: a content hash of the request source (zoo workload
+    name, or the IR text itself) and the semantic driver options
+    (device, mode, parallel factor, tile, pass switches).  Keys extend
+    the node-level signature machinery of [Hida_estimator.Qor_cache] to
+    artifact granularity ({!Qor_cache.artifact_signature}); see
+    DESIGN.md for the two-level picture.
+
+    The store holds artifacts under a byte budget with LRU eviction and
+    is mutex-guarded, so server worker domains share one instance. *)
+
+type t = { a_meta : Protocol.artifact_meta; a_ir : string }
+
+val bytes : t -> int
+(** Approximate heap footprint charged against the store budget. *)
+
+(* ---- Keys ---- *)
+
+val canonical_source : Protocol.source -> string
+(** ["zoo:<name>"], or ["ir:<md5 of the text>"] for textual-IR
+    requests (hashing keeps keys short; two textually identical modules
+    coalesce, two different ones cannot collide in practice). *)
+
+val key : Protocol.source -> Protocol.compile_opts -> string
+(** Content-addressed artifact key (hex digest). *)
+
+(* ---- Builder ---- *)
+
+val compile :
+  Protocol.source -> Protocol.compile_opts -> (t, string) result
+(** Run the full pipeline for a request and package the artifact.
+    Errors (unknown workload/device/mode, IR parse or verify failure)
+    come back as strings, never exceptions — a bad request must not
+    kill a server worker. *)
+
+(* ---- Store ---- *)
+
+type store
+
+val default_budget_bytes : int
+(** 256 MiB. *)
+
+val create_store : ?budget_bytes:int -> unit -> store
+
+val find : store -> string -> t option
+(** LRU-bumping lookup; counts a hit or a miss. *)
+
+val add : store -> key:string -> t -> unit
+(** Insert and evict least-recently-used artifacts until the budget
+    holds.  An artifact larger than the whole budget is not stored. *)
+
+val set_budget : store -> int -> unit
+(** Also evicts immediately down to the new budget. *)
+
+type stats = {
+  s_entries : int;
+  s_bytes : int;
+  s_budget : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+val stats : store -> stats
+val clear : store -> unit

@@ -1,0 +1,57 @@
+(* Blocking client helpers for the serve protocol. *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let request fd req =
+  match
+    Protocol.write_frame fd (Json.to_string (Protocol.request_to_json req))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("write failed: " ^ Unix.error_message e)
+  | () -> (
+      match Protocol.read_response fd with
+      | Ok resp -> Ok resp
+      | Error e -> Error (Protocol.frame_error_to_string e))
+
+let roundtrip ~socket req =
+  match connect socket with
+  | Error e -> Error e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> request fd req)
+
+let compile ~socket src opts =
+  match roundtrip ~socket (Protocol.Compile (src, opts)) with
+  | Error e -> Error e
+  | Ok (Protocol.Ok_compile r) -> Ok r
+  | Ok (Protocol.Err msg) -> Error ("server error: " ^ msg)
+  | Ok _ -> Error "unexpected response kind to a compile request"
+
+let status ~socket =
+  match roundtrip ~socket Protocol.Status with
+  | Error e -> Error e
+  | Ok (Protocol.Ok_status stats) -> Ok stats
+  | Ok (Protocol.Err msg) -> Error ("server error: " ^ msg)
+  | Ok _ -> Error "unexpected response kind to a status request"
+
+let ping ~socket =
+  match roundtrip ~socket Protocol.Ping with
+  | Error e -> Error e
+  | Ok Protocol.Ok_pong -> Ok ()
+  | Ok (Protocol.Err msg) -> Error ("server error: " ^ msg)
+  | Ok _ -> Error "unexpected response kind to a ping"
+
+let stop ~socket =
+  match roundtrip ~socket Protocol.Shutdown with
+  | Error e -> Error e
+  | Ok Protocol.Ok_shutdown -> Ok ()
+  | Ok (Protocol.Err msg) -> Error ("server error: " ^ msg)
+  | Ok _ -> Error "unexpected response kind to a shutdown request"

@@ -1,0 +1,33 @@
+(** Client side of the serve protocol.
+
+    Thin blocking helpers over a Unix-domain socket: one connection per
+    {!roundtrip} (the protocol supports pipelining, but the CLI's
+    request patterns don't need it).  All failures — no socket, refused
+    connection, framing or protocol errors — come back as [Error]
+    strings so callers can fall back to a local compile. *)
+
+val connect : string -> (Unix.file_descr, string) result
+(** Connect to a serving socket. *)
+
+val request :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and read its response on an open connection. *)
+
+val roundtrip :
+  socket:string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, {!request}, close. *)
+
+val compile :
+  socket:string ->
+  Protocol.source ->
+  Protocol.compile_opts ->
+  (Protocol.compile_reply, string) result
+(** [Err] responses and protocol mismatches land in [Error]. *)
+
+val status : socket:string -> (Json.t, string) result
+(** The server's stats object. *)
+
+val ping : socket:string -> (unit, string) result
+
+val stop : socket:string -> (unit, string) result
+(** Request shutdown; [Ok] once the server acknowledges. *)

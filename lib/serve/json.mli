@@ -1,0 +1,47 @@
+(** Minimal JSON tree used by the serve protocol.
+
+    Self-contained (the repo deliberately avoids new dependencies): a
+    value type, a canonical printer with full string escaping, and a
+    recursive-descent parser accepting standard JSON.  Integers without
+    a fractional part parse as [Int]; everything else numeric parses as
+    [Float].  The printer/parser pair round-trips every value the
+    protocol produces ([parse (to_string v)] structurally equals [v]),
+    which the qcheck suite enforces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact canonical rendering (no whitespace, object fields in the
+    order given). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  The
+    error string carries a byte offset. *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises [Invalid_argument]. *)
+
+(* ---- Accessors (total: return [None] / defaults on shape mismatch) *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+val get_int : ?default:int -> string -> t -> int
+val get_float : ?default:float -> string -> t -> float
+val get_bool : ?default:bool -> string -> t -> bool
+val get_str : ?default:string -> string -> t -> string

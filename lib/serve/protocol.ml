@@ -1,0 +1,340 @@
+(* Wire protocol: length-prefixed JSON frames.
+
+   The string-level encode/decode pair is pure (and property-tested);
+   the fd transport layers exact-read/exact-write loops on top.  Frame
+   payloads are bounded *before* allocation so a corrupt or hostile
+   length prefix cannot make the server allocate gigabytes. *)
+
+let version = 1
+let max_frame_bytes = 64 * 1024 * 1024
+
+type source = Zoo of string | Ir_text of string
+
+type compile_opts = {
+  co_device : string;
+  co_mode : string;
+  co_pf : int;
+  co_tile : int;
+  co_jobs : int;
+  co_fusion : bool;
+  co_balance : bool;
+  co_dataflow : bool;
+}
+
+let default_opts =
+  {
+    co_device = "zu3eg";
+    co_mode = "ia+ca";
+    co_pf = 32;
+    co_tile = 32;
+    co_jobs = 1;
+    co_fusion = true;
+    co_balance = true;
+    co_dataflow = true;
+  }
+
+type request = Compile of source * compile_opts | Status | Ping | Shutdown
+
+type artifact_meta = {
+  am_key : string;
+  am_workload : string;
+  am_latency : int;
+  am_interval : int;
+  am_throughput : float;
+  am_dsp_efficiency : float;
+  am_compile_seconds : float;
+}
+
+type compile_reply = {
+  cr_meta : artifact_meta;
+  cr_ir : string;
+  cr_cached : bool;
+  cr_coalesced : bool;
+  cr_server_ns : int;
+}
+
+type response =
+  | Ok_compile of compile_reply
+  | Ok_status of Json.t
+  | Ok_pong
+  | Ok_shutdown
+  | Err of string
+
+type frame_error =
+  | Closed
+  | Truncated of string
+  | Oversized of int
+  | Malformed of string
+
+let frame_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated what -> "truncated frame (" ^ what ^ ")"
+  | Oversized n ->
+      Printf.sprintf "oversized frame (%d bytes > %d limit)" n max_frame_bytes
+  | Malformed msg -> "malformed message: " ^ msg
+
+(* ---- Framing ---- *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let prefix_length s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let deframe ?(max_bytes = max_frame_bytes) s =
+  let n = String.length s in
+  if n = 0 then Error Closed
+  else if n < 4 then Error (Truncated "length prefix")
+  else
+    let len = prefix_length s 0 in
+    if len > max_bytes then Error (Oversized len)
+    else if n < 4 + len then Error (Truncated "payload")
+    else Ok (String.sub s 4 len, String.sub s (4 + len) (n - 4 - len))
+
+(* ---- Message encode ---- *)
+
+let source_to_json = function
+  | Zoo name -> Json.Obj [ ("zoo", Json.Str name) ]
+  | Ir_text text -> Json.Obj [ ("ir", Json.Str text) ]
+
+let opts_to_json (o : compile_opts) =
+  Json.Obj
+    [
+      ("device", Json.Str o.co_device);
+      ("mode", Json.Str o.co_mode);
+      ("pf", Json.Int o.co_pf);
+      ("tile", Json.Int o.co_tile);
+      ("jobs", Json.Int o.co_jobs);
+      ("fusion", Json.Bool o.co_fusion);
+      ("balance", Json.Bool o.co_balance);
+      ("dataflow", Json.Bool o.co_dataflow);
+    ]
+
+let request_to_json = function
+  | Compile (src, opts) ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("op", Json.Str "compile");
+          ("source", source_to_json src);
+          ("options", opts_to_json opts);
+        ]
+  | Status -> Json.Obj [ ("v", Json.Int version); ("op", Json.Str "status") ]
+  | Ping -> Json.Obj [ ("v", Json.Int version); ("op", Json.Str "ping") ]
+  | Shutdown ->
+      Json.Obj [ ("v", Json.Int version); ("op", Json.Str "shutdown") ]
+
+let meta_to_json (m : artifact_meta) =
+  Json.Obj
+    [
+      ("key", Json.Str m.am_key);
+      ("workload", Json.Str m.am_workload);
+      ("latency_cycles", Json.Int m.am_latency);
+      ("interval_cycles", Json.Int m.am_interval);
+      ("throughput", Json.Float m.am_throughput);
+      ("dsp_efficiency", Json.Float m.am_dsp_efficiency);
+      ("compile_seconds", Json.Float m.am_compile_seconds);
+    ]
+
+let response_to_json = function
+  | Ok_compile r ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("status", Json.Str "ok");
+          ("kind", Json.Str "compile");
+          ("cached", Json.Bool r.cr_cached);
+          ("coalesced", Json.Bool r.cr_coalesced);
+          ("server_ns", Json.Int r.cr_server_ns);
+          ("artifact", meta_to_json r.cr_meta);
+          ("ir", Json.Str r.cr_ir);
+        ]
+  | Ok_status stats ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("status", Json.Str "ok");
+          ("kind", Json.Str "status");
+          ("stats", stats);
+        ]
+  | Ok_pong ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("status", Json.Str "ok");
+          ("kind", Json.Str "pong");
+        ]
+  | Ok_shutdown ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("status", Json.Str "ok");
+          ("kind", Json.Str "shutdown");
+        ]
+  | Err msg ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("status", Json.Str "error");
+          ("message", Json.Str msg);
+        ]
+
+(* ---- Message decode ---- *)
+
+let ( let* ) = Result.bind
+
+let source_of_json j =
+  match (Json.member "zoo" j, Json.member "ir" j) with
+  | Some (Json.Str name), _ -> Ok (Zoo name)
+  | _, Some (Json.Str text) -> Ok (Ir_text text)
+  | _ -> Error "source must carry a \"zoo\" name or \"ir\" text"
+
+let opts_of_json j =
+  try
+    Ok
+      {
+        co_device = Json.get_str ~default:default_opts.co_device "device" j;
+        co_mode = Json.get_str ~default:default_opts.co_mode "mode" j;
+        co_pf = Json.get_int ~default:default_opts.co_pf "pf" j;
+        co_tile = Json.get_int ~default:default_opts.co_tile "tile" j;
+        co_jobs = Json.get_int ~default:default_opts.co_jobs "jobs" j;
+        co_fusion = Json.get_bool ~default:default_opts.co_fusion "fusion" j;
+        co_balance = Json.get_bool ~default:default_opts.co_balance "balance" j;
+        co_dataflow =
+          Json.get_bool ~default:default_opts.co_dataflow "dataflow" j;
+      }
+  with Invalid_argument msg -> Error msg
+
+let request_of_json j =
+  match Json.member "op" j with
+  | Some (Json.Str "compile") ->
+      let* src =
+        match Json.member "source" j with
+        | Some s -> source_of_json s
+        | None -> Error "compile request lacks \"source\""
+      in
+      let* opts =
+        match Json.member "options" j with
+        | Some o -> opts_of_json o
+        | None -> Ok default_opts
+      in
+      Ok (Compile (src, opts))
+  | Some (Json.Str "status") -> Ok Status
+  | Some (Json.Str "ping") -> Ok Ping
+  | Some (Json.Str "shutdown") -> Ok Shutdown
+  | Some (Json.Str op) -> Error ("unknown op " ^ op)
+  | _ -> Error "request lacks an \"op\" field"
+
+let meta_of_json j =
+  try
+    Ok
+      {
+        am_key = Json.get_str "key" j;
+        am_workload = Json.get_str "workload" j;
+        am_latency = Json.get_int "latency_cycles" j;
+        am_interval = Json.get_int "interval_cycles" j;
+        am_throughput = Json.get_float "throughput" j;
+        am_dsp_efficiency = Json.get_float "dsp_efficiency" j;
+        am_compile_seconds = Json.get_float "compile_seconds" j;
+      }
+  with Invalid_argument msg -> Error msg
+
+let response_of_json j =
+  match Json.member "status" j with
+  | Some (Json.Str "error") ->
+      Ok (Err (Json.get_str ~default:"(no message)" "message" j))
+  | Some (Json.Str "ok") -> (
+      match Json.member "kind" j with
+      | Some (Json.Str "compile") ->
+          let* meta =
+            match Json.member "artifact" j with
+            | Some m -> meta_of_json m
+            | None -> Error "compile response lacks \"artifact\""
+          in
+          let* ir =
+            match Json.member "ir" j with
+            | Some (Json.Str s) -> Ok s
+            | _ -> Error "compile response lacks \"ir\""
+          in
+          Ok
+            (Ok_compile
+               {
+                 cr_meta = meta;
+                 cr_ir = ir;
+                 cr_cached = Json.get_bool ~default:false "cached" j;
+                 cr_coalesced = Json.get_bool ~default:false "coalesced" j;
+                 cr_server_ns = Json.get_int ~default:0 "server_ns" j;
+               })
+      | Some (Json.Str "status") ->
+          Ok
+            (Ok_status
+               (match Json.member "stats" j with Some s -> s | None -> Json.Null))
+      | Some (Json.Str "pong") -> Ok Ok_pong
+      | Some (Json.Str "shutdown") -> Ok Ok_shutdown
+      | _ -> Error "ok response lacks a known \"kind\"")
+  | _ -> Error "response lacks a \"status\" field"
+
+let encode_request r = frame (Json.to_string (request_to_json r))
+let encode_response r = frame (Json.to_string (response_to_json r))
+
+(* ---- Blocking fd transport ---- *)
+
+(* Read exactly [len] bytes; [None] on EOF mid-way, [Some bytes] on
+   success.  EINTR retries. *)
+let rec really_read fd buf off len =
+  if len = 0 then true
+  else
+    let n = try Unix.read fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> -1 in
+    if n < 0 then really_read fd buf off len
+    else if n = 0 then false
+    else really_read fd buf (off + n) (len - n)
+
+let rec read_frame ?(max_bytes = max_frame_bytes) fd =
+  let prefix = Bytes.create 4 in
+  (* Distinguish clean close (EOF before the first byte) from a torn
+     frame: read the first prefix byte alone. *)
+  let first =
+    try Unix.read fd prefix 0 1 with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+  in
+  if first < 0 then read_frame ~max_bytes fd
+  else if first = 0 then Error Closed
+  else if not (really_read fd prefix 1 3) then Error (Truncated "length prefix")
+  else
+    let len = prefix_length (Bytes.unsafe_to_string prefix) 0 in
+    if len > max_bytes then Error (Oversized len)
+    else
+      let payload = Bytes.create len in
+      if not (really_read fd payload 0 len) then Error (Truncated "payload")
+      else Ok (Bytes.unsafe_to_string payload)
+
+let write_frame fd payload =
+  let data = Bytes.unsafe_of_string (frame payload) in
+  let total = Bytes.length data in
+  let off = ref 0 in
+  while !off < total do
+    match Unix.write fd data !off (total - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let decode_with of_json payload =
+  match Json.parse payload with
+  | Error e -> Error (Malformed e)
+  | Ok j -> (
+      match of_json j with Ok v -> Ok v | Error e -> Error (Malformed e))
+
+let read_request ?max_bytes fd =
+  Result.bind (read_frame ?max_bytes fd) (decode_with request_of_json)
+
+let read_response ?max_bytes fd =
+  Result.bind (read_frame ?max_bytes fd) (decode_with response_of_json)

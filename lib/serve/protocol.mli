@@ -1,0 +1,110 @@
+(** Wire protocol of the compile server.
+
+    Frames are length-prefixed JSON: a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON.  The length prefix keeps
+    framing trivial under pipelining and lets the reader reject
+    oversized payloads before allocating ({!max_frame_bytes}).
+
+    Requests:
+    {v
+      {"v":1,"op":"compile","source":{"zoo":"lenet"}|{"ir":"..."},
+       "options":{"device":..,"mode":..,"pf":..,"tile":..,"jobs":..,
+                  "fusion":..,"balance":..,"dataflow":..}}
+      {"v":1,"op":"status"} | {"v":1,"op":"ping"} | {"v":1,"op":"shutdown"}
+    v}
+
+    Responses: ["ok"] carrying an artifact (compile), a stats object
+    (status) or nothing (ping/shutdown), or ["error"] with a message.
+    Unknown fields are ignored on both sides so the surface can grow
+    without breaking older clients. *)
+
+val version : int
+
+val max_frame_bytes : int
+(** Default payload ceiling (64 MiB) — larger than any zoo artifact,
+    small enough that a corrupt length prefix cannot OOM the server. *)
+
+type source = Zoo of string | Ir_text of string
+
+type compile_opts = {
+  co_device : string;
+  co_mode : string;  (** ia+ca | ia | ca | naive *)
+  co_pf : int;  (** max parallel factor *)
+  co_tile : int;
+  co_jobs : int;  (** DSE worker domains inside one compile *)
+  co_fusion : bool;
+  co_balance : bool;
+  co_dataflow : bool;
+}
+
+val default_opts : compile_opts
+
+type request = Compile of source * compile_opts | Status | Ping | Shutdown
+
+type artifact_meta = {
+  am_key : string;  (** content-addressed artifact key (hex) *)
+  am_workload : string;  (** zoo name or ["@ir"] *)
+  am_latency : int;
+  am_interval : int;
+  am_throughput : float;
+  am_dsp_efficiency : float;
+  am_compile_seconds : float;  (** of the pipeline run that produced it *)
+}
+
+type compile_reply = {
+  cr_meta : artifact_meta;
+  cr_ir : string;  (** optimized design, canonical textual IR *)
+  cr_cached : bool;  (** served from the artifact store *)
+  cr_coalesced : bool;  (** attached to an identical in-flight compile *)
+  cr_server_ns : int;  (** server-side end-to-end handling time *)
+}
+
+type response =
+  | Ok_compile of compile_reply
+  | Ok_status of Json.t
+  | Ok_pong
+  | Ok_shutdown
+  | Err of string
+
+type frame_error =
+  | Closed  (** EOF before any prefix byte (clean peer close) *)
+  | Truncated of string  (** EOF mid-prefix or mid-payload *)
+  | Oversized of int  (** declared length exceeds the ceiling *)
+  | Malformed of string  (** JSON or message-shape error *)
+
+val frame_error_to_string : frame_error -> string
+
+(* ---- Pure encode/decode (string level; property-tested) ---- *)
+
+val frame : string -> string
+(** Prepend the 4-byte big-endian length prefix. *)
+
+val deframe : ?max_bytes:int -> string -> (string * string, frame_error) result
+(** Split one frame off the front: [(payload, rest)]. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+val encode_request : request -> string
+(** Framed bytes, ready to write. *)
+
+val encode_response : response -> string
+
+(* ---- Blocking fd transport ---- *)
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, frame_error) result
+(** Read exactly one frame payload (retries short reads; [Closed] on
+    clean EOF before the first byte, [Truncated] on EOF inside a
+    frame). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and write the payload (retries short writes). *)
+
+val read_request :
+  ?max_bytes:int -> Unix.file_descr -> (request, frame_error) result
+
+val read_response :
+  ?max_bytes:int -> Unix.file_descr -> (response, frame_error) result

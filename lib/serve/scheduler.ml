@@ -1,0 +1,173 @@
+(* Worker pool (bounded FIFO over OCaml 5 domains) and single-flight
+   request coalescing.  Both are small condition-variable machines; the
+   pool sheds load at the edge instead of queueing without bound, and
+   the single-flight table is the piece that makes identical concurrent
+   compiles run the pipeline exactly once. *)
+
+(* ---- Worker pool ---- *)
+
+type 'a pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  limit : int;
+  mutable stopping : bool;
+  mutable max_depth : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop p handler =
+  let rec next () =
+    Mutex.lock p.lock;
+    let rec wait () =
+      if not (Queue.is_empty p.queue) then Some (Queue.pop p.queue)
+      else if p.stopping then None
+      else begin
+        Condition.wait p.nonempty p.lock;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock p.lock;
+    match job with
+    | None -> ()
+    | Some j ->
+        (try handler j
+         with _ ->
+           Mutex.lock p.lock;
+           p.errors <- p.errors + 1;
+           Mutex.unlock p.lock);
+        next ()
+  in
+  next ()
+
+let create_pool ~workers ~queue_limit handler =
+  let p =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      limit = max 1 queue_limit;
+      stopping = false;
+      max_depth = 0;
+      rejected = 0;
+      errors = 0;
+      domains = [];
+    }
+  in
+  p.domains <-
+    List.init (max 1 workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop p handler));
+  p
+
+let submit p job =
+  Mutex.lock p.lock;
+  let accepted =
+    if p.stopping || Queue.length p.queue >= p.limit then begin
+      p.rejected <- p.rejected + 1;
+      false
+    end
+    else begin
+      Queue.push job p.queue;
+      p.max_depth <- max p.max_depth (Queue.length p.queue);
+      Condition.signal p.nonempty;
+      true
+    end
+  in
+  Mutex.unlock p.lock;
+  accepted
+
+let read_field p f =
+  Mutex.lock p.lock;
+  let r = f p in
+  Mutex.unlock p.lock;
+  r
+
+let queue_depth p = read_field p (fun p -> Queue.length p.queue)
+let max_queue_depth p = read_field p (fun p -> p.max_depth)
+let rejected p = read_field p (fun p -> p.rejected)
+let handler_errors p = read_field p (fun p -> p.errors)
+
+let shutdown p =
+  Mutex.lock p.lock;
+  p.stopping <- true;
+  Condition.broadcast p.nonempty;
+  let ds = p.domains in
+  p.domains <- [];
+  Mutex.unlock p.lock;
+  List.iter Domain.join ds
+
+(* ---- Single-flight coalescing ---- *)
+
+module Single_flight = struct
+  type 'a flight = {
+    done_cond : Condition.t;
+    mutable result : ('a, exn) result option;
+  }
+
+  type 'a t = {
+    sf_lock : Mutex.t;
+    flights : (string, 'a flight) Hashtbl.t;
+    mutable coalesced : int;
+    mutable leaders : int;
+  }
+
+  let create () =
+    {
+      sf_lock = Mutex.create ();
+      flights = Hashtbl.create 16;
+      coalesced = 0;
+      leaders = 0;
+    }
+
+  type 'a outcome = { value : 'a; coalesced : bool }
+
+  let run t key compute =
+    Mutex.lock t.sf_lock;
+    match Hashtbl.find_opt t.flights key with
+    | Some fl ->
+        (* Follower: wait for the leader's result. *)
+        t.coalesced <- t.coalesced + 1;
+        let rec await () =
+          match fl.result with
+          | Some r -> r
+          | None ->
+              Condition.wait fl.done_cond t.sf_lock;
+              await ()
+        in
+        let r = await () in
+        Mutex.unlock t.sf_lock;
+        (match r with
+        | Ok value -> { value; coalesced = true }
+        | Error e -> raise e)
+    | None ->
+        let fl = { done_cond = Condition.create (); result = None } in
+        Hashtbl.replace t.flights key fl;
+        t.leaders <- t.leaders + 1;
+        Mutex.unlock t.sf_lock;
+        let r = try Ok (compute ()) with e -> Error e in
+        Mutex.lock t.sf_lock;
+        fl.result <- Some r;
+        (* The flight ends here: followers still blocked read [result];
+           new arrivals start a fresh one. *)
+        Hashtbl.remove t.flights key;
+        Condition.broadcast fl.done_cond;
+        Mutex.unlock t.sf_lock;
+        (match r with
+        | Ok value -> { value; coalesced = false }
+        | Error e -> raise e)
+
+  let coalesced_total t =
+    Mutex.lock t.sf_lock;
+    let r = t.coalesced in
+    Mutex.unlock t.sf_lock;
+    r
+
+  let leaders_total t =
+    Mutex.lock t.sf_lock;
+    let r = t.leaders in
+    Mutex.unlock t.sf_lock;
+    r
+end

@@ -1,0 +1,61 @@
+(** Request scheduling for the compile server.
+
+    Two independent pieces:
+
+    {2 Worker pool}
+
+    A fixed set of OCaml 5 domains draining one bounded FIFO.
+    {!submit} never blocks: it enqueues and returns [true], or returns
+    [false] when the queue is at its limit (the server answers "busy"
+    instead of building unbounded backlog — load shedding at the edge).
+
+    {2 Single-flight coalescing}
+
+    A keyed in-flight table: the first caller of {!Single_flight.run}
+    for a key becomes the {e leader} and executes the thunk; callers
+    arriving with the same key while it runs become {e followers},
+    block on a condition variable, and receive the leader's result (or
+    its exception) without executing anything.  This is what turns N
+    identical concurrent requests into exactly one pipeline run. *)
+
+type 'a pool
+
+val create_pool : workers:int -> queue_limit:int -> ('a -> unit) -> 'a pool
+(** Spawn [workers] domains running the handler.  Exceptions escaping
+    the handler are caught and counted, never fatal. *)
+
+val submit : 'a pool -> 'a -> bool
+(** Enqueue a job; [false] when the queue is full. *)
+
+val queue_depth : 'a pool -> int
+val max_queue_depth : 'a pool -> int
+val rejected : 'a pool -> int
+(** Jobs refused because the queue was full. *)
+
+val handler_errors : 'a pool -> int
+
+val shutdown : 'a pool -> unit
+(** Drain the queue, then join every worker.  Idempotent. *)
+
+module Single_flight : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  type 'a outcome = { value : 'a; coalesced : bool }
+
+  val run : 'a t -> string -> (unit -> 'a) -> 'a outcome
+  (** [run t key compute]: leaders execute [compute]; concurrent
+      callers with an equal [key] wait and share the result
+      ([coalesced = true]).  A leader's exception is re-raised in every
+      waiter.  Once the leader finishes, the key leaves the table —
+      later calls start a fresh flight (the artifact store, not this
+      table, provides long-term reuse). *)
+
+  val coalesced_total : 'a t -> int
+  (** Followers served so far: N identical concurrent requests add
+      N-1. *)
+
+  val leaders_total : 'a t -> int
+  (** Thunks actually executed. *)
+end

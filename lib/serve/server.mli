@@ -1,0 +1,29 @@
+(** The compile server: a Unix-domain-socket loop in front of the
+    pipeline.
+
+    One listening socket; accepted connections are dispatched to a
+    {!Scheduler} worker pool (bounded queue — full means the client is
+    told "busy" immediately).  Workers read length-prefixed JSON
+    requests, serve compiles from the content-addressed
+    {!Artifact.store}, coalesce identical in-flight compiles through
+    {!Scheduler.Single_flight}, and record per-request [hida.obs]
+    metrics (hit/miss/coalesce counters, queue depth, end-to-end
+    latency histograms split cold/hit/coalesced), all dumpable through
+    the [status] RPC. *)
+
+type config = {
+  cf_socket : string;  (** path of the Unix-domain socket *)
+  cf_workers : int;  (** connection-handling domains *)
+  cf_queue_limit : int;  (** pending-connection bound (then "busy") *)
+  cf_cache_bytes : int;  (** artifact-store budget *)
+  cf_verbose : bool;  (** log one line per request to stderr *)
+}
+
+val default_config : config
+(** Socket ["/tmp/hida-serve.sock"], workers = min 4 (cores-1), queue
+    limit 64, cache budget {!Artifact.default_budget_bytes}. *)
+
+val run : config -> unit
+(** Bind, serve until a [shutdown] RPC (or SIGINT/SIGTERM), then drain
+    workers and remove the socket file.  Raises [Failure] when the
+    socket is already served by a live server. *)

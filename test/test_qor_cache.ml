@@ -131,10 +131,62 @@ let test_jobs_determinism () =
         (String.equal (print_nn ~jobs:1 build) (print_nn ~jobs:4 build)))
     Models.all
 
+(* ---- Entry budget / LRU eviction ---- *)
+
+(* Long-running processes (the compile server) bound the cache with
+   [set_entry_limit]: crossing the limit drops the least-recently-used
+   quarter, recently touched entries survive, and the eviction counter
+   feeds the [qor.cache.evictions] metric. *)
+let test_entry_limit_eviction () =
+  let cache = Qor_cache.create () in
+  Qor_cache.set_entry_limit cache 16;
+  checki "limit readable" 16 (Qor_cache.entry_limit cache);
+  for i = 1 to 32 do
+    ignore
+      (Qor_cache.memo_float cache
+         (Printf.sprintf "k%d" i)
+         (fun () -> float_of_int i))
+  done;
+  checkb "size stays within the limit" (Qor_cache.size cache <= 16);
+  checkb "evictions counted" (Qor_cache.evictions cache > 0);
+  (* The most recently stored entry survives the sweep... *)
+  let h0, _ = Qor_cache.counters cache in
+  ignore (Qor_cache.memo_float cache "k32" (fun () -> nan));
+  let h1, _ = Qor_cache.counters cache in
+  checki "most-recent entry still hits" (h0 + 1) h1;
+  (* ...while the oldest was dropped and gets recomputed. *)
+  let v = Qor_cache.memo_float cache "k1" (fun () -> 123.) in
+  checkb "oldest entry was evicted (recomputed)" (v = 123.);
+  (* Shrinking the limit evicts immediately, and clear resets the
+     counter. *)
+  Qor_cache.set_entry_limit cache 4;
+  checkb "shrinking the limit evicts now" (Qor_cache.size cache <= 4);
+  Qor_cache.clear cache;
+  checki "clear resets the eviction counter" 0 (Qor_cache.evictions cache)
+
+(* A hit refreshes an entry's LRU stamp: entries kept hot across the
+   whole overflow survive where idle peers of the same age are swept. *)
+let test_eviction_is_lru () =
+  let cache = Qor_cache.create () in
+  Qor_cache.set_entry_limit cache 16;
+  ignore (Qor_cache.memo_float cache "hot" (fun () -> 7.));
+  for i = 1 to 64 do
+    ignore
+      (Qor_cache.memo_float cache
+         (Printf.sprintf "cold%d" i)
+         (fun () -> float_of_int i));
+    (* Touch the hot entry on every insertion. *)
+    ignore (Qor_cache.memo_float cache "hot" (fun () -> nan))
+  done;
+  let v = Qor_cache.memo_float cache "hot" (fun () -> nan) in
+  checkb "constantly-touched entry survives 4x overflow" (v = 7.)
+
 let tests =
   [
     prop_memoized_equals_fresh;
     Alcotest.test_case "hit/miss counters" `Quick test_counters;
+    Alcotest.test_case "entry-limit eviction" `Quick test_entry_limit_eviction;
+    Alcotest.test_case "eviction is LRU" `Quick test_eviction_is_lru;
     Alcotest.test_case "signature invalidation" `Quick test_signature_invalidation;
     Alcotest.test_case "signature captures enclosing trips" `Quick
       test_signature_captures_enclosing_trips;

@@ -1,0 +1,539 @@
+(* Tests for the serve subsystem: JSON/protocol round-trips (property
+   tested), frame-error handling on strings and live fds, deterministic
+   single-flight coalescing, and an end-to-end socket test asserting
+   that a warm hit returns the byte-identical artifact of a cold local
+   compile for every zoo workload. *)
+
+open Hida_serve
+open Helpers
+
+(* ---- Generators ---- *)
+
+let gen_opts : Protocol.compile_opts QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* co_device = oneofl [ "pynq-z2"; "zu3eg"; "vu9p-slr" ] in
+  let* co_mode = oneofl [ "ia+ca"; "ia"; "ca"; "naive" ] in
+  let* co_pf = 1 -- 512 in
+  let* co_tile = 1 -- 64 in
+  let* co_jobs = 1 -- 8 in
+  let* co_fusion = bool in
+  let* co_balance = bool in
+  let* co_dataflow = bool in
+  return
+    {
+      Protocol.co_device;
+      co_mode;
+      co_pf;
+      co_tile;
+      co_jobs;
+      co_fusion;
+      co_balance;
+      co_dataflow;
+    }
+
+(* Arbitrary bytes on purpose: the JSON layer must round-trip control
+   characters, quotes, backslashes and non-UTF-8 bytes at byte level. *)
+let gen_source : Protocol.source QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun s -> Protocol.Zoo s) (string_size (0 -- 24));
+      map (fun s -> Protocol.Ir_text s) (string_size (0 -- 200));
+    ]
+
+let gen_request : Protocol.request QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map2
+        (fun src opts -> Protocol.Compile (src, opts))
+        gen_source gen_opts;
+      return Protocol.Status;
+      return Protocol.Ping;
+      return Protocol.Shutdown;
+    ]
+
+(* Floats built from dyadic rationals round-trip exactly through the
+   decimal printer. *)
+let gen_small_float =
+  QCheck2.Gen.map (fun n -> float_of_int n /. 16.) QCheck2.Gen.(-10000 -- 10000)
+
+let gen_response : Protocol.response QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let gen_meta =
+    let* am_key = string_size (0 -- 32) in
+    let* am_workload = string_size (0 -- 16) in
+    let* am_latency = 0 -- 1_000_000 in
+    let* am_interval = 0 -- 1_000_000 in
+    let* am_throughput = gen_small_float in
+    let* am_dsp_efficiency = gen_small_float in
+    let* am_compile_seconds = gen_small_float in
+    return
+      {
+        Protocol.am_key;
+        am_workload;
+        am_latency;
+        am_interval;
+        am_throughput;
+        am_dsp_efficiency;
+        am_compile_seconds;
+      }
+  in
+  oneof
+    [
+      (let* cr_meta = gen_meta in
+       let* cr_ir = string_size (0 -- 300) in
+       let* cr_cached = bool in
+       let* cr_coalesced = bool in
+       let* cr_server_ns = 0 -- 1_000_000_000 in
+       return
+         (Protocol.Ok_compile
+            { Protocol.cr_meta; cr_ir; cr_cached; cr_coalesced; cr_server_ns }));
+      map
+        (fun n -> Protocol.Ok_status (Json.Obj [ ("requests", Json.Int n) ]))
+        (0 -- 1000);
+      return Protocol.Ok_pong;
+      return Protocol.Ok_shutdown;
+      map (fun s -> Protocol.Err s) (string_size (0 -- 64));
+    ]
+
+(* ---- Protocol round-trips ---- *)
+
+let prop_request_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"request json round-trip" ~count:500 gen_request
+       (fun req ->
+         match
+           Protocol.request_of_json
+             (Json.parse_exn (Json.to_string (Protocol.request_to_json req)))
+         with
+         | Ok req' -> req = req'
+         | Error _ -> false))
+
+let prop_response_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"response json round-trip" ~count:500 gen_response
+       (fun resp ->
+         match
+           Protocol.response_of_json
+             (Json.parse_exn (Json.to_string (Protocol.response_to_json resp)))
+         with
+         | Ok resp' -> resp = resp'
+         | Error _ -> false))
+
+let prop_frame_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"frame/deframe round-trip with rest" ~count:500
+       QCheck2.Gen.(pair (string_size (0 -- 300)) (string_size (0 -- 50)))
+       (fun (payload, rest) ->
+         match Protocol.deframe (Protocol.frame payload ^ rest) with
+         | Ok (p, r) -> p = payload && r = rest
+         | Error _ -> false))
+
+let test_json_escaping () =
+  let nasty = "\x00\x01\x1f\"\\\n\r\t\x7f\xff plain" in
+  let j = Json.Obj [ ("s", Json.Str nasty) ] in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "nasty string did not parse back: %s" e
+  | Ok j' ->
+      checkb "control/quote/high bytes round-trip" (j = j');
+      check Alcotest.string "value preserved" nasty
+        (match Json.member "s" j' with
+        | Some (Json.Str s) -> s
+        | _ -> "<missing>")
+
+(* ---- Frame errors ---- *)
+
+let test_deframe_errors () =
+  let f = Protocol.frame "hello" in
+  (* Every proper prefix is Truncated (or Closed when empty). *)
+  for k = 0 to String.length f - 1 do
+    match Protocol.deframe (String.sub f 0 k) with
+    | Error Protocol.Closed -> checkb "only the empty buffer is Closed" (k = 0)
+    | Error (Protocol.Truncated _) -> checkb "prefix is truncated" (k > 0)
+    | Error e ->
+        Alcotest.failf "prefix %d: unexpected %s" k
+          (Protocol.frame_error_to_string e)
+    | Ok _ -> Alcotest.failf "prefix %d parsed as a whole frame" k
+  done;
+  (* A declared length over the ceiling is rejected before payload. *)
+  let oversized = Protocol.frame (String.make 64 'x') in
+  (match Protocol.deframe ~max_bytes:16 oversized with
+  | Error (Protocol.Oversized 64) -> ()
+  | _ -> Alcotest.fail "expected Oversized 64");
+  (* Two frames pipelined in one buffer split cleanly. *)
+  match Protocol.deframe (Protocol.frame "a" ^ Protocol.frame "bb") with
+  | Ok ("a", rest) -> (
+      match Protocol.deframe rest with
+      | Ok ("bb", "") -> ()
+      | _ -> Alcotest.fail "second frame did not deframe")
+  | _ -> Alcotest.fail "first frame did not deframe"
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let test_read_frame_errors () =
+  (* Clean close before any byte: Closed. *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Closed -> ()
+      | _ -> Alcotest.fail "expected Closed on clean EOF");
+  (* EOF mid-payload: Truncated. *)
+  with_socketpair (fun a b ->
+      let f = Protocol.frame "payload" in
+      write_all a (String.sub f 0 (String.length f - 3));
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error (Protocol.Truncated _) -> ()
+      | _ -> Alcotest.fail "expected Truncated on mid-frame EOF");
+  (* Oversized declared length is rejected without reading the payload. *)
+  with_socketpair (fun a b ->
+      write_all a "\xff\xff\xff\xff";
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error (Protocol.Oversized _) -> ()
+      | _ -> Alcotest.fail "expected Oversized");
+  (* Garbage JSON in a well-formed frame: Malformed, not an exception. *)
+  with_socketpair (fun a b ->
+      write_all a (Protocol.frame "{not json");
+      Unix.close a;
+      match Protocol.read_request b with
+      | Error (Protocol.Malformed _) -> ()
+      | _ -> Alcotest.fail "expected Malformed");
+  (* Round trip over a real fd. *)
+  with_socketpair (fun a b ->
+      Protocol.write_frame a "abc";
+      match Protocol.read_frame b with
+      | Ok "abc" -> ()
+      | _ -> Alcotest.fail "fd round trip failed")
+
+(* ---- Single-flight coalescing (deterministic) ---- *)
+
+(* The leader's compute spins until the follower has registered (its
+   coalesced counter bumps *before* it blocks), so exactly one of the
+   two concurrent calls runs the computation — no timing assumptions. *)
+let test_single_flight_coalesce () =
+  let t = Scheduler.Single_flight.create () in
+  let runs = Atomic.make 0 in
+  let compute () =
+    while Scheduler.Single_flight.coalesced_total t < 1 do
+      Unix.sleepf 0.001
+    done;
+    Atomic.incr runs;
+    42
+  in
+  let d1 = Domain.spawn (fun () -> Scheduler.Single_flight.run t "k" compute) in
+  let d2 = Domain.spawn (fun () -> Scheduler.Single_flight.run t "k" compute) in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  checki "computation ran exactly once" 1 (Atomic.get runs);
+  checki "one leader" 1 (Scheduler.Single_flight.leaders_total t);
+  checki "coalesce counter is 1" 1 (Scheduler.Single_flight.coalesced_total t);
+  checki "leader value" 42 r1.Scheduler.Single_flight.value;
+  checki "follower value" 42 r2.Scheduler.Single_flight.value;
+  checkb "exactly one reply is coalesced"
+    (r1.Scheduler.Single_flight.coalesced <> r2.Scheduler.Single_flight.coalesced);
+  (* A later call for the same key starts a fresh flight. *)
+  let r3 = Scheduler.Single_flight.run t "k" (fun () -> 7) in
+  checki "fresh flight after completion" 7 r3.Scheduler.Single_flight.value;
+  checki "two leaders total" 2 (Scheduler.Single_flight.leaders_total t)
+
+(* A leader failure propagates to its followers but leaves the table
+   usable for the next request. *)
+let test_single_flight_error () =
+  let t = Scheduler.Single_flight.create () in
+  (match Scheduler.Single_flight.run t "bad" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the leader's exception"
+  | exception Failure m -> check Alcotest.string "leader exn" "boom" m);
+  let r = Scheduler.Single_flight.run t "bad" (fun () -> 1) in
+  checki "key reusable after failure" 1 r.Scheduler.Single_flight.value
+
+(* ---- Worker pool ---- *)
+
+let test_pool_bounded () =
+  let processed = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let p =
+    Scheduler.create_pool ~workers:1 ~queue_limit:2 (fun () ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.001
+        done;
+        Atomic.incr processed)
+  in
+  (* One job occupies the worker; two fill the queue; the next sheds. *)
+  checkb "job 1 accepted" (Scheduler.submit p ());
+  (* Wait until the worker picked job 1 up, so queue capacity is exact. *)
+  let rec settle n =
+    if n > 0 && Scheduler.queue_depth p > 0 then begin
+      Unix.sleepf 0.001;
+      settle (n - 1)
+    end
+  in
+  settle 1000;
+  checkb "job 2 accepted" (Scheduler.submit p ());
+  checkb "job 3 accepted" (Scheduler.submit p ());
+  checkb "job 4 rejected at the bound" (not (Scheduler.submit p ()));
+  checki "one rejection counted" 1 (Scheduler.rejected p);
+  Atomic.set gate true;
+  Scheduler.shutdown p;
+  checki "accepted jobs all processed" 3 (Atomic.get processed)
+
+(* ---- Artifact store ---- *)
+
+let artifact ~key ~size =
+  ignore key;
+  {
+    Artifact.a_meta =
+      {
+        Protocol.am_key = key;
+        am_workload = "w";
+        am_latency = 1;
+        am_interval = 1;
+        am_throughput = 1.;
+        am_dsp_efficiency = 1.;
+        am_compile_seconds = 0.;
+      };
+    a_ir = String.make size 'i';
+  }
+
+let test_store_lru () =
+  (* Budget fits two artifacts; the least recently used one is evicted. *)
+  let one = Artifact.bytes (artifact ~key:"x" ~size:1000) in
+  let s = Artifact.create_store ~budget_bytes:(2 * one) () in
+  Artifact.add s ~key:"a" (artifact ~key:"a" ~size:1000);
+  Artifact.add s ~key:"b" (artifact ~key:"b" ~size:1000);
+  checkb "a present" (Artifact.find s "a" <> None);
+  (* "a" is now the most recently used; adding "c" must evict "b". *)
+  Artifact.add s ~key:"c" (artifact ~key:"c" ~size:1000);
+  checkb "b evicted as LRU" (Artifact.find s "b" = None);
+  checkb "a survived (recently used)" (Artifact.find s "a" <> None);
+  checkb "c present" (Artifact.find s "c" <> None);
+  let st = Artifact.stats s in
+  checki "one eviction" 1 st.Artifact.s_evictions;
+  checki "two entries" 2 st.Artifact.s_entries;
+  (* An artifact larger than the whole budget is refused outright. *)
+  Artifact.add s ~key:"huge" (artifact ~key:"huge" ~size:(3 * one));
+  checkb "oversized artifact not stored" (Artifact.find s "huge" = None)
+
+let test_artifact_keys () =
+  let opts = Protocol.default_opts in
+  let k1 = Artifact.key (Protocol.Zoo "lenet") opts in
+  let k2 = Artifact.key (Protocol.Zoo "lenet") opts in
+  let k3 = Artifact.key (Protocol.Zoo "resnet18") opts in
+  let k4 =
+    Artifact.key (Protocol.Zoo "lenet") { opts with Protocol.co_pf = 8 }
+  in
+  (* jobs only changes how the DSE is scheduled, never the design; it
+     must not fragment the cache. *)
+  let k5 =
+    Artifact.key (Protocol.Zoo "lenet") { opts with Protocol.co_jobs = 7 }
+  in
+  check Alcotest.string "key is deterministic" k1 k2;
+  checkb "workload changes the key" (k1 <> k3);
+  checkb "semantic option changes the key" (k1 <> k4);
+  check Alcotest.string "jobs does not change the key" k1 k5
+
+(* ---- End-to-end over the socket ---- *)
+
+let e2e_socket =
+  Printf.sprintf "/tmp/hida-serve-test-%d.sock" (Unix.getpid ())
+
+let with_server f =
+  let config =
+    {
+      Server.default_config with
+      Server.cf_socket = e2e_socket;
+      cf_workers = 2;
+      cf_verbose = false;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run config) in
+  let rec await n =
+    if n = 0 then Alcotest.fail "server did not come up"
+    else
+      match Client.ping ~socket:e2e_socket with
+      | Ok () -> ()
+      | Error _ ->
+          Unix.sleepf 0.02;
+          await (n - 1)
+  in
+  await 250;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.stop ~socket:e2e_socket with Ok () -> () | Error _ -> ());
+      Domain.join server)
+    (fun () -> f e2e_socket)
+
+let zoo_workloads () =
+  List.map (fun e -> e.Hida_frontend.Models.e_name) Hida_frontend.Models.all
+  @ List.map
+      (fun e -> e.Hida_frontend.Polybench.e_name)
+      Hida_frontend.Polybench.all
+  @ List.map
+      (fun e -> e.Hida_frontend.Polybench_extra.e_name)
+      Hida_frontend.Polybench_extra.all
+  @ [ "listing1" ]
+
+(* For every zoo workload: a cold served compile, then a warm hit, and
+   both must carry the byte-identical IR of a local pipeline run of the
+   same request. *)
+let test_e2e_warm_hit_identical () =
+  with_server (fun socket ->
+      let opts = Protocol.default_opts in
+      List.iter
+        (fun name ->
+          let src = Protocol.Zoo name in
+          let cold =
+            match Client.compile ~socket src opts with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "%s: cold compile failed: %s" name e
+          in
+          checkb (name ^ ": first compile is cold")
+            (not cold.Protocol.cr_cached);
+          let warm =
+            match Client.compile ~socket src opts with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "%s: warm compile failed: %s" name e
+          in
+          checkb (name ^ ": second compile hits") warm.Protocol.cr_cached;
+          let local =
+            match Artifact.compile src opts with
+            | Ok a -> a
+            | Error e -> Alcotest.failf "%s: local compile failed: %s" name e
+          in
+          checkb
+            (name ^ ": warm artifact byte-identical to local compile")
+            (String.equal warm.Protocol.cr_ir local.Artifact.a_ir);
+          check Alcotest.string
+            (name ^ ": cold and warm artifacts identical")
+            cold.Protocol.cr_ir warm.Protocol.cr_ir;
+          check Alcotest.string
+            (name ^ ": stable artifact key")
+            cold.Protocol.cr_meta.Protocol.am_key
+            warm.Protocol.cr_meta.Protocol.am_key)
+        (zoo_workloads ()))
+
+(* Two identical concurrent requests for an unseen key: the status
+   counters must show exactly one pipeline run for them, and one of the
+   two replies coalesced (the slow vgg16 compile gives the follower a
+   wide window to attach; if it somehow arrives late it is a cache hit,
+   which the pipeline-run assertion still catches). *)
+let test_e2e_coalesce_single_run () =
+  with_server (fun socket ->
+      let src = Protocol.Zoo "vgg16" in
+      let opts = { Protocol.default_opts with Protocol.co_pf = 8; co_tile = 8 } in
+      let runs_before =
+        match Client.status ~socket with
+        | Ok st -> Json.get_int "pipeline_runs" st
+        | Error e -> Alcotest.failf "status failed: %s" e
+      in
+      let spawn () =
+        Domain.spawn (fun () -> Client.compile ~socket src opts)
+      in
+      let d1 = spawn () in
+      (* Give the leader a head start into its (long) compile. *)
+      Unix.sleepf 0.05;
+      let d2 = spawn () in
+      let r1 =
+        match Domain.join d1 with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "first client failed: %s" e
+      in
+      let r2 =
+        match Domain.join d2 with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "second client failed: %s" e
+      in
+      let runs_after =
+        match Client.status ~socket with
+        | Ok st -> Json.get_int "pipeline_runs" st
+        | Error e -> Alcotest.failf "status failed: %s" e
+      in
+      checki "exactly one pipeline run for two identical requests" 1
+        (runs_after - runs_before);
+      check Alcotest.string "both clients got the same artifact"
+        r1.Protocol.cr_ir r2.Protocol.cr_ir;
+      checkb "the second reply reused the first compile"
+        (r2.Protocol.cr_coalesced || r2.Protocol.cr_cached))
+
+(* Malformed and unrepresentable requests come back as Err responses on
+   a live connection — the server must not drop it or die. *)
+let test_e2e_bad_requests () =
+  with_server (fun socket ->
+      (match
+         Client.compile ~socket (Protocol.Zoo "no-such-model")
+           Protocol.default_opts
+       with
+      | Error e -> checkb "unknown workload is a server error" (e <> "")
+      | Ok _ -> Alcotest.fail "unknown workload compiled");
+      (match
+         Client.compile ~socket (Protocol.Ir_text "func.func oops {")
+           Protocol.default_opts
+       with
+      | Error e -> checkb "bad IR is a server error" (e <> "")
+      | Ok _ -> Alcotest.fail "unparsable IR compiled");
+      (* The connection stays serviceable for the next request. *)
+      match Client.ping ~socket with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "server unhealthy after bad requests: %s" e)
+
+(* Textual-IR sources are first-class: the same module text must hit on
+   the second request. *)
+let test_e2e_ir_text_source () =
+  with_server (fun socket ->
+      let _m, f = Hida_frontend.Listing1.build () in
+      ignore f;
+      let text = Hida_ir.Printer.op_to_string _m in
+      let src = Protocol.Ir_text text in
+      let cold =
+        match Client.compile ~socket src Protocol.default_opts with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "ir-text cold compile failed: %s" e
+      in
+      let warm =
+        match Client.compile ~socket src Protocol.default_opts with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "ir-text warm compile failed: %s" e
+      in
+      checkb "ir-text second compile hits" warm.Protocol.cr_cached;
+      check Alcotest.string "ir-text artifacts identical" cold.Protocol.cr_ir
+        warm.Protocol.cr_ir)
+
+let tests =
+  [
+    prop_request_roundtrip;
+    prop_response_roundtrip;
+    prop_frame_roundtrip;
+    Alcotest.test_case "json escaping of hostile strings" `Quick
+      test_json_escaping;
+    Alcotest.test_case "deframe error taxonomy" `Quick test_deframe_errors;
+    Alcotest.test_case "fd frame errors" `Quick test_read_frame_errors;
+    Alcotest.test_case "single-flight coalesces to one run" `Quick
+      test_single_flight_coalesce;
+    Alcotest.test_case "single-flight leader failure" `Quick
+      test_single_flight_error;
+    Alcotest.test_case "worker pool sheds at the bound" `Quick
+      test_pool_bounded;
+    Alcotest.test_case "artifact store LRU eviction" `Quick test_store_lru;
+    Alcotest.test_case "artifact keys" `Quick test_artifact_keys;
+    Alcotest.test_case "e2e warm hits byte-identical (all zoo)" `Quick
+      test_e2e_warm_hit_identical;
+    Alcotest.test_case "e2e identical concurrent requests run once" `Quick
+      test_e2e_coalesce_single_run;
+    Alcotest.test_case "e2e bad requests answered with errors" `Quick
+      test_e2e_bad_requests;
+    Alcotest.test_case "e2e textual-IR source" `Quick test_e2e_ir_text_source;
+  ]
