@@ -88,6 +88,8 @@ type row = {
   b_parallel_ms : float;
   b_hits : int;
   b_misses : int;
+  b_pool_tasks : int;
+  b_pool_steals : int;
 }
 
 let bench_workload ~reps ~par_jobs spec =
@@ -111,13 +113,17 @@ let bench_workload ~reps ~par_jobs spec =
         time_ms (fun () -> dse_once ~jobs:1 device f))
   in
   let h1, m1 = Qor_cache.counters cache in
-  (* Parallel: cleared cache, worker domains. *)
+  (* Parallel: cleared cache, the shared work-stealing pool.  Pool
+     counters are process-cumulative, so record the delta over the
+     parallel reps (per-rep average, like the cache counters). *)
+  let p0 = Domain_pool.stats () in
   let parallel_ms =
     min_over reps (fun () ->
         let f = prep spec in
         Qor_cache.clear cache;
         time_ms (fun () -> dse_once ~jobs:par_jobs device f))
   in
+  let p1 = Domain_pool.stats () in
   {
     b_name = spec.w_name;
     b_path = (match spec.w_path with `Memref -> "memref" | `Nn -> "nn");
@@ -126,6 +132,9 @@ let bench_workload ~reps ~par_jobs spec =
     b_parallel_ms = parallel_ms;
     b_hits = (h1 - h0) / reps;
     b_misses = (m1 - m0) / reps;
+    b_pool_tasks = (p1.Domain_pool.st_tasks - p0.Domain_pool.st_tasks) / reps;
+    b_pool_steals =
+      (p1.Domain_pool.st_steals - p0.Domain_pool.st_steals) / reps;
   }
 
 let json_of_rows ~par_jobs ~reps rows =
@@ -143,11 +152,12 @@ let json_of_rows ~par_jobs ~reps rows =
            "    {\"name\": %S, \"path\": %S, \"cold_ms\": %.3f, \"warm_ms\": \
             %.3f, \"parallel_ms\": %.3f, \"warm_speedup\": %.2f, \
             \"parallel_speedup\": %.2f, \"warm_cache_hits\": %d, \
-            \"warm_cache_misses\": %d}%s\n"
+            \"warm_cache_misses\": %d, \"pool_tasks\": %d, \"pool_steals\": \
+            %d}%s\n"
            r.b_name r.b_path r.b_cold_ms r.b_warm_ms r.b_parallel_ms
            (speedup r.b_cold_ms r.b_warm_ms)
            (speedup r.b_cold_ms r.b_parallel_ms)
-           r.b_hits r.b_misses
+           r.b_hits r.b_misses r.b_pool_tasks r.b_pool_steals
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
@@ -171,7 +181,7 @@ let run ?(smoke = false) ?(quick = false) () =
     else if quick then
       List.map
         (fun n -> memref_spec (Polybench.by_name n))
-        [ "2mm"; "3mm"; "atax"; "bicg"; "gemm" ]
+        [ "2mm"; "3mm"; "atax"; "bicg"; "gesummv" ]
       @ [ nn_spec (Models.by_name "lenet") ]
     else
       List.map memref_spec Polybench.all

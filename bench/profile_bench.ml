@@ -80,6 +80,8 @@ type run_row = {
   p_hits : int;
   p_misses : int;
   p_utilization : float; (* busy / (wall * slots) over parallel levels *)
+  p_pool_tasks : int;
+  p_pool_steals : int;
 }
 
 let ms_of_ns ns = float_of_int ns /. 1e6
@@ -87,7 +89,14 @@ let ms_of_ns ns = float_of_int ns /. 1e6
 let profile_run ~jobs spec =
   let cache = Qor_cache.global () in
   let f = prep spec in
+  (* Start every measured run from a clean slate: [clear] drops the memo
+     tables and counters, and [reset_stats] detaches the per-domain DLS
+     contention records.  The pool's worker domains persist across runs,
+     so without the explicit reset their DLS records would carry lock
+     counts from the previous workload/jobs sweep into this row. *)
   Qor_cache.clear cache;
+  Qor_cache.reset_stats cache;
+  let pool0 = Domain_pool.stats () in
   let scope = Hida_obs.Scope.create () in
   let t0 = Unix.gettimeofday () in
   Hida_obs.Scope.with_scope scope (fun () ->
@@ -109,6 +118,7 @@ let profile_run ~jobs spec =
   in
   let busy = c "parallelize.pool.busy_ns"
   and slot_ns = c "parallelize.pool.slots_ns" in
+  let pool1 = Domain_pool.stats () in
   {
     p_jobs = jobs;
     p_wall_ms = wall_ms;
@@ -128,6 +138,8 @@ let profile_run ~jobs spec =
     p_misses = misses;
     p_utilization =
       (if slot_ns > 0 then float_of_int busy /. float_of_int slot_ns else 1.);
+    p_pool_tasks = pool1.Domain_pool.st_tasks - pool0.Domain_pool.st_tasks;
+    p_pool_steals = pool1.Domain_pool.st_steals - pool0.Domain_pool.st_steals;
   }
 
 let json_of ~jobs_swept rows_by_workload =
@@ -153,11 +165,13 @@ let json_of ~jobs_swept rows_by_workload =
                 %.3f, \"other_ms\": %.3f, \"candidate_eval_p50_ns\": %d, \
                 \"candidate_eval_p99_ns\": %d, \"candidate_evals\": %d, \
                 \"cache_hits\": %d, \"cache_misses\": %d, \
-                \"pool_utilization\": %.3f}%s\n"
+                \"pool_utilization\": %.3f, \"pool_tasks\": %d, \
+                \"pool_steals\": %d}%s\n"
                r.p_jobs r.p_wall_ms r.p_lock_wait_ms r.p_lock_acquires
                r.p_lock_blocked r.p_barrier_wait_ms r.p_candidate_eval_ms
                r.p_node_search_ms r.p_other_ms r.p_eval_p50_ns r.p_eval_p99_ns
                r.p_eval_count r.p_hits r.p_misses r.p_utilization
+               r.p_pool_tasks r.p_pool_steals
                (if j = List.length rows - 1 then "" else ",")))
         rows;
       Buffer.add_string buf

@@ -415,6 +415,16 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
        Printf.printf "  %-22s %s busy of %s slot-time (%.1f%% utilization)\n"
          "worker pool" (pp busy) (pp slot_ns)
          (100. *. float_of_int busy /. float_of_int slot_ns);
+     (let tasks = c "parallelize.pool.tasks"
+      and steals = c "parallelize.pool.steals"
+      and inline_levels = c "parallelize.pool.inline_levels" in
+      if tasks > 0 || inline_levels > 0 then
+        Printf.printf
+          "  %-22s %d tasks, %d stolen (%.1f%%), %d level(s) run inline\n"
+          "work stealing" tasks steals
+          (if tasks = 0 then 0.
+           else 100. *. float_of_int steals /. float_of_int tasks)
+          inline_levels);
      Printf.printf "  %-22s %s total\n" "barrier wait"
        (pp (c "dse.barrier_wait_total_ns"));
      List.iter

@@ -1,0 +1,416 @@
+(* Persistent work-stealing domain pool for the parallel DSE.
+
+   The profiling layer (BENCH_profile.json, PR 6) measured where the old
+   level-scheduled parallel DSE lost its time: per-level [Domain.spawn]
+   + [Domain.join] and the end-of-level barrier (one slow node stranding
+   every other slot), NOT cache-lock contention.  This module replaces
+   that model with the classic fix:
+
+   - worker domains are spawned ONCE (lazily, on first parallel use) and
+     persist for the life of the process, so they are reused across
+     levels, across compiles, and across the compile-server's requests;
+   - the unit of scheduled work is a small task (a chunk of candidate
+     evaluations, not a whole node), pushed onto per-participant deques;
+   - idle participants steal from the other deques (mutex-guarded steal
+     from the top, owner access at the bottom — the locking degenerate
+     of a Chase–Lev deque, which is ample at our task rate of ~1e4/s),
+     so a level's tail is shared instead of waited out at a barrier.
+
+   Determinism is the caller's business and is easy by construction:
+   tasks write into dedicated result slots and the caller commits those
+   slots in task order after the batch completes, so completion order
+   never shows.
+
+   Sizing: the pool never grows beyond [max_workers ()], which defaults
+   to [recommended_domain_count () - 1] but never below 1 — a floor that
+   keeps the stealing machinery exercised (tests, benches) even on a
+   single-core container, where a persistent worker costs one idle
+   blocked thread and nothing else.  Layers that own domains of their
+   own (the compile server's connection workers) [reserve] them here,
+   shrinking the budget so N server workers compiling with [--jobs M]
+   share one bounded pool instead of spawning N*M domains. *)
+
+type task = unit -> unit
+
+(* ---- Mutex-guarded deque ----
+
+   Owner side pushes and pops at the bottom (LIFO keeps a worker on the
+   cache-warm end of its own work); thieves take from the top (FIFO
+   steals the oldest, largest-grained tasks first).  One mutex per
+   deque: a steal only contends with its victim, never with the rest of
+   the pool. *)
+
+type deque = {
+  dq_lock : Mutex.t;
+  mutable dq_buf : task array;
+  mutable dq_top : int; (* steal end: first live slot *)
+  mutable dq_bot : int; (* owner end: one past the last live slot *)
+}
+
+let deque_create () =
+  { dq_lock = Mutex.create (); dq_buf = Array.make 64 ignore; dq_top = 0; dq_bot = 0 }
+
+let deque_grow dq =
+  let live = dq.dq_bot - dq.dq_top in
+  let buf = Array.make (max 64 (2 * Array.length dq.dq_buf)) ignore in
+  Array.blit dq.dq_buf dq.dq_top buf 0 live;
+  dq.dq_buf <- buf;
+  dq.dq_top <- 0;
+  dq.dq_bot <- live
+
+let deque_push dq t =
+  Mutex.lock dq.dq_lock;
+  if dq.dq_bot = Array.length dq.dq_buf then deque_grow dq;
+  dq.dq_buf.(dq.dq_bot) <- t;
+  dq.dq_bot <- dq.dq_bot + 1;
+  Mutex.unlock dq.dq_lock
+
+let deque_pop dq =
+  Mutex.lock dq.dq_lock;
+  let r =
+    if dq.dq_bot = dq.dq_top then None
+    else begin
+      dq.dq_bot <- dq.dq_bot - 1;
+      let t = dq.dq_buf.(dq.dq_bot) in
+      dq.dq_buf.(dq.dq_bot) <- ignore;
+      Some t
+    end
+  in
+  Mutex.unlock dq.dq_lock;
+  r
+
+let deque_steal dq =
+  Mutex.lock dq.dq_lock;
+  let r =
+    if dq.dq_bot = dq.dq_top then None
+    else begin
+      let t = dq.dq_buf.(dq.dq_top) in
+      dq.dq_buf.(dq.dq_top) <- ignore;
+      dq.dq_top <- dq.dq_top + 1;
+      Some t
+    end
+  in
+  Mutex.unlock dq.dq_lock;
+  r
+
+(* ---- Pool ---- *)
+
+type stats = {
+  st_spawned : int; (* worker domains ever spawned *)
+  st_live : int; (* worker domains currently alive *)
+  st_tasks : int; (* tasks executed *)
+  st_steals : int; (* tasks obtained from someone else's deque *)
+  st_batches : int; (* batches submitted *)
+}
+
+type worker = {
+  w_deque : deque;
+  w_domain : unit Domain.t;
+  w_id : int Atomic.t; (* (Domain.self () :> int), set by the worker *)
+}
+
+type t = {
+  lock : Mutex.t; (* guards workers/caller_deques/epoch/stopping *)
+  wake : Condition.t;
+  mutable workers : worker list; (* newest first *)
+  mutable caller_deques : deque list; (* deques of batches in flight *)
+  mutable epoch : int; (* bumped whenever new work may exist *)
+  mutable stopping : bool;
+  mutable reserved : int; (* domains owned by other layers (serve) *)
+  mutable max_override : int option;
+  spawned : int Atomic.t;
+  tasks : int Atomic.t;
+  steals : int Atomic.t;
+  batches : int Atomic.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    wake = Condition.create ();
+    workers = [];
+    caller_deques = [];
+    epoch = 0;
+    stopping = false;
+    reserved = 0;
+    max_override = None;
+    spawned = Atomic.make 0;
+    tasks = Atomic.make 0;
+    steals = Atomic.make 0;
+    batches = Atomic.make 0;
+  }
+
+let the_pool = create ()
+
+let max_workers_of t =
+  match t.max_override with
+  | Some n -> max 0 n
+  | None ->
+      (* Floor of 1 so [--jobs] has an effect (and the steal machinery
+         stays exercised) even on a single-core box; reservations by
+         domain-owning layers push the budget down to 0. *)
+      let budget = Domain.recommended_domain_count () - 1 - t.reserved in
+      if t.reserved > 0 then max 0 budget else max 1 budget
+
+let max_workers () =
+  Mutex.lock the_pool.lock;
+  let n = max_workers_of the_pool in
+  Mutex.unlock the_pool.lock;
+  n
+
+let set_max_workers n =
+  Mutex.lock the_pool.lock;
+  the_pool.max_override <- (if n < 0 then None else Some n);
+  Mutex.unlock the_pool.lock
+
+let reserve n =
+  Mutex.lock the_pool.lock;
+  the_pool.reserved <- the_pool.reserved + max 0 n;
+  Mutex.unlock the_pool.lock
+
+let release n =
+  Mutex.lock the_pool.lock;
+  the_pool.reserved <- max 0 (the_pool.reserved - max 0 n);
+  Mutex.unlock the_pool.lock
+
+let effective_jobs jobs = min (max 1 jobs) (1 + max_workers ())
+
+(* Grab one task: own deque first, then steal — workers' deques, then
+   the deques of batches in flight (the submitting domains also hold
+   work).  [own] is [None] for a plain worker loop scan start. *)
+let try_take t ~own =
+  let from_own =
+    match own with None -> None | Some dq -> deque_pop dq
+  in
+  match from_own with
+  | Some task -> Some (task, false)
+  | None ->
+      Mutex.lock t.lock;
+      let victims =
+        List.map (fun w -> w.w_deque) t.workers @ t.caller_deques
+      in
+      Mutex.unlock t.lock;
+      let rec scan = function
+        | [] -> None
+        | dq :: rest ->
+            if (match own with Some o -> dq == o | None -> false) then
+              scan rest
+            else (
+              match deque_steal dq with
+              | Some task -> Some (task, true)
+              | None -> scan rest)
+      in
+      scan victims
+
+let run_task t (task, stolen) =
+  Atomic.incr t.tasks;
+  if stolen then Atomic.incr t.steals;
+  (* Tasks must not leak exceptions into the scheduler; the batch
+     wrapper (below) captures them for the submitting domain. *)
+  (try task () with _ -> ())
+
+let worker_loop t dq =
+  let rec go () =
+    Mutex.lock t.lock;
+    let seen = t.epoch in
+    let stop = t.stopping in
+    Mutex.unlock t.lock;
+    if stop then ()
+    else begin
+      (match try_take t ~own:(Some dq) with
+      | Some tk -> run_task t tk
+      | None ->
+          (* Nothing anywhere: sleep until new work is published.  The
+             epoch re-check under the lock closes the scan-then-sleep
+             race (work published between our scan and the wait is
+             caught by the epoch bump). *)
+          Mutex.lock t.lock;
+          while t.epoch = seen && not t.stopping do
+            Condition.wait t.wake t.lock
+          done;
+          Mutex.unlock t.lock);
+      go ()
+    end
+  in
+  go ()
+
+let spawn_worker_locked t =
+  let dq = deque_create () in
+  let id_cell = Atomic.make (-1) in
+  let dom =
+    Domain.spawn (fun () ->
+        Atomic.set id_cell (Domain.self () :> int);
+        worker_loop t dq)
+  in
+  Atomic.incr t.spawned;
+  t.workers <- { w_deque = dq; w_domain = dom; w_id = id_cell } :: t.workers
+
+let ensure ~workers =
+  let t = the_pool in
+  Mutex.lock t.lock;
+  let target = min (max 0 workers) (max_workers_of t) in
+  while (not t.stopping) && List.length t.workers < target do
+    spawn_worker_locked t
+  done;
+  Mutex.unlock t.lock
+
+let live_workers () =
+  Mutex.lock the_pool.lock;
+  let n = List.length the_pool.workers in
+  Mutex.unlock the_pool.lock;
+  n
+
+let stats () =
+  let t = the_pool in
+  {
+    st_spawned = Atomic.get t.spawned;
+    st_live = live_workers ();
+    st_tasks = Atomic.get t.tasks;
+    st_steals = Atomic.get t.steals;
+    st_batches = Atomic.get t.batches;
+  }
+
+(* ---- Batches ---- *)
+
+type batch = {
+  b_lock : Mutex.t;
+  b_done : Condition.t;
+  mutable b_remaining : int;
+  mutable b_exn : (exn * Printexc.raw_backtrace) option;
+  mutable b_done_ns : int; (* stamp of the last task completion *)
+  b_busy_ns : int Atomic.t; (* summed task durations, all participants *)
+}
+
+let finish_task b ~t0 ~t1 =
+  Atomic.fetch_and_add b.b_busy_ns (t1 - t0) |> ignore;
+  Mutex.lock b.b_lock;
+  b.b_remaining <- b.b_remaining - 1;
+  if b.b_remaining = 0 then begin
+    b.b_done_ns <- t1;
+    Condition.broadcast b.b_done
+  end;
+  Mutex.unlock b.b_lock
+
+type batch_report = {
+  br_wall_ns : int; (* submit -> last task completion *)
+  br_busy_ns : int; (* summed task execution time *)
+  br_tail_wait_ns : int; (* caller idle between its last task and batch end *)
+  br_tasks : int;
+  br_steals : int;
+  br_slots : int; (* participants the batch was fanned over (caller incl.) *)
+}
+
+let run_batch ?(jobs = max_int) tasks =
+  let t = the_pool in
+  let n = Array.length tasks in
+  if n = 0 then
+    { br_wall_ns = 0; br_busy_ns = 0; br_tail_wait_ns = 0; br_tasks = 0;
+      br_steals = 0; br_slots = 1 }
+  else begin
+    let slots = effective_jobs jobs in
+    ensure ~workers:(slots - 1);
+    Atomic.incr t.batches;
+    let steals0 = Atomic.get t.steals in
+    let b =
+      {
+        b_lock = Mutex.create ();
+        b_done = Condition.create ();
+        b_remaining = n;
+        b_exn = None;
+        b_done_ns = 0;
+        b_busy_ns = Atomic.make 0;
+      }
+    in
+    let wrap task () =
+      let t0 = Hida_obs.Clock.now_ns () in
+      (try task ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock b.b_lock;
+         if b.b_exn = None then b.b_exn <- Some (e, bt);
+         Mutex.unlock b.b_lock);
+      finish_task b ~t0 ~t1:(Hida_obs.Clock.now_ns ())
+    in
+    let own = deque_create () in
+    Mutex.lock t.lock;
+    let worker_deques =
+      (* Newest-first list; take any [slots - 1] of them. *)
+      List.filteri (fun i _ -> i < slots - 1) (List.map (fun w -> w.w_deque) t.workers)
+    in
+    Mutex.unlock t.lock;
+    let sinks = Array.of_list (own :: worker_deques) in
+    let t_start = Hida_obs.Clock.now_ns () in
+    (* Round-robin distribution; the caller keeps an equal share and the
+       stealing evens out whatever the static split gets wrong. *)
+    Array.iteri
+      (fun i task -> deque_push sinks.(i mod Array.length sinks) (wrap task))
+      tasks;
+    Mutex.lock t.lock;
+    t.caller_deques <- own :: t.caller_deques;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    (* The caller is a full participant: drain its own deque, then steal;
+       once nothing is takeable, wait for the in-flight stragglers. *)
+    let t_caller_idle = ref 0 in
+    let rec drain () =
+      match try_take t ~own:(Some own) with
+      | Some tk ->
+          run_task t tk;
+          drain ()
+      | None ->
+          let w0 = Hida_obs.Clock.now_ns () in
+          Mutex.lock b.b_lock;
+          while b.b_remaining > 0 do
+            Condition.wait b.b_done b.b_lock
+          done;
+          Mutex.unlock b.b_lock;
+          t_caller_idle := Hida_obs.Clock.now_ns () - w0
+    in
+    drain ();
+    Mutex.lock t.lock;
+    t.caller_deques <- List.filter (fun dq -> dq != own) t.caller_deques;
+    Mutex.unlock t.lock;
+    (match b.b_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    let t_end = max b.b_done_ns t_start in
+    {
+      br_wall_ns = max 1 (t_end - t_start);
+      br_busy_ns = Atomic.get b.b_busy_ns;
+      br_tail_wait_ns = !t_caller_idle;
+      br_tasks = n;
+      br_steals = Atomic.get t.steals - steals0;
+      br_slots = Array.length sinks;
+    }
+  end
+
+(* ---- Censuses and teardown ---- *)
+
+let worker_domain_ids () =
+  Mutex.lock the_pool.lock;
+  let ws = the_pool.workers in
+  Mutex.unlock the_pool.lock;
+  (* Worker ids are recorded by the workers themselves on startup; a
+     worker that has not yet scheduled reports -1 and is skipped (it has
+     by definition run no task either). *)
+  List.filter_map
+    (fun w ->
+      let id = Atomic.get w.w_id in
+      if id >= 0 then Some id else None)
+    ws
+  |> List.sort compare
+
+let shutdown () =
+  let t = the_pool in
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  t.epoch <- t.epoch + 1;
+  Condition.broadcast t.wake;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.lock;
+  List.iter (fun w -> Domain.join w.w_domain) ws;
+  Mutex.lock t.lock;
+  t.stopping <- false;
+  Mutex.unlock t.lock

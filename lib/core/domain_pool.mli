@@ -1,0 +1,81 @@
+(** Persistent work-stealing domain pool.
+
+    One process-global pool of worker domains, spawned lazily on first
+    parallel use and reused across DSE levels, across compiles, and
+    across [hida-serve] requests — replacing the per-level
+    [Domain.spawn]/[Domain.join] model whose spawn cost and end-of-level
+    barrier wait the profiling layer measured as the parallel-DSE loss.
+
+    Work is submitted as {e batches} of small tasks (chunks of candidate
+    evaluations).  Tasks are distributed round-robin over mutex-guarded
+    per-participant deques; owners pop at the bottom, idle participants
+    steal at the top, so a batch's tail is shared rather than waited out.
+    The submitting domain participates fully and returns when every task
+    of its batch has completed.  Tasks must communicate results through
+    dedicated slots; the caller commits slots in task order, which is
+    what keeps compile output byte-identical regardless of completion
+    order.
+
+    Concurrent batches (several [hida-serve] workers compiling at once)
+    share the same worker set; the per-batch completion count keeps the
+    batches independent. *)
+
+type task = unit -> unit
+
+(** Outcome of one batch, for the pool-utilization metrics. *)
+type batch_report = {
+  br_wall_ns : int;      (** submit → last task completion *)
+  br_busy_ns : int;      (** summed task execution time, all participants *)
+  br_tail_wait_ns : int; (** caller idle between its last task and batch end *)
+  br_tasks : int;
+  br_steals : int;       (** tasks taken from another participant's deque *)
+  br_slots : int;        (** participants fanned over, caller included *)
+}
+
+(** Run every task and return when all have completed.  Spawns workers
+    up to [min (jobs - 1) (max_workers ())] if not already live; the
+    caller executes tasks too.  The first exception raised by a task is
+    re-raised here after the batch drains (remaining tasks still run).
+    An empty batch returns immediately. *)
+val run_batch : ?jobs:int -> task array -> batch_report
+
+(** Spawn worker domains up to [min workers (max_workers ())] if fewer
+    are live.  Idempotent; called implicitly by {!run_batch}. *)
+val ensure : workers:int -> unit
+
+(** Upper bound on pool workers: [recommended_domain_count () - 1]
+    minus outstanding {!reserve}ations, floored at 1 when nothing is
+    reserved (so [--jobs] keeps an effect on single-core machines). *)
+val max_workers : unit -> int
+
+(** Override the worker budget (tests).  Negative restores the
+    default. *)
+val set_max_workers : int -> unit
+
+(** Account for [n] domains owned by another layer (e.g. the compile
+    server's connection workers), shrinking {!max_workers} so combined
+    domain counts stay bounded.  {!release} undoes it. *)
+val reserve : int -> unit
+
+val release : int -> unit
+
+(** [min (max 1 jobs) (1 + max_workers ())] — the parallelism a caller
+    asking for [jobs] will actually get. *)
+val effective_jobs : int -> int
+
+type stats = {
+  st_spawned : int; (** worker domains ever spawned (leak census) *)
+  st_live : int;
+  st_tasks : int;
+  st_steals : int;
+  st_batches : int;
+}
+
+val stats : unit -> stats
+
+(** Domain ids ([Domain.self] as int) of live workers that have started
+    running, sorted.  For the pool-reuse / no-leak tests. *)
+val worker_domain_ids : unit -> int list
+
+(** Join all workers (tests only; the pool respawns on next use). *)
+val shutdown : unit -> unit

@@ -234,6 +234,13 @@ let make_state opts =
      op-identity signature memos are invalidated after every pass (each
      pass may mutate the IR). *)
   Qor_cache.install (Qor_cache.global ());
+  (* Parallel DSE runs on the persistent work-stealing pool; spawn its
+     workers here (once per process — [ensure] is idempotent and the
+     domains are reused across levels and across compiles) so the first
+     parallel level does not pay the spawn latency.  The pool clamps the
+     request to the domains actually available. *)
+  if opts.jobs > 1 then
+    Domain_pool.ensure ~workers:(Domain_pool.effective_jobs opts.jobs - 1);
   let tr = Hida_obs.Scope.trace st.st_scope in
   let metrics = Hida_obs.Scope.metrics st.st_scope in
   let open_spans = ref [] in

@@ -108,10 +108,16 @@ let compare_candidates ~dims ~cost a b =
           and rb = Array.to_list b |> List.rev in
           compare rb ra
 
-let search ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
-    ~parallel_factor () =
+(* Enumerate the valid candidate tuples in canonical (descent) order.
+   This is [search]'s walk with the selection factored out, so the set
+   of candidates — and the [stats] accounting — is byte-for-byte the
+   same whether the selection then runs inline ([search]) or is chunked
+   into work-stealing tasks by the parallelizer ([Parallelize]).
+   [proposed] counts every full tuple that survives the product
+   pruning, [valid] those passing [is_valid], exactly as before. *)
+let enumerate ?(constraints = []) ?stats ~dims ~parallel_factor () =
   let n = Array.length dims in
-  if n = 0 then [||]
+  if n = 0 then []
   else begin
     let cand_divisors =
       Array.map
@@ -121,16 +127,13 @@ let search ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
           else List.filter (fun f -> f <= parallel_factor) (divisors d.trip))
         dims
     in
-    let best = ref None in
+    let acc = ref [] in
     let current = Array.make n 1 in
     let consider () =
       (match stats with Some s -> s.proposed <- s.proposed + 1 | None -> ());
       if is_valid ~constraints ~parallel_factor current then begin
         (match stats with Some s -> s.valid <- s.valid + 1 | None -> ());
-        let c = Array.copy current in
-        match !best with
-        | None -> best := Some c
-        | Some b -> if compare_candidates ~dims ~cost c b < 0 then best := Some c
+        acc := Array.copy current :: !acc
       end
     in
     let rec go i prod =
@@ -145,8 +148,34 @@ let search ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
           cand_divisors.(i)
     in
     go 0 1;
-    match !best with Some b -> b | None -> Array.make n 1
+    List.rev !acc
   end
+
+(* Fold [compare_candidates] over candidates.  The comparison is a
+   strict total order on distinct tuples (the final reversed-array tie
+   break never returns 0 for different tuples), so the minimum is
+   unique and [best_of] is independent of candidate order — the
+   determinism argument for evaluating chunks of one candidate list on
+   different domains and reducing the chunk winners (DESIGN.md). *)
+let best_of ?(cost = fun _ -> 0.) ~dims candidates =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | None -> Some c
+      | Some b -> if compare_candidates ~dims ~cost c b < 0 then Some c else best)
+    None candidates
+
+let search ?(constraints = []) ?(cost = fun _ -> 0.) ?stats ~dims
+    ~parallel_factor () =
+  let n = Array.length dims in
+  if n = 0 then [||]
+  else
+    match
+      best_of ~cost ~dims
+        (enumerate ~constraints ?stats ~dims ~parallel_factor ())
+    with
+    | Some b -> b
+    | None -> Array.make n 1
 
 (* ---- Stochastic engine (the literal Algorithm 4 loop) ----
 

@@ -43,6 +43,34 @@ val is_valid :
 val evenness : int array -> float
 val reduction_use : dims:dim array -> int array -> int
 
+val compare_candidates :
+  dims:dim array -> cost:(int array -> float) -> int array -> int array -> int
+(** The selection order ([a] better than [b] -> negative): product desc,
+    reduction use asc, [cost] asc, evenness asc, then larger factors on
+    inner loops.  Strict and total on distinct tuples.  [cost] is only
+    consulted when the earlier keys tie. *)
+
+val enumerate :
+  ?constraints:int option array list ->
+  ?stats:stats ->
+  dims:dim array ->
+  parallel_factor:int ->
+  unit ->
+  int array list
+(** All valid unroll-factor tuples in canonical descent order — the
+    candidate set {!search} selects from, exposed so the parallelizer
+    can chunk candidate {e evaluations} into schedulable tasks.  Updates
+    [stats] exactly as {!search} does (every full tuple surviving the
+    product pruning counts as proposed).  [[]] when [dims] is empty. *)
+
+val best_of :
+  ?cost:(int array -> float) -> dims:dim array -> int array list ->
+  int array option
+(** Minimum of the candidates under the selection order.  The order is
+    strict and total on distinct tuples, so the winner is unique and
+    independent of list order — chunk winners from different domains
+    reduce to the same answer as a serial scan. *)
+
 val search :
   ?constraints:int option array list ->
   ?cost:(int array -> float) ->
@@ -52,7 +80,8 @@ val search :
   unit ->
   int array
 (** The best valid unroll-factor tuple ([[|1;...|]] when nothing else is
-    valid). *)
+    valid).  Equals [best_of ~cost ~dims (enumerate ...)] with the
+    all-ones fallback. *)
 
 val search_stochastic :
   ?constraints:int option array list ->

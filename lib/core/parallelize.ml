@@ -247,16 +247,16 @@ let engine_tag = function
   | `Exhaustive -> "ex"
   | `Stochastic seed -> "st" ^ string_of_int seed
 
-(* One memoized per-node DSE.  The key serializes every input of the
-   deterministic search (engine + seed, parallel factor, dims with their
-   reduction/serial classes, connection constraints and the bank-cost
-   context), so hits are always semantically valid; per-candidate bank
-   costs are additionally memoized under context + proposal.  On a miss
-   [stats] reflects the exploration; on a hit it stays zero (no points
-   were proposed).  Pure data in, pure data out: safe on worker
-   domains. *)
-let cached_search cache engine ~constraints ~ctx ~dims ~parallel_factor ~stats
-    () =
+(* Candidate cost over a context snapshot, memoized per (context,
+   proposal) in the [Qor_cache].  The instrumentation records each cost
+   invocation as one candidate scored (incl. the [memo_float] lock
+   round-trip, the per-candidate contention suspect): a histogram
+   sample always, a per-candidate trace span only in detailed
+   ([--profile]) mode.  Timing changes no result.  The returned closure
+   is pure data over the snapshot plus the mutex-guarded cache, so it is
+   safe to call from pool worker domains (the ambient scope is
+   re-installed there before tasks run). *)
+let make_cost cache ctx =
   let cost =
     match ctx with
     | [] -> fun _ -> 0.
@@ -267,36 +267,43 @@ let cached_search cache engine ~constraints ~ctx ~dims ~parallel_factor ~stats
             (prefix ^ factors_string proposal)
             (fun () -> snapshot_bank_cost ctx proposal)
   in
-  (* Candidate-evaluation latency: each cost invocation is one candidate
-     scored (incl. the [memo_float] lock round-trip, the per-candidate
-     contention suspect).  Histogram always; a per-candidate trace span
-     only in detailed ([--profile]) mode.  Timing changes no result. *)
-  let cost =
-    if Option.is_none (Obs.current ()) then cost
-    else fun proposal ->
-      let t0 = Clock.now_ns () in
-      let c = cost proposal in
-      let t1 = Clock.now_ns () in
-      Obs.observe "dse.candidate_eval_ns" (t1 - t0);
-      Obs.count "dse.candidate_eval_total_ns" (t1 - t0);
-      if Obs.detailed () then
-        Obs.complete ~cat:"dse" "candidate"
-          ~args:
-            [ ("factors", factors_string proposal); ("cost", string_of_float c) ]
-          ~start_ns:t0 ~stop_ns:t1;
-      c
-  in
-  let key =
-    String.concat "#"
-      [
-        "dse";
-        engine_tag engine;
-        string_of_int parallel_factor;
-        ser_dims dims;
-        ser_constraints constraints;
-        ser_context ctx;
-      ]
-  in
+  if Option.is_none (Obs.current ()) then cost
+  else fun proposal ->
+    let t0 = Clock.now_ns () in
+    let c = cost proposal in
+    let t1 = Clock.now_ns () in
+    Obs.observe "dse.candidate_eval_ns" (t1 - t0);
+    Obs.count "dse.candidate_eval_total_ns" (t1 - t0);
+    if Obs.detailed () then
+      Obs.complete ~cat:"dse" "candidate"
+        ~args:
+          [ ("factors", factors_string proposal); ("cost", string_of_float c) ]
+        ~start_ns:t0 ~stop_ns:t1;
+    c
+
+(* The memo key of one deterministic search: engine + seed, parallel
+   factor, dims with their reduction/serial classes, connection
+   constraints and the bank-cost context — every input, so hits are
+   always semantically valid. *)
+let search_key engine ~constraints ~ctx ~dims ~parallel_factor =
+  String.concat "#"
+    [
+      "dse";
+      engine_tag engine;
+      string_of_int parallel_factor;
+      ser_dims dims;
+      ser_constraints constraints;
+      ser_context ctx;
+    ]
+
+(* One memoized per-node DSE (the sequential entry, used for bare loop
+   nests; schedule-level DSE goes through the candidate-task planner
+   below).  On a miss [stats] reflects the exploration; on a hit it
+   stays zero (no points were proposed). *)
+let cached_search cache engine ~constraints ~ctx ~dims ~parallel_factor ~stats
+    () =
+  let cost = make_cost cache ctx in
+  let key = search_key engine ~constraints ~ctx ~dims ~parallel_factor in
   Qor_cache.memo_factors cache key (fun () ->
       search_with engine ~constraints ~cost ~stats ~dims ~parallel_factor ())
 
@@ -335,84 +342,9 @@ let level_schedule ~order ~connections =
   List.init (max_level + 1) (fun l ->
       List.filter (fun (n : op) -> Hashtbl.find level n.o_id = l) order)
 
-(* ---- Worker pool ----------------------------------------------------- *)
+(* ---- Per-node tasks: prepare / plan / commit -------------------------- *)
 
-(* Run [thunks] on up to [jobs] domains (the calling domain included),
-   returning results in order.  Thunks must be pure data computations:
-   they may use the mutex-guarded [Qor_cache] but must not mutate IR.
-
-   The ambient [Obs] scope is re-installed inside each worker domain:
-   the tracer records into per-domain lanes and the metrics registry is
-   internally synchronized, so workers report for themselves (remarks
-   still only come from the orchestrator's in-order merge, keeping the
-   output deterministic).  The pool additionally accounts where the
-   level's wall time went — per-slot busy time vs. the barrier wait
-   between a slot running dry and the last slot finishing — which is
-   exactly the decomposition the [--profile] report prints. *)
-let run_parallel ~jobs thunks =
-  let tasks = Array.of_list thunks in
-  let n = Array.length tasks in
-  let slots = max 1 (min jobs n) in
-  if n = 0 then []
-  else if slots = 1 then Array.to_list (Array.map (fun f -> f ()) tasks)
-  else begin
-    let scope = Obs.current () in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let busy_ns = Array.make slots 0 in
-    let done_ns = Array.make slots 0 in
-    (* Each slot writes only its own cells; read after the joins. *)
-    let rec work slot =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let t0 = Clock.now_ns () in
-        results.(i) <- Some (tasks.(i) ());
-        busy_ns.(slot) <- busy_ns.(slot) + (Clock.now_ns () - t0);
-        work slot
-      end
-      else done_ns.(slot) <- Clock.now_ns ()
-    in
-    let t_start = Clock.now_ns () in
-    let workers =
-      Array.init (slots - 1) (fun k ->
-          Domain.spawn (fun () ->
-              match scope with
-              | None -> work (k + 1)
-              | Some s -> Obs.with_scope s (fun () -> work (k + 1))))
-    in
-    work 0;
-    Array.iter Domain.join workers;
-    let t_join = Clock.now_ns () in
-    let wall = max 1 (t_join - t_start) in
-    let total_busy = Array.fold_left ( + ) 0 busy_ns in
-    Obs.count "parallelize.pool.wall_ns" wall;
-    Obs.count "parallelize.pool.busy_ns" total_busy;
-    Obs.count "parallelize.pool.slots_ns" (wall * slots);
-    Obs.gauge "parallelize.pool.utilization"
-      (float_of_int total_busy /. float_of_int (wall * slots));
-    Array.iteri
-      (fun slot dn ->
-        let wait = t_join - dn in
-        if wait > 0 then begin
-          Obs.observe "dse.barrier_wait_ns" wait;
-          Obs.count "dse.barrier_wait_total_ns" wait;
-          if Obs.detailed () then
-            Obs.complete ~cat:"dse"
-              (Printf.sprintf "barrier-wait:w%d" slot)
-              ~start_ns:dn ~stop_ns:t_join
-        end)
-      done_ns;
-    Array.to_list
-      (Array.map (function Some r -> r | None -> assert false) results)
-  end
-
-(* ---- Per-node tasks: prepare / execute / merge ----------------------- *)
-
-type sub_task = {
-  st_spine : op list;
-  st_dims : Dse.dim array;
-  st_label : string;
-}
+type sub_task = { st_spine : op list; st_dims : Dse.dim array }
 
 type node_task = {
   t_node : op;
@@ -430,6 +362,283 @@ type node_outcome = {
   o_stats : Dse.stats;
   o_subs : (sub_task * int array * Dse.stats) list;
 }
+
+(* ---- Work-stealing execution over candidate evaluations --------------
+
+   The unit of scheduled work is a {e chunk of candidate evaluations}
+   (or one whole stochastic search), not a node: resnet18 has ~40 nodes
+   but ~1200 candidate evaluations, so node-grained scheduling left most
+   of a level's slot time stuck behind its slowest node (the
+   barrier-wait bucket of BENCH_profile.json).  Tasks run on the
+   persistent [Domain_pool] — domains are spawned once and reused
+   across levels, across compiles and across [hida-serve] requests —
+   and idle participants steal queued chunks, so a level's tail is
+   shared instead of waited out.
+
+   Determinism: each search of a level is planned into a dedicated slot
+   and committed in node order after the batch, and the candidate
+   comparison is a strict total order on distinct tuples (the winner is
+   unique), so neither completion order nor chunk boundaries can show
+   in the output.  Cache-counter parity with the sequential path is
+   kept deliberately: per level, the {e first} occurrence of a search
+   key is probed once (hit, or miss + one store), duplicates are
+   resolved against the cache after the batch (hit) — the same
+   hit/miss sequence the sequential loop produces — and candidate
+   costs are evaluated eagerly exactly once per enumerated candidate on
+   every path, so eval counts no longer depend on jobs (the profile
+   sweep's stat-contamination bug: duplicated whole searches when two
+   domains raced the same memo key). *)
+
+let eval_chunk_size = 16
+
+(* Below this many candidate evaluations, a level runs inline on the
+   calling domain: dispatching to the pool costs more than it can save
+   (the mvt-class regression — tiny lattices paid full spawn/steal
+   machinery). *)
+let inline_eval_threshold = 48
+
+(* One search the current level must still compute (no cache entry at
+   plan time).  Exhaustive searches carry their enumerated candidates
+   pre-chunked plus a result slot per candidate; a stochastic search is
+   a single opaque task (its propose/evaluate loop is inherently
+   sequential). *)
+type pending = {
+  pd_key : string;
+  pd_dims : Dse.dim array;
+  pd_cost : int array -> float;
+  pd_chunks : int array array array;
+  pd_evals : (int array * float) array array;
+  pd_whole : (unit -> int array) option;
+  mutable pd_whole_result : int array;
+  pd_ns : int Atomic.t; (* summed task time, for node-search attribution *)
+}
+
+(* How one search of the level resolves. *)
+type search_slot =
+  | S_ready of int array (* plan-time cache hit *)
+  | S_work of pending (* first occurrence: computed by this level's batch *)
+  | S_dup of string (* duplicate key: resolved against the cache after *)
+
+let plan_search cache engine ~seen ~pending_rev ~constraints ~ctx ~dims
+    ~parallel_factor ~stats =
+  let key = search_key engine ~constraints ~ctx ~dims ~parallel_factor in
+  if Hashtbl.mem seen key then S_dup key
+  else begin
+    Hashtbl.add seen key ();
+    match Qor_cache.find_factors cache key with
+    | Some f -> S_ready f
+    | None ->
+        let cost = make_cost cache ctx in
+        let pd =
+          match engine with
+          | `Exhaustive ->
+              let candidates =
+                Dse.enumerate ~constraints ~stats ~dims ~parallel_factor ()
+              in
+              let n = List.length candidates in
+              let nchunks = (n + eval_chunk_size - 1) / eval_chunk_size in
+              let arr = Array.of_list candidates in
+              let chunks =
+                Array.init nchunks (fun j ->
+                    Array.sub arr (j * eval_chunk_size)
+                      (min eval_chunk_size (n - (j * eval_chunk_size))))
+              in
+              {
+                pd_key = key;
+                pd_dims = dims;
+                pd_cost = cost;
+                pd_chunks = chunks;
+                pd_evals =
+                  Array.map (Array.map (fun _ -> ([||], 0.))) chunks;
+                pd_whole = None;
+                pd_whole_result = [||];
+                pd_ns = Atomic.make 0;
+              }
+          | `Stochastic _ ->
+              {
+                pd_key = key;
+                pd_dims = dims;
+                pd_cost = cost;
+                pd_chunks = [||];
+                pd_evals = [||];
+                pd_whole =
+                  Some
+                    (fun () ->
+                      search_with engine ~constraints ~cost ~stats ~dims
+                        ~parallel_factor ());
+                pd_whole_result = [||];
+                pd_ns = Atomic.make 0;
+              }
+        in
+        pending_rev := pd :: !pending_rev;
+        S_work pd
+  end
+
+let pending_tasks pd =
+  match pd.pd_whole with
+  | Some f ->
+      [
+        (fun () ->
+          let t0 = Clock.now_ns () in
+          pd.pd_whole_result <- f ();
+          ignore (Atomic.fetch_and_add pd.pd_ns (Clock.now_ns () - t0)));
+      ]
+  | None ->
+      Array.to_list
+        (Array.mapi
+           (fun j chunk () ->
+             let t0 = Clock.now_ns () in
+             Array.iteri
+               (fun i cand -> pd.pd_evals.(j).(i) <- (cand, pd.pd_cost cand))
+               chunk;
+             ignore (Atomic.fetch_and_add pd.pd_ns (Clock.now_ns () - t0)))
+           pd.pd_chunks)
+
+let pending_evals pd =
+  match pd.pd_whole with
+  | Some _ -> inline_eval_threshold (* a whole search always justifies a task *)
+  | None -> Array.fold_left (fun acc c -> acc + Array.length c) 0 pd.pd_chunks
+
+(* Commit one search slot: reduce the chunk winners (the comparison's
+   total order makes the result independent of chunk boundaries), store
+   the factors under the search key, and resolve duplicates against the
+   cache — in plan order, so a duplicate always finds its leader's
+   entry, mirroring the sequential miss-then-hit sequence. *)
+let resolve_slot cache = function
+  | S_ready f -> f
+  | S_dup key -> (
+      match Qor_cache.find_factors cache key with
+      | Some f -> f
+      | None -> assert false (* its leader resolved strictly earlier *))
+  | S_work pd ->
+      let f =
+        match pd.pd_whole with
+        | Some _ -> pd.pd_whole_result
+        | None ->
+            let best = ref None in
+            Array.iter
+              (Array.iter (fun (cand, c) ->
+                   match !best with
+                   | None -> best := Some (cand, c)
+                   | Some (b, cb) ->
+                       let cost x = if x == cand then c else cb in
+                       if
+                         Dse.compare_candidates ~dims:pd.pd_dims ~cost cand b
+                         < 0
+                       then best := Some (cand, c)))
+              pd.pd_evals;
+            (match !best with
+            | Some (b, _) -> b
+            | None -> Array.make (Array.length pd.pd_dims) 1)
+      in
+      Qor_cache.store_factors cache pd.pd_key f;
+      f
+
+let publish_batch (rep : Domain_pool.batch_report) =
+  Obs.count "parallelize.pool.wall_ns" rep.Domain_pool.br_wall_ns;
+  Obs.count "parallelize.pool.busy_ns" rep.Domain_pool.br_busy_ns;
+  Obs.count "parallelize.pool.slots_ns"
+    (rep.Domain_pool.br_wall_ns * rep.Domain_pool.br_slots);
+  Obs.count "parallelize.pool.tasks" rep.Domain_pool.br_tasks;
+  Obs.count "parallelize.pool.steals" rep.Domain_pool.br_steals;
+  Obs.gauge "parallelize.pool.utilization"
+    (Float.min 1.
+       (float_of_int rep.Domain_pool.br_busy_ns
+       /. float_of_int
+            (max 1 (rep.Domain_pool.br_wall_ns * rep.Domain_pool.br_slots))));
+  let tail = rep.Domain_pool.br_tail_wait_ns in
+  if tail > 0 then begin
+    (* The residual of the old end-of-level barrier: the submitting
+       domain idle between its last takeable task and the batch's last
+       in-flight completion. *)
+    Obs.observe "dse.barrier_wait_ns" tail;
+    Obs.count "dse.barrier_wait_total_ns" tail;
+    if Obs.detailed () then
+      let now = Clock.now_ns () in
+      Obs.complete ~cat:"dse" "barrier-wait:caller" ~start_ns:(now - tail)
+        ~stop_ns:now
+  end
+
+(* Execute one level: plan every search (primary + fused sub-nests) of
+   every node into slots, run the deduplicated work — inline when tiny,
+   as one stolen-from task batch otherwise — and commit in node order.
+   Returns outcomes aligned with [tasks]. *)
+let execute_level cache engine ~jobs ~level_index tasks =
+  let seen = Hashtbl.create 16 in
+  let pending_rev = ref [] in
+  let planned =
+    List.map
+      (fun t ->
+        let pstats = { Dse.proposed = 0; valid = 0 } in
+        let primary =
+          plan_search cache engine ~seen ~pending_rev
+            ~constraints:t.t_constraints ~ctx:t.t_ctx ~dims:t.t_dims
+            ~parallel_factor:t.t_pf ~stats:pstats
+        in
+        let subs =
+          List.map
+            (fun st ->
+              let sstats = { Dse.proposed = 0; valid = 0 } in
+              let slot =
+                plan_search cache engine ~seen ~pending_rev ~constraints:[]
+                  ~ctx:[] ~dims:st.st_dims ~parallel_factor:t.t_pf
+                  ~stats:sstats
+              in
+              (st, slot, sstats))
+            t.t_subs
+        in
+        (t, primary, pstats, subs))
+      tasks
+  in
+  let pendings = List.rev !pending_rev in
+  let work = Array.of_list (List.concat_map pending_tasks pendings) in
+  let total_evals =
+    List.fold_left (fun acc pd -> acc + pending_evals pd) 0 pendings
+  in
+  let slots = Domain_pool.effective_jobs jobs in
+  if Array.length work > 0 then begin
+    if
+      jobs <= 1 || slots <= 1
+      || Array.length work <= 1
+      || total_evals < inline_eval_threshold
+    then begin
+      (* Sub-threshold level: run on the calling domain, in plan order
+         (also the byte-exact cache-access order of the sequential
+         path). *)
+      Array.iter (fun f -> f ()) work;
+      if jobs > 1 then Obs.count "parallelize.pool.inline_levels" 1
+    end
+    else
+      Obs.span ~cat:"dse"
+        (Printf.sprintf "dse:level%d[%d tasks, %d slots]" level_index
+           (Array.length work) slots)
+        (fun () ->
+          let wrapped =
+            match Obs.current () with
+            | None -> work
+            | Some s -> Array.map (fun f () -> Obs.with_scope s f) work
+          in
+          publish_batch (Domain_pool.run_batch ~jobs wrapped))
+  end;
+  (* Ordered commit. *)
+  List.map
+    (fun (t, primary, pstats, subs) ->
+      let node_ns =
+        let of_slot = function S_work pd -> Atomic.get pd.pd_ns | _ -> 0 in
+        List.fold_left
+          (fun acc (_, slot, _) -> acc + of_slot slot)
+          (of_slot primary) subs
+      in
+      Obs.observe "dse.node_search_ns" node_ns;
+      Obs.count "dse.node_search_total_ns" node_ns;
+      let factors = resolve_slot cache primary in
+      let o_subs =
+        List.map
+          (fun (st, slot, sstats) -> (st, resolve_slot cache slot, sstats))
+          subs
+      in
+      (t, { o_factors = factors; o_stats = pstats; o_subs }))
+    planned
 
 let dims_of_spine owner spine =
   Array.of_list
@@ -485,11 +694,7 @@ let prepare_task ~mode ~max_pf ~max_intensity ~connections ~parallelized
         else
           let sub_spine = Intensity.spine_of nest in
           Some
-            {
-              st_spine = sub_spine;
-              st_dims = dims_of_spine nest sub_spine;
-              st_label = Printf.sprintf "dse:node%d.nest%d" node.o_id nest.o_id;
-            })
+            { st_spine = sub_spine; st_dims = dims_of_spine nest sub_spine })
       (Affine_d.outermost_loops node)
   in
   {
@@ -502,37 +707,6 @@ let prepare_task ~mode ~max_pf ~max_intensity ~connections ~parallelized
     t_ctx = ctx;
     t_subs = subs;
   }
-
-(* Explore one prepared node: memoized searches over the snapshot only.
-   Runs on worker domains with the orchestrator's scope re-installed, so
-   the spans land on the worker's own trace lane. *)
-let execute_task cache engine task =
-  let t_begin = Clock.now_ns () in
-  let stats = { Dse.proposed = 0; valid = 0 } in
-  let factors =
-    Obs.span ~cat:"dse"
-      (Printf.sprintf "dse:node%d" task.t_node.o_id)
-      (fun () ->
-        cached_search cache engine ~constraints:task.t_constraints
-          ~ctx:task.t_ctx ~dims:task.t_dims ~parallel_factor:task.t_pf ~stats
-          ())
-  in
-  let subs =
-    List.map
-      (fun st ->
-        let sstats = { Dse.proposed = 0; valid = 0 } in
-        let sf =
-          Obs.span ~cat:"dse" st.st_label (fun () ->
-              cached_search cache engine ~constraints:[] ~ctx:[] ~dims:st.st_dims
-                ~parallel_factor:task.t_pf ~stats:sstats ())
-        in
-        (st, sf, sstats))
-      task.t_subs
-  in
-  let dt = Clock.now_ns () - t_begin in
-  Obs.observe "dse.node_search_ns" dt;
-  Obs.count "dse.node_search_total_ns" dt;
-  { o_factors = factors; o_stats = stats; o_subs = subs }
 
 (* ---- Schedule-level replay --------------------------------------------
 
@@ -657,6 +831,22 @@ let rec run_on_schedule ?(mode = ia_ca) ?(engine = `Exhaustive) ?(jobs = 1)
 
 and run_on_schedule_fresh ~mode ~engine ~jobs ~max_parallel_factor ~cache
     ~counters0:(h0, m0) ~replay_key ~nodes sched =
+  (* Cap the requested parallelism by what the shared domain pool can
+     actually provide: [hida-serve] workers each compiling with
+     [--jobs M] would otherwise oversubscribe the host with N×M
+     domains.  The clamp is surfaced as a remark, not an error — the
+     result is identical either way. *)
+  let jobs =
+    let slots = Domain_pool.effective_jobs jobs in
+    if jobs > 1 && slots < jobs then begin
+      Obs.remark ~op:sched ~pass:pass_name Hida_obs.Remark.Analysis
+        "--jobs %d clamped to %d: the shared worker pool has %d domain(s) \
+         available (host parallelism minus domains reserved by other layers)"
+        jobs slots (slots - 1);
+      slots
+    end
+    else jobs
+  in
   let connections = Intensity.analyze sched in
   let intensity_of = Hashtbl.create 16 in
   (* The workload weight used to apportion parallel factors: the spine
@@ -698,22 +888,11 @@ and run_on_schedule_fresh ~mode ~engine ~jobs ~max_parallel_factor ~cache
              ~connections ~parallelized ~intensity_of ~weight_of)
           level_nodes
       in
-      let results =
-        if jobs <= 1 || List.length tasks <= 1 then
-          List.map (execute_task cache engine) tasks
-        else
-          Obs.span ~cat:"dse"
-            (Printf.sprintf "dse:level%d[%d nodes, %d jobs]" li
-               (List.length tasks) jobs)
-            (fun () ->
-              run_parallel ~jobs
-                (List.map (fun t () -> execute_task cache engine t) tasks))
-      in
-      List.iter2
-        (fun t o ->
+      List.iter
+        (fun (t, o) ->
           Hashtbl.replace parallelized t.t_node.o_id o.o_factors;
           Hashtbl.replace outcomes t.t_node.o_id (t, o))
-        tasks results)
+        (execute_level cache engine ~jobs ~level_index:li tasks))
     levels;
   (* Deterministic merge, in the sequential search order: apply the
      unroll directives and publish metrics and remarks exactly as the

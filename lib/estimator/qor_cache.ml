@@ -289,6 +289,20 @@ let evictions t =
   release t;
   r
 
+(* Detach every per-domain DLS contention record and zero the aggregate
+   view, without touching the memo tables.  Bumping [stats_gen] makes
+   each domain — including persistent pool workers that outlive any
+   single compile — mint a fresh record keyed against the new
+   generation on its next cache access, so measurement sweeps (the
+   profile bench) start each measured run from zero instead of
+   inheriting counts from warm-up or earlier sweep points. *)
+let reset_stats t =
+  Mutex.lock t.stats_lock;
+  t.stats_gen <- t.stats_gen + 1;
+  t.stats_rev <- [];
+  t.wait_hist <- Hida_obs.Histogram.create ();
+  Mutex.unlock t.stats_lock
+
 let clear t =
   Mutex.lock t.lock;
   t.generation <- t.generation + 1;
@@ -300,11 +314,7 @@ let clear t =
   t.misses <- 0;
   t.evicted <- 0;
   Mutex.unlock t.lock;
-  Mutex.lock t.stats_lock;
-  t.stats_gen <- t.stats_gen + 1;
-  t.stats_rev <- [];
-  t.wait_hist <- Hida_obs.Histogram.create ();
-  Mutex.unlock t.stats_lock
+  reset_stats t
 
 (* ---- Structural signatures ---- *)
 

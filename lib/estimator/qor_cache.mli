@@ -86,6 +86,14 @@ val invalidate_signatures : t -> unit
 val clear : t -> unit
 (** Drop everything, including value tables and counters (cold start). *)
 
+val reset_stats : t -> unit
+(** Zero the contention view only: detach every per-domain DLS counter
+    record (each domain — persistent pool workers included — mints a
+    fresh one on its next access) and reset the lock-wait histogram.
+    The memo tables and hit/miss totals are untouched, so a measurement
+    sweep can reset its contention buckets between runs without
+    discarding a deliberately warmed cache. *)
+
 val signature : t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> string
 (** Structural signature of a subtree: op names, sorted attributes
     (which carry every directive), result and block-argument types with

@@ -11,6 +11,7 @@ type 'a pool = {
   nonempty : Condition.t;
   queue : 'a Queue.t;
   limit : int;
+  reserved : int; (* domains accounted against the shared DSE pool *)
   mutable stopping : bool;
   mutable max_depth : int;
   mutable rejected : int;
@@ -44,12 +45,20 @@ let worker_loop p handler =
   next ()
 
 let create_pool ~workers ~queue_limit handler =
+  let workers = max 1 workers in
+  (* These connection workers are domains of their own; account them
+     against the shared DSE [Domain_pool] budget so N server workers
+     each compiling with [--jobs M] share one bounded pool instead of
+     oversubscribing the host with N×M domains (the parallelizer then
+     clamps each request's effective jobs and says so in a remark). *)
+  Hida_core.Domain_pool.reserve workers;
   let p =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
       limit = max 1 queue_limit;
+      reserved = workers;
       stopping = false;
       max_depth = 0;
       rejected = 0;
@@ -58,7 +67,7 @@ let create_pool ~workers ~queue_limit handler =
     }
   in
   p.domains <-
-    List.init (max 1 workers) (fun _ ->
+    List.init workers (fun _ ->
         Domain.spawn (fun () -> worker_loop p handler));
   p
 
@@ -97,7 +106,10 @@ let shutdown p =
   let ds = p.domains in
   p.domains <- [];
   Mutex.unlock p.lock;
-  List.iter Domain.join ds
+  List.iter Domain.join ds;
+  (* Return the budget to the shared DSE pool (only once: repeat
+     shutdowns find no domains to join). *)
+  if ds <> [] then Hida_core.Domain_pool.release p.reserved
 
 (* ---- Single-flight coalescing ---- *)
 

@@ -8,6 +8,7 @@ let () =
       ("estimator", Test_estimator.tests);
       ("passes", Test_passes.tests);
       ("parallelize", Test_parallelize.tests);
+      ("domain-pool", Test_domain_pool.tests);
       ("sim", Test_sim.tests);
       ("analysis", Test_analysis.tests);
       ("driver", Test_driver.tests);

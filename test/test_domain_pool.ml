@@ -1,0 +1,170 @@
+(* Tests for the persistent work-stealing domain pool backing the
+   parallel DSE (and, via reservation accounting, hida-serve).  The
+   properties pinned here are the ones the parallelizer's determinism
+   and the serve layer's domain budget rest on:
+
+     - results land in caller-owned slots committed in task order,
+       whatever the completion order;
+     - idle participants steal queued work instead of waiting it out;
+     - the pool is reused across compiles (no domain-per-compile leak);
+     - a task exception reaches the submitter after the batch drains;
+     - [effective_jobs] clamps against the worker budget. *)
+
+open Hida_core
+open Hida_estimator
+open Hida_frontend
+open Helpers
+
+(* ---- ordered slots under shuffled completion order ---- *)
+
+let test_ordered_slots () =
+  let n = 64 in
+  let slots = Array.make n (-1) in
+  let tasks =
+    Array.init n (fun i ->
+        fun () ->
+          (* Later-indexed tasks finish first (and spin a little), so
+             completion order is far from submission order. *)
+          let spin = (n - i) * 50 in
+          let acc = ref 0 in
+          for k = 1 to spin do
+            acc := !acc + k
+          done;
+          ignore !acc;
+          slots.(i) <- i)
+  in
+  let rep = Domain_pool.run_batch ~jobs:4 tasks in
+  checki "every task ran" n rep.Domain_pool.br_tasks;
+  (* Reading the slots in index order is the deterministic merge: the
+     value at index i depends only on task i, never on scheduling. *)
+  Array.iteri (fun i v -> checki (Printf.sprintf "slot %d" i) i v) slots
+
+(* ---- deterministic merge: reduction over slots is order-free ---- *)
+
+let test_merge_ignores_completion_order () =
+  (* Two batches with opposite finishing orders must commit the same
+     reduction result when slots are folded in index order. *)
+  let run reversed =
+    let n = 32 in
+    let slots = Array.make n 0. in
+    let tasks =
+      Array.init n (fun i ->
+          fun () ->
+            let spin = if reversed then i * 80 else (n - i) * 80 in
+            let acc = ref 0 in
+            for k = 1 to spin do
+              acc := !acc + k
+            done;
+            ignore !acc;
+            slots.(i) <- float_of_int (i * i) /. 7.)
+    in
+    ignore (Domain_pool.run_batch ~jobs:4 tasks);
+    Array.fold_left (fun a v -> (a *. 1.000001) +. v) 0. slots
+  in
+  checkb "fold over index-ordered slots is schedule-independent"
+    (run false = run true)
+
+(* ---- work stealing ---- *)
+
+let test_steals_happen () =
+  (* One task parks its executor until every other task of the batch is
+     done; the remaining tasks in that participant's deque can then only
+     finish by being stolen.  The interleaving is up to the OS
+     scheduler, so retry a few times rather than flake. *)
+  let attempt () =
+    let n = 16 in
+    let remaining = Atomic.make (n - 1) in
+    let tasks =
+      Array.init n (fun i ->
+          if i = n - 1 then fun () ->
+            while Atomic.get remaining > 0 do
+              Domain.cpu_relax ()
+            done
+          else fun () -> Atomic.decr remaining)
+    in
+    let rep = Domain_pool.run_batch ~jobs:2 tasks in
+    rep.Domain_pool.br_steals > 0
+  in
+  let rec go k = if attempt () then true else if k = 0 then false else go (k - 1) in
+  checkb "idle participants steal queued tasks" (go 20)
+
+(* ---- pool reuse across compiles (no domain leak) ---- *)
+
+let test_pool_reused_across_compiles () =
+  let compile () =
+    let _m, f = Polybench.k_3mm ~scale:0.1 () in
+    ignore
+      (Driver.run_memref
+         ~opts:{ Driver.default with jobs = 2 }
+         ~device:Device.zu3eg f)
+  in
+  compile ();
+  let s1 = Domain_pool.stats () in
+  let ids1 = Domain_pool.worker_domain_ids () in
+  checkb "first parallel compile spawned workers" (s1.Domain_pool.st_spawned > 0);
+  compile ();
+  compile ();
+  let s2 = Domain_pool.stats () in
+  let ids2 = Domain_pool.worker_domain_ids () in
+  checki "no new domains for subsequent compiles" s1.Domain_pool.st_spawned
+    s2.Domain_pool.st_spawned;
+  check (Alcotest.list Alcotest.int) "same worker domains serve every compile"
+    ids1 ids2;
+  checkb "later compiles ran batches on the pool"
+    (s2.Domain_pool.st_batches > s1.Domain_pool.st_batches
+    || s2.Domain_pool.st_tasks >= s1.Domain_pool.st_tasks)
+
+(* ---- exception propagation ---- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let ran = Atomic.make 0 in
+  let tasks =
+    Array.init 12 (fun i ->
+        fun () ->
+          Atomic.incr ran;
+          if i = 5 then raise (Boom i))
+  in
+  (match Domain_pool.run_batch ~jobs:2 tasks with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 5 -> ());
+  (* The batch drains before re-raising: no task is abandoned. *)
+  checki "all tasks ran despite the failure" 12 (Atomic.get ran)
+
+(* ---- empty batch ---- *)
+
+let test_empty_batch () =
+  let rep = Domain_pool.run_batch ~jobs:4 [||] in
+  checki "no tasks" 0 rep.Domain_pool.br_tasks;
+  checki "no steals" 0 rep.Domain_pool.br_steals
+
+(* ---- jobs clamping ---- *)
+
+let test_effective_jobs () =
+  let restore () = Domain_pool.set_max_workers (-1) in
+  Fun.protect ~finally:restore (fun () ->
+      Domain_pool.set_max_workers 2;
+      checki "jobs 8 clamps to 1 caller + 2 workers" 3
+        (Domain_pool.effective_jobs 8);
+      checki "jobs 2 unaffected by a larger budget" 2
+        (Domain_pool.effective_jobs 2);
+      Domain_pool.set_max_workers 0;
+      checki "no workers leaves the caller alone" 1
+        (Domain_pool.effective_jobs 8);
+      checki "jobs floor is 1" 1 (Domain_pool.effective_jobs 0));
+  checkb "default budget restored" (Domain_pool.max_workers () >= 1)
+
+let tests =
+  [
+    Alcotest.test_case "slots committed in task order" `Quick test_ordered_slots;
+    Alcotest.test_case "merge ignores completion order" `Quick
+      test_merge_ignores_completion_order;
+    Alcotest.test_case "work stealing engages" `Quick test_steals_happen;
+    Alcotest.test_case "pool reused across compiles" `Quick
+      test_pool_reused_across_compiles;
+    Alcotest.test_case "task exception propagates" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "empty batch" `Quick test_empty_batch;
+    Alcotest.test_case "effective_jobs clamping" `Quick test_effective_jobs;
+  ]

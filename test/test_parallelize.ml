@@ -374,6 +374,76 @@ let test_level_schedule () =
         (List.sort compare ps = ps))
     levels
 
+(* ---- parallel DSE over the work-stealing pool ---- *)
+
+(* Byte-identical output whatever the parallelism: the candidate order
+   is total, chunk reductions pick the unique optimum, and the pool's
+   results are committed in node order.  The qcheck sweep varies both
+   the workload and the jobs count (2/4/8 all exercise stealing; at 8
+   the request over-asks the worker budget and gets clamped). *)
+let prop_jobs_byte_identical =
+  let baselines : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let compile ~jobs name =
+    let f = snd ((Polybench.by_name name).Polybench.e_build ()) in
+    let rep =
+      Driver.run_memref
+        ~opts:{ Driver.default with jobs; max_parallel_factor = 64 }
+        ~device:Hida_estimator.Device.zu3eg f
+    in
+    Printer.op_to_string rep.Driver.design
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parallel DSE output byte-identical across jobs"
+       ~count:12
+       QCheck2.Gen.(
+         tup2
+           (oneofl [ "2mm"; "3mm"; "atax"; "bicg"; "mvt" ])
+           (oneofl [ 1; 2; 4; 8 ]))
+       (fun (name, jobs) ->
+         let baseline =
+           match Hashtbl.find_opt baselines name with
+           | Some s -> s
+           | None ->
+               let s = compile ~jobs:1 name in
+               Hashtbl.replace baselines name s;
+               s
+         in
+         String.equal baseline (compile ~jobs name)))
+
+(* When --jobs over-asks the shared pool's worker budget, the effective
+   parallelism is clamped and the parallelizer says so in a remark. *)
+let test_jobs_clamp_remark () =
+  let restore () = Domain_pool.set_max_workers (-1) in
+  Fun.protect ~finally:restore (fun () ->
+      Domain_pool.set_max_workers 0;
+      let _m, f = Polybench.k_2mm ~scale:0.1 () in
+      let rep =
+        Driver.run_memref
+          ~opts:{ Driver.default with jobs = 4 }
+          ~device:Hida_estimator.Device.zu3eg f
+      in
+      let clamp_remarks =
+        List.filter
+          (fun r ->
+            r.Hida_obs.Remark.r_pass = "dataflow-parallelization"
+            && r.Hida_obs.Remark.r_severity = Hida_obs.Remark.Analysis
+            && contains ~sub:"clamped" r.Hida_obs.Remark.r_msg)
+          rep.Driver.remarks
+      in
+      checkb "clamp remark emitted" (clamp_remarks <> []));
+  (* With the budget restored, an in-budget request draws no remark. *)
+  let _m, f = Polybench.k_2mm ~scale:0.1 () in
+  let rep =
+    Driver.run_memref
+      ~opts:{ Driver.default with jobs = 2 }
+      ~device:Hida_estimator.Device.zu3eg f
+  in
+  checkb "no clamp remark within budget"
+    (not
+       (List.exists
+          (fun r -> contains ~sub:"clamped" r.Hida_obs.Remark.r_msg)
+          rep.Driver.remarks))
+
 let prop_stochastic_valid =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"stochastic DSE always valid, usually optimal"
@@ -444,6 +514,8 @@ let tests =
     Alcotest.test_case "ablation modes differ" `Quick test_modes_differ;
     Alcotest.test_case "partitions (Table 6)" `Quick test_table6_partitions;
     Alcotest.test_case "naive partitions cost more" `Quick test_naive_partitions_cost_more;
+    prop_jobs_byte_identical;
+    Alcotest.test_case "jobs clamp remark" `Quick test_jobs_clamp_remark;
     Alcotest.test_case "seidel stays serial" `Quick test_seidel_not_parallelized;
     Alcotest.test_case "loop dependence classes" `Quick test_loop_classes;
     prop_dse_valid;
