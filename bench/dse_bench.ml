@@ -141,6 +141,7 @@ let json_of_rows ~par_jobs ~reps rows =
   let buf = Buffer.create 4096 in
   let speedup cold t = if t > 0. then cold /. t else nan in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf ("  " ^ Util.host_provenance_json () ^ ",\n");
   Buffer.add_string buf (Printf.sprintf "  \"max_parallel_factor\": %d,\n" max_pf);
   Buffer.add_string buf (Printf.sprintf "  \"parallel_jobs\": %d,\n" par_jobs);
   Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);

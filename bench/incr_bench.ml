@@ -1,0 +1,229 @@
+(* Incremental-recompilation benchmark: subtree-level structure sharing
+   across compiles through the persistent content-addressed store.
+
+   Scenarios (full-scale resnet18, end-to-end [Driver] pipeline):
+
+     cold         no backing store (the in-process memo still runs, as
+                  in any single compile)
+     incremental  backing store populated by compiling the ORIGINAL
+                  model; the timed run compiles an EDITED model (one
+                  nn.relu removed) — every unchanged subtree reuses its
+                  fused/balanced/DSE'd result via content hashes
+     identical    backing store populated by the same model; the timed
+                  run recompiles it unchanged (schedule replays +
+                  whole-design estimate hit)
+
+   The store is rebuilt from scratch before every timed incremental rep
+   so each one measures the first recompile after the edit, not a
+   warmed-up second one.  Output IR is asserted byte-identical to the
+   cold compile for jobs in {1, 4}; repeated-block dedup counts
+   (isomorphic nodes lowered once and stamped) are reported for the
+   model zoo.  Results go to BENCH_incr.json. *)
+
+open Hida_ir
+open Ir
+open Hida_estimator
+open Hida_core
+open Hida_frontend
+
+(* A large parallel factor makes the compile search-dominated (the
+   divisor lattice the DSE walks grows with the factor) — the regime
+   incremental recompilation is for.  The default-effort ratio is
+   reported alongside for transparency. *)
+let thorough_pf = 512
+
+let opts_of_pf pf = { Driver.default with Driver.max_parallel_factor = pf }
+
+let edit_one_layer f =
+  match Walk.find f ~pred:(fun o -> Op.name o = "nn.relu") with
+  | None -> failwith "incr bench: model has no nn.relu layer"
+  | Some relu ->
+      let v = Op.operand relu 0 in
+      List.iter
+        (fun r -> replace_all_uses ~old_value:r ~new_value:v)
+        (Op.results relu);
+      erase_op relu
+
+let compile_once ~opts ~edit name =
+  let _m, f = (Models.by_name name).Models.e_build () in
+  if edit then edit_one_layer f;
+  let st = Driver.compile_nn ~opts f in
+  let rep = Driver.finish ~device:Device.vu9p_slr st f in
+  (rep, Printer.op_to_string rep.Driver.design)
+
+(* min-of-n wall time, keeping the fastest rep's report and printed IR;
+   [prep] re-establishes the cache scenario before every rep. *)
+let best ~prep ~opts ~edit n name =
+  let out = ref None in
+  for _ = 1 to n do
+    prep ();
+    let rep, ir = compile_once ~opts ~edit name in
+    match !out with
+    | Some (r, _) when r.Driver.compile_seconds <= rep.Driver.compile_seconds
+      ->
+        ()
+    | _ -> out := Some (rep, ir)
+  done;
+  Option.get !out
+
+type row = {
+  r_pf : int;
+  r_cold_ms : float;
+  r_incr_ms : float;
+  r_ident_ms : float;
+  r_hits : int;
+  r_misses : int;
+}
+
+let bench_effort ~reps ~pf name =
+  let g = Qor_cache.global () in
+  let opts = opts_of_pf pf in
+  let cold_prep () =
+    Qor_cache.set_backing g None;
+    Qor_cache.clear g
+  in
+  let rc, ir_cold = best ~prep:cold_prep ~opts ~edit:true reps name in
+  (* Each incremental rep must see a store holding ONLY original-model
+     entries: rebuild and repopulate it from scratch every time. *)
+  let incr_prep () =
+    Qor_cache.set_backing g (Some (Blob_store.create ()));
+    Qor_cache.clear g;
+    ignore (compile_once ~opts ~edit:false name);
+    Qor_cache.clear g
+  in
+  incr_prep ();
+  let h0, m0 = Qor_cache.subtree_counters g in
+  ignore (compile_once ~opts ~edit:true name);
+  let h1, m1 = Qor_cache.subtree_counters g in
+  let ri, ir_incr = best ~prep:incr_prep ~opts ~edit:true reps name in
+  let ident_prep () = Qor_cache.clear g in
+  let rii, _ = best ~prep:ident_prep ~opts ~edit:false reps name in
+  if ir_incr <> ir_cold then
+    failwith
+      (Printf.sprintf
+         "incr bench: incremental %s output differs from cold compile" name);
+  Qor_cache.set_backing g None;
+  ( {
+      r_pf = pf;
+      r_cold_ms = 1000. *. rc.Driver.compile_seconds;
+      r_incr_ms = 1000. *. ri.Driver.compile_seconds;
+      r_ident_ms = 1000. *. rii.Driver.compile_seconds;
+      r_hits = h1 - h0;
+      r_misses = m1 - m0;
+    },
+    ir_cold )
+
+(* Byte-identity of the incremental path across worker-domain counts:
+   the store probes happen at points deterministic in the input, so the
+   design must not depend on [jobs]. *)
+let jobs_identity ~ir_cold name =
+  let g = Qor_cache.global () in
+  List.map
+    (fun jobs ->
+      Qor_cache.set_backing g (Some (Blob_store.create ()));
+      Qor_cache.clear g;
+      ignore
+        (compile_once ~opts:(opts_of_pf thorough_pf) ~edit:false name);
+      Qor_cache.clear g;
+      let _, ir =
+        compile_once
+          ~opts:{ (opts_of_pf thorough_pf) with Driver.jobs }
+          ~edit:true name
+      in
+      Qor_cache.set_backing g None;
+      (jobs, ir = ir_cold))
+    [ 1; 4 ]
+
+(* Within-compile structure sharing: isomorphic nodes lowered once and
+   stamped ([incr.subtree.stamped] from a plain cold compile). *)
+let dedup_count name =
+  let g = Qor_cache.global () in
+  Qor_cache.set_backing g None;
+  Qor_cache.clear g;
+  let rep, _ = compile_once ~opts:Driver.default ~edit:false name in
+  Hida_obs.Metrics.counter rep.Driver.metrics "incr.subtree.stamped"
+
+let run ?(smoke = false) ?(quick = false) () =
+  ignore quick;
+  Util.header
+    (if smoke then "Incremental recompilation (smoke: reduced reps)"
+     else "Incremental recompilation: cold vs subtree-store reuse");
+  let reps = if smoke then 2 else 5 in
+  let name = "resnet18" in
+  Qor_cache.install (Qor_cache.global ());
+  Printf.printf "%-10s %10s %10s %10s %8s %8s\n" "effort" "cold ms" "incr ms"
+    "ident ms" "incr x" "ident x";
+  let rows_irs =
+    List.map
+      (fun pf -> bench_effort ~reps ~pf name)
+      [ 32; thorough_pf ]
+  in
+  List.iter
+    (fun (r, _) ->
+      Printf.printf "pf=%-7d %10.2f %10.2f %10.2f %8.2f %8.2f\n" r.r_pf
+        r.r_cold_ms r.r_incr_ms r.r_ident_ms
+        (r.r_cold_ms /. r.r_incr_ms)
+        (r.r_cold_ms /. r.r_ident_ms))
+    rows_irs;
+  let headline, ir_cold =
+    List.nth rows_irs (List.length rows_irs - 1)
+  in
+  let jobs_ok = jobs_identity ~ir_cold name in
+  List.iter
+    (fun (jobs, ok) ->
+      Printf.printf "byte-identical to cold (jobs=%d): %b\n" jobs ok)
+    jobs_ok;
+  let dedups =
+    List.map (fun n -> (n, dedup_count n)) [ "resnet18"; "mobilenet" ]
+  in
+  List.iter
+    (fun (n, c) -> Printf.printf "dedup (stamped nodes) %-10s: %d\n" n c)
+    dedups;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf ("  " ^ Util.host_provenance_json () ^ ",\n");
+  Buffer.add_string buf (Printf.sprintf "  \"workload\": %S,\n" name);
+  Buffer.add_string buf "  \"edit\": \"remove one nn.relu layer\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf "  \"efforts\": [\n";
+  List.iteri
+    (fun i (r, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"max_parallel_factor\": %d, \"cold_ms\": %.3f, \
+            \"incremental_ms\": %.3f, \"identical_ms\": %.3f, \
+            \"speedup_edited\": %.2f, \"speedup_identical\": %.2f, \
+            \"subtree_hits\": %d, \"subtree_misses\": %d}%s\n"
+           r.r_pf r.r_cold_ms r.r_incr_ms r.r_ident_ms
+           (r.r_cold_ms /. r.r_incr_ms)
+           (r.r_cold_ms /. r.r_ident_ms)
+           r.r_hits r.r_misses
+           (if i = List.length rows_irs - 1 then "" else ",")))
+    rows_irs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_edited\": %.2f,\n"
+       (headline.r_cold_ms /. headline.r_incr_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_identical\": %.2f,\n"
+       (headline.r_cold_ms /. headline.r_ident_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"byte_identical\": {%s},\n"
+       (String.concat ", "
+          (List.map
+             (fun (jobs, ok) -> Printf.sprintf "\"jobs%d\": %b" jobs ok)
+             jobs_ok)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"dedup_stamped\": {%s}\n"
+       (String.concat ", "
+          (List.map (fun (n, c) -> Printf.sprintf "%S: %d" n c) dedups)));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "\nincremental %.2fx, identical %.2fx (pf=%d) — written to \
+     BENCH_incr.json\n"
+    (headline.r_cold_ms /. headline.r_incr_ms)
+    (headline.r_cold_ms /. headline.r_ident_ms)
+    headline.r_pf

@@ -112,6 +112,11 @@ let experiments =
         Profile_bench.run ~smoke:true () );
     ("analyze", fun ~quick -> Analyze_gate.run ~quick ());
     ("serve", fun ~quick -> Serve_bench.run ~quick ());
+    ("incr", fun ~quick -> Incr_bench.run ~quick ());
+    ( "incr-smoke",
+      fun ~quick ->
+        ignore quick;
+        Incr_bench.run ~smoke:true () );
     ( "serve-smoke",
       fun ~quick ->
         ignore quick;
@@ -127,7 +132,9 @@ let () =
   let selected =
     if selected = [] then
       List.filter
-        (fun n -> n <> "dse-smoke" && n <> "profile-smoke" && n <> "serve-smoke")
+        (fun n ->
+          n <> "dse-smoke" && n <> "profile-smoke" && n <> "serve-smoke"
+          && n <> "incr-smoke")
         (List.map fst experiments)
     else selected
   in

@@ -145,6 +145,7 @@ let profile_run ~jobs spec =
 let json_of ~jobs_swept rows_by_workload =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf ("  " ^ Util.host_provenance_json () ^ ",\n");
   Buffer.add_string buf
     (Printf.sprintf "  \"max_parallel_factor\": %d,\n" max_pf);
   Buffer.add_string buf

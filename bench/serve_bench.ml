@@ -104,6 +104,7 @@ let json_of_rows ~workers ~clients rows =
   let buf = Buffer.create 4096 in
   let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf ("  " ^ Util.host_provenance_json () ^ ",\n");
   Buffer.add_string buf (Printf.sprintf "  \"workers\": %d,\n" workers);
   Buffer.add_string buf (Printf.sprintf "  \"clients\": %d,\n" clients);
   Buffer.add_string buf "  \"workloads\": [\n";

@@ -99,3 +99,13 @@ let ascii_scatter ~width ~height ~xlabel ~ylabel points =
         grid;
       Printf.printf "+%s\n %s (%.3g .. %.3g)\n" (String.make width '-') xlabel
         xmin xmax
+
+(* ---- Host provenance ----
+
+   Every BENCH_*.json records the machine shape it was measured on, so
+   numbers checked into different environments can be told apart. *)
+
+let host_provenance_json () =
+  Printf.sprintf "\"host\": {\"domains\": %d, \"ocaml\": %S}"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version

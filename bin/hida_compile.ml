@@ -13,14 +13,14 @@ open Hida_estimator
 open Hida_core
 open Hida_frontend
 
-(* [@file.mlir] workloads: parse the textual IR once, verify it, and run
-   the pipeline from there.  The builder hands out a deep clone per call
-   ([fit] compiles repeatedly and the pipeline mutates the IR in place);
-   cloning is a structural copy, far cheaper than re-lexing and
-   re-verifying the file every iteration. *)
-let build_file_workload path =
+(* [@file.mlir] workloads: the file is read once up front (see
+   [read_file_workload]) and the textual IR parsed once here; the
+   builder hands out a deep clone per call ([fit] compiles repeatedly
+   and the pipeline mutates the IR in place).  Cloning is a structural
+   copy, far cheaper than re-lexing and re-verifying every iteration. *)
+let build_ir_text_workload ~filename text =
   let m0 =
-    match Hida_text.Parser.parse_file path with
+    match Hida_text.Parser.parse_string ~filename text with
     | Error d ->
         prerr_endline ("hida-compile: " ^ Hida_text.Parser.diag_to_string d);
         exit 1
@@ -29,7 +29,7 @@ let build_file_workload path =
         | Some (m, _f) -> m
         | None ->
             prerr_endline
-              ("hida-compile: " ^ path
+              ("hida-compile: " ^ filename
              ^ ": expected a builtin.module or func.func at top level");
             exit 1)
   in
@@ -38,7 +38,7 @@ let build_file_workload path =
     match Func_d.funcs m with
     | f :: _ -> (m, f)
     | [] ->
-        prerr_endline ("hida-compile: " ^ path ^ ": module has no function");
+        prerr_endline ("hida-compile: " ^ filename ^ ": module has no function");
         exit 1
   in
   let _, f0 = build () in
@@ -49,10 +49,24 @@ let build_file_workload path =
   in
   ((if has_nn then `Nn else `Memref), build)
 
+(* Read an [@FILE] workload's bytes exactly once.  Both the --connect
+   request and any local fallback compile run from this one snapshot,
+   so a file edited mid-flight cannot make the fallback compile
+   something different from what was sent to the server, and a retry
+   never touches the disk again. *)
+let read_file_workload name =
+  if String.length name > 1 && name.[0] = '@' then begin
+    let path = String.sub name 1 (String.length name - 1) in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> Some (path, text)
+    | exception Sys_error msg ->
+        prerr_endline ("hida-compile: " ^ msg);
+        exit 1
+  end
+  else None
+
 let build_workload name =
-  if String.length name > 1 && name.[0] = '@' then
-    build_file_workload (String.sub name 1 (String.length name - 1))
-  else if List.exists (fun e -> e.Models.e_name = name) Models.all then
+  if List.exists (fun e -> e.Models.e_name = name) Models.all then
     let e = Models.by_name name in
     (`Nn, fun () -> e.Models.e_build ())
   else if List.exists (fun e -> e.Polybench.e_name = name) Polybench.all then
@@ -106,20 +120,9 @@ let write_file ~what path content =
    text, so --dump-ir/-o write it directly and --emit-cpp/--simulate
    re-parse it locally (the parser/printer round-trip law makes the
    parsed design identical to the server's). *)
-let run_serve ~socket ~device workload pf tile mode_name opts emit_cpp
+let run_serve ~socket ~device ~src workload pf tile mode_name opts emit_cpp
     dump_ir out_path simulate metrics_json =
   let open Hida_serve in
-  let src =
-    if String.length workload > 1 && workload.[0] = '@' then begin
-      let path = String.sub workload 1 (String.length workload - 1) in
-      match In_channel.with_open_bin path In_channel.input_all with
-      | text -> Protocol.Ir_text text
-      | exception Sys_error msg ->
-          prerr_endline ("hida-compile: " ^ msg);
-          exit 1
-    end
-    else Protocol.Zoo workload
-  in
   match Client.compile ~socket src opts with
   | Error e -> Error e
   | Ok r ->
@@ -228,18 +231,20 @@ let run_serve ~socket ~device workload pf tile mode_name opts emit_cpp
 
 let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats profile metrics_json connect =
+    trace_json print_ir_after remarks stats profile metrics_json connect
+    incr_cache =
   try run_checked workload device_name pf tile mode_name jobs no_fusion
       no_balance no_dataflow fit analyze emit_cpp dump_ir out_path simulate
       timing trace_json print_ir_after remarks stats profile metrics_json
-      connect
+      connect incr_cache
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats profile metrics_json connect =
+    trace_json print_ir_after remarks stats profile metrics_json connect
+    incr_cache =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
   check_write_path ~what:"trace file" trace_json;
@@ -260,8 +265,18 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
     (not (fit || analyze || timing || remarks || stats || profile))
     && trace_json = None && print_ir_after = None
   in
+  (* [@FILE] bytes are read exactly once, before anything else touches
+     the workload; the server request and the local (fallback) compile
+     share this snapshot. *)
+  let file_text = read_file_workload workload in
+  let fallback_reason = ref None in
   (match connect with
   | Some socket when representable_remotely -> (
+      let src =
+        match file_text with
+        | Some (_, text) -> Hida_serve.Protocol.Ir_text text
+        | None -> Hida_serve.Protocol.Zoo workload
+      in
       let sopts =
         {
           Hida_serve.Protocol.co_device = device_name;
@@ -275,18 +290,40 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
         }
       in
       match
-        run_serve ~socket ~device workload pf tile mode_name sopts emit_cpp
-          dump_ir out_path simulate metrics_json
+        run_serve ~socket ~device ~src workload pf tile mode_name sopts
+          emit_cpp dump_ir out_path simulate metrics_json
       with
       | Ok () -> exit 0
       | Error e ->
           Printf.eprintf "hida-compile: %s; falling back to a local compile\n%!"
-            e)
+            e;
+          fallback_reason := Some e)
   | Some _ ->
       prerr_endline
         "hida-compile: the requested flags need an in-process compile; \
-         ignoring --connect and compiling locally"
+         ignoring --connect and compiling locally";
+      fallback_reason := Some "the requested flags need an in-process compile"
   | None -> ());
+  (* --incr-cache: persistent subtree/artifact store.  Loaded before the
+     compile and attached behind the global QoR cache, so every subtree
+     whose content hash is unchanged since the last run replays its DSE
+     plan, candidate costs and node estimates instead of recomputing
+     them; saved (atomically) after the compile. *)
+  let incr_store =
+    match incr_cache with
+    | None -> None
+    | Some dir ->
+        let store = Blob_store.shared () in
+        (match Blob_store.load store ~dir with
+        | Ok n ->
+            if n > 0 then
+              Printf.printf "incr cache      : %d entries loaded from %s\n" n
+                dir
+        | Error e ->
+            Printf.eprintf "hida-compile: incr cache: %s (starting cold)\n%!" e);
+        Qor_cache.set_backing (Qor_cache.global ()) (Some store);
+        Some (store, dir)
+  in
   let opts =
     {
       Driver.default with
@@ -302,7 +339,11 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
       print_ir_after;
     }
   in
-  let path, build = build_workload workload in
+  let path, build =
+    match file_text with
+    | Some (filename, text) -> build_ir_text_workload ~filename text
+    | None -> build_workload workload
+  in
   let report =
     if fit then Driver.fit ~opts ~device ~path build
     else
@@ -310,6 +351,31 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
       match path with
       | `Nn -> Driver.run_nn ~opts ~device f
       | `Memref -> Driver.run_memref ~opts ~device f
+  in
+  (match incr_store with
+  | None -> ()
+  | Some (store, dir) -> (
+      match Blob_store.save store ~dir with
+      | Ok n -> Printf.printf "incr cache      : %d entries saved to %s\n" n dir
+      | Error e ->
+          Printf.eprintf "hida-compile: incr cache: cannot save: %s\n%!" e));
+  (* A --connect downgrade is an explicit Analysis remark on the local
+     report, not a silent substitution. *)
+  let report =
+    match !fallback_reason with
+    | None -> report
+    | Some why ->
+        {
+          report with
+          Driver.remarks =
+            {
+              Hida_obs.Remark.r_pass = "driver";
+              r_severity = Hida_obs.Remark.Analysis;
+              r_loc = None;
+              r_msg = "--connect fell back to a local compile: " ^ why;
+            }
+            :: report.Driver.remarks;
+        }
   in
   let e = report.Driver.estimate in
   Printf.printf "workload        : %s (%s path)\n" workload
@@ -608,6 +674,14 @@ let connect =
                from its content-addressed artifact cache.  Falls back to a \
                local compile when the server is unreachable.")
 
+let incr_cache =
+  Arg.(value & opt (some string) None & info [ "incr-cache" ] ~docv:"DIR"
+         ~doc:"Persist the subtree-result store (DSE plans, candidate \
+               costs, node estimates keyed by content hashes) in $(docv) \
+               across runs: a recompile after an edit re-optimizes only \
+               the subtrees whose hashes changed.  The produced design is \
+               byte-identical with or without the cache.")
+
 let cmd =
   let doc = "compile a workload with the HIDA dataflow HLS pipeline" in
   Cmd.v
@@ -616,6 +690,6 @@ let cmd =
       const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
       $ no_balance $ no_dataflow $ fit $ analyze $ emit_cpp $ dump_ir
       $ out_path $ simulate $ timing $ trace_json $ print_ir_after $ remarks
-      $ stats $ profile $ metrics_json $ connect)
+      $ stats $ profile $ metrics_json $ connect $ incr_cache)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,11 @@ type options = {
      guards (see Lower_nn) *)
   pingpong : bool; (* HIDA buffers carry ping-pong semantics (§5.2);
                       baselines without it use single-stage buffers *)
+  stamp_isomorphic : bool;
+  (* lower each distinct task digest once and stamp the optimized body
+     into every isomorphic block (subtree structure sharing).  Output
+     IR is byte-identical either way — observation/perf knob only,
+     excluded from the option fingerprint like [jobs]. *)
   analyze : bool; (* run the static dataflow checker (hida.analysis) as a
                      post-lowering and post-balancing gate; failures are
                      diagnostics in the report, never exceptions *)
@@ -51,6 +56,7 @@ let default =
     weights_onchip = false;
     conv_boundary = `Padded;
     pingpong = true;
+    stamp_isomorphic = true;
     analyze = false;
     profile = false;
     verify_each = false;
@@ -59,9 +65,10 @@ let default =
 
 (* Canonical fingerprint of every option that can change the produced
    design or its estimate.  Observation-only knobs (jobs, profile,
-   verify_each, print_ir_after, analyze) are deliberately excluded:
-   [--jobs] is byte-identical by construction and the rest never touch
-   the IR, so including them would only fragment the artifact cache.
+   verify_each, print_ir_after, analyze, stamp_isomorphic) are
+   deliberately excluded: [--jobs] and stamping are byte-identical by
+   construction and the rest never touch the IR, so including them
+   would only fragment the artifact cache.
    The serve layer keys whole-pipeline artifacts on this string plus the
    request source and device ([Qor_cache.artifact_signature]). *)
 let options_fingerprint o =
@@ -196,8 +203,18 @@ type state = {
   st_cont0 : Qor_cache.lock_stats;
       (* cache-lock contention at compile start, for per-compile deltas *)
   st_evict0 : int; (* cache evictions at compile start *)
+  st_sub0 : int * int;
+      (* persistent subtree-tier (hits, misses) at compile start *)
   mutable st_deltas_rev : Hida_obs.Ir_stats.pass_delta list;
   mutable st_analysis : Hida_analysis.Analysis.diag list;
+  mutable st_input_sig : string option;
+      (* digest of the pre-optimization function plus the semantic
+         option fingerprint, captured before the first pass mutates it.
+         [finish] keys the whole-design estimate memo on it: the
+         pipeline is deterministic in (input, options, device, batch) —
+         the same property the artifact cache and the byte-identity
+         guarantee rest on — and digesting the small input IR is an
+         order of magnitude cheaper than walking the optimized design. *)
 }
 
 let contains ~sub s =
@@ -224,8 +241,10 @@ let make_state opts =
       st_scope = Hida_obs.Scope.create ();
       st_cont0 = Qor_cache.contention (Qor_cache.global ());
       st_evict0 = Qor_cache.evictions (Qor_cache.global ());
+      st_sub0 = Qor_cache.subtree_counters (Qor_cache.global ());
       st_deltas_rev = [];
       st_analysis = [];
+      st_input_sig = None;
     }
   in
   Hida_obs.Scope.set_detailed st.st_scope opts.profile;
@@ -299,13 +318,15 @@ let add_final_gate opts st =
 
 let compile_nn ?(opts = default) func =
   let st = make_state opts in
+  st.st_input_sig <-
+    Some ("nn#" ^ options_fingerprint opts ^ "#" ^ Subtree.digest func);
   let mgr = st.st_mgr in
   Pass.add mgr Canonicalize.pass;
   Pass.add mgr Construct.pass;
   if opts.enable_fusion then Pass.add mgr (Fusion.pass ());
   Pass.add mgr
     (Lowering.nn_pass ~weights_onchip:opts.weights_onchip
-       ~boundary:opts.conv_boundary ());
+       ~boundary:opts.conv_boundary ~stamp:opts.stamp_isomorphic ());
   if opts.enable_multi_producer then Pass.add mgr Multi_producer.pass;
   add_pre_balance_gate opts st;
   if opts.enable_balancing then Pass.add mgr (Balance.pass ());
@@ -332,6 +353,8 @@ let compile_nn ?(opts = default) func =
 
 let compile_memref ?(opts = default) func =
   let st = make_state opts in
+  st.st_input_sig <-
+    Some ("memref#" ^ options_fingerprint opts ^ "#" ^ Subtree.digest func);
   let mgr = st.st_mgr in
   if opts.enable_dataflow then begin
     Pass.add mgr Canonicalize.pass;
@@ -374,7 +397,20 @@ let finish ~device ?(batch = 1) st func =
         let h0, m0 = Qor_cache.counters (Qor_cache.global ()) in
         let est =
           Hida_obs.Scope.span ~cat:"driver" "qor-estimation" (fun () ->
-              Qor.estimate_func device ~batch func)
+              let cache = Qor_cache.global () in
+              match (Qor_cache.backing cache, st.st_input_sig) with
+              | Some _, Some isig ->
+                  (* Top tier of the signature hierarchy: an unchanged
+                     design (same input, options, device and batch — the
+                     pipeline is deterministic in those) skips per-node
+                     estimation outright. *)
+                  let key =
+                    Printf.sprintf "design#%s#%d#%s" device.Device.name batch
+                      isig
+                  in
+                  Qor_cache.memo_design cache key (fun () ->
+                      Qor.estimate_func device ~batch func)
+              | _ -> Qor.estimate_func device ~batch func)
         in
         let h1, m1 = Qor_cache.counters (Qor_cache.global ()) in
         Hida_obs.Scope.count "qor.cache.hits" (h1 - h0);
@@ -397,6 +433,21 @@ let finish ~device ?(batch = 1) st func =
     (c1.Qor_cache.lc_wait_ns - st.st_cont0.Qor_cache.lc_wait_ns);
   Hida_obs.Metrics.add metrics "qor.cache.evictions"
     (Qor_cache.evictions (Qor_cache.global ()) - st.st_evict0);
+  (* Persistent subtree-tier reuse accumulated by this compile.  The
+     keys are published unconditionally (zero when no backing store is
+     attached) so consumers — CI asserts [incr.subtree.hits > 0] on an
+     incremental recompile — can rely on their presence. *)
+  let sh1, sm1 = Qor_cache.subtree_counters (Qor_cache.global ()) in
+  let sh0, sm0 = st.st_sub0 in
+  Hida_obs.Metrics.add metrics "incr.subtree.hits" (sh1 - sh0);
+  Hida_obs.Metrics.add metrics "incr.subtree.misses" (sm1 - sm0);
+  Hida_obs.Metrics.add metrics "incr.subtree.stamped" 0;
+  Hida_obs.Scope.with_scope scope (fun () ->
+      if sh1 - sh0 > 0 then
+        Hida_obs.Scope.remark ~pass:"driver" Hida_obs.Remark.Analysis
+          "incremental reuse: %d subtree result(s) served from the persistent \
+           store (%d computed fresh)"
+          (sh1 - sh0) (sm1 - sm0));
   {
     design = func;
     estimate;

@@ -28,6 +28,12 @@ type options = {
   pingpong : bool;
       (** HIDA buffers carry automatic ping-pong semantics (§5.2);
           baselines without it get single-stage buffers *)
+  stamp_isomorphic : bool;
+      (** lower each distinct task digest once and stamp the result into
+          every isomorphic block (subtree structure sharing; default
+          on).  The produced IR is byte-identical either way, so this is
+          a perf/ablation knob excluded from the fingerprint like
+          [jobs]. *)
   analyze : bool;
       (** run the static dataflow checker ({!Hida_analysis.Analysis}) as
           a post-lowering and post-balancing gate; failures are
@@ -48,7 +54,8 @@ val default : options
 val options_fingerprint : options -> string
 (** Canonical serialization of every option that can change the
     produced design or its estimate.  Observation-only knobs ([jobs],
-    [profile], [verify_each], [print_ir_after], [analyze]) are excluded
+    [profile], [verify_each], [print_ir_after], [analyze],
+    [stamp_isomorphic]) are excluded
     so they never fragment content-addressed artifact caches; the serve
     layer keys whole-pipeline artifacts on this string plus the request
     source and device name. *)

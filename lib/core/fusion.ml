@@ -12,6 +12,7 @@
 open Hida_ir
 open Ir
 open Hida_dialects
+open Hida_estimator
 module Obs = Hida_obs.Scope
 
 let pass_name = "functional-dataflow-task-fusion"
@@ -31,8 +32,130 @@ let last_payload_name task =
 let first_payload_name task =
   match payload_names task with [] -> None | n :: _ -> Some n
 
+(* Everything the pair scans below read from a task's subtree, computed
+   in one walk: buffers stored/loaded (memref dependence edges), the
+   read/write id sets (hazard checks), and the free SSA values
+   (dominance check).  The quadratic candidate scans re-query the same
+   tasks for every pair, so [run] memoizes these records per fixpoint
+   iteration (the IR is stable until a fusion restarts the scan). *)
+type task_info = {
+  ti_stored : value list;
+  ti_loaded : value list;
+  ti_reads : (int, unit) Hashtbl.t;
+  ti_writes : (int, unit) Hashtbl.t;
+  ti_frees : value list;
+}
+
+let task_info root =
+  let reads = Hashtbl.create 8 and writes = Hashtbl.create 8 in
+  let stored = ref [] and loaded = ref [] in
+  let inside = Hashtbl.create 32 in
+  let operands = ref [] in
+  Walk.preorder root ~f:(fun o ->
+      if Affine_d.is_load o then begin
+        let m = Affine_d.load_memref o in
+        if not (Hashtbl.mem reads m.v_id) then loaded := m :: !loaded;
+        Hashtbl.replace reads m.v_id ()
+      end
+      else if Affine_d.is_store o then begin
+        let m = Affine_d.store_memref o in
+        if not (Hashtbl.mem writes m.v_id) then stored := m :: !stored;
+        Hashtbl.replace writes m.v_id ()
+      end
+      else if Hida_d.is_copy o || Op.name o = "memref.copy" then begin
+        Hashtbl.replace reads (Op.operand o 0).v_id ();
+        Hashtbl.replace writes (Op.operand o 1).v_id ()
+      end;
+      Array.iter (fun r -> Hashtbl.replace inside r.v_id ()) o.o_results;
+      Array.iter
+        (fun g ->
+          List.iter
+            (fun b ->
+              Array.iter
+                (fun a -> Hashtbl.replace inside a.v_id ())
+                b.b_args)
+            g.g_blocks)
+        o.o_regions;
+      operands := o :: !operands);
+  let free = ref [] in
+  List.iter
+    (fun o ->
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem inside v.v_id) then
+            if not (List.exists (Value.equal v) !free) then free := v :: !free)
+        o.o_operands)
+    (List.rev !operands);
+  {
+    ti_stored = !stored;
+    ti_loaded = !loaded;
+    ti_reads = reads;
+    ti_writes = writes;
+    ti_frees = !free;
+  }
+
+(* Memo valid across fixpoint iterations: [fuse] mints a fresh op id for
+   the merged task, so the only stale entries after a fusion are the ops
+   whose operands [replace_all_uses] rewired — the users of the fused
+   task's results.  [invalidate_users] drops those (and their enclosing
+   tasks) after each fusion. *)
+let info_memo () =
+  let tbl = Hashtbl.create 64 in
+  fun (op : op) ->
+    match Hashtbl.find_opt tbl op.o_id with
+    | Some i -> i
+    | None ->
+        let i = task_info op in
+        Hashtbl.add tbl op.o_id i;
+        i
+
+let make_memos () =
+  let info_tbl = Hashtbl.create 64 in
+  let int_tbl = Hashtbl.create 64 in
+  let info (op : op) =
+    match Hashtbl.find_opt info_tbl op.o_id with
+    | Some i -> i
+    | None ->
+        let i = task_info op in
+        Hashtbl.add info_tbl op.o_id i;
+        i
+  in
+  let intensity (op : op) =
+    match Hashtbl.find_opt int_tbl op.o_id with
+    | Some i -> i
+    | None ->
+        let i = Intensity.op_intensity op in
+        Hashtbl.add int_tbl op.o_id i;
+        i
+  in
+  (* Per-id generation counters let the pair-rejection memo below
+     invalidate lazily: bumping an id retires every cached pair verdict
+     that mentions it, without scanning the pair table. *)
+  let gen_tbl = Hashtbl.create 64 in
+  let gen (op : op) =
+    Option.value ~default:0 (Hashtbl.find_opt gen_tbl op.o_id)
+  in
+  let invalidate_users (fused : op) =
+    let rec up (o : op) =
+      Hashtbl.remove info_tbl o.o_id;
+      Hashtbl.remove int_tbl o.o_id;
+      Hashtbl.replace gen_tbl o.o_id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt gen_tbl o.o_id));
+      match Op.parent o with
+      | None -> ()
+      | Some b -> (
+          match Block.parent b with
+          | None -> ()
+          | Some g -> ( match Region.parent g with None -> () | Some p -> up p))
+    in
+    Array.iter
+      (fun r -> List.iter (fun (u : use) -> up u.u_op) (Value.uses r))
+      fused.o_results
+  in
+  (info, gen, intensity, invalidate_users)
+
 (* Does [consumer] directly use a result of [producer]? *)
-let directly_consumes ~producer ~consumer =
+let directly_consumes_i ~info ~producer ~consumer =
   List.exists
     (fun r ->
       List.exists (fun (u : use) ->
@@ -42,52 +165,21 @@ let directly_consumes ~producer ~consumer =
     (Op.results producer)
   ||
   (* Memref semantics: consumer loads a buffer the producer stores. *)
-  let stored root =
-    List.filter_map
-      (fun op -> if Affine_d.is_store op then Some (Affine_d.store_memref op) else None)
-      (Walk.collect root ~pred:Affine_d.is_store)
-  in
-  let loaded root =
-    List.filter_map
-      (fun op -> if Affine_d.is_load op then Some (Affine_d.load_memref op) else None)
-      (Walk.collect root ~pred:Affine_d.is_load)
-  in
-  let written = stored producer in
-  List.exists (fun l -> List.exists (Value.equal l) written) (loaded consumer)
+  let written = (info producer).ti_stored in
+  List.exists
+    (fun l -> List.exists (Value.equal l) written)
+    (info consumer).ti_loaded
+
+let directly_consumes ~producer ~consumer =
+  directly_consumes_i ~info:(info_memo ()) ~producer ~consumer
 
 (* Free values of a task: outer values referenced by its body. *)
-let free_values task =
-  let inside = Hashtbl.create 32 in
-  Walk.preorder task ~f:(fun o ->
-      List.iter (fun r -> Hashtbl.replace inside r.v_id ()) (Op.results o);
-      List.iter
-        (fun g ->
-          List.iter
-            (fun b -> List.iter (fun a -> Hashtbl.replace inside a.v_id ()) (Block.args b))
-            (Region.blocks g))
-        (Op.regions o));
-  let free = ref [] in
-  Walk.preorder task ~f:(fun o ->
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem inside v.v_id) then
-            if not (List.exists (Value.equal v) !free) then free := v :: !free)
-        (Op.operands o));
-  !free
+let free_values task = (task_info task).ti_frees
 
 (* Buffers read and written (by value id) inside an op. *)
 let rw_sets op =
-  let reads = Hashtbl.create 8 and writes = Hashtbl.create 8 in
-  Walk.preorder op ~f:(fun o ->
-      if Affine_d.is_load o then
-        Hashtbl.replace reads (Affine_d.load_memref o).v_id ()
-      else if Affine_d.is_store o then
-        Hashtbl.replace writes (Affine_d.store_memref o).v_id ()
-      else if Hida_d.is_copy o || Op.name o = "memref.copy" then begin
-        Hashtbl.replace reads (Op.operand o 0).v_id ();
-        Hashtbl.replace writes (Op.operand o 1).v_id ()
-      end);
-  (reads, writes)
+  let i = task_info op in
+  (i.ti_reads, i.ti_writes)
 
 (* Fusing [producer] and [consumer] places the fused task at [producer]'s
    position; legal when
@@ -96,7 +188,7 @@ let rw_sets op =
    - moving [consumer] above the tasks between the two does not reorder a
      memory dependence (no RAW/WAR/WAW hazard against any op in
      between). *)
-let can_fuse ~producer ~consumer =
+let can_fuse_i ~info ~producer ~consumer =
   (match (Op.parent producer, Op.parent consumer) with
   | Some a, Some b -> Block.equal a b
   | _ -> false)
@@ -104,7 +196,7 @@ let can_fuse ~producer ~consumer =
        (fun v ->
          List.exists (Value.equal v) (Op.results producer)
          || value_dominates v producer)
-       (free_values consumer)
+       (info consumer).ti_frees
   &&
   let blk = match Op.parent producer with Some b -> b | None -> assert false in
   let between =
@@ -113,15 +205,20 @@ let can_fuse ~producer ~consumer =
         List.filteri (fun k _ -> k > i && k < j) (Block.ops blk)
     | _ -> []
   in
-  let c_reads, c_writes = rw_sets consumer in
+  let ci = info consumer in
+  let c_reads = ci.ti_reads and c_writes = ci.ti_writes in
   List.for_all
     (fun mid ->
-      let m_reads, m_writes = rw_sets mid in
+      let mi = info mid in
+      let m_reads = mi.ti_reads and m_writes = mi.ti_writes in
       let intersects a b = Hashtbl.fold (fun k () acc -> acc || Hashtbl.mem b k) a false in
       (not (intersects m_writes c_reads))   (* RAW *)
       && (not (intersects m_reads c_writes)) (* WAR *)
       && not (intersects m_writes c_writes) (* WAW *))
     between
+
+let can_fuse ~producer ~consumer =
+  can_fuse_i ~info:(info_memo ()) ~producer ~consumer
 
 (* ---- Patterns ---- *)
 
@@ -196,14 +293,88 @@ let fuse producer consumer =
 
 let task_intensity = Intensity.op_intensity
 
+(* ---- Decision replay ----
+
+   The sequence of fusions a dispatch undergoes is a deterministic
+   function of its content, so once a compile has fused a dispatch, its
+   (producer index, consumer index) pairs — recorded against the task
+   list as it stood before each single fusion — can be replayed
+   verbatim on any dispatch with the same content digest, skipping the
+   quadratic legality and intensity scans that dominate this pass.
+   Recording only happens when a backing store is attached. *)
+
+let task_pos tasks op =
+  let rec go i = function
+    | [] -> raise Not_found
+    | t :: _ when Op.equal t op -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tasks
+
+let record log ~kind ~tasks ~producer ~consumer =
+  match log with
+  | None -> ()
+  | Some l ->
+      l := (kind, task_pos tasks producer, task_pos tasks consumer) :: !l
+
+let encode_steps steps =
+  String.concat ";"
+    (List.rev_map (fun (kind, i, j) -> Printf.sprintf "%s,%d,%d" kind i j) steps)
+
+let decode_steps s =
+  if s = "" then Some []
+  else
+    let parse st =
+      match String.split_on_char ',' st with
+      | [ kind; i; j ] -> (
+          match (int_of_string_opt i, int_of_string_opt j) with
+          | Some i, Some j when 0 <= i && i < j -> Some (kind, i, j)
+          | _ -> None)
+      | _ -> None
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | st :: rest -> (
+          match parse st with Some x -> go (x :: acc) rest | None -> None)
+    in
+    go [] (String.split_on_char ';' s)
+
+(* Replay is trusted: the key is a content digest of the whole dispatch,
+   so a recorded step can only be out of range if the store is corrupt
+   (which the persistence layer's versioned header already guards). *)
+let replay_steps d steps =
+  List.iter
+    (fun (kind, i, j) ->
+      let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+      if j < List.length tasks then begin
+        Obs.count
+          (if kind = "B" then "fusion.balancing_fusions"
+           else "fusion.tasks_fused")
+          1;
+        ignore (fuse (List.nth tasks i) (List.nth tasks j))
+      end
+      else
+        Obs.remark ~op:d ~pass:pass_name Hida_obs.Remark.Error
+          "fusion replay step %s,%d,%d out of range; dropping it" kind i j)
+    steps
+
 (* Pattern-driven worklist fusion inside one dispatch. *)
 let payload_summary task =
   match payload_names task with
   | [] -> "<empty>"
   | names -> String.concat "+" names
 
-let apply_patterns patterns d =
+let apply_patterns ?log patterns d =
   let changed = ref true in
+  let info, gen, _, invalidate_users = make_memos () in
+  (* Rejected (producer, consumer) pairs, stamped with both ops'
+     invalidation generations.  Only the content-based rejections land
+     here — no dataflow edge, or no pattern fires — which hold until a
+     fusion rewires one side's operands; [can_fuse]'s legality verdict
+     also depends on the tasks between the pair, so it is re-checked
+     on every scan.  This turns the fixpoint's full restarts (one per
+     fusion) from quadratic pair re-checks into hash lookups. *)
+  let rejected : (int * int, int * int) Hashtbl.t = Hashtbl.create 256 in
   while !changed do
     changed := false;
     let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
@@ -213,16 +384,25 @@ let apply_patterns patterns d =
           let candidate =
             List.find_map
               (fun consumer ->
-                if
-                  directly_consumes ~producer ~consumer
-                  && can_fuse ~producer ~consumer
+                let pair = (producer.o_id, consumer.o_id) in
+                let stamp = (gen producer, gen consumer) in
+                if Hashtbl.find_opt rejected pair = Some stamp then None
+                else if
+                  directly_consumes_i ~info ~producer ~consumer
+                  && List.exists
+                       (fun p -> p.p_fires ~producer ~consumer)
+                       patterns
                 then
-                  match
-                    List.find_opt (fun p -> p.p_fires ~producer ~consumer) patterns
-                  with
-                  | Some p -> Some (consumer, p)
-                  | None -> None
-                else None)
+                  if can_fuse_i ~info ~producer ~consumer then
+                    List.find_opt
+                      (fun p -> p.p_fires ~producer ~consumer)
+                      patterns
+                    |> Option.map (fun p -> (consumer, p))
+                  else None
+                else begin
+                  Hashtbl.replace rejected pair stamp;
+                  None
+                end)
               rest
           in
           (match candidate with
@@ -231,7 +411,8 @@ let apply_patterns patterns d =
               Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Remark
                 "fused %s with %s (pattern %s)" (payload_summary producer)
                 (payload_summary consumer) pat.p_name;
-              ignore (fuse producer consumer);
+              record log ~kind:"P" ~tasks ~producer ~consumer;
+              invalidate_users (fuse producer consumer);
               changed := true
           | None -> try_pairs rest)
     in
@@ -240,15 +421,21 @@ let apply_patterns patterns d =
   (* Report pattern matches that were blocked by legality (dominance or
      an intervening memory dependence) as missed optimizations. *)
   let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
+  (* The fixpoint's memos are still precise here (fusions invalidated
+     their rewired users), so the scan reuses them; pairs in [rejected]
+     failed the dataflow-edge or pattern check and cannot be missed
+     legality opportunities. *)
   let rec missed = function
     | [] -> ()
     | producer :: rest ->
         List.iter
           (fun consumer ->
             if
-              directly_consumes ~producer ~consumer
+              Hashtbl.find_opt rejected (producer.o_id, consumer.o_id)
+              <> Some (gen producer, gen consumer)
+              && directly_consumes_i ~info ~producer ~consumer
               && List.exists (fun p -> p.p_fires ~producer ~consumer) patterns
-              && not (can_fuse ~producer ~consumer)
+              && not (can_fuse_i ~info ~producer ~consumer)
             then begin
               Obs.count "fusion.missed" 1;
               Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Missed
@@ -263,14 +450,15 @@ let apply_patterns patterns d =
 
 (* Balancing fusion: fuse the least critical connected pair while
    profitable (the fusion does not become the new critical task). *)
-let apply_balancing d =
+let apply_balancing ?log d =
   let continue_ = ref true in
+  let info, _, intensity, invalidate_users = make_memos () in
   while !continue_ do
     continue_ := false;
     let tasks = List.filter Hida_d.is_task (Block.ops (Hida_d.body d)) in
     if List.length tasks > 2 then begin
       let max_intensity =
-        List.fold_left (fun acc t -> max acc (task_intensity t)) 0 tasks
+        List.fold_left (fun acc t -> max acc (intensity t)) 0 tasks
       in
       (* Candidate pairs: producer-consumer connected, fusable. *)
       let pairs = ref [] in
@@ -280,13 +468,11 @@ let apply_balancing d =
             List.iter
               (fun consumer ->
                 if
-                  directly_consumes ~producer ~consumer
-                  && can_fuse ~producer ~consumer
+                  directly_consumes_i ~info ~producer ~consumer
+                  && can_fuse_i ~info ~producer ~consumer
                 then
                   pairs :=
-                    ( task_intensity producer + task_intensity consumer,
-                      producer,
-                      consumer )
+                    (intensity producer + intensity consumer, producer, consumer)
                     :: !pairs)
               rest;
             collect rest
@@ -299,7 +485,8 @@ let apply_balancing d =
             "balancing: fused %s with %s (combined intensity %d < critical %d)"
             (payload_summary producer) (payload_summary consumer) combined
             max_intensity;
-          ignore (fuse producer consumer);
+          record log ~kind:"B" ~tasks ~producer ~consumer;
+          invalidate_users (fuse producer consumer);
           continue_ := true
       | (combined, producer, consumer) :: _ ->
           Obs.remark ~op:producer ~pass:pass_name Hida_obs.Remark.Missed
@@ -338,11 +525,44 @@ let simplify d =
         | _ -> ())
 
 let run ?(patterns = default_patterns) ?(balance = true) m =
+  let cache = Qor_cache.global () in
   let dispatches = Walk.collect m ~pred:Hida_d.is_dispatch in
   List.iter
     (fun d ->
-      apply_patterns patterns d;
-      if balance then apply_balancing d;
+      (* Key only when a backing store is attached — compiles without
+         one pay no digest walk. *)
+      let key =
+        match Qor_cache.backing cache with
+        | None -> None
+        | Some _ ->
+            Some
+              ("fusion:"
+              ^ String.concat "+" (List.map (fun p -> p.p_name) patterns)
+              ^ (if balance then ":b:" else ":nb:")
+              ^ Subtree.digest ~describe_free:Subtree.describe_full d)
+      in
+      let replayed =
+        match Option.bind key (Qor_cache.find_replay cache) with
+        | None -> false
+        | Some enc -> (
+            match decode_steps enc with
+            | None -> false (* corrupt entry, before any mutation *)
+            | Some steps ->
+                replay_steps d steps;
+                if steps <> [] then
+                  Obs.remark ~op:d ~pass:pass_name Hida_obs.Remark.Analysis
+                    "replayed %d fusion decision(s) from the subtree store"
+                    (List.length steps);
+                true)
+      in
+      if not replayed then begin
+        let log = Option.map (fun _ -> ref []) key in
+        apply_patterns ?log patterns d;
+        if balance then apply_balancing ?log d;
+        match (key, log) with
+        | Some k, Some l -> Qor_cache.store_replay cache k (encode_steps !l)
+        | _ -> ()
+      end;
       simplify d)
     dispatches
 

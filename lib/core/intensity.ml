@@ -201,17 +201,23 @@ type connection = {
 }
 
 (* First store (resp. load) access of [node] to [buffer]. *)
-let find_access ~store node buffer =
-  let bindings = Hida_d.node_bindings node in
-  let accesses = Qor.collect_accesses ~bindings node in
+let collect_accesses node =
+  Qor.collect_accesses ~bindings:(Hida_d.node_bindings node) node
+
+let find_access_in ~accesses_of ~store node buffer =
   List.find_opt
     (fun a -> a.Qor.a_store = store && Value.equal a.Qor.a_buffer buffer)
-    accesses
+    (accesses_of node)
+
+let find_access ~store node buffer =
+  find_access_in ~accesses_of:collect_accesses ~store node buffer
 
 (* Build the connection record for source writing [buffer], target reading
-   it. *)
-let connect ~source ~target ~buffer =
-  let s_spine = spine_of source and t_spine = spine_of target in
+   it.  [accesses_of] memoizes [Qor.collect_accesses] per node: a node
+   participates in several connections, and collecting its accesses
+   walks its whole subtree. *)
+let connect_in ~accesses_of ~spine_memo ~source ~target ~buffer =
+  let s_spine = spine_memo source and t_spine = spine_memo target in
   let ns = List.length s_spine and nt = List.length t_spine in
   let s_to_t_perm = Array.make nt None in
   let t_to_s_perm = Array.make ns None in
@@ -223,7 +229,10 @@ let connect ~source ~target ~buffer =
     | _ -> 0
   in
   let dim_info = Array.make rank0 (None, None) in
-  (match (find_access ~store:true source buffer, find_access ~store:false target buffer) with
+  (match
+     ( find_access_in ~accesses_of ~store:true source buffer,
+       find_access_in ~accesses_of ~store:false target buffer )
+   with
   | Some sa, Some ta ->
       let rank = min (Array.length sa.Qor.a_dims) (Array.length ta.Qor.a_dims) in
       for d = 0 to rank - 1 do
@@ -262,6 +271,24 @@ let connect ~source ~target ~buffer =
    each of its readers. *)
 let analyze sched =
   let nodes = List.filter Hida_d.is_node (Block.ops (Hida_d.node_block sched)) in
+  let spine_tbl = Hashtbl.create 32 in
+  let spine_memo (n : Ir.op) =
+    match Hashtbl.find_opt spine_tbl n.Ir.o_id with
+    | Some sp -> sp
+    | None ->
+        let sp = spine_of n in
+        Hashtbl.add spine_tbl n.Ir.o_id sp;
+        sp
+  in
+  let acc_tbl = Hashtbl.create 32 in
+  let accesses_of (n : Ir.op) =
+    match Hashtbl.find_opt acc_tbl n.Ir.o_id with
+    | Some a -> a
+    | None ->
+        let a = collect_accesses n in
+        Hashtbl.add acc_tbl n.Ir.o_id a;
+        a
+  in
   let connections = ref [] in
   let buffer_writers = Hashtbl.create 16 in
   List.iter
@@ -279,11 +306,18 @@ let analyze sched =
           if Hida_d.operand_effect n i = `Read_only then
             match Hashtbl.find_opt buffer_writers v.v_id with
             | Some (w, _) when not (Op.equal w n) ->
-                connections := connect ~source:w ~target:n ~buffer:v :: !connections
+                connections :=
+                  connect_in ~accesses_of ~spine_memo ~source:w ~target:n
+                    ~buffer:v
+                  :: !connections
             | _ -> ())
         (Op.operands n))
     nodes;
   List.rev !connections
+
+let connect ~source ~target ~buffer =
+  connect_in ~accesses_of:collect_accesses ~spine_memo:spine_of ~source
+    ~target ~buffer
 
 (* Connections touching a given node. *)
 let connections_of connections node =

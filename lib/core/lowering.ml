@@ -296,8 +296,23 @@ let lower_memref_func func =
 (* Lower a function whose body holds nn.weight ops and a single dispatch
    of tasks containing nn ops.  [weights_onchip] keeps weights in on-chip
    buffers (the ScaleHLS behaviour, Fig. 9); otherwise weights live in
-   external memory behind ports. *)
-let lower_nn_func ?(weights_onchip = false) ?boundary func =
+   external memory behind ports.
+
+   [stamp] (default on) enables isomorphic-task structure sharing: tasks
+   are digested with the canonical subtree signature ([Ir.Subtree],
+   type-only free-value descriptors — weight [seed] attrs live on
+   nn.weight ops *outside* the task, so repeated blocks digest equal),
+   and every task whose digest was already lowered gets the template
+   node's body stamped in by [Subtree.stamp_block] instead of re-run
+   loop-nest emission.  This is sound because emission is a function of
+   exactly what the digest covers — the task's op sequence, attributes
+   and types, plus the positional wiring of free values to node
+   arguments (both the digest's [!N] numbering and the node-input list
+   below order free values by first use, and tensor→memref resolution
+   is injective, so the orders agree) — and the per-compile [boundary]
+   option.  Cloning mints fresh values positionally, so the printed IR
+   is byte-identical with stamping on or off (pinned by a test). *)
+let lower_nn_func ?(weights_onchip = false) ?boundary ?(stamp = true) func =
   let entry = Func_d.entry_block func in
   let d =
     match List.find_opt Hida_d.is_dispatch (Block.ops entry) with
@@ -412,7 +427,10 @@ let lower_nn_func ?(weights_onchip = false) ?boundary func =
       sched_operands;
     fun v -> match Hashtbl.find_opt tbl v.v_id with Some a -> a | None -> v
   in
-  (* (4) nodes: emit loop nests for each task's nn ops. *)
+  (* (4) nodes: emit loop nests for each task's nn ops — once per
+     distinct task digest when [stamp] is on. *)
+  let templates : (string, op) Hashtbl.t = Hashtbl.create 8 in
+  let stamped_nodes = ref 0 and stamped_ops = ref 0 in
   List.iter
     (fun (t, inputs, outputs) ->
       let ro = List.map (fun (m, _) -> sched_arg_of m) inputs in
@@ -420,54 +438,78 @@ let lower_nn_func ?(weights_onchip = false) ?boundary func =
       let node = Hida_d.node ~ro ~rw () in
       Block.append sched_blk node;
       let node_blk = Hida_d.node_block node in
-      let nbld = Builder.at_end node_blk in
-      (* env: tensor SSA value -> memref value visible inside the node. *)
-      let env = Hashtbl.create 16 in
-      List.iteri
-        (fun i (_, tensor_v) -> Hashtbl.replace env tensor_v.v_id (Block.arg node_blk i))
-        inputs;
-      let num_ro = List.length inputs in
-      let yielded =
-        match List.find_opt Hida_d.is_yield (Block.ops (Hida_d.body t)) with
-        | Some y -> Op.operands y
-        | None -> []
+      let digest =
+        if stamp then Some (Subtree.digest ~describe_free:Subtree.describe_type t)
+        else None
       in
-      List.iteri
-        (fun i y -> Hashtbl.replace env y.v_id (Block.arg node_blk (num_ro + i)))
-        yielded;
-      let lookup v =
-        match Hashtbl.find_opt env v.v_id with
-        | Some m -> m
-        | None ->
-            failwith
-              (Printf.sprintf "Lowering.lower_nn_func: unresolved value %s"
-                 (Value.name v))
-      in
-      List.iter
-        (fun op ->
-          if Nn.is_nn op && Op.name op <> "nn.weight" then begin
-            let r = Op.result op 0 in
-            let dest =
-              match Hashtbl.find_opt env r.v_id with
-              | Some m -> m (* a yielded result: write to the RW arg *)
-              | None ->
-                  (* Intermediate tensor of a fused task: a local buffer
-                     inside the node.  The tiled implementation streams
-                     it, keeping a small window of rows resident. *)
-                  let shape = Typ.shape (Value.typ r)
-                  and elem = Typ.elem (Value.typ r) in
-                  let b = Hida_d.buffer ~name:"tmp" ~depth:1 nbld ~shape ~elem in
-                  (match Value.defining_op b with
-                  | Some bo -> Op.set_attr bo "resident_rows" (A_int 4)
-                  | None -> ());
-                  Hashtbl.replace env r.v_id b;
-                  b
-            in
-            Lower_nn.emit_op ?boundary nbld ~lookup ~dest op
-          end)
-        (Hida_d.body_ops t);
-      ignore (Builder.build (Builder.at_end node_blk) ~results:[] "hida.yield"))
+      match Option.bind digest (Hashtbl.find_opt templates) with
+      | Some template ->
+          (* Isomorphic to an already-lowered task: clone the template
+             body (yield included) with the template's node arguments
+             renamed to this node's, instead of re-emitting. *)
+          let n =
+            Subtree.stamp_block
+              ~template:(Hida_d.node_block template)
+              ~target:node_blk ()
+          in
+          incr stamped_nodes;
+          stamped_ops := !stamped_ops + n
+      | None ->
+          let nbld = Builder.at_end node_blk in
+          (* env: tensor SSA value -> memref value visible inside the node. *)
+          let env = Hashtbl.create 16 in
+          List.iteri
+            (fun i (_, tensor_v) -> Hashtbl.replace env tensor_v.v_id (Block.arg node_blk i))
+            inputs;
+          let num_ro = List.length inputs in
+          let yielded =
+            match List.find_opt Hida_d.is_yield (Block.ops (Hida_d.body t)) with
+            | Some y -> Op.operands y
+            | None -> []
+          in
+          List.iteri
+            (fun i y -> Hashtbl.replace env y.v_id (Block.arg node_blk (num_ro + i)))
+            yielded;
+          let lookup v =
+            match Hashtbl.find_opt env v.v_id with
+            | Some m -> m
+            | None ->
+                failwith
+                  (Printf.sprintf "Lowering.lower_nn_func: unresolved value %s"
+                     (Value.name v))
+          in
+          List.iter
+            (fun op ->
+              if Nn.is_nn op && Op.name op <> "nn.weight" then begin
+                let r = Op.result op 0 in
+                let dest =
+                  match Hashtbl.find_opt env r.v_id with
+                  | Some m -> m (* a yielded result: write to the RW arg *)
+                  | None ->
+                      (* Intermediate tensor of a fused task: a local buffer
+                         inside the node.  The tiled implementation streams
+                         it, keeping a small window of rows resident. *)
+                      let shape = Typ.shape (Value.typ r)
+                      and elem = Typ.elem (Value.typ r) in
+                      let b = Hida_d.buffer ~name:"tmp" ~depth:1 nbld ~shape ~elem in
+                      (match Value.defining_op b with
+                      | Some bo -> Op.set_attr bo "resident_rows" (A_int 4)
+                      | None -> ());
+                      Hashtbl.replace env r.v_id b;
+                      b
+                in
+                Lower_nn.emit_op ?boundary nbld ~lookup ~dest op
+              end)
+            (Hida_d.body_ops t);
+          ignore (Builder.build (Builder.at_end node_blk) ~results:[] "hida.yield");
+          Option.iter (fun dg -> Hashtbl.replace templates dg node) digest)
     node_plans;
+  Hida_obs.Scope.count "incr.subtree.stamped" !stamped_nodes;
+  if !stamped_nodes > 0 then
+    Hida_obs.Scope.remark ~pass:"structural-dataflow-lowering-nn"
+      Hida_obs.Remark.Remark
+      "stamped %d isomorphic node(s) (%d ops cloned) from %d lowered template(s)"
+      !stamped_nodes !stamped_ops (Hashtbl.length templates);
   (* Replace the dispatch results (used by func.return) with the output
      buffers and erase the functional IR. *)
   let yield_operands =
@@ -481,6 +523,6 @@ let lower_nn_func ?(weights_onchip = false) ?boundary func =
 
 let memref_pass = Pass.make ~name:"structural-dataflow-lowering" lower_memref_func
 
-let nn_pass ?weights_onchip ?boundary () =
+let nn_pass ?weights_onchip ?boundary ?stamp () =
   Pass.make ~name:"structural-dataflow-lowering-nn" (fun func ->
-      ignore (lower_nn_func ?weights_onchip ?boundary func))
+      ignore (lower_nn_func ?weights_onchip ?boundary ?stamp func))

@@ -33,11 +33,27 @@ val lower_memref_func : Ir.op -> unit
 (** C++ path: lower every dispatch of a function. *)
 
 val lower_nn_func :
-  ?weights_onchip:bool -> ?boundary:[ `Guarded | `Padded ] -> Ir.op -> Ir.op
+  ?weights_onchip:bool ->
+  ?boundary:[ `Guarded | `Padded ] ->
+  ?stamp:bool ->
+  Ir.op ->
+  Ir.op
 (** PyTorch path: lower the function's dispatch of nn-op tasks; returns
     the created schedule.  [boundary] selects the convolution boundary
-    handling (see {!Lower_nn}). *)
+    handling (see {!Lower_nn}).  [stamp] (default [true]) lowers each
+    distinct task digest once and clones the result into every
+    isomorphic task's node ([Ir.Subtree.stamp_block] — canonical
+    content hash with type-only free-value descriptors, so repeated
+    blocks that differ only in weight seeds share).  The produced IR is
+    byte-identical either way; stamping only skips redundant loop-nest
+    emission.  Stamped-node counts surface as the
+    [incr.subtree.stamped] metric and a lowering remark. *)
 
 val memref_pass : Pass.t
+
 val nn_pass :
-  ?weights_onchip:bool -> ?boundary:[ `Guarded | `Padded ] -> unit -> Pass.t
+  ?weights_onchip:bool ->
+  ?boundary:[ `Guarded | `Padded ] ->
+  ?stamp:bool ->
+  unit ->
+  Pass.t

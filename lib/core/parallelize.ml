@@ -422,7 +422,15 @@ type search_slot =
 let plan_search cache engine ~seen ~pending_rev ~constraints ~ctx ~dims
     ~parallel_factor ~stats =
   let key = search_key engine ~constraints ~ctx ~dims ~parallel_factor in
-  if Hashtbl.mem seen key then S_dup key
+  if Hashtbl.mem seen key then begin
+    (* Same-level structure sharing: an identical search key at this
+       level is solved once and resolved for every duplicate site.
+       This composes with the persistent subtree tier below — the first
+       occurrence's [find_factors] may itself be served by the backing
+       store, in which case the whole group costs zero searches. *)
+    Hida_obs.Scope.count "dse.search_dedup" 1;
+    S_dup key
+  end
   else begin
     Hashtbl.add seen key ();
     match Qor_cache.find_factors cache key with

@@ -62,6 +62,11 @@ type t = {
   node_tbl : (string, Qor.node_est slot) Hashtbl.t;
   float_tbl : (string, float slot) Hashtbl.t;
   factors_tbl : (string, int array slot) Hashtbl.t;
+  mutable backing : Blob_store.t option;
+      (* persistent subtree-result tier: probed on in-memory misses,
+         written through on stores (see "Persistent backing" below) *)
+  mutable sub_hits : int;
+  mutable sub_misses : int;
   mutable hits : int;
   mutable misses : int;
   mutable tick : int; (* LRU clock: bumped on every value access *)
@@ -85,6 +90,9 @@ let create () =
     node_tbl = Hashtbl.create 64;
     float_tbl = Hashtbl.create 256;
     factors_tbl = Hashtbl.create 64;
+    backing = None;
+    sub_hits = 0;
+    sub_misses = 0;
     hits = 0;
     misses = 0;
     tick = 0;
@@ -303,6 +311,10 @@ let reset_stats t =
   t.wait_hist <- Hida_obs.Histogram.create ();
   Mutex.unlock t.stats_lock
 
+(* [clear] is a cold start for the in-memory tables only: the backing
+   store (when attached) is the cross-process tier and deliberately
+   survives, so a bench can clear the tables between runs and still
+   measure persistent reuse. *)
 let clear t =
   Mutex.lock t.lock;
   t.generation <- t.generation + 1;
@@ -312,89 +324,20 @@ let clear t =
   Hashtbl.reset t.factors_tbl;
   t.hits <- 0;
   t.misses <- 0;
+  t.sub_hits <- 0;
+  t.sub_misses <- 0;
   t.evicted <- 0;
   Mutex.unlock t.lock;
   reset_stats t
 
-(* ---- Structural signatures ---- *)
+(* ---- Structural signatures ----
 
-(* Direct serialization of the common attribute shapes (ints, strings,
-   int lists carry every directive the estimator reads); rare cases fall
-   back to the canonical printer.  Signatures only need injectivity, not
-   the printed syntax, and this path is hot: one walk per node per
-   compile. *)
-let rec add_attr buf (a : attr) =
-  match a with
-  | A_int i -> Buffer.add_string buf (string_of_int i)
-  | A_bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | A_str s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf s;
-      Buffer.add_char buf '"'
-  | A_ints is ->
-      Buffer.add_char buf '[';
-      List.iter
-        (fun i ->
-          Buffer.add_string buf (string_of_int i);
-          Buffer.add_char buf ',')
-        is;
-      Buffer.add_char buf ']'
-  | A_strs ss ->
-      Buffer.add_char buf '[';
-      List.iter
-        (fun s ->
-          Buffer.add_char buf '"';
-          Buffer.add_string buf s;
-          Buffer.add_char buf ',')
-        ss;
-      Buffer.add_char buf ']'
-  | A_list l ->
-      Buffer.add_char buf '(';
-      List.iter
-        (fun a ->
-          add_attr buf a;
-          Buffer.add_char buf ',')
-        l;
-      Buffer.add_char buf ')'
-  | A_unit | A_float _ | A_type _ | A_map _ ->
-      Buffer.add_string buf (Attr.to_string a)
-
-let add_attrs buf attrs =
-  List.iter
-    (fun (k, a) ->
-      Buffer.add_string buf k;
-      Buffer.add_char buf '=';
-      add_attr buf a;
-      Buffer.add_char buf ';')
-    (List.sort (fun (a, _) (b, _) -> compare a b) attrs)
-
-(* Describe a value free in the signed subtree (an outer buffer, port,
-   constant or function argument).  The descriptor must capture every
-   property the estimator reads through it: the type (element precision,
-   shape, stream depth) and the defining op's attributes (partition
-   kinds/factors, ping-pong depth, placement, streamized,
-   resident_rows, port kind/latency). *)
-let describe_outer buf (v : value) =
-  Buffer.add_string buf (Typ.to_string (Value.typ v));
-  match Value.defining_op v with
-  | Some d ->
-      Buffer.add_char buf '<';
-      Buffer.add_string buf (Op.name d);
-      Buffer.add_char buf ' ';
-      add_attrs buf d.o_attrs;
-      Buffer.add_char buf '>'
-  | None -> (
-      match v.v_def with
-      | Def_block_arg (blk, i) ->
-          let owner =
-            match Block.parent blk with
-            | Some g -> Region.parent g
-            | None -> None
-          in
-          Buffer.add_string buf
-            (Printf.sprintf "<arg%d of %s>" i
-               (match owner with Some o -> Op.name o | None -> "?"))
-      | _ -> Buffer.add_string buf "<?>")
+   The canonical walk itself lives in [Hida_ir.Subtree] — one walker
+   shared by every cache tier (estimation here, isomorphic-block
+   stamping in the lowering stage).  This layer adds the two pieces
+   the estimator needs on top: binding resolution (inner task values
+   chased back to the outer buffers they alias) and the ancestor-context
+   prefix. *)
 
 let compute_signature ~bindings (root : op) =
   let btable = List.map (fun (outer, inner) -> (inner.v_id, outer)) bindings in
@@ -416,61 +359,11 @@ let compute_signature ~bindings (root : op) =
     (fun (a : op) ->
       Buffer.add_string buf (Op.name a);
       Buffer.add_char buf '[';
-      add_attrs buf a.o_attrs;
+      Subtree.attrs_into buf a.o_attrs;
       Buffer.add_char buf ']')
     (Op.ancestors root);
   Buffer.add_char buf '|';
-  (* Values defined inside the subtree are numbered positionally, so the
-     signature is independent of global id allocation (same property as
-     the canonical printer). *)
-  let local = Hashtbl.create 64 in
-  let next = ref 0 in
-  let bind v =
-    Hashtbl.replace local v.v_id !next;
-    incr next
-  in
-  let rec sig_op (op : op) =
-    Buffer.add_string buf (Op.name op);
-    Buffer.add_char buf '(';
-    add_attrs buf op.o_attrs;
-    Buffer.add_char buf ')';
-    List.iter
-      (fun v ->
-        let v = resolve v in
-        match Hashtbl.find_opt local v.v_id with
-        | Some i ->
-            Buffer.add_char buf '%';
-            Buffer.add_string buf (string_of_int i);
-            Buffer.add_char buf ' '
-        | None ->
-            describe_outer buf v;
-            Buffer.add_char buf ' ')
-      (Op.operands op);
-    Buffer.add_char buf ':';
-    List.iter
-      (fun r ->
-        Buffer.add_string buf (Typ.to_string (Value.typ r));
-        Buffer.add_char buf ',';
-        bind r)
-      (Op.results op);
-    List.iter
-      (fun g ->
-        Buffer.add_char buf '{';
-        List.iter
-          (fun blk ->
-            Buffer.add_char buf '^';
-            List.iter
-              (fun a ->
-                Buffer.add_string buf (Typ.to_string (Value.typ a));
-                Buffer.add_char buf ',';
-                bind a)
-              (Block.args blk);
-            List.iter sig_op (Block.ops blk))
-          (Region.blocks g);
-        Buffer.add_char buf '}')
-      (Op.regions op)
-  in
-  sig_op root;
+  Subtree.signature_into buf ~resolve ~describe_free:Subtree.describe_full root;
   Buffer.contents buf
 
 let bindings_fingerprint bindings =
@@ -488,13 +381,128 @@ let signature t ?(bindings = []) op =
   | _ ->
       let gen = t.generation in
       release t;
-      let s = compute_signature ~bindings op in
+      (* A fixed-width digest, not the raw canonical string: subtree
+         signatures reach tens of kilobytes on real models, and derived
+         keys ("<sig>#<rank>") would share that entire prefix — hashing
+         samples the shared head (every key collides into one bucket)
+         while equality compares to the differing tail, turning each
+         probe into megabytes of memcmp.  32 hex chars keep lookups,
+         memory and the persistent store flat. *)
+      let s = Digest.to_hex (Digest.string (compute_signature ~bindings op)) in
       ignore (acquire t);
       (* Only publish under the generation read before computing: an
          invalidation that raced the walk keeps the entry stale. *)
       Hashtbl.replace t.sig_memo key (gen, s);
       release t;
       s
+
+(* ---- Persistent backing (the subtree-result tier) ----
+
+   When a [Blob_store] is attached, every content-addressed table gains
+   a second level: an in-memory miss probes the store, and every store
+   writes through.  Because the keys are canonical content hashes —
+   node signature + device, DSE search key, schedule-replay key — a
+   backing hit is exactly as valid as an in-memory hit, and because the
+   entry points below are the only way the parallelizer and estimator
+   reach results, attaching a store makes every unchanged subtree's
+   fused/balanced/DSE'd outcome reusable across processes
+   ([hida_compile --incr-cache]) and across server requests
+   ([hida-serve], which attaches the shared artifact store) with no
+   changes at the call sites.  Probes happen at plan-time points that
+   are deterministic in the input, so results — and therefore output
+   IR — stay byte-identical across [--jobs] settings.
+
+   Values are encoded as plain delimiter-joined strings ("%h" floats,
+   so the round trip is exact).  Store traffic happens outside the
+   table mutex: the blob store has its own lock, and nesting the two
+   would put marshal-sized copies inside the DSE hot path's critical
+   section. *)
+
+let ns_float = "qor.float"
+let ns_factors = "qor.factors"
+let ns_node = "qor.node"
+let ns_replay = "qor.replay"
+
+let enc_float v = Printf.sprintf "%h" v
+let dec_float s = float_of_string_opt s
+
+let enc_factors (a : int array) =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let dec_factors s =
+  if s = "" then Some [||]
+  else
+    try
+      Some (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+    with _ -> None
+
+let enc_node (e : Qor.node_est) =
+  let r = e.Qor.n_resource in
+  Printf.sprintf "%d;%d;%d;%d;%d;%d;%d" e.Qor.n_latency e.Qor.n_interval
+    e.Qor.n_macs_per_frame r.Resource.luts r.Resource.ffs r.Resource.dsps
+    r.Resource.bram18
+
+let dec_node s =
+  match String.split_on_char ';' s with
+  | [ lat; int_; macs; luts; ffs; dsps; bram ] -> (
+      try
+        Some
+          {
+            Qor.n_latency = int_of_string lat;
+            n_interval = int_of_string int_;
+            n_macs_per_frame = int_of_string macs;
+            n_resource =
+              {
+                Resource.luts = int_of_string luts;
+                ffs = int_of_string ffs;
+                dsps = int_of_string dsps;
+                bram18 = int_of_string bram;
+              };
+          }
+      with _ -> None)
+  | _ -> None
+
+let set_backing t bs =
+  ignore (acquire t);
+  t.backing <- bs;
+  release t
+
+let backing t =
+  ignore (acquire t);
+  let r = t.backing in
+  release t;
+  r
+
+let subtree_counters t =
+  ignore (acquire t);
+  let r = (t.sub_hits, t.sub_misses) in
+  release t;
+  r
+
+let bump_sub t hit =
+  ignore (acquire t);
+  if hit then t.sub_hits <- t.sub_hits + 1 else t.sub_misses <- t.sub_misses + 1;
+  release t
+
+(* Probe the backing tier after an in-memory miss; [None] when no store
+   is attached (no counter traffic either, so cold compiles without
+   [--incr-cache] report zero subtree probes). *)
+let backing_find t ~ns ~dec key =
+  match backing t with
+  | None -> None
+  | Some bs -> (
+      match Option.bind (Blob_store.find bs ~ns key) dec with
+      | Some v ->
+          bump_sub t true;
+          Some v
+      | None ->
+          bump_sub t false;
+          None)
+
+let backing_add t ~ns ~enc key v =
+  match backing t with
+  | None -> ()
+  | Some bs -> Blob_store.add bs ~ns ~key (enc v)
 
 (* ---- Memoized lookups ---- *)
 
@@ -528,23 +536,92 @@ let store_generic t tbl key v =
 let memo_float t key compute =
   match find_generic t t.float_tbl key with
   | Some v -> v
-  | None ->
-      let v = compute () in
-      store_generic t t.float_tbl key v;
-      v
+  | None -> (
+      match backing_find t ~ns:ns_float ~dec:dec_float key with
+      | Some v ->
+          store_generic t t.float_tbl key v;
+          v
+      | None ->
+          let v = compute () in
+          store_generic t t.float_tbl key v;
+          backing_add t ~ns:ns_float ~enc:enc_float key v;
+          v)
 
 let memo_factors t key compute =
   match find_generic t t.factors_tbl key with
   | Some v -> Array.copy v
-  | None ->
-      let v = compute () in
-      store_generic t t.factors_tbl key (Array.copy v);
-      v
+  | None -> (
+      match backing_find t ~ns:ns_factors ~dec:dec_factors key with
+      | Some v ->
+          store_generic t t.factors_tbl key (Array.copy v);
+          v
+      | None ->
+          let v = compute () in
+          store_generic t t.factors_tbl key (Array.copy v);
+          backing_add t ~ns:ns_factors ~enc:enc_factors key v;
+          v)
 
 let find_factors t key =
-  Option.map Array.copy (find_generic t t.factors_tbl key)
+  match find_generic t t.factors_tbl key with
+  | Some v -> Some (Array.copy v)
+  | None -> (
+      match backing_find t ~ns:ns_factors ~dec:dec_factors key with
+      | Some v ->
+          store_generic t t.factors_tbl key (Array.copy v);
+          Some v
+      | None -> None)
 
-let store_factors t key v = store_generic t t.factors_tbl key (Array.copy v)
+let store_factors t key v =
+  store_generic t t.factors_tbl key (Array.copy v);
+  backing_add t ~ns:ns_factors ~enc:enc_factors key v
+
+(* Pass-level decision replays (e.g. the fusion pass's fused-pair
+   sequence), keyed on subtree digests.  Backing-tier only: each key is
+   probed once per compile, so an in-memory tier would never hit. *)
+let find_replay t key = backing_find t ~ns:ns_replay ~dec:Option.some key
+let store_replay t key v = backing_add t ~ns:ns_replay ~enc:Fun.id key v
+
+(* Whole-design estimates (the top of the three-tier signature
+   hierarchy: artifact > design/subtree > node).  Backing-tier only,
+   same reasoning as replays. *)
+
+let ns_design = "qor.design"
+
+let enc_design (e : Qor.design_est) =
+  let r = e.Qor.d_resource in
+  Printf.sprintf "%d;%d;%d;%d;%d;%d;%d;%h;%h" e.Qor.d_latency e.Qor.d_interval
+    e.Qor.d_macs r.Resource.luts r.Resource.ffs r.Resource.dsps
+    r.Resource.bram18 e.Qor.d_throughput e.Qor.d_dsp_efficiency
+
+let dec_design s =
+  match String.split_on_char ';' s with
+  | [ lat; int_; macs; luts; ffs; dsps; bram; thr; eff ] -> (
+      try
+        Some
+          {
+            Qor.d_latency = int_of_string lat;
+            d_interval = int_of_string int_;
+            d_macs = int_of_string macs;
+            d_resource =
+              {
+                Resource.luts = int_of_string luts;
+                ffs = int_of_string ffs;
+                dsps = int_of_string dsps;
+                bram18 = int_of_string bram;
+              };
+            d_throughput = float_of_string thr;
+            d_dsp_efficiency = float_of_string eff;
+          }
+      with _ -> None)
+  | _ -> None
+
+let memo_design t key compute =
+  match backing_find t ~ns:ns_design ~dec:dec_design key with
+  | Some e -> e
+  | None ->
+      let e = compute () in
+      backing_add t ~ns:ns_design ~enc:enc_design key e;
+      e
 
 let node_key t (dev : Device.t) ~bindings n =
   dev.Device.name ^ "|" ^ signature t ~bindings n
@@ -553,10 +630,16 @@ let memo_node t dev ~bindings n compute =
   let key = node_key t dev ~bindings n in
   match find_generic t t.node_tbl key with
   | Some e -> e
-  | None ->
-      let e = compute () in
-      store_generic t t.node_tbl key e;
-      e
+  | None -> (
+      match backing_find t ~ns:ns_node ~dec:dec_node key with
+      | Some e ->
+          store_generic t t.node_tbl key e;
+          e
+      | None ->
+          let e = compute () in
+          store_generic t t.node_tbl key e;
+          backing_add t ~ns:ns_node ~enc:enc_node key e;
+          e)
 
 let estimate_node t dev ?(bindings = []) n =
   memo_node t dev ~bindings n (fun () ->

@@ -84,7 +84,28 @@ val invalidate_signatures : t -> unit
     misses. *)
 
 val clear : t -> unit
-(** Drop everything, including value tables and counters (cold start). *)
+(** Drop everything in-memory, including value tables and counters
+    (cold start).  An attached backing store ({!set_backing}) is the
+    cross-process tier and deliberately survives. *)
+
+val set_backing : t -> Blob_store.t option -> unit
+(** Attach (or detach, with [None]) a persistent blob store behind the
+    content-addressed tables.  With a store attached, an in-memory miss
+    probes the store and every store writes through, so DSE search
+    results, schedule replays, per-candidate costs and node estimates —
+    all keyed by canonical content hashes — are reused across compiles:
+    [hida_compile --incr-cache DIR] loads/saves a store around the run,
+    and the compile server attaches its shared artifact store.  Probes
+    happen at points deterministic in the input, so output IR stays
+    byte-identical to a from-scratch compile for every [--jobs]. *)
+
+val backing : t -> Blob_store.t option
+
+val subtree_counters : t -> int * int
+(** [(hits, misses)] of the persistent backing tier only (zero when no
+    store is attached).  The driver publishes per-compile deltas as the
+    [incr.subtree.hits]/[incr.subtree.misses] metrics.  Reset by
+    {!clear}. *)
 
 val reset_stats : t -> unit
 (** Zero the contention view only: detach every per-domain DLS counter
@@ -95,7 +116,8 @@ val reset_stats : t -> unit
     discarding a deliberately warmed cache. *)
 
 val signature : t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> string
-(** Structural signature of a subtree: op names, sorted attributes
+(** Structural signature of a subtree, as a fixed-width (32 hex chars)
+    content digest of the canonical form: op names, sorted attributes
     (which carry every directive), result and block-argument types with
     positional value numbering, and descriptors of free values resolved
     through [bindings] (outer buffer type + defining-op attributes).
@@ -119,6 +141,23 @@ val find_factors : t -> string -> int array option
     expressed as a single [memo_factors] thunk. *)
 
 val store_factors : t -> string -> int array -> unit
+
+val find_replay : t -> string -> string option
+(** Backing-tier lookup of a pass-level decision replay (an encoded
+    sequence of deterministic rewrite steps keyed on a subtree digest).
+    Always [None] without an attached backing store; counts toward
+    {!subtree_counters}. *)
+
+val store_replay : t -> string -> string -> unit
+(** Write a decision replay through to the backing store (no-op without
+    one). *)
+
+val memo_design : t -> string -> (unit -> Qor.design_est) -> Qor.design_est
+(** Whole-design estimate memo through the backing store (the compute
+    always runs when no store is attached).  Callers key on
+    [{!signature} of the finished function] plus device and batch, so a
+    recompile of an unchanged design skips per-node estimation
+    entirely. *)
 
 val estimate_node :
   t -> Device.t -> ?bindings:(Ir.value * Ir.value) list -> Ir.op -> Qor.node_est

@@ -1,0 +1,365 @@
+(* Canonical subtree signatures, content digests and block stamping.
+
+   The walker below is the one canonical-signature implementation shared
+   by every cache tier: Qor_cache wraps it with ancestor context and
+   full free-value descriptors (node estimates / DSE results), the
+   lowering stage digests tasks with type-only descriptors to stamp
+   isomorphic blocks, and the serve layer hashes whole requests one
+   level up.  Keeping a single walker keeps the tiers' notions of
+   "structurally identical" consistent. *)
+
+open Ir
+
+(* Direct serialization of the common attribute shapes (ints, strings,
+   int lists carry every directive the estimator reads); rare cases fall
+   back to the canonical printer.  Signatures only need injectivity, not
+   the printed syntax, and this path is hot: one walk per node per
+   compile. *)
+(* Zero-allocation decimal writer: [string_of_int] allocates per call,
+   and a signature walk writes thousands of integers (attributes, shapes,
+   affine constants, value numbering) — on large models the allocation
+   churn was most of the walk's cost. *)
+let add_int buf i =
+  if i < 0 then begin
+    Buffer.add_char buf '-';
+    (* min_int-safe: negate digit by digit *)
+    let rec go i =
+      if i <> 0 then begin
+        go (i / 10);
+        Buffer.add_char buf (Char.chr (Char.code '0' - (i mod 10)))
+      end
+    in
+    go i
+  end
+  else if i < 10 then Buffer.add_char buf (Char.chr (Char.code '0' + i))
+  else begin
+    let rec go i =
+      if i <> 0 then begin
+        go (i / 10);
+        Buffer.add_char buf (Char.chr (Char.code '0' + (i mod 10)))
+      end
+    in
+    go i
+  end
+
+let rec add_typ buf (t : typ) =
+  match t with
+  | I1 -> Buffer.add_string buf "i1"
+  | I8 -> Buffer.add_string buf "i8"
+  | I16 -> Buffer.add_string buf "i16"
+  | I32 -> Buffer.add_string buf "i32"
+  | I64 -> Buffer.add_string buf "i64"
+  | F32 -> Buffer.add_string buf "f32"
+  | F64 -> Buffer.add_string buf "f64"
+  | Index -> Buffer.add_string buf "index"
+  | Token -> Buffer.add_string buf "token"
+  | Memref { shape; elem } ->
+      Buffer.add_string buf "memref<";
+      List.iter
+        (fun d ->
+          add_int buf d;
+          Buffer.add_char buf 'x')
+        shape;
+      add_typ buf elem;
+      Buffer.add_char buf '>'
+  | Tensor { shape; elem } ->
+      Buffer.add_string buf "tensor<";
+      List.iter
+        (fun d ->
+          add_int buf d;
+          Buffer.add_char buf 'x')
+        shape;
+      add_typ buf elem;
+      Buffer.add_char buf '>'
+  | Stream { elem; depth } ->
+      Buffer.add_string buf "stream<";
+      add_typ buf elem;
+      Buffer.add_char buf ',';
+      add_int buf depth;
+      Buffer.add_char buf '>'
+  | Func_type { inputs; outputs } ->
+      Buffer.add_char buf '(';
+      List.iter
+        (fun t ->
+          add_typ buf t;
+          Buffer.add_char buf ',')
+        inputs;
+      Buffer.add_string buf ")->(";
+      List.iter
+        (fun t ->
+          add_typ buf t;
+          Buffer.add_char buf ',')
+        outputs;
+      Buffer.add_char buf ')'
+
+(* Affine maps via direct recursion rather than [Affine.to_string]: the
+   pretty-printer goes through [Format.asprintf], which costs microseconds
+   per map — measurable when every signature walk re-serializes every
+   access map in its subtree. *)
+let rec add_expr buf (e : Affine.expr) =
+  match e with
+  | Affine.Dim i ->
+      Buffer.add_char buf 'd';
+      add_int buf i
+  | Affine.Sym i ->
+      Buffer.add_char buf 's';
+      add_int buf i
+  | Affine.Const c -> add_int buf c
+  | Affine.Add (a, b) ->
+      Buffer.add_char buf '(';
+      add_expr buf a;
+      Buffer.add_char buf '+';
+      add_expr buf b;
+      Buffer.add_char buf ')'
+  | Affine.Mul (a, b) ->
+      Buffer.add_char buf '(';
+      add_expr buf a;
+      Buffer.add_char buf '*';
+      add_expr buf b;
+      Buffer.add_char buf ')'
+  | Affine.Floordiv (a, d) ->
+      Buffer.add_char buf '(';
+      add_expr buf a;
+      Buffer.add_string buf "fd";
+      add_int buf d;
+      Buffer.add_char buf ')'
+  | Affine.Ceildiv (a, d) ->
+      Buffer.add_char buf '(';
+      add_expr buf a;
+      Buffer.add_string buf "cd";
+      add_int buf d;
+      Buffer.add_char buf ')'
+  | Affine.Mod (a, d) ->
+      Buffer.add_char buf '(';
+      add_expr buf a;
+      Buffer.add_string buf "md";
+      add_int buf d;
+      Buffer.add_char buf ')'
+
+let add_map buf (m : Affine.map) =
+  add_int buf m.Affine.num_dims;
+  Buffer.add_char buf 'd';
+  add_int buf m.Affine.num_syms;
+  Buffer.add_string buf "s:";
+  List.iter
+    (fun e ->
+      add_expr buf e;
+      Buffer.add_char buf ',')
+    m.Affine.exprs
+
+let rec add_attr buf (a : attr) =
+  match a with
+  | A_int i -> add_int buf i
+  | A_bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | A_str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf s;
+      Buffer.add_char buf '"'
+  | A_ints is ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun i ->
+          add_int buf i;
+          Buffer.add_char buf ',')
+        is;
+      Buffer.add_char buf ']'
+  | A_strs ss ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf s;
+          Buffer.add_char buf ',')
+        ss;
+      Buffer.add_char buf ']'
+  | A_list l ->
+      Buffer.add_char buf '(';
+      List.iter
+        (fun a ->
+          add_attr buf a;
+          Buffer.add_char buf ',')
+        l;
+      Buffer.add_char buf ')'
+  | A_float f -> Buffer.add_string buf (string_of_float f)
+  | A_type t -> add_typ buf t
+  | A_map m -> add_map buf m
+  | A_unit -> Buffer.add_string buf (Attr.to_string a)
+
+let attrs_into buf attrs =
+  let add (k, a) =
+    Buffer.add_string buf k;
+    Buffer.add_char buf '=';
+    add_attr buf a;
+    Buffer.add_char buf ';'
+  in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        String.compare a b <= 0 && sorted rest
+  in
+  (* Attribute lists are tiny and almost always already in key order
+     (builders attach them sorted); checking beats re-sorting. *)
+  if sorted attrs then List.iter add attrs
+  else
+    List.iter add
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) attrs)
+
+(* Describe a value free in the signed subtree (an outer buffer, port,
+   constant or function argument).  The descriptor must capture every
+   property the estimator reads through it: the type (element precision,
+   shape, stream depth) and the defining op's attributes (partition
+   kinds/factors, ping-pong depth, placement, streamized,
+   resident_rows, port kind/latency). *)
+let describe_full buf (v : value) =
+  add_typ buf (Value.typ v);
+  match Value.defining_op v with
+  | Some d ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Op.name d);
+      Buffer.add_char buf ' ';
+      attrs_into buf d.o_attrs;
+      Buffer.add_char buf '>'
+  | None -> (
+      match v.v_def with
+      | Def_block_arg (blk, i) ->
+          let owner =
+            match Block.parent blk with
+            | Some g -> Region.parent g
+            | None -> None
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "<arg%d of %s>" i
+               (match owner with Some o -> Op.name o | None -> "?"))
+      | _ -> Buffer.add_string buf "<?>")
+
+let describe_type buf (v : value) = add_typ buf (Value.typ v)
+
+(* The canonical walk.  [on_free] fires once per distinct free value, in
+   first-use order, letting [free_values] reuse the exact traversal the
+   signature numbers values by. *)
+let walk ?(resolve = fun v -> v) ~local_buf ~on_free root =
+  let local = Hashtbl.create 64 in
+  let next = ref 0 in
+  let bind v =
+    Hashtbl.replace local v.v_id !next;
+    incr next
+  in
+  let free = Hashtbl.create 16 in
+  let nfree = ref 0 in
+  (* Iterate the operand/result/argument arrays directly: the [Op]
+     accessors return fresh lists ([Array.to_list] per call), which at
+     ~1200 ops per walk dominated the walker's allocation. *)
+  let rec sig_op (op : op) =
+    (match local_buf with
+    | None -> ()
+    | Some buf ->
+        Buffer.add_string buf (Op.name op);
+        Buffer.add_char buf '(';
+        attrs_into buf op.o_attrs;
+        Buffer.add_char buf ')');
+    Array.iter
+      (fun v ->
+        let v = resolve v in
+        match Hashtbl.find_opt local v.v_id with
+        | Some i -> (
+            match local_buf with
+            | None -> ()
+            | Some buf ->
+                Buffer.add_char buf '%';
+                add_int buf i;
+                Buffer.add_char buf ' ')
+        | None -> (
+            match Hashtbl.find_opt free v.v_id with
+            | Some i -> (
+                match local_buf with
+                | None -> ()
+                | Some buf ->
+                    Buffer.add_char buf '!';
+                    add_int buf i;
+                    Buffer.add_char buf ' ')
+            | None ->
+                let i = !nfree in
+                incr nfree;
+                Hashtbl.replace free v.v_id i;
+                (match local_buf with
+                | None -> ()
+                | Some buf ->
+                    Buffer.add_char buf '!';
+                    add_int buf i;
+                    Buffer.add_char buf '=');
+                on_free v;
+                match local_buf with
+                | None -> ()
+                | Some buf -> Buffer.add_char buf ' '))
+      op.o_operands;
+    (match local_buf with None -> () | Some buf -> Buffer.add_char buf ':');
+    Array.iter
+      (fun r ->
+        (match local_buf with
+        | None -> ()
+        | Some buf ->
+            add_typ buf (Value.typ r);
+            Buffer.add_char buf ',');
+        bind r)
+      op.o_results;
+    Array.iter
+      (fun g ->
+        (match local_buf with None -> () | Some buf -> Buffer.add_char buf '{');
+        List.iter
+          (fun blk ->
+            (match local_buf with
+            | None -> ()
+            | Some buf -> Buffer.add_char buf '^');
+            Array.iter
+              (fun a ->
+                (match local_buf with
+                | None -> ()
+                | Some buf ->
+                    add_typ buf (Value.typ a);
+                    Buffer.add_char buf ',');
+                bind a)
+              blk.b_args;
+            List.iter sig_op blk.b_ops)
+          g.g_blocks;
+        match local_buf with None -> () | Some buf -> Buffer.add_char buf '}')
+      op.o_regions
+  in
+  sig_op root
+
+let signature_into buf ?resolve ?(describe_free = describe_full) root =
+  walk ?resolve ~local_buf:(Some buf) ~on_free:(describe_free buf) root
+
+let signature ?resolve ?describe_free root =
+  let buf = Buffer.create 512 in
+  signature_into buf ?resolve ?describe_free root;
+  Buffer.contents buf
+
+let digest ?resolve ?describe_free root =
+  Digest.to_hex (Digest.string (signature ?resolve ?describe_free root))
+
+let free_values ?resolve root =
+  let acc = ref [] in
+  walk ?resolve ~local_buf:None ~on_free:(fun v -> acc := v :: !acc) root;
+  List.rev !acc
+
+let stamp_block ~template ~target ?(map = []) () =
+  let value_map = Hashtbl.create 64 in
+  let ta = Block.args template and na = Block.args target in
+  if List.length ta <> List.length na then
+    invalid_arg "Subtree.stamp_block: block-argument arity mismatch";
+  List.iter2
+    (fun (a : value) (b : value) ->
+      if not (Typ.equal (Value.typ a) (Value.typ b)) then
+        invalid_arg "Subtree.stamp_block: block-argument type mismatch";
+      Hashtbl.replace value_map a.v_id b)
+    ta na;
+  List.iter
+    (fun ((from_v : value), to_v) -> Hashtbl.replace value_map from_v.v_id to_v)
+    map;
+  let n = ref 0 in
+  List.iter
+    (fun op ->
+      Block.append target (clone_op ~value_map op);
+      incr n)
+    (Block.ops template);
+  !n

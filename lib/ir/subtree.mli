@@ -1,0 +1,77 @@
+(** Canonical subtree signatures, content digests and block stamping.
+
+    One structural-signature walker serves every cache tier of the
+    compiler (see DESIGN.md "Three cache tiers"):
+
+    - [Hida_estimator.Qor_cache] prefixes it with ancestor context and
+      full free-value descriptors to key {e node estimates} and DSE
+      results;
+    - the lowering stage digests dispatch tasks with type-only free
+      descriptors to detect {e isomorphic blocks} and stamp the first
+      block's lowered body everywhere ({!stamp_block}), with SSA
+      renaming through the positional free-value numbering;
+    - [Hida_serve.Artifact] keys whole-pipeline artifacts one level up
+      (content hash of the request source + option fingerprint).
+
+    The signature is canonical: values defined inside the subtree are
+    numbered positionally ([%N]), free values are numbered by first use
+    ([!N]) and described once at their first occurrence, so two
+    subtrees that are structurally isomorphic — equal op sequences,
+    attributes and types, and the same internal/external wiring — sign
+    identically regardless of global id allocation. *)
+
+val attrs_into : Buffer.t -> (string * Ir.attr) list -> unit
+(** Serialize an attribute list (sorted by key) into [buf].  Direct
+    serialization of the common shapes; injective, not pretty. *)
+
+val describe_full : Buffer.t -> Ir.value -> unit
+(** Descriptor of a free value capturing everything the estimator reads
+    through it: the type plus the defining op's name and attributes
+    (buffer depth/partition/placement, port kind, ...). *)
+
+val describe_type : Buffer.t -> Ir.value -> unit
+(** Type-only descriptor: free values of equal type are interchangeable.
+    Right for code-generation tiers (lowering emission depends on types
+    and wiring, not on who defined the operand). *)
+
+val signature_into :
+  Buffer.t ->
+  ?resolve:(Ir.value -> Ir.value) ->
+  ?describe_free:(Buffer.t -> Ir.value -> unit) ->
+  Ir.op ->
+  unit
+(** Append the canonical signature of the subtree rooted at the op.
+    [resolve] maps operand values before classification (used to chase
+    inner block arguments back to outer values); [describe_free]
+    (default {!describe_full}) renders each free value once. *)
+
+val signature :
+  ?resolve:(Ir.value -> Ir.value) ->
+  ?describe_free:(Buffer.t -> Ir.value -> unit) ->
+  Ir.op ->
+  string
+
+val digest :
+  ?resolve:(Ir.value -> Ir.value) ->
+  ?describe_free:(Buffer.t -> Ir.value -> unit) ->
+  Ir.op ->
+  string
+(** Fixed-width hex content hash (MD5) of {!signature} — the subtree
+    key used by the isomorphic-block and persistent-reuse tiers. *)
+
+val free_values : ?resolve:(Ir.value -> Ir.value) -> Ir.op -> Ir.value list
+(** Free values of the subtree in first-use order — exactly the [!N]
+    numbering order of {!signature}, so the free-value lists of two
+    subtrees with equal signatures correspond positionally. *)
+
+val stamp_block :
+  template:Ir.block -> target:Ir.block -> ?map:(Ir.value * Ir.value) list ->
+  unit -> int
+(** Clone every op of [template] into (empty) [target], rewriting
+    [template]'s block arguments to [target]'s positionally and values
+    listed in [map] (template value, replacement) — the SSA renaming
+    that makes one optimized block body reusable at every isomorphic
+    site.  Fresh value ids are minted for everything defined inside;
+    name hints are preserved so canonical printing is unaffected.
+    Returns the number of top-level ops stamped.  Raises
+    [Invalid_argument] on block-argument arity or type mismatch. *)

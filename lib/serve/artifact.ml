@@ -2,8 +2,9 @@
 
    The builder half maps a protocol request onto the driver pipeline
    and packages the result (canonical IR text + QoR metadata); the
-   store half is a mutex-guarded content-addressed table with LRU
-   eviction under a byte budget, shared by the server's worker domains.
+   store half is a namespace of the process-wide [Blob_store], so
+   whole-pipeline artifacts and the subtree-result tier behind
+   [Qor_cache] live under one byte budget with one LRU discipline.
 
    Keying lifts the estimator's node-level signature machinery to
    artifact granularity: node estimates are memoized on structural
@@ -18,10 +19,30 @@ open Hida_frontend
 
 type t = { a_meta : Protocol.artifact_meta; a_ir : string }
 
-(* Heap footprint charged to the budget: the IR text dominates; the key,
-   metadata record and hashtable slot are covered by a fixed overhead. *)
-let entry_overhead = 512
-let bytes a = String.length a.a_ir + entry_overhead
+(* Artifacts cross the blob-store boundary as JSON (meta via the
+   protocol codec), so cached entries are plain strings that survive
+   [Blob_store.save]/[load] round trips. *)
+let encode a =
+  Json.to_string
+    (Json.Obj
+       [ ("meta", Protocol.meta_to_json a.a_meta); ("ir", Json.Str a.a_ir) ])
+
+let decode s =
+  match Json.parse s with
+  | Error _ -> None
+  | Ok j -> (
+      match (Json.member "meta" j, Json.member "ir" j) with
+      | Some m, Some (Json.Str ir) -> (
+          match Protocol.meta_of_json m with
+          | Ok meta -> Some { a_meta = meta; a_ir = ir }
+          | Error _ -> None)
+      | _ -> None)
+
+(* Budget footprint of one stored artifact: the JSON encoding dominates;
+   the 32-hex key, namespace string and store slot are charged flat
+   (mirrors [Blob_store.entry_bytes]). *)
+let entry_overhead = 168
+let bytes a = String.length (encode a) + entry_overhead
 
 (* ---- Keys ---- *)
 
@@ -139,18 +160,14 @@ let compile src (o : Protocol.compile_opts) =
 
 (* ---- Store ---- *)
 
-type entry = { e_art : t; e_bytes : int; mutable e_stamp : int }
+(* One namespace of the byte-budgeted LRU [Blob_store].  The server
+   uses the process-wide shared instance, so artifacts trade bytes
+   against the subtree-result tier instead of growing a second
+   unbounded table; unit tests create private instances. *)
 
-type store = {
-  lock : Mutex.t;
-  tbl : (string, entry) Hashtbl.t;
-  mutable budget : int;
-  mutable live_bytes : int;
-  mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-}
+let ns = "artifact"
+
+type store = Blob_store.t
 
 type stats = {
   s_entries : int;
@@ -161,91 +178,37 @@ type stats = {
   s_evictions : int;
 }
 
-let default_budget_bytes = 256 * 1024 * 1024
+let default_budget_bytes = Blob_store.default_budget_bytes
 
 let create_store ?(budget_bytes = default_budget_bytes) () =
-  {
-    lock = Mutex.create ();
-    tbl = Hashtbl.create 64;
-    budget = max 1 budget_bytes;
-    live_bytes = 0;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-  }
+  Blob_store.create ~budget_bytes ()
 
-let locked st f =
-  Mutex.lock st.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
-
-let find st k =
-  locked st (fun () ->
-      match Hashtbl.find_opt st.tbl k with
-      | Some e ->
-          st.hits <- st.hits + 1;
-          st.tick <- st.tick + 1;
-          e.e_stamp <- st.tick;
-          Some e.e_art
-      | None ->
-          st.misses <- st.misses + 1;
-          None)
-
-(* Evict least-recently-used entries until the budget holds.  Artifact
-   counts are small (hundreds, not millions), so the O(n) minimum scan
-   per eviction is noise next to one pipeline run. *)
-let evict_to_budget_locked st =
-  while st.live_bytes > st.budget && Hashtbl.length st.tbl > 0 do
-    let victim = ref None in
-    Hashtbl.iter
-      (fun k e ->
-        match !victim with
-        | Some (_, v) when v.e_stamp <= e.e_stamp -> ()
-        | _ -> victim := Some (k, e))
-      st.tbl;
-    match !victim with
-    | Some (k, e) ->
-        Hashtbl.remove st.tbl k;
-        st.live_bytes <- st.live_bytes - e.e_bytes;
-        st.evictions <- st.evictions + 1
-    | None -> ()
-  done
-
-let add st ~key:k art =
-  let n = bytes art in
-  locked st (fun () ->
-      if n <= st.budget then begin
-        (match Hashtbl.find_opt st.tbl k with
-        | Some old ->
-            st.live_bytes <- st.live_bytes - old.e_bytes;
-            Hashtbl.remove st.tbl k
-        | None -> ());
-        st.tick <- st.tick + 1;
-        Hashtbl.replace st.tbl k { e_art = art; e_bytes = n; e_stamp = st.tick };
-        st.live_bytes <- st.live_bytes + n;
-        evict_to_budget_locked st
-      end)
-
-let set_budget st n =
-  locked st (fun () ->
-      st.budget <- max 1 n;
-      evict_to_budget_locked st)
+let shared_store () = Blob_store.shared ()
+let find st k = Option.bind (Blob_store.find st ~ns k) decode
+let add st ~key:k art = Blob_store.add st ~ns ~key:k (encode art)
+let set_budget = Blob_store.set_budget
 
 let stats st =
-  locked st (fun () ->
-      {
-        s_entries = Hashtbl.length st.tbl;
-        s_bytes = st.live_bytes;
-        s_budget = st.budget;
-        s_hits = st.hits;
-        s_misses = st.misses;
-        s_evictions = st.evictions;
-      })
+  let s = Blob_store.stats st in
+  let a_entries, a_bytes, a_hits, a_misses =
+    match
+      List.find_opt
+        (fun n -> n.Blob_store.ns_name = ns)
+        s.Blob_store.s_namespaces
+    with
+    | Some n ->
+        (n.Blob_store.ns_entries, n.ns_bytes, n.ns_hits, n.ns_misses)
+    | None -> (0, 0, 0, 0)
+  in
+  {
+    s_entries = a_entries;
+    s_bytes = a_bytes;
+    s_hits = a_hits;
+    s_misses = a_misses;
+    (* Budget and eviction pressure are properties of the whole shared
+       store, not of this namespace. *)
+    s_budget = s.Blob_store.s_budget;
+    s_evictions = s.Blob_store.s_evictions;
+  }
 
-let clear st =
-  locked st (fun () ->
-      Hashtbl.reset st.tbl;
-      st.live_bytes <- 0;
-      st.hits <- 0;
-      st.misses <- 0;
-      st.evictions <- 0)
+let clear = Blob_store.clear

@@ -9,13 +9,17 @@
     artifact granularity ({!Qor_cache.artifact_signature}); see
     DESIGN.md for the two-level picture.
 
-    The store holds artifacts under a byte budget with LRU eviction and
-    is mutex-guarded, so server worker domains share one instance. *)
+    The store is a namespace of the byte-budgeted, LRU-evicting
+    [Hida_estimator.Blob_store]: the server's worker domains share one
+    mutex-guarded instance, and that same instance backs the subtree
+    result tier behind [Qor_cache], so artifact bytes and subtree bytes
+    compete under a single budget. *)
 
 type t = { a_meta : Protocol.artifact_meta; a_ir : string }
 
 val bytes : t -> int
-(** Approximate heap footprint charged against the store budget. *)
+(** Approximate store footprint charged against the byte budget (the
+    JSON encoding plus flat per-entry overhead). *)
 
 (* ---- Keys ---- *)
 
@@ -38,31 +42,44 @@ val compile :
 
 (* ---- Store ---- *)
 
-type store
+type store = Hida_estimator.Blob_store.t
+(** Exposed as an equality so the server can hand the same instance to
+    [Qor_cache.set_backing] (the subtree tier) without a second
+    accessor on every layer. *)
 
 val default_budget_bytes : int
-(** 256 MiB. *)
+(** 256 MiB ([Blob_store.default_budget_bytes]). *)
 
 val create_store : ?budget_bytes:int -> unit -> store
+(** A private store (tests); the server uses {!shared_store}. *)
+
+val shared_store : unit -> store
+(** The process-wide [Blob_store.shared] instance — the one the
+    subtree-result tier behind [Qor_cache] should also back onto. *)
 
 val find : store -> string -> t option
-(** LRU-bumping lookup; counts a hit or a miss. *)
+(** LRU-bumping lookup; counts a hit or a miss.  An entry that fails to
+    decode (cannot happen with same-process writes) reads as a miss. *)
 
 val add : store -> key:string -> t -> unit
-(** Insert and evict least-recently-used artifacts until the budget
-    holds.  An artifact larger than the whole budget is not stored. *)
+(** Insert; once the byte budget is exceeded the least-recently-used
+    quarter of the *whole* store (all namespaces) is swept.  An
+    artifact larger than the whole budget is not stored. *)
 
 val set_budget : store -> int -> unit
-(** Also evicts immediately down to the new budget. *)
+(** Budget of the whole shared store; evicts immediately down to it. *)
 
 type stats = {
-  s_entries : int;
-  s_bytes : int;
-  s_budget : int;
+  s_entries : int;  (** artifact-namespace entries *)
+  s_bytes : int;  (** artifact-namespace bytes *)
+  s_budget : int;  (** whole-store budget (shared across namespaces) *)
   s_hits : int;
   s_misses : int;
-  s_evictions : int;
+  s_evictions : int;  (** whole-store evictions *)
 }
 
 val stats : store -> stats
+
 val clear : store -> unit
+(** Clears the whole underlying store — every namespace, including the
+    subtree tier sharing it. *)

@@ -87,6 +87,13 @@ val request_of_json : Json.t -> (request, string) result
 val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, string) result
 
+val meta_to_json : artifact_meta -> Json.t
+val meta_of_json : Json.t -> (artifact_meta, string) result
+(** Standalone artifact-metadata codec (the same encoding that rides
+    inside [Ok_compile] responses).  The artifact store uses it to
+    serialize whole artifacts into the shared blob store, so cached
+    artifacts survive [Blob_store.save]/[load] round trips. *)
+
 val encode_request : request -> string
 (** Framed bytes, ready to write. *)
 

@@ -109,12 +109,40 @@ let status_json st =
             ("bytes", Json.Int s.Artifact.s_bytes);
             ("budget_bytes", Json.Int s.Artifact.s_budget);
           ] );
+      ( "store",
+        (* The shared blob store under the artifact cache and the
+           subtree tier: whole-store totals plus one object per
+           namespace. *)
+        let bs = Blob_store.stats st.store in
+        Json.Obj
+          [
+            ("entries", Json.Int bs.Blob_store.s_entries);
+            ("bytes", Json.Int bs.Blob_store.s_bytes);
+            ("budget_bytes", Json.Int bs.Blob_store.s_budget);
+            ("evictions", Json.Int bs.Blob_store.s_evictions);
+            ( "namespaces",
+              Json.Obj
+                (List.map
+                   (fun (n : Blob_store.ns_stats) ->
+                     ( n.Blob_store.ns_name,
+                       Json.Obj
+                         [
+                           ("entries", Json.Int n.ns_entries);
+                           ("bytes", Json.Int n.ns_bytes);
+                           ("hits", Json.Int n.ns_hits);
+                           ("misses", Json.Int n.ns_misses);
+                         ] ))
+                   bs.Blob_store.s_namespaces) );
+          ] );
       ( "qor_cache",
+        let sub_hits, sub_misses = Qor_cache.subtree_counters qc in
         Json.Obj
           [
             ("entries", Json.Int (Qor_cache.size qc));
             ("entry_limit", Json.Int (Qor_cache.entry_limit qc));
             ("evictions", Json.Int (Qor_cache.evictions qc));
+            ("subtree_hits", Json.Int sub_hits);
+            ("subtree_misses", Json.Int sub_misses);
           ] );
       ("queue", Json.Obj queue);
       ( "latency",
@@ -259,10 +287,12 @@ let busy_reply fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let run cfg =
+  let store = Artifact.shared_store () in
+  Artifact.set_budget store cfg.cf_cache_bytes;
   let st =
     {
       cfg;
-      store = Artifact.create_store ~budget_bytes:cfg.cf_cache_bytes ();
+      store;
       flights = Scheduler.Single_flight.create ();
       metrics = Hida_obs.Metrics.create ();
       started_at = Unix.gettimeofday ();
@@ -271,8 +301,13 @@ let run cfg =
     }
   in
   (* The QoR cache underneath the pipeline is shared by all workers and
-     must stay bounded in a persistent process. *)
+     must stay bounded in a persistent process.  Backing it with the
+     same blob store the artifact cache lives in makes subtree results
+     (DSE plans, candidate costs, node estimates) persist across
+     requests: a request that edits one layer of a previously compiled
+     model re-optimizes only that layer. *)
   Qor_cache.install (Qor_cache.global ());
+  Qor_cache.set_backing (Qor_cache.global ()) (Some store);
   let listen_fd = claim_socket cfg.cf_socket in
   let pool =
     Scheduler.create_pool ~workers:cfg.cf_workers

@@ -23,6 +23,7 @@ let () =
       ("loop-transforms", Test_loop_transforms.tests);
       ("obs", Test_obs.tests);
       ("qor-cache", Test_qor_cache.tests);
+      ("subtree", Test_subtree.tests);
       ("serve", Test_serve.tests);
       ("text", Test_text.tests);
       ("golden", Test_golden.tests);

@@ -310,22 +310,33 @@ let artifact ~key ~size =
   }
 
 let test_store_lru () =
-  (* Budget fits two artifacts; the least recently used one is evicted. *)
+  (* Budget fits four artifacts.  Once a fifth pushes the store over,
+     the blob store sweeps the least-recently-used entries down to 3/4
+     of the budget — recently used entries survive, stale ones go. *)
   let one = Artifact.bytes (artifact ~key:"x" ~size:1000) in
-  let s = Artifact.create_store ~budget_bytes:(2 * one) () in
-  Artifact.add s ~key:"a" (artifact ~key:"a" ~size:1000);
-  Artifact.add s ~key:"b" (artifact ~key:"b" ~size:1000);
-  checkb "a present" (Artifact.find s "a" <> None);
-  (* "a" is now the most recently used; adding "c" must evict "b". *)
-  Artifact.add s ~key:"c" (artifact ~key:"c" ~size:1000);
-  checkb "b evicted as LRU" (Artifact.find s "b" = None);
-  checkb "a survived (recently used)" (Artifact.find s "a" <> None);
-  checkb "c present" (Artifact.find s "c" <> None);
+  let s = Artifact.create_store ~budget_bytes:(4 * one) () in
+  List.iter
+    (fun k -> Artifact.add s ~key:k (artifact ~key:k ~size:1000))
+    [ "a"; "b"; "c"; "d" ];
+  checkb "b present" (Artifact.find s "b" <> None);
+  (* "b" is now the most recently used; adding "e" sweeps the two
+     oldest untouched entries ("a" then "c") down to the 3/4 target. *)
+  Artifact.add s ~key:"e" (artifact ~key:"e" ~size:1000);
+  checkb "a evicted as LRU" (Artifact.find s "a" = None);
+  checkb "c evicted as LRU" (Artifact.find s "c" = None);
+  checkb "b survived (recently used)" (Artifact.find s "b" <> None);
+  checkb "d survived" (Artifact.find s "d" <> None);
+  (* Artifacts round-trip through the JSON blob encoding intact. *)
+  (match Artifact.find s "e" with
+  | None -> Alcotest.fail "e present"
+  | Some e ->
+      Alcotest.(check string) "meta key survives" "e" e.Artifact.a_meta.Protocol.am_key;
+      checki "ir survives" 1000 (String.length e.Artifact.a_ir));
   let st = Artifact.stats s in
-  checki "one eviction" 1 st.Artifact.s_evictions;
-  checki "two entries" 2 st.Artifact.s_entries;
+  checki "two evictions" 2 st.Artifact.s_evictions;
+  checki "three entries" 3 st.Artifact.s_entries;
   (* An artifact larger than the whole budget is refused outright. *)
-  Artifact.add s ~key:"huge" (artifact ~key:"huge" ~size:(3 * one));
+  Artifact.add s ~key:"huge" (artifact ~key:"huge" ~size:(5 * one));
   checkb "oversized artifact not stored" (Artifact.find s "huge" = None)
 
 let test_artifact_keys () =
