@@ -121,6 +121,11 @@ let experiments =
       fun ~quick ->
         ignore quick;
         Serve_bench.run ~smoke:true () );
+    ("sim", fun ~quick -> Sim_bench.run ~quick ());
+    ( "sim-smoke",
+      fun ~quick ->
+        ignore quick;
+        Sim_bench.run ~smoke:true () );
   ]
 
 let () =
@@ -134,7 +139,7 @@ let () =
       List.filter
         (fun n ->
           n <> "dse-smoke" && n <> "profile-smoke" && n <> "serve-smoke"
-          && n <> "incr-smoke")
+          && n <> "incr-smoke" && n <> "sim-smoke")
         (List.map fst experiments)
     else selected
   in

@@ -115,13 +115,41 @@ let write_file ~what path content =
     prerr_endline ("hida-compile: cannot write " ^ what ^ ": " ^ msg);
     exit 1
 
+(* The --simulate report, shared by the local and --connect artifact
+   paths (which used to duplicate it with a hardcoded frame count).
+   Small runs keep the full trace for the Gantt timeline; sustained
+   --sim-frames runs stay untraced (O(nodes x depth) memory) and report
+   the streaming percentiles only. *)
+let simulate_design ~device ~frames design =
+  match Walk.collect design ~pred:Hida_d.is_schedule with
+  | sched :: _ ->
+      let trace = frames <= Hida_hlssim.Sim.trace_default_threshold in
+      let r = Hida_hlssim.Sim_ir.simulate_schedule ~frames ~trace device sched in
+      Printf.printf
+        "simulation      : steady interval %.0f cycles, first frame %d cycles \
+         (%d frames)\n"
+        r.Hida_hlssim.Sim.r_steady_interval
+        r.Hida_hlssim.Sim.r_first_frame_latency frames;
+      let h = r.Hida_hlssim.Sim.r_interframe in
+      if Hida_obs.Histogram.count h > 0 then
+        Printf.printf
+          "inter-frame gap : p50 %d / p90 %d / p99 %d cycles (max %d)\n"
+          (Hida_obs.Histogram.percentile h 50.)
+          (Hida_obs.Histogram.percentile h 90.)
+          (Hida_obs.Histogram.percentile h 99.)
+          (Hida_obs.Histogram.max_value h);
+      if trace then
+        Printf.printf "pipeline timeline (first 4 frames):\n%s"
+          (Hida_hlssim.Sim.gantt ~frames:4 r)
+  | [] -> Printf.printf "simulation      : (no dataflow schedule)\n"
+
 (* Client mode: ship the compile to a running hida-serve instance and
    render the artifact it returns.  The reply carries the canonical IR
    text, so --dump-ir/-o write it directly and --emit-cpp/--simulate
    re-parse it locally (the parser/printer round-trip law makes the
    parsed design identical to the server's). *)
 let run_serve ~socket ~device ~src workload pf tile mode_name opts emit_cpp
-    dump_ir out_path simulate metrics_json =
+    dump_ir out_path simulate sim_frames metrics_json =
   let open Hida_serve in
   match Client.compile ~socket src opts with
   | Error e -> Error e
@@ -204,20 +232,7 @@ let run_serve ~socket ~device ~src workload pf tile mode_name opts emit_cpp
                  ^ Hida_text.Parser.diag_to_string d);
                exit 1
          in
-         (if simulate then
-            match Walk.collect design ~pred:Hida_d.is_schedule with
-            | sched :: _ ->
-                let sr =
-                  Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched
-                in
-                Printf.printf
-                  "simulation      : steady interval %.0f cycles, first frame \
-                   %d cycles\n"
-                  sr.Hida_hlssim.Sim.r_steady_interval
-                  sr.Hida_hlssim.Sim.r_first_frame_latency;
-                Printf.printf "pipeline timeline (first 4 frames):\n%s"
-                  (Hida_hlssim.Sim.gantt ~frames:4 sr)
-            | [] -> Printf.printf "simulation      : (no dataflow schedule)\n");
+         if simulate then simulate_design ~device ~frames:sim_frames design;
          if emit_cpp then
            let text = Hida_emitter.Emit_cpp.emit_func design in
            match out_path with
@@ -230,23 +245,27 @@ let run_serve ~socket ~device ~src workload pf tile mode_name opts emit_cpp
       Ok ()
 
 let rec run workload device_name pf tile mode_name jobs no_fusion no_balance
-    no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
-    trace_json print_ir_after remarks stats profile metrics_json connect
+    no_dataflow fit analyze emit_cpp dump_ir out_path simulate sim_frames
+    timing trace_json print_ir_after remarks stats profile metrics_json connect
     incr_cache =
   try run_checked workload device_name pf tile mode_name jobs no_fusion
       no_balance no_dataflow fit analyze emit_cpp dump_ir out_path simulate
-      timing trace_json print_ir_after remarks stats profile metrics_json
-      connect incr_cache
+      sim_frames timing trace_json print_ir_after remarks stats profile
+      metrics_json connect incr_cache
   with Invalid_argument msg ->
     prerr_endline ("hida-compile: " ^ msg);
     exit 1
 
 and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
-    no_dataflow fit analyze emit_cpp dump_ir out_path simulate timing
+    no_dataflow fit analyze emit_cpp dump_ir out_path simulate sim_frames timing
     trace_json print_ir_after remarks stats profile metrics_json connect
     incr_cache =
   let device = Device.by_name device_name in
   let mode = mode_of_string mode_name in
+  if sim_frames <= 0 then
+    invalid_arg
+      (Printf.sprintf "--sim-frames must be a positive frame count (got %d)"
+         sim_frames);
   check_write_path ~what:"trace file" trace_json;
   check_write_path ~what:"metrics file" metrics_json;
   check_write_path ~what:"output file" out_path;
@@ -291,7 +310,7 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
       in
       match
         run_serve ~socket ~device ~src workload pf tile mode_name sopts
-          emit_cpp dump_ir out_path simulate metrics_json
+          emit_cpp dump_ir out_path simulate sim_frames metrics_json
       with
       | Ok () -> exit 0
       | Error e ->
@@ -444,19 +463,7 @@ and run_checked workload device_name pf tile mode_name jobs no_fusion no_balance
      (* Re-install the compile's scope so the simulator's per-frame step
         histogram lands in the same metrics registry. *)
      Hida_obs.Scope.with_scope report.Driver.obs_scope (fun () ->
-         match Walk.collect report.Driver.design ~pred:Hida_d.is_schedule with
-         | sched :: _ ->
-             let r =
-               Hida_hlssim.Sim_ir.simulate_schedule ~frames:64 device sched
-             in
-             Printf.printf
-               "simulation      : steady interval %.0f cycles, first frame %d \
-                cycles\n"
-               r.Hida_hlssim.Sim.r_steady_interval
-               r.Hida_hlssim.Sim.r_first_frame_latency;
-             Printf.printf "pipeline timeline (first 4 frames):\n%s"
-               (Hida_hlssim.Sim.gantt ~frames:4 r)
-         | [] -> Printf.printf "simulation      : (no dataflow schedule)\n"));
+         simulate_design ~device ~frames:sim_frames report.Driver.design));
   (let m = report.Driver.metrics in
    let c name = Hida_obs.Metrics.counter m name in
    let cache = Qor_cache.global () in
@@ -632,6 +639,13 @@ let simulate =
   Arg.(value & flag & info [ "simulate"; "s" ]
          ~doc:"Run the cycle-level dataflow simulator on the result.")
 
+let sim_frames =
+  Arg.(value & opt int 64 & info [ "sim-frames" ] ~docv:"N"
+         ~doc:"Dataflow frames to simulate under --simulate (default 64; \
+               must be positive).  Large counts run untraced with \
+               O(nodes) memory and report inter-frame p50/p90/p99 \
+               percentiles, modeling sustained streaming traffic.")
+
 let timing =
   Arg.(value & flag & info [ "timing" ]
          ~doc:"Print a hierarchical per-pass timing table (mlir's -mlir-timing).")
@@ -689,7 +703,8 @@ let cmd =
     Term.(
       const run $ workload $ device $ pf $ tile $ mode $ jobs $ no_fusion
       $ no_balance $ no_dataflow $ fit $ analyze $ emit_cpp $ dump_ir
-      $ out_path $ simulate $ timing $ trace_json $ print_ir_after $ remarks
-      $ stats $ profile $ metrics_json $ connect $ incr_cache)
+      $ out_path $ simulate $ sim_frames $ timing $ trace_json
+      $ print_ir_after $ remarks $ stats $ profile $ metrics_json $ connect
+      $ incr_cache)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+(* Replicated-accelerator serving scenario over the compiled-step
+   simulator.
+
+   N replicas of one schedule (each its own FPGA / SLR instance) share
+   a single batch arrival stream: global frame g arrives at cycle
+   g * arrival_interval and is dispatched round-robin, so replica r
+   processes global frames r, r + n, r + 2n, ...  Each replica is an
+   independent cycle-accurate [Sim.run_compiled] with the arrival times
+   as start floors; replicas are evaluated in parallel on the
+   process-global [Domain_pool] (the compiled graph is immutable and
+   shared, each task owns its per-run state), and the merge is a fold
+   in replica order, so the report is identical whatever [jobs] is.
+
+   Reported: aggregate throughput (frames per kilocycle over the
+   completion of the last frame) and the sojourn-latency histogram
+   (completion - arrival per frame), whose p50/p99 are the serving
+   tail-latency numbers the ROADMAP's sustained-traffic item asks
+   for. *)
+
+type report = {
+  fr_replicas : int;
+  fr_frames : int; (* total frames across all replicas *)
+  fr_arrival_interval : int; (* cycles between stream arrivals *)
+  fr_total_cycles : int; (* completion of the last frame, any replica *)
+  fr_frames_per_kcycle : float;
+  fr_latency : Hida_obs.Histogram.t; (* sojourn: completion - arrival *)
+  fr_interframe : Hida_obs.Histogram.t;
+      (* per-replica completion gaps, merged *)
+}
+
+let simulate ?jobs ~replicas ~frames ~arrival_interval compiled =
+  if replicas <= 0 then invalid_arg "Sim_farm.simulate: replicas must be positive";
+  if frames <= 0 then invalid_arg "Sim_farm.simulate: frames must be positive";
+  if arrival_interval < 0 then
+    invalid_arg "Sim_farm.simulate: arrival_interval must be non-negative";
+  (* Replica r handles global frames r, r + replicas, ... *)
+  let count r = ((frames - 1 - r) / replicas) + 1 in
+  let live = min replicas frames in
+  let results = Array.make live None in
+  let tasks =
+    Array.init live (fun r ->
+        fun () ->
+          let n = count r in
+          let completions = Array.make n 0 in
+          let arrival j = ((j * replicas) + r) * arrival_interval in
+          let res =
+            Hida_hlssim.Sim.run_compiled ~frames:n ~trace:false ~arrival
+              ~completions compiled
+          in
+          results.(r) <- Some (res, completions))
+  in
+  ignore (Domain_pool.run_batch ?jobs tasks);
+  let latency = Hida_obs.Histogram.create () in
+  let interframe = Hida_obs.Histogram.create () in
+  let total = ref 0 in
+  Array.iteri
+    (fun r slot ->
+      match slot with
+      | None -> failwith "Sim_farm.simulate: replica task did not run"
+      | Some ((res : Hida_hlssim.Sim.result), completions) ->
+          Array.iteri
+            (fun j c ->
+              Hida_obs.Histogram.record latency
+                (c - (((j * replicas) + r) * arrival_interval)))
+            completions;
+          Hida_obs.Histogram.merge_into ~dst:interframe
+            res.Hida_hlssim.Sim.r_interframe;
+          if res.Hida_hlssim.Sim.r_total_cycles > !total then
+            total := res.Hida_hlssim.Sim.r_total_cycles)
+    results;
+  {
+    fr_replicas = replicas;
+    fr_frames = frames;
+    fr_arrival_interval = arrival_interval;
+    fr_total_cycles = !total;
+    fr_frames_per_kcycle = 1000. *. float_of_int frames /. float_of_int (max 1 !total);
+    fr_latency = latency;
+    fr_interframe = interframe;
+  }
+
+let simulate_schedule ?jobs ~replicas ~frames ~arrival_interval dev sched =
+  simulate ?jobs ~replicas ~frames ~arrival_interval
+    (Hida_hlssim.Sim_ir.compile_schedule dev sched)

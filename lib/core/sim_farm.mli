@@ -1,0 +1,42 @@
+(** Replicated-accelerator serving scenario: N replicas of one compiled
+    schedule share a batch arrival stream (global frame [g] arrives at
+    cycle [g * arrival_interval], dispatched round-robin), each replica
+    simulated cycle-accurately and independently, in parallel on the
+    process-global {!Domain_pool}.  The merge folds in replica order,
+    so the report is identical for any [jobs]. *)
+
+type report = {
+  fr_replicas : int;
+  fr_frames : int;  (** total frames across all replicas *)
+  fr_arrival_interval : int;  (** cycles between stream arrivals *)
+  fr_total_cycles : int;
+      (** completion cycle of the last frame on any replica *)
+  fr_frames_per_kcycle : float;  (** aggregate throughput *)
+  fr_latency : Hida_obs.Histogram.t;
+      (** per-frame sojourn (completion - arrival), in cycles; its
+          p50/p99 are the serving tail-latency numbers *)
+  fr_interframe : Hida_obs.Histogram.t;
+      (** per-replica completion gaps, merged over all replicas *)
+}
+
+val simulate :
+  ?jobs:int ->
+  replicas:int ->
+  frames:int ->
+  arrival_interval:int ->
+  Hida_hlssim.Sim.compiled ->
+  report
+(** Simulate [frames] total arrivals over [replicas] instances of the
+    compiled graph.  [jobs] bounds the worker-domain fan-out (as in
+    {!Domain_pool.run_batch}).  Raises [Invalid_argument] on
+    non-positive [replicas]/[frames] or negative [arrival_interval]. *)
+
+val simulate_schedule :
+  ?jobs:int ->
+  replicas:int ->
+  frames:int ->
+  arrival_interval:int ->
+  Hida_estimator.Device.t ->
+  Hida_ir.Ir.op ->
+  report
+(** {!simulate} over {!Hida_hlssim.Sim_ir.compile_schedule}. *)

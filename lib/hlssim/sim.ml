@@ -11,7 +11,21 @@
    The recurrence over (node, frame) start times is exact for this model
    and cross-checks the analytic throughput estimate of [Hida_estimator]:
    steady-state interval = max node latency, inflated when a fork-join
-   imbalance exceeds the available buffer stages. *)
+   imbalance exceeds the available buffer stages.
+
+   Two cores implement the same recurrence:
+
+   - [run] / [run_compiled]: the production core.  The per-node
+     dependence edges (same-frame writer edges, stage-reuse reader
+     edges) are flattened into int arrays once ([compile]), and finish
+     times live in per-node ring buffers of the last [max_depth + 1]
+     frames, so a run is O(edges) per frame and O(nodes x depth) in
+     memory — thousands of steady-state frames at service load cost no
+     more memory than a dozen.  Full (start, finish) traces are opt-in.
+   - [run_dense]: the original list-walking, dense-matrix reference.
+     It retains O(nodes x frames) state and re-resolves hashtable edges
+     every frame; it exists as the oracle for the equivalence property
+     tests and as the baseline of [bench -- sim]. *)
 
 type node_spec = {
   ns_id : int;
@@ -32,15 +46,23 @@ type result = {
   r_steady_interval : float; (* cycles per frame in steady state *)
   r_node_busy : (int * float) list; (* busy fraction per node *)
   r_first_frame_latency : int;
+  r_frames : int; (* frames simulated *)
+  r_interframe : Hida_obs.Histogram.t;
+      (* gap between consecutive frame completions, in cycles *)
   r_trace : (node_spec * (int * int) array) list;
-      (* per node: (start, finish) of every simulated frame *)
+      (* per node: (start, finish) of every simulated frame; [] when
+         tracing was off *)
 }
 
 exception Deadlock of string
 
-(* All writers per buffer, in list order.  A buffer may legitimately have
-   several producers before multi-producer elimination has run, and every
-   producer's dependence edge must be honoured. *)
+(* All writers per buffer, in node-list order.  A buffer may
+   legitimately have several producers before multi-producer elimination
+   has run, and every producer's dependence edge must be honoured.
+   Built by prepending and reversed once at the end: the old
+   [cur @ [ n ]] append was quadratic in the number of producers, which
+   the compiled-step hot path cannot afford on resnet18-sized
+   schedules. *)
 let writers_table (nodes : node_spec list) =
   let writers = Hashtbl.create 16 in
   List.iter
@@ -48,9 +70,10 @@ let writers_table (nodes : node_spec list) =
       List.iter
         (fun b ->
           let cur = Option.value (Hashtbl.find_opt writers b) ~default:[] in
-          Hashtbl.replace writers b (cur @ [ n ]))
+          Hashtbl.replace writers b (n :: cur))
         n.ns_writes)
     nodes;
+  Hashtbl.filter_map_inplace (fun _ ws -> Some (List.rev ws)) writers;
   writers
 
 let writers_of writers b =
@@ -102,14 +125,10 @@ let topo_order (nodes : node_spec list) =
   List.iter (fun n -> visit [] n.ns_id) nodes;
   List.rev !order
 
-let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
-  if frames <= 0 then invalid_arg "Sim.run: frames must be positive";
-  let order = topo_order nodes in
-  let depth = Hashtbl.create 16 in
-  List.iter (fun b -> Hashtbl.replace depth b.bs_id (max 1 b.bs_depth)) buffers;
-  (* Every referenced buffer must be declared: a silently defaulted depth
-     would make the stage-reuse constraint depend on whether the caller
-     remembered to list the buffer. *)
+(* Every referenced buffer must be declared: a silently defaulted depth
+   would make the stage-reuse constraint depend on whether the caller
+   remembered to list the buffer. *)
+let check_buffers_declared nodes depth =
   List.iter
     (fun n ->
       List.iter
@@ -121,7 +140,287 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
                  (if n.ns_name = "" then string_of_int n.ns_id else n.ns_name)
                  b))
         (n.ns_reads @ n.ns_writes))
+    nodes
+
+let depth_table buffers =
+  let depth = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace depth b.bs_id (max 1 b.bs_depth)) buffers;
+  depth
+
+(* ---- Compiled-step core ---------------------------------------------
+
+   [compile] resolves the (node, frame) recurrence's edges once into
+   flat int arrays in topological order:
+
+     same-frame edges   node i's frame k waits for finish(j, k) of every
+                        j in c_dep[c_dep_off.(i) .. c_dep_off.(i+1)-1]
+                        (every producer of every read buffer; j precedes
+                        i in topo order, so finish(j, k) is final when i
+                        steps)
+     stage-reuse edges  producing frame k into a buffer with d stages
+                        overwrites the stage last used by frame k - d,
+                        which every reader must have drained:
+                        finish(c_reuse_node.(e), k - c_reuse_depth.(e))
+
+   plus the implicit serial self edge finish(i, k - 1).  All edges look
+   back at most [max buffer depth] frames, so per-node finish times live
+   in ring buffers of c_ring = max_depth + 1 slots: within frame k the
+   slot of frame k (same-frame edges) is distinct from the slots of
+   frames k-1 .. k-max_depth (self and reuse edges), whether or not the
+   referenced node has already stepped this frame. *)
+
+type compiled = {
+  c_nodes : node_spec array; (* topological order *)
+  c_dep_off : int array; (* length num+1 *)
+  c_dep : int array; (* same-frame producer indices, deduplicated *)
+  c_reuse_off : int array; (* length num+1 *)
+  c_reuse_node : int array; (* reader index *)
+  c_reuse_depth : int array; (* frames looked back (buffer depth) *)
+  c_ring : int; (* ring-buffer slots: max depth + 1 (>= 2) *)
+}
+
+let num_nodes c = Array.length c.c_nodes
+
+let compile (nodes : node_spec list) (buffers : buffer_spec list) =
+  let depth = depth_table buffers in
+  check_buffers_declared nodes depth;
+  let order = topo_order nodes in
+  let node_arr = Array.of_list order in
+  let num = Array.length node_arr in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.replace index n.ns_id i) node_arr;
+  let writers = writers_table nodes in
+  let readers = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun b ->
+          let cur = Option.value (Hashtbl.find_opt readers b) ~default:[] in
+          Hashtbl.replace readers b (n :: cur))
+        n.ns_reads)
     nodes;
+  (* Collect, deduplicate ([max] is idempotent, so dropping repeated
+     edges preserves the recurrence) and flatten. *)
+  let dep_lists = Array.make num [] in
+  let reuse_lists = Array.make num [] in
+  let max_depth = ref 1 in
+  Array.iteri
+    (fun i n ->
+      let seen_dep = Hashtbl.create 8 in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun (w : node_spec) ->
+              if w.ns_id <> n.ns_id then begin
+                let wi = Hashtbl.find index w.ns_id in
+                if not (Hashtbl.mem seen_dep wi) then begin
+                  Hashtbl.replace seen_dep wi ();
+                  dep_lists.(i) <- wi :: dep_lists.(i)
+                end
+              end)
+            (writers_of writers b))
+        n.ns_reads;
+      let seen_reuse = Hashtbl.create 8 in
+      List.iter
+        (fun b ->
+          let d = Hashtbl.find depth b in
+          if d > !max_depth then max_depth := d;
+          List.iter
+            (fun (r : node_spec) ->
+              if r.ns_id <> n.ns_id then begin
+                let ri = Hashtbl.find index r.ns_id in
+                if not (Hashtbl.mem seen_reuse (ri, d)) then begin
+                  Hashtbl.replace seen_reuse (ri, d) ();
+                  reuse_lists.(i) <- (ri, d) :: reuse_lists.(i)
+                end
+              end)
+            (Option.value (Hashtbl.find_opt readers b) ~default:[]))
+        n.ns_writes)
+    node_arr;
+  let dep_off = Array.make (num + 1) 0 in
+  Array.iteri
+    (fun i l -> dep_off.(i + 1) <- dep_off.(i) + List.length l)
+    dep_lists;
+  let dep = Array.make (max 1 dep_off.(num)) 0 in
+  Array.iteri
+    (fun i l -> List.iteri (fun j x -> dep.(dep_off.(i) + j) <- x) l)
+    dep_lists;
+  let reuse_off = Array.make (num + 1) 0 in
+  Array.iteri
+    (fun i l -> reuse_off.(i + 1) <- reuse_off.(i) + List.length l)
+    reuse_lists;
+  let reuse_node = Array.make (max 1 reuse_off.(num)) 0 in
+  let reuse_depth = Array.make (max 1 reuse_off.(num)) 0 in
+  Array.iteri
+    (fun i l ->
+      List.iteri
+        (fun j (ri, d) ->
+          reuse_node.(reuse_off.(i) + j) <- ri;
+          reuse_depth.(reuse_off.(i) + j) <- d)
+        l)
+    reuse_lists;
+  {
+    c_nodes = node_arr;
+    c_dep_off = dep_off;
+    c_dep = dep;
+    c_reuse_off = reuse_off;
+    c_reuse_node = reuse_node;
+    c_reuse_depth = reuse_depth;
+    c_ring = !max_depth + 1;
+  }
+
+(* Full traces retained by default only below this many frames; a
+   sustained-traffic run keeps memory at O(nodes x depth) unless the
+   caller opts in (the Gantt/CLI paths do, for small frame counts). *)
+let trace_default_threshold = 256
+
+let run_compiled ?(frames = 32) ?trace ?arrival ?completions c =
+  if frames <= 0 then invalid_arg "Sim.run: frames must be positive";
+  (match completions with
+  | Some a when Array.length a < frames ->
+      invalid_arg "Sim.run: completions array shorter than frames"
+  | _ -> ());
+  let trace =
+    match trace with Some t -> t | None -> frames <= trace_default_threshold
+  in
+  let num = Array.length c.c_nodes in
+  let ring = c.c_ring in
+  (* fin.(i * ring + k mod ring) = finish time of node i at frame k for
+     the last [ring] frames.  Slots older than the ring are stale, and
+     every access is guarded (k > 0, k - d >= 0), so they are never
+     read. *)
+  let fin = Array.make (max 1 (num * ring)) 0 in
+  let lat = Array.map (fun n -> n.ns_latency) c.c_nodes in
+  let start_tr =
+    if trace then Array.init num (fun _ -> Array.make frames 0) else [||]
+  in
+  let finish_tr =
+    if trace then Array.init num (fun _ -> Array.make frames 0) else [||]
+  in
+  let hist = Hida_obs.Histogram.create () in
+  let half = max 1 (frames / 2) in
+  let half_finish = Array.make (max 1 num) 0 in
+  let first = ref 0 in
+  let prev_completion = ref 0 in
+  (* Per-frame step latency lands in the ambient scope's histogram when
+     one is installed (the CLI's --profile path); gating on the scope
+     keeps standalone simulation free of clock reads. *)
+  let observed = Option.is_some (Hida_obs.Scope.current ()) in
+  for k = 0 to frames - 1 do
+    let t0 = if observed then Hida_obs.Clock.now_ns () else 0 in
+    let slot = k mod ring in
+    let floor = match arrival with None -> 0 | Some f -> f k in
+    let completion = ref 0 in
+    for i = 0 to num - 1 do
+      let ready = ref floor in
+      (* Serial re-activation of the node itself. *)
+      if k > 0 then begin
+        let v = fin.((i * ring) + ((k - 1) mod ring)) in
+        if v > !ready then ready := v
+      end;
+      (* Inputs: frame k of every read buffer must have been produced by
+         every one of its writers (all earlier in topo order). *)
+      for e = c.c_dep_off.(i) to c.c_dep_off.(i + 1) - 1 do
+        let v = fin.((c.c_dep.(e) * ring) + slot) in
+        if v > !ready then ready := v
+      done;
+      (* Outputs: stage reuse — producing frame k overwrites the stage
+         last used by frame k - d, which every reader must have
+         drained. *)
+      for e = c.c_reuse_off.(i) to c.c_reuse_off.(i + 1) - 1 do
+        let d = c.c_reuse_depth.(e) in
+        if k - d >= 0 then begin
+          let v = fin.((c.c_reuse_node.(e) * ring) + ((k - d) mod ring)) in
+          if v > !ready then ready := v
+        end
+      done;
+      let f = !ready + lat.(i) in
+      fin.((i * ring) + slot) <- f;
+      if f > !completion then completion := f;
+      if trace then begin
+        start_tr.(i).(k) <- !ready;
+        finish_tr.(i).(k) <- f
+      end
+    done;
+    if k = 0 then first := !completion;
+    if k = half - 1 then
+      for i = 0 to num - 1 do
+        half_finish.(i) <- fin.((i * ring) + slot)
+      done;
+    if k > 0 then
+      Hida_obs.Histogram.record hist (!completion - !prev_completion);
+    prev_completion := !completion;
+    (match completions with Some a -> a.(k) <- !completion | None -> ());
+    if observed then
+      Hida_obs.Scope.observe "sim.frame_step_ns" (Hida_obs.Clock.now_ns () - t0)
+  done;
+  let last_slot = (frames - 1) mod ring in
+  let total = !prev_completion in
+  let steady =
+    (* Per-node measurement over the second half, so different pipeline
+       fills cannot cancel; the bottleneck node defines the interval.
+       With a single frame there is no delta to measure, so the interval
+       degrades to the makespan (pipeline fill included; see the .mli). *)
+    if frames = 1 then float_of_int total
+    else begin
+      let acc = ref 0. in
+      for i = 0 to num - 1 do
+        let d =
+          float_of_int (fin.((i * ring) + last_slot) - half_finish.(i))
+          /. float_of_int (frames - half)
+        in
+        acc := Float.max !acc d
+      done;
+      !acc
+    end
+  in
+  let busy =
+    Array.to_list
+      (Array.map
+         (fun n ->
+           ( n.ns_id,
+             float_of_int (n.ns_latency * frames) /. float_of_int (max 1 total)
+           ))
+         c.c_nodes)
+  in
+  let tr =
+    if trace then
+      Array.to_list
+        (Array.mapi
+           (fun i n ->
+             ( n,
+               Array.init frames (fun k -> (start_tr.(i).(k), finish_tr.(i).(k)))
+             ))
+           c.c_nodes)
+    else []
+  in
+  {
+    r_total_cycles = total;
+    r_steady_interval = steady;
+    r_node_busy = busy;
+    r_first_frame_latency = !first;
+    r_frames = frames;
+    r_interframe = hist;
+    r_trace = tr;
+  }
+
+let run ?frames ?trace (nodes : node_spec list) (buffers : buffer_spec list) =
+  run_compiled ?frames ?trace (compile nodes buffers)
+
+(* ---- Dense reference core -------------------------------------------
+
+   The original implementation: dense (node x frame) start/finish
+   matrices, writer/reader lists re-resolved through hashtables every
+   frame.  Kept verbatim (modulo the shared helpers) as the oracle the
+   compiled-step core is property-tested against, and as the cold
+   baseline [bench -- sim] reports speedups over. *)
+
+let run_dense ?(frames = 32) (nodes : node_spec list)
+    (buffers : buffer_spec list) =
+  if frames <= 0 then invalid_arg "Sim.run: frames must be positive";
+  let order = topo_order nodes in
+  let depth = depth_table buffers in
+  check_buffers_declared nodes depth;
   let writers = writers_table nodes in
   let readers = Hashtbl.create 16 in
   List.iter
@@ -139,9 +438,6 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   let finish = Array.make_matrix num frames 0 in
   let start = Array.make_matrix num frames 0 in
   let node_arr = Array.of_list order in
-  (* Per-frame step latency lands in the ambient scope's histogram when
-     one is installed (the CLI's --profile path); gating on the scope
-     keeps standalone simulation free of clock reads. *)
   let observed = Option.is_some (Hida_obs.Scope.current ()) in
   for k = 0 to frames - 1 do
     let t0 = if observed then Hida_obs.Clock.now_ns () else 0 in
@@ -186,14 +482,8 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   let total =
     Array.fold_left (fun acc row -> max acc row.(frames - 1)) 0 finish
   in
-  let first =
-    Array.fold_left (fun acc row -> max acc row.(0)) 0 finish
-  in
+  let first = Array.fold_left (fun acc row -> max acc row.(0)) 0 finish in
   let steady =
-    (* Per-node measurement over the second half, so different pipeline
-       fills cannot cancel; the bottleneck node defines the interval.
-       With a single frame there is no delta to measure, so the interval
-       degrades to the makespan (pipeline fill included; see the .mli). *)
     if frames = 1 then float_of_int total
     else begin
       let half = max 1 (frames / 2) in
@@ -207,12 +497,18 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
   in
   let busy =
     Array.to_list
-      (Array.mapi
-         (fun i n ->
+      (Array.map
+         (fun n ->
            ( n.ns_id,
-             float_of_int (n.ns_latency * frames) /. float_of_int (max 1 total) ))
+             float_of_int (n.ns_latency * frames) /. float_of_int (max 1 total)
+           ))
          node_arr)
   in
+  let hist = Hida_obs.Histogram.create () in
+  for k = 1 to frames - 1 do
+    let comp j = Array.fold_left (fun acc row -> max acc row.(j)) 0 finish in
+    Hida_obs.Histogram.record hist (comp k - comp (k - 1))
+  done;
   let trace =
     Array.to_list
       (Array.mapi
@@ -225,12 +521,19 @@ let run ?(frames = 32) (nodes : node_spec list) (buffers : buffer_spec list) =
     r_steady_interval = steady;
     r_node_busy = busy;
     r_first_frame_latency = first;
+    r_frames = frames;
+    r_interframe = hist;
     r_trace = trace;
   }
 
 (* ASCII Gantt chart of the first [frames] frames: one row per node,
-   alternating glyphs per frame, [width] columns over the makespan. *)
+   alternating glyphs per frame, [width] columns over the makespan.
+   Width is clamped to the axis row's minimum (the old code raised
+   [Invalid_argument] from [String.make (width - 8)] below 8 columns);
+   zero-latency nodes draw a single-column mark.  An untraced result
+   renders only the axis. *)
 let gantt ?(frames = 6) ?(width = 72) r =
+  let width = max width 12 in
   let horizon =
     List.fold_left
       (fun acc (_, t) ->
@@ -255,8 +558,11 @@ let gantt ?(frames = 6) ?(width = 72) r =
             done
           end)
         t;
-      Buffer.add_string b (Printf.sprintf "%-12s |%s|\n" n.ns_name (Bytes.to_string row)))
+      Buffer.add_string b
+        (Printf.sprintf "%-12s |%s|\n" n.ns_name (Bytes.to_string row)))
     r.r_trace;
   Buffer.add_string b
-    (Printf.sprintf "%-12s  0%s%d cycles\n" "" (String.make (width - 8) ' ') horizon);
+    (Printf.sprintf "%-12s  0%s%d cycles\n" ""
+       (String.make (width - 8) ' ')
+       horizon);
   Buffer.contents b

@@ -7,7 +7,15 @@
     stages; producers stall when all stages hold undrained frames,
     consumers stall until their input frame is ready.  The recurrence
     over (node, frame) start times is exact for this model and is used
-    to cross-check the analytic throughput estimator. *)
+    to cross-check the analytic throughput estimator.
+
+    The production core ({!run} / {!compile} + {!run_compiled})
+    precompiles the dependence edges into flat int arrays and keeps
+    finish times in per-node ring buffers, so memory is
+    O(nodes x max buffer depth) regardless of the frame count —
+    sustained-traffic runs of thousands of frames are cheap.  The
+    original dense-matrix implementation survives as {!run_dense}, the
+    oracle for equivalence tests and the baseline of [bench -- sim]. *)
 
 type node_spec = {
   ns_id : int;
@@ -35,8 +43,14 @@ type result = {
           degrades to the makespan, fill included. *)
   r_node_busy : (int * float) list;  (** busy fraction per node id *)
   r_first_frame_latency : int;
+  r_frames : int;  (** frames simulated *)
+  r_interframe : Hida_obs.Histogram.t;
+      (** gap in cycles between consecutive frame completions
+          ([frames - 1] samples); its p50/p90/p99 report the
+          tail-latency shape of the steady stream *)
   r_trace : (node_spec * (int * int) array) list;
-      (** per node: (start, finish) of every simulated frame *)
+      (** per node: (start, finish) of every simulated frame; empty
+          when tracing was off (see {!run}'s [trace]) *)
 }
 
 exception Deadlock of string
@@ -49,13 +63,56 @@ val topo_order : node_spec list -> node_spec list
     with several producers contribute one dependence edge per producer.
     Raises {!Deadlock} (with the full cycle path) on cycles. *)
 
-val run : ?frames:int -> node_spec list -> buffer_spec list -> result
-(** Simulate [frames] dataflow frames (default 32).  A consumer's
-    frame-k activation waits for {e every} producer of each input
-    buffer.  Every buffer id referenced by a node must appear in the
-    buffer list; an undeclared buffer raises [Invalid_argument] (no
-    silent ping-pong default). *)
+type compiled
+(** A dataflow graph with its dependence edges flattened for repeated
+    simulation: immutable after {!compile}, so one value may be shared
+    by concurrently running domains (each {!run_compiled} call owns its
+    own mutable state). *)
+
+val compile : node_spec list -> buffer_spec list -> compiled
+(** Validate the graph (undeclared buffer ids raise [Invalid_argument],
+    same-frame cycles raise {!Deadlock}), topologically sort it, and
+    flatten the same-frame producer edges and stage-reuse reader edges
+    into int arrays. *)
+
+val num_nodes : compiled -> int
+
+val run_compiled :
+  ?frames:int ->
+  ?trace:bool ->
+  ?arrival:(int -> int) ->
+  ?completions:int array ->
+  compiled ->
+  result
+(** Simulate [frames] dataflow frames (default 32) over a compiled
+    graph.  [trace] defaults to [frames <= 256]: small runs keep the
+    full per-frame (start, finish) trace for {!gantt}, large runs keep
+    memory at O(nodes x depth) and return an empty [r_trace].
+    [arrival k] (cycles, monotone) is a lower bound on every node's
+    frame-[k] start — the frame cannot be processed before it arrives;
+    used to model an input stream slower than the accelerator (see
+    {!Hida_core.Sim_farm}).  [completions], when given (length >=
+    frames), receives the completion cycle of every frame. *)
+
+val trace_default_threshold : int
+(** Frame count up to which {!run} / {!run_compiled} trace by default
+    (256). *)
+
+val run :
+  ?frames:int -> ?trace:bool -> node_spec list -> buffer_spec list -> result
+(** [compile] + [run_compiled].  A consumer's frame-k activation waits
+    for {e every} producer of each input buffer.  Every buffer id
+    referenced by a node must appear in the buffer list; an undeclared
+    buffer raises [Invalid_argument] (no silent ping-pong default). *)
+
+val run_dense : ?frames:int -> node_spec list -> buffer_spec list -> result
+(** The original dense-matrix core: O(nodes x frames) state, edges
+    re-resolved through hashtables every frame, always traced.
+    Bit-for-bit the same results as {!run} (property-tested); kept as
+    the oracle and as the cold baseline of [bench -- sim]. *)
 
 val gantt : ?frames:int -> ?width:int -> result -> string
 (** ASCII Gantt chart of the first frames: one row per node, glyph [k]
-    marking frame [k mod 10]'s active span. *)
+    marking frame [k mod 10]'s active span.  [width] is clamped to the
+    axis row's minimum (12 columns); an untraced result renders only
+    the axis. *)

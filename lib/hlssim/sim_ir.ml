@@ -26,13 +26,17 @@ let structure ?(latency = fun (_ : op) -> 1) sched =
      and defining ops live on the *outer* schedule operands, so resolve
      through the bindings first. *)
   let resolve =
-    let table =
-      List.map
-        (fun (outer, inner) -> (inner.v_id, outer))
-        (Hida_d.node_bindings sched)
-    in
+    (* Hashed once up front: the old per-operand [List.assoc_opt] scan
+       over every binding was quadratic on resnet18-sized schedules.
+       First binding wins, matching [List.assoc_opt] on duplicates. *)
+    let table = Hashtbl.create 64 in
+    List.iter
+      (fun (outer, inner) ->
+        if not (Hashtbl.mem table inner.v_id) then
+          Hashtbl.add table inner.v_id outer)
+      (Hida_d.node_bindings sched);
     fun (v : value) ->
-      match List.assoc_opt v.v_id table with Some o -> o | None -> v
+      match Hashtbl.find_opt table v.v_id with Some o -> o | None -> v
   in
   let buffer_ids = Hashtbl.create 16 in
   let buffers = ref [] in
@@ -141,6 +145,10 @@ let of_schedule (dev : Device.t) sched =
   in
   (g.g_nodes, g.g_buffers)
 
-let simulate_schedule ?(frames = 32) dev sched =
+let compile_schedule dev sched =
   let specs, buffers = of_schedule dev sched in
-  Sim.run ~frames specs buffers
+  Sim.compile specs buffers
+
+let simulate_schedule ?(frames = 32) ?trace dev sched =
+  let specs, buffers = of_schedule dev sched in
+  Sim.run ~frames ?trace specs buffers

@@ -30,4 +30,11 @@ val of_schedule :
   Device.t -> Ir.op -> Sim.node_spec list * Sim.buffer_spec list
 (** {!structure} with per-node latencies from the QoR estimator. *)
 
-val simulate_schedule : ?frames:int -> Device.t -> Ir.op -> Sim.result
+val compile_schedule : Device.t -> Ir.op -> Sim.compiled
+(** {!of_schedule} fed through {!Sim.compile}: the flattened-edge form
+    for repeated / replicated simulation of one schedule. *)
+
+val simulate_schedule :
+  ?frames:int -> ?trace:bool -> Device.t -> Ir.op -> Sim.result
+(** [trace] as in {!Sim.run} (defaults on only for small frame
+    counts). *)

@@ -232,6 +232,254 @@ let prop_interval_bounded_by_sum_and_max =
          r.Sim.r_steady_interval >= maxl *. 0.99
          && r.Sim.r_steady_interval <= suml +. 1.))
 
+let test_gantt_narrow_width () =
+  (* Regression: width < 8 made the axis row raise Invalid_argument
+     from [String.make (width - 8)].  The width is clamped now, and a
+     zero-latency node renders as a single-column mark instead of
+     crashing or vanishing. *)
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:0 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let r = Sim.run ~frames:4 nodes [ buffer 0 ~depth:2 ] in
+  List.iter
+    (fun width ->
+      let g = Sim.gantt ~width r in
+      checkb
+        (Printf.sprintf "gantt width %d renders" width)
+        (String.length g > 0 && contains ~sub:"cycles" g))
+    [ 1; 4; 7; 8; 12 ];
+  let g = Sim.gantt ~width:1 r in
+  checkb "zero-latency node has a row" (contains ~sub:"n1" g && contains ~sub:"n0" g)
+
+(* The compiled-step core and the dense reference must agree on every
+   observable: totals, steady interval (exact float), first-frame
+   latency, busy fractions, inter-frame histogram, and full traces. *)
+let same_results ?(traces = true) (d : Sim.result) (c : Sim.result) =
+  d.Sim.r_total_cycles = c.Sim.r_total_cycles
+  && d.Sim.r_steady_interval = c.Sim.r_steady_interval
+  && d.Sim.r_first_frame_latency = c.Sim.r_first_frame_latency
+  && d.Sim.r_node_busy = c.Sim.r_node_busy
+  && d.Sim.r_frames = c.Sim.r_frames
+  && Hida_obs.Histogram.count d.Sim.r_interframe
+     = Hida_obs.Histogram.count c.Sim.r_interframe
+  && Hida_obs.Histogram.sum d.Sim.r_interframe
+     = Hida_obs.Histogram.sum c.Sim.r_interframe
+  && Hida_obs.Histogram.buckets d.Sim.r_interframe
+     = Hida_obs.Histogram.buckets c.Sim.r_interframe
+  && ((not traces) || d.Sim.r_trace = c.Sim.r_trace)
+
+(* Random layered DAGs with occasional multi-producer buffers: the
+   compiled-step core must match the dense recurrence exactly. *)
+let prop_compiled_matches_dense =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compiled-step core = dense core on random DAGs"
+       ~count:60
+       QCheck2.Gen.(
+         tup4
+           (list_size (int_range 2 5) (int_range 1 4)) (* nodes per layer *)
+           (int_range 5 150) (* base latency *)
+           (int_range 1 4) (* max buffer depth *)
+           (int_range 0 1000) (* seed *))
+       (fun (layers, base, maxd, seed) ->
+         let rng = ref seed in
+         let next () =
+           rng := ((!rng * 1103515245) + 12345) land 0xFFFFFF;
+           !rng
+         in
+         let nodes = ref [] and buffers = ref [] in
+         let node_id = ref 0 and buf_id = ref 0 in
+         let prev_bufs = ref [] in
+         List.iter
+           (fun width ->
+             let this_bufs = ref [] in
+             for _ = 1 to width do
+               let reads =
+                 match !prev_bufs with
+                 | [] -> []
+                 | bs -> [ List.nth bs (next () mod List.length bs) ]
+               in
+               let b = !buf_id in
+               incr buf_id;
+               this_bufs := b :: !this_bufs;
+               buffers :=
+                 { Sim.bs_id = b; bs_name = ""; bs_depth = 1 + (next () mod maxd) }
+                 :: !buffers;
+               (* Every fourth node also writes a sibling's buffer in the
+                  same layer: a multi-producer buffer whose readers sit
+                  one layer downstream (no same-frame cycle). *)
+               let writes =
+                 match !this_bufs with
+                 | _ :: (_ :: _ as rest) when next () mod 4 = 0 ->
+                     [ b; List.nth rest (next () mod List.length rest) ]
+                 | _ -> [ b ]
+               in
+               nodes :=
+                 {
+                   Sim.ns_id = !node_id;
+                   ns_name = "";
+                   ns_latency = next () mod (base + 1);
+                   ns_reads = reads;
+                   ns_writes = writes;
+                 }
+                 :: !nodes;
+               incr node_id
+             done;
+             prev_bufs := !this_bufs)
+           layers;
+         let nodes = List.rev !nodes and buffers = List.rev !buffers in
+         let d = Sim.run_dense ~frames:24 nodes buffers in
+         let c = Sim.run ~frames:24 ~trace:true nodes buffers in
+         same_results d c))
+
+let test_compiled_matches_dense_zoo () =
+  (* The full workload zoo: every compiled schedule's simulator graph
+     must give identical results under both cores (the bench asserts
+     the same over the full-size models; here the kernels compile at
+     reduced scale to keep the suite fast). *)
+  let graphs = ref [] in
+  List.iter
+    (fun (e : Polybench.entry) ->
+      if e.Polybench.e_multi_loop then begin
+        let _m, f = e.Polybench.e_build ~scale:0.1 () in
+        ignore
+          (Driver.run_memref
+             ~opts:{ Driver.default with max_parallel_factor = 4 }
+             ~device:Device.zu3eg f);
+        match Walk.collect f ~pred:Hida_d.is_schedule with
+        | sched :: _ ->
+            graphs :=
+              (e.Polybench.e_name, Sim_ir.of_schedule Device.zu3eg sched)
+              :: !graphs
+        | [] -> ()
+      end)
+    Polybench.all;
+  List.iter
+    (fun name ->
+      let _m, f = (Models.by_name name).Models.e_build () in
+      ignore
+        (Driver.run_nn
+           ~opts:{ Driver.default with max_parallel_factor = 4 }
+           ~device:Device.vu9p_slr f);
+      match Walk.collect f ~pred:Hida_d.is_schedule with
+      | sched :: _ ->
+          graphs := (name, Sim_ir.of_schedule Device.vu9p_slr sched) :: !graphs
+      | [] -> ())
+    [ "lenet"; "mlp" ];
+  checkb "zoo produced schedules" (List.length !graphs >= 5);
+  List.iter
+    (fun (name, (nodes, buffers)) ->
+      let d = Sim.run_dense ~frames:96 nodes buffers in
+      let c = Sim.run ~frames:96 ~trace:true nodes buffers in
+      checkb (Printf.sprintf "%s: compiled = dense" name) (same_results d c))
+    !graphs
+
+let test_untraced_10k_frames () =
+  (* Memory shape: a 10k-frame run keeps no per-frame state beyond the
+     ring (no trace) and still reports the streaming statistics. *)
+  let n = 50 in
+  let nodes =
+    List.init n (fun i ->
+        node i ~lat:(10 + (i mod 7))
+          ~reads:(if i = 0 then [] else [ i - 1 ])
+          ~writes:(if i = n - 1 then [] else [ i ]))
+  in
+  let buffers = List.init (n - 1) (fun i -> buffer i ~depth:2) in
+  let r = Sim.run ~frames:10_000 nodes buffers in
+  checkb "10k frames untraced by default" (r.Sim.r_trace = []);
+  checki "10k frames recorded" 10_000 r.Sim.r_frames;
+  checki "one inter-frame gap per frame pair" 9_999
+    (Hida_obs.Histogram.count r.Sim.r_interframe);
+  checkb "total covers all frames"
+    (r.Sim.r_total_cycles >= 10_000 * 16);
+  checkb "steady interval = bottleneck latency"
+    (Float.abs (r.Sim.r_steady_interval -. 16.) < 1.)
+
+let test_trace_opt_in () =
+  let nodes =
+    [
+      node 0 ~lat:10 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:10 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let bufs = [ buffer 0 ~depth:2 ] in
+  let small = Sim.run ~frames:8 nodes bufs in
+  checkb "small runs trace by default" (small.Sim.r_trace <> []);
+  let big = Sim.run ~frames:1000 nodes bufs in
+  checkb "large runs untraced by default" (big.Sim.r_trace = []);
+  let forced = Sim.run ~frames:1000 ~trace:true nodes bufs in
+  checkb "explicit trace at any frame count"
+    (List.length forced.Sim.r_trace = 2);
+  let off = Sim.run ~frames:8 ~trace:false nodes bufs in
+  checkb "explicit trace:false" (off.Sim.r_trace = []);
+  (* Untraced and traced runs agree on everything else. *)
+  checkb "trace flag is observation-only"
+    (same_results ~traces:false big
+       { forced with Sim.r_trace = [] })
+
+let test_arrival_floor () =
+  (* A stream arriving slower than the accelerator drains paces the
+     pipeline: the steady interval tracks the arrival interval and the
+     sojourn (completion - arrival) stays bounded at the pipe
+     latency. *)
+  let nodes =
+    [
+      node 0 ~lat:10 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:10 ~reads:[ 0 ] ~writes:[];
+    ]
+  in
+  let c = Sim.compile nodes [ buffer 0 ~depth:2 ] in
+  let completions = Array.make 64 0 in
+  let r =
+    Sim.run_compiled ~frames:64 ~arrival:(fun k -> k * 100) ~completions c
+  in
+  checkb "arrival-bound interval"
+    (Float.abs (r.Sim.r_steady_interval -. 100.) < 1.);
+  Array.iteri
+    (fun k comp ->
+      checkb "sojourn = pipe latency under light load" (comp - (k * 100) = 20))
+    completions
+
+let test_replica_farm () =
+  (* Sim_farm: a stream arriving 4x faster than one replica drains is
+     throughput-bound at 1 replica and drained by 4; sojourn tails
+     collapse accordingly.  The report must not depend on jobs. *)
+  let nodes =
+    [
+      node 0 ~lat:100 ~reads:[] ~writes:[ 0 ];
+      node 1 ~lat:400 ~reads:[ 0 ] ~writes:[ 1 ];
+      node 2 ~lat:100 ~reads:[ 1 ] ~writes:[];
+    ]
+  in
+  let c = Sim.compile nodes [ buffer 0 ~depth:2; buffer 1 ~depth:2 ] in
+  let farm replicas jobs =
+    Sim_farm.simulate ~jobs ~replicas ~frames:256 ~arrival_interval:100 c
+  in
+  let one = farm 1 1 and four = farm 4 1 in
+  checki "all frames measured" 256 (Hida_obs.Histogram.count one.Sim_farm.fr_latency);
+  checkb "4 replicas out-stream 1"
+    (four.Sim_farm.fr_frames_per_kcycle
+    > one.Sim_farm.fr_frames_per_kcycle *. 2.);
+  checkb "tail latency collapses with replicas"
+    (Hida_obs.Histogram.percentile four.Sim_farm.fr_latency 99.
+    < Hida_obs.Histogram.percentile one.Sim_farm.fr_latency 99.);
+  (* Arrival-bound at 4 replicas: each replica sees one frame per 400
+     cycles, exactly its service interval, so sojourn stays near the
+     600-cycle pipe latency. *)
+  checkb "drained farm sojourn bounded"
+    (Hida_obs.Histogram.percentile four.Sim_farm.fr_latency 99. < 2_000);
+  let four_j4 = farm 4 4 in
+  checkb "report independent of jobs"
+    (four.Sim_farm.fr_total_cycles = four_j4.Sim_farm.fr_total_cycles
+    && four.Sim_farm.fr_frames_per_kcycle
+       = four_j4.Sim_farm.fr_frames_per_kcycle
+    && Hida_obs.Histogram.buckets four.Sim_farm.fr_latency
+       = Hida_obs.Histogram.buckets four_j4.Sim_farm.fr_latency
+    && Hida_obs.Histogram.sum four.Sim_farm.fr_latency
+       = Hida_obs.Histogram.sum four_j4.Sim_farm.fr_latency)
+
 let test_trace_and_gantt () =
   let nodes =
     [
@@ -341,4 +589,12 @@ let tests =
     Alcotest.test_case "sim cross-checks estimator" `Quick test_sim_cross_checks_estimator;
     Alcotest.test_case "sim vs analytic on all kernels" `Quick test_sim_vs_analytic_all_kernels;
     prop_interval_bounded_by_sum_and_max;
+    Alcotest.test_case "gantt narrow width" `Quick test_gantt_narrow_width;
+    prop_compiled_matches_dense;
+    Alcotest.test_case "compiled = dense on the workload zoo" `Quick
+      test_compiled_matches_dense_zoo;
+    Alcotest.test_case "10k frames untraced" `Quick test_untraced_10k_frames;
+    Alcotest.test_case "trace opt-in defaults" `Quick test_trace_opt_in;
+    Alcotest.test_case "arrival floor" `Quick test_arrival_floor;
+    Alcotest.test_case "replica farm scaling" `Quick test_replica_farm;
   ]
